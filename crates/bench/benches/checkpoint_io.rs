@@ -1,0 +1,87 @@
+//! Criterion benches: checkpoint commit, load and recovery on the real
+//! on-disk stack (hot paths behind experiments R-F3/F4/F6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qcheck::repo::{CheckpointRepo, SaveOptions};
+use qcheck::snapshot::{RngCapture, StateBlob, TrainingSnapshot};
+
+fn snapshot_with_params(n_params: usize, step: u64) -> TrainingSnapshot {
+    let mut s = TrainingSnapshot::new("bench");
+    s.step = step;
+    s.params = (0..n_params)
+        .map(|i| 0.6 + 1e-6 * ((i as u64 + step) as f64).sin())
+        .collect();
+    s.optimizer = StateBlob::new("adam-v1", vec![0x5A; n_params * 16]);
+    s.rng_streams.insert("shots".into(), RngCapture([9; 40]));
+    s.total_shots = step * 1000;
+    s.shot_ledger = vec![3; 64];
+    s
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("qcheck-crit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn bench_save_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("save_full");
+    for n_params in [256usize, 4096, 65536] {
+        let dir = scratch(&format!("save-{n_params}"));
+        let repo = CheckpointRepo::open(&dir).unwrap();
+        let mut step = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n_params), &n_params, |b, &n| {
+            b.iter(|| {
+                step += 1;
+                let snap = snapshot_with_params(n, step);
+                repo.save(&snap, &SaveOptions::default()).unwrap()
+            })
+        });
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    group.finish();
+}
+
+fn bench_save_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("save_delta");
+    for n_params in [4096usize, 65536] {
+        let dir = scratch(&format!("delta-{n_params}"));
+        let repo = CheckpointRepo::open(&dir).unwrap();
+        let opts = SaveOptions::incremental(32);
+        repo.save(&snapshot_with_params(n_params, 0), &opts).unwrap();
+        let mut step = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n_params), &n_params, |b, &n| {
+            b.iter(|| {
+                step += 1;
+                let snap = snapshot_with_params(n, step);
+                repo.save(&snap, &opts).unwrap()
+            })
+        });
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    group.finish();
+}
+
+fn bench_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recover");
+    for chain_len in [0u64, 8, 32] {
+        let dir = scratch(&format!("recover-{chain_len}"));
+        let repo = CheckpointRepo::open(&dir).unwrap();
+        let opts = SaveOptions::incremental(u32::MAX);
+        for step in 0..=chain_len {
+            repo.save(&snapshot_with_params(8192, step), &opts).unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(chain_len),
+            &chain_len,
+            |b, _| b.iter(|| repo.recover().unwrap()),
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_save_full, bench_save_delta, bench_recover);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches: section codecs on parameter-shaped payloads
+//! (behind experiment R-T3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use qcheck::compress::{f64s_to_bytes, Compression};
+
+fn payloads() -> Vec<(&'static str, Vec<u8>)> {
+    let noise: Vec<f64> = (0..16_384)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as f64) / u64::MAX as f64)
+        .collect();
+    let clustered: Vec<f64> = (0..16_384).map(|i| 0.6 + 1e-12 * (i as f64).sin()).collect();
+    let zeros = vec![0.0f64; 16_384];
+    vec![
+        ("noise", f64s_to_bytes(&noise)),
+        ("clustered", f64s_to_bytes(&clustered)),
+        ("zeros", f64s_to_bytes(&zeros)),
+    ]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for (name, data) in payloads() {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        for codec in Compression::all() {
+            group.bench_with_input(
+                BenchmarkId::new(codec.to_string(), name),
+                &data,
+                |b, d| b.iter(|| codec.compress(d)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    for (name, data) in payloads() {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        for codec in Compression::all() {
+            let compressed = codec.compress(&data);
+            group.bench_with_input(
+                BenchmarkId::new(codec.to_string(), name),
+                &compressed,
+                |b, d| b.iter(|| codec.decompress(d).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

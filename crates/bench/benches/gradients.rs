@@ -1,0 +1,63 @@
+//! Criterion benches: one full training step under each gradient method —
+//! the unit of useful work whose cost every checkpoint policy weighs
+//! against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qcheck::snapshot::Checkpointable;
+use qnn::ansatz::{hardware_efficient, init_params};
+use qnn::optimizer::Adam;
+use qnn::trainer::{Task, Trainer, TrainerConfig};
+use qnn::GradientMethod;
+use qsim::measure::EvalMode;
+use qsim::pauli::PauliSum;
+use qsim::rng::Xoshiro256;
+
+fn trainer_with(gradient: GradientMethod) -> Trainer {
+    let (circuit, info) = hardware_efficient(6, 2);
+    let mut rng = Xoshiro256::seed_from(3);
+    let params = init_params(info.num_params, &mut rng);
+    Trainer::new(
+        circuit,
+        Task::Vqe {
+            hamiltonian: PauliSum::transverse_ising(6, 1.0, 0.8),
+        },
+        Box::new(Adam::new(0.05)),
+        params,
+        TrainerConfig {
+            label: "bench".into(),
+            eval_mode: EvalMode::Exact,
+            gradient,
+            seed: 3,
+            metrics_capacity: 16,
+        },
+    )
+    .unwrap()
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    for (name, method) in [
+        ("parameter_shift", GradientMethod::ParameterShift),
+        ("finite_diff", GradientMethod::FiniteDiff { eps: 1e-5 }),
+        ("spsa", GradientMethod::Spsa { c: 0.1 }),
+    ] {
+        let mut t = trainer_with(method);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| t.train_step().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut t = trainer_with(GradientMethod::Spsa { c: 0.1 });
+    for _ in 0..5 {
+        t.train_step().unwrap();
+    }
+    c.bench_function("trainer_capture", |b| b.iter(|| t.capture()));
+}
+
+criterion_group!(benches, bench_train_step, bench_capture);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benches: the in-repo SHA-256 and CRC32 (every chunk write and
+//! manifest frame pays these).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use qcheck::hash::{crc32, Sha256};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 4096, 65536, 1 << 20] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| Sha256::digest(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc32");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xCDu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| crc32(d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_crc32);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches: the quantum-simulator substrate (circuit execution
+//! and shot sampling dominate training-step cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qnn::ansatz::hardware_efficient;
+use qsim::measure::{evaluate_observable, EvalMode};
+use qsim::pauli::PauliSum;
+use qsim::rng::Xoshiro256;
+use qsim::state::StateVector;
+
+fn bench_circuit_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_run");
+    for n in [4usize, 8, 12, 16] {
+        let (circuit, info) = hardware_efficient(n, 4);
+        let params: Vec<f64> = (0..info.num_params).map(|i| 0.1 * i as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| circuit.run(&params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_kernel");
+    for n in [10usize, 16, 20] {
+        let mut state = StateVector::zero_state(n);
+        let h = qsim::gate::Gate::H.matrix2();
+        group.bench_with_input(BenchmarkId::new("h_single", n), &n, |b, _| {
+            b.iter(|| state.apply_matrix2(&h, n / 2))
+        });
+        let cx = qsim::gate::Gate::Cx.matrix4();
+        group.bench_with_input(BenchmarkId::new("cx_pair", n), &n, |b, _| {
+            b.iter(|| state.apply_matrix4(&cx, 0, n - 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shot_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shot_sampling");
+    let (circuit, info) = hardware_efficient(8, 3);
+    let params: Vec<f64> = (0..info.num_params).map(|i| 0.2 * i as f64).collect();
+    let state = circuit.run(&params).unwrap();
+    let h = PauliSum::transverse_ising(8, 1.0, 0.8);
+    for shots in [128u32, 1024, 8192] {
+        group.bench_with_input(BenchmarkId::from_parameter(shots), &shots, |b, &s| {
+            let mut rng = Xoshiro256::seed_from(1);
+            b.iter(|| evaluate_observable(&state, &h, EvalMode::Shots(s), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit_run, bench_gate_kernels, bench_shot_sampling);
+criterion_main!(benches);

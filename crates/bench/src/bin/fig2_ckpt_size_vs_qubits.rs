@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment `fig2` — see DESIGN.md §3.
+fn main() {
+    qcheck_bench::experiments::fig2::run().print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment `fig7` — see DESIGN.md §3.
+fn main() {
+    qcheck_bench::experiments::fig7::run().print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment `fig8` — see DESIGN.md §3.
+fn main() {
+    qcheck_bench::experiments::fig8::run().print();
+}

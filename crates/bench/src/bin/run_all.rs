@@ -1,0 +1,7 @@
+//! Runs the complete reconstructed evaluation in index order.
+fn main() {
+    for table in qcheck_bench::experiments::run_all() {
+        table.print();
+        println!();
+    }
+}

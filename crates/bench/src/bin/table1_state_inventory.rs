@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment `table1` — see DESIGN.md §3.
+fn main() {
+    qcheck_bench::experiments::table1::run().print();
+}

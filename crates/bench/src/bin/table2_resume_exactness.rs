@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment `table2` — see DESIGN.md §3.
+fn main() {
+    qcheck_bench::experiments::table2::run().print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment `table3` — see DESIGN.md §3.
+fn main() {
+    qcheck_bench::experiments::table3::run().print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for experiment `table4` — see DESIGN.md §3.
+fn main() {
+    qcheck_bench::experiments::table4::run().print();
+}

@@ -1,0 +1,129 @@
+//! R-F3 — Checkpoint overhead vs interval, with the Young–Daly optimum.
+//!
+//! The checkpoint write cost `C` is *measured* on the real `qcheck` stack
+//! (median of repeated commits of a real training snapshot); the overhead
+//! curve is then produced both from the first-order analytic model and from
+//! the `qhw` simulation, sweeping the interval through the Young–Daly
+//! optimum `τ* = √(2·C·MTBF)`.
+
+use qcheck::policy::math;
+use qcheck::repo::{CheckpointRepo, SaveOptions};
+use qcheck::snapshot::Checkpointable;
+use qhw::client::{mean_outcome, CheckpointStrategy, Environment, JobSpec};
+use qhw::event::{HOUR, MINUTE, SECOND};
+use qhw::queue::WaitModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{quick_mode, scratch_dir, Table};
+use crate::workloads::{median_ms, time_ms, vqe_tfim_trainer_spsa};
+
+/// Measures the real cost (ms) of committing one full snapshot.
+pub fn measured_checkpoint_cost_ms() -> f64 {
+    let dir = scratch_dir("fig3-cost");
+    let repo = CheckpointRepo::open(&dir).expect("repo");
+    let mut trainer =
+        vqe_tfim_trainer_spsa(10, 4, 3, qsim::measure::EvalMode::Shots(128));
+    for _ in 0..3 {
+        trainer.train_step().expect("step");
+    }
+    let snap = trainer.capture();
+    let reps = if quick_mode() { 5 } else { 15 };
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let (r, ms) = time_ms(|| repo.save(&snap, &SaveOptions::default()));
+            r.expect("save");
+            ms
+        })
+        .collect();
+    let cost = median_ms(&mut samples);
+    let _ = std::fs::remove_dir_all(dir);
+    cost
+}
+
+/// Runs the experiment and returns the rendered table.
+pub fn run() -> Table {
+    let cost_ms = measured_checkpoint_cost_ms();
+    // Scale the measured cost into the simulated regime: the simulated
+    // "checkpoint" also covers shipping state off-node; use max(measured,
+    // 0.5 s) so the sweep has a visible left wall.
+    let write_cost = ((cost_ms * 1000.0) as u64).max(SECOND / 2);
+    let mtbf = 2 * HOUR;
+    let spec = JobSpec {
+        total_steps: 2000,
+        step_cost: 15 * SECOND,
+    };
+    let env = Environment {
+        queue: WaitModel::Constant { wait: 5 * MINUTE },
+        mtbf: Some(mtbf),
+        session_ttl: None,
+        device: None,
+    };
+    let restore = 5 * SECOND;
+    let tau_star = math::young_daly_interval(write_cost as f64, mtbf as f64);
+    let opt_steps = (tau_star / spec.step_cost as f64).round().max(1.0) as u64;
+
+    let multipliers: Vec<f64> = if quick_mode() {
+        vec![0.25, 1.0, 4.0]
+    } else {
+        vec![0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+    };
+    let trials = if quick_mode() { 8 } else { 40 };
+
+    let ideal = (spec.total_steps * spec.step_cost + 5 * MINUTE) as f64;
+    let mut table = Table::new(
+        format!(
+            "R-F3  overhead vs checkpoint interval (C={:.1} ms measured → {} µs sim; MTBF=2 h; τ*={} steps)",
+            cost_ms, write_cost, opt_steps
+        ),
+        &["interval-steps", "tau/tau*", "model-overhead-%", "sim-overhead-%"],
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    for m in multipliers {
+        let interval = ((opt_steps as f64 * m).round() as u64).max(1);
+        let tau = (interval * spec.step_cost) as f64;
+        let model = math::expected_overhead_fraction(
+            tau,
+            write_cost as f64,
+            (5 * MINUTE + restore) as f64,
+            mtbf as f64,
+        );
+        let strategy = CheckpointStrategy::periodic(interval, write_cost, restore);
+        let (makespan, _, aborts) = mean_outcome(&spec, &strategy, &env, trials, &mut rng);
+        assert_eq!(aborts, 0, "aborted runs in sweep");
+        let sim = makespan / ideal - 1.0;
+        table.row(vec![
+            interval.to_string(),
+            format!("{m:.3}"),
+            format!("{:.2}", model * 100.0),
+            format!("{:.2}", sim * 100.0),
+        ]);
+    }
+    table.note("the curve is U-shaped: tiny intervals pay write overhead, huge intervals pay rework; the minimum sits near tau/tau* = 1");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_cost_is_positive_and_finite() {
+        std::env::set_var("QCHECK_BENCH_QUICK", "1");
+        let c = measured_checkpoint_cost_ms();
+        assert!(c > 0.0 && c < 60_000.0, "cost {c} ms");
+    }
+
+    #[test]
+    fn sweep_produces_u_shape_data() {
+        std::env::set_var("QCHECK_BENCH_QUICK", "1");
+        let t = run();
+        assert!(t.rows.len() >= 3);
+        // Model overhead at the extremes must exceed the middle row.
+        let parse = |r: &Vec<String>| -> f64 { r[2].parse().unwrap() };
+        let first = parse(&t.rows[0]);
+        let mid = parse(&t.rows[1]);
+        let last = parse(&t.rows[t.rows.len() - 1]);
+        assert!(first > mid && last > mid, "{first} {mid} {last}");
+    }
+}

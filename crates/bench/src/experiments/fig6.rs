@@ -1,0 +1,99 @@
+//! R-F6 — Recovery latency vs delta-chain length.
+//!
+//! Resolving a delta checkpoint walks its chain back to the last full
+//! checkpoint, fetching and verifying every layer. Latency grows linearly
+//! with chain length; `compact_latest` rewrites the chain into a full
+//! checkpoint and caps it.
+
+use qcheck::repo::{CheckpointRepo, SaveOptions};
+use qcheck::snapshot::Checkpointable;
+use qsim::measure::EvalMode;
+
+use crate::report::{quick_mode, scratch_dir, Table};
+use crate::workloads::{median_ms, time_ms, vqe_tfim_trainer};
+
+/// Runs the experiment and returns the rendered table.
+pub fn run() -> Table {
+    let chain_lengths: Vec<u32> = if quick_mode() {
+        vec![0, 4, 8]
+    } else {
+        vec![0, 1, 2, 4, 8, 16, 32, 64]
+    };
+    let reps = if quick_mode() { 3 } else { 9 };
+    let mut table = Table::new(
+        "R-F6  recovery latency vs delta-chain length (6q/3l snapshot stream)",
+        &["chain-len", "recover-ms", "post-compaction-ms", "stored-bytes-chain"],
+    );
+    for &target_len in &chain_lengths {
+        let dir = scratch_dir("fig6");
+        let repo = CheckpointRepo::open(&dir).expect("repo");
+        let mut trainer = vqe_tfim_trainer(6, 3, 13, EvalMode::Exact, 0.05);
+        // Unbounded chain growth up to the target.
+        let opts = SaveOptions::incremental(u32::MAX);
+        for _ in 0..=target_len {
+            trainer.train_step().expect("step");
+            repo.save(&trainer.capture(), &opts).expect("save");
+        }
+        let latest = repo.read_latest().expect("latest").expect("pointer");
+        let manifest = repo.load_manifest(&latest).expect("manifest");
+        assert_eq!(manifest.chain_len, target_len, "chain construction");
+
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                let (r, ms) = time_ms(|| repo.recover());
+                r.expect("recover");
+                ms
+            })
+            .collect();
+        let recover_ms = median_ms(&mut samples);
+        let chain_bytes = repo.store().total_bytes().expect("store size");
+
+        // Compact, then re-measure.
+        repo.compact_latest(&opts).expect("compact");
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                let (r, ms) = time_ms(|| repo.recover());
+                r.expect("recover");
+                ms
+            })
+            .collect();
+        let compacted_ms = median_ms(&mut samples);
+
+        table.row(vec![
+            target_len.to_string(),
+            format!("{recover_ms:.2}"),
+            format!("{compacted_ms:.2}"),
+            chain_bytes.to_string(),
+        ]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    table.note("recovery walks the whole chain (fetch + decompress + patch + hash-verify per layer): latency is linear in chain length");
+    table.note("compaction rewrites the tip as a full checkpoint; recovery afterwards is flat regardless of history");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_chain_and_compaction_caps_it() {
+        std::env::set_var("QCHECK_BENCH_QUICK", "1");
+        let t = run();
+        assert!(t.rows.len() >= 3);
+        let recover: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let compacted: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        // Longest chain should take longer to recover than chain 0, and
+        // compaction should bring it back near the chain-0 cost.
+        let longest = *recover.last().unwrap();
+        assert!(
+            longest >= recover[0],
+            "chain recovery {longest} vs base {}",
+            recover[0]
+        );
+        assert!(
+            compacted.last().unwrap() <= &(longest.max(0.5) * 2.0),
+            "compaction did not cap latency"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared workload builders for the experiment harness.
+
+use qnn::ansatz::{hardware_efficient, init_params};
+use qnn::optimizer::Adam;
+use qnn::trainer::{Task, Trainer, TrainerConfig};
+use qnn::GradientMethod;
+use qsim::measure::EvalMode;
+use qsim::pauli::PauliSum;
+use qsim::rng::Xoshiro256;
+
+/// A VQE workload on the transverse-field Ising chain — the evaluation's
+/// reference training job.
+pub fn vqe_tfim_trainer(
+    num_qubits: usize,
+    layers: usize,
+    seed: u64,
+    eval_mode: EvalMode,
+    learning_rate: f64,
+) -> Trainer {
+    let (circuit, info) = hardware_efficient(num_qubits, layers);
+    let mut rng = Xoshiro256::seed_from(seed);
+    let params = init_params(info.num_params, &mut rng);
+    Trainer::new(
+        circuit,
+        Task::Vqe {
+            hamiltonian: PauliSum::transverse_ising(num_qubits, 1.0, 0.8),
+        },
+        Box::new(Adam::new(learning_rate)),
+        params,
+        TrainerConfig {
+            label: format!("vqe-tfim-{num_qubits}q-{layers}l"),
+            eval_mode,
+            gradient: GradientMethod::ParameterShift,
+            seed,
+            metrics_capacity: 128,
+        },
+    )
+    .expect("workload construction")
+}
+
+/// The same VQE workload trained with plain SGD. Relevant wherever delta
+/// compressibility is measured: SGD's update magnitudes shrink with the
+/// gradient as training converges (XOR deltas collapse), while Adam's
+/// normalized steps stay at learning-rate scale forever.
+pub fn vqe_tfim_trainer_sgd(
+    num_qubits: usize,
+    layers: usize,
+    seed: u64,
+    eval_mode: EvalMode,
+    learning_rate: f64,
+) -> Trainer {
+    let (circuit, info) = hardware_efficient(num_qubits, layers);
+    let mut rng = Xoshiro256::seed_from(seed);
+    let params = init_params(info.num_params, &mut rng);
+    Trainer::new(
+        circuit,
+        Task::Vqe {
+            hamiltonian: PauliSum::transverse_ising(num_qubits, 1.0, 0.8),
+        },
+        Box::new(qnn::optimizer::Sgd::new(learning_rate)),
+        params,
+        TrainerConfig {
+            label: format!("vqe-tfim-sgd-{num_qubits}q-{layers}l"),
+            eval_mode,
+            gradient: GradientMethod::ParameterShift,
+            seed,
+            metrics_capacity: 128,
+        },
+    )
+    .expect("workload construction")
+}
+
+/// Same workload but with the cheap SPSA gradient (used where many steps are
+/// needed and gradient quality is irrelevant).
+pub fn vqe_tfim_trainer_spsa(
+    num_qubits: usize,
+    layers: usize,
+    seed: u64,
+    eval_mode: EvalMode,
+) -> Trainer {
+    let (circuit, info) = hardware_efficient(num_qubits, layers);
+    let mut rng = Xoshiro256::seed_from(seed);
+    let params = init_params(info.num_params, &mut rng);
+    Trainer::new(
+        circuit,
+        Task::Vqe {
+            hamiltonian: PauliSum::transverse_ising(num_qubits, 1.0, 0.8),
+        },
+        Box::new(Adam::new(0.05)),
+        params,
+        TrainerConfig {
+            label: format!("vqe-tfim-spsa-{num_qubits}q-{layers}l"),
+            eval_mode,
+            gradient: GradientMethod::Spsa { c: 0.1 },
+            seed,
+            metrics_capacity: 128,
+        },
+    )
+    .expect("workload construction")
+}
+
+/// Median of timing samples in milliseconds.
+pub fn median_ms(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "no samples");
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times a closure in milliseconds.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcheck::snapshot::Checkpointable;
+
+    #[test]
+    fn workload_builders_produce_runnable_trainers() {
+        let mut t = vqe_tfim_trainer(3, 1, 1, EvalMode::Exact, 0.05);
+        t.train_step().unwrap();
+        assert_eq!(t.step_count(), 1);
+        let snap = t.capture();
+        assert!(snap.label.contains("vqe-tfim-3q-1l"));
+
+        let mut s = vqe_tfim_trainer_spsa(3, 1, 1, EvalMode::Shots(16));
+        s.train_step().unwrap();
+        assert!(s.ledger().total_shots() > 0);
+    }
+
+    #[test]
+    fn median_and_timing() {
+        let mut xs = [3.0, 1.0, 2.0];
+        assert_eq!(median_ms(&mut xs), 2.0);
+        let ((), ms) = time_ms(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        assert!(ms >= 1.0);
+    }
+}

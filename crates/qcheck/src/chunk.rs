@@ -1,0 +1,146 @@
+//! Fixed-size chunking of section payloads.
+//!
+//! Section byte streams are split into fixed-size chunks (default 4 KiB)
+//! which are stored content-addressed in the [`crate::store::ChunkStore`].
+//! Identical chunks across checkpoints — the unchanged prefix of a parameter
+//! vector, a shared dataset blob across a hyperparameter sweep — are stored
+//! once (experiment R-F7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{ContentHash, Sha256};
+
+/// Default chunk size: 4 KiB.
+pub const DEFAULT_CHUNK_SIZE: usize = 4096;
+
+/// A reference to one stored chunk: its content address and exact length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkRef {
+    /// SHA-256 of the chunk contents.
+    pub hash: ContentHash,
+    /// Length in bytes (≤ the chunk size used when writing).
+    pub len: u32,
+}
+
+/// Splits `data` into `chunk_size`-byte chunks and returns `(refs, chunks)`.
+///
+/// The last chunk may be shorter. Empty input produces no chunks.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn chunk_bytes(data: &[u8], chunk_size: usize) -> (Vec<ChunkRef>, Vec<&[u8]>) {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let mut refs = Vec::with_capacity(data.len() / chunk_size + 1);
+    let mut slices = Vec::with_capacity(refs.capacity());
+    for chunk in data.chunks(chunk_size) {
+        refs.push(ChunkRef {
+            hash: Sha256::digest(chunk),
+            len: chunk.len() as u32,
+        });
+        slices.push(chunk);
+    }
+    (refs, slices)
+}
+
+/// Total byte length referenced by a chunk list.
+pub fn total_len(refs: &[ChunkRef]) -> u64 {
+    refs.iter().map(|r| r.len as u64).sum()
+}
+
+/// Reassembles chunk payloads into the original byte stream.
+///
+/// The caller supplies chunk contents in order (as fetched from the store);
+/// lengths are validated against the refs.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch.
+pub fn reassemble(refs: &[ChunkRef], chunks: &[Vec<u8>]) -> Result<Vec<u8>, String> {
+    if refs.len() != chunks.len() {
+        return Err(format!(
+            "chunk count mismatch: {} refs, {} payloads",
+            refs.len(),
+            chunks.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(total_len(refs) as usize);
+    for (i, (r, c)) in refs.iter().zip(chunks).enumerate() {
+        if c.len() != r.len as usize {
+            return Err(format!(
+                "chunk {i} length mismatch: expected {}, got {}",
+                r.len,
+                c.len()
+            ));
+        }
+        let h = Sha256::digest(c);
+        if h != r.hash {
+            return Err(format!("chunk {i} hash mismatch"));
+        }
+        out.extend_from_slice(c);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_covers_input_exactly() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        let (refs, slices) = chunk_bytes(&data, 4096);
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0].len, 4096);
+        assert_eq!(refs[2].len, 10_000 - 8192);
+        assert_eq!(total_len(&refs), 10_000);
+        let owned: Vec<Vec<u8>> = slices.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(reassemble(&refs, &owned).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input_no_chunks() {
+        let (refs, slices) = chunk_bytes(&[], 4096);
+        assert!(refs.is_empty());
+        assert!(slices.is_empty());
+        assert_eq!(reassemble(&refs, &[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn identical_blocks_share_hashes() {
+        let mut data = vec![7u8; 8192];
+        data.extend_from_slice(&[1, 2, 3]);
+        let (refs, _) = chunk_bytes(&data, 4096);
+        assert_eq!(refs[0].hash, refs[1].hash);
+        assert_ne!(refs[0].hash, refs[2].hash);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_short_tail() {
+        let data = vec![9u8; 8192];
+        let (refs, _) = chunk_bytes(&data, 4096);
+        assert_eq!(refs.len(), 2);
+        assert!(refs.iter().all(|r| r.len == 4096));
+    }
+
+    #[test]
+    fn reassemble_detects_tampering() {
+        let data = vec![5u8; 5000];
+        let (refs, slices) = chunk_bytes(&data, 4096);
+        let mut owned: Vec<Vec<u8>> = slices.iter().map(|s| s.to_vec()).collect();
+        owned[1][0] ^= 0xFF;
+        assert!(reassemble(&refs, &owned).unwrap_err().contains("hash mismatch"));
+
+        let mut short = slices.iter().map(|s| s.to_vec()).collect::<Vec<_>>();
+        short[0].pop();
+        assert!(reassemble(&refs, &short).unwrap_err().contains("length mismatch"));
+
+        assert!(reassemble(&refs, &owned[..1].to_vec()).unwrap_err().contains("count mismatch"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_panics() {
+        chunk_bytes(&[1], 0);
+    }
+}

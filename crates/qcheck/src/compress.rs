@@ -1,0 +1,557 @@
+//! Section compression codecs.
+//!
+//! Three codecs are implemented, all in-repo:
+//!
+//! * [`Compression::None`] — identity.
+//! * [`Compression::Rle`] — byte-level run-length encoding; wins on
+//!   low-entropy sections (zeroed optimizer moments at step 0, padding).
+//! * [`Compression::XorF64`] — Gorilla-style: interpret the payload as a
+//!   stream of little-endian f64 words, XOR each with its predecessor and
+//!   emit only the non-zero middle bytes. Adjacent parameters (and a
+//!   parameter vs its value one step ago, via delta checkpoints) share sign,
+//!   exponent and leading mantissa bits late in training, so the XOR stream
+//!   is sparse — this is the codec behind experiment R-T3.
+//!
+//! Every codec is self-framing and validates on decompression.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Compression codec identifier, recorded per-section in the manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Compression {
+    /// Identity codec.
+    None,
+    /// Byte-level run-length encoding.
+    Rle,
+    /// XOR-of-consecutive-f64 with zero-byte elision.
+    XorF64,
+    /// Zero-byte elision on raw 8-byte words (no predecessor XOR). The
+    /// codec for XOR-against-base delta payloads, whose words are already
+    /// sparse: only the bytes that differ from the base survive the XOR.
+    ZeroElideF64,
+}
+
+impl Compression {
+    /// Stable numeric tag used in the on-disk format.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Compression::None => 0,
+            Compression::Rle => 1,
+            Compression::XorF64 => 2,
+            Compression::ZeroElideF64 => 3,
+        }
+    }
+
+    /// Parses a numeric tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error on unknown tags.
+    pub fn from_tag(tag: u8) -> Result<Self> {
+        match tag {
+            0 => Ok(Compression::None),
+            1 => Ok(Compression::Rle),
+            2 => Ok(Compression::XorF64),
+            3 => Ok(Compression::ZeroElideF64),
+            other => Err(Error::Decode {
+                what: "compression tag".into(),
+                offset: 0,
+                detail: format!("unknown codec tag {other}"),
+            }),
+        }
+    }
+
+    /// Compresses `data` with this codec.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        match self {
+            Compression::None => data.to_vec(),
+            Compression::Rle => rle_compress(data),
+            Compression::XorF64 => word_compress(data, true),
+            Compression::ZeroElideF64 => word_compress(data, false),
+        }
+    }
+
+    /// Decompresses a payload produced by [`Compression::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error on malformed input.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>> {
+        match self {
+            Compression::None => Ok(data.to_vec()),
+            Compression::Rle => rle_decompress(data),
+            Compression::XorF64 => word_decompress(data, true),
+            Compression::ZeroElideF64 => word_decompress(data, false),
+        }
+    }
+
+    /// All codecs, for sweep experiments.
+    pub fn all() -> [Compression; 4] {
+        [
+            Compression::None,
+            Compression::Rle,
+            Compression::XorF64,
+            Compression::ZeroElideF64,
+        ]
+    }
+}
+
+impl std::fmt::Display for Compression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Compression::None => write!(f, "none"),
+            Compression::Rle => write!(f, "rle"),
+            Compression::XorF64 => write!(f, "xor-f64"),
+            Compression::ZeroElideF64 => write!(f, "zero-elide-f64"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RLE
+// ---------------------------------------------------------------------------
+
+/// Byte-level RLE with a two-mode framing:
+/// `[0x00, count, byte]` encodes a run of `count` (1–255) equal bytes;
+/// `[0x01, count, b0..bn]` encodes a literal span of `count` bytes.
+/// Input length is prefixed as LEB128 for validation.
+fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // varint length prefix
+    let mut v = data.len() as u64;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+    let mut i = 0usize;
+    let mut literal: Vec<u8> = Vec::new();
+    let flush_literal = |out: &mut Vec<u8>, lit: &mut Vec<u8>| {
+        for chunk in lit.chunks(255) {
+            out.push(0x01);
+            out.push(chunk.len() as u8);
+            out.extend_from_slice(chunk);
+        }
+        lit.clear();
+    };
+    while i < data.len() {
+        // Measure the run starting at i.
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < 255 {
+            run += 1;
+        }
+        if run >= 4 {
+            flush_literal(&mut out, &mut literal);
+            out.push(0x00);
+            out.push(run as u8);
+            out.push(b);
+            i += run;
+        } else {
+            literal.extend_from_slice(&data[i..i + run]);
+            i += run;
+        }
+    }
+    flush_literal(&mut out, &mut literal);
+    out
+}
+
+fn rle_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let fail = |offset: usize, detail: &str| Error::Decode {
+        what: "rle payload".into(),
+        offset,
+        detail: detail.into(),
+    };
+    let mut pos = 0usize;
+    // varint length
+    let mut expected = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(pos).ok_or_else(|| fail(pos, "truncated length"))?;
+        pos += 1;
+        if shift >= 64 {
+            return Err(fail(pos, "length varint overflow"));
+        }
+        expected |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    let expected = expected as usize;
+    let mut out = Vec::with_capacity(expected);
+    while pos < data.len() {
+        let mode = data[pos];
+        pos += 1;
+        match mode {
+            0x00 => {
+                let count = *data.get(pos).ok_or_else(|| fail(pos, "truncated run count"))? as usize;
+                let byte = *data.get(pos + 1).ok_or_else(|| fail(pos, "truncated run byte"))?;
+                pos += 2;
+                if count == 0 {
+                    return Err(fail(pos, "zero-length run"));
+                }
+                out.resize(out.len() + count, byte);
+            }
+            0x01 => {
+                let count = *data.get(pos).ok_or_else(|| fail(pos, "truncated literal count"))? as usize;
+                pos += 1;
+                if count == 0 {
+                    return Err(fail(pos, "zero-length literal"));
+                }
+                if pos + count > data.len() {
+                    return Err(fail(pos, "truncated literal bytes"));
+                }
+                out.extend_from_slice(&data[pos..pos + count]);
+                pos += count;
+            }
+            other => return Err(fail(pos, &format!("unknown rle mode byte {other:#x}"))),
+        }
+        if out.len() > expected {
+            return Err(fail(pos, "output exceeds declared length"));
+        }
+    }
+    if out.len() != expected {
+        return Err(fail(
+            pos,
+            &format!("declared {expected} bytes, produced {}", out.len()),
+        ));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// XOR-f64
+// ---------------------------------------------------------------------------
+
+/// Word-codec framing (shared by `XorF64` and `ZeroElideF64`):
+/// `varint(total_len)` then, per 8-byte word: a control byte
+/// `(lead_zero_bytes << 4) | meaningful_byte_count`, followed by the
+/// meaningful bytes of the coded word (`word_i XOR word_{i-1}` when
+/// `predecessor_xor` is set, the raw word otherwise — bytes taken
+/// little-endian from the first non-zero to the last non-zero). A fully
+/// zero coded word emits the single control byte `0x00`. Trailing bytes
+/// that do not fill a word are stored raw.
+fn word_compress(data: &[u8], predecessor_xor: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut v = data.len() as u64;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+    let words = data.len() / 8;
+    let mut prev = 0u64;
+    for w in 0..words {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&data[w * 8..w * 8 + 8]);
+        let cur = u64::from_le_bytes(b);
+        let xor = if predecessor_xor { cur ^ prev } else { cur };
+        prev = cur;
+        if xor == 0 {
+            out.push(0x00);
+            continue;
+        }
+        let xb = xor.to_le_bytes();
+        let first = xb.iter().position(|&x| x != 0).expect("nonzero");
+        let last = xb.iter().rposition(|&x| x != 0).expect("nonzero");
+        let count = last - first + 1;
+        out.push(((first as u8) << 4) | count as u8);
+        out.extend_from_slice(&xb[first..=last]);
+    }
+    // Trailing partial word, raw.
+    out.extend_from_slice(&data[words * 8..]);
+    out
+}
+
+fn word_decompress(data: &[u8], predecessor_xor: bool) -> Result<Vec<u8>> {
+    let fail = |offset: usize, detail: &str| Error::Decode {
+        what: "word-codec payload".into(),
+        offset,
+        detail: detail.into(),
+    };
+    let mut pos = 0usize;
+    let mut expected = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(pos).ok_or_else(|| fail(pos, "truncated length"))?;
+        pos += 1;
+        if shift >= 64 {
+            return Err(fail(pos, "length varint overflow"));
+        }
+        expected |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    let expected = expected as usize;
+    let words = expected / 8;
+    let tail = expected % 8;
+    let mut out = Vec::with_capacity(expected);
+    let mut prev = 0u64;
+    for w in 0..words {
+        let ctrl = *data
+            .get(pos)
+            .ok_or_else(|| fail(pos, &format!("truncated control byte for word {w}")))?;
+        pos += 1;
+        let base = if predecessor_xor { prev } else { 0 };
+        let cur = if ctrl == 0 {
+            base
+        } else {
+            let first = (ctrl >> 4) as usize;
+            let count = (ctrl & 0x0f) as usize;
+            if count == 0 || first + count > 8 {
+                return Err(fail(pos, &format!("invalid control byte {ctrl:#x}")));
+            }
+            if pos + count > data.len() {
+                return Err(fail(pos, "truncated coded bytes"));
+            }
+            let mut xb = [0u8; 8];
+            xb[first..first + count].copy_from_slice(&data[pos..pos + count]);
+            pos += count;
+            base ^ u64::from_le_bytes(xb)
+        };
+        prev = cur;
+        out.extend_from_slice(&cur.to_le_bytes());
+    }
+    if pos + tail != data.len() {
+        return Err(fail(
+            pos,
+            &format!("expected {tail} trailing bytes, found {}", data.len() - pos),
+        ));
+    }
+    out.extend_from_slice(&data[pos..]);
+    Ok(out)
+}
+
+/// Compression outcome statistics, for the evaluation tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompressionStats {
+    /// Input size in bytes.
+    pub raw_bytes: usize,
+    /// Output size in bytes.
+    pub compressed_bytes: usize,
+}
+
+impl CompressionStats {
+    /// Measures a codec on a payload (round-trip validated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round trip fails — that is a codec bug, not an input
+    /// condition.
+    pub fn measure(codec: Compression, data: &[u8]) -> CompressionStats {
+        let compressed = codec.compress(data);
+        let back = codec.decompress(&compressed).expect("codec round trip");
+        assert_eq!(back, data, "codec round trip mismatch");
+        CompressionStats {
+            raw_bytes: data.len(),
+            compressed_bytes: compressed.len(),
+        }
+    }
+
+    /// `raw / compressed`; >1 means the codec saved space.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.compressed_bytes as f64
+    }
+}
+
+/// Packs a f64 slice into little-endian bytes (helper for callers measuring
+/// parameter-stream compression).
+pub fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Unpacks little-endian bytes into f64s.
+///
+/// # Errors
+///
+/// Fails when the byte count is not a multiple of 8.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
+    if bytes.len() % 8 != 0 {
+        return Err(Error::Decode {
+            what: "f64 byte stream".into(),
+            offset: bytes.len(),
+            detail: format!("length {} not a multiple of 8", bytes.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 8);
+    for w in bytes.chunks_exact(8) {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(w);
+        out.push(f64::from_bits(u64::from_le_bytes(b)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(codec: Compression, data: &[u8]) {
+        let c = codec.compress(data);
+        let d = codec.decompress(&c).unwrap();
+        assert_eq!(d, data, "{codec} failed on {} bytes", data.len());
+    }
+
+    #[test]
+    fn all_codecs_round_trip_edge_cases() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],
+            vec![1, 2, 3],
+            vec![0; 1000],
+            vec![0xFF; 257],
+            (0..=255u8).collect(),
+            (0..2048u32).map(|i| (i * 31 % 251) as u8).collect(),
+            vec![7; 3],
+        ];
+        for codec in Compression::all() {
+            for case in &cases {
+                round_trip(codec, case);
+            }
+        }
+    }
+
+    #[test]
+    fn rle_compresses_runs() {
+        let data = vec![0u8; 4096];
+        let c = Compression::Rle.compress(&data);
+        assert!(c.len() < 100, "rle on zeros: {} bytes", c.len());
+    }
+
+    #[test]
+    fn rle_handles_incompressible_data() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        round_trip(Compression::Rle, &data);
+        // Overhead stays bounded (≤ ~1 byte per 255-byte literal + header).
+        let c = Compression::Rle.compress(&data);
+        assert!(c.len() < data.len() + data.len() / 64 + 16);
+    }
+
+    #[test]
+    fn xor_f64_wins_on_slowly_varying_parameters() {
+        // A parameter vector late in training: values clustered, tiny updates
+        // (neighbours agree on sign, exponent and the top mantissa bytes).
+        // Centre at 0.6, not 0.5: straddling a power of two flips the
+        // exponent bits and defeats XOR locality.
+        let params: Vec<f64> = (0..512)
+            .map(|i| 0.6 + 1e-13 * (i as f64).sin())
+            .collect();
+        let bytes = f64s_to_bytes(&params);
+        let xor = Compression::XorF64.compress(&bytes);
+        assert!(
+            xor.len() < bytes.len() / 2,
+            "xor-f64 {} vs raw {}",
+            xor.len(),
+            bytes.len()
+        );
+        round_trip(Compression::XorF64, &bytes);
+    }
+
+    #[test]
+    fn xor_f64_on_identical_values_is_tiny() {
+        let params = vec![0.123456789f64; 1024];
+        let bytes = f64s_to_bytes(&params);
+        let xor = Compression::XorF64.compress(&bytes);
+        // First word costs ≤ 9 bytes, every repeat costs 1 control byte.
+        assert!(xor.len() <= 16 + 1024, "{}", xor.len());
+        round_trip(Compression::XorF64, &bytes);
+    }
+
+    #[test]
+    fn xor_f64_handles_non_word_tail() {
+        let mut bytes = f64s_to_bytes(&[1.0, 2.0, 3.0]);
+        bytes.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        round_trip(Compression::XorF64, &bytes);
+    }
+
+    #[test]
+    fn xor_f64_preserves_nan_and_inf_bits() {
+        let xs = vec![
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef),
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+        ];
+        let bytes = f64s_to_bytes(&xs);
+        let c = Compression::XorF64.compress(&bytes);
+        let d = Compression::XorF64.decompress(&c).unwrap();
+        assert_eq!(d, bytes);
+    }
+
+    #[test]
+    fn corrupted_payloads_are_rejected_not_garbage() {
+        let data: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        for codec in [Compression::Rle, Compression::XorF64] {
+            let mut c = codec.compress(&data);
+            // Truncate.
+            c.truncate(c.len() / 2);
+            match codec.decompress(&c) {
+                Err(e) => assert!(e.is_integrity_failure(), "{codec}"),
+                Ok(d) => assert_ne!(d, data, "{codec} silently accepted truncation"),
+            }
+        }
+    }
+
+    #[test]
+    fn rle_rejects_bad_mode_byte() {
+        let mut c = Compression::Rle.compress(&[1, 2, 3, 4, 5]);
+        // Find a mode byte (first byte after the varint length) and break it.
+        c[1] = 0x7E;
+        assert!(Compression::Rle.decompress(&c).is_err());
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for codec in Compression::all() {
+            assert_eq!(Compression::from_tag(codec.tag()).unwrap(), codec);
+        }
+        assert!(Compression::from_tag(200).is_err());
+    }
+
+    #[test]
+    fn stats_ratio() {
+        let zeros = vec![0u8; 8192];
+        let s = CompressionStats::measure(Compression::Rle, &zeros);
+        assert!(s.ratio() > 50.0);
+        let s = CompressionStats::measure(Compression::None, &zeros);
+        assert!((s.ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f64_byte_helpers() {
+        let xs = vec![1.5, -2.25, 0.0];
+        let bytes = f64s_to_bytes(&xs);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(bytes_to_f64s(&bytes).unwrap(), xs);
+        assert!(bytes_to_f64s(&bytes[..23]).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Compression::XorF64.to_string(), "xor-f64");
+        assert_eq!(Compression::Rle.to_string(), "rle");
+        assert_eq!(Compression::None.to_string(), "none");
+    }
+}

@@ -1,0 +1,93 @@
+//! # qcheck — checkpointing for hybrid quantum-classical training state
+//!
+//! This crate is the core contribution of the `qnn-checkpoint` project
+//! (reproducing *"Quantum Neural Networks Need Checkpointing"*, HotStorage
+//! 2025): a storage library that persists the **classical half** of a hybrid
+//! quantum-classical training loop — parameters, optimizer moments, RNG
+//! streams, dataset cursor, shot ledger — with properties a training system
+//! actually needs:
+//!
+//! * **Exact resume.** A [`snapshot::TrainingSnapshot`] captures every
+//!   stochastic input of the loop; restoring it reproduces the future
+//!   trajectory *bit for bit* (shot noise included).
+//! * **Cheap and frequent.** Snapshots are `O(parameters)`, not
+//!   `O(2^qubits)`; incremental (delta-chain) checkpoints plus XOR-float
+//!   compression shrink steady-state writes further.
+//! * **Crash-safe.** Stage-and-rename commits mean a crash at any point
+//!   leaves a recoverable repository; manifests are CRC-framed and payloads
+//!   SHA-256-addressed, so corruption is always *detected* and recovery
+//!   falls back to the newest intact checkpoint.
+//! * **Cost-aware.** Built-in checkpoint-interval policies include the
+//!   Young–Daly optimum and an online-adaptive variant.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qcheck::repo::{CheckpointRepo, SaveOptions};
+//! use qcheck::snapshot::TrainingSnapshot;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let dir = std::env::temp_dir().join(format!("qcheck-doc-{}", std::process::id()));
+//! let repo = CheckpointRepo::open(&dir)?;
+//!
+//! let mut snapshot = TrainingSnapshot::new("vqe-demo");
+//! snapshot.step = 42;
+//! snapshot.params = vec![0.1, 0.2, 0.3];
+//! repo.save(&snapshot, &SaveOptions::default())?;
+//!
+//! let (recovered, report) = repo.recover()?;
+//! assert_eq!(recovered.step, 42);
+//! assert!(report.skipped.is_empty());
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`snapshot`] | the training-state model and [`snapshot::Checkpointable`] contract |
+//! | [`repo`] | repository layout, atomic commit, load, recovery, GC, retention |
+//! | [`checkpointer`] | policy-driven driver for live training loops |
+//! | [`policy`] | interval policies incl. Young–Daly and its analytic models |
+//! | [`manifest`] | the framed on-disk metadata format |
+//! | [`store`] | content-addressed chunk store with dedup |
+//! | [`delta`] | block-level incremental patches |
+//! | [`compress`] | RLE and XOR-f64 codecs |
+//! | [`chunk`] | fixed-size chunking |
+//! | [`codec`] | deterministic binary encoding |
+//! | [`hash`] | in-repo SHA-256 and CRC32 |
+//! | [`failure`] | crash points and storage-fault injection |
+//! | [`error`] | the crate-wide [`error::Error`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod checkpointer;
+pub mod chunk;
+pub mod codec;
+pub mod compress;
+pub mod delta;
+pub mod error;
+pub mod failure;
+pub mod hash;
+pub mod manifest;
+pub mod policy;
+pub mod repo;
+pub mod snapshot;
+pub mod store;
+pub mod verify;
+
+pub use background::BackgroundCheckpointer;
+pub use checkpointer::Checkpointer;
+pub use compress::Compression;
+pub use error::{Error, Result};
+pub use manifest::{CheckpointId, Manifest};
+pub use policy::{Adaptive, CheckpointPolicy, EveryKSteps, WallClock, YoungDaly};
+pub use repo::{
+    CheckpointRepo, CommitMode, CompressionPolicy, Retention, SaveMode, SaveOptions, SaveReport,
+};
+pub use snapshot::{Checkpointable, TrainingSnapshot};
+pub use verify::{export_bundle, fsck, import_bundle, read_bundle, FsckReport};

@@ -1,0 +1,388 @@
+//! Content-addressed chunk store.
+//!
+//! Chunks live under `objects/<2-hex>/<62-hex>`, named by the SHA-256 of
+//! their contents. Writes are idempotent (a chunk that exists is never
+//! rewritten — that is the dedup) and crash-safe (stage into `tmp/`, then
+//! atomic rename; a crash can leave garbage in `tmp/`, never a half-written
+//! object under `objects/`). Garbage collection is mark-and-sweep driven by
+//! the manifest set, so there is no refcount index to corrupt.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::chunk::ChunkRef;
+use crate::error::{Error, Result};
+use crate::hash::{ContentHash, Sha256};
+
+/// Handle to an on-disk chunk store rooted at `objects/` + `tmp/`.
+#[derive(Debug, Clone)]
+pub struct ChunkStore {
+    objects_dir: PathBuf,
+    tmp_dir: PathBuf,
+    fsync: bool,
+    seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+/// Result of a garbage-collection sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Objects retained because they were reachable.
+    pub live: usize,
+    /// Objects deleted.
+    pub deleted: usize,
+    /// Bytes reclaimed.
+    pub reclaimed_bytes: u64,
+}
+
+impl ChunkStore {
+    /// Opens (creating if necessary) a chunk store under `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if directories cannot be created.
+    pub fn open(root: &Path, fsync: bool) -> Result<Self> {
+        let objects_dir = root.join("objects");
+        let tmp_dir = root.join("tmp");
+        fs::create_dir_all(&objects_dir)
+            .map_err(|e| Error::io(format!("creating {}", objects_dir.display()), e))?;
+        fs::create_dir_all(&tmp_dir)
+            .map_err(|e| Error::io(format!("creating {}", tmp_dir.display()), e))?;
+        Ok(ChunkStore {
+            objects_dir,
+            tmp_dir,
+            fsync,
+            seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        })
+    }
+
+    fn object_path(&self, hash: &ContentHash) -> PathBuf {
+        self.objects_dir.join(hash.dir_prefix()).join(hash.file_suffix())
+    }
+
+    /// Whether a chunk with this address exists.
+    pub fn contains(&self, hash: &ContentHash) -> bool {
+        self.object_path(hash).is_file()
+    }
+
+    /// Stores a chunk, returning its reference. Idempotent: existing chunks
+    /// are not rewritten (`put` of identical content is the dedup hit).
+    ///
+    /// Returns the reference together with `true` when a new object was
+    /// physically written (`false` = dedup hit).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    pub fn put(&self, data: &[u8]) -> Result<(ChunkRef, bool)> {
+        let hash = Sha256::digest(data);
+        let reference = ChunkRef {
+            hash,
+            len: data.len() as u32,
+        };
+        let path = self.object_path(&hash);
+        if path.is_file() {
+            return Ok((reference, false));
+        }
+        let dir = path.parent().expect("object path has parent");
+        fs::create_dir_all(dir).map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
+        let tmp = self.tmp_dir.join(format!(
+            "obj-{}-{}",
+            std::process::id(),
+            self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        {
+            let mut f = fs::File::create(&tmp)
+                .map_err(|e| Error::io(format!("creating {}", tmp.display()), e))?;
+            f.write_all(data)
+                .map_err(|e| Error::io(format!("writing {}", tmp.display()), e))?;
+            if self.fsync {
+                f.sync_all()
+                    .map_err(|e| Error::io(format!("syncing {}", tmp.display()), e))?;
+            }
+        }
+        fs::rename(&tmp, &path)
+            .map_err(|e| Error::io(format!("renaming into {}", path.display()), e))?;
+        Ok((reference, true))
+    }
+
+    /// Fetches and verifies a chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] when absent; [`Error::Corrupt`] when the stored
+    /// bytes do not match the reference (bit rot, truncation).
+    pub fn get(&self, reference: &ChunkRef) -> Result<Vec<u8>> {
+        let path = self.object_path(&reference.hash);
+        let data = fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                Error::NotFound {
+                    what: format!("chunk {}", reference.hash),
+                }
+            } else {
+                Error::io(format!("reading {}", path.display()), e)
+            }
+        })?;
+        if data.len() != reference.len as usize {
+            return Err(Error::corrupt(
+                format!("chunk {}", reference.hash),
+                format!("length {} != expected {}", data.len(), reference.len),
+            ));
+        }
+        let actual = Sha256::digest(&data);
+        if actual != reference.hash {
+            return Err(Error::corrupt(
+                format!("chunk {}", reference.hash),
+                format!("content hash mismatch (got {actual})"),
+            ));
+        }
+        Ok(data)
+    }
+
+    /// Enumerates all stored object hashes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directory-walk errors. Files with non-hex names are ignored.
+    pub fn list(&self) -> Result<Vec<ContentHash>> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.objects_dir)
+            .map_err(|e| Error::io(format!("listing {}", self.objects_dir.display()), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::io("walking objects", e))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let prefix = entry.file_name().to_string_lossy().to_string();
+            let inner = fs::read_dir(entry.path())
+                .map_err(|e| Error::io(format!("listing {}", entry.path().display()), e))?;
+            for file in inner {
+                let file = file.map_err(|e| Error::io("walking objects", e))?;
+                let name = file.file_name().to_string_lossy().to_string();
+                if let Some(h) = ContentHash::from_hex(&format!("{prefix}{name}")) {
+                    out.push(h);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Total bytes across all stored objects.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directory-walk errors.
+    pub fn total_bytes(&self) -> Result<u64> {
+        let mut total = 0u64;
+        for hash in self.list()? {
+            let meta = fs::metadata(self.object_path(&hash))
+                .map_err(|e| Error::io("stat object", e))?;
+            total += meta.len();
+        }
+        Ok(total)
+    }
+
+    /// Number of stored objects.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directory-walk errors.
+    pub fn object_count(&self) -> Result<usize> {
+        Ok(self.list()?.len())
+    }
+
+    /// Mark-and-sweep garbage collection: deletes every object whose hash is
+    /// not in `reachable`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors; a partially completed sweep is safe (the
+    /// store never deletes reachable objects).
+    pub fn sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport> {
+        let mut report = GcReport::default();
+        for hash in self.list()? {
+            if reachable.contains(&hash) {
+                report.live += 1;
+            } else {
+                let path = self.object_path(&hash);
+                let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                fs::remove_file(&path)
+                    .map_err(|e| Error::io(format!("deleting {}", path.display()), e))?;
+                report.deleted += 1;
+                report.reclaimed_bytes += len;
+            }
+        }
+        // Clear stale staging files as well.
+        if let Ok(entries) = fs::read_dir(&self.tmp_dir) {
+            for entry in entries.flatten() {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(report)
+    }
+
+    /// Deliberately corrupts a stored object (failure-injection support):
+    /// flips one byte at `offset % len`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the object is missing or empty.
+    pub fn corrupt_object(&self, hash: &ContentHash, offset: usize) -> Result<()> {
+        let path = self.object_path(hash);
+        let mut data = fs::read(&path).map_err(|e| Error::io("reading object", e))?;
+        if data.is_empty() {
+            return Err(Error::corrupt("object", "cannot corrupt empty object"));
+        }
+        let i = offset % data.len();
+        data[i] ^= 0x01;
+        fs::write(&path, data).map_err(|e| Error::io("writing corrupted object", e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store() -> (tempdir::TempDir, ChunkStore) {
+        let dir = tempdir::TempDir::new();
+        let store = ChunkStore::open(dir.path(), false).unwrap();
+        (dir, store)
+    }
+
+    /// Minimal temp-dir helper (std-only; removed on drop).
+    mod tempdir {
+        use std::path::{Path, PathBuf};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempDir(PathBuf);
+
+        impl TempDir {
+            pub fn new() -> Self {
+                let path = std::env::temp_dir().join(format!(
+                    "qcheck-store-test-{}-{}",
+                    std::process::id(),
+                    COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&path).unwrap();
+                TempDir(path)
+            }
+            pub fn path(&self) -> &Path {
+                &self.0
+            }
+        }
+
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (_d, store) = temp_store();
+        let data = b"hello chunk store".to_vec();
+        let (r, fresh) = store.put(&data).unwrap();
+        assert!(fresh);
+        assert_eq!(store.get(&r).unwrap(), data);
+        assert!(store.contains(&r.hash));
+    }
+
+    #[test]
+    fn put_is_idempotent_dedup() {
+        let (_d, store) = temp_store();
+        let data = vec![42u8; 4096];
+        let (r1, fresh1) = store.put(&data).unwrap();
+        let (r2, fresh2) = store.put(&data).unwrap();
+        assert_eq!(r1, r2);
+        assert!(fresh1);
+        assert!(!fresh2, "second put must be a dedup hit");
+        assert_eq!(store.object_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn distinct_content_distinct_objects() {
+        let (_d, store) = temp_store();
+        store.put(b"aaa").unwrap();
+        store.put(b"bbb").unwrap();
+        assert_eq!(store.object_count().unwrap(), 2);
+        assert_eq!(store.total_bytes().unwrap(), 6);
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let (_d, store) = temp_store();
+        let r = ChunkRef {
+            hash: Sha256::digest(b"never stored"),
+            len: 12,
+        };
+        assert!(matches!(store.get(&r), Err(Error::NotFound { .. })));
+    }
+
+    #[test]
+    fn corruption_is_detected_on_get() {
+        let (_d, store) = temp_store();
+        let (r, _) = store.put(&vec![7u8; 100]).unwrap();
+        store.corrupt_object(&r.hash, 13).unwrap();
+        match store.get(&r) {
+            Err(Error::Corrupt { detail, .. }) => assert!(detail.contains("hash mismatch")),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_on_get() {
+        let (_d, store) = temp_store();
+        let (r, _) = store.put(&vec![9u8; 100]).unwrap();
+        // Truncate the object file directly.
+        let path = store.object_path(&r.hash);
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..50]).unwrap();
+        match store.get(&r) {
+            Err(Error::Corrupt { detail, .. }) => assert!(detail.contains("length")),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_removes_unreachable_only() {
+        let (_d, store) = temp_store();
+        let (keep, _) = store.put(b"keep me").unwrap();
+        let (drop1, _) = store.put(b"drop me 1").unwrap();
+        let (drop2, _) = store.put(b"drop me 2").unwrap();
+        let mut reachable = BTreeSet::new();
+        reachable.insert(keep.hash);
+        let report = store.sweep(&reachable).unwrap();
+        assert_eq!(report.live, 1);
+        assert_eq!(report.deleted, 2);
+        assert!(report.reclaimed_bytes >= 18);
+        assert!(store.contains(&keep.hash));
+        assert!(!store.contains(&drop1.hash));
+        assert!(!store.contains(&drop2.hash));
+    }
+
+    #[test]
+    fn list_returns_sorted_hashes() {
+        let (_d, store) = temp_store();
+        for i in 0..10u8 {
+            store.put(&[i]).unwrap();
+        }
+        let listed = store.list().unwrap();
+        assert_eq!(listed.len(), 10);
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted);
+    }
+
+    #[test]
+    fn empty_chunk_is_storable() {
+        let (_d, store) = temp_store();
+        let (r, _) = store.put(b"").unwrap();
+        assert_eq!(store.get(&r).unwrap(), Vec::<u8>::new());
+    }
+}

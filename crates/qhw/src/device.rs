@@ -1,0 +1,150 @@
+//! Device model: calibration drift and maintenance windows.
+//!
+//! NISQ devices are periodically recalibrated; between calibrations the
+//! two-qubit error rate drifts upward (random walk with positive bias), and
+//! maintenance windows make the device unavailable entirely. Both phenomena
+//! matter to checkpointing: drift changes the value of re-used shots, and
+//! maintenance is a scheduled interruption a policy can anticipate.
+
+use rand::Rng;
+
+use crate::event::{SimTime, HOUR};
+
+/// A drifting, periodically recalibrated device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceModel {
+    /// Base two-qubit error rate right after calibration.
+    pub base_error: f64,
+    /// Per-hour multiplicative drift bias (e.g. 0.02 = +2%/h).
+    pub drift_per_hour: f64,
+    /// Random-walk volatility per hour.
+    pub jitter_per_hour: f64,
+    /// Time between recalibrations.
+    pub calibration_period: SimTime,
+    /// Length of the maintenance window that precedes each recalibration.
+    pub maintenance_len: SimTime,
+}
+
+impl DeviceModel {
+    /// A model shaped like published superconducting-device calibrations:
+    /// 24 h calibration cycle, 30 min maintenance, ~3% base CX error.
+    pub fn typical() -> Self {
+        DeviceModel {
+            base_error: 3.1e-2,
+            drift_per_hour: 0.02,
+            jitter_per_hour: 0.01,
+            calibration_period: 24 * HOUR,
+            maintenance_len: HOUR / 2,
+        }
+    }
+
+    /// Time since the last recalibration.
+    pub fn time_in_cycle(&self, t: SimTime) -> SimTime {
+        t % self.calibration_period
+    }
+
+    /// Whether the device is in a maintenance window at `t` (the window is
+    /// the *tail* of each calibration cycle).
+    pub fn in_maintenance(&self, t: SimTime) -> bool {
+        self.time_in_cycle(t) >= self.calibration_period - self.maintenance_len
+    }
+
+    /// Next instant at or after `t` when the device is available.
+    pub fn next_available(&self, t: SimTime) -> SimTime {
+        if self.in_maintenance(t) {
+            let cycle_start = t - self.time_in_cycle(t);
+            cycle_start + self.calibration_period
+        } else {
+            t
+        }
+    }
+
+    /// Start of the next maintenance window at or after `t` (sessions are
+    /// evicted when it opens).
+    pub fn next_maintenance_start(&self, t: SimTime) -> SimTime {
+        let cycle_start = t - self.time_in_cycle(t);
+        let this_window = cycle_start + self.calibration_period - self.maintenance_len;
+        if t < this_window {
+            this_window
+        } else {
+            this_window + self.calibration_period
+        }
+    }
+
+    /// Expected (deterministic-bias) error rate at `t`, ignoring jitter.
+    pub fn expected_error_at(&self, t: SimTime) -> f64 {
+        let hours = self.time_in_cycle(t) as f64 / HOUR as f64;
+        self.base_error * (1.0 + self.drift_per_hour * hours)
+    }
+
+    /// Sampled error rate at `t`: expected drift plus a random-walk jitter
+    /// term scaled by √(hours since calibration).
+    pub fn sample_error_at<R: Rng>(&self, t: SimTime, rng: &mut R) -> f64 {
+        let hours = self.time_in_cycle(t) as f64 / HOUR as f64;
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let jitter = self.jitter_per_hour * hours.sqrt() * z;
+        (self.expected_error_at(t) * (1.0 + jitter)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn error_resets_at_calibration() {
+        let d = DeviceModel::typical();
+        let just_after = d.expected_error_at(1);
+        let late = d.expected_error_at(20 * HOUR);
+        let next_cycle = d.expected_error_at(24 * HOUR + 1);
+        assert!(late > just_after * 1.2);
+        assert!((next_cycle - just_after).abs() / just_after < 1e-3);
+    }
+
+    #[test]
+    fn maintenance_window_is_cycle_tail() {
+        let d = DeviceModel::typical();
+        assert!(!d.in_maintenance(0));
+        assert!(!d.in_maintenance(23 * HOUR));
+        assert!(d.in_maintenance(24 * HOUR - HOUR / 4));
+        assert!(!d.in_maintenance(24 * HOUR));
+    }
+
+    #[test]
+    fn next_available_skips_maintenance() {
+        let d = DeviceModel::typical();
+        let in_window = 24 * HOUR - HOUR / 4;
+        assert_eq!(d.next_available(in_window), 24 * HOUR);
+        assert_eq!(d.next_available(5 * HOUR), 5 * HOUR);
+    }
+
+    #[test]
+    fn next_maintenance_start_is_cycle_tail() {
+        let d = DeviceModel::typical();
+        let expected = 24 * HOUR - HOUR / 2;
+        assert_eq!(d.next_maintenance_start(0), expected);
+        assert_eq!(d.next_maintenance_start(expected - 1), expected);
+        // Inside the window → next cycle's window.
+        assert_eq!(
+            d.next_maintenance_start(expected + 1),
+            expected + 24 * HOUR
+        );
+    }
+
+    #[test]
+    fn sampled_error_is_nonnegative_and_tracks_drift() {
+        let d = DeviceModel::typical();
+        let mut rng = StdRng::seed_from_u64(1);
+        let early: f64 = (0..500).map(|_| d.sample_error_at(HOUR, &mut rng)).sum::<f64>() / 500.0;
+        let late: f64 =
+            (0..500).map(|_| d.sample_error_at(20 * HOUR, &mut rng)).sum::<f64>() / 500.0;
+        assert!(late > early);
+        for _ in 0..100 {
+            assert!(d.sample_error_at(23 * HOUR, &mut rng) >= 0.0);
+        }
+    }
+}

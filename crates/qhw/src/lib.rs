@@ -1,0 +1,49 @@
+//! # qhw — simulated NISQ cloud execution
+//!
+//! The hardware substrate the reproduction does not have: a discrete-event
+//! model of running hybrid training jobs on shared cloud quantum devices.
+//! It captures the three phenomena the paper's motivation rests on —
+//! heavy-tailed **queue waits**, Poisson **failures** / session
+//! **preemptions**, and **calibration cycles** — and replays an N-step
+//! training job against them with or without checkpointing.
+//!
+//! Checkpoint write/restore costs are inputs (measured on the real
+//! [`qcheck`](https://docs.rs) implementation by the benchmark harness);
+//! only the *waiting* and the *interruption semantics* are simulated.
+//!
+//! ```
+//! use qhw::client::{simulate_run, CheckpointStrategy, Environment, JobSpec};
+//! use qhw::event::SECOND;
+//! use qhw::queue::WaitModel;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let spec = JobSpec { total_steps: 50, step_cost: SECOND };
+//! let env = Environment {
+//!     queue: WaitModel::Constant { wait: 10 * SECOND },
+//!     mtbf: Some(60 * SECOND),
+//!     session_ttl: None,
+//!     device: None,
+//! };
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let outcome = simulate_run(
+//!     &spec,
+//!     &CheckpointStrategy::periodic(5, SECOND / 10, SECOND),
+//!     &env,
+//!     &mut rng,
+//! );
+//! assert!(!outcome.aborted);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod device;
+pub mod event;
+pub mod queue;
+
+pub use client::{mean_outcome, simulate_run, CheckpointStrategy, Environment, JobSpec, RunOutcome};
+pub use device::DeviceModel;
+pub use event::{SimTime, HOUR, MICRO, MILLIS, MINUTE, SECOND};
+pub use queue::{FifoQueueSim, WaitModel};

@@ -1,0 +1,240 @@
+//! Variational ansatz builders.
+//!
+//! All builders produce [`Circuit`]s whose parametrized gates are rotation
+//! generators (`RY`, `RZ`, `RX`, `RZZ`, …) with unit scale, so the two-term
+//! parameter-shift rule in [`crate::gradient`] is exact for them.
+
+use qsim::circuit::Circuit;
+use qsim::gate::Gate;
+use qsim::pauli::{Pauli, PauliSum};
+
+/// Description of an ansatz, for reports and the state-inventory table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnsatzInfo {
+    /// Builder name.
+    pub name: &'static str,
+    /// Register width.
+    pub num_qubits: usize,
+    /// Layer count.
+    pub layers: usize,
+    /// Parameter count.
+    pub num_params: usize,
+}
+
+/// Hardware-efficient ansatz: per layer, `RY`+`RZ` on every qubit followed
+/// by a ring of CNOTs; a final `RY` rotation layer closes the circuit.
+///
+/// Parameter count: `layers · 2n + n`.
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qnn::ansatz::hardware_efficient;
+///
+/// let (circuit, info) = hardware_efficient(4, 2);
+/// assert_eq!(info.num_params, 2 * 2 * 4 + 4);
+/// assert_eq!(circuit.num_params(), info.num_params);
+/// ```
+pub fn hardware_efficient(num_qubits: usize, layers: usize) -> (Circuit, AnsatzInfo) {
+    assert!(num_qubits > 0, "ansatz needs at least one qubit");
+    let mut c = Circuit::new(num_qubits);
+    let mut p = 0usize;
+    for _ in 0..layers {
+        for q in 0..num_qubits {
+            c.push_sym(Gate::Ry(0.0), &[q], p);
+            p += 1;
+            c.push_sym(Gate::Rz(0.0), &[q], p);
+            p += 1;
+        }
+        if num_qubits > 1 {
+            for q in 0..num_qubits {
+                c.push_fixed(Gate::Cx, &[q, (q + 1) % num_qubits]);
+            }
+        }
+    }
+    for q in 0..num_qubits {
+        c.push_sym(Gate::Ry(0.0), &[q], p);
+        p += 1;
+    }
+    let info = AnsatzInfo {
+        name: "hardware-efficient",
+        num_qubits,
+        layers,
+        num_params: p,
+    };
+    (c, info)
+}
+
+/// Strongly entangling ansatz: `RX`/`RY`/`RZ` on every qubit per layer plus
+/// a CNOT ring with stride growing per layer.
+///
+/// Parameter count: `layers · 3n`.
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0`.
+pub fn strongly_entangling(num_qubits: usize, layers: usize) -> (Circuit, AnsatzInfo) {
+    assert!(num_qubits > 0, "ansatz needs at least one qubit");
+    let mut c = Circuit::new(num_qubits);
+    let mut p = 0usize;
+    for layer in 0..layers {
+        for q in 0..num_qubits {
+            c.push_sym(Gate::Rx(0.0), &[q], p);
+            p += 1;
+            c.push_sym(Gate::Ry(0.0), &[q], p);
+            p += 1;
+            c.push_sym(Gate::Rz(0.0), &[q], p);
+            p += 1;
+        }
+        if num_qubits > 1 {
+            let stride = 1 + layer % (num_qubits - 1).max(1);
+            for q in 0..num_qubits {
+                c.push_fixed(Gate::Cx, &[q, (q + stride) % num_qubits]);
+            }
+        }
+    }
+    let info = AnsatzInfo {
+        name: "strongly-entangling",
+        num_qubits,
+        layers,
+        num_params: p,
+    };
+    (c, info)
+}
+
+/// QAOA-style alternating ansatz for a diagonal-plus-mixer Hamiltonian:
+/// per layer, `RZZ(γ_l)` across every `ZZ` term of `problem` (one parameter
+/// per layer, shared across terms — exercising the generalized
+/// parameter-shift path), then an `RX(β_l)` mixer on every qubit.
+///
+/// Parameter count: `2 · layers`.
+///
+/// # Panics
+///
+/// Panics if `problem` has no two-qubit `ZZ` terms.
+pub fn qaoa_like(problem: &PauliSum, layers: usize) -> (Circuit, AnsatzInfo) {
+    let n = problem.num_qubits();
+    let mut zz_pairs: Vec<(usize, usize)> = Vec::new();
+    for (_, term) in problem.terms() {
+        let support = term.support();
+        if support.len() == 2
+            && term.paulis()[support[0]] == Pauli::Z
+            && term.paulis()[support[1]] == Pauli::Z
+        {
+            zz_pairs.push((support[0], support[1]));
+        }
+    }
+    assert!(!zz_pairs.is_empty(), "problem has no ZZ terms");
+    let mut c = Circuit::new(n);
+    // Uniform superposition start.
+    for q in 0..n {
+        c.push_fixed(Gate::H, &[q]);
+    }
+    let mut p = 0usize;
+    for _ in 0..layers {
+        for &(a, b) in &zz_pairs {
+            c.push_sym(Gate::Rzz(0.0), &[a, b], p); // shared γ_l
+        }
+        p += 1;
+        for q in 0..n {
+            c.push_sym(Gate::Rx(0.0), &[q], p); // shared β_l
+        }
+        p += 1;
+    }
+    let info = AnsatzInfo {
+        name: "qaoa-like",
+        num_qubits: n,
+        layers,
+        num_params: p,
+    };
+    (c, info)
+}
+
+/// Draws an initial parameter vector uniformly from `[-π, π)`.
+pub fn init_params(num_params: usize, rng: &mut qsim::rng::Xoshiro256) -> Vec<f64> {
+    (0..num_params)
+        .map(|_| rng.uniform(-std::f64::consts::PI, std::f64::consts::PI))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::rng::Xoshiro256;
+
+    #[test]
+    fn hardware_efficient_shapes() {
+        for (n, l) in [(1, 1), (2, 3), (6, 2)] {
+            let (c, info) = hardware_efficient(n, l);
+            assert_eq!(info.num_params, l * 2 * n + n);
+            assert_eq!(c.num_params(), info.num_params);
+            assert_eq!(c.num_qubits(), n);
+            c.validate(info.num_params).unwrap();
+        }
+    }
+
+    #[test]
+    fn hardware_efficient_executes() {
+        let (c, info) = hardware_efficient(4, 2);
+        let mut rng = Xoshiro256::seed_from(1);
+        let params = init_params(info.num_params, &mut rng);
+        let state = c.run(&params).unwrap();
+        assert!((state.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn strongly_entangling_shapes() {
+        let (c, info) = strongly_entangling(5, 3);
+        assert_eq!(info.num_params, 3 * 3 * 5);
+        assert_eq!(c.num_params(), info.num_params);
+        c.validate(info.num_params).unwrap();
+    }
+
+    #[test]
+    fn single_qubit_ansatz_has_no_entanglers() {
+        let (c, _) = hardware_efficient(1, 2);
+        assert_eq!(c.gate_counts().1, 0);
+        let (c, _) = strongly_entangling(1, 2);
+        assert_eq!(c.gate_counts().1, 0);
+    }
+
+    #[test]
+    fn qaoa_like_shares_parameters() {
+        let h = PauliSum::transverse_ising(4, 1.0, 0.5);
+        let (c, info) = qaoa_like(&h, 3);
+        assert_eq!(info.num_params, 6);
+        assert_eq!(c.num_params(), 6);
+        // Multiple ops share each γ parameter.
+        let sym_ops = c.sym_ops();
+        let count_p0 = sym_ops.iter().filter(|(_, p)| *p == 0).count();
+        assert_eq!(count_p0, 3, "3 ZZ edges share γ₀");
+        c.validate(info.num_params).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "no ZZ terms")]
+    fn qaoa_rejects_problems_without_zz() {
+        let h = PauliSum::mean_z(3);
+        qaoa_like(&h, 1);
+    }
+
+    #[test]
+    fn init_params_in_range_and_deterministic() {
+        let mut rng = Xoshiro256::seed_from(7);
+        let p = init_params(64, &mut rng);
+        assert!(p.iter().all(|x| (-std::f64::consts::PI..std::f64::consts::PI).contains(x)));
+        let mut rng2 = Xoshiro256::seed_from(7);
+        assert_eq!(p, init_params(64, &mut rng2));
+    }
+
+    #[test]
+    fn deeper_ansatz_more_expressive_params() {
+        let (_, shallow) = hardware_efficient(4, 1);
+        let (_, deep) = hardware_efficient(4, 4);
+        assert!(deep.num_params > shallow.num_params);
+    }
+}

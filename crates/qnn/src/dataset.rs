@@ -1,0 +1,254 @@
+//! Synthetic training datasets.
+//!
+//! Quantum training data is generated, not collected: state-pair datasets
+//! come from a hidden "device" unitary applied to random inputs (the
+//! characterization workload QNN papers motivate), and classical feature
+//! datasets are standard synthetic classification problems routed through a
+//! feature map. All generation is seed-deterministic.
+
+use qsim::circuit::Circuit;
+use qsim::gate::Gate;
+use qsim::rng::Xoshiro256;
+use qsim::state::StateVector;
+
+/// Input/target state pairs for learning an unknown unitary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatePairs {
+    /// Input states `|φ_x⟩`.
+    pub inputs: Vec<StateVector>,
+    /// Target states `Y|φ_x⟩`.
+    pub targets: Vec<StateVector>,
+}
+
+impl StatePairs {
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Splits into (train, validation) at `train_count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_count > len`.
+    pub fn split(&self, train_count: usize) -> (StatePairs, StatePairs) {
+        assert!(train_count <= self.len(), "split beyond dataset");
+        (
+            StatePairs {
+                inputs: self.inputs[..train_count].to_vec(),
+                targets: self.targets[..train_count].to_vec(),
+            },
+            StatePairs {
+                inputs: self.inputs[train_count..].to_vec(),
+                targets: self.targets[train_count..].to_vec(),
+            },
+        )
+    }
+}
+
+/// A classical feature/label dataset (labels in `[-1, 1]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Labeled {
+    /// Feature vectors.
+    pub features: Vec<Vec<f64>>,
+    /// Scalar labels.
+    pub labels: Vec<f64>,
+}
+
+impl Labeled {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+/// Samples a random circuit acting as the hidden "device" unitary `Y`.
+///
+/// Depth-`depth` alternation of random single-qubit rotations and a CX ring,
+/// fully determined by `rng`.
+pub fn random_unitary_circuit(num_qubits: usize, depth: usize, rng: &mut Xoshiro256) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..depth {
+        for q in 0..num_qubits {
+            let theta = rng.uniform(-std::f64::consts::PI, std::f64::consts::PI);
+            let phi = rng.uniform(-std::f64::consts::PI, std::f64::consts::PI);
+            let lambda = rng.uniform(-std::f64::consts::PI, std::f64::consts::PI);
+            c.push_fixed(Gate::U3(theta, phi, lambda), &[q]);
+        }
+        if num_qubits > 1 {
+            for q in 0..num_qubits {
+                c.push_fixed(Gate::Cx, &[q, (q + 1) % num_qubits]);
+            }
+        }
+    }
+    c
+}
+
+/// Generates the unitary-learning workload: `n_pairs` Haar-ish random input
+/// states and their images under a hidden random circuit.
+///
+/// Returns the dataset together with the hidden circuit (for validation
+/// losses and "what should the network have learned" diagnostics).
+///
+/// # Panics
+///
+/// Panics if the hidden circuit fails to execute (impossible for valid
+/// arguments).
+pub fn unitary_learning(
+    num_qubits: usize,
+    n_pairs: usize,
+    hidden_depth: usize,
+    rng: &mut Xoshiro256,
+) -> (StatePairs, Circuit) {
+    let hidden = random_unitary_circuit(num_qubits, hidden_depth, rng);
+    let mut inputs = Vec::with_capacity(n_pairs);
+    let mut targets = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let input = StateVector::random(num_qubits, rng);
+        let mut target = input.clone();
+        hidden
+            .run_on(&mut target, &[])
+            .expect("hidden circuit must execute");
+        inputs.push(input);
+        targets.push(target);
+    }
+    (StatePairs { inputs, targets }, hidden)
+}
+
+/// Parity classification: features in `{-π/2, +π/2}^d`, label = product of
+/// feature signs (the canonical hard-for-local-models synthetic task).
+pub fn parity(num_features: usize, n_examples: usize, rng: &mut Xoshiro256) -> Labeled {
+    let mut features = Vec::with_capacity(n_examples);
+    let mut labels = Vec::with_capacity(n_examples);
+    for _ in 0..n_examples {
+        let x: Vec<f64> = (0..num_features)
+            .map(|_| {
+                if rng.next_f64() < 0.5 {
+                    -std::f64::consts::FRAC_PI_2
+                } else {
+                    std::f64::consts::FRAC_PI_2
+                }
+            })
+            .collect();
+        let label: f64 = x.iter().map(|v| v.signum()).product();
+        features.push(x);
+        labels.push(label);
+    }
+    Labeled { features, labels }
+}
+
+/// Two Gaussian blobs in `d` dimensions, labels ±1 — an easy linearly
+/// separable task for smoke tests and quickstarts.
+pub fn blobs(num_features: usize, n_examples: usize, separation: f64, rng: &mut Xoshiro256) -> Labeled {
+    let mut features = Vec::with_capacity(n_examples);
+    let mut labels = Vec::with_capacity(n_examples);
+    for i in 0..n_examples {
+        let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let center = label * separation / 2.0;
+        let x: Vec<f64> = (0..num_features)
+            .map(|_| center + 0.3 * rng.next_gaussian())
+            .collect();
+        features.push(x);
+        labels.push(label);
+    }
+    Labeled { features, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unitary_learning_targets_are_images() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let (pairs, hidden) = unitary_learning(3, 5, 2, &mut rng);
+        assert_eq!(pairs.len(), 5);
+        for (input, target) in pairs.inputs.iter().zip(&pairs.targets) {
+            let mut out = input.clone();
+            hidden.run_on(&mut out, &[]).unwrap();
+            assert!((out.fidelity(target).unwrap() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn unitary_learning_is_seed_deterministic() {
+        let mut a = Xoshiro256::seed_from(11);
+        let mut b = Xoshiro256::seed_from(11);
+        let (pa, _) = unitary_learning(2, 4, 2, &mut a);
+        let (pb, _) = unitary_learning(2, 4, 2, &mut b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn random_circuit_is_nontrivial() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let c = random_unitary_circuit(3, 2, &mut rng);
+        let out = c.run(&[]).unwrap();
+        let zero = StateVector::zero_state(3);
+        assert!(out.fidelity(&zero).unwrap() < 0.99, "hidden unitary ≈ identity");
+    }
+
+    #[test]
+    fn split_partitions() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let (pairs, _) = unitary_learning(2, 10, 1, &mut rng);
+        let (train, val) = pairs.split(7);
+        assert_eq!(train.len(), 7);
+        assert_eq!(val.len(), 3);
+        assert_eq!(train.inputs[0], pairs.inputs[0]);
+        assert_eq!(val.inputs[0], pairs.inputs[7]);
+    }
+
+    #[test]
+    fn parity_labels_are_sign_products() {
+        let mut rng = Xoshiro256::seed_from(9);
+        let d = parity(4, 50, &mut rng);
+        assert_eq!(d.len(), 50);
+        for (x, y) in d.features.iter().zip(&d.labels) {
+            let expected: f64 = x.iter().map(|v| v.signum()).product();
+            assert_eq!(*y, expected);
+        }
+    }
+
+    #[test]
+    fn blobs_are_separated() {
+        let mut rng = Xoshiro256::seed_from(21);
+        let d = blobs(2, 100, 2.0, &mut rng);
+        // Mean of class +1 features should exceed mean of class −1.
+        let mean = |label: f64| -> f64 {
+            let sel: Vec<f64> = d
+                .features
+                .iter()
+                .zip(&d.labels)
+                .filter(|(_, y)| **y == label)
+                .flat_map(|(x, _)| x.iter().copied())
+                .collect();
+            sel.iter().sum::<f64>() / sel.len() as f64
+        };
+        assert!(mean(1.0) > mean(-1.0) + 1.0);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let d = Labeled {
+            features: vec![],
+            labels: vec![],
+        };
+        assert!(d.is_empty());
+        let p = StatePairs {
+            inputs: vec![],
+            targets: vec![],
+        };
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! The shot ledger: an auditable record of consumed QPU shots.
+//!
+//! Cloud QPU time is billed and quota'd per shot. A training job that
+//! crashes without its ledger loses the accounting of what it already spent
+//! — and a resumed job that re-draws shots silently double-spends. The
+//! ledger is therefore first-class training state: append-only during
+//! training, serialized into every checkpoint, and exact-resume aware (the
+//! entry count at a checkpoint tells the resumed loop exactly where the
+//! record left off).
+
+use qcheck::codec::{Decoder, Encoder};
+
+/// One ledger row: shots consumed by one optimizer step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Optimizer step.
+    pub step: u64,
+    /// Number of observable evaluations in the step (loss + gradient).
+    pub evals: u32,
+    /// Total shots consumed by the step.
+    pub shots: u64,
+}
+
+/// Append-only shot accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShotLedger {
+    entries: Vec<LedgerEntry>,
+    total_shots: u64,
+}
+
+impl ShotLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        ShotLedger::default()
+    }
+
+    /// Appends one step's accounting.
+    pub fn record(&mut self, step: u64, evals: u32, shots: u64) {
+        self.entries.push(LedgerEntry { step, evals, shots });
+        self.total_shots += shots;
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total shots across all entries.
+    pub fn total_shots(&self) -> u64 {
+        self.total_shots
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Deterministic serialization.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(self.total_shots);
+        e.put_varint(self.entries.len() as u64);
+        for entry in &self.entries {
+            e.put_varint(entry.step)
+                .put_varint(entry.evals as u64)
+                .put_varint(entry.shots);
+        }
+        e.into_bytes()
+    }
+
+    /// Parses bytes produced by [`ShotLedger::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on truncation or when the stored total disagrees
+    /// with the entries (internal-consistency check).
+    pub fn from_bytes(bytes: &[u8]) -> Result<ShotLedger, String> {
+        let mut d = Decoder::new(bytes, "shot ledger");
+        let mut parse = || -> qcheck::Result<ShotLedger> {
+            let total_shots = d.get_u64()?;
+            let n = d.get_varint()? as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 22));
+            for _ in 0..n {
+                entries.push(LedgerEntry {
+                    step: d.get_varint()?,
+                    evals: d.get_varint()? as u32,
+                    shots: d.get_varint()?,
+                });
+            }
+            Ok(ShotLedger {
+                entries,
+                total_shots,
+            })
+        };
+        let ledger = parse().map_err(|e| e.to_string())?;
+        d.finish().map_err(|e| e.to_string())?;
+        let sum: u64 = ledger.entries.iter().map(|e| e.shots).sum();
+        if sum != ledger.total_shots {
+            return Err(format!(
+                "ledger total {} disagrees with entry sum {sum}",
+                ledger.total_shots
+            ));
+        }
+        Ok(ledger)
+    }
+
+    /// Serialized size in bytes (for the state-inventory table).
+    pub fn byte_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut l = ShotLedger::new();
+        assert!(l.is_empty());
+        l.record(0, 10, 1024);
+        l.record(1, 10, 1024);
+        l.record(2, 12, 2048);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.total_shots(), 4096);
+        assert_eq!(l.entries()[2].evals, 12);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut l = ShotLedger::new();
+        for step in 0..100u64 {
+            l.record(step, 4 + (step % 3) as u32, 512 * (1 + step % 5));
+        }
+        let bytes = l.to_bytes();
+        let back = ShotLedger::from_bytes(&bytes).unwrap();
+        assert_eq!(l, back);
+    }
+
+    #[test]
+    fn empty_ledger_round_trips() {
+        let l = ShotLedger::new();
+        assert_eq!(ShotLedger::from_bytes(&l.to_bytes()).unwrap(), l);
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let mut l = ShotLedger::new();
+        l.record(0, 1, 100);
+        l.record(1, 1, 200);
+        let bytes = l.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(ShotLedger::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_total_is_rejected() {
+        let mut l = ShotLedger::new();
+        l.record(0, 1, 100);
+        let mut bytes = l.to_bytes();
+        // Corrupt the stored total (first 8 bytes, little-endian).
+        bytes[0] ^= 0xFF;
+        assert!(ShotLedger::from_bytes(&bytes).unwrap_err().contains("disagrees"));
+    }
+
+    #[test]
+    fn byte_size_grows_linearly() {
+        let mut l = ShotLedger::new();
+        for step in 0..10 {
+            l.record(step, 4, 1000);
+        }
+        let s10 = l.byte_size();
+        for step in 10..20 {
+            l.record(step, 4, 1000);
+        }
+        let s20 = l.byte_size();
+        assert!(s20 > s10);
+        assert!(s20 - s10 < 10 * 16, "entries should be varint-compact");
+    }
+}

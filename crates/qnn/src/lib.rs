@@ -1,0 +1,57 @@
+//! # qnn — hybrid quantum-classical training
+//!
+//! The workload layer of the `qnn-checkpoint` project: variational quantum
+//! models (VQE, unitary learning, classification through feature maps)
+//! trained by classical optimizers against the [`qsim`] simulator, with the
+//! complete loop state — parameters, optimizer moments, RNG streams, dataset
+//! cursor, shot ledger — exposed through the
+//! [`qcheck::snapshot::Checkpointable`] contract so that the [`qcheck`]
+//! storage layer can capture and exactly resume it.
+//!
+//! ## Quickstart: a checkpointable VQE run
+//!
+//! ```
+//! use qnn::ansatz::{hardware_efficient, init_params};
+//! use qnn::optimizer::Adam;
+//! use qnn::trainer::{Task, Trainer, TrainerConfig};
+//! use qsim::pauli::PauliSum;
+//! use qsim::rng::Xoshiro256;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (circuit, info) = hardware_efficient(3, 1);
+//! let mut rng = Xoshiro256::seed_from(7);
+//! let params = init_params(info.num_params, &mut rng);
+//!
+//! let mut trainer = Trainer::new(
+//!     circuit,
+//!     Task::Vqe { hamiltonian: PauliSum::transverse_ising(3, 1.0, 0.5) },
+//!     Box::new(Adam::new(0.05)),
+//!     params,
+//!     TrainerConfig::default(),
+//! )?;
+//!
+//! let report = trainer.train_step()?;
+//! assert_eq!(report.step, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ansatz;
+pub mod dataset;
+pub mod encode;
+pub mod gradient;
+pub mod ledger;
+pub mod optimizer;
+pub mod resume;
+pub mod trainer;
+
+pub use encode::FeatureMap;
+pub use gradient::GradientMethod;
+pub use ledger::ShotLedger;
+pub use optimizer::{AdaGrad, Adam, Momentum, Optimizer, RmsProp, Sgd};
+pub use resume::{ResumableRun, RunError, RunStart};
+pub use trainer::{StepReport, Task, TrainError, Trainer, TrainerConfig};
+

@@ -1,0 +1,539 @@
+//! Optimizers with serializable state.
+//!
+//! Every optimizer here exposes its complete internal state as a tagged
+//! [`StateBlob`] and restores from one byte-exactly. This is not a nicety:
+//! resuming Adam without its moment vectors silently changes the effective
+//! learning-rate schedule and the training trajectory diverges — one of the
+//! failure modes the resume-exactness experiment (R-T2) quantifies.
+
+use qcheck::codec::{Decoder, Encoder};
+use qcheck::snapshot::StateBlob;
+
+/// An optimizer updating a parameter vector from a gradient.
+pub trait Optimizer: std::fmt::Debug + Send {
+    /// Applies one update step in place.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `params.len() != grad.len()`.
+    fn step(&mut self, params: &mut [f64], grad: &[f64]);
+
+    /// Serializes the full internal state (hyperparameters + moments).
+    fn state_blob(&self) -> StateBlob;
+
+    /// Restores the state captured by [`Optimizer::state_blob`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on tag mismatch or malformed payload.
+    fn restore_blob(&mut self, blob: &StateBlob) -> Result<(), String>;
+
+    /// Stable identifier, also used as the blob tag.
+    fn name(&self) -> &'static str;
+
+    /// Clears accumulated state (moments, step counters), keeping
+    /// hyperparameters.
+    fn reset(&mut self);
+}
+
+fn check_tag(blob: &StateBlob, expected: &str) -> Result<(), String> {
+    if blob.tag != expected {
+        return Err(format!(
+            "optimizer blob tag mismatch: expected '{expected}', found '{}'",
+            blob.tag
+        ));
+    }
+    Ok(())
+}
+
+fn decode_err(e: qcheck::Error) -> String {
+    format!("optimizer blob decode failure: {e}")
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(learning_rate: f64) -> Self {
+        Sgd { learning_rate }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "gradient length mismatch");
+        for (p, g) in params.iter_mut().zip(grad) {
+            *p -= self.learning_rate * g;
+        }
+    }
+
+    fn state_blob(&self) -> StateBlob {
+        let mut e = Encoder::new();
+        e.put_f64(self.learning_rate);
+        StateBlob::new(self.name(), e.into_bytes())
+    }
+
+    fn restore_blob(&mut self, blob: &StateBlob) -> Result<(), String> {
+        check_tag(blob, self.name())?;
+        let mut d = Decoder::new(&blob.data, "sgd blob");
+        self.learning_rate = d.get_f64().map_err(decode_err)?;
+        d.finish().map_err(decode_err)
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd-v1"
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// SGD with classical momentum.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Momentum {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum factor μ.
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD.
+    pub fn new(learning_rate: f64, momentum: f64) -> Self {
+        Momentum {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "gradient length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
+            *v = self.momentum * *v - self.learning_rate * g;
+            *p += *v;
+        }
+    }
+
+    fn state_blob(&self) -> StateBlob {
+        let mut e = Encoder::new();
+        e.put_f64(self.learning_rate)
+            .put_f64(self.momentum)
+            .put_f64_slice(&self.velocity);
+        StateBlob::new(self.name(), e.into_bytes())
+    }
+
+    fn restore_blob(&mut self, blob: &StateBlob) -> Result<(), String> {
+        check_tag(blob, self.name())?;
+        let mut d = Decoder::new(&blob.data, "momentum blob");
+        self.learning_rate = d.get_f64().map_err(decode_err)?;
+        self.momentum = d.get_f64().map_err(decode_err)?;
+        self.velocity = d.get_f64_vec().map_err(decode_err)?;
+        d.finish().map_err(decode_err)
+    }
+
+    fn name(&self) -> &'static str {
+        "momentum-v1"
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (Kingma & Ba 2015).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Adam {
+    /// Learning rate α.
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical floor ε.
+    pub epsilon: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates Adam with standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Bias-corrected step count.
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "gradient length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn state_blob(&self) -> StateBlob {
+        let mut e = Encoder::new();
+        e.put_f64(self.learning_rate)
+            .put_f64(self.beta1)
+            .put_f64(self.beta2)
+            .put_f64(self.epsilon)
+            .put_u64(self.t)
+            .put_f64_slice(&self.m)
+            .put_f64_slice(&self.v);
+        StateBlob::new(self.name(), e.into_bytes())
+    }
+
+    fn restore_blob(&mut self, blob: &StateBlob) -> Result<(), String> {
+        check_tag(blob, self.name())?;
+        let mut d = Decoder::new(&blob.data, "adam blob");
+        self.learning_rate = d.get_f64().map_err(decode_err)?;
+        self.beta1 = d.get_f64().map_err(decode_err)?;
+        self.beta2 = d.get_f64().map_err(decode_err)?;
+        self.epsilon = d.get_f64().map_err(decode_err)?;
+        self.t = d.get_u64().map_err(decode_err)?;
+        self.m = d.get_f64_vec().map_err(decode_err)?;
+        self.v = d.get_f64_vec().map_err(decode_err)?;
+        d.finish().map_err(decode_err)
+    }
+
+    fn name(&self) -> &'static str {
+        "adam-v1"
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+/// AdaGrad (Duchi et al. 2011).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaGrad {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Numerical floor ε.
+    pub epsilon: f64,
+    accum: Vec<f64>,
+}
+
+impl AdaGrad {
+    /// Creates AdaGrad.
+    pub fn new(learning_rate: f64) -> Self {
+        AdaGrad {
+            learning_rate,
+            epsilon: 1e-10,
+            accum: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "gradient length mismatch");
+        if self.accum.len() != params.len() {
+            self.accum = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            self.accum[i] += grad[i] * grad[i];
+            params[i] -= self.learning_rate * grad[i] / (self.accum[i].sqrt() + self.epsilon);
+        }
+    }
+
+    fn state_blob(&self) -> StateBlob {
+        let mut e = Encoder::new();
+        e.put_f64(self.learning_rate)
+            .put_f64(self.epsilon)
+            .put_f64_slice(&self.accum);
+        StateBlob::new(self.name(), e.into_bytes())
+    }
+
+    fn restore_blob(&mut self, blob: &StateBlob) -> Result<(), String> {
+        check_tag(blob, self.name())?;
+        let mut d = Decoder::new(&blob.data, "adagrad blob");
+        self.learning_rate = d.get_f64().map_err(decode_err)?;
+        self.epsilon = d.get_f64().map_err(decode_err)?;
+        self.accum = d.get_f64_vec().map_err(decode_err)?;
+        d.finish().map_err(decode_err)
+    }
+
+    fn name(&self) -> &'static str {
+        "adagrad-v1"
+    }
+
+    fn reset(&mut self) {
+        self.accum.clear();
+    }
+}
+
+/// RMSProp (Tieleman & Hinton 2012).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RmsProp {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Squared-gradient decay ρ.
+    pub rho: f64,
+    /// Numerical floor ε.
+    pub epsilon: f64,
+    sq: Vec<f64>,
+}
+
+impl RmsProp {
+    /// Creates RMSProp with ρ = 0.9.
+    pub fn new(learning_rate: f64) -> Self {
+        RmsProp {
+            learning_rate,
+            rho: 0.9,
+            epsilon: 1e-10,
+            sq: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "gradient length mismatch");
+        if self.sq.len() != params.len() {
+            self.sq = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            self.sq[i] = self.rho * self.sq[i] + (1.0 - self.rho) * grad[i] * grad[i];
+            params[i] -= self.learning_rate * grad[i] / (self.sq[i].sqrt() + self.epsilon);
+        }
+    }
+
+    fn state_blob(&self) -> StateBlob {
+        let mut e = Encoder::new();
+        e.put_f64(self.learning_rate)
+            .put_f64(self.rho)
+            .put_f64(self.epsilon)
+            .put_f64_slice(&self.sq);
+        StateBlob::new(self.name(), e.into_bytes())
+    }
+
+    fn restore_blob(&mut self, blob: &StateBlob) -> Result<(), String> {
+        check_tag(blob, self.name())?;
+        let mut d = Decoder::new(&blob.data, "rmsprop blob");
+        self.learning_rate = d.get_f64().map_err(decode_err)?;
+        self.rho = d.get_f64().map_err(decode_err)?;
+        self.epsilon = d.get_f64().map_err(decode_err)?;
+        self.sq = d.get_f64_vec().map_err(decode_err)?;
+        d.finish().map_err(decode_err)
+    }
+
+    fn name(&self) -> &'static str {
+        "rmsprop-v1"
+    }
+
+    fn reset(&mut self) {
+        self.sq.clear();
+    }
+}
+
+/// Builds an optimizer by name (CLI / config convenience).
+///
+/// # Errors
+///
+/// Returns the unknown name.
+pub fn by_name(name: &str, learning_rate: f64) -> Result<Box<dyn Optimizer>, String> {
+    match name {
+        "sgd" => Ok(Box::new(Sgd::new(learning_rate))),
+        "momentum" => Ok(Box::new(Momentum::new(learning_rate, 0.9))),
+        "adam" => Ok(Box::new(Adam::new(learning_rate))),
+        "adagrad" => Ok(Box::new(AdaGrad::new(learning_rate))),
+        "rmsprop" => Ok(Box::new(RmsProp::new(learning_rate))),
+        other => Err(format!("unknown optimizer '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_converges(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        // Minimize f(x) = Σ (x_i - i)², gradient 2(x_i - i).
+        let mut params = vec![10.0; 5];
+        for _ in 0..steps {
+            let grad: Vec<f64> = params
+                .iter()
+                .enumerate()
+                .map(|(i, p)| 2.0 * (p - i as f64))
+                .collect();
+            opt.step(&mut params, &grad);
+        }
+        params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p - i as f64).powi(2))
+            .sum()
+    }
+
+    #[test]
+    fn all_optimizers_descend_a_quadratic() {
+        let mut opts: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Sgd::new(0.1)),
+            Box::new(Momentum::new(0.05, 0.9)),
+            Box::new(Adam::new(0.3)),
+            Box::new(AdaGrad::new(2.0)),
+            Box::new(RmsProp::new(0.5)),
+        ];
+        for opt in &mut opts {
+            // Sign-normalized optimizers (RMSProp) oscillate within ~lr of
+            // the optimum; 0.1 is loose enough for all five.
+            let residual = quadratic_converges(opt.as_mut(), 300);
+            assert!(residual < 0.1, "{} residual {residual}", opt.name());
+        }
+    }
+
+    #[test]
+    fn sgd_step_is_linear() {
+        let mut opt = Sgd::new(0.5);
+        let mut params = vec![1.0, 2.0];
+        opt.step(&mut params, &[2.0, -4.0]);
+        assert_eq!(params, vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn adam_moments_round_trip_bitwise() {
+        let mut a = Adam::new(0.01);
+        let mut params = vec![0.3; 8];
+        for k in 0..17 {
+            let grad: Vec<f64> = params.iter().map(|p: &f64| p.sin() + k as f64 * 1e-3).collect();
+            a.step(&mut params, &grad);
+        }
+        let blob = a.state_blob();
+        let mut b = Adam::new(999.0); // wrong hypers, must be overwritten
+        b.restore_blob(&blob).unwrap();
+        assert_eq!(a, b);
+
+        // Future trajectories must now be identical bit for bit.
+        let mut pa = params.clone();
+        let mut pb = params.clone();
+        for _ in 0..10 {
+            let ga: Vec<f64> = pa.iter().map(|p| p.cos()).collect();
+            let gb: Vec<f64> = pb.iter().map(|p| p.cos()).collect();
+            a.step(&mut pa, &ga);
+            b.step(&mut pb, &gb);
+        }
+        for (x, y) in pa.iter().zip(&pb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_optimizer_blob_round_trips() {
+        let mut params = vec![1.0; 6];
+        let grad = vec![0.5; 6];
+        let factories: Vec<fn() -> Box<dyn Optimizer>> = vec![
+            || Box::new(Sgd::new(0.1)),
+            || Box::new(Momentum::new(0.1, 0.8)),
+            || Box::new(Adam::new(0.1)),
+            || Box::new(AdaGrad::new(0.1)),
+            || Box::new(RmsProp::new(0.1)),
+        ];
+        for factory in factories {
+            let mut original = factory();
+            original.step(&mut params, &grad);
+            original.step(&mut params, &grad);
+            let blob = original.state_blob();
+            assert_eq!(blob.tag, original.name());
+
+            let mut restored = factory();
+            restored.restore_blob(&blob).unwrap();
+            // One more step on each must agree exactly.
+            let mut p1 = params.clone();
+            let mut p2 = params.clone();
+            original.step(&mut p1, &grad);
+            restored.step(&mut p2, &grad);
+            for (a, b) in p1.iter().zip(&p2) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", original.name());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_tag() {
+        let sgd_blob = Sgd::new(0.1).state_blob();
+        let mut adam = Adam::new(0.1);
+        let err = adam.restore_blob(&sgd_blob).unwrap_err();
+        assert!(err.contains("tag mismatch"));
+    }
+
+    #[test]
+    fn restore_rejects_truncated_blob() {
+        let mut adam = Adam::new(0.1);
+        let mut params = vec![0.1; 3];
+        adam.step(&mut params, &[1.0, 1.0, 1.0]);
+        let mut blob = adam.state_blob();
+        blob.data.truncate(blob.data.len() / 2);
+        assert!(adam.restore_blob(&blob).is_err());
+    }
+
+    #[test]
+    fn reset_clears_moments_not_hypers() {
+        let mut m = Momentum::new(0.1, 0.9);
+        let mut params = vec![1.0];
+        m.step(&mut params, &[1.0]);
+        m.reset();
+        assert_eq!(m.learning_rate, 0.1);
+        assert_eq!(m.momentum, 0.9);
+        let blob = m.state_blob();
+        // Velocity is empty again.
+        let mut d = Decoder::new(&blob.data, "m");
+        d.get_f64().unwrap();
+        d.get_f64().unwrap();
+        assert!(d.get_f64_vec().unwrap().is_empty());
+    }
+
+    #[test]
+    fn by_name_constructs_all() {
+        for name in ["sgd", "momentum", "adam", "adagrad", "rmsprop"] {
+            assert_eq!(
+                by_name(name, 0.1).unwrap().name().split('-').next().unwrap(),
+                name
+            );
+        }
+        assert!(by_name("lbfgs", 0.1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn mismatched_gradient_panics() {
+        Sgd::new(0.1).step(&mut [1.0, 2.0], &[1.0]);
+    }
+}

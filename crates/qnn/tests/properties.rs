@@ -1,0 +1,139 @@
+//! Property-based tests for the training layer.
+
+use proptest::prelude::*;
+
+use qcheck::snapshot::Checkpointable;
+use qnn::ansatz::{hardware_efficient, init_params};
+use qnn::ledger::ShotLedger;
+use qnn::optimizer::{AdaGrad, Adam, Momentum, Optimizer, RmsProp, Sgd};
+use qnn::trainer::{Task, Trainer, TrainerConfig};
+use qnn::GradientMethod;
+use qsim::measure::EvalMode;
+use qsim::pauli::PauliSum;
+use qsim::rng::Xoshiro256;
+
+fn arb_f64_bits() -> impl Strategy<Value = f64> {
+    // Finite values only — optimizers may legitimately produce NaN from NaN.
+    prop::num::f64::NORMAL | prop::num::f64::ZERO | prop::num::f64::SUBNORMAL
+}
+
+fn optimizers() -> Vec<Box<dyn Optimizer>> {
+    vec![
+        Box::new(Sgd::new(0.05)),
+        Box::new(Momentum::new(0.05, 0.9)),
+        Box::new(Adam::new(0.05)),
+        Box::new(AdaGrad::new(0.05)),
+        Box::new(RmsProp::new(0.05)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every optimizer's blob round-trip preserves future trajectories
+    /// bitwise, from arbitrary reachable states.
+    #[test]
+    fn optimizer_blobs_round_trip_from_any_state(
+        grads in prop::collection::vec(prop::collection::vec(arb_f64_bits(), 6..7), 1..12),
+    ) {
+        for mut opt in optimizers() {
+            let mut params = vec![0.25f64; 6];
+            for g in &grads {
+                opt.step(&mut params, g);
+            }
+            let blob = opt.state_blob();
+
+            let mut restored: Box<dyn Optimizer> = match blob.tag.as_str() {
+                "sgd-v1" => Box::new(Sgd::new(9.9)),
+                "momentum-v1" => Box::new(Momentum::new(9.9, 0.1)),
+                "adam-v1" => Box::new(Adam::new(9.9)),
+                "adagrad-v1" => Box::new(AdaGrad::new(9.9)),
+                "rmsprop-v1" => Box::new(RmsProp::new(9.9)),
+                other => panic!("unknown tag {other}"),
+            };
+            restored.restore_blob(&blob).unwrap();
+
+            let probe = vec![0.125f64; 6];
+            let mut p1 = params.clone();
+            let mut p2 = params.clone();
+            opt.step(&mut p1, &probe);
+            restored.step(&mut p2, &probe);
+            for (a, b) in p1.iter().zip(&p2) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", blob.tag);
+            }
+        }
+    }
+
+    /// The shot ledger round-trips arbitrary entry streams.
+    #[test]
+    fn ledger_round_trips(entries in prop::collection::vec((any::<u64>(), any::<u32>(), 0u64..1_000_000), 0..100)) {
+        let mut l = ShotLedger::new();
+        for (step, evals, shots) in &entries {
+            l.record(*step, *evals, *shots);
+        }
+        let back = ShotLedger::from_bytes(&l.to_bytes()).unwrap();
+        prop_assert_eq!(back, l);
+    }
+
+    /// Trainer capture → restore → identical continuation, across random
+    /// seeds and both shot budgets (the exact-resume invariant as a
+    /// property, not an example).
+    #[test]
+    fn capture_restore_is_exact_for_any_seed(seed in any::<u64>(), shots in 8u32..64) {
+        let build = || {
+            let (circuit, info) = hardware_efficient(3, 1);
+            let mut rng = Xoshiro256::seed_from(seed);
+            Trainer::new(
+                circuit,
+                Task::Vqe {
+                    hamiltonian: PauliSum::transverse_ising(3, 1.0, 0.6),
+                },
+                Box::new(Adam::new(0.05)),
+                init_params(info.num_params, &mut rng),
+                TrainerConfig {
+                    eval_mode: EvalMode::Shots(shots),
+                    gradient: GradientMethod::Spsa { c: 0.1 },
+                    seed,
+                    ..TrainerConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut a = build();
+        a.train_step().unwrap();
+        let snap = a.capture();
+        let r1 = a.train_step().unwrap();
+
+        let mut b = build();
+        b.restore(&snap).unwrap();
+        let r2 = b.train_step().unwrap();
+        prop_assert_eq!(r1.loss.to_bits(), r2.loss.to_bits());
+        prop_assert_eq!(r1.shots, r2.shots);
+        for (x, y) in a.params().iter().zip(b.params()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Snapshot payload size scales with parameters but never leaks the
+    /// Hilbert-space dimension.
+    #[test]
+    fn snapshot_size_is_classical(qubits in 2usize..7, layers in 1usize..4) {
+        let (circuit, info) = hardware_efficient(qubits, layers);
+        let mut rng = Xoshiro256::seed_from(1);
+        let trainer = Trainer::new(
+            circuit,
+            Task::Vqe {
+                hamiltonian: PauliSum::transverse_ising(qubits, 1.0, 0.5),
+            },
+            Box::new(Sgd::new(0.1)),
+            init_params(info.num_params, &mut rng),
+            TrainerConfig::default(),
+        )
+        .unwrap();
+        let snap = trainer.capture();
+        let payload = snap.payload_bytes();
+        // Linear-ish in params (≤ 64 B/param + 1 KiB fixed), and far below
+        // the statevector for larger registers.
+        prop_assert!(payload <= info.num_params * 64 + 1024, "payload {payload}");
+    }
+}

@@ -1,0 +1,664 @@
+//! Parametrized quantum circuits.
+//!
+//! A [`Circuit`] is a serializable list of operations over a fixed-width
+//! qubit register. Gate angles may be fixed constants or symbolic references
+//! into an external parameter vector ([`ParamRef::Sym`]); binding a parameter
+//! vector yields a concrete state evolution. Circuits-as-data is load-bearing
+//! for the checkpointing story: the circuit itself is part of the training
+//! state inventory and must round-trip byte-exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::Gate;
+use crate::state::{StateError, StateVector};
+
+/// A gate angle: fixed, or a (possibly scaled) reference into a parameter
+/// vector.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ParamRef {
+    /// A constant angle baked into the circuit.
+    Fixed(f64),
+    /// `scale * params[index]`; the parameter-shift rule differentiates
+    /// through these.
+    Sym {
+        /// Index into the bound parameter vector.
+        index: usize,
+        /// Multiplier applied to the bound value.
+        scale: f64,
+    },
+}
+
+impl ParamRef {
+    /// A plain symbolic reference with unit scale.
+    pub fn sym(index: usize) -> Self {
+        ParamRef::Sym { index, scale: 1.0 }
+    }
+
+    /// Resolves the angle against a parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a symbolic index is out of range (circuit/parameter-vector
+    /// mismatch is a programming error, validated by [`Circuit::validate`]).
+    pub fn resolve(&self, params: &[f64]) -> f64 {
+        match *self {
+            ParamRef::Fixed(v) => v,
+            ParamRef::Sym { index, scale } => scale * params[index],
+        }
+    }
+}
+
+/// One operation in a circuit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// Gate kind; for parametrized gates the embedded angle is a placeholder
+    /// that is overridden by `param` at execution time.
+    pub gate: Gate,
+    /// Operand qubits (1 or 2 entries).
+    pub qubits: Vec<usize>,
+    /// Angle source for parametrized gates; `None` for fixed gates.
+    pub param: Option<ParamRef>,
+}
+
+/// Errors raised while validating or executing circuits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CircuitError {
+    /// An operation refers to a qubit outside the register.
+    QubitOutOfRange {
+        /// Index of the offending op.
+        op_index: usize,
+        /// The offending qubit.
+        qubit: usize,
+        /// Register width.
+        num_qubits: usize,
+    },
+    /// A symbolic parameter index is not covered by the parameter vector.
+    ParamOutOfRange {
+        /// Index of the offending op.
+        op_index: usize,
+        /// The symbolic index.
+        param_index: usize,
+        /// Provided parameter-vector length.
+        num_params: usize,
+    },
+    /// Operand count does not match gate arity.
+    ArityMismatch {
+        /// Index of the offending op.
+        op_index: usize,
+        /// Expected operand count.
+        expected: usize,
+        /// Provided operand count.
+        got: usize,
+    },
+    /// Underlying state error during execution.
+    State(StateError),
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange {
+                op_index,
+                qubit,
+                num_qubits,
+            } => write!(
+                f,
+                "op {op_index}: qubit {qubit} out of range for {num_qubits}-qubit circuit"
+            ),
+            CircuitError::ParamOutOfRange {
+                op_index,
+                param_index,
+                num_params,
+            } => write!(
+                f,
+                "op {op_index}: parameter index {param_index} out of range (have {num_params})"
+            ),
+            CircuitError::ArityMismatch {
+                op_index,
+                expected,
+                got,
+            } => write!(f, "op {op_index}: expected {expected} operands, got {got}"),
+            CircuitError::State(e) => write!(f, "state error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+impl From<StateError> for CircuitError {
+    fn from(e: StateError) -> Self {
+        CircuitError::State(e)
+    }
+}
+
+/// A serializable, parametrized quantum circuit.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::circuit::Circuit;
+/// use qsim::gate::Gate;
+///
+/// let mut c = Circuit::new(2);
+/// c.push_fixed(Gate::H, &[0]);
+/// c.push_sym(Gate::Ry(0.0), &[1], 0); // angle = params[0]
+/// c.push_fixed(Gate::Cx, &[0, 1]);
+///
+/// let psi = c.run(&[std::f64::consts::PI]).unwrap();
+/// assert_eq!(psi.num_qubits(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Op>,
+    num_params: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+            num_params: 0,
+        }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of distinct symbolic parameters referenced (1 + max index).
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the circuit contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation list.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Appends a fixed (non-symbolic) gate.
+    pub fn push_fixed(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        self.ops.push(Op {
+            gate,
+            qubits: qubits.to_vec(),
+            param: None,
+        });
+        self
+    }
+
+    /// Appends a gate whose angle is `params[param_index]`.
+    pub fn push_sym(&mut self, gate: Gate, qubits: &[usize], param_index: usize) -> &mut Self {
+        self.push_sym_scaled(gate, qubits, param_index, 1.0)
+    }
+
+    /// Appends a gate whose angle is `scale * params[param_index]`.
+    pub fn push_sym_scaled(
+        &mut self,
+        gate: Gate,
+        qubits: &[usize],
+        param_index: usize,
+        scale: f64,
+    ) -> &mut Self {
+        self.ops.push(Op {
+            gate,
+            qubits: qubits.to_vec(),
+            param: Some(ParamRef::Sym {
+                index: param_index,
+                scale,
+            }),
+        });
+        self.num_params = self.num_params.max(param_index + 1);
+        self
+    }
+
+    /// Appends all operations of `other` (qubit indices unchanged), merging
+    /// parameter spaces by offsetting `other`'s symbolic indices by
+    /// `param_offset`.
+    pub fn extend_offset(&mut self, other: &Circuit, param_offset: usize) {
+        for op in &other.ops {
+            let param = op.param.map(|p| match p {
+                ParamRef::Fixed(v) => ParamRef::Fixed(v),
+                ParamRef::Sym { index, scale } => ParamRef::Sym {
+                    index: index + param_offset,
+                    scale,
+                },
+            });
+            self.ops.push(Op {
+                gate: op.gate,
+                qubits: op.qubits.clone(),
+                param,
+            });
+        }
+        self.num_params = self.num_params.max(other.num_params + param_offset);
+        self.num_qubits = self.num_qubits.max(other.num_qubits);
+    }
+
+    /// Indices of ops that reference symbolic parameters, with the parameter
+    /// index each one reads. Used by the parameter-shift differentiator.
+    pub fn sym_ops(&self) -> Vec<(usize, usize)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| match op.param {
+                Some(ParamRef::Sym { index, .. }) => Some((i, index)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Gate-count statistics: (single-qubit gates, two-qubit gates).
+    pub fn gate_counts(&self) -> (usize, usize) {
+        let mut one = 0;
+        let mut two = 0;
+        for op in &self.ops {
+            match op.gate.arity() {
+                1 => one += 1,
+                _ => two += 1,
+            }
+        }
+        (one, two)
+    }
+
+    /// Validates all ops against the register width and `num_params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found.
+    pub fn validate(&self, num_params: usize) -> Result<(), CircuitError> {
+        for (i, op) in self.ops.iter().enumerate() {
+            let expected = op.gate.arity();
+            if op.qubits.len() != expected {
+                return Err(CircuitError::ArityMismatch {
+                    op_index: i,
+                    expected,
+                    got: op.qubits.len(),
+                });
+            }
+            for &q in &op.qubits {
+                if q >= self.num_qubits {
+                    return Err(CircuitError::QubitOutOfRange {
+                        op_index: i,
+                        qubit: q,
+                        num_qubits: self.num_qubits,
+                    });
+                }
+            }
+            if let Some(ParamRef::Sym { index, .. }) = op.param {
+                if index >= num_params {
+                    return Err(CircuitError::ParamOutOfRange {
+                        op_index: i,
+                        param_index: index,
+                        num_params,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes the circuit on `|0…0⟩` with the given parameter binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CircuitError`] if validation or gate application fails.
+    pub fn run(&self, params: &[f64]) -> Result<StateVector, CircuitError> {
+        let mut state = StateVector::zero_state(self.num_qubits);
+        self.run_on(&mut state, params)?;
+        Ok(state)
+    }
+
+    /// Executes the circuit on an existing state in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CircuitError`] if validation or gate application fails.
+    pub fn run_on(&self, state: &mut StateVector, params: &[f64]) -> Result<(), CircuitError> {
+        self.validate(params.len())?;
+        for op in &self.ops {
+            let gate = match op.param {
+                Some(p) => op.gate.with_param(p.resolve(params)),
+                None => op.gate,
+            };
+            state.apply_gate(gate, &op.qubits)?;
+        }
+        Ok(())
+    }
+
+    /// Executes the circuit with a single parameter shifted by `delta`
+    /// (convenience for the parameter-shift rule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Circuit::run`] errors; `param_index` out of range of
+    /// `params` is a [`CircuitError::ParamOutOfRange`].
+    pub fn run_shifted(
+        &self,
+        params: &[f64],
+        param_index: usize,
+        delta: f64,
+    ) -> Result<StateVector, CircuitError> {
+        if param_index >= params.len() {
+            return Err(CircuitError::ParamOutOfRange {
+                op_index: usize::MAX,
+                param_index,
+                num_params: params.len(),
+            });
+        }
+        let mut shifted = params.to_vec();
+        shifted[param_index] += delta;
+        self.run(&shifted)
+    }
+
+    /// Executes the circuit with the angle of the single operation at
+    /// `op_index` offset by `delta` (the op-level primitive behind the
+    /// generalized parameter-shift rule, correct even when several ops share
+    /// one parameter).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `op_index` does not refer to a parametrized op, or on any
+    /// [`Circuit::run`] error.
+    pub fn run_with_op_shift(
+        &self,
+        params: &[f64],
+        op_index: usize,
+        delta: f64,
+    ) -> Result<StateVector, CircuitError> {
+        let op = self.ops.get(op_index).ok_or(CircuitError::ArityMismatch {
+            op_index,
+            expected: 0,
+            got: 0,
+        })?;
+        if op.param.is_none() {
+            return Err(CircuitError::ArityMismatch {
+                op_index,
+                expected: 1,
+                got: 0,
+            });
+        }
+        let mut state = StateVector::zero_state(self.num_qubits);
+        self.run_on_with_op_shift(&mut state, params, op_index, delta)?;
+        Ok(state)
+    }
+
+    /// Like [`Circuit::run_with_op_shift`] but evolving an existing state in
+    /// place (used when the circuit is preceded by a data-encoding prefix).
+    ///
+    /// # Errors
+    ///
+    /// As [`Circuit::run_on`].
+    pub fn run_on_with_op_shift(
+        &self,
+        state: &mut StateVector,
+        params: &[f64],
+        op_index: usize,
+        delta: f64,
+    ) -> Result<(), CircuitError> {
+        self.validate(params.len())?;
+        for (i, op) in self.ops.iter().enumerate() {
+            let gate = match op.param {
+                Some(p) => {
+                    let mut angle = p.resolve(params);
+                    if i == op_index {
+                        angle += delta;
+                    }
+                    op.gate.with_param(angle)
+                }
+                None => op.gate,
+            };
+            state.apply_gate(gate, &op.qubits)?;
+        }
+        Ok(())
+    }
+
+    /// The adjoint circuit (all gates inverted, order reversed). Symbolic
+    /// parameters keep their indices with negated scale.
+    pub fn inverse(&self) -> Circuit {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for op in self.ops.iter().rev() {
+            match op.param {
+                None => ops.push(Op {
+                    gate: op.gate.inverse(),
+                    qubits: op.qubits.clone(),
+                    param: None,
+                }),
+                Some(ParamRef::Fixed(v)) => ops.push(Op {
+                    gate: op.gate,
+                    qubits: op.qubits.clone(),
+                    param: Some(ParamRef::Fixed(-v)),
+                }),
+                Some(ParamRef::Sym { index, scale }) => ops.push(Op {
+                    gate: op.gate,
+                    qubits: op.qubits.clone(),
+                    param: Some(ParamRef::Sym {
+                        index,
+                        scale: -scale,
+                    }),
+                }),
+            }
+        }
+        Circuit {
+            num_qubits: self.num_qubits,
+            ops,
+            num_params: self.num_params,
+        }
+    }
+
+    /// Rough serialized size in bytes (for the state-inventory table):
+    /// each op ≈ gate tag + params + operand list.
+    pub fn approx_byte_size(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| 8 + 24 + op.qubits.len() * 8 + 17)
+            .sum::<usize>()
+            + 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn empty_circuit_runs_to_zero_state() {
+        let c = Circuit::new(2);
+        assert!(c.is_empty());
+        let s = c.run(&[]).unwrap();
+        assert!((s.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn fixed_gates_execute() {
+        let mut c = Circuit::new(2);
+        c.push_fixed(Gate::H, &[0]).push_fixed(Gate::Cx, &[0, 1]);
+        let s = c.run(&[]).unwrap();
+        assert!((s.probability(0b00) - 0.5).abs() < EPS);
+        assert!((s.probability(0b11) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn symbolic_binding_works() {
+        let mut c = Circuit::new(1);
+        c.push_sym(Gate::Ry(0.0), &[0], 0);
+        // RY(π)|0⟩ = |1⟩
+        let s = c.run(&[std::f64::consts::PI]).unwrap();
+        assert!((s.probability(1) - 1.0).abs() < EPS);
+        // RY(0)|0⟩ = |0⟩
+        let s = c.run(&[0.0]).unwrap();
+        assert!((s.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn scaled_symbols() {
+        let mut c = Circuit::new(1);
+        c.push_sym_scaled(Gate::Ry(0.0), &[0], 0, 2.0);
+        let s = c.run(&[std::f64::consts::FRAC_PI_2]).unwrap();
+        assert!((s.probability(1) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn num_params_tracks_max_index() {
+        let mut c = Circuit::new(2);
+        c.push_sym(Gate::Rx(0.0), &[0], 3);
+        assert_eq!(c.num_params(), 4);
+        c.push_sym(Gate::Rz(0.0), &[1], 1);
+        assert_eq!(c.num_params(), 4);
+    }
+
+    #[test]
+    fn missing_params_is_error() {
+        let mut c = Circuit::new(1);
+        c.push_sym(Gate::Rx(0.0), &[0], 2);
+        let err = c.run(&[0.1]).unwrap_err();
+        assert!(matches!(err, CircuitError::ParamOutOfRange { param_index: 2, .. }));
+    }
+
+    #[test]
+    fn validate_catches_bad_qubits_and_arity() {
+        let mut c = Circuit::new(1);
+        c.push_fixed(Gate::X, &[1]);
+        assert!(matches!(
+            c.validate(0),
+            Err(CircuitError::QubitOutOfRange { qubit: 1, .. })
+        ));
+
+        let mut c2 = Circuit::new(2);
+        c2.ops.push(Op {
+            gate: Gate::Cx,
+            qubits: vec![0],
+            param: None,
+        });
+        assert!(matches!(
+            c2.validate(0),
+            Err(CircuitError::ArityMismatch { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_circuit_undoes_forward() {
+        let mut c = Circuit::new(3);
+        c.push_fixed(Gate::H, &[0]);
+        c.push_sym(Gate::Ry(0.0), &[1], 0);
+        c.push_fixed(Gate::Cx, &[0, 2]);
+        c.push_sym_scaled(Gate::Rzz(0.0), &[1, 2], 1, 0.5);
+        c.push_fixed(Gate::T, &[2]);
+
+        let params = [0.63, -1.2];
+        let fwd = c.run(&params).unwrap();
+        let mut state = fwd.clone();
+        c.inverse().run_on(&mut state, &params).unwrap();
+        let zero = StateVector::zero_state(3);
+        assert!((state.fidelity(&zero).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn extend_offset_merges_parameter_spaces() {
+        let mut a = Circuit::new(1);
+        a.push_sym(Gate::Rx(0.0), &[0], 0);
+        let mut b = Circuit::new(1);
+        b.push_sym(Gate::Ry(0.0), &[0], 0);
+        a.extend_offset(&b, 1);
+        assert_eq!(a.num_params(), 2);
+        assert_eq!(a.len(), 2);
+        // Both parameters act independently.
+        let s = a.run(&[0.0, std::f64::consts::PI]).unwrap();
+        assert!((s.probability(1) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn run_shifted_shifts_one_parameter() {
+        let mut c = Circuit::new(1);
+        c.push_sym(Gate::Ry(0.0), &[0], 0);
+        let base = c.run(&[0.5]).unwrap();
+        let shifted = c.run_shifted(&[0.5], 0, 0.25).unwrap();
+        let direct = c.run(&[0.75]).unwrap();
+        assert!((shifted.fidelity(&direct).unwrap() - 1.0).abs() < EPS);
+        assert!(shifted.fidelity(&base).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn run_shifted_out_of_range() {
+        let mut c = Circuit::new(1);
+        c.push_sym(Gate::Ry(0.0), &[0], 0);
+        assert!(c.run_shifted(&[0.5], 3, 0.1).is_err());
+    }
+
+    #[test]
+    fn run_with_op_shift_shifts_only_that_op() {
+        // Two ops sharing parameter 0; shifting op 1 must not move op 0.
+        let mut c = Circuit::new(1);
+        c.push_sym(Gate::Ry(0.0), &[0], 0);
+        c.push_sym(Gate::Ry(0.0), &[0], 0);
+        let shifted = c.run_with_op_shift(&[0.3], 1, 0.2).unwrap();
+        let mut reference = Circuit::new(1);
+        reference.push_fixed(Gate::Ry(0.3), &[0]);
+        reference.push_fixed(Gate::Ry(0.5), &[0]);
+        let expected = reference.run(&[]).unwrap();
+        assert!((shifted.fidelity(&expected).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn run_with_op_shift_rejects_fixed_ops() {
+        let mut c = Circuit::new(1);
+        c.push_fixed(Gate::H, &[0]);
+        assert!(c.run_with_op_shift(&[], 0, 0.1).is_err());
+        assert!(c.run_with_op_shift(&[], 5, 0.1).is_err());
+    }
+
+    #[test]
+    fn sym_ops_lists_parametrized_positions() {
+        let mut c = Circuit::new(2);
+        c.push_fixed(Gate::H, &[0]);
+        c.push_sym(Gate::Rx(0.0), &[0], 0);
+        c.push_fixed(Gate::Cx, &[0, 1]);
+        c.push_sym(Gate::Rz(0.0), &[1], 1);
+        assert_eq!(c.sym_ops(), vec![(1, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn gate_counts() {
+        let mut c = Circuit::new(2);
+        c.push_fixed(Gate::H, &[0]);
+        c.push_fixed(Gate::Cx, &[0, 1]);
+        c.push_sym(Gate::Ry(0.0), &[1], 0);
+        assert_eq!(c.gate_counts(), (2, 1));
+    }
+
+    #[test]
+    fn run_on_existing_state() {
+        let mut c = Circuit::new(1);
+        c.push_fixed(Gate::X, &[0]);
+        let mut s = StateVector::from_amplitudes(vec![
+            Complex64::ZERO,
+            Complex64::ONE,
+        ])
+        .unwrap();
+        c.run_on(&mut s, &[]).unwrap();
+        assert!((s.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn approx_byte_size_is_positive_and_monotone() {
+        let mut c = Circuit::new(2);
+        let s0 = c.approx_byte_size();
+        c.push_fixed(Gate::H, &[0]);
+        let s1 = c.approx_byte_size();
+        assert!(s1 > s0);
+    }
+}

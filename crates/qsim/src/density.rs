@@ -1,0 +1,437 @@
+//! Exact density-matrix simulation for small registers.
+//!
+//! Used as ground truth: the stochastic trajectory noise of
+//! [`crate::noise`] must converge to the exact channel semantics computed
+//! here. The density matrix costs `4^n` complex numbers, so this simulator
+//! is intended for `n ≤ 8` (tests use `n ≤ 4`).
+
+use crate::complex::Complex64;
+use crate::gate::{Gate, Matrix2};
+use crate::pauli::PauliSum;
+use crate::state::{StateError, StateVector};
+
+/// A mixed quantum state `ρ` over `n` qubits, stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    dim: usize,
+    /// Row-major `dim × dim` entries.
+    elems: Vec<Complex64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for registers above 12 qubits (16 MiB+ of matrix).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 12, "density matrix too large");
+        let dim = 1usize << num_qubits;
+        let mut elems = vec![Complex64::ZERO; dim * dim];
+        elems[0] = Complex64::ONE;
+        DensityMatrix {
+            num_qubits,
+            dim,
+            elems,
+        }
+    }
+
+    /// Builds `|ψ⟩⟨ψ|` from a pure state.
+    pub fn from_pure(state: &StateVector) -> Self {
+        let dim = state.amplitudes().len();
+        let mut elems = vec![Complex64::ZERO; dim * dim];
+        for (i, a) in state.amplitudes().iter().enumerate() {
+            for (j, b) in state.amplitudes().iter().enumerate() {
+                elems[i * dim + j] = *a * b.conj();
+            }
+        }
+        DensityMatrix {
+            num_qubits: state.num_qubits(),
+            dim,
+            elems,
+        }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Matrix entry `ρ[i][j]`.
+    pub fn get(&self, i: usize, j: usize) -> Complex64 {
+        self.elems[i * self.dim + j]
+    }
+
+    /// Trace of `ρ` (1 for a valid state).
+    pub fn trace(&self) -> Complex64 {
+        (0..self.dim).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Purity `tr(ρ²)`; 1 for pure states, `1/2ⁿ` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        let mut acc = Complex64::ZERO;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                acc += self.get(i, j) * self.get(j, i);
+            }
+        }
+        acc.re
+    }
+
+    /// Applies `U ρ U†` for a single-qubit unitary on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_matrix2(&mut self, m: &Matrix2, q: usize) {
+        assert!(q < self.num_qubits, "qubit out of range");
+        let bit = 1usize << q;
+        // Left-multiply by U: transform rows in pairs.
+        for col in 0..self.dim {
+            let mut base = 0usize;
+            while base < self.dim {
+                for offset in 0..bit {
+                    let r0 = base + offset;
+                    let r1 = r0 | bit;
+                    let a0 = self.elems[r0 * self.dim + col];
+                    let a1 = self.elems[r1 * self.dim + col];
+                    self.elems[r0 * self.dim + col] = m[0][0] * a0 + m[0][1] * a1;
+                    self.elems[r1 * self.dim + col] = m[1][0] * a0 + m[1][1] * a1;
+                }
+                base += bit << 1;
+            }
+        }
+        // Right-multiply by U†: transform columns in pairs with conj(m).
+        for row in 0..self.dim {
+            let mut base = 0usize;
+            while base < self.dim {
+                for offset in 0..bit {
+                    let c0 = base + offset;
+                    let c1 = c0 | bit;
+                    let a0 = self.elems[row * self.dim + c0];
+                    let a1 = self.elems[row * self.dim + c1];
+                    // (ρ U†)[r][c] = Σ_k ρ[r][k] conj(U[c][k])
+                    self.elems[row * self.dim + c0] =
+                        a0 * m[0][0].conj() + a1 * m[0][1].conj();
+                    self.elems[row * self.dim + c1] =
+                        a0 * m[1][0].conj() + a1 * m[1][1].conj();
+                }
+                base += bit << 1;
+            }
+        }
+    }
+
+    /// Applies a gate (`ρ → U ρ U†`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::QubitOutOfRange`] or
+    /// [`StateError::DuplicateQubits`] on bad operands.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) -> Result<(), StateError> {
+        for &q in qubits {
+            if q >= self.num_qubits {
+                return Err(StateError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        match gate.arity() {
+            1 => {
+                self.apply_matrix2(&gate.matrix2(), qubits[0]);
+                Ok(())
+            }
+            _ => {
+                if qubits[0] == qubits[1] {
+                    return Err(StateError::DuplicateQubits(qubits[0]));
+                }
+                // Two-qubit path: vectorize through columns using the
+                // state-vector kernel on each column, then on each row.
+                let m = gate.matrix4();
+                let qa = qubits[0];
+                let qb = qubits[1];
+                // U ρ
+                let mut new = self.elems.clone();
+                let ba = 1usize << qa;
+                let bb = 1usize << qb;
+                for col in 0..self.dim {
+                    for i in 0..self.dim {
+                        if i & ba != 0 || i & bb != 0 {
+                            continue;
+                        }
+                        let idx = [i, i | ba, i | bb, i | ba | bb];
+                        let vals = idx.map(|r| self.elems[r * self.dim + col]);
+                        for (k, &r) in idx.iter().enumerate() {
+                            let mut acc = Complex64::ZERO;
+                            for (j, v) in vals.iter().enumerate() {
+                                acc += m[k][j] * *v;
+                            }
+                            new[r * self.dim + col] = acc;
+                        }
+                    }
+                }
+                // (Uρ) U†
+                let src = new.clone();
+                for row in 0..self.dim {
+                    for i in 0..self.dim {
+                        if i & ba != 0 || i & bb != 0 {
+                            continue;
+                        }
+                        let idx = [i, i | ba, i | bb, i | ba | bb];
+                        let vals = idx.map(|c| src[row * self.dim + c]);
+                        for (k, &c) in idx.iter().enumerate() {
+                            let mut acc = Complex64::ZERO;
+                            for (j, v) in vals.iter().enumerate() {
+                                acc += *v * m[k][j].conj();
+                            }
+                            new[row * self.dim + c] = acc;
+                        }
+                    }
+                }
+                self.elems = new;
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies a single-qubit Kraus channel `ρ → Σ_k K_k ρ K_k†` on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or `kraus` is empty.
+    pub fn apply_kraus1(&mut self, kraus: &[Matrix2], q: usize) {
+        assert!(!kraus.is_empty(), "empty Kraus set");
+        let mut acc = vec![Complex64::ZERO; self.elems.len()];
+        for k in kraus {
+            let mut branch = self.clone();
+            branch.apply_matrix2_nonunitary(k, q);
+            for (a, b) in acc.iter_mut().zip(branch.elems) {
+                *a += b;
+            }
+        }
+        self.elems = acc;
+    }
+
+    /// `ρ → K ρ K†` for a (possibly non-unitary) 2×2 operator.
+    fn apply_matrix2_nonunitary(&mut self, m: &Matrix2, q: usize) {
+        self.apply_matrix2(m, q);
+    }
+
+    /// Depolarizing channel with probability `p` on qubit `q`.
+    pub fn depolarize(&mut self, q: usize, p: f64) {
+        let sq = |x: f64| Complex64::from_real(x.sqrt());
+        let i = Gate::I.matrix2();
+        let x = Gate::X.matrix2();
+        let y = Gate::Y.matrix2();
+        let z = Gate::Z.matrix2();
+        let scale = |m: &Matrix2, s: Complex64| -> Matrix2 {
+            [[m[0][0] * s, m[0][1] * s], [m[1][0] * s, m[1][1] * s]]
+        };
+        let kraus = [
+            scale(&i, sq(1.0 - p)),
+            scale(&x, sq(p / 3.0)),
+            scale(&y, sq(p / 3.0)),
+            scale(&z, sq(p / 3.0)),
+        ];
+        self.apply_kraus1(&kraus, q);
+    }
+
+    /// Amplitude-damping channel with decay probability `gamma` on qubit `q`.
+    pub fn amplitude_damp(&mut self, q: usize, gamma: f64) {
+        let k0: Matrix2 = [
+            [Complex64::ONE, Complex64::ZERO],
+            [Complex64::ZERO, Complex64::from_real((1.0 - gamma).sqrt())],
+        ];
+        let k1: Matrix2 = [
+            [Complex64::ZERO, Complex64::from_real(gamma.sqrt())],
+            [Complex64::ZERO, Complex64::ZERO],
+        ];
+        self.apply_kraus1(&[k0, k1], q);
+    }
+
+    /// Exact expectation `tr(ρ H)` of a Pauli-sum observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register widths differ.
+    pub fn expectation(&self, observable: &PauliSum) -> f64 {
+        assert_eq!(observable.num_qubits(), self.num_qubits);
+        let mut total = 0.0;
+        for (coeff, pauli) in observable.terms() {
+            // tr(ρ P): apply P to basis vectors implicitly. P maps basis
+            // state |j⟩ to phase·|j'⟩; tr(ρP) = Σ_j ⟨j|ρP|j⟩ = Σ_j ρ[j][j''],
+            // computed via P's action. Easiest: build P's action per index.
+            let mut acc = Complex64::ZERO;
+            for j in 0..self.dim {
+                let (target, phase) = pauli_action(pauli.paulis(), j);
+                // (ρ P)[j][j] = Σ_k ρ[j][k] P[k][j]; P[k][j] nonzero only for
+                // k = target(j), with value phase.
+                acc += self.get(j, target) * phase;
+            }
+            total += coeff * acc.re;
+        }
+        total
+    }
+}
+
+/// Computes `P|j⟩ = phase · |target⟩` for a Pauli string.
+fn pauli_action(paulis: &[crate::pauli::Pauli], j: usize) -> (usize, Complex64) {
+    use crate::pauli::Pauli;
+    let mut target = j;
+    let mut phase = Complex64::ONE;
+    for (q, p) in paulis.iter().enumerate() {
+        let bit = (j >> q) & 1;
+        match p {
+            Pauli::I => {}
+            Pauli::X => target ^= 1 << q,
+            Pauli::Y => {
+                target ^= 1 << q;
+                // Y|0⟩ = i|1⟩, Y|1⟩ = -i|0⟩
+                phase *= if bit == 0 { Complex64::I } else { -Complex64::I };
+            }
+            Pauli::Z => {
+                if bit == 1 {
+                    phase = -phase;
+                }
+            }
+        }
+    }
+    (target, phase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::noise::{run_trajectory, NoiseModel};
+    use crate::pauli::PauliString;
+    use crate::rng::Xoshiro256;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn zero_state_properties() {
+        let rho = DensityMatrix::zero_state(2);
+        assert!((rho.trace().re - 1.0).abs() < EPS);
+        assert!((rho.purity() - 1.0).abs() < EPS);
+        assert!(rho.get(0, 0).approx_eq(Complex64::ONE, EPS));
+    }
+
+    #[test]
+    fn from_pure_matches_statevector_expectations() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let psi = StateVector::random(3, &mut rng);
+        let rho = DensityMatrix::from_pure(&psi);
+        let h = PauliSum::transverse_ising(3, 1.0, 0.7);
+        let sv = h.expectation(&psi).unwrap();
+        let dm = rho.expectation(&h);
+        assert!((sv - dm).abs() < EPS, "{sv} vs {dm}");
+    }
+
+    #[test]
+    fn unitary_evolution_matches_statevector() {
+        let mut c = Circuit::new(2);
+        c.push_fixed(Gate::H, &[0]);
+        c.push_fixed(Gate::Cx, &[0, 1]);
+        c.push_fixed(Gate::Ry(0.4), &[1]);
+        c.push_fixed(Gate::Rzz(0.9), &[0, 1]);
+
+        let psi = c.run(&[]).unwrap();
+        let mut rho = DensityMatrix::zero_state(2);
+        for op in c.ops() {
+            rho.apply_gate(op.gate, &op.qubits).unwrap();
+        }
+        let h = PauliSum::heisenberg_xxz(2, 0.3);
+        assert!((rho.expectation(&h) - h.expectation(&psi).unwrap()).abs() < EPS);
+        assert!((rho.purity() - 1.0).abs() < EPS);
+        assert!((rho.trace().re - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity_and_preserves_trace() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.depolarize(0, 0.5);
+        assert!((rho.trace().re - 1.0).abs() < EPS);
+        assert!(rho.purity() < 1.0);
+        // Full depolarization of |0⟩: ρ = (1-p)|0⟩⟨0| + p/3(X|0..| + ...)
+        // With p = 3/4 this is maximally mixed.
+        let mut rho2 = DensityMatrix::zero_state(1);
+        rho2.depolarize(0, 0.75);
+        assert!((rho2.purity() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn amplitude_damping_fixed_point() {
+        // |1⟩ decays toward |0⟩.
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(Gate::X, &[0]).unwrap();
+        let mut rho = DensityMatrix::from_pure(&psi);
+        rho.amplitude_damp(0, 1.0);
+        // Fully damped → |0⟩⟨0|.
+        assert!(rho.get(0, 0).approx_eq(Complex64::ONE, EPS));
+        assert!(rho.get(1, 1).approx_eq(Complex64::ZERO, EPS));
+        assert!((rho.trace().re - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn trajectory_average_converges_to_exact_channel() {
+        // Circuit: RY(0.8) then depolarizing p. Exact channel vs Monte Carlo.
+        let p = 0.2;
+        let mut c = Circuit::new(1);
+        c.push_fixed(Gate::Ry(0.8), &[0]);
+
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(Gate::Ry(0.8), &[0]).unwrap();
+        rho.depolarize(0, p);
+        let h = PauliSum::mean_z(1);
+        let exact = rho.expectation(&h);
+
+        let nm = NoiseModel::new(p, 0.0, 0.0).unwrap();
+        let mut rng = Xoshiro256::seed_from(42);
+        let trials = 20_000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let s = run_trajectory(&c, &[], &nm, &mut rng).unwrap();
+            acc += h.expectation(&s).unwrap();
+        }
+        let mc = acc / trials as f64;
+        assert!((mc - exact).abs() < 0.02, "MC {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn two_qubit_gate_on_density_matrix() {
+        // Bell state density matrix: check ZZ and XX correlations.
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        rho.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+        let zz = PauliSum::from_terms(vec![(1.0, PauliString::from_str("ZZ").unwrap())]);
+        let xx = PauliSum::from_terms(vec![(1.0, PauliString::from_str("XX").unwrap())]);
+        assert!((rho.expectation(&zz) - 1.0).abs() < EPS);
+        assert!((rho.expectation(&xx) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn pauli_action_phases() {
+        use crate::pauli::Pauli;
+        // Y|0⟩ = i|1⟩
+        let (t, ph) = pauli_action(&[Pauli::Y], 0);
+        assert_eq!(t, 1);
+        assert!(ph.approx_eq(Complex64::I, EPS));
+        // Y|1⟩ = -i|0⟩
+        let (t, ph) = pauli_action(&[Pauli::Y], 1);
+        assert_eq!(t, 0);
+        assert!(ph.approx_eq(-Complex64::I, EPS));
+        // Z|1⟩ = -|1⟩
+        let (t, ph) = pauli_action(&[Pauli::Z], 1);
+        assert_eq!(t, 1);
+        assert!(ph.approx_eq(-Complex64::ONE, EPS));
+    }
+
+    #[test]
+    fn errors_on_bad_operands() {
+        let mut rho = DensityMatrix::zero_state(2);
+        assert!(rho.apply_gate(Gate::X, &[4]).is_err());
+        assert!(rho.apply_gate(Gate::Cx, &[1, 1]).is_err());
+    }
+}

@@ -1,0 +1,646 @@
+//! Quantum gate definitions and their unitary matrices.
+//!
+//! Gates are plain data ([`Gate`]): a named kind plus real parameters. The
+//! matrix for a gate is materialized on demand as a dense 2×2 or 4×4 complex
+//! array and applied by the kernels in [`crate::state`]. Keeping gates as
+//! data (rather than closures) is what makes circuits serializable, which the
+//! checkpointing layer depends on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex64;
+
+/// A 2×2 complex matrix acting on one qubit.
+pub type Matrix2 = [[Complex64; 2]; 2];
+/// A 4×4 complex matrix acting on two qubits (row-major, basis order
+/// `|q1 q0⟩` = `|00⟩,|01⟩,|10⟩,|11⟩` with the *first* listed qubit as the
+/// low bit).
+pub type Matrix4 = [[Complex64; 4]; 4];
+
+const Z0: Complex64 = Complex64::ZERO;
+const O1: Complex64 = Complex64::ONE;
+const IM: Complex64 = Complex64::I;
+
+/// Gate kinds supported by the simulator.
+///
+/// The set covers the standard single-qubit Cliffords, parametrized
+/// rotations, the two-qubit entanglers used by hardware-efficient ansätze,
+/// and the Mølmer–Sørensen–style `RXX/RYY/RZZ` family used to implement the
+/// canonical gate decomposition of arbitrary two-qubit unitaries.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Inverse phase gate S† = diag(1, -i).
+    Sdg,
+    /// T gate = diag(1, e^{iπ/4}).
+    T,
+    /// T† gate.
+    Tdg,
+    /// √X gate.
+    Sx,
+    /// Inverse √X gate.
+    Sxdg,
+    /// Rotation about X by the given angle.
+    Rx(f64),
+    /// Rotation about Y by the given angle.
+    Ry(f64),
+    /// Rotation about Z by the given angle.
+    Rz(f64),
+    /// Phase rotation diag(1, e^{iθ}).
+    Phase(f64),
+    /// General single-qubit gate U(θ, φ, λ) in the OpenQASM convention.
+    U3(f64, f64, f64),
+    /// Controlled-X; operand order is (control, target).
+    Cx,
+    /// Controlled-Y.
+    Cy,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Controlled phase rotation.
+    Cphase(f64),
+    /// Controlled-RZ.
+    Crz(f64),
+    /// SWAP.
+    Swap,
+    /// Two-qubit XX interaction: exp(-i θ/2 X⊗X).
+    Rxx(f64),
+    /// Two-qubit YY interaction: exp(-i θ/2 Y⊗Y).
+    Ryy(f64),
+    /// Two-qubit ZZ interaction: exp(-i θ/2 Z⊗Z).
+    Rzz(f64),
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on (1 or 2).
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Sx
+            | Gate::Sxdg
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::Phase(_)
+            | Gate::U3(..) => 1,
+            Gate::Cx
+            | Gate::Cy
+            | Gate::Cz
+            | Gate::Cphase(_)
+            | Gate::Crz(_)
+            | Gate::Swap
+            | Gate::Rxx(_)
+            | Gate::Ryy(_)
+            | Gate::Rzz(_) => 2,
+        }
+    }
+
+    /// Whether the gate carries a continuous parameter.
+    pub fn is_parametrized(&self) -> bool {
+        matches!(
+            self,
+            Gate::Rx(_)
+                | Gate::Ry(_)
+                | Gate::Rz(_)
+                | Gate::Phase(_)
+                | Gate::U3(..)
+                | Gate::Cphase(_)
+                | Gate::Crz(_)
+                | Gate::Rxx(_)
+                | Gate::Ryy(_)
+                | Gate::Rzz(_)
+        )
+    }
+
+    /// The 2×2 unitary for single-qubit gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a two-qubit gate.
+    pub fn matrix2(&self) -> Matrix2 {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        match *self {
+            Gate::I => [[O1, Z0], [Z0, O1]],
+            Gate::X => [[Z0, O1], [O1, Z0]],
+            Gate::Y => [[Z0, -IM], [IM, Z0]],
+            Gate::Z => [[O1, Z0], [Z0, -O1]],
+            Gate::H => [
+                [Complex64::from_real(h), Complex64::from_real(h)],
+                [Complex64::from_real(h), Complex64::from_real(-h)],
+            ],
+            Gate::S => [[O1, Z0], [Z0, IM]],
+            Gate::Sdg => [[O1, Z0], [Z0, -IM]],
+            Gate::T => [[O1, Z0], [Z0, Complex64::cis(std::f64::consts::FRAC_PI_4)]],
+            Gate::Tdg => [[O1, Z0], [Z0, Complex64::cis(-std::f64::consts::FRAC_PI_4)]],
+            Gate::Sx => {
+                let a = Complex64::new(0.5, 0.5);
+                let b = Complex64::new(0.5, -0.5);
+                [[a, b], [b, a]]
+            }
+            Gate::Sxdg => {
+                let a = Complex64::new(0.5, -0.5);
+                let b = Complex64::new(0.5, 0.5);
+                [[a, b], [b, a]]
+            }
+            Gate::Rx(t) => {
+                let c = Complex64::from_real((t / 2.0).cos());
+                let s = Complex64::new(0.0, -(t / 2.0).sin());
+                [[c, s], [s, c]]
+            }
+            Gate::Ry(t) => {
+                let c = (t / 2.0).cos();
+                let s = (t / 2.0).sin();
+                [
+                    [Complex64::from_real(c), Complex64::from_real(-s)],
+                    [Complex64::from_real(s), Complex64::from_real(c)],
+                ]
+            }
+            Gate::Rz(t) => [
+                [Complex64::cis(-t / 2.0), Z0],
+                [Z0, Complex64::cis(t / 2.0)],
+            ],
+            Gate::Phase(t) => [[O1, Z0], [Z0, Complex64::cis(t)]],
+            Gate::U3(theta, phi, lambda) => {
+                let c = (theta / 2.0).cos();
+                let s = (theta / 2.0).sin();
+                [
+                    [
+                        Complex64::from_real(c),
+                        -Complex64::cis(lambda) * s,
+                    ],
+                    [
+                        Complex64::cis(phi) * s,
+                        Complex64::cis(phi + lambda) * c,
+                    ],
+                ]
+            }
+            _ => panic!("matrix2 called on two-qubit gate {self:?}"),
+        }
+    }
+
+    /// The 4×4 unitary for two-qubit gates.
+    ///
+    /// Basis convention: when the gate is applied to qubits `(a, b)`, the
+    /// matrix index bit 0 is qubit `a` and bit 1 is qubit `b`. For controlled
+    /// gates, qubit `a` is the control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a single-qubit gate.
+    pub fn matrix4(&self) -> Matrix4 {
+        match *self {
+            // Control is bit 0 (index odd → control set).
+            Gate::Cx => {
+                let mut m = identity4();
+                // |c=1,t=0⟩ = index 0b01 = 1 ↔ |c=1,t=1⟩ = 0b11 = 3
+                m[1] = [Z0, Z0, Z0, O1];
+                m[3] = [Z0, O1, Z0, Z0];
+                m
+            }
+            Gate::Cy => {
+                let mut m = identity4();
+                m[1] = [Z0, Z0, Z0, -IM];
+                m[3] = [Z0, IM, Z0, Z0];
+                m
+            }
+            Gate::Cz => {
+                let mut m = identity4();
+                m[3][3] = -O1;
+                m
+            }
+            Gate::Cphase(t) => {
+                let mut m = identity4();
+                m[3][3] = Complex64::cis(t);
+                m
+            }
+            Gate::Crz(t) => {
+                let mut m = identity4();
+                m[1][1] = Complex64::cis(-t / 2.0);
+                m[3][3] = Complex64::cis(t / 2.0);
+                m
+            }
+            Gate::Swap => {
+                let mut m = [[Z0; 4]; 4];
+                m[0][0] = O1;
+                m[1][2] = O1;
+                m[2][1] = O1;
+                m[3][3] = O1;
+                m
+            }
+            Gate::Rxx(t) => {
+                let c = Complex64::from_real((t / 2.0).cos());
+                let s = Complex64::new(0.0, -(t / 2.0).sin());
+                [
+                    [c, Z0, Z0, s],
+                    [Z0, c, s, Z0],
+                    [Z0, s, c, Z0],
+                    [s, Z0, Z0, c],
+                ]
+            }
+            Gate::Ryy(t) => {
+                let c = Complex64::from_real((t / 2.0).cos());
+                let s = Complex64::new(0.0, (t / 2.0).sin());
+                let ms = Complex64::new(0.0, -(t / 2.0).sin());
+                [
+                    [c, Z0, Z0, s],
+                    [Z0, c, ms, Z0],
+                    [Z0, ms, c, Z0],
+                    [s, Z0, Z0, c],
+                ]
+            }
+            Gate::Rzz(t) => {
+                let e = Complex64::cis(-t / 2.0);
+                let ec = Complex64::cis(t / 2.0);
+                [
+                    [e, Z0, Z0, Z0],
+                    [Z0, ec, Z0, Z0],
+                    [Z0, Z0, ec, Z0],
+                    [Z0, Z0, Z0, e],
+                ]
+            }
+            _ => panic!("matrix4 called on single-qubit gate {self:?}"),
+        }
+    }
+
+    /// Returns the gate with its continuous parameter replaced by `theta`.
+    ///
+    /// Non-parametrized gates are returned unchanged; `U3` rebinds only its
+    /// first angle.
+    pub fn with_param(&self, theta: f64) -> Gate {
+        match *self {
+            Gate::Rx(_) => Gate::Rx(theta),
+            Gate::Ry(_) => Gate::Ry(theta),
+            Gate::Rz(_) => Gate::Rz(theta),
+            Gate::Phase(_) => Gate::Phase(theta),
+            Gate::U3(_, phi, lambda) => Gate::U3(theta, phi, lambda),
+            Gate::Cphase(_) => Gate::Cphase(theta),
+            Gate::Crz(_) => Gate::Crz(theta),
+            Gate::Rxx(_) => Gate::Rxx(theta),
+            Gate::Ryy(_) => Gate::Ryy(theta),
+            Gate::Rzz(_) => Gate::Rzz(theta),
+            g => g,
+        }
+    }
+
+    /// The inverse (adjoint) gate.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Phase(t) => Gate::Phase(-t),
+            Gate::U3(theta, phi, lambda) => Gate::U3(-theta, -lambda, -phi),
+            Gate::Cphase(t) => Gate::Cphase(-t),
+            Gate::Crz(t) => Gate::Crz(-t),
+            Gate::Rxx(t) => Gate::Rxx(-t),
+            Gate::Ryy(t) => Gate::Ryy(-t),
+            Gate::Rzz(t) => Gate::Rzz(-t),
+            Gate::Sx => Gate::Sxdg,
+            Gate::Sxdg => Gate::Sx,
+            g => g, // I, X, Y, Z, H, Cx, Cy, Cz, Swap are involutions
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Rx(t) => write!(f, "RX({t:.4})"),
+            Gate::Ry(t) => write!(f, "RY({t:.4})"),
+            Gate::Rz(t) => write!(f, "RZ({t:.4})"),
+            Gate::Phase(t) => write!(f, "P({t:.4})"),
+            Gate::U3(a, b, c) => write!(f, "U3({a:.4},{b:.4},{c:.4})"),
+            Gate::Cphase(t) => write!(f, "CP({t:.4})"),
+            Gate::Crz(t) => write!(f, "CRZ({t:.4})"),
+            Gate::Rxx(t) => write!(f, "RXX({t:.4})"),
+            Gate::Ryy(t) => write!(f, "RYY({t:.4})"),
+            Gate::Rzz(t) => write!(f, "RZZ({t:.4})"),
+            g => write!(f, "{g:?}"),
+        }
+    }
+}
+
+/// 4×4 identity matrix.
+pub fn identity4() -> Matrix4 {
+    let mut m = [[Z0; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = O1;
+    }
+    m
+}
+
+/// Multiplies two 2×2 complex matrices.
+pub fn matmul2(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    let mut out = [[Z0; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            let mut acc = Z0;
+            for (k, bk) in b.iter().enumerate() {
+                acc += a[i][k] * bk[j];
+            }
+            out[i][j] = acc;
+        }
+    }
+    out
+}
+
+/// Multiplies two 4×4 complex matrices.
+pub fn matmul4(a: &Matrix4, b: &Matrix4) -> Matrix4 {
+    let mut out = [[Z0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            let mut acc = Z0;
+            for (k, bk) in b.iter().enumerate() {
+                acc += a[i][k] * bk[j];
+            }
+            out[i][j] = acc;
+        }
+    }
+    out
+}
+
+/// Conjugate transpose of a 2×2 matrix.
+pub fn dagger2(m: &Matrix2) -> Matrix2 {
+    let mut out = [[Z0; 2]; 2];
+    for i in 0..2 {
+        for (j, row) in m.iter().enumerate() {
+            out[i][j] = row[i].conj();
+        }
+    }
+    out
+}
+
+/// Conjugate transpose of a 4×4 matrix.
+pub fn dagger4(m: &Matrix4) -> Matrix4 {
+    let mut out = [[Z0; 4]; 4];
+    for i in 0..4 {
+        for (j, row) in m.iter().enumerate() {
+            out[i][j] = row[i].conj();
+        }
+    }
+    out
+}
+
+/// Checks a 2×2 matrix for unitarity within tolerance `eps`.
+pub fn is_unitary2(m: &Matrix2, eps: f64) -> bool {
+    let p = matmul2(&dagger2(m), m);
+    let id: Matrix2 = [[O1, Z0], [Z0, O1]];
+    for i in 0..2 {
+        for j in 0..2 {
+            if !p[i][j].approx_eq(id[i][j], eps) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks a 4×4 matrix for unitarity within tolerance `eps`.
+pub fn is_unitary4(m: &Matrix4, eps: f64) -> bool {
+    let p = matmul4(&dagger4(m), m);
+    let id = identity4();
+    for i in 0..4 {
+        for j in 0..4 {
+            if !p[i][j].approx_eq(id[i][j], eps) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn all_single() -> Vec<Gate> {
+        vec![
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Rx(0.3),
+            Gate::Ry(-1.1),
+            Gate::Rz(2.7),
+            Gate::Phase(0.9),
+            Gate::U3(0.4, 1.2, -0.7),
+        ]
+    }
+
+    fn all_two() -> Vec<Gate> {
+        vec![
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Cphase(0.5),
+            Gate::Crz(-0.8),
+            Gate::Swap,
+            Gate::Rxx(0.6),
+            Gate::Ryy(1.3),
+            Gate::Rzz(-2.0),
+        ]
+    }
+
+    #[test]
+    fn arities() {
+        for g in all_single() {
+            assert_eq!(g.arity(), 1, "{g}");
+        }
+        for g in all_two() {
+            assert_eq!(g.arity(), 2, "{g}");
+        }
+    }
+
+    #[test]
+    fn all_single_qubit_gates_are_unitary() {
+        for g in all_single() {
+            assert!(is_unitary2(&g.matrix2(), EPS), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn all_two_qubit_gates_are_unitary() {
+        for g in all_two() {
+            assert!(is_unitary4(&g.matrix4(), EPS), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let x = Gate::X.matrix2();
+        let y = Gate::Y.matrix2();
+        let z = Gate::Z.matrix2();
+        // XY = iZ
+        let xy = matmul2(&x, &y);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(xy[i][j].approx_eq(IM * z[i][j], EPS));
+            }
+        }
+        // X² = I
+        let xx = matmul2(&x, &x);
+        assert!(xx[0][0].approx_eq(O1, EPS) && xx[1][1].approx_eq(O1, EPS));
+        assert!(xx[0][1].approx_eq(Z0, EPS) && xx[1][0].approx_eq(Z0, EPS));
+    }
+
+    #[test]
+    fn hadamard_conjugates_x_to_z() {
+        let h = Gate::H.matrix2();
+        let x = Gate::X.matrix2();
+        let z = Gate::Z.matrix2();
+        let hxh = matmul2(&matmul2(&h, &x), &h);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(hxh[i][j].approx_eq(z[i][j], EPS));
+            }
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        let s2 = matmul2(&Gate::S.matrix2(), &Gate::S.matrix2());
+        let z = Gate::Z.matrix2();
+        let t2 = matmul2(&Gate::T.matrix2(), &Gate::T.matrix2());
+        let s = Gate::S.matrix2();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(s2[i][j].approx_eq(z[i][j], EPS));
+                assert!(t2[i][j].approx_eq(s[i][j], EPS));
+            }
+        }
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx2 = matmul2(&Gate::Sx.matrix2(), &Gate::Sx.matrix2());
+        let x = Gate::X.matrix2();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(sx2[i][j].approx_eq(x[i][j], EPS));
+            }
+        }
+    }
+
+    #[test]
+    fn rotations_compose_additively() {
+        for (a, b) in [(0.3, 0.9), (-1.0, 2.0), (0.0, 0.0)] {
+            let ra = Gate::Rz(a).matrix2();
+            let rb = Gate::Rz(b).matrix2();
+            let rab = Gate::Rz(a + b).matrix2();
+            let prod = matmul2(&ra, &rb);
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert!(prod[i][j].approx_eq(rab[i][j], EPS));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // U3(θ,0,0) = RY(θ)
+        let u = Gate::U3(0.7, 0.0, 0.0).matrix2();
+        let ry = Gate::Ry(0.7).matrix2();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(u[i][j].approx_eq(ry[i][j], EPS));
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_cancel_for_matrix2_gates() {
+        for g in all_single() {
+            let m = g.matrix2();
+            let mi = g.inverse().matrix2();
+            let p = matmul2(&mi, &m);
+            assert!(p[0][0].approx_eq(O1, 1e-10), "{g}");
+            assert!(p[1][1].approx_eq(O1, 1e-10), "{g}");
+            assert!(p[0][1].approx_eq(Z0, 1e-10), "{g}");
+            assert!(p[1][0].approx_eq(Z0, 1e-10), "{g}");
+        }
+    }
+
+    #[test]
+    fn inverses_cancel_for_matrix4_gates() {
+        for g in all_two() {
+            let m = g.matrix4();
+            let mi = g.inverse().matrix4();
+            let p = matmul4(&mi, &m);
+            let id = identity4();
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!(p[i][j].approx_eq(id[i][j], 1e-10), "{g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_param_rebinds() {
+        assert_eq!(Gate::Rx(0.0).with_param(1.5), Gate::Rx(1.5));
+        assert_eq!(Gate::Rzz(0.0).with_param(-0.5), Gate::Rzz(-0.5));
+        assert_eq!(Gate::H.with_param(9.9), Gate::H);
+        assert!(Gate::Rx(0.1).is_parametrized());
+        assert!(!Gate::Cx.is_parametrized());
+    }
+
+    #[test]
+    fn cx_matrix_truth_table() {
+        let m = Gate::Cx.matrix4();
+        // control = bit0. Index 0b01=1 (control set, target 0) maps to 0b11=3.
+        assert!(m[3][1].approx_eq(O1, EPS));
+        assert!(m[1][3].approx_eq(O1, EPS));
+        assert!(m[0][0].approx_eq(O1, EPS));
+        assert!(m[2][2].approx_eq(O1, EPS));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for g in all_single().into_iter().chain(all_two()) {
+            assert!(!g.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn rzz_is_diagonal_with_correct_phases() {
+        let m = Gate::Rzz(1.0).matrix4();
+        assert!(m[0][0].approx_eq(Complex64::cis(-0.5), EPS));
+        assert!(m[1][1].approx_eq(Complex64::cis(0.5), EPS));
+        assert!(m[2][2].approx_eq(Complex64::cis(0.5), EPS));
+        assert!(m[3][3].approx_eq(Complex64::cis(-0.5), EPS));
+    }
+}

@@ -1,0 +1,70 @@
+//! # qsim — deterministic state-vector quantum simulator
+//!
+//! The quantum substrate for the `qnn-checkpoint` project: a small,
+//! dependency-light simulator whose every stochastic draw flows through a
+//! serializable RNG ([`rng::Xoshiro256`]). That design choice is what makes
+//! *exact resume* of hybrid quantum-classical training — the contribution of
+//! the reproduced paper — a testable property instead of a hope.
+//!
+//! ## What's here
+//!
+//! * [`complex`] — minimal complex arithmetic ([`complex::Complex64`]).
+//! * [`rng`] — xoshiro256\*\* with byte-exact state capture.
+//! * [`state`] — the `2^n`-amplitude [`state::StateVector`] and gate kernels.
+//! * [`gate`] — the serializable gate set and its matrices.
+//! * [`circuit`] — parametrized circuits ([`circuit::Circuit`]) as data.
+//! * [`pauli`] — Pauli-string observables ([`pauli::PauliSum`]).
+//! * [`measure`] — shot-based estimation ([`measure::EvalMode`]).
+//! * [`noise`] — stochastic trajectory noise ([`noise::NoiseModel`]).
+//! * [`density`] — exact density-matrix cross-checker for small registers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qsim::circuit::Circuit;
+//! use qsim::gate::Gate;
+//! use qsim::measure::{evaluate_observable, EvalMode};
+//! use qsim::pauli::PauliSum;
+//! use qsim::rng::Xoshiro256;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A parametrized two-qubit circuit …
+//! let mut circuit = Circuit::new(2);
+//! circuit.push_fixed(Gate::H, &[0]);
+//! circuit.push_sym(Gate::Ry(0.0), &[1], 0);
+//! circuit.push_fixed(Gate::Cx, &[0, 1]);
+//!
+//! // … evaluated against a transverse-field Ising Hamiltonian with shots.
+//! let h = PauliSum::transverse_ising(2, 1.0, 0.5);
+//! let state = circuit.run(&[0.3])?;
+//! let mut rng = Xoshiro256::seed_from(7);
+//! let (energy, shots_used) =
+//!     evaluate_observable(&state, &h, EvalMode::Shots(1024), &mut rng)?;
+//! assert!(shots_used > 0);
+//! assert!(energy.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod complex;
+pub mod density;
+pub mod gate;
+pub mod measure;
+pub mod noise;
+pub mod pauli;
+pub mod rng;
+pub mod state;
+pub mod text;
+
+pub use circuit::{Circuit, CircuitError, Op, ParamRef};
+pub use complex::Complex64;
+pub use gate::Gate;
+pub use measure::{evaluate_observable, EvalMode};
+pub use noise::NoiseModel;
+pub use pauli::{Pauli, PauliString, PauliSum};
+pub use rng::{RngState, Xoshiro256};
+pub use state::{StateError, StateVector};

@@ -1,0 +1,304 @@
+//! Shot-based estimation of observables.
+//!
+//! On real hardware an expectation value is never read off exactly: each
+//! Pauli term is estimated by rotating into its eigenbasis, sampling `S`
+//! shots, and averaging ±1 eigenvalues. The sampling consumes draws from the
+//! provided [`Xoshiro256`] stream — which is exactly why the checkpointing
+//! layer must capture RNG state to make a resumed run reproduce the same
+//! shot noise.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::CircuitError;
+use crate::pauli::{PauliString, PauliSum};
+use crate::rng::Xoshiro256;
+use crate::state::StateVector;
+
+/// How an expectation value should be evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalMode {
+    /// Exact expectation from the full state vector (noiseless analysis).
+    Exact,
+    /// Estimated from the given number of shots per Pauli term.
+    Shots(u32),
+}
+
+impl EvalMode {
+    /// Shots consumed per Pauli term under this mode.
+    pub fn shots_per_term(&self) -> u32 {
+        match self {
+            EvalMode::Exact => 0,
+            EvalMode::Shots(s) => *s,
+        }
+    }
+}
+
+/// Estimates `⟨ψ|P|ψ⟩` for a single Pauli string from `shots` samples.
+///
+/// # Errors
+///
+/// Propagates circuit/state errors from the basis rotation.
+pub fn estimate_pauli(
+    state: &StateVector,
+    pauli: &PauliString,
+    shots: u32,
+    rng: &mut Xoshiro256,
+) -> Result<f64, CircuitError> {
+    if pauli.weight() == 0 {
+        // ⟨I⟩ = 1 with zero variance; consume no shots.
+        return Ok(1.0);
+    }
+    let mut rotated = state.clone();
+    pauli.basis_rotation().run_on(&mut rotated, &[])?;
+    let counts = rotated.sample_counts(shots as usize, rng);
+    let mut acc = 0.0;
+    for (outcome, count) in counts {
+        acc += pauli.eigenvalue(outcome) * count as f64;
+    }
+    Ok(acc / shots as f64)
+}
+
+/// Evaluates `⟨ψ|H|ψ⟩` for a Pauli-sum observable in the given mode.
+///
+/// In [`EvalMode::Shots`] each term is estimated independently with the full
+/// per-term shot budget (the simple, hardware-faithful strategy; grouping
+/// commuting terms is an optimization the evaluation does not depend on).
+///
+/// Returns the estimate together with the number of shots consumed.
+///
+/// # Errors
+///
+/// Propagates circuit/state errors from the basis rotations.
+pub fn evaluate_observable(
+    state: &StateVector,
+    observable: &PauliSum,
+    mode: EvalMode,
+    rng: &mut Xoshiro256,
+) -> Result<(f64, u64), CircuitError> {
+    match mode {
+        EvalMode::Exact => {
+            let v = observable.expectation(state)?;
+            Ok((v, 0))
+        }
+        EvalMode::Shots(shots) => {
+            let mut acc = 0.0;
+            let mut consumed = 0u64;
+            for (coeff, pauli) in observable.terms() {
+                let est = estimate_pauli(state, pauli, shots, rng)?;
+                if pauli.weight() > 0 {
+                    consumed += shots as u64;
+                }
+                acc += coeff * est;
+            }
+            Ok((acc, consumed))
+        }
+    }
+}
+
+/// Standard error of a single-term shot estimate with true expectation `e`
+/// and `shots` samples (binomial variance of a ±1 variable).
+pub fn shot_standard_error(e: f64, shots: u32) -> f64 {
+    if shots == 0 {
+        return 0.0;
+    }
+    ((1.0 - e * e).max(0.0) / shots as f64).sqrt()
+}
+
+/// Estimates the fidelity `|⟨a|b⟩|²` of two pure states with the
+/// *destructive SWAP test*: prepare `a ⊗ b`, apply transversal `CX(i, i+n)`
+/// and `H(i)`, measure everything, and average
+/// `Π_i (−1)^{bit_i(a-half) · bit_i(b-half)}` over shots — the hardware
+/// protocol behind shot-based fidelity losses.
+///
+/// The estimator is unbiased; individual sample means may fall outside
+/// `[0, 1]` at low shot counts.
+///
+/// # Errors
+///
+/// Returns [`crate::state::StateError::SizeMismatch`] when the registers differ.
+///
+/// # Panics
+///
+/// Panics if `shots == 0`.
+pub fn swap_test_fidelity(
+    a: &StateVector,
+    b: &StateVector,
+    shots: u32,
+    rng: &mut Xoshiro256,
+) -> Result<f64, CircuitError> {
+    assert!(shots > 0, "need at least one shot");
+    let n = a.num_qubits();
+    if b.num_qubits() != n {
+        return Err(CircuitError::State(
+            crate::state::StateError::SizeMismatch {
+                left: n,
+                right: b.num_qubits(),
+            },
+        ));
+    }
+    // a occupies qubits 0..n (low), b occupies n..2n (high).
+    let mut joint = a.tensor(b);
+    for i in 0..n {
+        joint.apply_gate(crate::gate::Gate::Cx, &[i, i + n])?;
+        joint.apply_gate(crate::gate::Gate::H, &[i])?;
+    }
+    let counts = joint.sample_counts(shots as usize, rng);
+    let mut acc = 0.0f64;
+    for (outcome, count) in counts {
+        let low = outcome & ((1usize << n) - 1);
+        let high = outcome >> n;
+        let parity = (low & high).count_ones();
+        let sign = if parity % 2 == 0 { 1.0 } else { -1.0 };
+        acc += sign * count as f64;
+    }
+    Ok(acc / shots as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn exact_mode_consumes_no_shots() {
+        let s = StateVector::zero_state(2);
+        let h = PauliSum::mean_z(2);
+        let mut rng = Xoshiro256::seed_from(1);
+        let before = rng.draw_count();
+        let (v, consumed) = evaluate_observable(&s, &h, EvalMode::Exact, &mut rng).unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+        assert_eq!(consumed, 0);
+        assert_eq!(rng.draw_count(), before);
+    }
+
+    #[test]
+    fn shot_estimate_converges() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(Gate::Ry(0.7), &[0]).unwrap();
+        let z = PauliString::from_str("Z").unwrap();
+        let exact = z.expectation(&s).unwrap();
+        let mut rng = Xoshiro256::seed_from(3);
+        let est = estimate_pauli(&s, &z, 100_000, &mut rng).unwrap();
+        assert!(
+            (est - exact).abs() < 4.0 * shot_standard_error(exact, 100_000) + 1e-3,
+            "estimate {est} too far from {exact}"
+        );
+    }
+
+    #[test]
+    fn shot_estimate_of_x_term_uses_rotation() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(Gate::H, &[0]).unwrap();
+        let x = PauliString::from_str("X").unwrap();
+        let mut rng = Xoshiro256::seed_from(5);
+        let est = estimate_pauli(&s, &x, 10_000, &mut rng).unwrap();
+        // |+⟩ is an X eigenstate; every shot yields +1.
+        assert!((est - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_term_is_free() {
+        let s = StateVector::zero_state(2);
+        let id = PauliString::identity(2);
+        let mut rng = Xoshiro256::seed_from(7);
+        let before = rng.draw_count();
+        let est = estimate_pauli(&s, &id, 1_000, &mut rng).unwrap();
+        assert_eq!(est, 1.0);
+        assert_eq!(rng.draw_count(), before);
+    }
+
+    #[test]
+    fn observable_estimate_accounts_shots() {
+        let s = StateVector::zero_state(2);
+        let h = PauliSum::transverse_ising(2, 1.0, 0.5);
+        let mut rng = Xoshiro256::seed_from(9);
+        let (_, consumed) = evaluate_observable(&s, &h, EvalMode::Shots(128), &mut rng).unwrap();
+        // 1 ZZ term + 2 X terms, 128 shots each.
+        assert_eq!(consumed, 3 * 128);
+    }
+
+    #[test]
+    fn shot_noise_is_reproducible_from_rng_state() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(Gate::H, &[0]).unwrap();
+        s.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+        let h = PauliSum::transverse_ising(2, 1.0, 1.0);
+
+        let mut rng = Xoshiro256::seed_from(11);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let snapshot = rng.state();
+        let (a, _) = evaluate_observable(&s, &h, EvalMode::Shots(500), &mut rng).unwrap();
+        let mut rng2 = Xoshiro256::from_state(snapshot);
+        let (b, _) = evaluate_observable(&s, &h, EvalMode::Shots(500), &mut rng2).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits(), "bitwise-identical shot noise");
+    }
+
+    #[test]
+    fn standard_error_shapes() {
+        assert_eq!(shot_standard_error(1.0, 100), 0.0);
+        assert!(shot_standard_error(0.0, 100) > shot_standard_error(0.9, 100));
+        assert_eq!(shot_standard_error(0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn eval_mode_shots_per_term() {
+        assert_eq!(EvalMode::Exact.shots_per_term(), 0);
+        assert_eq!(EvalMode::Shots(42).shots_per_term(), 42);
+    }
+
+    #[test]
+    fn swap_test_on_identical_states_is_one_in_expectation() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(Gate::H, &[0]).unwrap();
+        s.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+        let mut rng = Xoshiro256::seed_from(13);
+        let est = swap_test_fidelity(&s, &s, 20_000, &mut rng).unwrap();
+        assert!((est - 1.0).abs() < 0.03, "est {est}");
+    }
+
+    #[test]
+    fn swap_test_on_orthogonal_states_is_zero() {
+        let a = StateVector::basis_state(2, 0);
+        let b = StateVector::basis_state(2, 3);
+        let mut rng = Xoshiro256::seed_from(17);
+        let est = swap_test_fidelity(&a, &b, 20_000, &mut rng).unwrap();
+        assert!(est.abs() < 0.03, "est {est}");
+    }
+
+    #[test]
+    fn swap_test_matches_exact_fidelity() {
+        let mut rng = Xoshiro256::seed_from(19);
+        for _ in 0..3 {
+            let a = StateVector::random(3, &mut rng);
+            let b = StateVector::random(3, &mut rng);
+            let exact = a.fidelity(&b).unwrap();
+            let est = swap_test_fidelity(&a, &b, 40_000, &mut rng).unwrap();
+            assert!(
+                (est - exact).abs() < 0.03,
+                "swap-test {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_test_rejects_size_mismatch() {
+        let a = StateVector::zero_state(2);
+        let b = StateVector::zero_state(3);
+        let mut rng = Xoshiro256::seed_from(1);
+        assert!(swap_test_fidelity(&a, &b, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn swap_test_is_reproducible_from_rng_state() {
+        let mut rng = Xoshiro256::seed_from(23);
+        let a = StateVector::random(2, &mut rng);
+        let b = StateVector::random(2, &mut rng);
+        let snap = rng.state();
+        let e1 = swap_test_fidelity(&a, &b, 256, &mut rng).unwrap();
+        let mut rng2 = Xoshiro256::from_state(snap);
+        let e2 = swap_test_fidelity(&a, &b, 256, &mut rng2).unwrap();
+        assert_eq!(e1.to_bits(), e2.to_bits());
+    }
+}

@@ -1,0 +1,700 @@
+//! State-vector representation and gate-application kernels.
+//!
+//! A [`StateVector`] over `n` qubits stores all `2^n` complex amplitudes.
+//! Basis states are indexed little-endian: qubit 0 is the least significant
+//! bit of the index. Gate application is performed in place with bit-mask
+//! kernels; no `unsafe` code is used.
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex64;
+use crate::gate::{Gate, Matrix2, Matrix4};
+use crate::rng::Xoshiro256;
+
+/// Errors produced by state-vector operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// A qubit index was out of range for this register size.
+    QubitOutOfRange {
+        /// The offending index.
+        qubit: usize,
+        /// The register size.
+        num_qubits: usize,
+    },
+    /// A two-qubit gate was applied to identical operands.
+    DuplicateQubits(usize),
+    /// Amplitude vector length was not a power of two.
+    InvalidLength(usize),
+    /// The register sizes of two states do not match.
+    SizeMismatch {
+        /// Left-hand size (qubits).
+        left: usize,
+        /// Right-hand size (qubits).
+        right: usize,
+    },
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit index {qubit} out of range for {num_qubits}-qubit register")
+            }
+            StateError::DuplicateQubits(q) => {
+                write!(f, "two-qubit gate applied twice to qubit {q}")
+            }
+            StateError::InvalidLength(n) => {
+                write!(f, "amplitude vector length {n} is not a power of two")
+            }
+            StateError::SizeMismatch { left, right } => {
+                write!(f, "register size mismatch: {left} vs {right} qubits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// A pure quantum state over `n` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::state::StateVector;
+/// use qsim::gate::Gate;
+///
+/// // Prepare the Bell state (|00⟩ + |11⟩)/√2.
+/// let mut psi = StateVector::zero_state(2);
+/// psi.apply_gate(Gate::H, &[0]).unwrap();
+/// psi.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+/// assert!((psi.probability(0) - 0.5).abs() < 1e-12);
+/// assert!((psi.probability(3) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 30 (the 16·2³⁰-byte state would not be
+    /// allocatable in this environment anyway).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 30, "register too large: {num_qubits} qubits");
+        let mut amplitudes = vec![Complex64::ZERO; 1usize << num_qubits];
+        amplitudes[0] = Complex64::ONE;
+        StateVector {
+            num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// Creates the basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^num_qubits`.
+    pub fn basis_state(num_qubits: usize, index: usize) -> Self {
+        let mut s = StateVector::zero_state(num_qubits);
+        assert!(index < s.amplitudes.len(), "basis index out of range");
+        s.amplitudes[0] = Complex64::ZERO;
+        s.amplitudes[index] = Complex64::ONE;
+        s
+    }
+
+    /// Builds a state from raw amplitudes, normalizing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::InvalidLength`] when the vector length is not a
+    /// power of two or is zero.
+    pub fn from_amplitudes(mut amplitudes: Vec<Complex64>) -> Result<Self, StateError> {
+        let n = amplitudes.len();
+        if n == 0 || n & (n - 1) != 0 {
+            return Err(StateError::InvalidLength(n));
+        }
+        let num_qubits = n.trailing_zeros() as usize;
+        let norm: f64 = amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for a in &mut amplitudes {
+                *a = *a / norm;
+            }
+        }
+        Ok(StateVector {
+            num_qubits,
+            amplitudes,
+        })
+    }
+
+    /// Samples a Haar-ish random state (Gaussian amplitudes, normalized).
+    pub fn random(num_qubits: usize, rng: &mut Xoshiro256) -> Self {
+        let n = 1usize << num_qubits;
+        let amps: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.next_gaussian(), rng.next_gaussian()))
+            .collect();
+        StateVector::from_amplitudes(amps).expect("power-of-two length")
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitude slice (little-endian basis ordering).
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amplitudes
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        self.amplitudes[index]
+    }
+
+    /// Born-rule probability of observing basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitudes[index].norm_sqr()
+    }
+
+    /// Full probability distribution over basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The L2 norm of the state (1.0 for a valid state).
+    pub fn norm(&self) -> f64 {
+        self.amplitudes
+            .iter()
+            .map(|a| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Renormalizes in place; no-op on the zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for a in &mut self.amplitudes {
+                *a = *a / n;
+            }
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::SizeMismatch`] when the registers differ.
+    pub fn inner(&self, other: &StateVector) -> Result<Complex64, StateError> {
+        if self.num_qubits != other.num_qubits {
+            return Err(StateError::SizeMismatch {
+                left: self.num_qubits,
+                right: other.num_qubits,
+            });
+        }
+        Ok(self
+            .amplitudes
+            .iter()
+            .zip(&other.amplitudes)
+            .map(|(a, b)| a.conj() * *b)
+            .sum())
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` between two pure states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::SizeMismatch`] when the registers differ.
+    pub fn fidelity(&self, other: &StateVector) -> Result<f64, StateError> {
+        Ok(self.inner(other)?.norm_sqr())
+    }
+
+    /// Tensor product `self ⊗ other` (other occupies the high-order qubits).
+    pub fn tensor(&self, other: &StateVector) -> StateVector {
+        let mut amps =
+            Vec::with_capacity(self.amplitudes.len() * other.amplitudes.len());
+        for b in &other.amplitudes {
+            for a in &self.amplitudes {
+                amps.push(*a * *b);
+            }
+        }
+        StateVector {
+            num_qubits: self.num_qubits + other.num_qubits,
+            amplitudes: amps,
+        }
+    }
+
+    fn check_qubit(&self, q: usize) -> Result<(), StateError> {
+        if q >= self.num_qubits {
+            Err(StateError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Applies a gate to the given qubits.
+    ///
+    /// For two-qubit gates, `qubits[0]` is the first operand (the control for
+    /// controlled gates) and `qubits[1]` the second (target).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand count does not match the gate arity,
+    /// a qubit index is out of range, or a two-qubit gate is given duplicate
+    /// operands.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) -> Result<(), StateError> {
+        match gate.arity() {
+            1 => {
+                if qubits.len() != 1 {
+                    return Err(StateError::QubitOutOfRange {
+                        qubit: usize::MAX,
+                        num_qubits: self.num_qubits,
+                    });
+                }
+                self.check_qubit(qubits[0])?;
+                self.apply_matrix2(&gate.matrix2(), qubits[0]);
+                Ok(())
+            }
+            2 => {
+                if qubits.len() != 2 {
+                    return Err(StateError::QubitOutOfRange {
+                        qubit: usize::MAX,
+                        num_qubits: self.num_qubits,
+                    });
+                }
+                self.check_qubit(qubits[0])?;
+                self.check_qubit(qubits[1])?;
+                if qubits[0] == qubits[1] {
+                    return Err(StateError::DuplicateQubits(qubits[0]));
+                }
+                self.apply_matrix4(&gate.matrix4(), qubits[0], qubits[1]);
+                Ok(())
+            }
+            a => unreachable!("unsupported arity {a}"),
+        }
+    }
+
+    /// Applies an arbitrary 2×2 unitary to qubit `q` in place.
+    ///
+    /// The caller is responsible for `q < n`; library callers go through
+    /// [`StateVector::apply_gate`], which validates.
+    pub fn apply_matrix2(&mut self, m: &Matrix2, q: usize) {
+        let bit = 1usize << q;
+        let n = self.amplitudes.len();
+        let mut base = 0usize;
+        while base < n {
+            // Iterate over indices with qubit q = 0 inside this block.
+            for offset in 0..bit {
+                let i0 = base + offset;
+                let i1 = i0 | bit;
+                let a0 = self.amplitudes[i0];
+                let a1 = self.amplitudes[i1];
+                self.amplitudes[i0] = m[0][0] * a0 + m[0][1] * a1;
+                self.amplitudes[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += bit << 1;
+        }
+    }
+
+    /// Applies an arbitrary 4×4 unitary to qubits `(qa, qb)` in place.
+    ///
+    /// Matrix basis convention: index bit 0 ↔ `qa`, index bit 1 ↔ `qb`.
+    pub fn apply_matrix4(&mut self, m: &Matrix4, qa: usize, qb: usize) {
+        debug_assert_ne!(qa, qb);
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        let n = self.amplitudes.len();
+        for i in 0..n {
+            // Visit each 4-tuple once: pick representatives with both bits 0.
+            if i & ba != 0 || i & bb != 0 {
+                continue;
+            }
+            let i00 = i;
+            let i01 = i | ba;
+            let i10 = i | bb;
+            let i11 = i | ba | bb;
+            let a = [
+                self.amplitudes[i00],
+                self.amplitudes[i01],
+                self.amplitudes[i10],
+                self.amplitudes[i11],
+            ];
+            for (k, &idx) in [i00, i01, i10, i11].iter().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (j, &aj) in a.iter().enumerate() {
+                    acc += m[k][j] * aj;
+                }
+                self.amplitudes[idx] = acc;
+            }
+        }
+    }
+
+    /// Probability that qubit `q` measures as `|1⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::QubitOutOfRange`] for an invalid qubit.
+    pub fn prob_one(&self, q: usize) -> Result<f64, StateError> {
+        self.check_qubit(q)?;
+        let bit = 1usize << q;
+        Ok(self
+            .amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum())
+    }
+
+    /// Projective measurement of qubit `q` in the computational basis.
+    ///
+    /// Collapses the state and returns the outcome bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::QubitOutOfRange`] for an invalid qubit.
+    pub fn measure_qubit(
+        &mut self,
+        q: usize,
+        rng: &mut Xoshiro256,
+    ) -> Result<u8, StateError> {
+        let p1 = self.prob_one(q)?;
+        let outcome = u8::from(rng.next_f64() < p1);
+        let bit = 1usize << q;
+        let keep_mask_set = outcome == 1;
+        for (i, a) in self.amplitudes.iter_mut().enumerate() {
+            if ((i & bit) != 0) != keep_mask_set {
+                *a = Complex64::ZERO;
+            }
+        }
+        self.normalize();
+        Ok(outcome)
+    }
+
+    /// Samples `shots` full-register measurement outcomes without collapsing
+    /// the state (the state is re-preparable, so sampling from the final
+    /// distribution is equivalent to independent prepare-and-measure runs).
+    pub fn sample_counts(&self, shots: usize, rng: &mut Xoshiro256) -> Vec<(usize, u32)> {
+        let mut cumulative = Vec::with_capacity(self.amplitudes.len());
+        let mut acc = 0.0;
+        for a in &self.amplitudes {
+            acc += a.norm_sqr();
+            cumulative.push(acc);
+        }
+        let mut counts: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
+        for _ in 0..shots {
+            let idx = rng.sample_cumulative(&cumulative);
+            *counts.entry(idx).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Expectation value `⟨ψ|Z_q|ψ⟩` of a single-qubit Pauli-Z.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::QubitOutOfRange`] for an invalid qubit.
+    pub fn expect_z(&self, q: usize) -> Result<f64, StateError> {
+        Ok(1.0 - 2.0 * self.prob_one(q)?)
+    }
+
+    /// Serialized size in bytes of the raw amplitude data (the cost of a
+    /// naive simulator-state checkpoint): `2^n · 16`.
+    pub fn raw_byte_size(&self) -> usize {
+        self.amplitudes.len() * std::mem::size_of::<Complex64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_is_normalized_basis_zero() {
+        let s = StateVector::zero_state(3);
+        assert_eq!(s.num_qubits(), 3);
+        assert_eq!(s.amplitudes().len(), 8);
+        assert!((s.probability(0) - 1.0).abs() < EPS);
+        assert!((s.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn basis_state_places_amplitude() {
+        let s = StateVector::basis_state(2, 3);
+        assert!((s.probability(3) - 1.0).abs() < EPS);
+        assert!(s.probability(0) < EPS);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = StateVector::from_amplitudes(vec![
+            Complex64::new(3.0, 0.0),
+            Complex64::new(4.0, 0.0),
+        ])
+        .unwrap();
+        assert!((s.probability(0) - 9.0 / 25.0).abs() < EPS);
+        assert!((s.probability(1) - 16.0 / 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn from_amplitudes_rejects_bad_lengths() {
+        assert_eq!(
+            StateVector::from_amplitudes(vec![Complex64::ONE; 3]).unwrap_err(),
+            StateError::InvalidLength(3)
+        );
+        assert_eq!(
+            StateVector::from_amplitudes(vec![]).unwrap_err(),
+            StateError::InvalidLength(0)
+        );
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(Gate::X, &[1]).unwrap();
+        assert!((s.probability(0b10) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(Gate::H, &[0]).unwrap();
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+        assert!((s.probability(1) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(Gate::H, &[0]).unwrap();
+        s.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+        assert!((s.probability(0b00) - 0.5).abs() < EPS);
+        assert!((s.probability(0b11) - 0.5).abs() < EPS);
+        assert!(s.probability(0b01) < EPS);
+        assert!(s.probability(0b10) < EPS);
+    }
+
+    #[test]
+    fn ghz_state_on_four_qubits() {
+        let n = 4;
+        let mut s = StateVector::zero_state(n);
+        s.apply_gate(Gate::H, &[0]).unwrap();
+        for q in 0..n - 1 {
+            s.apply_gate(Gate::Cx, &[q, q + 1]).unwrap();
+        }
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+        assert!((s.probability((1 << n) - 1) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn cx_control_must_be_set() {
+        // Control (qubit 0) unset → target unchanged.
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+        assert!((s.probability(0b00) - 1.0).abs() < EPS);
+        // Control set → target flips.
+        let mut s = StateVector::basis_state(2, 0b01);
+        s.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+        assert!((s.probability(0b11) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cx_respects_operand_order() {
+        // (control=1, target=0): |10⟩ → |11⟩
+        let mut s = StateVector::basis_state(2, 0b10);
+        s.apply_gate(Gate::Cx, &[1, 0]).unwrap();
+        assert!((s.probability(0b11) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut s = StateVector::basis_state(2, 0b01);
+        s.apply_gate(Gate::Swap, &[0, 1]).unwrap();
+        assert!((s.probability(0b10) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn swap_on_nonadjacent_qubits() {
+        let mut s = StateVector::basis_state(3, 0b001);
+        s.apply_gate(Gate::Swap, &[0, 2]).unwrap();
+        assert!((s.probability(0b100) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn gates_preserve_norm() {
+        let mut rng = Xoshiro256::seed_from(42);
+        let mut s = StateVector::random(4, &mut rng);
+        let gates: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::H, vec![0]),
+            (Gate::Rx(0.7), vec![1]),
+            (Gate::Cx, vec![1, 3]),
+            (Gate::Rzz(1.1), vec![0, 2]),
+            (Gate::U3(0.3, 0.5, 0.7), vec![2]),
+            (Gate::Cphase(0.4), vec![3, 0]),
+        ];
+        for (g, qs) in gates {
+            s.apply_gate(g, &qs).unwrap();
+            assert!((s.norm() - 1.0).abs() < 1e-10, "{g} broke normalization");
+        }
+    }
+
+    #[test]
+    fn inverse_gate_restores_state() {
+        let mut rng = Xoshiro256::seed_from(9);
+        let original = StateVector::random(3, &mut rng);
+        let mut s = original.clone();
+        let ops: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::Ry(0.9), vec![0]),
+            (Gate::Cx, vec![0, 2]),
+            (Gate::Rzz(0.4), vec![1, 2]),
+            (Gate::T, vec![1]),
+        ];
+        for (g, qs) in &ops {
+            s.apply_gate(*g, qs).unwrap();
+        }
+        for (g, qs) in ops.iter().rev() {
+            s.apply_gate(g.inverse(), qs).unwrap();
+        }
+        assert!((s.fidelity(&original).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qubit_out_of_range_is_error() {
+        let mut s = StateVector::zero_state(2);
+        assert!(matches!(
+            s.apply_gate(Gate::X, &[2]),
+            Err(StateError::QubitOutOfRange { qubit: 2, .. })
+        ));
+        assert!(matches!(
+            s.apply_gate(Gate::Cx, &[0, 5]),
+            Err(StateError::QubitOutOfRange { qubit: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_qubits_is_error() {
+        let mut s = StateVector::zero_state(2);
+        assert_eq!(
+            s.apply_gate(Gate::Cx, &[1, 1]).unwrap_err(),
+            StateError::DuplicateQubits(1)
+        );
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let a = StateVector::basis_state(2, 0);
+        let b = StateVector::basis_state(2, 1);
+        assert!(a.inner(&b).unwrap().approx_eq(Complex64::ZERO, EPS));
+        assert!((a.fidelity(&a).unwrap() - 1.0).abs() < EPS);
+        assert!(a.fidelity(&b).unwrap() < EPS);
+    }
+
+    #[test]
+    fn size_mismatch_is_error() {
+        let a = StateVector::zero_state(2);
+        let b = StateVector::zero_state(3);
+        assert_eq!(
+            a.inner(&b).unwrap_err(),
+            StateError::SizeMismatch { left: 2, right: 3 }
+        );
+    }
+
+    #[test]
+    fn tensor_product_of_basis_states() {
+        let a = StateVector::basis_state(1, 1); // |1⟩ on low qubit
+        let b = StateVector::basis_state(1, 0); // |0⟩ on high qubit
+        let t = a.tensor(&b);
+        assert_eq!(t.num_qubits(), 2);
+        assert!((t.probability(0b01) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn prob_one_and_expect_z() {
+        let mut s = StateVector::zero_state(1);
+        assert!((s.expect_z(0).unwrap() - 1.0).abs() < EPS);
+        s.apply_gate(Gate::X, &[0]).unwrap();
+        assert!((s.expect_z(0).unwrap() + 1.0).abs() < EPS);
+        s.apply_gate(Gate::H, &[0]).unwrap();
+        assert!(s.expect_z(0).unwrap().abs() < EPS);
+    }
+
+    #[test]
+    fn measure_collapses_state() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let mut ones = 0;
+        for _ in 0..200 {
+            let mut s = StateVector::zero_state(2);
+            s.apply_gate(Gate::H, &[0]).unwrap();
+            s.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+            let m0 = s.measure_qubit(0, &mut rng).unwrap();
+            let m1 = s.measure_qubit(1, &mut rng).unwrap();
+            assert_eq!(m0, m1, "Bell state must be perfectly correlated");
+            ones += m0 as u32;
+        }
+        assert!((50..150).contains(&ones), "outcome frequencies skewed: {ones}");
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut rng = Xoshiro256::seed_from(77);
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(Gate::H, &[0]).unwrap();
+        s.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+        let counts = s.sample_counts(10_000, &mut rng);
+        let total: u32 = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 10_000);
+        for (idx, c) in counts {
+            assert!(idx == 0 || idx == 3, "impossible outcome {idx}");
+            let f = c as f64 / 10_000.0;
+            assert!((f - 0.5).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_rng_state() {
+        let mut s = StateVector::zero_state(3);
+        s.apply_gate(Gate::H, &[0]).unwrap();
+        s.apply_gate(Gate::H, &[1]).unwrap();
+        s.apply_gate(Gate::H, &[2]).unwrap();
+        let mut rng1 = Xoshiro256::seed_from(123);
+        let mut rng2 = Xoshiro256::seed_from(123);
+        assert_eq!(s.sample_counts(500, &mut rng1), s.sample_counts(500, &mut rng2));
+    }
+
+    #[test]
+    fn raw_byte_size_grows_exponentially() {
+        assert_eq!(StateVector::zero_state(1).raw_byte_size(), 2 * 16);
+        assert_eq!(StateVector::zero_state(10).raw_byte_size(), 1024 * 16);
+    }
+
+    #[test]
+    fn rxx_entangles_like_cnot_conjugation() {
+        // RXX(π) on |00⟩ gives -i|11⟩ (up to global phase → prob 1 on |11⟩).
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(Gate::Rxx(std::f64::consts::PI), &[0, 1]).unwrap();
+        assert!((s.probability(0b11) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_matrix2_matches_apply_gate() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let mut a = StateVector::random(3, &mut rng);
+        let mut b = a.clone();
+        a.apply_gate(Gate::Ry(0.77), &[2]).unwrap();
+        b.apply_matrix2(&Gate::Ry(0.77).matrix2(), 2);
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,412 @@
+//! A plain-text circuit format (QASM-flavoured).
+//!
+//! Circuits are training state too — a run's ansatz must be recorded
+//! alongside its parameters for a checkpoint to be self-describing. The
+//! binary path uses `serde`; this module adds a stable *human-readable*
+//! rendering for logs, diffs and interop:
+//!
+//! ```text
+//! qreg 3
+//! h q0
+//! cx q0 q1
+//! ry(0.5) q2          # fixed angle
+//! rz($4) q1           # angle = params[4]
+//! rzz($2*0.5) q1 q2   # angle = 0.5 · params[2]
+//! ```
+//!
+//! One op per line; `#` starts a comment; gate names are lowercase.
+
+use crate::circuit::{Circuit, Op, ParamRef};
+use crate::gate::Gate;
+
+/// Parse failure with line context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn gate_name(gate: &Gate) -> &'static str {
+    match gate {
+        Gate::I => "id",
+        Gate::X => "x",
+        Gate::Y => "y",
+        Gate::Z => "z",
+        Gate::H => "h",
+        Gate::S => "s",
+        Gate::Sdg => "sdg",
+        Gate::T => "t",
+        Gate::Tdg => "tdg",
+        Gate::Sx => "sx",
+        Gate::Sxdg => "sxdg",
+        Gate::Rx(_) => "rx",
+        Gate::Ry(_) => "ry",
+        Gate::Rz(_) => "rz",
+        Gate::Phase(_) => "p",
+        Gate::U3(..) => "u3",
+        Gate::Cx => "cx",
+        Gate::Cy => "cy",
+        Gate::Cz => "cz",
+        Gate::Cphase(_) => "cp",
+        Gate::Crz(_) => "crz",
+        Gate::Swap => "swap",
+        Gate::Rxx(_) => "rxx",
+        Gate::Ryy(_) => "ryy",
+        Gate::Rzz(_) => "rzz",
+    }
+}
+
+/// Renders a circuit to the text format.
+///
+/// `U3` gates with symbolic first angles render their fixed φ/λ inline.
+pub fn to_text(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("qreg {}\n", circuit.num_qubits()));
+    for op in circuit.ops() {
+        let name = gate_name(&op.gate);
+        let angle = match (&op.param, &op.gate) {
+            (None, Gate::U3(t, p, l)) => format!("({t},{p},{l})"),
+            (None, g) if g.is_parametrized() => {
+                // Parametrized gate carrying a baked-in angle.
+                match g {
+                    Gate::Rx(v) | Gate::Ry(v) | Gate::Rz(v) | Gate::Phase(v)
+                    | Gate::Cphase(v) | Gate::Crz(v) | Gate::Rxx(v) | Gate::Ryy(v)
+                    | Gate::Rzz(v) => format!("({v})"),
+                    _ => String::new(),
+                }
+            }
+            (None, _) => String::new(),
+            (Some(ParamRef::Fixed(v)), _) => format!("({v})"),
+            (Some(ParamRef::Sym { index, scale }), _) => {
+                if (*scale - 1.0).abs() < f64::EPSILON {
+                    format!("(${index})")
+                } else {
+                    format!("(${index}*{scale})")
+                }
+            }
+        };
+        let qubits: Vec<String> = op.qubits.iter().map(|q| format!("q{q}")).collect();
+        out.push_str(&format!("{name}{angle} {}\n", qubits.join(" ")));
+    }
+    out
+}
+
+fn parse_gate(name: &str, angle: Option<f64>) -> Option<Gate> {
+    let a = angle.unwrap_or(0.0);
+    Some(match name {
+        "id" => Gate::I,
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "h" => Gate::H,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "sx" => Gate::Sx,
+        "sxdg" => Gate::Sxdg,
+        "rx" => Gate::Rx(a),
+        "ry" => Gate::Ry(a),
+        "rz" => Gate::Rz(a),
+        "p" => Gate::Phase(a),
+        "cx" => Gate::Cx,
+        "cy" => Gate::Cy,
+        "cz" => Gate::Cz,
+        "cp" => Gate::Cphase(a),
+        "crz" => Gate::Crz(a),
+        "swap" => Gate::Swap,
+        "rxx" => Gate::Rxx(a),
+        "ryy" => Gate::Ryy(a),
+        "rzz" => Gate::Rzz(a),
+        _ => return None,
+    })
+}
+
+/// Parses the text format back into a circuit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn from_text(text: &str) -> Result<Circuit, ParseError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let fail = |detail: String| ParseError { line, detail };
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        let head = tokens.next().expect("non-empty");
+
+        if head == "qreg" {
+            if circuit.is_some() {
+                return Err(fail("duplicate qreg declaration".into()));
+            }
+            let n: usize = tokens
+                .next()
+                .ok_or_else(|| fail("qreg needs a size".into()))?
+                .parse()
+                .map_err(|_| fail("bad qreg size".into()))?;
+            if tokens.next().is_some() {
+                return Err(fail("trailing tokens after qreg".into()));
+            }
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+
+        let circuit = circuit
+            .as_mut()
+            .ok_or_else(|| fail("gate before qreg declaration".into()))?;
+
+        // Split "name(...)" into name + angle expression.
+        let (name, angle_expr) = match head.find('(') {
+            None => (head, None),
+            Some(open) => {
+                if !head.ends_with(')') {
+                    return Err(fail(format!("unterminated angle in '{head}'")));
+                }
+                (&head[..open], Some(&head[open + 1..head.len() - 1]))
+            }
+        };
+
+        // Operand qubits.
+        let mut qubits = Vec::new();
+        for tok in tokens {
+            let idx = tok
+                .strip_prefix('q')
+                .ok_or_else(|| fail(format!("operand '{tok}' must look like q<N>")))?;
+            qubits.push(
+                idx.parse::<usize>()
+                    .map_err(|_| fail(format!("bad qubit index '{tok}'")))?,
+            );
+        }
+
+        // u3 has a 3-angle fixed form only.
+        if name == "u3" {
+            let expr = angle_expr.ok_or_else(|| fail("u3 needs three angles".into()))?;
+            let parts: Vec<&str> = expr.split(',').collect();
+            if parts.len() != 3 {
+                return Err(fail("u3 needs exactly three angles".into()));
+            }
+            let mut vals = [0.0f64; 3];
+            for (v, p) in vals.iter_mut().zip(&parts) {
+                *v = p
+                    .trim()
+                    .parse()
+                    .map_err(|_| fail(format!("bad angle '{p}'")))?;
+            }
+            circuit.push_fixed(Gate::U3(vals[0], vals[1], vals[2]), &qubits);
+            validate_last(circuit, line)?;
+            continue;
+        }
+
+        match angle_expr {
+            None => {
+                let gate = parse_gate(name, None)
+                    .ok_or_else(|| fail(format!("unknown gate '{name}'")))?;
+                if gate.is_parametrized() {
+                    return Err(fail(format!("gate '{name}' needs an angle")));
+                }
+                circuit.push_fixed(gate, &qubits);
+            }
+            Some(expr) if expr.starts_with('$') => {
+                // "$index" or "$index*scale"
+                let body = &expr[1..];
+                let (index_str, scale) = match body.split_once('*') {
+                    None => (body, 1.0),
+                    Some((i, s)) => (
+                        i,
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| fail(format!("bad scale '{s}'")))?,
+                    ),
+                };
+                let index: usize = index_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| fail(format!("bad parameter index '{index_str}'")))?;
+                let gate = parse_gate(name, Some(0.0))
+                    .ok_or_else(|| fail(format!("unknown gate '{name}'")))?;
+                if !gate.is_parametrized() {
+                    return Err(fail(format!("gate '{name}' takes no angle")));
+                }
+                circuit.push_sym_scaled(gate, &qubits, index, scale);
+            }
+            Some(expr) => {
+                let v: f64 = expr
+                    .trim()
+                    .parse()
+                    .map_err(|_| fail(format!("bad angle '{expr}'")))?;
+                let gate = parse_gate(name, Some(v))
+                    .ok_or_else(|| fail(format!("unknown gate '{name}'")))?;
+                if !gate.is_parametrized() {
+                    return Err(fail(format!("gate '{name}' takes no angle")));
+                }
+                circuit.push_fixed(gate, &qubits);
+            }
+        }
+        validate_last(circuit, line)?;
+    }
+    circuit.ok_or(ParseError {
+        line: 0,
+        detail: "missing qreg declaration".into(),
+    })
+}
+
+fn validate_last(circuit: &Circuit, line: usize) -> Result<(), ParseError> {
+    let op: &Op = circuit.ops().last().expect("just pushed");
+    if op.qubits.len() != op.gate.arity() {
+        return Err(ParseError {
+            line,
+            detail: format!(
+                "gate {} expects {} operands, got {}",
+                op.gate,
+                op.gate.arity(),
+                op.qubits.len()
+            ),
+        });
+    }
+    for &q in &op.qubits {
+        if q >= circuit.num_qubits() {
+            return Err(ParseError {
+                line,
+                detail: format!("qubit q{q} out of range"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let mut c = Circuit::new(3);
+        c.push_fixed(Gate::H, &[0]);
+        c.push_fixed(Gate::Cx, &[0, 1]);
+        c.push_fixed(Gate::Ry(0.5), &[2]);
+        c.push_sym(Gate::Rz(0.0), &[1], 4);
+        c.push_sym_scaled(Gate::Rzz(0.0), &[1, 2], 2, 0.5);
+        c.push_fixed(Gate::U3(0.1, 0.2, 0.3), &[0]);
+        c.push_fixed(Gate::Tdg, &[2]);
+
+        let text = to_text(&c);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed.num_qubits(), 3);
+        assert_eq!(parsed.len(), c.len());
+        // Semantics round-trip: identical states for identical params.
+        let params = [0.0, 0.0, 1.3, 0.0, -0.7];
+        let a = c.run(&params).unwrap();
+        let b = parsed.run(&params).unwrap();
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_shape_is_stable() {
+        let mut c = Circuit::new(2);
+        c.push_fixed(Gate::H, &[0]);
+        c.push_sym(Gate::Ry(0.0), &[1], 0);
+        let text = to_text(&c);
+        assert_eq!(text, "qreg 2\nh q0\nry($0) q1\n");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# a comment\nqreg 2\n\nh q0   # trailing comment\ncx q0 q1\n";
+        let c = from_text(text).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let cases = [
+            ("h q0\n", "before qreg"),
+            ("qreg 2\nfrobnicate q0\n", "unknown gate"),
+            ("qreg 2\nrx q0\n", "needs an angle"),
+            ("qreg 2\nh(0.5) q0\n", "takes no angle"),
+            ("qreg 2\ncx q0\n", "expects 2 operands"),
+            ("qreg 2\nh q5\n", "out of range"),
+            ("qreg 2\nh x0\n", "must look like"),
+            ("qreg 2\nrx(abc) q0\n", "bad angle"),
+            ("qreg 2\nrx($a) q0\n", "bad parameter index"),
+            ("qreg 2\nqreg 3\n", "duplicate"),
+            ("# nothing\n", "missing qreg"),
+            ("qreg 2\nu3(1,2) q0\n", "exactly three"),
+        ];
+        for (text, expected) in cases {
+            let err = from_text(text).unwrap_err();
+            assert!(
+                err.to_string().contains(expected),
+                "{text:?} → {err} (wanted {expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_symbol_round_trips() {
+        let text = "qreg 1\nry($3*0.25) q0\n";
+        let c = from_text(text).unwrap();
+        assert_eq!(c.num_params(), 4);
+        let rendered = to_text(&c);
+        assert_eq!(rendered, text);
+    }
+
+    #[test]
+    fn all_gates_survive_round_trip() {
+        let mut c = Circuit::new(3);
+        for g in [
+            Gate::I, Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::S, Gate::Sdg,
+            Gate::T, Gate::Tdg, Gate::Sx, Gate::Sxdg,
+        ] {
+            c.push_fixed(g, &[0]);
+        }
+        for g in [Gate::Rx(0.1), Gate::Ry(0.2), Gate::Rz(0.3), Gate::Phase(0.4)] {
+            c.push_fixed(g, &[1]);
+        }
+        for g in [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Swap] {
+            c.push_fixed(g, &[0, 2]);
+        }
+        for g in [Gate::Cphase(0.5), Gate::Crz(0.6), Gate::Rxx(0.7), Gate::Ryy(0.8), Gate::Rzz(0.9)] {
+            c.push_fixed(g, &[1, 2]);
+        }
+        let parsed = from_text(&to_text(&c)).unwrap();
+        let a = c.run(&[]).unwrap();
+        let b = parsed.run(&[]).unwrap();
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ansatz_sized_circuit_round_trips() {
+        // A realistic parametrized circuit shape.
+        let mut c = Circuit::new(4);
+        let mut p = 0;
+        for _ in 0..3 {
+            for q in 0..4 {
+                c.push_sym(Gate::Ry(0.0), &[q], p);
+                p += 1;
+            }
+            for q in 0..4 {
+                c.push_fixed(Gate::Cx, &[q, (q + 1) % 4]);
+            }
+        }
+        let parsed = from_text(&to_text(&c)).unwrap();
+        assert_eq!(parsed.num_params(), c.num_params());
+        let params: Vec<f64> = (0..p).map(|i| 0.1 * i as f64).collect();
+        let a = c.run(&params).unwrap();
+        let b = parsed.run(&params).unwrap();
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < 1e-12);
+    }
+}
