@@ -50,7 +50,8 @@ fn bench_save_delta(c: &mut Criterion) {
         let dir = scratch(&format!("delta-{n_params}"));
         let repo = CheckpointRepo::open(&dir).unwrap();
         let opts = SaveOptions::incremental(32);
-        repo.save(&snapshot_with_params(n_params, 0), &opts).unwrap();
+        repo.save(&snapshot_with_params(n_params, 0), &opts)
+            .unwrap();
         let mut step = 0u64;
         group.bench_with_input(BenchmarkId::from_parameter(n_params), &n_params, |b, &n| {
             b.iter(|| {

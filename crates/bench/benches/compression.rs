@@ -9,7 +9,9 @@ fn payloads() -> Vec<(&'static str, Vec<u8>)> {
     let noise: Vec<f64> = (0..16_384)
         .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as f64) / u64::MAX as f64)
         .collect();
-    let clustered: Vec<f64> = (0..16_384).map(|i| 0.6 + 1e-12 * (i as f64).sin()).collect();
+    let clustered: Vec<f64> = (0..16_384)
+        .map(|i| 0.6 + 1e-12 * (i as f64).sin())
+        .collect();
     let zeros = vec![0.0f64; 16_384];
     vec![
         ("noise", f64s_to_bytes(&noise)),
@@ -23,11 +25,9 @@ fn bench_compress(c: &mut Criterion) {
     for (name, data) in payloads() {
         group.throughput(Throughput::Bytes(data.len() as u64));
         for codec in Compression::all() {
-            group.bench_with_input(
-                BenchmarkId::new(codec.to_string(), name),
-                &data,
-                |b, d| b.iter(|| codec.compress(d)),
-            );
+            group.bench_with_input(BenchmarkId::new(codec.to_string(), name), &data, |b, d| {
+                b.iter(|| codec.compress(d))
+            });
         }
     }
     group.finish();

@@ -52,5 +52,10 @@ fn bench_shot_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_circuit_run, bench_gate_kernels, bench_shot_sampling);
+criterion_group!(
+    benches,
+    bench_circuit_run,
+    bench_gate_kernels,
+    bench_shot_sampling
+);
 criterion_main!(benches);

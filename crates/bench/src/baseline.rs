@@ -1,0 +1,94 @@
+//! Reference (seed) implementations of the hot kernels, kept verbatim so
+//! the perf trajectory can always be measured against the original serial
+//! baseline — `bench_parallel` reports `baseline / current` speedups from
+//! these.
+//!
+//! Do **not** optimize this module; it exists to stay slow.
+
+use qsim::circuit::{Circuit, ParamRef};
+use qsim::complex::Complex64;
+use qsim::gate::{Matrix2, Matrix4};
+use qsim::state::StateVector;
+
+/// The seed's single-qubit kernel: block/offset loops, no classification,
+/// no fusion, no threading.
+pub fn apply_matrix2_seed(amps: &mut [Complex64], m: &Matrix2, q: usize) {
+    let bit = 1usize << q;
+    let n = amps.len();
+    let mut base = 0usize;
+    while base < n {
+        for offset in 0..bit {
+            let i0 = base + offset;
+            let i1 = i0 | bit;
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+            amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+        }
+        base += bit << 1;
+    }
+}
+
+/// The seed's two-qubit kernel: full-index scan skipping 3/4 of the
+/// register, dense 4×4 product for every gate.
+pub fn apply_matrix4_seed(amps: &mut [Complex64], m: &Matrix4, qa: usize, qb: usize) {
+    let ba = 1usize << qa;
+    let bb = 1usize << qb;
+    let n = amps.len();
+    for i in 0..n {
+        if i & ba != 0 || i & bb != 0 {
+            continue;
+        }
+        let idx = [i, i | ba, i | bb, i | ba | bb];
+        let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+        for (k, &target) in idx.iter().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (j, &aj) in a.iter().enumerate() {
+                acc += m[k][j] * aj;
+            }
+            amps[target] = acc;
+        }
+    }
+}
+
+/// The seed's circuit executor: one kernel pass per op, no fusion.
+///
+/// # Panics
+///
+/// Panics on malformed circuits (the benches only feed it validated ones).
+pub fn circuit_run_seed(circuit: &Circuit, params: &[f64]) -> Vec<Complex64> {
+    let state = StateVector::zero_state(circuit.num_qubits());
+    let mut amps = state.amplitudes().to_vec();
+    for op in circuit.ops() {
+        let gate = match op.param {
+            Some(ParamRef::Fixed(v)) => op.gate.with_param(v),
+            Some(ParamRef::Sym { index, scale }) => op.gate.with_param(scale * params[index]),
+            None => op.gate,
+        };
+        match gate.arity() {
+            1 => apply_matrix2_seed(&mut amps, &gate.matrix2(), op.qubits[0]),
+            _ => apply_matrix4_seed(&mut amps, &gate.matrix4(), op.qubits[0], op.qubits[1]),
+        }
+    }
+    amps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::ansatz::hardware_efficient;
+
+    #[test]
+    fn seed_kernels_agree_with_current_simulator() {
+        let (circuit, info) = hardware_efficient(6, 2);
+        let params: Vec<f64> = (0..info.num_params).map(|i| 0.17 * i as f64).collect();
+        let reference = circuit.run(&params).unwrap();
+        let seed = circuit_run_seed(&circuit, &params);
+        for (a, b) in reference.amplitudes().iter().zip(&seed) {
+            assert!(
+                (a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10,
+                "kernel divergence: {a:?} vs {b:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Serial-vs-parallel timing sweep for the hot paths, emitting
+//! `BENCH_simulator.json` — the start of the perf trajectory.
+//!
+//! ```bash
+//! cargo run --release -p qcheck-bench --bin bench_parallel -- --threads 8
+//! # quick smoke run:
+//! QCHECK_BENCH_QUICK=1 cargo run --release -p qcheck-bench --bin bench_parallel
+//! ```
+//!
+//! Three measurements per workload:
+//!
+//! * `seed_baseline` — the seed's serial implementation
+//!   ([`qcheck_bench::baseline`]), the fixed reference point;
+//! * `serial` — the current implementation pinned to one thread;
+//! * `parallel` — the current implementation at `--threads N`.
+//!
+//! On a single-core host `parallel` cannot beat `serial`; the honest signal
+//! there is `seed_baseline / serial`.
+
+use std::fmt::Write as _;
+
+use criterion::measure_median_ns;
+use qcheck::chunk::chunk_bytes_threads;
+use qcheck::compress::compress_sections;
+use qcheck::hash::Sha256;
+use qcheck::repo::{CheckpointRepo, SaveOptions};
+use qcheck::snapshot::{RngCapture, StateBlob, TrainingSnapshot};
+use qcheck_bench::baseline::circuit_run_seed;
+use qnn::ansatz::hardware_efficient;
+use qnn::gradient::{parameter_shift_gradient, ShiftSite};
+use qsim::pauli::PauliSum;
+use qsim::state::StateVector;
+
+struct Entry {
+    name: &'static str,
+    seed_baseline_ms: Option<f64>,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+fn ms(ns: f64) -> f64 {
+    ns / 1e6
+}
+
+fn snapshot_with_params(n_params: usize, step: u64) -> TrainingSnapshot {
+    let mut s = TrainingSnapshot::new("bench-parallel");
+    s.step = step;
+    s.params = (0..n_params)
+        .map(|i| 0.6 + 1e-6 * ((i as u64 + step) as f64).sin())
+        .collect();
+    s.optimizer = StateBlob::new("adam-v1", vec![0x5A; n_params * 16]);
+    s.rng_streams.insert("shots".into(), RngCapture([9; 40]));
+    s.total_shots = step * 1000;
+    s.shot_ledger = vec![3; 64];
+    s
+}
+
+/// The seed's serial encode pipeline: flat whole-snapshot hash, then
+/// serial per-section hash + compress + chunk.
+fn seed_encode(snapshot: &TrainingSnapshot) -> usize {
+    let sections = snapshot.to_sections();
+    let mut whole = Sha256::new();
+    for s in &sections {
+        whole.update(&s.bytes);
+    }
+    let _ = whole.finalize();
+    let mut total = 0usize;
+    for s in &sections {
+        let _ = Sha256::digest(&s.bytes);
+        let codec = if s.name == "params" || s.name == "optimizer" {
+            qcheck::compress::Compression::XorF64
+        } else {
+            qcheck::compress::Compression::None
+        };
+        let compressed = codec.compress(&s.bytes);
+        let (refs, _) = chunk_bytes_threads(&compressed, 4096, 1);
+        total += refs.len();
+    }
+    total
+}
+
+/// The current encode pipeline at an explicit thread count: per-section
+/// hash + compress fan-out, root hash over digests, parallel chunk hashing.
+fn current_encode(snapshot: &TrainingSnapshot, threads: usize) -> usize {
+    let sections = snapshot.to_sections();
+    let jobs: Vec<(qcheck::compress::Compression, &[u8])> = sections
+        .iter()
+        .map(|s| {
+            let codec = if s.name == "params" || s.name == "optimizer" {
+                qcheck::compress::Compression::XorF64
+            } else {
+                qcheck::compress::Compression::None
+            };
+            (codec, s.bytes.as_slice())
+        })
+        .collect();
+    let compressed = compress_sections(jobs, threads);
+    let digests = Sha256::digest_many(
+        sections.iter().map(|s| s.bytes.as_slice()).collect(),
+        threads,
+    );
+    let mut root = Sha256::new();
+    for d in &digests {
+        root.update(&d.0);
+    }
+    let _ = root.finalize();
+    let mut total = 0usize;
+    for c in &compressed {
+        let (refs, _) = chunk_bytes_threads(c, 4096, threads);
+        total += refs.len();
+    }
+    total
+}
+
+fn main() {
+    let mut threads = 8usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown flag {other} (supported: --threads N)"),
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("bench_parallel: {threads} threads requested, {cores} hardware core(s)");
+
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // ---- circuit_run/16 --------------------------------------------------
+    let (circuit, info) = hardware_efficient(16, 4);
+    let params: Vec<f64> = (0..info.num_params).map(|i| 0.1 * i as f64).collect();
+    entries.push(Entry {
+        name: "circuit_run_16",
+        seed_baseline_ms: Some(ms(measure_median_ns(|| {
+            circuit_run_seed(&circuit, &params)
+        }))),
+        serial_ms: ms(qpar::with_threads(1, || {
+            measure_median_ns(|| circuit.run(&params).unwrap())
+        })),
+        parallel_ms: ms(qpar::with_threads(threads, || {
+            measure_median_ns(|| circuit.run(&params).unwrap())
+        })),
+    });
+
+    // ---- exact observable on 16 qubits ----------------------------------
+    let state = circuit.run(&params).unwrap();
+    let h = PauliSum::transverse_ising(16, 1.0, 0.8);
+    entries.push(Entry {
+        name: "observable_exact_16",
+        seed_baseline_ms: None,
+        serial_ms: ms(qpar::with_threads(1, || {
+            measure_median_ns(|| h.expectation(&state).unwrap())
+        })),
+        parallel_ms: ms(qpar::with_threads(threads, || {
+            measure_median_ns(|| h.expectation(&state).unwrap())
+        })),
+    });
+
+    // ---- parameter-shift gradient (exact, 10 qubits) ---------------------
+    let (gcircuit, ginfo) = hardware_efficient(10, 2);
+    let gparams: Vec<f64> = (0..ginfo.num_params).map(|i| 0.07 * i as f64).collect();
+    let gh = PauliSum::transverse_ising(10, 1.0, 0.6);
+    let sites: Vec<ShiftSite> = gcircuit
+        .sym_ops()
+        .iter()
+        .map(|&(op_index, param_index)| ShiftSite {
+            op_index,
+            param_index,
+            scale: 1.0,
+        })
+        .collect();
+    let grad_once = |t: usize| {
+        qpar::with_threads(t, || {
+            measure_median_ns(|| {
+                parameter_shift_gradient::<qsim::circuit::CircuitError, _>(
+                    gparams.len(),
+                    &sites,
+                    std::f64::consts::FRAC_PI_2,
+                    |op, delta| {
+                        let mut s = StateVector::zero_state(gcircuit.num_qubits());
+                        gcircuit.run_on_with_op_shift(&mut s, &gparams, op, delta)?;
+                        Ok(gh.expectation(&s).expect("matching registers"))
+                    },
+                )
+                .unwrap()
+            })
+        })
+    };
+    entries.push(Entry {
+        name: "param_shift_gradient_10",
+        seed_baseline_ms: None,
+        serial_ms: ms(grad_once(1)),
+        parallel_ms: ms(grad_once(threads)),
+    });
+
+    // ---- checkpoint encode (CPU pipeline, no fs) --------------------------
+    let snap = snapshot_with_params(65536, 7);
+    entries.push(Entry {
+        name: "checkpoint_encode_65536",
+        seed_baseline_ms: Some(ms(measure_median_ns(|| seed_encode(&snap)))),
+        serial_ms: ms(measure_median_ns(|| current_encode(&snap, 1))),
+        parallel_ms: ms(measure_median_ns(|| current_encode(&snap, threads))),
+    });
+
+    // ---- end-to-end save (fs included) ------------------------------------
+    // Each measurement gets a fresh repo so the serial and parallel sweeps
+    // see the same chain depth and manifest count (an accumulating repo
+    // would bias whichever configuration is measured second).
+    let save_entry = |tag: &str, mode: fn(u32) -> SaveOptions| {
+        let save_at = |t: usize| {
+            let dir = qcheck_bench::report::scratch_dir(&format!("bench-parallel-{tag}-{t}"));
+            let repo = CheckpointRepo::open(&dir).expect("open scratch repo");
+            let mut opts = mode(u32::MAX);
+            opts.threads = Some(t);
+            let mut step = 0u64;
+            let out = measure_median_ns(|| {
+                step += 1;
+                repo.save(&snapshot_with_params(65536, step), &opts)
+                    .unwrap()
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+            out
+        };
+        let serial_ms = ms(save_at(1));
+        let parallel_ms = ms(save_at(threads));
+        (serial_ms, parallel_ms)
+    };
+    let (serial_ms, parallel_ms) = save_entry("full", |_| SaveOptions::default());
+    entries.push(Entry {
+        name: "save_full_65536",
+        seed_baseline_ms: None,
+        serial_ms,
+        parallel_ms,
+    });
+    let (serial_ms, parallel_ms) = save_entry("delta", SaveOptions::incremental);
+    entries.push(Entry {
+        name: "save_delta_65536",
+        seed_baseline_ms: None,
+        serial_ms,
+        parallel_ms,
+    });
+
+    // ---- delta save on a deep chain ---------------------------------------
+    // The seed resolved the whole base chain from disk before every delta
+    // save; the encode cache removes that read-decompress-verify pass. The
+    // seed figure is reconstructed as (measured chain resolve) + (current
+    // save), which is exactly the work the seed performed. A fresh repo and
+    // chain per configuration keeps both sweeps at identical depth.
+    {
+        let opts = SaveOptions::incremental(u32::MAX);
+        let run_at = |t: usize| {
+            let dir = qcheck_bench::report::scratch_dir(&format!("bench-parallel-chain-{t}"));
+            let repo = CheckpointRepo::open(&dir).expect("open scratch repo");
+            for step in 0..32u64 {
+                repo.save(&snapshot_with_params(65536, step), &opts)
+                    .unwrap();
+            }
+            let latest = repo.read_latest().unwrap().expect("chain exists");
+            let manifest = repo.load_manifest(&latest).unwrap();
+            let resolve_ms = ms(measure_median_ns(|| {
+                repo.resolve_sections(&manifest).unwrap()
+            }));
+            let mut o = opts.clone();
+            o.threads = Some(t);
+            let mut step = 1000u64;
+            let save_ms = ms(measure_median_ns(|| {
+                step += 1;
+                repo.save(&snapshot_with_params(65536, step), &o).unwrap()
+            }));
+            let _ = std::fs::remove_dir_all(&dir);
+            (resolve_ms, save_ms)
+        };
+        let (resolve_ms, serial_ms) = run_at(1);
+        let (_, parallel_ms) = run_at(threads);
+        entries.push(Entry {
+            name: "save_delta_chain32_65536",
+            seed_baseline_ms: Some(resolve_ms + serial_ms),
+            serial_ms,
+            parallel_ms,
+        });
+    }
+
+    // ---- report ------------------------------------------------------------
+    let core_starved = threads > cores;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"hardware_cores\": {cores},");
+    let _ = writeln!(json, "  \"core_starved\": {core_starved},");
+    if core_starved {
+        let _ = writeln!(
+            json,
+            "  \"note\": \"requested threads exceed hardware cores: parallel_ms measures oversubscription, not scaling — judge this run by speedup_vs_seed\","
+        );
+    }
+    let _ = writeln!(json, "  \"workloads\": {{");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let baseline = e
+            .seed_baseline_ms
+            .map(|b| format!("{b:.4}"))
+            .unwrap_or_else(|| "null".into());
+        let speedup_vs_seed = e
+            .seed_baseline_ms
+            .map(|b| format!("{:.3}", b / e.serial_ms.min(e.parallel_ms)))
+            .unwrap_or_else(|| "null".into());
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"seed_baseline_ms\": {}, \"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \"parallel_speedup\": {:.3}, \"speedup_vs_seed\": {} }}{}",
+            e.name,
+            baseline,
+            e.serial_ms,
+            e.parallel_ms,
+            e.serial_ms / e.parallel_ms,
+            speedup_vs_seed,
+            comma
+        );
+        let b = e
+            .seed_baseline_ms
+            .map(|b| format!("  seed {b:8.3} ms"))
+            .unwrap_or_default();
+        println!(
+            "{:<26}{b}  serial {:8.3} ms  parallel({threads}t) {:8.3} ms",
+            e.name, e.serial_ms, e.parallel_ms
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_simulator.json", &json).expect("write BENCH_simulator.json");
+    println!("wrote BENCH_simulator.json");
+}

@@ -35,7 +35,11 @@ pub fn run() -> Table {
     let mut table = Table::new(
         "R-F1  expected lost work per failure vs MTBF (1000×30 s job, 10 min queue)",
         &[
-            "mtbf", "model-lost/none", "sim-lost/none", "model-lost/yd", "sim-lost/yd",
+            "mtbf",
+            "model-lost/none",
+            "sim-lost/none",
+            "model-lost/yd",
+            "sim-lost/yd",
             "yd-interval",
         ],
     );
@@ -50,10 +54,8 @@ pub fn run() -> Table {
             (queue_wait + restore_cost) as f64,
         );
         let tau = math::young_daly_interval(write_cost as f64, mtbf as f64);
-        let model_yd = math::expected_lost_work_with_checkpoint(
-            tau,
-            (queue_wait + restore_cost) as f64,
-        );
+        let model_yd =
+            math::expected_lost_work_with_checkpoint(tau, (queue_wait + restore_cost) as f64);
         let interval_steps = ((tau / spec.step_cost as f64).round() as u64).max(1);
 
         // Simulated counterparts: mean lost work + queue per interruption.

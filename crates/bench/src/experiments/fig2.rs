@@ -25,8 +25,13 @@ pub fn run() -> Table {
     let mut table = Table::new(
         "R-F2  checkpoint size vs qubits (hardware-efficient, 4 layers)",
         &[
-            "qubits", "params", "classical-stored", "classical-logical", "statevector-real",
-            "statevector-model", "sv/classical",
+            "qubits",
+            "params",
+            "classical-stored",
+            "classical-logical",
+            "statevector-real",
+            "statevector-model",
+            "sv/classical",
         ],
     );
     for n in qubit_counts {
@@ -73,10 +78,14 @@ pub fn run() -> Table {
             format!("~{}", human_bytes(classical_est)),
             "-".to_string(),
             human_bytes(naive_statevector_bytes(n)),
-            format!("{:.0}x", naive_statevector_bytes(n) as f64 / classical_est as f64),
+            format!(
+                "{:.0}x",
+                naive_statevector_bytes(n) as f64 / classical_est as f64
+            ),
         ]);
     }
-    table.note("classical snapshot is flat in n at fixed depth; statevector dump doubles per qubit");
+    table
+        .note("classical snapshot is flat in n at fixed depth; statevector dump doubles per qubit");
     table.note("rows 20–28 qubits are analytic (statevector no longer simulable on this host)");
     table
 }

@@ -22,8 +22,7 @@ use crate::workloads::{median_ms, time_ms, vqe_tfim_trainer_spsa};
 pub fn measured_checkpoint_cost_ms() -> f64 {
     let dir = scratch_dir("fig3-cost");
     let repo = CheckpointRepo::open(&dir).expect("repo");
-    let mut trainer =
-        vqe_tfim_trainer_spsa(10, 4, 3, qsim::measure::EvalMode::Shots(128));
+    let mut trainer = vqe_tfim_trainer_spsa(10, 4, 3, qsim::measure::EvalMode::Shots(128));
     for _ in 0..3 {
         trainer.train_step().expect("step");
     }

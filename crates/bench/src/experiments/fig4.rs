@@ -21,8 +21,7 @@ use crate::workloads::{median_ms, time_ms, vqe_tfim_trainer_spsa};
 pub fn measured_costs_ms() -> (f64, f64) {
     let dir = scratch_dir("fig4-cost");
     let repo = CheckpointRepo::open(&dir).expect("repo");
-    let mut trainer =
-        vqe_tfim_trainer_spsa(10, 4, 5, qsim::measure::EvalMode::Shots(64));
+    let mut trainer = vqe_tfim_trainer_spsa(10, 4, 5, qsim::measure::EvalMode::Shots(64));
     let reps = if quick_mode() { 4 } else { 10 };
     let mut full_samples = Vec::new();
     let mut delta_samples = Vec::new();
@@ -89,11 +88,15 @@ pub fn run() -> Table {
             mean_outcome(&spec, &CheckpointStrategy::None, &env, trials, &mut rng);
         let full = CheckpointStrategy::periodic(interval(full_cost), full_cost, 5 * SECOND);
         let (full_mk, _, _) = mean_outcome(&spec, &full, &env, trials, &mut rng);
-        let incr =
-            CheckpointStrategy::periodic(interval(delta_cost), delta_cost, 8 * SECOND);
+        let incr = CheckpointStrategy::periodic(interval(delta_cost), delta_cost, 8 * SECOND);
         let (incr_mk, _, _) = mean_outcome(&spec, &incr, &env, trials, &mut rng);
         let none_cell = if none_aborts > 0 {
-            format!(">{} (aborts {}/{})", human_seconds(none_ms / 1e6), none_aborts, trials)
+            format!(
+                ">{} (aborts {}/{})",
+                human_seconds(none_ms / 1e6),
+                none_aborts,
+                trials
+            )
         } else {
             human_seconds(none_ms / 1e6)
         };

@@ -46,10 +46,9 @@ fn trace(mut trainer: Trainer, options: &SaveOptions, steps: usize) -> Vec<u64> 
 /// Runs the experiment and returns the rendered table.
 pub fn run() -> Table {
     let steps = if quick_mode() { 12 } else { 200 };
-    let raw_opts = {
-        let mut o = SaveOptions::default();
-        o.compression = CompressionPolicy::Uniform(Compression::None);
-        o
+    let raw_opts = SaveOptions {
+        compression: CompressionPolicy::Uniform(Compression::None),
+        ..SaveOptions::default()
     };
     let delta_opts = SaveOptions::incremental(u32::MAX);
 
@@ -78,7 +77,15 @@ pub fn run() -> Table {
 
     let mut table = Table::new(
         "R-F5  params+optimizer bytes per checkpoint over a VQE run (6q/3l)",
-        &["step", "sgd-full", "sgd-delta", "sgd-ratio", "adam-full", "adam-delta", "adam-ratio"],
+        &[
+            "step",
+            "sgd-full",
+            "sgd-delta",
+            "sgd-ratio",
+            "adam-full",
+            "adam-delta",
+            "adam-ratio",
+        ],
     );
     let sample_every = (steps / 10).max(1);
     for i in (0..steps).step_by(sample_every) {
@@ -100,7 +107,9 @@ pub fn run() -> Table {
         sum(&full_adam),
         sum(&delta_adam)
     ));
-    table.note("SGD deltas shrink as the gradient vanishes (XOR-vs-base payload keeps only changed bytes)");
+    table.note(
+        "SGD deltas shrink as the gradient vanishes (XOR-vs-base payload keeps only changed bytes)",
+    );
     table.note("Adam's parameter updates also shrink, but its m/v moment vectors change in every byte each step — the moments, not the parameters, dominate Adam's delta cost; optimizer choice is a storage decision");
     table
 }

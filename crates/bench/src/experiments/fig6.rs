@@ -22,7 +22,12 @@ pub fn run() -> Table {
     let reps = if quick_mode() { 3 } else { 9 };
     let mut table = Table::new(
         "R-F6  recovery latency vs delta-chain length (6q/3l snapshot stream)",
-        &["chain-len", "recover-ms", "post-compaction-ms", "stored-bytes-chain"],
+        &[
+            "chain-len",
+            "recover-ms",
+            "post-compaction-ms",
+            "stored-bytes-chain",
+        ],
     );
     for &target_len in &chain_lengths {
         let dir = scratch_dir("fig6");

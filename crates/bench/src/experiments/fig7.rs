@@ -18,14 +18,20 @@ pub fn run() -> Table {
     let steps_per_run = if quick_mode() { 3 } else { 8 };
     // A shared dataset blob every run carries in a custom section (e.g. the
     // encoded training set); identical across runs → dedups to one copy.
-    let dataset_blob: Vec<u8> = (0..256 * 1024u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8).collect();
+    let dataset_blob: Vec<u8> = (0..256 * 1024u32)
+        .map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8)
+        .collect();
 
     let dir = scratch_dir("fig7");
     let repo = CheckpointRepo::open(&dir).expect("repo");
     let mut table = Table::new(
         "R-F7  dedup across an LR sweep (shared init + shared 256 KiB dataset blob)",
         &[
-            "runs", "logical-bytes", "store-bytes", "saved", "dedup-chunk-hits",
+            "runs",
+            "logical-bytes",
+            "store-bytes",
+            "saved",
+            "dedup-chunk-hits",
         ],
     );
     let mut logical_total = 0u64;

@@ -18,13 +18,16 @@ use qsim::measure::EvalMode;
 use crate::report::{quick_mode, scratch_dir, Table};
 use crate::workloads::vqe_tfim_trainer;
 
-fn make_repo_with_one_checkpoint(tag: &str) -> (std::path::PathBuf, CheckpointRepo, qcheck::TrainingSnapshot) {
+fn make_repo_with_one_checkpoint(
+    tag: &str,
+) -> (std::path::PathBuf, CheckpointRepo, qcheck::TrainingSnapshot) {
     let dir = scratch_dir(tag);
     let repo = CheckpointRepo::open(&dir).expect("repo");
     let mut trainer = vqe_tfim_trainer(4, 2, 3, EvalMode::Exact, 0.05);
     trainer.train_step().expect("step");
     let snap1 = trainer.capture();
-    repo.save(&snap1, &SaveOptions::default()).expect("first save");
+    repo.save(&snap1, &SaveOptions::default())
+        .expect("first save");
     trainer.train_step().expect("step");
     let snap2 = trainer.capture();
     (dir, repo, snap2)
@@ -33,9 +36,11 @@ fn make_repo_with_one_checkpoint(tag: &str) -> (std::path::PathBuf, CheckpointRe
 /// One trial: returns `(recovered_ok, recovered_step)`.
 fn crash_trial(commit: CommitMode, crash: CrashPoint) -> (bool, Option<u64>) {
     let (dir, repo, snap2) = make_repo_with_one_checkpoint("fig8-crash");
-    let mut opts = SaveOptions::default();
-    opts.commit = commit;
-    opts.crash = Some(crash);
+    let opts = SaveOptions {
+        commit,
+        crash: Some(crash),
+        ..SaveOptions::default()
+    };
     let _ = repo.save(&snap2, &opts); // always "crashes"
     let result = repo.recover();
     let out = match result {
@@ -92,7 +97,9 @@ pub fn run() -> Table {
                 label.to_string(),
                 format!("{recovered}/{trials}"),
                 "0".to_string(),
-                step_seen.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+                step_seen
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
     }
@@ -121,7 +128,11 @@ pub fn run() -> Table {
             "atomic".to_string(),
             format!("{recovered}/{trials}"),
             "0".to_string(),
-            if fell_back > 0 { "1 (fallback)".into() } else { "2".into() },
+            if fell_back > 0 {
+                "1 (fallback)".into()
+            } else {
+                "2".into()
+            },
         ]);
     }
     table.note("recovery never returned corrupt data in any trial (every payload is CRC-framed and SHA-verified)");

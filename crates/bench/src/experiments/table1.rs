@@ -21,8 +21,18 @@ pub fn run() -> Table {
     let mut table = Table::new(
         "R-T1  hybrid training-state inventory (VQE/TFIM, Adam, 512-shot SPSA, 5 steps)",
         &[
-            "qubits", "layers", "params", "params-B", "optimizer-B", "rng-B", "ledger-B",
-            "metrics-B", "meta-B", "classical-total", "statevector", "ratio",
+            "qubits",
+            "layers",
+            "params",
+            "params-B",
+            "optimizer-B",
+            "rng-B",
+            "ledger-B",
+            "metrics-B",
+            "meta-B",
+            "classical-total",
+            "statevector",
+            "ratio",
         ],
     );
     for (n, layers) in configs {
@@ -57,7 +67,9 @@ pub fn run() -> Table {
         ]);
     }
     table.note("classical state is O(params); statevector dump is O(2^n) — the gap is the paper's core size argument");
-    table.note("ledger grows with completed steps (5 steps here); all other components are steady-state");
+    table.note(
+        "ledger grows with completed steps (5 steps here); all other components are steady-state",
+    );
     table
 }
 

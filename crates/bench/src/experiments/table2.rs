@@ -58,7 +58,10 @@ pub fn run() -> Table {
     let mut table = Table::new(
         "R-T2  resume exactness after crash at step 5 (VQE 4q/2l, 64 shots/term)",
         &[
-            "resume-variant", "bitwise-identical", "first-divergence-step", "max|Δloss|",
+            "resume-variant",
+            "bitwise-identical",
+            "first-divergence-step",
+            "max|Δloss|",
             "final-param-l2-dist",
         ],
     );
@@ -99,13 +102,21 @@ pub fn run() -> Table {
             .sqrt();
         table.row(vec![
             v.name.to_string(),
-            if first_div.is_none() { "yes".into() } else { "no".into() },
-            first_div.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            if first_div.is_none() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            first_div
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
             format!("{max_delta:.3e}"),
             format!("{param_dist:.3e}"),
         ]);
     }
-    table.note("full snapshots reproduce the uninterrupted trajectory bit for bit, shot noise included");
+    table.note(
+        "full snapshots reproduce the uninterrupted trajectory bit for bit, shot noise included",
+    );
     table.note("partial resumes typically fork on the first resumed step: fresh RNG ⇒ different shot noise ⇒ different gradient");
     table
 }

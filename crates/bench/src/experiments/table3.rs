@@ -22,12 +22,7 @@ fn delta_ratio(prev: &[f64], cur: &[f64]) -> f64 {
     b.len() as f64 / compressed.len().max(1) as f64
 }
 
-fn phase_rows(
-    label: &str,
-    mut trainer: Trainer,
-    phases: &[(&str, usize)],
-    table: &mut Table,
-) {
+fn phase_rows(label: &str, mut trainer: Trainer, phases: &[(&str, usize)], table: &mut Table) {
     let mut done = 0usize;
     let mut prev: Vec<f64> = trainer.params().to_vec();
     for &(phase, step) in phases {
@@ -70,7 +65,15 @@ pub fn run() -> Table {
     };
     let mut table = Table::new(
         "R-T3  compression ratio (raw/compressed) on parameter sections by phase and optimizer",
-        &["optimizer", "phase", "step", "rle", "xor-f64", "delta+zero-elide", "step-update-l2"],
+        &[
+            "optimizer",
+            "phase",
+            "step",
+            "rle",
+            "xor-f64",
+            "delta+zero-elide",
+            "step-update-l2",
+        ],
     );
     phase_rows(
         "sgd",
@@ -114,8 +117,8 @@ mod tests {
         std::env::set_var("QCHECK_BENCH_QUICK", "1");
         let t = run();
         for row in &t.rows {
-            for col in 3..6 {
-                let r: f64 = row[col].parse().unwrap();
+            for cell in row.iter().take(6).skip(3) {
+                let r: f64 = cell.parse().unwrap();
                 assert!(r > 0.0);
             }
         }

@@ -70,7 +70,13 @@ pub fn run() -> Table {
 
     let mut table = Table::new(
         "R-T4  checkpoint-path ablation (8q/4l SGD stream, medians over the run)",
-        &["configuration", "bytes/ckpt", "commit-ms", "train-stall-ms", "crash-safe"],
+        &[
+            "configuration",
+            "bytes/ckpt",
+            "commit-ms",
+            "train-stall-ms",
+            "crash-safe",
+        ],
     );
 
     for ab in &ablations {

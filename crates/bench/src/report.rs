@@ -65,7 +65,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -122,7 +124,9 @@ pub fn human_seconds(s: f64) -> String {
 /// Is the harness in quick mode? (`QCHECK_BENCH_QUICK=1` shrinks sweeps for
 /// CI smoke runs.)
 pub fn quick_mode() -> bool {
-    std::env::var("QCHECK_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("QCHECK_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Fresh unique temp directory for an experiment; caller removes it.

@@ -7,6 +7,12 @@
 //! runs. The snapshot is immutable once captured, so the persisted state is
 //! a consistent point-in-time image no matter how far training has advanced.
 //!
+//! With [`crate::repo::SaveOptions::threads`] > 1 the writer thread runs
+//! the *parallel* encode pipeline (per-section compression + per-chunk
+//! hashing fan-out), so the commit both overlaps training **and** finishes
+//! sooner — the "pipelined checkpoint encode" configuration the benches
+//! measure.
+//!
 //! Semantics:
 //!
 //! * **Latest-wins queueing.** If a new snapshot arrives while the writer is
@@ -19,9 +25,8 @@
 //!   snapshot (best effort); [`BackgroundCheckpointer::drain`] does so
 //!   explicitly and reports the outcome.
 
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
 use crate::error::{Error, Result};
 use crate::repo::{CheckpointRepo, SaveOptions, SaveReport};
@@ -35,7 +40,7 @@ enum Job {
 /// Handle to the background writer thread.
 #[derive(Debug)]
 pub struct BackgroundCheckpointer {
-    job_tx: Sender<Job>,
+    job_tx: SyncSender<Job>,
     report_rx: Receiver<Result<SaveReport>>,
     worker: Option<JoinHandle<()>>,
     in_flight: usize,
@@ -49,8 +54,8 @@ impl BackgroundCheckpointer {
     /// Spawns the writer thread over `repo` with fixed save options.
     pub fn spawn(repo: CheckpointRepo, options: SaveOptions) -> Self {
         // Capacity 1: one job may wait while one is being written.
-        let (job_tx, job_rx) = bounded::<Job>(1);
-        let (report_tx, report_rx) = bounded::<Result<SaveReport>>(1024);
+        let (job_tx, job_rx) = sync_channel::<Job>(1);
+        let (report_tx, report_rx) = sync_channel::<Result<SaveReport>>(1024);
         let worker = std::thread::Builder::new()
             .name("qcheck-bg-writer".into())
             .spawn(move || {
@@ -90,35 +95,24 @@ impl BackgroundCheckpointer {
     /// submission itself still happens.
     pub fn submit(&mut self, snapshot: TrainingSnapshot) -> Result<()> {
         let job = Job::Save(Box::new(snapshot));
-        loop {
-            match self.job_tx.try_send(job) {
-                Ok(()) => {
-                    self.in_flight += 1;
-                    break;
+        match self.job_tx.try_send(job) {
+            Ok(()) => {
+                self.in_flight += 1;
+            }
+            Err(TrySendError::Full(j)) => {
+                // Displace the queued (stale) snapshot: pulling it out from
+                // the sender side is impossible, so drain any finished
+                // reports and block-send the fresh job; the stale one ahead
+                // of it is simply written first (still consistent).
+                self.collect_reports();
+                self.superseded += 1;
+                if self.job_tx.send(j).is_err() {
+                    return Err(Error::InvalidConfig("background writer terminated".into()));
                 }
-                Err(TrySendError::Full(j)) => {
-                    // Displace the queued (stale) snapshot: pull it out by
-                    // receiving is impossible from the sender side, so drain
-                    // a report slot if available and retry; if the queue is
-                    // still full, the waiting job is stale — drop ours into
-                    // its place by waiting for a slot.
-                    self.collect_reports();
-                    // Blocking send of the *fresh* job; the stale one ahead
-                    // of it will simply be written first (still consistent).
-                    self.superseded += 1;
-                    if self.job_tx.send(j).is_err() {
-                        return Err(Error::InvalidConfig(
-                            "background writer terminated".into(),
-                        ));
-                    }
-                    self.in_flight += 1;
-                    break;
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    return Err(Error::InvalidConfig(
-                        "background writer terminated".into(),
-                    ));
-                }
+                self.in_flight += 1;
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(Error::InvalidConfig("background writer terminated".into()));
             }
         }
         self.collect_reports();
@@ -155,7 +149,11 @@ impl BackgroundCheckpointer {
         self.in_flight
     }
 
-    /// Count of snapshots that were superseded before being written.
+    /// Count of submissions that found the queue full (backpressure
+    /// events). With the capacity-1 queue nothing is actually dropped —
+    /// the queued snapshot is written before the fresh one — so this
+    /// measures how often the writer lagged the training loop, not
+    /// missing checkpoints.
     pub fn superseded(&self) -> u64 {
         self.superseded
     }
@@ -178,11 +176,7 @@ impl BackgroundCheckpointer {
                         }
                     }
                 }
-                Err(_) => {
-                    return Err(Error::InvalidConfig(
-                        "background writer terminated".into(),
-                    ))
-                }
+                Err(_) => return Err(Error::InvalidConfig("background writer terminated".into())),
             }
         }
         self.take_first_error()

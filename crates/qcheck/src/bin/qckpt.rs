@@ -45,7 +45,10 @@ fn run() -> Result<(), String> {
         ("list", None, None) => {
             let ids = repo.list_ids().map_err(|e| e.to_string())?;
             let latest = repo.read_latest().map_err(|e| e.to_string())?;
-            println!("{:<28} {:>6} {:>7} {:>10} {:>12}", "id", "kind", "chain", "step", "stored-B");
+            println!(
+                "{:<28} {:>6} {:>7} {:>10} {:>12}",
+                "id", "kind", "chain", "step", "stored-B"
+            );
             for id in ids {
                 match repo.load_manifest(&id) {
                     Ok(m) => println!(
@@ -55,7 +58,11 @@ fn run() -> Result<(), String> {
                         m.chain_len,
                         m.step,
                         m.stored_bytes(),
-                        if Some(&id) == latest.as_ref() { "  <- LATEST" } else { "" },
+                        if Some(&id) == latest.as_ref() {
+                            "  <- LATEST"
+                        } else {
+                            ""
+                        },
                     ),
                     Err(e) => println!("{:<28} CORRUPT: {e}", id.as_str()),
                 }
@@ -87,7 +94,10 @@ fn run() -> Result<(), String> {
             println!("label:        {}", snapshot.label);
             println!("params:       {}", snapshot.params.len());
             println!("total shots:  {}", snapshot.total_shots);
-            println!("rng streams:  {:?}", snapshot.rng_streams.keys().collect::<Vec<_>>());
+            println!(
+                "rng streams:  {:?}",
+                snapshot.rng_streams.keys().collect::<Vec<_>>()
+            );
             Ok(())
         }
         ("fsck", None, None) => {
@@ -123,8 +133,15 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         ("compact", None, None) => {
-            match repo.compact_latest(&SaveOptions::default()).map_err(|e| e.to_string())? {
-                Some(r) => println!("compacted chain into {} ({} B written)", r.id, r.bytes_written()),
+            match repo
+                .compact_latest(&SaveOptions::default())
+                .map_err(|e| e.to_string())?
+            {
+                Some(r) => println!(
+                    "compacted chain into {} ({} B written)",
+                    r.id,
+                    r.bytes_written()
+                ),
                 None => println!("latest checkpoint is already full; nothing to do"),
             }
             Ok(())

@@ -204,11 +204,8 @@ mod tests {
     #[test]
     fn policy_drives_checkpoint_cadence() {
         let (path, repo) = temp_repo();
-        let mut ckptr = Checkpointer::new(
-            repo,
-            Box::new(EveryKSteps::new(5)),
-            SaveOptions::default(),
-        );
+        let mut ckptr =
+            Checkpointer::new(repo, Box::new(EveryKSteps::new(5)), SaveOptions::default());
         let mut looped = ToyLoop::new(32);
         let mut taken = 0;
         for _ in 0..20 {
@@ -227,11 +224,8 @@ mod tests {
     #[test]
     fn restore_round_trip_resumes_state() {
         let (path, repo) = temp_repo();
-        let mut ckptr = Checkpointer::new(
-            repo,
-            Box::new(EveryKSteps::new(1)),
-            SaveOptions::default(),
-        );
+        let mut ckptr =
+            Checkpointer::new(repo, Box::new(EveryKSteps::new(1)), SaveOptions::default());
         let mut looped = ToyLoop::new(16);
         for _ in 0..7 {
             looped.advance();
@@ -250,11 +244,8 @@ mod tests {
     #[test]
     fn restore_rejects_incompatible_subject() {
         let (path, repo) = temp_repo();
-        let mut ckptr = Checkpointer::new(
-            repo,
-            Box::new(EveryKSteps::new(1)),
-            SaveOptions::default(),
-        );
+        let mut ckptr =
+            Checkpointer::new(repo, Box::new(EveryKSteps::new(1)), SaveOptions::default());
         let mut looped = ToyLoop::new(16);
         looped.advance();
         ckptr.on_step(looped.step, &looped).unwrap();

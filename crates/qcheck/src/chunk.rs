@@ -22,7 +22,13 @@ pub struct ChunkRef {
     pub len: u32,
 }
 
-/// Splits `data` into `chunk_size`-byte chunks and returns `(refs, chunks)`.
+/// Minimum chunk count before chunk hashing fans out across threads
+/// (below this, thread-scope overhead exceeds the SHA-256 work).
+pub const PARALLEL_MIN_CHUNKS: usize = 16;
+
+/// Splits `data` into `chunk_size`-byte chunks and returns `(refs, chunks)`,
+/// hashing chunks on the ambient [`qpar::current_threads`] worker threads
+/// when there are at least [`PARALLEL_MIN_CHUNKS`] of them.
 ///
 /// The last chunk may be shorter. Empty input produces no chunks.
 ///
@@ -30,16 +36,36 @@ pub struct ChunkRef {
 ///
 /// Panics if `chunk_size == 0`.
 pub fn chunk_bytes(data: &[u8], chunk_size: usize) -> (Vec<ChunkRef>, Vec<&[u8]>) {
+    chunk_bytes_threads(data, chunk_size, qpar::current_threads())
+}
+
+/// [`chunk_bytes`] with an explicit thread count. Chunk refs are produced
+/// in input order whatever the thread count, so results are bit-identical
+/// to the serial path.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn chunk_bytes_threads(
+    data: &[u8],
+    chunk_size: usize,
+    threads: usize,
+) -> (Vec<ChunkRef>, Vec<&[u8]>) {
     assert!(chunk_size > 0, "chunk size must be positive");
-    let mut refs = Vec::with_capacity(data.len() / chunk_size + 1);
-    let mut slices = Vec::with_capacity(refs.capacity());
-    for chunk in data.chunks(chunk_size) {
-        refs.push(ChunkRef {
-            hash: Sha256::digest(chunk),
+    let slices: Vec<&[u8]> = data.chunks(chunk_size).collect();
+    let hashes = if threads > 1 && slices.len() >= PARALLEL_MIN_CHUNKS {
+        Sha256::digest_many(slices.clone(), threads)
+    } else {
+        slices.iter().map(|s| Sha256::digest(s)).collect()
+    };
+    let refs = hashes
+        .into_iter()
+        .zip(&slices)
+        .map(|(hash, chunk)| ChunkRef {
+            hash,
             len: chunk.len() as u32,
-        });
-        slices.push(chunk);
-    }
+        })
+        .collect();
     (refs, slices)
 }
 
@@ -129,13 +155,19 @@ mod tests {
         let (refs, slices) = chunk_bytes(&data, 4096);
         let mut owned: Vec<Vec<u8>> = slices.iter().map(|s| s.to_vec()).collect();
         owned[1][0] ^= 0xFF;
-        assert!(reassemble(&refs, &owned).unwrap_err().contains("hash mismatch"));
+        assert!(reassemble(&refs, &owned)
+            .unwrap_err()
+            .contains("hash mismatch"));
 
         let mut short = slices.iter().map(|s| s.to_vec()).collect::<Vec<_>>();
         short[0].pop();
-        assert!(reassemble(&refs, &short).unwrap_err().contains("length mismatch"));
+        assert!(reassemble(&refs, &short)
+            .unwrap_err()
+            .contains("length mismatch"));
 
-        assert!(reassemble(&refs, &owned[..1].to_vec()).unwrap_err().contains("count mismatch"));
+        assert!(reassemble(&refs, &owned[..1])
+            .unwrap_err()
+            .contains("count mismatch"));
     }
 
     #[test]

@@ -170,10 +170,7 @@ impl<'a> Decoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
-            return Err(self.fail(format!(
-                "need {n} bytes, only {} remain",
-                self.remaining()
-            )));
+            return Err(self.fail(format!("need {n} bytes, only {} remain", self.remaining())));
         }
         let out = &self.data[self.pos..self.pos + n];
         self.pos += n;
@@ -283,7 +280,11 @@ impl<'a> Decoder<'a> {
     /// Fails on truncated input.
     pub fn get_f64_vec(&mut self) -> Result<Vec<f64>> {
         let len = self.get_varint()? as usize;
-        if len.checked_mul(8).map(|n| n > self.remaining()).unwrap_or(true) {
+        if len
+            .checked_mul(8)
+            .map(|n| n > self.remaining())
+            .unwrap_or(true)
+        {
             return Err(self.fail(format!("f64 count {len} exceeds remaining input")));
         }
         let mut out = Vec::with_capacity(len);
@@ -425,7 +426,9 @@ mod tests {
     fn determinism_same_input_same_bytes() {
         let build = || {
             let mut e = Encoder::new();
-            e.put_str("snapshot").put_f64_slice(&[1.0, 2.0]).put_varint(99);
+            e.put_str("snapshot")
+                .put_f64_slice(&[1.0, 2.0])
+                .put_varint(99);
             e.into_bytes()
         };
         assert_eq!(build(), build());

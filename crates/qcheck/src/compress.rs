@@ -191,8 +191,13 @@ fn rle_decompress(data: &[u8]) -> Result<Vec<u8>> {
         pos += 1;
         match mode {
             0x00 => {
-                let count = *data.get(pos).ok_or_else(|| fail(pos, "truncated run count"))? as usize;
-                let byte = *data.get(pos + 1).ok_or_else(|| fail(pos, "truncated run byte"))?;
+                let count = *data
+                    .get(pos)
+                    .ok_or_else(|| fail(pos, "truncated run count"))?
+                    as usize;
+                let byte = *data
+                    .get(pos + 1)
+                    .ok_or_else(|| fail(pos, "truncated run byte"))?;
                 pos += 2;
                 if count == 0 {
                     return Err(fail(pos, "zero-length run"));
@@ -200,7 +205,10 @@ fn rle_decompress(data: &[u8]) -> Result<Vec<u8>> {
                 out.resize(out.len() + count, byte);
             }
             0x01 => {
-                let count = *data.get(pos).ok_or_else(|| fail(pos, "truncated literal count"))? as usize;
+                let count = *data
+                    .get(pos)
+                    .ok_or_else(|| fail(pos, "truncated literal count"))?
+                    as usize;
                 pos += 1;
                 if count == 0 {
                     return Err(fail(pos, "zero-length literal"));
@@ -335,6 +343,18 @@ fn word_decompress(data: &[u8], predecessor_xor: bool) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Compresses many independent `(codec, payload)` pairs on `threads`
+/// scoped worker threads, preserving input order. Each output is
+/// byte-identical to `codec.compress(payload)` run serially.
+///
+/// Standalone fan-out primitive (benches, external pipelines). The save
+/// path in [`crate::repo`] parallelizes at the section level too, but
+/// inline — its per-section work also includes delta-candidate selection,
+/// not just one codec call.
+pub fn compress_sections(jobs: Vec<(Compression, &[u8])>, threads: usize) -> Vec<Vec<u8>> {
+    qpar::map_threads(threads, jobs, |(codec, data)| codec.compress(data))
+}
+
 /// Compression outcome statistics, for the evaluation tables.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CompressionStats {
@@ -386,7 +406,7 @@ pub fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
 ///
 /// Fails when the byte count is not a multiple of 8.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return Err(Error::Decode {
             what: "f64 byte stream".into(),
             offset: bytes.len(),
@@ -440,7 +460,9 @@ mod tests {
 
     #[test]
     fn rle_handles_incompressible_data() {
-        let data: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> = (0..1024u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         round_trip(Compression::Rle, &data);
         // Overhead stays bounded (≤ ~1 byte per 255-byte literal + header).
         let c = Compression::Rle.compress(&data);
@@ -453,9 +475,7 @@ mod tests {
         // (neighbours agree on sign, exponent and the top mantissa bytes).
         // Centre at 0.6, not 0.5: straddling a power of two flips the
         // exponent bits and defeats XOR locality.
-        let params: Vec<f64> = (0..512)
-            .map(|i| 0.6 + 1e-13 * (i as f64).sin())
-            .collect();
+        let params: Vec<f64> = (0..512).map(|i| 0.6 + 1e-13 * (i as f64).sin()).collect();
         let bytes = f64s_to_bytes(&params);
         let xor = Compression::XorF64.compress(&bytes);
         assert!(

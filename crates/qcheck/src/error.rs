@@ -76,11 +76,17 @@ impl fmt::Display for Error {
                 detail,
             } => write!(f, "decode failure in {what} at byte {offset}: {detail}"),
             Error::UnsupportedVersion { found, supported } => {
-                write!(f, "unsupported format version {found} (supported: {supported})")
+                write!(
+                    f,
+                    "unsupported format version {found} (supported: {supported})"
+                )
             }
             Error::NotFound { what } => write!(f, "not found: {what}"),
             Error::NoValidCheckpoint { rejected } => {
-                write!(f, "no valid checkpoint found ({rejected} manifests rejected)")
+                write!(
+                    f,
+                    "no valid checkpoint found ({rejected} manifests rejected)"
+                )
             }
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::ChainTooLong { length, limit } => {
@@ -155,10 +161,7 @@ mod tests {
     #[test]
     fn io_errors_carry_source() {
         use std::error::Error as _;
-        let e = Error::io(
-            "writing manifest",
-            std::io::Error::new(std::io::ErrorKind::Other, "disk full"),
-        );
+        let e = Error::io("writing manifest", std::io::Error::other("disk full"));
         assert!(e.source().is_some());
         assert!(e.to_string().contains("writing manifest"));
     }

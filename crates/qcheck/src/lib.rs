@@ -20,6 +20,29 @@
 //! * **Cost-aware.** Built-in checkpoint-interval policies include the
 //!   Young–Daly optimum and an online-adaptive variant.
 //!
+//! ## Threading model (save path)
+//!
+//! The encode half of [`repo::CheckpointRepo::save`] — per-section
+//! compression-candidate selection, per-section SHA-256, and per-chunk
+//! hashing — fans out across the shared [`qpar`] layer. The thread count is
+//! [`repo::SaveOptions::threads`] when set, else [`qpar::current_threads`]
+//! (`QCHECK_THREADS` env var / builder / hardware). Guarantees:
+//!
+//! 1. **Bit-exactness** — encoded bytes, chunk refs and manifests are
+//!    byte-identical at every thread count: all fan-outs preserve input
+//!    order and there are no cross-item reductions.
+//! 2. **Serial commit** — chunk-store writes, dedup accounting, manifest
+//!    and `LATEST` commits stay strictly serial in section order; the
+//!    crash-safety protocol is untouched by threading.
+//! 3. **Serial thresholds** — chunk hashing fans out only above
+//!    [`chunk::PARALLEL_MIN_CHUNKS`] chunks; tiny snapshots never pay
+//!    scoped-thread overhead.
+//!
+//! Delta saves additionally keep the just-committed sections in memory, so
+//! the steady-state training loop never re-reads its own base checkpoint
+//! from disk; combined with [`background::BackgroundCheckpointer`], a
+//! parallel encode overlaps the training step entirely.
+//!
 //! ## Quickstart
 //!
 //! ```

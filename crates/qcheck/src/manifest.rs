@@ -17,8 +17,14 @@ use crate::hash::{crc32, ContentHash};
 
 /// Magic bytes opening every manifest file.
 pub const MANIFEST_MAGIC: &[u8; 6] = b"QCKPT\0";
-/// Format version written by this build.
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version written by this build. Version 2 changed `snapshot_sha`
+/// from a flat hash over all section bytes to the root hash over the
+/// per-section digests; version-1 manifests are rejected as unsupported
+/// rather than misdiagnosed as corrupt. No read-compat path exists for v1
+/// because no buildable release ever wrote it (the v1 constant predates
+/// the workspace's first successful build); if that ever changes, gate the
+/// root-hash verification on the decoded version instead.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Identifier of a checkpoint, also its manifest file stem.
 ///
@@ -111,8 +117,10 @@ pub struct Manifest {
     pub chain_len: u32,
     /// Capture wall-clock, milliseconds since the Unix epoch.
     pub created_unix_ms: u64,
-    /// SHA-256 over all resolved section bytes concatenated in order —
-    /// whole-snapshot integrity.
+    /// Snapshot root hash: SHA-256 over the per-section digests
+    /// concatenated in order. Each section digest is verified against the
+    /// resolved bytes, so the root binds the full snapshot while letting
+    /// the expensive data hashing run once, per-section and in parallel.
     pub snapshot_sha: ContentHash,
     /// Sections in serialization order.
     pub sections: Vec<SectionEntry>,
@@ -173,7 +181,8 @@ impl Manifest {
             return Err(Error::corrupt("manifest", "file too short"));
         }
         let (body, crc_bytes) = data.split_at(data.len() - 4);
-        let stored_crc = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        let stored_crc =
+            u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
         let actual_crc = crc32(body);
         if stored_crc != actual_crc {
             return Err(Error::corrupt(
@@ -394,7 +403,10 @@ mod tests {
         let crc = crc32(&bytes);
         bytes.extend_from_slice(&crc.to_le_bytes());
         match Manifest::decode(&bytes) {
-            Err(Error::UnsupportedVersion { found: 99, supported }) => {
+            Err(Error::UnsupportedVersion {
+                found: 99,
+                supported,
+            }) => {
                 assert_eq!(supported, FORMAT_VERSION);
             }
             other => panic!("expected version error, got {other:?}"),

@@ -60,7 +60,9 @@ impl CheckpointPolicy for EveryKSteps {
     fn should_checkpoint(&mut self, ctx: &PolicyContext) -> bool {
         // `ctx.step` counts *completed* steps (1-based after the first),
         // so the policy fires at steps k, 2k, 3k, …
-        ctx.step.saturating_sub(ctx.last_checkpoint_step.unwrap_or(0)) >= self.k
+        ctx.step
+            .saturating_sub(ctx.last_checkpoint_step.unwrap_or(0))
+            >= self.k
     }
 
     fn name(&self) -> &'static str {

@@ -28,22 +28,27 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
-use crate::chunk::{chunk_bytes, DEFAULT_CHUNK_SIZE};
+use crate::chunk::{chunk_bytes_threads, DEFAULT_CHUNK_SIZE};
 use crate::compress::Compression;
 use crate::delta::{BlockPatch, DEFAULT_BLOCK_SIZE};
 use crate::error::{Error, Result};
 use crate::failure::CrashPoint;
 use crate::hash::Sha256;
-use crate::manifest::{
-    CheckpointId, CheckpointKind, Manifest, PayloadKind, SectionEntry,
+use crate::manifest::{CheckpointId, CheckpointKind, Manifest, PayloadKind, SectionEntry};
+use crate::snapshot::{
+    Section, TrainingSnapshot, SECTION_LEDGER, SECTION_OPTIMIZER, SECTION_PARAMS,
 };
-use crate::snapshot::{Section, TrainingSnapshot, SECTION_LEDGER, SECTION_OPTIMIZER, SECTION_PARAMS};
 use crate::store::{ChunkStore, GcReport};
 
 /// Hard upper bound on delta-chain walks (cycle guard).
 const CHAIN_HARD_LIMIT: usize = 4096;
+
+/// Largest snapshot (summed section bytes) the delta-base encode cache
+/// will pin in memory. Larger snapshots fall back to disk resolution —
+/// trading the cached-base speedup for bounded memory.
+const ENCODE_CACHE_MAX_BYTES: usize = 64 << 20;
 
 /// Full vs incremental save.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,6 +114,11 @@ pub struct SaveOptions {
     pub crash: Option<CrashPoint>,
     /// Override the manifest timestamp (tests / determinism).
     pub created_unix_ms: Option<u64>,
+    /// Worker threads for the encode phase (per-section compression and
+    /// per-chunk hashing). `None` resolves [`qpar::current_threads`]
+    /// (`QCHECK_THREADS` / builder override / hardware). The encoded bytes
+    /// are identical for every thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for SaveOptions {
@@ -122,6 +132,7 @@ impl Default for SaveOptions {
             fsync: false,
             crash: None,
             created_unix_ms: None,
+            threads: None,
         }
     }
 }
@@ -193,6 +204,16 @@ pub struct RetentionReport {
     pub gc: GcReport,
 }
 
+/// Output of the parallel per-section encode phase of
+/// [`CheckpointRepo::save`].
+struct SectionEncode {
+    payload_kind: PayloadKind,
+    codec: Compression,
+    stored_len: usize,
+    section_sha: crate::hash::ContentHash,
+    compressed: Vec<u8>,
+}
+
 /// An on-disk checkpoint repository.
 #[derive(Debug)]
 pub struct CheckpointRepo {
@@ -201,6 +222,30 @@ pub struct CheckpointRepo {
     tmp_dir: PathBuf,
     store: ChunkStore,
     seq: Mutex<u64>,
+    /// Sections of the last checkpoint this handle committed. Delta saves
+    /// diff against the latest checkpoint; when it is the one we just
+    /// wrote, the cache saves a full read-decompress-verify pass over the
+    /// base (`resolve_sections`) per save. Keyed by id, so a checkpoint
+    /// written by anyone else simply misses and resolves from disk; chunk
+    /// *existence* is still checked on every hit (GC races demote to the
+    /// resolve path). Deliberate tradeoff: byte-level bit rot striking the
+    /// base *between two consecutive saves* is no longer caught at save
+    /// time — it surfaces at recover/fsck time, where recovery falls back
+    /// past the damaged chain, and `max_chain_len` bounds the exposure.
+    encode_cache: Mutex<Option<EncodeCache>>,
+}
+
+/// Encode-cache entry: the last checkpoint this handle committed.
+#[derive(Debug)]
+struct EncodeCache {
+    /// Id of the cached checkpoint (must match `LATEST` to be used).
+    id: CheckpointId,
+    /// Its resolved sections (the delta base for the next save).
+    sections: Vec<Section>,
+    /// Chunk hashes of the checkpoint's *entire* delta chain, so a cache
+    /// hit can confirm chain existence with stats alone — no manifest
+    /// re-reads per save.
+    chain_chunks: Vec<crate::hash::ContentHash>,
 }
 
 impl CheckpointRepo {
@@ -224,6 +269,7 @@ impl CheckpointRepo {
             tmp_dir,
             store,
             seq: Mutex::new(0),
+            encode_cache: Mutex::new(None),
         };
         let next = repo
             .list_ids()?
@@ -232,7 +278,7 @@ impl CheckpointRepo {
             .and_then(|s| s.parse::<u64>().ok())
             .map(|s| s + 1)
             .unwrap_or(0);
-        *repo.seq.lock() = next;
+        *repo.seq.lock().expect("seq lock poisoned") = next;
         Ok(repo)
     }
 
@@ -263,14 +309,16 @@ impl CheckpointRepo {
     /// Returns [`Error::Locked`] when another writer holds it.
     pub fn try_lock(&self) -> Result<RepoLock> {
         let path = self.root.join("LOCK");
-        match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
             Ok(mut f) => {
                 let _ = writeln!(f, "{}", std::process::id());
                 Ok(RepoLock { path })
             }
-            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                Err(Error::Locked(path))
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Err(Error::Locked(path)),
             Err(e) => Err(Error::io("acquiring lock", e)),
         }
     }
@@ -292,22 +340,52 @@ impl CheckpointRepo {
             ));
         }
         let sections = snapshot.to_sections();
-        let snapshot_sha = {
-            let mut h = Sha256::new();
-            for s in &sections {
-                h.update(&s.bytes);
-            }
-            h.finalize()
-        };
 
-        // Decide full vs delta.
+        // Decide full vs delta. The base sections come from the in-memory
+        // cache when the latest checkpoint is the one this handle just
+        // wrote (the common case in a training loop); otherwise they are
+        // resolved — and verified — from disk.
         let mut base: Option<(Manifest, Vec<Section>)> = None;
+        let mut base_chain_chunks: Option<Vec<crate::hash::ContentHash>> = None;
         if let SaveMode::DeltaAuto { max_chain_len } = options.mode {
             if let Some(latest_id) = self.read_latest()? {
                 if let Ok(m) = self.load_manifest(&latest_id) {
                     if m.chain_len < max_chain_len {
-                        if let Ok(base_sections) = self.resolve_sections(&m) {
-                            base = Some((m, base_sections));
+                        let cached = {
+                            let mut guard =
+                                self.encode_cache.lock().expect("encode cache poisoned");
+                            match guard.take() {
+                                Some(c) if c.id == m.id => Some(c),
+                                other => {
+                                    *guard = other;
+                                    None
+                                }
+                            }
+                        };
+                        // Even on a cache hit, confirm every chunk of the
+                        // *whole* base chain still exists on disk (stats
+                        // only, using the cached chain inventory) — a GC
+                        // race or deleted object must demote us to the
+                        // resolve path, whose failure falls back to a
+                        // self-contained full checkpoint instead of a
+                        // delta against a hole.
+                        let cached = cached
+                            .filter(|c| c.chain_chunks.iter().all(|h| self.store.contains(h)));
+                        match cached {
+                            Some(c) => {
+                                base_chain_chunks = Some(c.chain_chunks);
+                                base = Some((m, c.sections));
+                            }
+                            None => {
+                                if let Ok(base_sections) = self.resolve_sections(&m) {
+                                    // One-time chain walk to rebuild the
+                                    // chunk inventory for the new cache
+                                    // entry (resolve verified content, so
+                                    // existence is implied here).
+                                    base_chain_chunks = self.collect_chain_chunks(&m);
+                                    base = Some((m, base_sections));
+                                }
+                            }
                         }
                     }
                 }
@@ -315,24 +393,21 @@ impl CheckpointRepo {
         }
 
         let seq = {
-            let mut guard = self.seq.lock();
+            let mut guard = self.seq.lock().expect("seq lock poisoned");
             let s = *guard;
             *guard += 1;
             s
         };
         let id = CheckpointId::new(snapshot.step, seq);
 
-        let mut entries = Vec::with_capacity(sections.len());
-        let mut chunks_new = 0usize;
-        let mut chunks_deduped = 0usize;
-        let mut new_chunk_bytes = 0u64;
-        let mut chunk_budget: Option<usize> = None; // unlimited
-        if let Some(CrashPoint::AfterChunkWrites) = options.crash {
-            // Write all chunks, crash before the manifest: budget unlimited.
-            chunk_budget = None;
-        }
-
-        for section in &sections {
+        // ------------------------------------------------------------------
+        // Encode phase: per-section compression candidates + hashes, fanned
+        // out across worker threads (sections are independent). The chosen
+        // encodings are identical at every thread count.
+        // ------------------------------------------------------------------
+        let threads = options.threads.unwrap_or_else(qpar::current_threads);
+        let base_sections = base.as_ref().map(|(_, s)| s.as_slice());
+        let encode_one = |section: &Section| -> SectionEncode {
             let codec = options.compression.codec_for(&section.name);
             let section_sha = Sha256::digest(&section.bytes);
             // Candidate encodings; the smallest compressed form wins.
@@ -344,55 +419,83 @@ impl CheckpointRepo {
                 section.bytes.len(),
                 full_compressed,
             );
-            if let Some((_, base_sections)) = &base {
-                if let Some(base_section) =
-                    base_sections.iter().find(|b| b.name == section.name)
-                {
-                    // Block-level patch: wins on sparse updates and
-                    // length-changing sections (append-only ledger).
-                    let patch = BlockPatch::diff(
-                        &base_section.bytes,
-                        &section.bytes,
-                        options.delta_block_size,
-                    );
-                    let encoded = patch.encode();
-                    let compressed = codec.compress(&encoded);
+            if let Some(base_section) =
+                base_sections.and_then(|bs| bs.iter().find(|b| b.name == section.name))
+            {
+                // Block-level patch: wins on sparse updates and
+                // length-changing sections (append-only ledger).
+                let patch = BlockPatch::diff(
+                    &base_section.bytes,
+                    &section.bytes,
+                    options.delta_block_size,
+                );
+                let encoded = patch.encode();
+                let compressed = codec.compress(&encoded);
+                if compressed.len() < best.3.len() {
+                    best = (PayloadKind::DeltaPatch, codec, encoded.len(), compressed);
+                }
+                // Byte-wise XOR against the base: wins on dense but
+                // small-magnitude updates (optimizer steps late in
+                // training) — only differing bytes survive.
+                if base_section.bytes.len() == section.bytes.len() {
+                    let xored: Vec<u8> = base_section
+                        .bytes
+                        .iter()
+                        .zip(&section.bytes)
+                        .map(|(a, b)| a ^ b)
+                        .collect();
+                    let compressed = Compression::ZeroElideF64.compress(&xored);
                     if compressed.len() < best.3.len() {
-                        best = (PayloadKind::DeltaPatch, codec, encoded.len(), compressed);
-                    }
-                    // Byte-wise XOR against the base: wins on dense but
-                    // small-magnitude updates (optimizer steps late in
-                    // training) — only differing bytes survive.
-                    if base_section.bytes.len() == section.bytes.len() {
-                        let xored: Vec<u8> = base_section
-                            .bytes
-                            .iter()
-                            .zip(&section.bytes)
-                            .map(|(a, b)| a ^ b)
-                            .collect();
-                        let compressed = Compression::ZeroElideF64.compress(&xored);
-                        if compressed.len() < best.3.len() {
-                            best = (
-                                PayloadKind::XorBase,
-                                Compression::ZeroElideF64,
-                                xored.len(),
-                                compressed,
-                            );
-                        }
+                        best = (
+                            PayloadKind::XorBase,
+                            Compression::ZeroElideF64,
+                            xored.len(),
+                            compressed,
+                        );
                     }
                 }
             }
             let (payload_kind, codec, stored_len, compressed) = best;
-            let (refs, slices) = chunk_bytes(&compressed, options.chunk_size);
+            SectionEncode {
+                payload_kind,
+                codec,
+                stored_len,
+                section_sha,
+                compressed,
+            }
+        };
+        let encoded: Vec<SectionEncode> = if threads > 1 && sections.len() > 1 {
+            qpar::map_threads(threads, sections.iter().collect(), encode_one)
+        } else {
+            sections.iter().map(encode_one).collect()
+        };
+
+        // Snapshot root hash: digest of the per-section digests. Every
+        // section is verified against its own digest on resolve, so the
+        // root binds the full snapshot without a second pass over the data
+        // (and the per-section digests parallelize; a flat whole-snapshot
+        // hash would serialize on one thread).
+        let snapshot_sha = {
+            let mut h = Sha256::new();
+            for enc in &encoded {
+                h.update(&enc.section_sha.0);
+            }
+            h.finalize()
+        };
+
+        // ------------------------------------------------------------------
+        // Commit phase: chunk (hashing in parallel), then write chunks to
+        // the store serially in section order — dedup accounting and crash
+        // injection stay deterministic.
+        // ------------------------------------------------------------------
+        let mut entries = Vec::with_capacity(sections.len());
+        let mut chunks_new = 0usize;
+        let mut chunks_deduped = 0usize;
+        let mut new_chunk_bytes = 0u64;
+
+        for (section, enc) in sections.iter().zip(encoded) {
+            let (refs, slices) = chunk_bytes_threads(&enc.compressed, options.chunk_size, threads);
             for slice in &slices {
-                if let Some(budget) = &mut chunk_budget {
-                    if *budget == 0 {
-                        return Err(Error::SimulatedCrash {
-                            at: "mid-chunk-writes".into(),
-                        });
-                    }
-                    *budget -= 1;
-                }
                 let (_, fresh) = self.store.put(slice)?;
                 if fresh {
                     chunks_new += 1;
@@ -403,11 +506,11 @@ impl CheckpointRepo {
             }
             entries.push(SectionEntry {
                 name: section.name.clone(),
-                codec,
-                payload_kind,
-                stored_len: stored_len as u64,
+                codec: enc.codec,
+                payload_kind: enc.payload_kind,
+                stored_len: enc.stored_len as u64,
                 section_len: section.bytes.len() as u64,
-                section_sha,
+                section_sha: enc.section_sha,
                 chunks: refs,
             });
         }
@@ -492,7 +595,11 @@ impl CheckpointRepo {
                         at: CrashPoint::MidLatestWrite.to_string(),
                     });
                 }
-                self.atomic_write(&self.latest_path(), latest_content.as_bytes(), options.fsync)?;
+                self.atomic_write(
+                    &self.latest_path(),
+                    latest_content.as_bytes(),
+                    options.fsync,
+                )?;
             }
             CommitMode::InPlaceUnsafe => {
                 let bytes = latest_content.as_bytes();
@@ -511,6 +618,35 @@ impl CheckpointRepo {
             }
         }
 
+        // Seed the encode cache for the next delta save: the checkpoint we
+        // just committed is the latest, and these are exactly the sections
+        // `resolve_sections` would reconstruct for it. Oversized snapshots
+        // are not cached — pinning them would roughly double steady-state
+        // checkpointing memory for the handle's lifetime.
+        let snapshot_bytes: usize = sections.iter().map(|s| s.bytes.len()).sum();
+        let chain_chunks = {
+            // Own chunks plus (for deltas) the verified base chain's.
+            let own = manifest.chunk_refs().map(|r| r.hash);
+            match (&manifest.kind, base_chain_chunks) {
+                (CheckpointKind::Full, _) => Some(own.collect::<Vec<_>>()),
+                (CheckpointKind::Delta { .. }, Some(mut chain)) => {
+                    chain.splice(0..0, own);
+                    Some(chain)
+                }
+                // Delta whose chain inventory could not be rebuilt: skip
+                // caching rather than cache an unverifiable entry.
+                (CheckpointKind::Delta { .. }, None) => None,
+            }
+        };
+        *self.encode_cache.lock().expect("encode cache poisoned") = match chain_chunks {
+            Some(chain_chunks) if snapshot_bytes <= ENCODE_CACHE_MAX_BYTES => Some(EncodeCache {
+                id: id.clone(),
+                sections,
+                chain_chunks,
+            }),
+            _ => None,
+        };
+
         Ok(SaveReport {
             is_delta: manifest.is_delta(),
             chain_len: manifest.chain_len,
@@ -522,6 +658,22 @@ impl CheckpointRepo {
             manifest_bytes: manifest_bytes.len() as u64,
             id,
         })
+    }
+
+    /// Chunk hashes of `manifest`'s entire delta chain (newest first), or
+    /// `None` when an ancestor manifest is unreadable or the chain exceeds
+    /// the cycle guard.
+    fn collect_chain_chunks(&self, manifest: &Manifest) -> Option<Vec<crate::hash::ContentHash>> {
+        let mut out = Vec::new();
+        let mut cursor = manifest.clone();
+        for _ in 0..CHAIN_HARD_LIMIT {
+            out.extend(cursor.chunk_refs().map(|r| r.hash));
+            match &cursor.kind {
+                CheckpointKind::Full => return Some(out),
+                CheckpointKind::Delta { base } => cursor = self.load_manifest(base).ok()?,
+            }
+        }
+        None
     }
 
     fn atomic_write(&self, target: &Path, bytes: &[u8], fsync: bool) -> Result<()> {
@@ -571,8 +723,8 @@ impl CheckpointRepo {
     /// Fails on directory errors.
     pub fn list_ids(&self) -> Result<Vec<CheckpointId>> {
         let mut out = Vec::new();
-        let entries = fs::read_dir(&self.manifests_dir)
-            .map_err(|e| Error::io("listing manifests", e))?;
+        let entries =
+            fs::read_dir(&self.manifests_dir).map_err(|e| Error::io("listing manifests", e))?;
         for entry in entries {
             let entry = entry.map_err(|e| Error::io("walking manifests", e))?;
             let name = entry.file_name().to_string_lossy().to_string();
@@ -665,10 +817,7 @@ impl CheckpointRepo {
                             .iter()
                             .find(|s| s.name == entry.name)
                             .ok_or_else(|| Error::NotFound {
-                                what: format!(
-                                    "base section {} for delta {}",
-                                    entry.name, m.id
-                                ),
+                                what: format!("base section {} for delta {}", entry.name, m.id),
                             })?;
                         patch.apply(&base_section.bytes)?
                     }
@@ -677,10 +826,7 @@ impl CheckpointRepo {
                             .iter()
                             .find(|s| s.name == entry.name)
                             .ok_or_else(|| Error::NotFound {
-                                what: format!(
-                                    "base section {} for xor delta {}",
-                                    entry.name, m.id
-                                ),
+                                what: format!("base section {} for xor delta {}", entry.name, m.id),
                             })?;
                         if base_section.bytes.len() != stored.len() {
                             return Err(Error::corrupt(
@@ -721,10 +867,11 @@ impl CheckpointRepo {
             sections = next;
         }
 
-        // Whole-snapshot hash.
+        // Snapshot root hash: digest of the per-section digests, which were
+        // each verified against the resolved bytes above.
         let mut h = Sha256::new();
-        for s in &sections {
-            h.update(&s.bytes);
+        for entry in &manifest.sections {
+            h.update(&entry.section_sha.0);
         }
         if h.finalize() != manifest.snapshot_sha {
             return Err(Error::corrupt(
@@ -777,7 +924,9 @@ impl CheckpointRepo {
                     return Ok((snapshot, report));
                 }
                 Err(e) => {
-                    report.skipped.push((id.as_str().to_string(), e.to_string()));
+                    report
+                        .skipped
+                        .push((id.as_str().to_string(), e.to_string()));
                 }
             }
         }
@@ -937,7 +1086,10 @@ mod tests {
         s.step = step;
         s.params = params;
         s.optimizer = StateBlob::new("adam-v1", vec![0u8; 64]);
-        s.rng_streams.insert("shots".into(), crate::snapshot::RngCapture([step as u8; 40]));
+        s.rng_streams.insert(
+            "shots".into(),
+            crate::snapshot::RngCapture([step as u8; 40]),
+        );
         s.total_shots = step * 1000;
         s
     }
@@ -963,7 +1115,9 @@ mod tests {
         assert!(!r0.is_delta);
         for step in 1..5u64 {
             params[step as usize * 7] += 0.001;
-            let r = repo.save(&snapshot_at(step, params.clone()), &opts).unwrap();
+            let r = repo
+                .save(&snapshot_at(step, params.clone()), &opts)
+                .unwrap();
             assert!(r.is_delta, "step {step}");
             assert_eq!(r.chain_len as u64, step);
         }
@@ -995,7 +1149,10 @@ mod tests {
         let opts = SaveOptions::incremental(2);
         let mut reports = Vec::new();
         for step in 0..6u64 {
-            reports.push(repo.save(&snapshot_at(step, vec![step as f64; 50]), &opts).unwrap());
+            reports.push(
+                repo.save(&snapshot_at(step, vec![step as f64; 50]), &opts)
+                    .unwrap(),
+            );
         }
         let chain: Vec<u32> = reports.iter().map(|r| r.chain_len).collect();
         assert_eq!(chain, vec![0, 1, 2, 0, 1, 2]);
@@ -1016,8 +1173,11 @@ mod tests {
     #[test]
     fn recover_prefers_newest_valid() {
         let (_t, repo) = TempRepo::new();
-        repo.save(&snapshot_at(1, vec![1.0; 10]), &SaveOptions::default()).unwrap();
-        let r2 = repo.save(&snapshot_at(2, vec![2.0; 10]), &SaveOptions::default()).unwrap();
+        repo.save(&snapshot_at(1, vec![1.0; 10]), &SaveOptions::default())
+            .unwrap();
+        let r2 = repo
+            .save(&snapshot_at(2, vec![2.0; 10]), &SaveOptions::default())
+            .unwrap();
         let (snap, report) = repo.recover().unwrap();
         assert_eq!(snap.step, 2);
         assert_eq!(report.recovered, Some(r2.id));
@@ -1027,8 +1187,11 @@ mod tests {
     #[test]
     fn recover_falls_back_over_corrupt_manifest() {
         let (_t, repo) = TempRepo::new();
-        repo.save(&snapshot_at(1, vec![1.0; 10]), &SaveOptions::default()).unwrap();
-        let r2 = repo.save(&snapshot_at(2, vec![2.0; 10]), &SaveOptions::default()).unwrap();
+        repo.save(&snapshot_at(1, vec![1.0; 10]), &SaveOptions::default())
+            .unwrap();
+        let r2 = repo
+            .save(&snapshot_at(2, vec![2.0; 10]), &SaveOptions::default())
+            .unwrap();
         // Corrupt the newest manifest.
         crate::failure::inject_fault(
             &repo.manifest_path(&r2.id),
@@ -1043,8 +1206,11 @@ mod tests {
     #[test]
     fn recover_detects_corrupt_chunk() {
         let (_t, repo) = TempRepo::new();
-        repo.save(&snapshot_at(1, vec![1.0; 4000]), &SaveOptions::default()).unwrap();
-        let r2 = repo.save(&snapshot_at(2, vec![2.0; 4000]), &SaveOptions::default()).unwrap();
+        repo.save(&snapshot_at(1, vec![1.0; 4000]), &SaveOptions::default())
+            .unwrap();
+        let r2 = repo
+            .save(&snapshot_at(2, vec![2.0; 4000]), &SaveOptions::default())
+            .unwrap();
         // Corrupt one chunk of the newest checkpoint.
         let m = repo.load_manifest(&r2.id).unwrap();
         let victim = m.chunk_refs().next().unwrap().hash;
@@ -1067,10 +1233,15 @@ mod tests {
     #[test]
     fn crash_before_manifest_leaves_previous_state() {
         let (_t, repo) = TempRepo::new();
-        repo.save(&snapshot_at(1, vec![1.0; 100]), &SaveOptions::default()).unwrap();
-        let mut opts = SaveOptions::default();
-        opts.crash = Some(CrashPoint::AfterChunkWrites);
-        let err = repo.save(&snapshot_at(2, vec![2.0; 100]), &opts).unwrap_err();
+        repo.save(&snapshot_at(1, vec![1.0; 100]), &SaveOptions::default())
+            .unwrap();
+        let opts = SaveOptions {
+            crash: Some(CrashPoint::AfterChunkWrites),
+            ..SaveOptions::default()
+        };
+        let err = repo
+            .save(&snapshot_at(2, vec![2.0; 100]), &opts)
+            .unwrap_err();
         assert!(matches!(err, Error::SimulatedCrash { .. }));
         let (snap, _) = repo.recover().unwrap();
         assert_eq!(snap.step, 1);
@@ -1079,13 +1250,18 @@ mod tests {
     #[test]
     fn atomic_mid_manifest_crash_is_recoverable() {
         let (_t, repo) = TempRepo::new();
-        repo.save(&snapshot_at(1, vec![1.0; 100]), &SaveOptions::default()).unwrap();
+        repo.save(&snapshot_at(1, vec![1.0; 100]), &SaveOptions::default())
+            .unwrap();
         for pct in [10u8, 50, 90] {
-            let mut opts = SaveOptions::default();
-            opts.crash = Some(CrashPoint::MidManifestWrite {
-                keep_fraction_pct: pct,
-            });
-            let _ = repo.save(&snapshot_at(2, vec![2.0; 100]), &opts).unwrap_err();
+            let opts = SaveOptions {
+                crash: Some(CrashPoint::MidManifestWrite {
+                    keep_fraction_pct: pct,
+                }),
+                ..SaveOptions::default()
+            };
+            let _ = repo
+                .save(&snapshot_at(2, vec![2.0; 100]), &opts)
+                .unwrap_err();
             let (snap, report) = repo.recover().unwrap();
             assert_eq!(snap.step, 1, "pct {pct}");
             assert!(report.skipped.is_empty(), "atomic mode left no debris");
@@ -1095,13 +1271,18 @@ mod tests {
     #[test]
     fn inplace_mid_manifest_crash_leaves_detectable_corruption() {
         let (_t, repo) = TempRepo::new();
-        repo.save(&snapshot_at(1, vec![1.0; 100]), &SaveOptions::default()).unwrap();
-        let mut opts = SaveOptions::default();
-        opts.commit = CommitMode::InPlaceUnsafe;
-        opts.crash = Some(CrashPoint::MidManifestWrite {
-            keep_fraction_pct: 60,
-        });
-        let _ = repo.save(&snapshot_at(2, vec![2.0; 100]), &opts).unwrap_err();
+        repo.save(&snapshot_at(1, vec![1.0; 100]), &SaveOptions::default())
+            .unwrap();
+        let opts = SaveOptions {
+            commit: CommitMode::InPlaceUnsafe,
+            crash: Some(CrashPoint::MidManifestWrite {
+                keep_fraction_pct: 60,
+            }),
+            ..SaveOptions::default()
+        };
+        let _ = repo
+            .save(&snapshot_at(2, vec![2.0; 100]), &opts)
+            .unwrap_err();
         // The torn manifest exists on disk but must be rejected, not
         // silently half-read.
         let (snap, report) = repo.recover().unwrap();
@@ -1112,21 +1293,32 @@ mod tests {
     #[test]
     fn torn_latest_pointer_does_not_break_recovery() {
         let (_t, repo) = TempRepo::new();
-        repo.save(&snapshot_at(1, vec![1.0; 100]), &SaveOptions::default()).unwrap();
-        let mut opts = SaveOptions::default();
-        opts.commit = CommitMode::InPlaceUnsafe;
-        opts.crash = Some(CrashPoint::MidLatestWrite);
-        let _ = repo.save(&snapshot_at(2, vec![2.0; 100]), &opts).unwrap_err();
+        repo.save(&snapshot_at(1, vec![1.0; 100]), &SaveOptions::default())
+            .unwrap();
+        let opts = SaveOptions {
+            commit: CommitMode::InPlaceUnsafe,
+            crash: Some(CrashPoint::MidLatestWrite),
+            ..SaveOptions::default()
+        };
+        let _ = repo
+            .save(&snapshot_at(2, vec![2.0; 100]), &opts)
+            .unwrap_err();
         // load_latest may fail (torn pointer), recover() must not.
         let (snap, _) = repo.recover().unwrap();
-        assert_eq!(snap.step, 2, "manifest 2 was fully written before the pointer tear");
+        assert_eq!(
+            snap.step, 2,
+            "manifest 2 was fully written before the pointer tear"
+        );
     }
 
     #[test]
     fn gc_reclaims_unreferenced_chunks() {
         let (_t, repo) = TempRepo::new();
-        let r1 = repo.save(&snapshot_at(1, vec![1.0; 5000]), &SaveOptions::default()).unwrap();
-        repo.save(&snapshot_at(2, vec![2.0; 5000]), &SaveOptions::default()).unwrap();
+        let r1 = repo
+            .save(&snapshot_at(1, vec![1.0; 5000]), &SaveOptions::default())
+            .unwrap();
+        repo.save(&snapshot_at(2, vec![2.0; 5000]), &SaveOptions::default())
+            .unwrap();
         // Drop the first manifest, then GC.
         fs::remove_file(repo.manifest_path(&r1.id)).unwrap();
         let report = repo.gc().unwrap();
@@ -1141,7 +1333,8 @@ mod tests {
         let (_t, repo) = TempRepo::new();
         let opts = SaveOptions::incremental(10);
         for step in 0..5u64 {
-            repo.save(&snapshot_at(step, vec![step as f64; 1000]), &opts).unwrap();
+            repo.save(&snapshot_at(step, vec![step as f64; 1000]), &opts)
+                .unwrap();
         }
         // Keep last 1: the newest is a delta whose chain reaches the full
         // checkpoint at step 0 — all bases must survive.
@@ -1155,8 +1348,11 @@ mod tests {
     fn retention_deletes_unneeded_fulls() {
         let (_t, repo) = TempRepo::new();
         for step in 0..5u64 {
-            repo.save(&snapshot_at(step, vec![step as f64; 1000]), &SaveOptions::default())
-                .unwrap();
+            repo.save(
+                &snapshot_at(step, vec![step as f64; 1000]),
+                &SaveOptions::default(),
+            )
+            .unwrap();
         }
         let report = repo.apply_retention(Retention::KeepLast(2)).unwrap();
         assert_eq!(report.manifests_deleted, 3);
@@ -1171,7 +1367,8 @@ mod tests {
         let (_t, repo) = TempRepo::new();
         let opts = SaveOptions::incremental(10);
         for step in 0..4u64 {
-            repo.save(&snapshot_at(step, vec![step as f64; 500]), &opts).unwrap();
+            repo.save(&snapshot_at(step, vec![step as f64; 500]), &opts)
+                .unwrap();
         }
         let report = repo.compact_latest(&opts).unwrap().unwrap();
         assert!(!report.is_delta);
@@ -1194,10 +1391,14 @@ mod tests {
     #[test]
     fn reopen_continues_sequence() {
         let (t, repo) = TempRepo::new();
-        let r1 = repo.save(&snapshot_at(5, vec![0.0; 10]), &SaveOptions::default()).unwrap();
+        let r1 = repo
+            .save(&snapshot_at(5, vec![0.0; 10]), &SaveOptions::default())
+            .unwrap();
         drop(repo);
         let repo2 = CheckpointRepo::open(&t.path).unwrap();
-        let r2 = repo2.save(&snapshot_at(5, vec![1.0; 10]), &SaveOptions::default()).unwrap();
+        let r2 = repo2
+            .save(&snapshot_at(5, vec![1.0; 10]), &SaveOptions::default())
+            .unwrap();
         assert_ne!(r1.id, r2.id, "sequence must not collide across reopen");
         assert!(r2.id > r1.id);
     }
@@ -1205,8 +1406,10 @@ mod tests {
     #[test]
     fn uniform_compression_policy_is_respected() {
         let (_t, repo) = TempRepo::new();
-        let mut opts = SaveOptions::default();
-        opts.compression = CompressionPolicy::Uniform(Compression::Rle);
+        let opts = SaveOptions {
+            compression: CompressionPolicy::Uniform(Compression::Rle),
+            ..SaveOptions::default()
+        };
         let r = repo.save(&snapshot_at(1, vec![0.0; 4096]), &opts).unwrap();
         let m = repo.load_manifest(&r.id).unwrap();
         assert!(m.sections.iter().all(|s| s.codec == Compression::Rle));
@@ -1220,8 +1423,10 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let (_t, repo) = TempRepo::new();
-        let mut opts = SaveOptions::default();
-        opts.chunk_size = 0;
+        let opts = SaveOptions {
+            chunk_size: 0,
+            ..SaveOptions::default()
+        };
         assert!(matches!(
             repo.save(&snapshot_at(0, vec![]), &opts),
             Err(Error::InvalidConfig(_))

@@ -27,53 +27,19 @@ use crate::error::{Error, Result};
 /// A captured RNG state: the 40-byte serialized form of a xoshiro256**
 /// generator (4×8 state words + 8-byte draw counter).
 ///
-/// Newtype with manual serde impls because serde's derive does not cover
-/// `[u8; 40]`.
+/// Persistence goes through the byte-stable [`crate::codec`] (serde's
+/// derive does not cover `[u8; 40]`, and the on-disk format never uses
+/// serde anyway).
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct RngCapture(pub [u8; 40]);
 
 impl std::fmt::Debug for RngCapture {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RngCapture({:02x}{:02x}{:02x}{:02x}…)", self.0[0], self.0[1], self.0[2], self.0[3])
-    }
-}
-
-impl Serialize for RngCapture {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
-        serializer.serialize_bytes(&self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for RngCapture {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
-        struct V;
-        impl<'de> serde::de::Visitor<'de> for V {
-            type Value = RngCapture;
-            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-                f.write_str("40 bytes of rng state")
-            }
-            fn visit_bytes<E: serde::de::Error>(self, v: &[u8]) -> std::result::Result<RngCapture, E> {
-                if v.len() != 40 {
-                    return Err(E::invalid_length(v.len(), &self));
-                }
-                let mut out = [0u8; 40];
-                out.copy_from_slice(v);
-                Ok(RngCapture(out))
-            }
-            fn visit_seq<A: serde::de::SeqAccess<'de>>(
-                self,
-                mut seq: A,
-            ) -> std::result::Result<RngCapture, A::Error> {
-                let mut out = [0u8; 40];
-                for (i, o) in out.iter_mut().enumerate() {
-                    *o = seq
-                        .next_element()?
-                        .ok_or_else(|| serde::de::Error::invalid_length(i, &self))?;
-                }
-                Ok(RngCapture(out))
-            }
-        }
-        deserializer.deserialize_bytes(V)
+        write!(
+            f,
+            "RngCapture({:02x}{:02x}{:02x}{:02x}…)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -209,7 +175,8 @@ impl TrainingSnapshot {
         });
 
         let mut opt = Encoder::new();
-        opt.put_str(&self.optimizer.tag).put_bytes(&self.optimizer.data);
+        opt.put_str(&self.optimizer.tag)
+            .put_bytes(&self.optimizer.data);
         sections.push(Section {
             name: SECTION_OPTIMIZER.into(),
             bytes: opt.into_bytes(),
@@ -401,8 +368,14 @@ mod tests {
         s.total_shots = 1_234_567;
         s.shot_ledger = vec![5; 100];
         s.metrics = vec![
-            MetricPoint { step: 410, value: -3.2 },
-            MetricPoint { step: 411, value: -3.25 },
+            MetricPoint {
+                step: 410,
+                value: -3.2,
+            },
+            MetricPoint {
+                step: 411,
+                value: -3.25,
+            },
         ];
         s.custom.insert("schedule".into(), vec![1, 2]);
         s
@@ -457,7 +430,10 @@ mod tests {
     fn corrupted_section_is_detected() {
         let snap = sample_snapshot();
         let mut sections = snap.to_sections();
-        let meta = sections.iter_mut().find(|s| s.name == SECTION_META).unwrap();
+        let meta = sections
+            .iter_mut()
+            .find(|s| s.name == SECTION_META)
+            .unwrap();
         meta.bytes.truncate(4);
         assert!(TrainingSnapshot::from_sections(&sections).is_err());
     }

@@ -58,7 +58,9 @@ impl ChunkStore {
     }
 
     fn object_path(&self, hash: &ContentHash) -> PathBuf {
-        self.objects_dir.join(hash.dir_prefix()).join(hash.file_suffix())
+        self.objects_dir
+            .join(hash.dir_prefix())
+            .join(hash.file_suffix())
     }
 
     /// Whether a chunk with this address exists.
@@ -177,8 +179,8 @@ impl ChunkStore {
     pub fn total_bytes(&self) -> Result<u64> {
         let mut total = 0u64;
         for hash in self.list()? {
-            let meta = fs::metadata(self.object_path(&hash))
-                .map_err(|e| Error::io("stat object", e))?;
+            let meta =
+                fs::metadata(self.object_path(&hash)).map_err(|e| Error::io("stat object", e))?;
             total += meta.len();
         }
         Ok(total)
@@ -327,7 +329,7 @@ mod tests {
     #[test]
     fn corruption_is_detected_on_get() {
         let (_d, store) = temp_store();
-        let (r, _) = store.put(&vec![7u8; 100]).unwrap();
+        let (r, _) = store.put(&[7u8; 100]).unwrap();
         store.corrupt_object(&r.hash, 13).unwrap();
         match store.get(&r) {
             Err(Error::Corrupt { detail, .. }) => assert!(detail.contains("hash mismatch")),
@@ -338,7 +340,7 @@ mod tests {
     #[test]
     fn truncation_is_detected_on_get() {
         let (_d, store) = temp_store();
-        let (r, _) = store.put(&vec![9u8; 100]).unwrap();
+        let (r, _) = store.put(&[9u8; 100]).unwrap();
         // Truncate the object file directly.
         let path = store.object_path(&r.hash);
         let data = fs::read(&path).unwrap();

@@ -260,7 +260,8 @@ mod tests {
         let dir = scratch();
         let repo = CheckpointRepo::open(&dir).unwrap();
         for step in 1..=3 {
-            repo.save(&snapshot_at(step), &SaveOptions::incremental(8)).unwrap();
+            repo.save(&snapshot_at(step), &SaveOptions::incremental(8))
+                .unwrap();
         }
         let report = fsck(&repo).unwrap();
         assert!(report.is_clean(), "{report:?}");
@@ -285,12 +286,19 @@ mod tests {
         let repo = CheckpointRepo::open(&dir).unwrap();
         let r1 = repo.save(&snapshot_at(1), &SaveOptions::default()).unwrap();
         repo.save(&snapshot_at(2), &SaveOptions::default()).unwrap();
-        inject_fault(&repo.manifest_path(&r1.id), StorageFault::BitFlip { offset: 40 }).unwrap();
+        inject_fault(
+            &repo.manifest_path(&r1.id),
+            StorageFault::BitFlip { offset: 40 },
+        )
+        .unwrap();
         let report = fsck(&repo).unwrap();
         assert!(!report.is_clean());
         assert_eq!(report.intact_count(), 1);
         let (_, health) = &report.checkpoints[0];
-        assert!(matches!(health, CheckpointHealth::ManifestCorrupt(_)), "{health:?}");
+        assert!(
+            matches!(health, CheckpointHealth::ManifestCorrupt(_)),
+            "{health:?}"
+        );
         // Damaged manifest's chunks become orphans from fsck's viewpoint.
         assert!(report.orphan_chunks > 0);
         let _ = std::fs::remove_dir_all(dir);

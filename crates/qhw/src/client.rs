@@ -188,7 +188,7 @@ pub fn simulate_run<R: Rng>(
                 ..
             } = strategy
             {
-                if (in_session_steps + 1) % interval_steps == 0 {
+                if (in_session_steps + 1).is_multiple_of(*interval_steps) {
                     cost += write_cost;
                     writes_ckpt = true;
                 }
@@ -455,6 +455,9 @@ mod tests {
         assert!(o.makespan >= 3 * HOUR + HOUR / 2);
         // Without checkpointing the job cannot cross the window.
         let o2 = simulate_run(&spec, &CheckpointStrategy::None, &env, &mut rng);
-        assert!(o2.aborted, "no-ckpt job should never finish across maintenance");
+        assert!(
+            o2.aborted,
+            "no-ckpt job should never finish across maintenance"
+        );
     }
 }

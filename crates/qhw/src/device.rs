@@ -129,19 +129,21 @@ mod tests {
         assert_eq!(d.next_maintenance_start(0), expected);
         assert_eq!(d.next_maintenance_start(expected - 1), expected);
         // Inside the window → next cycle's window.
-        assert_eq!(
-            d.next_maintenance_start(expected + 1),
-            expected + 24 * HOUR
-        );
+        assert_eq!(d.next_maintenance_start(expected + 1), expected + 24 * HOUR);
     }
 
     #[test]
     fn sampled_error_is_nonnegative_and_tracks_drift() {
         let d = DeviceModel::typical();
         let mut rng = StdRng::seed_from_u64(1);
-        let early: f64 = (0..500).map(|_| d.sample_error_at(HOUR, &mut rng)).sum::<f64>() / 500.0;
-        let late: f64 =
-            (0..500).map(|_| d.sample_error_at(20 * HOUR, &mut rng)).sum::<f64>() / 500.0;
+        let early: f64 = (0..500)
+            .map(|_| d.sample_error_at(HOUR, &mut rng))
+            .sum::<f64>()
+            / 500.0;
+        let late: f64 = (0..500)
+            .map(|_| d.sample_error_at(20 * HOUR, &mut rng))
+            .sum::<f64>()
+            / 500.0;
         assert!(late > early);
         for _ in 0..100 {
             assert!(d.sample_error_at(23 * HOUR, &mut rng) >= 0.0);

@@ -43,7 +43,9 @@ pub mod device;
 pub mod event;
 pub mod queue;
 
-pub use client::{mean_outcome, simulate_run, CheckpointStrategy, Environment, JobSpec, RunOutcome};
+pub use client::{
+    mean_outcome, simulate_run, CheckpointStrategy, Environment, JobSpec, RunOutcome,
+};
 pub use device::DeviceModel;
 pub use event::{SimTime, HOUR, MICRO, MILLIS, MINUTE, SECOND};
 pub use queue::{FifoQueueSim, WaitModel};

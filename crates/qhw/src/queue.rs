@@ -116,7 +116,10 @@ impl FifoQueueSim {
         rng: &mut R,
     ) -> Vec<SimTime> {
         let mut events: EventQueue<QueueEvent> = EventQueue::new();
-        events.schedule(Self::sample_exp(self.mean_interarrival, rng), QueueEvent::Arrival);
+        events.schedule(
+            Self::sample_exp(self.mean_interarrival, rng),
+            QueueEvent::Arrival,
+        );
         let mut backlog: Vec<SimTime> = Vec::new(); // remaining service times queued
         let mut server_free_at: SimTime = 0;
         let mut waits = Vec::new();
@@ -130,8 +133,8 @@ impl FifoQueueSim {
             now = t;
             // Emit probes for the interval just passed.
             while next_probe <= now {
-                let wait = server_free_at.saturating_sub(next_probe)
-                    + backlog.iter().sum::<SimTime>();
+                let wait =
+                    server_free_at.saturating_sub(next_probe) + backlog.iter().sum::<SimTime>();
                 waits.push(wait);
                 next_probe += probe_every;
             }
@@ -203,7 +206,9 @@ mod tests {
             median_s: 60.0,
             sigma: 1.5,
         };
-        let samples: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng) as f64 / 1e6).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| m.sample(&mut rng) as f64 / 1e6)
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let median = {
             let mut s = samples.clone();

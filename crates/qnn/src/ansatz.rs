@@ -226,7 +226,9 @@ mod tests {
     fn init_params_in_range_and_deterministic() {
         let mut rng = Xoshiro256::seed_from(7);
         let p = init_params(64, &mut rng);
-        assert!(p.iter().all(|x| (-std::f64::consts::PI..std::f64::consts::PI).contains(x)));
+        assert!(p
+            .iter()
+            .all(|x| (-std::f64::consts::PI..std::f64::consts::PI).contains(x)));
         let mut rng2 = Xoshiro256::seed_from(7);
         assert_eq!(p, init_params(64, &mut rng2));
     }

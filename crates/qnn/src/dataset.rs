@@ -149,7 +149,12 @@ pub fn parity(num_features: usize, n_examples: usize, rng: &mut Xoshiro256) -> L
 
 /// Two Gaussian blobs in `d` dimensions, labels ±1 — an easy linearly
 /// separable task for smoke tests and quickstarts.
-pub fn blobs(num_features: usize, n_examples: usize, separation: f64, rng: &mut Xoshiro256) -> Labeled {
+pub fn blobs(
+    num_features: usize,
+    n_examples: usize,
+    separation: f64,
+    rng: &mut Xoshiro256,
+) -> Labeled {
     let mut features = Vec::with_capacity(n_examples);
     let mut labels = Vec::with_capacity(n_examples);
     for i in 0..n_examples {
@@ -195,7 +200,10 @@ mod tests {
         let c = random_unitary_circuit(3, 2, &mut rng);
         let out = c.run(&[]).unwrap();
         let zero = StateVector::zero_state(3);
-        assert!(out.fidelity(&zero).unwrap() < 0.99, "hidden unitary ≈ identity");
+        assert!(
+            out.fidelity(&zero).unwrap() < 0.99,
+            "hidden unitary ≈ identity"
+        );
     }
 
     #[test]

@@ -33,11 +33,7 @@ impl FeatureMap {
     /// # Panics
     ///
     /// Panics if `num_qubits == 0` or `features` is empty.
-    pub fn encode(
-        &self,
-        num_qubits: usize,
-        features: &[f64],
-    ) -> Result<StateVector, CircuitError> {
+    pub fn encode(&self, num_qubits: usize, features: &[f64]) -> Result<StateVector, CircuitError> {
         assert!(num_qubits > 0, "need at least one qubit");
         assert!(!features.is_empty(), "need at least one feature");
         let mut state = StateVector::zero_state(num_qubits);
@@ -97,7 +93,14 @@ mod tests {
     fn feature_wraparound_cycles_qubits() {
         // Three features on two qubits: qubit 0 receives features 0 and 2.
         let s = FeatureMap::Angle
-            .encode(2, &[std::f64::consts::FRAC_PI_2, 0.0, std::f64::consts::FRAC_PI_2])
+            .encode(
+                2,
+                &[
+                    std::f64::consts::FRAC_PI_2,
+                    0.0,
+                    std::f64::consts::FRAC_PI_2,
+                ],
+            )
             .unwrap();
         // Qubit 0 got two quarter-turns = RY(π) → |1⟩; qubit 1 unrotated.
         assert!((s.probability(0b01) - 1.0).abs() < 1e-10);

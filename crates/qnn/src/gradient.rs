@@ -57,16 +57,93 @@ impl std::fmt::Display for GradientMethod {
     }
 }
 
+/// One parametrized op occurrence, as differentiated by the generalized
+/// parameter-shift rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShiftSite {
+    /// Index of the op within its circuit.
+    pub op_index: usize,
+    /// Parameter the op reads.
+    pub param_index: usize,
+    /// Scale the op applies to the parameter (chain-rule factor).
+    pub scale: f64,
+}
+
+/// Generalized parameter-shift gradient over explicit shift sites, with the
+/// `±shift` evaluations of every site fanned out across the ambient
+/// [`qpar::current_threads`] worker threads.
+///
+/// `eval(op_index, delta)` must be a *pure* loss evaluation (exact
+/// expectation — no RNG draws), which is what makes the fan-out safe: each
+/// worker runs its own circuit evaluation. Per-site contributions are
+/// accumulated into the gradient in site order, so the result is
+/// bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Returns the first failing evaluation in site order.
+pub fn parameter_shift_gradient<E, F>(
+    num_params: usize,
+    sites: &[ShiftSite],
+    shift: f64,
+    eval: F,
+) -> Result<Vec<f64>, E>
+where
+    E: Send,
+    F: Fn(usize, f64) -> Result<f64, E> + Sync,
+{
+    type Pair<E> = (Result<f64, E>, Result<f64, E>);
+    let pairs: Vec<Pair<E>> = qpar::map(sites.to_vec(), |s| {
+        // The site fan-out owns the parallelism budget; keep the nested
+        // gate kernels serial on worker threads (they would otherwise
+        // re-resolve the ambient thread count and oversubscribe).
+        qpar::with_threads(1, || (eval(s.op_index, shift), eval(s.op_index, -shift)))
+    });
+    let mut grad = vec![0.0; num_params];
+    for (site, (plus, minus)) in sites.iter().zip(pairs) {
+        grad[site.param_index] += site.scale * (plus? - minus?) / 2.0;
+    }
+    Ok(grad)
+}
+
+/// Parallel central-difference gradient of a *pure* black-box loss: the
+/// per-parameter `±eps` evaluations run on the ambient
+/// [`qpar::current_threads`] worker threads. Results are bit-identical to
+/// [`finite_diff_gradient`] (same perturbed vectors, same arithmetic).
+///
+/// # Errors
+///
+/// Returns the first failing evaluation in parameter order.
+pub fn finite_diff_gradient_parallel<E, F>(params: &[f64], eps: f64, loss: F) -> Result<Vec<f64>, E>
+where
+    E: Send,
+    F: Fn(&[f64]) -> Result<f64, E> + Sync,
+{
+    type Pair<E> = (Result<f64, E>, Result<f64, E>);
+    let pairs: Vec<Pair<E>> = qpar::map((0..params.len()).collect(), |i| {
+        // See parameter_shift_gradient: one level of fan-out only.
+        qpar::with_threads(1, || {
+            let mut work = params.to_vec();
+            work[i] = params[i] + eps;
+            let plus = loss(&work);
+            work[i] = params[i] - eps;
+            let minus = loss(&work);
+            (plus, minus)
+        })
+    });
+    let mut grad = vec![0.0; params.len()];
+    for (g, (plus, minus)) in grad.iter_mut().zip(pairs) {
+        *g = (plus? - minus?) / (2.0 * eps);
+    }
+    Ok(grad)
+}
+
 /// Computes a finite-difference gradient of a black-box loss.
 ///
 /// # Errors
 ///
 /// Propagates the first loss-evaluation error.
-pub fn finite_diff_gradient<E, F>(
-    params: &[f64],
-    eps: f64,
-    mut loss: F,
-) -> Result<Vec<f64>, E>
+pub fn finite_diff_gradient<E, F>(params: &[f64], eps: f64, mut loss: F) -> Result<Vec<f64>, E>
 where
     F: FnMut(&[f64]) -> Result<f64, E>,
 {
@@ -132,7 +209,7 @@ mod tests {
         let a = [3.0, -1.0, 2.0];
         let params = [0.1, 0.2, 0.3];
         let mut rng = Xoshiro256::seed_from(5);
-        let mut acc = vec![0.0; 3];
+        let mut acc = [0.0; 3];
         let trials = 2000;
         for _ in 0..trials {
             let g = spsa_gradient::<(), _>(&params, 0.01, &mut rng, |x| {
@@ -162,18 +239,29 @@ mod tests {
 
     #[test]
     fn evals_accounting() {
-        assert_eq!(GradientMethod::ParameterShift.evals_per_gradient(10, 14), 28);
+        assert_eq!(
+            GradientMethod::ParameterShift.evals_per_gradient(10, 14),
+            28
+        );
         assert_eq!(
             GradientMethod::FiniteDiff { eps: 1e-4 }.evals_per_gradient(10, 14),
             20
         );
-        assert_eq!(GradientMethod::Spsa { c: 0.1 }.evals_per_gradient(10, 14), 2);
+        assert_eq!(
+            GradientMethod::Spsa { c: 0.1 }.evals_per_gradient(10, 14),
+            2
+        );
     }
 
     #[test]
     fn display_names() {
-        assert_eq!(GradientMethod::ParameterShift.to_string(), "parameter-shift");
-        assert!(GradientMethod::FiniteDiff { eps: 0.01 }.to_string().contains("0.01"));
+        assert_eq!(
+            GradientMethod::ParameterShift.to_string(),
+            "parameter-shift"
+        );
+        assert!(GradientMethod::FiniteDiff { eps: 0.01 }
+            .to_string()
+            .contains("0.01"));
         assert!(GradientMethod::Spsa { c: 0.2 }.to_string().contains("spsa"));
     }
 

@@ -166,7 +166,9 @@ mod tests {
         let mut bytes = l.to_bytes();
         // Corrupt the stored total (first 8 bytes, little-endian).
         bytes[0] ^= 0xFF;
-        assert!(ShotLedger::from_bytes(&bytes).unwrap_err().contains("disagrees"));
+        assert!(ShotLedger::from_bytes(&bytes)
+            .unwrap_err()
+            .contains("disagrees"));
     }
 
     #[test]

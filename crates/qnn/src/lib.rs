@@ -54,4 +54,3 @@ pub use ledger::ShotLedger;
 pub use optimizer::{AdaGrad, Adam, Momentum, Optimizer, RmsProp, Sgd};
 pub use resume::{ResumableRun, RunError, RunStart};
 pub use trainer::{StepReport, Task, TrainError, Trainer, TrainerConfig};
-

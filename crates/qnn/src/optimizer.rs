@@ -433,7 +433,10 @@ mod tests {
         let mut a = Adam::new(0.01);
         let mut params = vec![0.3; 8];
         for k in 0..17 {
-            let grad: Vec<f64> = params.iter().map(|p: &f64| p.sin() + k as f64 * 1e-3).collect();
+            let grad: Vec<f64> = params
+                .iter()
+                .map(|p: &f64| p.sin() + k as f64 * 1e-3)
+                .collect();
             a.step(&mut params, &grad);
         }
         let blob = a.state_blob();
@@ -524,7 +527,12 @@ mod tests {
     fn by_name_constructs_all() {
         for name in ["sgd", "momentum", "adam", "adagrad", "rmsprop"] {
             assert_eq!(
-                by_name(name, 0.1).unwrap().name().split('-').next().unwrap(),
+                by_name(name, 0.1)
+                    .unwrap()
+                    .name()
+                    .split('-')
+                    .next()
+                    .unwrap(),
                 name
             );
         }

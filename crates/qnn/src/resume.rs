@@ -94,9 +94,7 @@ impl ResumableRun {
             Ok((snapshot, report)) => {
                 let id = report.recovered.expect("recover names its source");
                 let step = snapshot.step;
-                trainer
-                    .restore(&snapshot)
-                    .map_err(RunError::Incompatible)?;
+                trainer.restore(&snapshot).map_err(RunError::Incompatible)?;
                 RunStart::Resumed { id, step }
             }
             Err(QcheckError::NoValidCheckpoint { rejected: 0 }) => RunStart::Fresh,
@@ -269,7 +267,10 @@ mod tests {
         }
         let (trainer, final_save) = run.finish().unwrap();
         assert_eq!(trainer.step_count(), 10);
-        assert_eq!(final_save.id.as_str().split('-').nth(1).unwrap(), "0000000010");
+        assert_eq!(
+            final_save.id.as_str().split('-').nth(1).unwrap(),
+            "0000000010"
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 

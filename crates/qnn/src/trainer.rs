@@ -20,7 +20,10 @@ use qsim::state::{StateError, StateVector};
 
 use crate::dataset::{Labeled, StatePairs};
 use crate::encode::FeatureMap;
-use crate::gradient::{finite_diff_gradient, spsa_gradient, GradientMethod};
+use crate::gradient::{
+    finite_diff_gradient, finite_diff_gradient_parallel, parameter_shift_gradient, spsa_gradient,
+    GradientMethod, ShiftSite,
+};
 use crate::ledger::ShotLedger;
 use crate::optimizer::Optimizer;
 
@@ -46,6 +49,58 @@ impl std::fmt::Display for TrainError {
 }
 
 impl std::error::Error for TrainError {}
+
+/// Body of [`Trainer::exact_loss_at`], over just the circuit and task so
+/// gradient workers can share it without capturing the whole (non-`Sync`)
+/// trainer.
+fn exact_loss_at_parts(
+    circuit: &Circuit,
+    task: &Task,
+    params: &[f64],
+    batch: &[usize],
+    op_shift: Option<(usize, f64)>,
+) -> Result<f64, TrainError> {
+    let run = |state: &mut StateVector| -> Result<(), TrainError> {
+        match op_shift {
+            Some((op, delta)) => circuit.run_on_with_op_shift(state, params, op, delta)?,
+            None => circuit.run_on(state, params)?,
+        }
+        Ok(())
+    };
+    match task {
+        Task::Vqe { hamiltonian } => {
+            let mut state = StateVector::zero_state(circuit.num_qubits());
+            run(&mut state)?;
+            Ok(hamiltonian.expectation(&state)?)
+        }
+        Task::StateLearning { data } => {
+            let mut acc = 0.0;
+            for &i in batch {
+                let mut state = data.inputs[i].clone();
+                run(&mut state)?;
+                acc += state.fidelity(&data.targets[i])?;
+            }
+            Ok(1.0 - acc / batch.len() as f64)
+        }
+        Task::Classification {
+            data,
+            feature_map,
+            observable,
+            ..
+        } => {
+            let mut acc = 0.0;
+            for &i in batch {
+                let mut state = StateVector::zero_state(circuit.num_qubits());
+                feature_map.encode_onto(&mut state, &data.features[i])?;
+                run(&mut state)?;
+                let pred = observable.expectation(&state)?;
+                let err = pred - data.labels[i];
+                acc += err * err;
+            }
+            Ok(acc / batch.len() as f64)
+        }
+    }
+}
 
 impl From<CircuitError> for TrainError {
     fn from(e: CircuitError) -> Self {
@@ -212,7 +267,9 @@ impl Trainer {
                 ..
             } => {
                 if *batch_size == 0 {
-                    return Err(TrainError::Unsupported("batch size must be positive".into()));
+                    return Err(TrainError::Unsupported(
+                        "batch size must be positive".into(),
+                    ));
                 }
                 if data.is_empty() {
                     return Err(TrainError::Unsupported("empty labeled dataset".into()));
@@ -342,10 +399,9 @@ impl Trainer {
             Task::Vqe { hamiltonian } => {
                 let mut state = StateVector::zero_state(self.circuit.num_qubits());
                 match op_shift {
-                    Some((op, delta)) => {
-                        self.circuit
-                            .run_on_with_op_shift(&mut state, params, op, delta)?
-                    }
+                    Some((op, delta)) => self
+                        .circuit
+                        .run_on_with_op_shift(&mut state, params, op, delta)?,
                     None => self.circuit.run_on(&mut state, params)?,
                 }
                 let (value, shots) =
@@ -358,10 +414,9 @@ impl Trainer {
                 for &i in batch {
                     let mut state = data.inputs[i].clone();
                     match op_shift {
-                        Some((op, delta)) => {
-                            self.circuit
-                                .run_on_with_op_shift(&mut state, params, op, delta)?
-                        }
+                        Some((op, delta)) => self
+                            .circuit
+                            .run_on_with_op_shift(&mut state, params, op, delta)?,
                         None => self.circuit.run_on(&mut state, params)?,
                     }
                     match mode {
@@ -395,10 +450,9 @@ impl Trainer {
                     let mut state = StateVector::zero_state(self.circuit.num_qubits());
                     feature_map.encode_onto(&mut state, &data.features[i])?;
                     match op_shift {
-                        Some((op, delta)) => {
-                            self.circuit
-                                .run_on_with_op_shift(&mut state, params, op, delta)?
-                        }
+                        Some((op, delta)) => self
+                            .circuit
+                            .run_on_with_op_shift(&mut state, params, op, delta)?,
                         None => self.circuit.run_on(&mut state, params)?,
                     }
                     let (pred, shots) =
@@ -431,10 +485,9 @@ impl Trainer {
                 let mut state = StateVector::zero_state(self.circuit.num_qubits());
                 feature_map.encode_onto(&mut state, &data.features[example])?;
                 match op_shift {
-                    Some((op, delta)) => {
-                        self.circuit
-                            .run_on_with_op_shift(&mut state, params, op, delta)?
-                    }
+                    Some((op, delta)) => self
+                        .circuit
+                        .run_on_with_op_shift(&mut state, params, op, delta)?,
                     None => self.circuit.run_on(&mut state, params)?,
                 }
                 let (pred, shots) =
@@ -444,6 +497,15 @@ impl Trainer {
             _ => Err(TrainError::Unsupported(
                 "prediction_at is a classification internal".into(),
             )),
+        }
+    }
+
+    /// Loss evaluations consumed by one exact-loss call (mirrors the
+    /// `evals` accounting of the serial `loss_at`).
+    fn exact_evals_per_loss(&self, batch: &[usize]) -> u32 {
+        match &self.task {
+            Task::Vqe { .. } => 1,
+            _ => batch.len() as u32,
         }
     }
 
@@ -461,10 +523,7 @@ impl Trainer {
     }
 
     /// Computes the gradient on a batch. Returns `(grad, evals, shots)`.
-    fn gradient(
-        &mut self,
-        batch: &[usize],
-    ) -> Result<(Vec<f64>, u32, u64), TrainError> {
+    fn gradient(&mut self, batch: &[usize]) -> Result<(Vec<f64>, u32, u64), TrainError> {
         const SHIFT: f64 = std::f64::consts::FRAC_PI_2;
         let params = self.params.clone();
         match self.config.gradient {
@@ -494,20 +553,60 @@ impl Trainer {
                         }
                     }
                     _ => {
-                        // Direct rule on the (expectation-shaped) loss.
-                        for &(op, pidx, scale) in &sites {
-                            let (plus, e1, s1) = self.loss_at(&params, batch, Some((op, SHIFT)))?;
-                            let (minus, e2, s2) =
-                                self.loss_at(&params, batch, Some((op, -SHIFT)))?;
-                            evals += e1 + e2;
-                            shots += s1 + s2;
-                            grad[pidx] += scale * (plus - minus) / 2.0;
+                        if self.config.eval_mode == EvalMode::Exact && qpar::current_threads() > 1 {
+                            // Exact evaluations draw no RNG, so the ±π/2
+                            // evaluations of every site are embarrassingly
+                            // parallel; results are bit-identical to the
+                            // serial loop below.
+                            let shift_sites: Vec<ShiftSite> = sites
+                                .iter()
+                                .map(|&(op, pidx, scale)| ShiftSite {
+                                    op_index: op,
+                                    param_index: pidx,
+                                    scale,
+                                })
+                                .collect();
+                            let (circuit, task) = (&self.circuit, &self.task);
+                            grad = parameter_shift_gradient(
+                                params.len(),
+                                &shift_sites,
+                                SHIFT,
+                                |op, delta| {
+                                    exact_loss_at_parts(
+                                        circuit,
+                                        task,
+                                        &params,
+                                        batch,
+                                        Some((op, delta)),
+                                    )
+                                },
+                            )?;
+                            evals += 2 * sites.len() as u32 * self.exact_evals_per_loss(batch);
+                        } else {
+                            // Direct rule on the (expectation-shaped) loss.
+                            for &(op, pidx, scale) in &sites {
+                                let (plus, e1, s1) =
+                                    self.loss_at(&params, batch, Some((op, SHIFT)))?;
+                                let (minus, e2, s2) =
+                                    self.loss_at(&params, batch, Some((op, -SHIFT)))?;
+                                evals += e1 + e2;
+                                shots += s1 + s2;
+                                grad[pidx] += scale * (plus - minus) / 2.0;
+                            }
                         }
                     }
                 }
                 Ok((grad, evals, shots))
             }
             GradientMethod::FiniteDiff { eps } => {
+                if self.config.eval_mode == EvalMode::Exact && qpar::current_threads() > 1 {
+                    let (circuit, task) = (&self.circuit, &self.task);
+                    let grad = finite_diff_gradient_parallel(&params, eps, |p| {
+                        exact_loss_at_parts(circuit, task, p, batch, None)
+                    })?;
+                    let evals = 2 * params.len() as u32 * self.exact_evals_per_loss(batch);
+                    return Ok((grad, evals, 0));
+                }
                 let mut evals = 0u32;
                 let mut shots = 0u64;
                 let grad = finite_diff_gradient(&params, eps, |p| {
@@ -630,8 +729,10 @@ impl Checkpointable for Trainer {
         snap.wall_time_ms = self.wall_accum_ms + self.started.elapsed().as_millis() as u64;
         snap.params = self.params.clone();
         snap.optimizer = self.optimizer.state_blob();
-        snap.rng_streams
-            .insert("shots".into(), RngCapture(self.shots_rng.state().to_bytes()));
+        snap.rng_streams.insert(
+            "shots".into(),
+            RngCapture(self.shots_rng.state().to_bytes()),
+        );
         snap.rng_streams
             .insert("data".into(), RngCapture(self.data_rng.state().to_bytes()));
         snap.cursor = DatasetCursor {
@@ -662,8 +763,7 @@ impl Checkpointable for Trainer {
             .rng_streams
             .get("data")
             .ok_or("snapshot missing 'data' rng stream")?;
-        let shots_state =
-            RngState::from_bytes(&shots.0).ok_or("malformed 'shots' rng state")?;
+        let shots_state = RngState::from_bytes(&shots.0).ok_or("malformed 'shots' rng state")?;
         let data_state = RngState::from_bytes(&data.0).ok_or("malformed 'data' rng state")?;
         let ledger = ShotLedger::from_bytes(&snapshot.shot_ledger)?;
 
@@ -815,7 +915,10 @@ mod tests {
             .iter()
             .zip(&tail_b)
             .any(|(ra, rb)| ra.loss.to_bits() != rb.loss.to_bits());
-        assert!(diverged, "params-only resume should diverge under shot noise");
+        assert!(
+            diverged,
+            "params-only resume should diverge under shot noise"
+        );
     }
 
     #[test]
@@ -937,6 +1040,32 @@ mod tests {
         }
         let after = t.exact_loss().unwrap();
         assert!(after < before * 0.6, "classification {before} → {after}");
+    }
+
+    #[test]
+    fn parallel_gradients_bit_identical_across_thread_counts() {
+        // Exact-mode gradients must not depend on the worker count: run the
+        // same training trajectory under different qpar overrides and
+        // compare parameter bits.
+        let run_at = |threads: usize, method: GradientMethod| {
+            qpar::with_threads(threads, || {
+                let mut t = vqe_trainer(11, EvalMode::Exact);
+                t.config.gradient = method;
+                for _ in 0..5 {
+                    t.train_step().unwrap();
+                }
+                t.params().iter().map(|p| p.to_bits()).collect::<Vec<u64>>()
+            })
+        };
+        for method in [
+            GradientMethod::ParameterShift,
+            GradientMethod::FiniteDiff { eps: 1e-5 },
+        ] {
+            let reference = run_at(1, method);
+            for threads in [2, 4, 8] {
+                assert_eq!(run_at(threads, method), reference, "{method} x{threads}");
+            }
+        }
     }
 
     #[test]

@@ -9,8 +9,55 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::gate::Gate;
+use crate::complex::Complex64;
+use crate::gate::{Gate, Matrix2, Matrix4};
 use crate::state::{StateError, StateVector};
+
+/// 2×2 complex matrix product `a · b`.
+fn mat2_mul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    let mut out = [[Complex64::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    out
+}
+
+/// Whether a 2×2 matrix is diagonal.
+fn is_diag2(m: &Matrix2) -> bool {
+    m[0][1] == Complex64::ZERO && m[1][0] == Complex64::ZERO
+}
+
+/// Whether a 4×4 matrix has any row with more than one non-zero entry
+/// (i.e. it will take the dense kernel anyway).
+fn is_dense4(m: &Matrix4) -> bool {
+    m.iter()
+        .any(|row| row.iter().filter(|c| **c != Complex64::ZERO).count() > 1)
+}
+
+/// Folds a pending single-qubit matrix into a 4×4 gate matrix:
+/// `m · (p on operand bit)` where `bit` is 0 for the first operand and 1
+/// for the second (matching the [`crate::gate::Matrix4`] basis convention).
+#[allow(clippy::needless_range_loop)] // k is a basis bit pattern, not a position
+fn mat4_fold1q(m: &Matrix4, p: &Matrix2, bit: usize) -> Matrix4 {
+    let mut out = [[Complex64::ZERO; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            // kron(P on `bit`, I elsewhere)[k][j]
+            let mut acc = Complex64::ZERO;
+            for k in 0..4 {
+                let (kb, jb) = ((k >> bit) & 1, (j >> bit) & 1);
+                let other_equal = (k & !(1 << bit)) == (j & !(1 << bit));
+                if other_equal {
+                    acc += m[i][k] * p[kb][jb];
+                }
+            }
+            *cell = acc;
+        }
+    }
+    out
+}
 
 /// A gate angle: fixed, or a (possibly scaled) reference into a parameter
 /// vector.
@@ -322,17 +369,123 @@ impl Circuit {
 
     /// Executes the circuit on an existing state in place.
     ///
+    /// Consecutive single-qubit gates are *fused* (composed into one 2×2
+    /// matrix per qubit, applied lazily), and pending diagonal factors are
+    /// folded into the next two-qubit gate on their wire — halving the
+    /// number of full passes over the `2^n` amplitudes for the
+    /// rotation-layer + entangler circuits this simulator mostly runs.
+    /// Fusion decisions depend only on the circuit and parameters, so
+    /// results are identical at every thread count.
+    ///
     /// # Errors
     ///
     /// Returns a [`CircuitError`] if validation or gate application fails.
     pub fn run_on(&self, state: &mut StateVector, params: &[f64]) -> Result<(), CircuitError> {
         self.validate(params.len())?;
+        self.run_fused(state, |_, op| match op.param {
+            Some(p) => op.gate.with_param(p.resolve(params)),
+            None => op.gate,
+        })
+    }
+
+    /// Shared fused executor behind [`Circuit::run_on`] and
+    /// [`Circuit::run_on_with_op_shift`]; `gate_at` resolves the concrete
+    /// gate for each op.
+    fn run_fused(
+        &self,
+        state: &mut StateVector,
+        mut gate_at: impl FnMut(usize, &Op) -> Gate,
+    ) -> Result<(), CircuitError> {
+        // The state may be narrower than the circuit declares; gate
+        // application bypasses `apply_gate`'s per-op validation, so check
+        // every operand against the actual register width up front (the
+        // historical behavior errored on the first out-of-range op).
+        let width = state.num_qubits();
         for op in &self.ops {
-            let gate = match op.param {
-                Some(p) => op.gate.with_param(p.resolve(params)),
-                None => op.gate,
-            };
-            state.apply_gate(gate, &op.qubits)?;
+            for &q in &op.qubits {
+                if q >= width {
+                    return Err(CircuitError::State(StateError::QubitOutOfRange {
+                        qubit: q,
+                        num_qubits: width,
+                    }));
+                }
+            }
+        }
+        // Pending 1q work per qubit, kept factored as `diag · dense`
+        // (`dense` applies first). The factoring preserves the cheap
+        // structure of each half: the dense factor of a rotation layer
+        // (`Ry` — usually all-real) flushes through the specialized real
+        // kernel, while the diagonal factor (`Rz`) folds into the next
+        // two-qubit gate by column scaling, which keeps `Cx` on its
+        // transposition kernel.
+        let mut dense: Vec<Option<Matrix2>> = vec![None; self.num_qubits];
+        let mut diag: Vec<Option<Matrix2>> = vec![None; self.num_qubits];
+        for (i, op) in self.ops.iter().enumerate() {
+            let gate = gate_at(i, op);
+            match gate.arity() {
+                1 => {
+                    let q = op.qubits[0];
+                    let m = gate.matrix2();
+                    if is_diag2(&m) {
+                        diag[q] = Some(match diag[q] {
+                            Some(prev) => mat2_mul(&m, &prev),
+                            None => m,
+                        });
+                    } else {
+                        // A dense gate after a diagonal factor collapses the
+                        // whole pending product into one dense factor.
+                        let m = match diag[q].take() {
+                            Some(g) => mat2_mul(&m, &g),
+                            None => m,
+                        };
+                        dense[q] = Some(match dense[q] {
+                            Some(prev) => mat2_mul(&m, &prev),
+                            None => m,
+                        });
+                    }
+                }
+                _ => {
+                    let (a, b) = (op.qubits[0], op.qubits[1]);
+                    if a == b {
+                        return Err(CircuitError::State(StateError::DuplicateQubits(a)));
+                    }
+                    let mut m4 = gate.matrix4();
+                    let dense4 = is_dense4(&m4);
+                    for (q, bit) in [(a, 0usize), (b, 1usize)] {
+                        match (dense[q].take(), diag[q].take()) {
+                            (Some(d), g) => {
+                                if dense4 {
+                                    // The 2q kernel is dense anyway: fold
+                                    // the whole pending product in for free.
+                                    let whole = match g {
+                                        Some(g) => mat2_mul(&g, &d),
+                                        None => d,
+                                    };
+                                    m4 = mat4_fold1q(&m4, &whole, bit);
+                                } else {
+                                    state.apply_matrix2(&d, q);
+                                    if let Some(g) = g {
+                                        m4 = mat4_fold1q(&m4, &g, bit);
+                                    }
+                                }
+                            }
+                            (None, Some(g)) => {
+                                m4 = mat4_fold1q(&m4, &g, bit);
+                            }
+                            (None, None) => {}
+                        }
+                    }
+                    state.apply_matrix4(&m4, a, b);
+                }
+            }
+        }
+        for q in 0..self.num_qubits {
+            match (dense[q].take(), diag[q].take()) {
+                (Some(d), Some(g)) => state.apply_matrix2(&mat2_mul(&g, &d), q),
+                (Some(d), None) => state.apply_matrix2(&d, q),
+                (None, Some(g)) => state.apply_matrix2(&g, q),
+                (None, None) => {}
+            }
         }
         Ok(())
     }
@@ -408,20 +561,16 @@ impl Circuit {
         delta: f64,
     ) -> Result<(), CircuitError> {
         self.validate(params.len())?;
-        for (i, op) in self.ops.iter().enumerate() {
-            let gate = match op.param {
-                Some(p) => {
-                    let mut angle = p.resolve(params);
-                    if i == op_index {
-                        angle += delta;
-                    }
-                    op.gate.with_param(angle)
+        self.run_fused(state, |i, op| match op.param {
+            Some(p) => {
+                let mut angle = p.resolve(params);
+                if i == op_index {
+                    angle += delta;
                 }
-                None => op.gate,
-            };
-            state.apply_gate(gate, &op.qubits)?;
-        }
-        Ok(())
+                op.gate.with_param(angle)
+            }
+            None => op.gate,
+        })
     }
 
     /// The adjoint circuit (all gates inverted, order reversed). Symbolic
@@ -526,7 +675,10 @@ mod tests {
         let mut c = Circuit::new(1);
         c.push_sym(Gate::Rx(0.0), &[0], 2);
         let err = c.run(&[0.1]).unwrap_err();
-        assert!(matches!(err, CircuitError::ParamOutOfRange { param_index: 2, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::ParamOutOfRange { param_index: 2, .. }
+        ));
     }
 
     #[test]
@@ -546,7 +698,11 @@ mod tests {
         });
         assert!(matches!(
             c2.validate(0),
-            Err(CircuitError::ArityMismatch { expected: 2, got: 1, .. })
+            Err(CircuitError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -644,13 +800,33 @@ mod tests {
     fn run_on_existing_state() {
         let mut c = Circuit::new(1);
         c.push_fixed(Gate::X, &[0]);
-        let mut s = StateVector::from_amplitudes(vec![
-            Complex64::ZERO,
-            Complex64::ONE,
-        ])
-        .unwrap();
+        let mut s = StateVector::from_amplitudes(vec![Complex64::ZERO, Complex64::ONE]).unwrap();
         c.run_on(&mut s, &[]).unwrap();
         assert!((s.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn run_on_narrow_state_errors_instead_of_panicking() {
+        // The fused executor bypasses apply_gate's per-op validation; a
+        // state narrower than the circuit must still surface
+        // QubitOutOfRange (regression: the diag index kernel used to panic
+        // and other kernels silently no-opped).
+        let mut c = Circuit::new(3);
+        c.push_fixed(Gate::Rz(0.4), &[2]);
+        let mut narrow = StateVector::zero_state(1);
+        match c.run_on(&mut narrow, &[]) {
+            Err(CircuitError::State(StateError::QubitOutOfRange {
+                qubit: 2,
+                num_qubits: 1,
+            })) => {}
+            other => panic!("expected QubitOutOfRange, got {other:?}"),
+        }
+        let mut c2 = Circuit::new(3);
+        c2.push_fixed(Gate::Cx, &[0, 2]);
+        assert!(c2.run_on(&mut StateVector::zero_state(2), &[]).is_err());
+        // A wider state than the circuit declares keeps working.
+        let mut wide = StateVector::zero_state(4);
+        c.run_on(&mut wide, &[]).unwrap();
     }
 
     #[test]

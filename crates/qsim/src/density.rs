@@ -87,38 +87,55 @@ impl DensityMatrix {
     pub fn apply_matrix2(&mut self, m: &Matrix2, q: usize) {
         assert!(q < self.num_qubits, "qubit out of range");
         let bit = 1usize << q;
-        // Left-multiply by U: transform rows in pairs.
-        for col in 0..self.dim {
-            let mut base = 0usize;
-            while base < self.dim {
-                for offset in 0..bit {
-                    let r0 = base + offset;
-                    let r1 = r0 | bit;
-                    let a0 = self.elems[r0 * self.dim + col];
-                    let a1 = self.elems[r1 * self.dim + col];
-                    self.elems[r0 * self.dim + col] = m[0][0] * a0 + m[0][1] * a1;
-                    self.elems[r1 * self.dim + col] = m[1][0] * a0 + m[1][1] * a1;
-                }
-                base += bit << 1;
+        let dim = self.dim;
+        // Threshold mirrors qsim::state: below it scoped-thread fan-out
+        // costs more than the kernel.
+        let threads = if self.elems.len() >= crate::state::PARALLEL_MIN_AMPS {
+            qpar::current_threads()
+        } else {
+            1
+        };
+        // Left-multiply by U. Row r pairs with row r|bit; flattening a
+        // block of 2·bit rows, the first bit·dim elements pair elementwise
+        // with the second bit·dim — one contiguous zip per block (cache-
+        // friendly, and each block is an independent parallel work item).
+        let row_bit = bit * dim;
+        let left = |(lo, hi): (&mut [Complex64], &mut [Complex64])| {
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let a0 = *a;
+                let a1 = *b;
+                *a = m[0][0] * a0 + m[0][1] * a1;
+                *b = m[1][0] * a0 + m[1][1] * a1;
             }
+        };
+        let pairs: Vec<(&mut [Complex64], &mut [Complex64])> = self
+            .elems
+            .chunks_mut(row_bit << 1)
+            .map(|block| block.split_at_mut(row_bit))
+            .collect();
+        if threads <= 1 {
+            pairs.into_iter().for_each(left);
+        } else {
+            qpar::for_each_threads(threads, pairs, left);
         }
-        // Right-multiply by U†: transform columns in pairs with conj(m).
-        for row in 0..self.dim {
-            let mut base = 0usize;
-            while base < self.dim {
-                for offset in 0..bit {
-                    let c0 = base + offset;
-                    let c1 = c0 | bit;
-                    let a0 = self.elems[row * self.dim + c0];
-                    let a1 = self.elems[row * self.dim + c1];
-                    // (ρ U†)[r][c] = Σ_k ρ[r][k] conj(U[c][k])
-                    self.elems[row * self.dim + c0] =
-                        a0 * m[0][0].conj() + a1 * m[0][1].conj();
-                    self.elems[row * self.dim + c1] =
-                        a0 * m[1][0].conj() + a1 * m[1][1].conj();
+        // Right-multiply by U†: column pairs within each row — rows are
+        // independent work items. (ρU†)[r][c] = Σ_k ρ[r][k]·conj(U[c][k]).
+        let right = |row: &mut [Complex64]| {
+            for block in row.chunks_mut(bit << 1) {
+                let (lo, hi) = block.split_at_mut(bit);
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let a0 = *a;
+                    let a1 = *b;
+                    *a = a0 * m[0][0].conj() + a1 * m[0][1].conj();
+                    *b = a0 * m[1][0].conj() + a1 * m[1][1].conj();
                 }
-                base += bit << 1;
             }
+        };
+        let rows: Vec<&mut [Complex64]> = self.elems.chunks_mut(dim).collect();
+        if threads <= 1 {
+            rows.into_iter().for_each(right);
+        } else {
+            qpar::for_each_threads(threads, rows, right);
         }
     }
 
@@ -288,7 +305,11 @@ fn pauli_action(paulis: &[crate::pauli::Pauli], j: usize) -> (usize, Complex64) 
             Pauli::Y => {
                 target ^= 1 << q;
                 // Y|0⟩ = i|1⟩, Y|1⟩ = -i|0⟩
-                phase *= if bit == 0 { Complex64::I } else { -Complex64::I };
+                phase *= if bit == 0 {
+                    Complex64::I
+                } else {
+                    -Complex64::I
+                };
             }
             Pauli::Z => {
                 if bit == 1 {

@@ -184,14 +184,8 @@ impl Gate {
                 let c = (theta / 2.0).cos();
                 let s = (theta / 2.0).sin();
                 [
-                    [
-                        Complex64::from_real(c),
-                        -Complex64::cis(lambda) * s,
-                    ],
-                    [
-                        Complex64::cis(phi) * s,
-                        Complex64::cis(phi + lambda) * c,
-                    ],
+                    [Complex64::from_real(c), -Complex64::cis(lambda) * s],
+                    [Complex64::cis(phi) * s, Complex64::cis(phi + lambda) * c],
                 ]
             }
             _ => panic!("matrix2 called on two-qubit gate {self:?}"),

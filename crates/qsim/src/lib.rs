@@ -18,6 +18,27 @@
 //! * [`noise`] — stochastic trajectory noise ([`noise::NoiseModel`]).
 //! * [`density`] — exact density-matrix cross-checker for small registers.
 //!
+//! ## Threading model
+//!
+//! Gate kernels, expectation values and state reductions run multi-threaded
+//! through the shared [`qpar`] layer. The thread count resolves, in order:
+//! a [`qpar::with_threads`] scope override, the [`qpar::set_global_threads`]
+//! builder value, the `QCHECK_THREADS` environment variable, and finally the
+//! hardware parallelism. Three guarantees hold at every thread count:
+//!
+//! 1. **Bit-exactness** — parallel results are bit-identical to the serial
+//!    path. Gate kernels partition the amplitude array into disjoint
+//!    pair/quad regions (each update independent); reductions sum over a
+//!    *fixed* stripe partition combined in index order, never in thread
+//!    completion order (see [`state::SUM_STRIPES`]).
+//! 2. **Serial thresholds** — registers below [`state::PARALLEL_MIN_AMPS`]
+//!    amplitudes (gates) / [`state::STRIPED_SUM_MIN_AMPS`] (reductions)
+//!    always take the serial path, so small circuits never pay scoped-thread
+//!    overhead.
+//! 3. **Shot streams stay serial** — [`measure`] in [`measure::EvalMode::Shots`]
+//!    mode draws from a single sequential RNG stream and is never fanned
+//!    out; only exact (RNG-free) evaluation parallelizes.
+//!
 //! ## Quickstart
 //!
 //! ```

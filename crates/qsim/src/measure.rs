@@ -148,7 +148,7 @@ pub fn swap_test_fidelity(
         let low = outcome & ((1usize << n) - 1);
         let high = outcome >> n;
         let parity = (low & high).count_ones();
-        let sign = if parity % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if parity.is_multiple_of(2) { 1.0 } else { -1.0 };
         acc += sign * count as f64;
     }
     Ok(acc / shots as f64)

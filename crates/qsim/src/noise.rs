@@ -84,8 +84,7 @@ impl NoiseModel {
     ///
     /// Panics if `k` is negative or scales any probability above 1.
     pub fn calibrated(k: f64) -> Self {
-        NoiseModel::new(1.2e-3 * k, 3.14e-2 * k, 1e-2 * k)
-            .expect("scale factor out of range")
+        NoiseModel::new(1.2e-3 * k, 3.14e-2 * k, 1e-2 * k).expect("scale factor out of range")
     }
 
     /// Single-qubit depolarizing probability.
@@ -130,7 +129,12 @@ impl NoiseModel {
     }
 
     /// Applies readout error to a sampled outcome word.
-    pub fn corrupt_readout(&self, outcome: usize, num_qubits: usize, rng: &mut Xoshiro256) -> usize {
+    pub fn corrupt_readout(
+        &self,
+        outcome: usize,
+        num_qubits: usize,
+        rng: &mut Xoshiro256,
+    ) -> usize {
         if self.readout_flip == 0.0 {
             return outcome;
         }

@@ -243,10 +243,35 @@ impl PauliSum {
 
     /// Exact expectation `⟨ψ|H|ψ⟩`.
     ///
+    /// Terms are independent, so for multi-term observables on registers of
+    /// at least [`crate::state::PARALLEL_MIN_AMPS`] amplitudes each term is
+    /// evaluated on its own thread (ambient [`qpar::current_threads`]).
+    /// Per-term values are identical to the serial path and are accumulated
+    /// in term order, so the result is bit-identical at every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`StateError::SizeMismatch`] when register widths differ.
     pub fn expectation(&self, state: &StateVector) -> Result<f64, StateError> {
+        let threads = qpar::current_threads();
+        if threads > 1
+            && self.terms.len() > 1
+            && state.amplitudes().len() >= crate::state::PARALLEL_MIN_AMPS
+        {
+            let per_term: Vec<Result<f64, StateError>> =
+                qpar::map_threads(threads, self.terms.iter().collect(), |(c, p)| {
+                    // Keep the nested kernels serial on worker threads: the
+                    // term fan-out already owns the parallelism budget, and
+                    // worker threads would otherwise re-resolve the ambient
+                    // thread count and fan out again (threads² workers).
+                    qpar::with_threads(1, || Ok(c * p.expectation(state)?))
+                });
+            let mut acc = 0.0;
+            for v in per_term {
+                acc += v?;
+            }
+            return Ok(acc);
+        }
         let mut acc = 0.0;
         for (c, p) in &self.terms {
             acc += c * p.expectation(state)?;
@@ -470,10 +495,11 @@ mod tests {
         let h = PauliSum::mean_z(2);
         assert!((h.expectation(&StateVector::basis_state(2, 0)).unwrap() - 1.0).abs() < EPS);
         assert!((h.expectation(&StateVector::basis_state(2, 3)).unwrap() + 1.0).abs() < EPS);
-        assert!(h
-            .expectation(&StateVector::basis_state(2, 1))
-            .unwrap()
-            .abs()
-            < EPS);
+        assert!(
+            h.expectation(&StateVector::basis_state(2, 1))
+                .unwrap()
+                .abs()
+                < EPS
+        );
     }
 }

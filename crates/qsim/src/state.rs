@@ -4,12 +4,48 @@
 //! Basis states are indexed little-endian: qubit 0 is the least significant
 //! bit of the index. Gate application is performed in place with bit-mask
 //! kernels; no `unsafe` code is used.
+//!
+//! ## Kernel structure & threading
+//!
+//! Gate application decomposes the amplitude array into disjoint
+//! *pair slices* (one-qubit gates) or *quad slices* (two-qubit gates):
+//! contiguous `&mut` regions holding the amplitudes a kernel couples. The
+//! serial and parallel paths run the **same** kernel over the same
+//! decomposition; with [`qpar::current_threads`] > 1 and at least
+//! [`PARALLEL_MIN_AMPS`] amplitudes the slices are fanned out across scoped
+//! threads. Every pair/quad update is independent, so results are
+//! bit-identical for every thread count.
+//!
+//! Matrices are classified by structure before dispatch — diagonal
+//! (`Rz`, `Cphase`, `Rzz`, …) and monomial (`X`, `Cx`, `Swap`, …) gates
+//! take reduced kernels that touch a fraction of the data the dense path
+//! does.
+//!
+//! Reductions (norm, inner products, marginals) switch above
+//! [`STRIPED_SUM_MIN_AMPS`] amplitudes to partial sums over
+//! [`SUM_STRIPES`] *fixed* index ranges, combined in index order. The
+//! stripe layout depends only on the input length — never on the thread
+//! count — so reduction results are also identical for every thread count.
 
 use serde::{Deserialize, Serialize};
 
 use crate::complex::Complex64;
 use crate::gate::{Gate, Matrix2, Matrix4};
 use crate::rng::Xoshiro256;
+
+/// Minimum amplitude count before gate kernels fan out across threads
+/// (below this, scoped-thread overhead dwarfs the kernel).
+pub const PARALLEL_MIN_AMPS: usize = 1 << 14;
+
+/// Minimum amplitude count before reductions use the fixed striped
+/// partition (kept deliberately high: striping changes summation grouping
+/// relative to the plain serial fold, so small states keep the historical
+/// result exactly).
+pub const STRIPED_SUM_MIN_AMPS: usize = 1 << 15;
+
+/// Fixed stripe count for striped reductions. Independent of the thread
+/// count by design — see the module docs' determinism contract.
+pub const SUM_STRIPES: usize = 64;
 
 /// Errors produced by state-vector operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,7 +74,10 @@ impl std::fmt::Display for StateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StateError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit index {qubit} out of range for {num_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit index {qubit} out of range for {num_qubits}-qubit register"
+                )
             }
             StateError::DuplicateQubits(q) => {
                 write!(f, "two-qubit gate applied twice to qubit {q}")
@@ -118,7 +157,7 @@ impl StateVector {
             return Err(StateError::InvalidLength(n));
         }
         let num_qubits = n.trailing_zeros() as usize;
-        let norm: f64 = amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        let norm: f64 = norm_sqr_sum(&amplitudes).sqrt();
         if norm > 0.0 {
             for a in &mut amplitudes {
                 *a = *a / norm;
@@ -170,11 +209,7 @@ impl StateVector {
 
     /// The L2 norm of the state (1.0 for a valid state).
     pub fn norm(&self) -> f64 {
-        self.amplitudes
-            .iter()
-            .map(|a| a.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        norm_sqr_sum(&self.amplitudes).sqrt()
     }
 
     /// Renormalizes in place; no-op on the zero vector.
@@ -199,12 +234,24 @@ impl StateVector {
                 right: other.num_qubits,
             });
         }
-        Ok(self
-            .amplitudes
-            .iter()
-            .zip(&other.amplitudes)
-            .map(|(a, b)| a.conj() * *b)
-            .sum())
+        let n = self.amplitudes.len();
+        if n < STRIPED_SUM_MIN_AMPS {
+            return Ok(self
+                .amplitudes
+                .iter()
+                .zip(&other.amplitudes)
+                .map(|(a, b)| a.conj() * *b)
+                .sum());
+        }
+        let (left, right) = (&self.amplitudes, &other.amplitudes);
+        let partials = qpar::map(qpar::ranges(n, SUM_STRIPES), |r| {
+            left[r.clone()]
+                .iter()
+                .zip(&right[r])
+                .map(|(a, b)| a.conj() * *b)
+                .sum::<Complex64>()
+        });
+        Ok(partials.into_iter().sum())
     }
 
     /// Fidelity `|⟨self|other⟩|²` between two pure states.
@@ -218,8 +265,7 @@ impl StateVector {
 
     /// Tensor product `self ⊗ other` (other occupies the high-order qubits).
     pub fn tensor(&self, other: &StateVector) -> StateVector {
-        let mut amps =
-            Vec::with_capacity(self.amplitudes.len() * other.amplitudes.len());
+        let mut amps = Vec::with_capacity(self.amplitudes.len() * other.amplitudes.len());
         for b in &other.amplitudes {
             for a in &self.amplitudes {
                 amps.push(*a * *b);
@@ -288,55 +334,99 @@ impl StateVector {
     ///
     /// The caller is responsible for `q < n`; library callers go through
     /// [`StateVector::apply_gate`], which validates.
+    ///
+    /// Runs multi-threaded for registers of at least [`PARALLEL_MIN_AMPS`]
+    /// amplitudes when [`qpar::current_threads`] > 1; parallel and serial
+    /// results are bit-identical.
     pub fn apply_matrix2(&mut self, m: &Matrix2, q: usize) {
         let bit = 1usize << q;
-        let n = self.amplitudes.len();
-        let mut base = 0usize;
-        while base < n {
-            // Iterate over indices with qubit q = 0 inside this block.
-            for offset in 0..bit {
-                let i0 = base + offset;
-                let i1 = i0 | bit;
-                let a0 = self.amplitudes[i0];
-                let a1 = self.amplitudes[i1];
-                self.amplitudes[i0] = m[0][0] * a0 + m[0][1] * a1;
-                self.amplitudes[i1] = m[1][0] * a0 + m[1][1] * a1;
-            }
-            base += bit << 1;
+        let kernel = Kernel2::classify(m);
+        let threads = kernel_threads(self.amplitudes.len());
+        if threads <= 1 {
+            kernel.run_region(m, &mut self.amplitudes, bit);
+            return;
         }
+        let blocks = self.amplitudes.len() / (bit << 1);
+        if blocks >= threads * 2 {
+            // Low target qubit: plenty of whole 2·bit blocks — hand each
+            // thread a contiguous run of blocks.
+            let per = blocks.div_ceil(threads * 4).max(1);
+            let items: Vec<&mut [Complex64]> =
+                self.amplitudes.chunks_mut(per * (bit << 1)).collect();
+            qpar::for_each_threads(threads, items, |chunk| kernel.run_region(m, chunk, bit));
+            return;
+        }
+        // High target qubit: few blocks, each with a long pair run —
+        // subdivide the runs instead.
+        let per_block = (threads * 4).div_ceil(blocks).max(1);
+        let sub = bit.div_ceil(per_block).max(1);
+        let mut items = Vec::with_capacity(blocks * per_block);
+        for block in self.amplitudes.chunks_mut(bit << 1) {
+            let (lo, hi) = block.split_at_mut(bit);
+            items.extend(lo.chunks_mut(sub).zip(hi.chunks_mut(sub)));
+        }
+        qpar::for_each_threads(threads, items, |(lo, hi)| kernel.run(m, lo, hi));
     }
 
     /// Applies an arbitrary 4×4 unitary to qubits `(qa, qb)` in place.
     ///
     /// Matrix basis convention: index bit 0 ↔ `qa`, index bit 1 ↔ `qb`.
+    ///
+    /// Threading follows [`StateVector::apply_matrix2`]: bit-identical
+    /// results at every thread count.
     pub fn apply_matrix4(&mut self, m: &Matrix4, qa: usize, qb: usize) {
         debug_assert_ne!(qa, qb);
         let ba = 1usize << qa;
         let bb = 1usize << qb;
-        let n = self.amplitudes.len();
-        for i in 0..n {
-            // Visit each 4-tuple once: pick representatives with both bits 0.
-            if i & ba != 0 || i & bb != 0 {
-                continue;
-            }
-            let i00 = i;
-            let i01 = i | ba;
-            let i10 = i | bb;
-            let i11 = i | ba | bb;
-            let a = [
-                self.amplitudes[i00],
-                self.amplitudes[i01],
-                self.amplitudes[i10],
-                self.amplitudes[i11],
-            ];
-            for (k, &idx) in [i00, i01, i10, i11].iter().enumerate() {
-                let mut acc = Complex64::ZERO;
-                for (j, &aj) in a.iter().enumerate() {
-                    acc += m[k][j] * aj;
+        let (blo, bhi) = (ba.min(bb), ba.max(bb));
+        // Quad layout within a 2·bhi block split at bhi into (pa, pb), each
+        // split again at blo: when qa is the lower qubit the four slices map
+        // to (a00, a01, a10, a11); otherwise a01/a10 swap roles.
+        let qa_is_low = ba < bb;
+        let kernel = Kernel4::classify(m);
+        let threads = kernel_threads(self.amplitudes.len());
+        let blocks = self.amplitudes.len() / (bhi << 1);
+        if threads <= 1 {
+            if blo < INDEX_KERNEL_MAX_STRIDE {
+                kernel.run_flat(m, &mut self.amplitudes, ba, bb);
+            } else {
+                for block in self.amplitudes.chunks_mut(bhi << 1) {
+                    let (pa, pb) = block.split_at_mut(bhi);
+                    kernel.run_aligned(m, qa_is_low, blo, pa, pb);
                 }
-                self.amplitudes[idx] = acc;
             }
+            return;
         }
+        if blocks >= threads * 2 {
+            // Both qubits low: hand each thread contiguous runs of whole
+            // 2·bhi blocks.
+            let per = blocks.div_ceil(threads * 4).max(1);
+            let items: Vec<&mut [Complex64]> =
+                self.amplitudes.chunks_mut(per * (bhi << 1)).collect();
+            qpar::for_each_threads(threads, items, |chunk| {
+                if blo < INDEX_KERNEL_MAX_STRIDE {
+                    kernel.run_flat(m, chunk, ba, bb);
+                } else {
+                    for block in chunk.chunks_mut(bhi << 1) {
+                        let (pa, pb) = block.split_at_mut(bhi);
+                        kernel.run_aligned(m, qa_is_low, blo, pa, pb);
+                    }
+                }
+            });
+            return;
+        }
+        // High qubit present: subdivide within blocks at 2·blo-aligned
+        // boundaries so every piece holds whole quads.
+        let pieces = (threads * 4).div_ceil(blocks).max(1);
+        let piece = bhi.div_ceil(pieces).div_ceil(blo << 1).max(1) * (blo << 1);
+        let mut items = Vec::with_capacity(blocks * pieces);
+        for block in self.amplitudes.chunks_mut(bhi << 1) {
+            let (pa, pb) = block.split_at_mut(bhi);
+            items.extend(pa.chunks_mut(piece).zip(pb.chunks_mut(piece)));
+        }
+        qpar::for_each_threads(threads, items, |(pa, pb)| {
+            kernel.run_aligned(m, qa_is_low, blo, pa, pb)
+        });
     }
 
     /// Probability that qubit `q` measures as `|1⟩`.
@@ -347,13 +437,23 @@ impl StateVector {
     pub fn prob_one(&self, q: usize) -> Result<f64, StateError> {
         self.check_qubit(q)?;
         let bit = 1usize << q;
-        Ok(self
-            .amplitudes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum())
+        let n = self.amplitudes.len();
+        if n < STRIPED_SUM_MIN_AMPS {
+            return Ok(self
+                .amplitudes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & bit != 0)
+                .map(|(_, a)| a.norm_sqr())
+                .sum());
+        }
+        let amps = &self.amplitudes;
+        let partials = qpar::map(qpar::ranges(n, SUM_STRIPES), |r| {
+            r.filter(|i| i & bit != 0)
+                .map(|i| amps[i].norm_sqr())
+                .sum::<f64>()
+        });
+        Ok(partials.into_iter().sum())
     }
 
     /// Projective measurement of qubit `q` in the computational basis.
@@ -363,11 +463,7 @@ impl StateVector {
     /// # Errors
     ///
     /// Returns [`StateError::QubitOutOfRange`] for an invalid qubit.
-    pub fn measure_qubit(
-        &mut self,
-        q: usize,
-        rng: &mut Xoshiro256,
-    ) -> Result<u8, StateError> {
+    pub fn measure_qubit(&mut self, q: usize, rng: &mut Xoshiro256) -> Result<u8, StateError> {
         let p1 = self.prob_one(q)?;
         let outcome = u8::from(rng.next_f64() < p1);
         let bit = 1usize << q;
@@ -415,6 +511,753 @@ impl StateVector {
     }
 }
 
+/// Below this stride, pair/quad kernels use direct index arithmetic
+/// instead of sub-slice chunking (tiny chunks cost more in iterator
+/// bookkeeping than in arithmetic).
+const INDEX_KERNEL_MAX_STRIDE: usize = 32;
+
+/// Threads a gate kernel over `len` amplitudes may use: 1 below the
+/// fan-out threshold, the ambient [`qpar::current_threads`] otherwise.
+fn kernel_threads(len: usize) -> usize {
+    if len < PARALLEL_MIN_AMPS {
+        1
+    } else {
+        qpar::current_threads()
+    }
+}
+
+/// Sum of `|a|²` with the fixed striped partition above
+/// [`STRIPED_SUM_MIN_AMPS`] (see the module docs' determinism contract).
+fn norm_sqr_sum(amps: &[Complex64]) -> f64 {
+    if amps.len() < STRIPED_SUM_MIN_AMPS {
+        return amps.iter().map(|a| a.norm_sqr()).sum();
+    }
+    let partials = qpar::map(qpar::ranges(amps.len(), SUM_STRIPES), |r| {
+        amps[r].iter().map(|a| a.norm_sqr()).sum::<f64>()
+    });
+    partials.into_iter().sum()
+}
+
+/// Structural classification of a 2×2 gate matrix, picked once per gate
+/// application. Reduced kernels touch less data than the dense path; the
+/// classification depends only on the matrix, so serial and parallel
+/// executions always agree.
+#[derive(Clone, Copy, Debug)]
+enum Kernel2 {
+    /// Both off-diagonal entries zero (`Z`, `S`, `T`, `Rz`, `Phase`, …).
+    Diag,
+    /// Both diagonal entries zero (`X`, `Y`).
+    Anti,
+    /// All four entries real (`H`, `Ry`): half the multiplies of the
+    /// complex dense path, and friendlier to auto-vectorization.
+    RealDense,
+    /// General dense 2×2.
+    Dense,
+}
+
+impl Kernel2 {
+    fn classify(m: &Matrix2) -> Self {
+        let z = Complex64::ZERO;
+        if m[0][1] == z && m[1][0] == z {
+            Kernel2::Diag
+        } else if m[0][0] == z && m[1][1] == z {
+            Kernel2::Anti
+        } else if m.iter().flatten().all(|c| c.im == 0.0) {
+            Kernel2::RealDense
+        } else {
+            Kernel2::Dense
+        }
+    }
+
+    /// Applies the kernel to a contiguous region made of whole `2·bit`
+    /// blocks. Long pair runs use the slice kernel; short ones (low target
+    /// qubit) use direct index arithmetic, which avoids per-chunk iterator
+    /// overhead.
+    fn run_region(self, m: &Matrix2, amps: &mut [Complex64], bit: usize) {
+        // Diagonal kernels on short strides: strided index loops beat
+        // degenerate 1–2 element sub-slices.
+        if bit < INDEX_KERNEL_MAX_STRIDE {
+            if let Kernel2::Diag = self {
+                let pairs = amps.len() >> 1;
+                let shift = bit.trailing_zeros();
+                let mask = bit - 1;
+                let expand = |j: usize| ((j >> shift) << (shift + 1)) | (j & mask);
+                let (d0, d1) = (m[0][0], m[1][1]);
+                if d0 != Complex64::ONE {
+                    for j in 0..pairs {
+                        let i0 = expand(j);
+                        amps[i0] = d0 * amps[i0];
+                    }
+                }
+                if d1 != Complex64::ONE {
+                    for j in 0..pairs {
+                        let i1 = expand(j) | bit;
+                        amps[i1] = d1 * amps[i1];
+                    }
+                }
+                return;
+            }
+        }
+        if bit == 1 {
+            // Adjacent pairs: slice-pattern destructuring removes all
+            // bounds checks.
+            match self {
+                Kernel2::RealDense => {
+                    let (m00, m01) = (m[0][0].re, m[0][1].re);
+                    let (m10, m11) = (m[1][0].re, m[1][1].re);
+                    for block in amps.chunks_exact_mut(2) {
+                        if let [a, b] = block {
+                            let (a0r, a0i, a1r, a1i) = (a.re, a.im, b.re, b.im);
+                            a.re = m00 * a0r + m01 * a1r;
+                            a.im = m00 * a0i + m01 * a1i;
+                            b.re = m10 * a0r + m11 * a1r;
+                            b.im = m10 * a0i + m11 * a1i;
+                        }
+                    }
+                }
+                _ => {
+                    for block in amps.chunks_exact_mut(2) {
+                        if let [a, b] = block {
+                            let a0 = *a;
+                            let a1 = *b;
+                            *a = m[0][0] * a0 + m[0][1] * a1;
+                            *b = m[1][0] * a0 + m[1][1] * a1;
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        for block in amps.chunks_mut(bit << 1) {
+            let (lo, hi) = block.split_at_mut(bit);
+            self.run(m, lo, hi);
+        }
+    }
+
+    /// Applies the kernel to one pair run: `lo[k]` holds the amplitude with
+    /// the target bit clear, `hi[k]` the partner with it set.
+    fn run(self, m: &Matrix2, lo: &mut [Complex64], hi: &mut [Complex64]) {
+        match self {
+            Kernel2::Dense => {
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let a0 = *a;
+                    let a1 = *b;
+                    *a = m[0][0] * a0 + m[0][1] * a1;
+                    *b = m[1][0] * a0 + m[1][1] * a1;
+                }
+            }
+            Kernel2::RealDense => {
+                let (m00, m01) = (m[0][0].re, m[0][1].re);
+                let (m10, m11) = (m[1][0].re, m[1][1].re);
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let (a0r, a0i, a1r, a1i) = (a.re, a.im, b.re, b.im);
+                    a.re = m00 * a0r + m01 * a1r;
+                    a.im = m00 * a0i + m01 * a1i;
+                    b.re = m10 * a0r + m11 * a1r;
+                    b.im = m10 * a0i + m11 * a1i;
+                }
+            }
+            Kernel2::Diag => {
+                scale_slice(lo, m[0][0]);
+                scale_slice(hi, m[1][1]);
+            }
+            Kernel2::Anti => {
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let a0 = *a;
+                    *a = m[0][1] * *b;
+                    *b = m[1][0] * a0;
+                }
+            }
+        }
+    }
+}
+
+/// Picks two of four equal-length slices by basis index (`i < j`).
+fn pick_two<'s>(
+    i: usize,
+    j: usize,
+    s00: &'s mut [Complex64],
+    s01: &'s mut [Complex64],
+    s10: &'s mut [Complex64],
+    s11: &'s mut [Complex64],
+) -> (&'s mut [Complex64], &'s mut [Complex64]) {
+    match (i, j) {
+        (0, 1) => (s00, s01),
+        (0, 2) => (s00, s10),
+        (0, 3) => (s00, s11),
+        (1, 2) => (s01, s10),
+        (1, 3) => (s01, s11),
+        (2, 3) => (s10, s11),
+        _ => unreachable!("transposition indices must satisfy i < j < 4"),
+    }
+}
+
+/// `(si[k], sj[k]) ← (ci·sj[k], cj·si[k])` — the transposition kernel body.
+fn swap_scaled(si: &mut [Complex64], sj: &mut [Complex64], ci: Complex64, cj: Complex64) {
+    let one = Complex64::ONE;
+    if ci == one && cj == one {
+        si.swap_with_slice(sj);
+        return;
+    }
+    for (x, y) in si.iter_mut().zip(sj.iter_mut()) {
+        let t = *x;
+        *x = ci * *y;
+        *y = cj * t;
+    }
+}
+
+/// Multiplies a slice by a scalar, skipping the exact-identity scalar
+/// (`S`/`T`/`Cphase`-style gates leave most amplitudes untouched).
+fn scale_slice(xs: &mut [Complex64], c: Complex64) {
+    if c == Complex64::ONE {
+        return;
+    }
+    for x in xs.iter_mut() {
+        *x = c * *x;
+    }
+}
+
+/// Structural classification of a 4×4 gate matrix.
+#[derive(Clone, Copy, Debug)]
+enum Kernel4 {
+    /// Diagonal (`Cz`, `Cphase`, `Crz`, `Rzz`): four independent scalings.
+    Diag([Complex64; 4]),
+    /// Two rows swapped with phases, the other two only scaled
+    /// (`Cx`, `Cy`, `Swap`, and any of those with diagonal factors folded
+    /// in): one complex multiply per amplitude at most, and exact-identity
+    /// scalings are skipped entirely.
+    Transposition {
+        /// First swapped matrix-basis index (`i < j`).
+        i: u8,
+        /// Second swapped matrix-basis index.
+        j: u8,
+        /// `new[i] = ci * old[j]`.
+        ci: Complex64,
+        /// `new[j] = cj * old[i]`.
+        cj: Complex64,
+        /// The two fixed matrix-basis indices, ascending.
+        fixed_rows: [u8; 2],
+        /// Scaling factors of the fixed rows, same order.
+        fixed: [Complex64; 2],
+    },
+    /// Monomial — one non-zero per row: a permutation with per-row phases
+    /// (fallback for monomials that are not plain transpositions).
+    Monomial {
+        /// `new[i] = coef[i] * old[perm[i]]`.
+        perm: [u8; 4],
+        /// Per-row multipliers.
+        coef: [Complex64; 4],
+    },
+    /// General dense 4×4 (`Rxx`, `Ryy`, composed unitaries).
+    Dense,
+}
+
+impl Kernel4 {
+    #[allow(clippy::needless_range_loop)] // row/column indices are basis bit patterns
+    fn classify(m: &Matrix4) -> Self {
+        let z = Complex64::ZERO;
+        let mut perm = [0u8; 4];
+        let mut coef = [z; 4];
+        let mut monomial = true;
+        'rows: for i in 0..4 {
+            let mut nonzero = None;
+            for j in 0..4 {
+                if m[i][j] != z {
+                    if nonzero.is_some() {
+                        monomial = false;
+                        break 'rows;
+                    }
+                    nonzero = Some(j);
+                }
+            }
+            match nonzero {
+                Some(j) => {
+                    perm[i] = j as u8;
+                    coef[i] = m[i][j];
+                }
+                None => {
+                    monomial = false;
+                    break 'rows;
+                }
+            }
+        }
+        if monomial {
+            if perm == [0, 1, 2, 3] {
+                return Kernel4::Diag(coef);
+            }
+            let moved: Vec<usize> = (0..4).filter(|&r| perm[r] as usize != r).collect();
+            if moved.len() == 2 {
+                let (i, j) = (moved[0], moved[1]);
+                if perm[i] as usize == j && perm[j] as usize == i {
+                    let fr: Vec<usize> = (0..4).filter(|r| *r != i && *r != j).collect();
+                    return Kernel4::Transposition {
+                        i: i as u8,
+                        j: j as u8,
+                        ci: coef[i],
+                        cj: coef[j],
+                        fixed_rows: [fr[0] as u8, fr[1] as u8],
+                        fixed: [coef[fr[0]], coef[fr[1]]],
+                    };
+                }
+            }
+            return Kernel4::Monomial { perm, coef };
+        }
+        Kernel4::Dense
+    }
+
+    /// Applies the kernel to a contiguous region made of whole `2·bhi`
+    /// blocks, addressing quads directly through the operand bit masks
+    /// `ba`/`bb`. All dispatch and setup is hoisted out of the quad loop,
+    /// so this is the fast path for low-qubit operands where blocks are
+    /// tiny and numerous.
+    fn run_flat(self, m: &Matrix4, amps: &mut [Complex64], ba: usize, bb: usize) {
+        let (blo, bhi) = (ba.min(bb), ba.max(bb));
+        let tlo = blo.trailing_zeros();
+        let thi = bhi.trailing_zeros();
+        let quads = amps.len() >> 2;
+        let (mlo, mhi) = (blo - 1, bhi - 1);
+        // Inserts zero bits at the two operand positions: the j-th quad's
+        // base index (both operand bits clear).
+        let expand = move |j: usize| {
+            let x = ((j >> tlo) << (tlo + 1)) | (j & mlo);
+            ((x >> thi) << (thi + 1)) | (x & mhi)
+        };
+        // Adjacent low qubits: every quad is four consecutive amplitudes —
+        // slice-pattern destructuring removes all bounds checks.
+        if ba | bb == 3 {
+            self.run_consecutive(m, amps, ba);
+            return;
+        }
+        match self {
+            Kernel4::Dense => {
+                for j in 0..quads {
+                    let i00 = expand(j);
+                    let (i01, i10, i11) = (i00 | ba, i00 | bb, i00 | ba | bb);
+                    let a = [amps[i00], amps[i01], amps[i10], amps[i11]];
+                    amps[i00] = m[0][0] * a[0] + m[0][1] * a[1] + m[0][2] * a[2] + m[0][3] * a[3];
+                    amps[i01] = m[1][0] * a[0] + m[1][1] * a[1] + m[1][2] * a[2] + m[1][3] * a[3];
+                    amps[i10] = m[2][0] * a[0] + m[2][1] * a[1] + m[2][2] * a[2] + m[2][3] * a[3];
+                    amps[i11] = m[3][0] * a[0] + m[3][1] * a[1] + m[3][2] * a[2] + m[3][3] * a[3];
+                }
+            }
+            Kernel4::Diag(d) => {
+                let one = Complex64::ONE;
+                let offs = [0, ba, bb, ba | bb];
+                for (r, &c) in d.iter().enumerate() {
+                    if c != one {
+                        let off = offs[r];
+                        for j in 0..quads {
+                            let idx = expand(j) | off;
+                            amps[idx] = c * amps[idx];
+                        }
+                    }
+                }
+            }
+            Kernel4::Transposition {
+                i,
+                j,
+                ci,
+                cj,
+                fixed_rows,
+                fixed,
+            } => {
+                let one = Complex64::ONE;
+                let offs = [0, ba, bb, ba | bb];
+                let (oi, oj) = (offs[i as usize], offs[j as usize]);
+                let scaled = fixed.iter().any(|c| *c != one);
+                if !scaled {
+                    // Pure swap-with-phase: touches half of each quad.
+                    if ci == one && cj == one {
+                        for q_ in 0..quads {
+                            let base = expand(q_);
+                            amps.swap(base | oi, base | oj);
+                        }
+                    } else {
+                        for q_ in 0..quads {
+                            let base = expand(q_);
+                            let (xi, xj) = (base | oi, base | oj);
+                            let t = amps[xi];
+                            amps[xi] = ci * amps[xj];
+                            amps[xj] = cj * t;
+                        }
+                    }
+                    return;
+                }
+                // Diagonal factors folded in: one pass over every quad
+                // (separate strided passes would re-pull each cache line
+                // once per row).
+                let (of0, of1) = (offs[fixed_rows[0] as usize], offs[fixed_rows[1] as usize]);
+                let (c0, c1) = (fixed[0], fixed[1]);
+                for q_ in 0..quads {
+                    let base = expand(q_);
+                    let (x0, x1) = (base | of0, base | of1);
+                    amps[x0] = c0 * amps[x0];
+                    amps[x1] = c1 * amps[x1];
+                    let (xi, xj) = (base | oi, base | oj);
+                    let t = amps[xi];
+                    amps[xi] = ci * amps[xj];
+                    amps[xj] = cj * t;
+                }
+            }
+            Kernel4::Monomial { perm, coef } => {
+                let one = Complex64::ONE;
+                let offs = [0, ba, bb, ba | bb];
+                let skip: [bool; 4] =
+                    std::array::from_fn(|r| perm[r] as usize == r && coef[r] == one);
+                for j in 0..quads {
+                    let i00 = expand(j);
+                    let idx = [i00, i00 | offs[1], i00 | offs[2], i00 | offs[3]];
+                    let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+                    for r in 0..4 {
+                        if !skip[r] {
+                            amps[idx[r]] = coef[r] * a[perm[r] as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Kernel4::run_flat`] specialization for operands on qubits 0 and 1:
+    /// quads are consecutive 4-amplitude runs. `ba` is the bit of the first
+    /// operand (1 when the first operand is qubit 0, else 2).
+    fn run_consecutive(self, m: &Matrix4, amps: &mut [Complex64], ba: usize) {
+        // Storage order within a run is basis order iff ba == 1; otherwise
+        // the middle two basis indices swap storage places.
+        let qa_is_low = ba == 1;
+        let map = |k: usize| {
+            if qa_is_low || k == 0 || k == 3 {
+                k
+            } else {
+                3 - k
+            }
+        };
+        match self {
+            Kernel4::Dense => {
+                for block in amps.chunks_exact_mut(4) {
+                    if let [x0, x1, x2, x3] = block {
+                        let s = [*x0, *x1, *x2, *x3];
+                        let a = [s[map(0)], s[map(1)], s[map(2)], s[map(3)]];
+                        let mut out = [Complex64::ZERO; 4];
+                        for (row, o) in out.iter_mut().enumerate() {
+                            *o = m[row][0] * a[0]
+                                + m[row][1] * a[1]
+                                + m[row][2] * a[2]
+                                + m[row][3] * a[3];
+                        }
+                        *x0 = out[map(0)];
+                        *x1 = out[map(1)];
+                        *x2 = out[map(2)];
+                        *x3 = out[map(3)];
+                    }
+                }
+            }
+            Kernel4::Diag(d) => {
+                let dd = [d[map(0)], d[map(1)], d[map(2)], d[map(3)]];
+                let one = Complex64::ONE;
+                for block in amps.chunks_exact_mut(4) {
+                    if let [x0, x1, x2, x3] = block {
+                        if dd[0] != one {
+                            *x0 = dd[0] * *x0;
+                        }
+                        if dd[1] != one {
+                            *x1 = dd[1] * *x1;
+                        }
+                        if dd[2] != one {
+                            *x2 = dd[2] * *x2;
+                        }
+                        if dd[3] != one {
+                            *x3 = dd[3] * *x3;
+                        }
+                    }
+                }
+            }
+            Kernel4::Transposition {
+                i,
+                j,
+                ci,
+                cj,
+                fixed_rows,
+                fixed,
+            } => {
+                // Storage positions (map is an involution).
+                let (pi, pj) = (map(i as usize), map(j as usize));
+                let (p0, p1) = (map(fixed_rows[0] as usize), map(fixed_rows[1] as usize));
+                let one = Complex64::ONE;
+                let scaled = fixed.iter().any(|c| *c != one);
+                for block in amps.chunks_exact_mut(4) {
+                    if let [x0, x1, x2, x3] = block {
+                        let mut parts = [Some(x0), Some(x1), Some(x2), Some(x3)];
+                        let si = parts[pi].take().expect("distinct");
+                        let sj = parts[pj].take().expect("distinct");
+                        let t = *si;
+                        *si = ci * *sj;
+                        *sj = cj * t;
+                        if scaled {
+                            let f0 = parts[p0].take().expect("distinct");
+                            let f1 = parts[p1].take().expect("distinct");
+                            *f0 = fixed[0] * *f0;
+                            *f1 = fixed[1] * *f1;
+                        }
+                    }
+                }
+            }
+            Kernel4::Monomial { perm, coef } => {
+                let one = Complex64::ONE;
+                let skip: [bool; 4] =
+                    std::array::from_fn(|r| perm[r] as usize == r && coef[r] == one);
+                for block in amps.chunks_exact_mut(4) {
+                    if let [x0, x1, x2, x3] = block {
+                        let s = [*x0, *x1, *x2, *x3];
+                        let a = [s[map(0)], s[map(1)], s[map(2)], s[map(3)]];
+                        let mut out = a;
+                        for r in 0..4 {
+                            if !skip[r] {
+                                out[r] = coef[r] * a[perm[r] as usize];
+                            }
+                        }
+                        *x0 = out[map(0)];
+                        *x1 = out[map(1)];
+                        *x2 = out[map(2)];
+                        *x3 = out[map(3)];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the kernel to an aligned region pair: `pa`/`pb` are equal-
+    /// length slices holding the high-bit-clear and high-bit-set halves,
+    /// each a whole number of `2·blo` sub-blocks. `qa_is_low` records which
+    /// operand owns the low bit (it decides the `a01`/`a10` roles).
+    fn run_aligned(
+        self,
+        m: &Matrix4,
+        qa_is_low: bool,
+        blo: usize,
+        pa: &mut [Complex64],
+        pb: &mut [Complex64],
+    ) {
+        if blo < INDEX_KERNEL_MAX_STRIDE {
+            self.run_indexed(m, qa_is_low, blo, pa, pb);
+            return;
+        }
+        for (sa, sb) in pa.chunks_mut(blo << 1).zip(pb.chunks_mut(blo << 1)) {
+            let (sa_lo, sa_hi) = sa.split_at_mut(blo);
+            let (sb_lo, sb_hi) = sb.split_at_mut(blo);
+            if qa_is_low {
+                self.run_quads(m, sa_lo, sa_hi, sb_lo, sb_hi);
+            } else {
+                self.run_quads(m, sa_lo, sb_lo, sa_hi, sb_hi);
+            }
+        }
+    }
+
+    /// Index-arithmetic variant of [`Kernel4::run_aligned`] for small low
+    /// strides. `pa[i]`/`pa[i|blo]`/`pb[i]`/`pb[i|blo]` form one quad; the
+    /// matrix-basis roles of the middle two depend on `qa_is_low`.
+    fn run_indexed(
+        self,
+        m: &Matrix4,
+        qa_is_low: bool,
+        blo: usize,
+        pa: &mut [Complex64],
+        pb: &mut [Complex64],
+    ) {
+        let quads = pa.len() >> 1;
+        let shift = blo.trailing_zeros();
+        let mask = blo - 1;
+        let expand = |j: usize| ((j >> shift) << (shift + 1)) | (j & mask);
+        // Maps storage position ↔ matrix-basis index (an involution: both
+        // layouts are their own inverse). Storage order of a quad is
+        // (pa[i], pa[i|blo], pb[i], pb[i|blo]).
+        let order: [usize; 4] = if qa_is_low {
+            [0, 1, 2, 3]
+        } else {
+            [0, 2, 1, 3]
+        };
+        match self {
+            Kernel4::Dense => {
+                for j in 0..quads {
+                    let i = expand(j);
+                    let s = [pa[i], pa[i | blo], pb[i], pb[i | blo]];
+                    let a = [s[order[0]], s[order[1]], s[order[2]], s[order[3]]];
+                    let mut out = [Complex64::ZERO; 4];
+                    for (row, o) in out.iter_mut().enumerate() {
+                        *o = m[row][0] * a[0]
+                            + m[row][1] * a[1]
+                            + m[row][2] * a[2]
+                            + m[row][3] * a[3];
+                    }
+                    pa[i] = out[order[0]];
+                    pa[i | blo] = out[order[1]];
+                    pb[i] = out[order[2]];
+                    pb[i | blo] = out[order[3]];
+                }
+            }
+            Kernel4::Diag(d) => {
+                // Storage position k holds matrix-basis index order[k].
+                let dd = [d[order[0]], d[order[1]], d[order[2]], d[order[3]]];
+                let one = Complex64::ONE;
+                for j in 0..quads {
+                    let i = expand(j);
+                    if dd[0] != one {
+                        pa[i] = dd[0] * pa[i];
+                    }
+                    if dd[1] != one {
+                        pa[i | blo] = dd[1] * pa[i | blo];
+                    }
+                    if dd[2] != one {
+                        pb[i] = dd[2] * pb[i];
+                    }
+                    if dd[3] != one {
+                        pb[i | blo] = dd[3] * pb[i | blo];
+                    }
+                }
+            }
+            Kernel4::Transposition {
+                i,
+                j,
+                ci,
+                cj,
+                fixed_rows,
+                fixed,
+            } => {
+                // Storage positions of the touched basis indices (order is
+                // an involution).
+                let pi = order[i as usize];
+                let pj = order[j as usize];
+                let one = Complex64::ONE;
+                for q_ in 0..quads {
+                    let idx = expand(q_);
+                    for (&row, &c) in fixed_rows.iter().zip(&fixed) {
+                        if c != one {
+                            let p = order[row as usize];
+                            let o = idx | if p & 1 != 0 { blo } else { 0 };
+                            if p < 2 {
+                                pa[o] = c * pa[o];
+                            } else {
+                                pb[o] = c * pb[o];
+                            }
+                        }
+                    }
+                    let oi = idx | if pi & 1 != 0 { blo } else { 0 };
+                    let oj = idx | if pj & 1 != 0 { blo } else { 0 };
+                    let ai = if pi < 2 { pa[oi] } else { pb[oi] };
+                    let aj = if pj < 2 { pa[oj] } else { pb[oj] };
+                    let (ni, nj) = (ci * aj, cj * ai);
+                    if pi < 2 {
+                        pa[oi] = ni;
+                    } else {
+                        pb[oi] = ni;
+                    }
+                    if pj < 2 {
+                        pa[oj] = nj;
+                    } else {
+                        pb[oj] = nj;
+                    }
+                }
+            }
+            Kernel4::Monomial { perm, coef } => {
+                let one = Complex64::ONE;
+                let skip: [bool; 4] =
+                    std::array::from_fn(|r| perm[r] as usize == r && coef[r] == one);
+                for j in 0..quads {
+                    let i = expand(j);
+                    let s = [pa[i], pa[i | blo], pb[i], pb[i | blo]];
+                    let a = [s[order[0]], s[order[1]], s[order[2]], s[order[3]]];
+                    let mut out = a;
+                    for r in 0..4 {
+                        if !skip[r] {
+                            out[r] = coef[r] * a[perm[r] as usize];
+                        }
+                    }
+                    pa[i] = out[order[0]];
+                    pa[i | blo] = out[order[1]];
+                    pb[i] = out[order[2]];
+                    pb[i | blo] = out[order[3]];
+                }
+            }
+        }
+    }
+
+    /// Applies the kernel to four aligned slices where `sxy[k]` is the
+    /// amplitude with matrix-basis index `yx` (bit 0 = first operand).
+    fn run_quads(
+        self,
+        m: &Matrix4,
+        s00: &mut [Complex64],
+        s01: &mut [Complex64],
+        s10: &mut [Complex64],
+        s11: &mut [Complex64],
+    ) {
+        match self {
+            Kernel4::Dense => {
+                for k in 0..s00.len() {
+                    let a = [s00[k], s01[k], s10[k], s11[k]];
+                    s00[k] = m[0][0] * a[0] + m[0][1] * a[1] + m[0][2] * a[2] + m[0][3] * a[3];
+                    s01[k] = m[1][0] * a[0] + m[1][1] * a[1] + m[1][2] * a[2] + m[1][3] * a[3];
+                    s10[k] = m[2][0] * a[0] + m[2][1] * a[1] + m[2][2] * a[2] + m[2][3] * a[3];
+                    s11[k] = m[3][0] * a[0] + m[3][1] * a[1] + m[3][2] * a[2] + m[3][3] * a[3];
+                }
+            }
+            Kernel4::Diag(d) => {
+                scale_slice(s00, d[0]);
+                scale_slice(s01, d[1]);
+                scale_slice(s10, d[2]);
+                scale_slice(s11, d[3]);
+            }
+            Kernel4::Transposition {
+                i,
+                j,
+                ci,
+                cj,
+                fixed_rows,
+                fixed,
+            } => {
+                let one = Complex64::ONE;
+                if fixed.iter().all(|c| *c == one) {
+                    let (si, sj) = pick_two(i as usize, j as usize, s00, s01, s10, s11);
+                    swap_scaled(si, sj, ci, cj);
+                    return;
+                }
+                // Scaled rows present: one fused pass over all four slices.
+                let mut parts = [Some(s00), Some(s01), Some(s10), Some(s11)];
+                let si = parts[i as usize].take().expect("distinct rows");
+                let sj = parts[j as usize].take().expect("distinct rows");
+                let sf0 = parts[fixed_rows[0] as usize].take().expect("distinct rows");
+                let sf1 = parts[fixed_rows[1] as usize].take().expect("distinct rows");
+                let (c0, c1) = (fixed[0], fixed[1]);
+                for k in 0..si.len() {
+                    sf0[k] = c0 * sf0[k];
+                    sf1[k] = c1 * sf1[k];
+                    let t = si[k];
+                    si[k] = ci * sj[k];
+                    sj[k] = cj * t;
+                }
+            }
+            Kernel4::Monomial { perm, coef } => {
+                for k in 0..s00.len() {
+                    let a = [s00[k], s01[k], s10[k], s11[k]];
+                    let one = Complex64::ONE;
+                    if !(perm[0] == 0 && coef[0] == one) {
+                        s00[k] = coef[0] * a[perm[0] as usize];
+                    }
+                    if !(perm[1] == 1 && coef[1] == one) {
+                        s01[k] = coef[1] * a[perm[1] as usize];
+                    }
+                    if !(perm[2] == 2 && coef[2] == one) {
+                        s10[k] = coef[2] * a[perm[2] as usize];
+                    }
+                    if !(perm[3] == 3 && coef[3] == one) {
+                        s11[k] = coef[3] * a[perm[3] as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,11 +1283,9 @@ mod tests {
 
     #[test]
     fn from_amplitudes_normalizes() {
-        let s = StateVector::from_amplitudes(vec![
-            Complex64::new(3.0, 0.0),
-            Complex64::new(4.0, 0.0),
-        ])
-        .unwrap();
+        let s =
+            StateVector::from_amplitudes(vec![Complex64::new(3.0, 0.0), Complex64::new(4.0, 0.0)])
+                .unwrap();
         assert!((s.probability(0) - 9.0 / 25.0).abs() < EPS);
         assert!((s.probability(1) - 16.0 / 25.0).abs() < EPS);
     }
@@ -644,7 +1485,10 @@ mod tests {
             assert_eq!(m0, m1, "Bell state must be perfectly correlated");
             ones += m0 as u32;
         }
-        assert!((50..150).contains(&ones), "outcome frequencies skewed: {ones}");
+        assert!(
+            (50..150).contains(&ones),
+            "outcome frequencies skewed: {ones}"
+        );
     }
 
     #[test]
@@ -671,7 +1515,10 @@ mod tests {
         s.apply_gate(Gate::H, &[2]).unwrap();
         let mut rng1 = Xoshiro256::seed_from(123);
         let mut rng2 = Xoshiro256::seed_from(123);
-        assert_eq!(s.sample_counts(500, &mut rng1), s.sample_counts(500, &mut rng2));
+        assert_eq!(
+            s.sample_counts(500, &mut rng1),
+            s.sample_counts(500, &mut rng2)
+        );
     }
 
     #[test]
@@ -684,8 +1531,54 @@ mod tests {
     fn rxx_entangles_like_cnot_conjugation() {
         // RXX(π) on |00⟩ gives -i|11⟩ (up to global phase → prob 1 on |11⟩).
         let mut s = StateVector::zero_state(2);
-        s.apply_gate(Gate::Rxx(std::f64::consts::PI), &[0, 1]).unwrap();
+        s.apply_gate(Gate::Rxx(std::f64::consts::PI), &[0, 1])
+            .unwrap();
         assert!((s.probability(0b11) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn kernels_bit_identical_across_thread_counts() {
+        // Large enough to cross PARALLEL_MIN_AMPS and STRIPED_SUM_MIN_AMPS.
+        let n = 16;
+        let mut rng = Xoshiro256::seed_from(1234);
+        let base = StateVector::random(n, &mut rng);
+        let ops: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::H, vec![0]),
+            (Gate::H, vec![n - 1]),
+            (Gate::Rz(0.3), vec![3]),
+            (Gate::T, vec![9]),
+            (Gate::X, vec![12]),
+            (Gate::U3(0.2, 0.4, 0.6), vec![7]),
+            (Gate::Cx, vec![0, 1]),
+            (Gate::Cx, vec![n - 1, 0]),
+            (Gate::Swap, vec![2, n - 2]),
+            (Gate::Cz, vec![5, 11]),
+            (Gate::Cphase(0.7), vec![4, 10]),
+            (Gate::Rzz(0.9), vec![1, n - 1]),
+            (Gate::Rxx(1.1), vec![6, 13]),
+            (Gate::Crz(0.5), vec![8, 3]),
+        ];
+        let run_at = |threads: usize| {
+            qpar::with_threads(threads, || {
+                let mut s = base.clone();
+                for (g, qs) in &ops {
+                    s.apply_gate(*g, qs).unwrap();
+                }
+                let amps: Vec<(u64, u64)> = s
+                    .amplitudes()
+                    .iter()
+                    .map(|a| (a.re.to_bits(), a.im.to_bits()))
+                    .collect();
+                let norm = s.norm().to_bits();
+                let p1 = s.prob_one(n / 2).unwrap().to_bits();
+                let inner = s.inner(&base).unwrap();
+                (amps, norm, p1, (inner.re.to_bits(), inner.im.to_bits()))
+            })
+        };
+        let reference = run_at(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_at(threads), reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -79,8 +79,14 @@ pub fn to_text(circuit: &Circuit) -> String {
             (None, g) if g.is_parametrized() => {
                 // Parametrized gate carrying a baked-in angle.
                 match g {
-                    Gate::Rx(v) | Gate::Ry(v) | Gate::Rz(v) | Gate::Phase(v)
-                    | Gate::Cphase(v) | Gate::Crz(v) | Gate::Rxx(v) | Gate::Ryy(v)
+                    Gate::Rx(v)
+                    | Gate::Ry(v)
+                    | Gate::Rz(v)
+                    | Gate::Phase(v)
+                    | Gate::Cphase(v)
+                    | Gate::Crz(v)
+                    | Gate::Rxx(v)
+                    | Gate::Ryy(v)
                     | Gate::Rzz(v) => format!("({v})"),
                     _ => String::new(),
                 }
@@ -213,8 +219,8 @@ pub fn from_text(text: &str) -> Result<Circuit, ParseError> {
 
         match angle_expr {
             None => {
-                let gate = parse_gate(name, None)
-                    .ok_or_else(|| fail(format!("unknown gate '{name}'")))?;
+                let gate =
+                    parse_gate(name, None).ok_or_else(|| fail(format!("unknown gate '{name}'")))?;
                 if gate.is_parametrized() {
                     return Err(fail(format!("gate '{name}' needs an angle")));
                 }
@@ -368,18 +374,38 @@ mod tests {
     fn all_gates_survive_round_trip() {
         let mut c = Circuit::new(3);
         for g in [
-            Gate::I, Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::S, Gate::Sdg,
-            Gate::T, Gate::Tdg, Gate::Sx, Gate::Sxdg,
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Sxdg,
         ] {
             c.push_fixed(g, &[0]);
         }
-        for g in [Gate::Rx(0.1), Gate::Ry(0.2), Gate::Rz(0.3), Gate::Phase(0.4)] {
+        for g in [
+            Gate::Rx(0.1),
+            Gate::Ry(0.2),
+            Gate::Rz(0.3),
+            Gate::Phase(0.4),
+        ] {
             c.push_fixed(g, &[1]);
         }
         for g in [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Swap] {
             c.push_fixed(g, &[0, 2]);
         }
-        for g in [Gate::Cphase(0.5), Gate::Crz(0.6), Gate::Rxx(0.7), Gate::Ryy(0.8), Gate::Rzz(0.9)] {
+        for g in [
+            Gate::Cphase(0.5),
+            Gate::Crz(0.6),
+            Gate::Rxx(0.7),
+            Gate::Ryy(0.8),
+            Gate::Rzz(0.9),
+        ] {
             c.push_fixed(g, &[1, 2]);
         }
         let parsed = from_text(&to_text(&c)).unwrap();

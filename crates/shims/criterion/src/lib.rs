@@ -1,0 +1,285 @@
+//! Offline shim for the subset of `criterion` 0.5 the workspace's benches
+//! use. Unlike the serde shim this one really measures: each benchmark is
+//! warmed up, then timed in batches until a wall-clock budget is spent, and
+//! the median per-iteration time is reported on stdout.
+//!
+//! Environment knobs:
+//!
+//! * `QCHECK_BENCH_QUICK=1` — shrink warmup/measurement budgets ~20× for
+//!   smoke runs (also honored by the `qcheck-bench` experiment harness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var("QCHECK_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), None, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput used in the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Hint for the number of samples (the shim maps it onto its time
+    /// budget; very small values shrink the budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.throughput, self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (report lines are emitted eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing context handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, recording per-iteration samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup and first calibration: count iterations in the warmup window.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch size targeting ~30 samples over the measurement budget.
+        let budget = self.measure.as_secs_f64();
+        let batch = ((budget / 30.0 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || self.samples_ns.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// Formats a nanosecond figure with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let (warm_ms, measure_ms) = if quick() { (10, 40) } else { (150, 900) };
+    // A tiny declared sample size signals an expensive benchmark.
+    let scale = match sample_size {
+        Some(n) if n <= 10 => 0.5,
+        _ => 1.0,
+    };
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        warmup: Duration::from_millis((warm_ms as f64 * scale) as u64),
+        measure: Duration::from_millis((measure_ms as f64 * scale) as u64),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{label:<40} time:   [no samples]");
+        return;
+    }
+    b.samples_ns.sort_by(|a, c| a.total_cmp(c));
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let lo = b.samples_ns[0];
+    let hi = b.samples_ns[b.samples_ns.len() - 1];
+    let mut line = format!(
+        "{label:<40} time:   [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(n) => {
+                format!("{:.1} MiB/s", n as f64 / (median / 1e9) / (1 << 20) as f64)
+            }
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (median / 1e9)),
+        };
+        line.push_str(&format!("  thrpt: {per_sec}"));
+    }
+    println!("{line}");
+}
+
+/// Median per-iteration nanoseconds for a closure — programmatic entry point
+/// used by the `qcheck-bench` binary to emit machine-readable timings.
+pub fn measure_median_ns<R, F: FnMut() -> R>(mut f: F) -> f64 {
+    let (warm_ms, measure_ms) = if quick() { (10, 40) } else { (150, 900) };
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        warmup: Duration::from_millis(warm_ms),
+        measure: Duration::from_millis(measure_ms),
+    };
+    b.iter(&mut f);
+    b.samples_ns.sort_by(|a, c| a.total_cmp(c));
+    b.samples_ns[b.samples_ns.len() / 2]
+}
+
+/// Groups benchmark functions into one callable, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("QCHECK_BENCH_QUICK", "1");
+        let ns = measure_median_ns(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("h_single", 16).label(), "h_single/16");
+        assert_eq!(BenchmarkId::from_parameter(128).label(), "128");
+    }
+}

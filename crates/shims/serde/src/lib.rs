@@ -1,0 +1,8 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` plus `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! Checkpoint persistence in this workspace goes through the byte-stable
+//! `qcheck::codec`, so nothing ever calls a serde impl.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -97,7 +97,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(*run.start_info(), RunStart::Fresh);
         let mut run = run;
         run.run_to_step(12)?;
-        println!("  started {:?}, reached step {}", RunStart::Fresh, run.trainer().step_count());
+        println!(
+            "  started {:?}, reached step {}",
+            RunStart::Fresh,
+            run.trainer().step_count()
+        );
         // Dropped without finish(): last checkpoint is at step 12.
     }
     println!("'process 2' starts identically and resumes:");

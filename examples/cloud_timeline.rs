@@ -28,7 +28,8 @@ fn main() {
     let restore_cost = 10 * SECOND;
     let trials = 25;
 
-    println!("job: {} steps × {} s (ideal {:.1} h), lognormal queue median 5 min",
+    println!(
+        "job: {} steps × {} s (ideal {:.1} h), lognormal queue median 5 min",
         spec.total_steps,
         spec.step_cost / SECOND,
         (spec.total_steps * spec.step_cost) as f64 / HOUR as f64

@@ -73,9 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nstep   reference-loss       resumed-loss        bit-identical");
     let mut all_equal = true;
-    for step in 8..16 {
+    for (step, &reference_loss) in reference_losses.iter().enumerate().take(16).skip(8) {
         let resumed_loss = resumed.train_step()?.loss;
-        let reference_loss = reference_losses[step];
         let same = reference_loss.to_bits() == resumed_loss.to_bits();
         all_equal &= same;
         println!(

@@ -47,8 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     t.train_step()?;
     let snap3 = t.capture();
     for crash in CrashPoint::all() {
-        let mut opts = SaveOptions::default();
-        opts.crash = Some(crash);
+        let opts = SaveOptions {
+            crash: Some(crash),
+            ..SaveOptions::default()
+        };
         let err = repo.save(&snap3, &opts).unwrap_err();
         let (recovered, report) = repo.recover()?;
         println!(
@@ -64,9 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Drill 2: the same crash points under the naive in-place protocol.
     println!("\n-- crash-point drill (naive in-place baseline) --");
     for crash in CrashPoint::all() {
-        let mut opts = SaveOptions::default();
-        opts.commit = CommitMode::InPlaceUnsafe;
-        opts.crash = Some(crash);
+        let opts = SaveOptions {
+            commit: CommitMode::InPlaceUnsafe,
+            crash: Some(crash),
+            ..SaveOptions::default()
+        };
         let _ = repo.save(&snap3, &opts);
         match repo.recover() {
             Ok((recovered, report)) => println!(

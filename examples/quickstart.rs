@@ -36,11 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    checkpoint every 5 optimizer steps.
     let dir = std::env::temp_dir().join(format!("qnn-ckpt-quickstart-{}", std::process::id()));
     let repo = CheckpointRepo::open(&dir)?;
-    let mut checkpointer = Checkpointer::new(
-        repo,
-        Box::new(EveryKSteps::new(5)),
-        SaveOptions::default(),
-    );
+    let mut checkpointer =
+        Checkpointer::new(repo, Box::new(EveryKSteps::new(5)), SaveOptions::default());
 
     // 3. Train; the checkpointer captures the complete hybrid state
     //    (parameters, Adam moments, RNG streams, shot ledger) when due.

@@ -62,7 +62,8 @@ fn disk_round_trip_resume_is_bitwise_exact() {
     for _ in 0..6 {
         victim.train_step().unwrap();
     }
-    repo.save(&victim.capture(), &SaveOptions::default()).unwrap();
+    repo.save(&victim.capture(), &SaveOptions::default())
+        .unwrap();
     drop(victim);
 
     let mut resumed = shot_trainer(101);
@@ -140,7 +141,7 @@ fn checkpointer_with_young_daly_policy_drives_training() {
     let mut fresh = shot_trainer(303);
     ckptr.restore_latest(&mut fresh).unwrap();
     assert!(fresh.step_count() >= 1);
-    let _ = std::fs::remove_dir_all(ckptr.repo().root().to_path_buf());
+    let _ = std::fs::remove_dir_all(ckptr.repo().root());
 }
 
 #[test]
@@ -195,7 +196,8 @@ fn classification_task_round_trips_dataset_cursor() {
     for _ in 0..7 {
         reference.train_step().unwrap();
     }
-    repo.save(&reference.capture(), &SaveOptions::default()).unwrap();
+    repo.save(&reference.capture(), &SaveOptions::default())
+        .unwrap();
     let ref_tail: Vec<u64> = reference
         .train_steps(6)
         .unwrap()
@@ -240,7 +242,8 @@ fn ledger_accounting_survives_resume() {
     }
     let shots_before = trainer.ledger().total_shots();
     assert!(shots_before > 0);
-    repo.save(&trainer.capture(), &SaveOptions::default()).unwrap();
+    repo.save(&trainer.capture(), &SaveOptions::default())
+        .unwrap();
 
     let mut resumed = shot_trainer(505);
     let (snap, _) = repo.recover().unwrap();

@@ -76,8 +76,10 @@ fn atomic_commit_survives_every_crash_point() {
         let dir = scratch("crash-atomic");
         let repo = CheckpointRepo::open(&dir).unwrap();
         repo.save(&snaps[0], &SaveOptions::default()).unwrap();
-        let mut opts = SaveOptions::default();
-        opts.crash = Some(crash);
+        let opts = SaveOptions {
+            crash: Some(crash),
+            ..SaveOptions::default()
+        };
         let err = repo.save(&snaps[1], &opts).unwrap_err();
         assert!(
             matches!(err, qnn_checkpoint::qcheck::Error::SimulatedCrash { .. }),
@@ -99,9 +101,11 @@ fn inplace_commit_crashes_are_detected_not_silent() {
         let dir = scratch("crash-inplace");
         let repo = CheckpointRepo::open(&dir).unwrap();
         repo.save(&snaps[0], &SaveOptions::default()).unwrap();
-        let mut opts = SaveOptions::default();
-        opts.commit = CommitMode::InPlaceUnsafe;
-        opts.crash = Some(crash);
+        let opts = SaveOptions {
+            commit: CommitMode::InPlaceUnsafe,
+            crash: Some(crash),
+            ..SaveOptions::default()
+        };
         let _ = repo.save(&snaps[1], &opts);
         // Recovery may fall back to snapshot 0 or reach snapshot 1, but it
         // must never hand back a franken-snapshot.
@@ -174,7 +178,10 @@ fn chunk_corruption_in_delta_chain_is_caught() {
             });
             assert!(ok, "recovered unknown state from corrupt chain");
         }
-        Err(e) => assert!(e.is_integrity_failure() || matches!(e, qnn_checkpoint::qcheck::Error::NoValidCheckpoint { .. })),
+        Err(e) => assert!(
+            e.is_integrity_failure()
+                || matches!(e, qnn_checkpoint::qcheck::Error::NoValidCheckpoint { .. })
+        ),
     }
     let _ = std::fs::remove_dir_all(dir);
 }
