@@ -11,6 +11,7 @@ use qnn::GradientMethod;
 use qsim::measure::EvalMode;
 use qsim::pauli::PauliSum;
 use qsim::rng::Xoshiro256;
+use qsim::testing::arb_ops;
 
 fn arb_f64_bits() -> impl Strategy<Value = f64> {
     // Finite values only — optimizers may legitimately produce NaN from NaN.
@@ -109,6 +110,50 @@ proptest! {
         let r2 = b.train_step().unwrap();
         prop_assert_eq!(r1.loss.to_bits(), r2.loss.to_bits());
         prop_assert_eq!(r1.shots, r2.shots);
+        for (x, y) in a.params().iter().zip(b.params()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Exact capture → restore holds regardless of circuit structure: the
+    /// ansatz extended with an arbitrary fixed-gate suffix (drawn from the
+    /// shared `qsim::testing::arb_ops` strategy) still resumes bitwise.
+    #[test]
+    fn capture_restore_exact_with_random_circuit_suffix(
+        ops in arb_ops(3, 8),
+        seed in any::<u64>(),
+    ) {
+        let build = || {
+            let (mut circuit, info) = hardware_efficient(3, 1);
+            for (g, qs) in &ops {
+                circuit.push_fixed(*g, qs);
+            }
+            let mut rng = Xoshiro256::seed_from(seed);
+            Trainer::new(
+                circuit,
+                Task::Vqe {
+                    hamiltonian: PauliSum::transverse_ising(3, 1.0, 0.6),
+                },
+                Box::new(Adam::new(0.05)),
+                init_params(info.num_params, &mut rng),
+                TrainerConfig {
+                    eval_mode: EvalMode::Shots(24),
+                    gradient: GradientMethod::Spsa { c: 0.1 },
+                    seed,
+                    ..TrainerConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut a = build();
+        a.train_step().unwrap();
+        let snap = a.capture();
+        let r1 = a.train_step().unwrap();
+
+        let mut b = build();
+        b.restore(&snap).unwrap();
+        let r2 = b.train_step().unwrap();
+        prop_assert_eq!(r1.loss.to_bits(), r2.loss.to_bits());
         for (x, y) in a.params().iter().zip(b.params()) {
             prop_assert_eq!(x.to_bits(), y.to_bits());
         }

@@ -79,6 +79,8 @@ pub mod noise;
 pub mod pauli;
 pub mod rng;
 pub mod state;
+#[cfg(feature = "testing")]
+pub mod testing;
 pub mod text;
 
 pub use circuit::{Circuit, CircuitError, Op, ParamRef};

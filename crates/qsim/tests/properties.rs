@@ -3,43 +3,10 @@
 use proptest::prelude::*;
 
 use qsim::circuit::Circuit;
-use qsim::gate::Gate;
 use qsim::pauli::{Pauli, PauliString};
 use qsim::rng::{RngState, Xoshiro256};
 use qsim::state::StateVector;
-
-/// Strategy: an arbitrary gate applied to valid qubits of an n-qubit register.
-fn arb_op(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
-    let angle = -6.0..6.0f64;
-    prop_oneof![
-        Just(Gate::H).prop_map(|g| (g, ())),
-        Just(Gate::X).prop_map(|g| (g, ())),
-        Just(Gate::Y).prop_map(|g| (g, ())),
-        Just(Gate::Z).prop_map(|g| (g, ())),
-        Just(Gate::S).prop_map(|g| (g, ())),
-        Just(Gate::T).prop_map(|g| (g, ())),
-        angle.clone().prop_map(|t| (Gate::Rx(t), ())),
-        angle.clone().prop_map(|t| (Gate::Ry(t), ())),
-        angle.clone().prop_map(|t| (Gate::Rz(t), ())),
-        angle.clone().prop_map(|t| (Gate::Phase(t), ())),
-    ]
-    .prop_flat_map(move |(g, ())| (Just(g), 0..n))
-    .prop_map(|(g, q)| (g, vec![q]))
-    .boxed()
-    .prop_union(
-        prop_oneof![
-            Just(Gate::Cx),
-            Just(Gate::Cz),
-            Just(Gate::Swap),
-            (-6.0..6.0f64).prop_map(Gate::Rzz),
-            (-6.0..6.0f64).prop_map(Gate::Rxx),
-        ]
-        .prop_flat_map(move |g| (Just(g), 0..n, 0..n))
-        .prop_filter("distinct qubits", |(_, a, b)| a != b)
-        .prop_map(|(g, a, b)| (g, vec![a, b]))
-        .boxed(),
-    )
-}
+use qsim::testing::arb_op;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

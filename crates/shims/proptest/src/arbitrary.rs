@@ -1,0 +1,96 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::{BoxedValueTree, IntTree, Strategy, ValueTree};
+use crate::test_runner::TestRunner;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (uniform over its whole domain; integers
+/// shrink toward zero).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain integer strategy (see [`any`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty => $cast:ty),+ $(,)?) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            fn new_tree(&self, runner: &mut TestRunner) -> BoxedValueTree<$t> {
+                let val = runner.next_seed() as $cast as $t;
+                Box::new(IntTree::<$t>::new(val as i128, 0))
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyInt(std::marker::PhantomData)
+            }
+        }
+    )+};
+}
+arbitrary_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+/// Full-domain `bool` strategy (shrinks `true` → `false`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn new_tree(&self, runner: &mut TestRunner) -> BoxedValueTree<bool> {
+        Box::new(BoolTree {
+            current: runner.below(2) == 1,
+            prev: false,
+        })
+    }
+}
+
+struct BoolTree {
+    current: bool,
+    prev: bool,
+}
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+    fn current(&self) -> bool {
+        self.current
+    }
+    fn simplify(&mut self) -> bool {
+        if self.current {
+            self.prev = true;
+            self.current = false;
+            true
+        } else {
+            false
+        }
+    }
+    fn reject(&mut self) {
+        self.current = self.prev;
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        AnyBool
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    type Strategy = crate::sample::AnyIndex;
+    fn arbitrary() -> Self::Strategy {
+        crate::sample::AnyIndex
+    }
+}

@@ -1,0 +1,170 @@
+//! # qprop — in-repo property-testing engine
+//!
+//! A dependency-free re-implementation of the subset of the
+//! [proptest](https://docs.rs/proptest) API that this workspace's property
+//! suites use. The build container cannot reach crates.io, so instead of
+//! leaving ~25 randomized invariants dead behind a feature gate, this shim
+//! runs them on every `cargo test`.
+//!
+//! Supported surface (see `crates/shims/README.md` for the full contract):
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//!   `prop_filter` / `boxed` / `prop_union`, [`strategy::Just`], numeric
+//!   range strategies, tuple strategies (arity ≤ 10);
+//! * [`collection::vec`], [`num::f64`] class strategies,
+//!   [`sample::Index`], `.{lo,hi}` string patterns, [`arbitrary::any`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] macros;
+//! * deterministic seeding with failure replay (`QPROP_SEED`) and a global
+//!   case-count override (`QPROP_CASES`) — see [`test_runner`];
+//! * greedy input shrinking (bisection toward each strategy's origin).
+//!
+//! Every draw flows through the same xoshiro256\*\* generator the simulator
+//! uses ([`rng::Xoshiro256`]), so runs are reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Asserts a condition inside a `proptest!` body, failing the case (and
+/// triggering shrinking) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // stringify! output goes through a runtime `{}` (not concat!) so
+        // conditions containing braces don't break the format literal.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, reporting both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, reporting both operands.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice between strategies of one value type (each arm is boxed;
+/// upstream's weighted `w => strategy` arms are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test function at a
+/// time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg_pat:pat in $arg_strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let strategy = ($($arg_strat,)+);
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                config,
+                &strategy,
+                |($($arg_pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_each! { config = $config; $($rest)* }
+    };
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module-path mirror (`prop::collection::vec`, `prop::num::f64`,
+    /// `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::{collection, num, sample};
+    }
+}

@@ -1,0 +1,134 @@
+//! `prop::num` — floating-point class strategies.
+
+/// `f64` class strategies (`prop::num::f64::NORMAL | ZERO | SUBNORMAL`).
+pub mod f64 {
+    use std::ops::BitOr;
+
+    use crate::strategy::{BoxedValueTree, Strategy, ValueTree};
+    use crate::test_runner::TestRunner;
+
+    const C_NORMAL: u32 = 1;
+    const C_ZERO: u32 = 2;
+    const C_SUBNORMAL: u32 = 4;
+    const C_INFINITE: u32 = 8;
+    const C_QUIET_NAN: u32 = 16;
+
+    /// A union of `f64` value classes, usable as a strategy. Combine
+    /// classes with `|`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct F64Class(u32);
+
+    /// Normal (full-exponent-range, both signs) values.
+    pub const NORMAL: F64Class = F64Class(C_NORMAL);
+    /// Positive and negative zero.
+    pub const ZERO: F64Class = F64Class(C_ZERO);
+    /// Subnormal (denormalized) values, both signs.
+    pub const SUBNORMAL: F64Class = F64Class(C_SUBNORMAL);
+    /// Positive and negative infinity.
+    pub const INFINITE: F64Class = F64Class(C_INFINITE);
+    /// Quiet NaNs with random payloads.
+    pub const QUIET_NAN: F64Class = F64Class(C_QUIET_NAN);
+
+    impl BitOr for F64Class {
+        type Output = F64Class;
+        fn bitor(self, rhs: F64Class) -> F64Class {
+            F64Class(self.0 | rhs.0)
+        }
+    }
+
+    fn member(mask: u32, v: f64) -> bool {
+        if v == 0.0 {
+            mask & C_ZERO != 0
+        } else if v.is_nan() {
+            mask & C_QUIET_NAN != 0
+        } else if v.is_infinite() {
+            mask & C_INFINITE != 0
+        } else if v.is_subnormal() {
+            mask & C_SUBNORMAL != 0
+        } else {
+            mask & C_NORMAL != 0
+        }
+    }
+
+    impl Strategy for F64Class {
+        type Value = f64;
+        fn new_tree(&self, runner: &mut TestRunner) -> BoxedValueTree<f64> {
+            assert!(self.0 != 0, "empty f64 class mask");
+            let classes: Vec<u32> = [C_NORMAL, C_ZERO, C_SUBNORMAL, C_INFINITE, C_QUIET_NAN]
+                .into_iter()
+                .filter(|c| self.0 & c != 0)
+                .collect();
+            let class = classes[runner.below(classes.len() as u64) as usize];
+            let sign = runner.below(2) << 63;
+            let value = match class {
+                C_NORMAL => {
+                    let exp = 1 + runner.below(2046);
+                    let mantissa = runner.next_seed() & ((1u64 << 52) - 1);
+                    f64::from_bits(sign | (exp << 52) | mantissa)
+                }
+                C_ZERO => f64::from_bits(sign),
+                C_SUBNORMAL => {
+                    let mantissa = 1 + runner.below((1u64 << 52) - 1);
+                    f64::from_bits(sign | mantissa)
+                }
+                C_INFINITE => f64::from_bits(sign | (0x7FFu64 << 52)),
+                _ => {
+                    let payload = runner.next_seed() & ((1u64 << 51) - 1);
+                    f64::from_bits(sign | (0x7FFu64 << 52) | (1u64 << 51) | payload)
+                }
+            };
+            Box::new(ClassTree {
+                mask: self.0,
+                current: value,
+                prev: value,
+                step: value.abs(),
+                rounds: 0,
+            })
+        }
+    }
+
+    /// Shrinks by halving toward zero, skipping candidates that fall
+    /// outside the allowed class mask (e.g. 0.0 when only `NORMAL` is
+    /// allowed). NaN and infinity do not shrink.
+    struct ClassTree {
+        mask: u32,
+        current: f64,
+        prev: f64,
+        step: f64,
+        rounds: u32,
+    }
+
+    impl ValueTree for ClassTree {
+        type Value = f64;
+        fn current(&self) -> f64 {
+            self.current
+        }
+        fn simplify(&mut self) -> bool {
+            if self.current.is_nan() || self.current.is_infinite() {
+                return false;
+            }
+            for _ in 0..64 {
+                if self.rounds >= 128 || self.step == 0.0 || self.current == 0.0 {
+                    return false;
+                }
+                self.rounds += 1;
+                let mv = self.step.min(self.current.abs());
+                let candidate = self.current - mv.copysign(self.current);
+                if candidate == self.current {
+                    return false;
+                }
+                if member(self.mask, candidate) {
+                    self.prev = self.current;
+                    self.current = candidate;
+                    return true;
+                }
+                self.step /= 2.0;
+            }
+            false
+        }
+        fn reject(&mut self) {
+            self.current = self.prev;
+            self.step /= 2.0;
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `prop::sample` — positional sampling helpers.
+
+use crate::strategy::{BoxedValueTree, IntTree, Strategy, ValueTree};
+use crate::test_runner::TestRunner;
+
+/// A length-independent position, resolved against a concrete collection
+/// length with [`Index::index`]. Generate with `any::<prop::sample::Index>()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(pub(crate) usize);
+
+impl Index {
+    /// Resolves this abstract position against a collection of `len`
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        self.0 % len
+    }
+}
+
+/// Full-domain [`Index`] strategy (shrinks toward position 0).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyIndex;
+
+impl Strategy for AnyIndex {
+    type Value = Index;
+    fn new_tree(&self, runner: &mut TestRunner) -> BoxedValueTree<Index> {
+        let raw = runner.next_seed() as usize;
+        Box::new(IndexTree(IntTree::<usize>::new(raw as i128, 0)))
+    }
+}
+
+struct IndexTree(IntTree<usize>);
+
+impl ValueTree for IndexTree {
+    type Value = Index;
+    fn current(&self) -> Index {
+        Index(self.0.current())
+    }
+    fn simplify(&mut self) -> bool {
+        self.0.simplify()
+    }
+    fn reject(&mut self) {
+        self.0.reject();
+    }
+}

@@ -1,0 +1,85 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest accepts any regex as a `&str` strategy. qprop
+//! implements the single form the workspace's suites use — `.{lo,hi}` — a
+//! string of `lo..=hi` arbitrary non-newline characters. Anything else
+//! panics with a clear message rather than silently generating the wrong
+//! distribution.
+
+use crate::strategy::{BoxedValueTree, Strategy, ValueTree};
+use crate::test_runner::TestRunner;
+
+/// A few multi-byte characters mixed in to exercise UTF-8 handling.
+const WIDE: [char; 8] = ['é', 'ß', 'λ', 'Ω', '中', '文', '🦀', '𝕢'];
+
+fn parse_dot_range(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+    if lo <= hi {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_tree(&self, runner: &mut TestRunner) -> BoxedValueTree<String> {
+        let (lo, hi) = parse_dot_range(self).unwrap_or_else(|| {
+            panic!(
+                "[qprop] unsupported string pattern {self:?}: \
+                 only `.{{lo,hi}}` is implemented"
+            )
+        });
+        let len = lo + runner.below((hi - lo + 1) as u64) as usize;
+        let chars: Vec<char> = (0..len)
+            .map(|_| {
+                if runner.below(10) == 0 {
+                    WIDE[runner.below(WIDE.len() as u64) as usize]
+                } else {
+                    // Printable ASCII (space..tilde); never '\n', matching `.`.
+                    char::from(0x20 + runner.below(0x5F) as u8)
+                }
+            })
+            .collect();
+        Box::new(StringTree {
+            live: len,
+            chunk: len - lo,
+            prev_live: len,
+            min: lo,
+            chars,
+        })
+    }
+}
+
+/// Length-only shrinking (suffix truncation bisecting toward the minimum);
+/// individual characters are left as generated.
+struct StringTree {
+    chars: Vec<char>,
+    live: usize,
+    prev_live: usize,
+    chunk: usize,
+    min: usize,
+}
+
+impl ValueTree for StringTree {
+    type Value = String;
+    fn current(&self) -> String {
+        self.chars[..self.live].iter().collect()
+    }
+    fn simplify(&mut self) -> bool {
+        if self.live > self.min && self.chunk > 0 {
+            let cut = self.chunk.min(self.live - self.min);
+            self.prev_live = self.live;
+            self.live -= cut;
+            true
+        } else {
+            false
+        }
+    }
+    fn reject(&mut self) {
+        self.live = self.prev_live;
+        self.chunk /= 2;
+    }
+}

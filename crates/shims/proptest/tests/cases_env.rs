@@ -1,0 +1,37 @@
+//! `QPROP_CASES` overrides the per-property case count — the hook CI uses
+//! to pin property-suite wall-time (low default, opt-in high-case smoke).
+//!
+//! Kept as the only test in this binary: it mutates `QPROP_CASES`, which is
+//! process-global state.
+
+use std::cell::RefCell;
+
+use proptest::prelude::*;
+
+#[test]
+fn cases_env_overrides_config() {
+    let count_runs = || {
+        let runs = RefCell::new(0u32);
+        TestRunner::for_name(ProptestConfig::with_cases(64), "cases_env::probe")
+            .run(&(0u64..100,), |_| {
+                *runs.borrow_mut() += 1;
+                Ok(())
+            })
+            .unwrap();
+        runs.into_inner()
+    };
+
+    // CI runs the whole workspace under QPROP_CASES; park any ambient
+    // value so this test controls the variable, and restore it after.
+    let ambient = std::env::var("QPROP_CASES").ok();
+    std::env::remove_var("QPROP_CASES");
+    let unset = count_runs();
+    std::env::set_var("QPROP_CASES", "7");
+    let overridden = count_runs();
+    match ambient {
+        Some(v) => std::env::set_var("QPROP_CASES", v),
+        None => std::env::remove_var("QPROP_CASES"),
+    }
+    assert_eq!(unset, 64, "config value applies without the env var");
+    assert_eq!(overridden, 7, "QPROP_CASES wins over the config value");
+}

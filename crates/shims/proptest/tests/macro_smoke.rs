@@ -1,0 +1,29 @@
+//! The `proptest!` macro path end-to-end: generation, multiple arguments,
+//! `mut` patterns, early `return Ok(())`, trailing commas, and the assert
+//! macro family. Separate from `cases_env.rs` so that binary stays the
+//! sole owner of the `QPROP_CASES` process-global.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn macro_smoke(a in 0u32..1000, mut b in 0u32..1000,) {
+        if a == b {
+            return Ok(());
+        }
+        b += 1;
+        prop_assert!(a + b > 0 || a == 0);
+        prop_assert_ne!(a, b - 1, "a and b-1 differ on this path: {}", a);
+    }
+
+    /// Range draws respect half-open bounds, including the float rounding
+    /// edge where `start + span * u` could land on the exclusive end.
+    #[test]
+    fn ranges_are_half_open(x in 0.5f64..1.5, n in 3u64..9, k in 1u8..=255) {
+        prop_assert!((0.5..1.5).contains(&x), "x = {}", x);
+        prop_assert!((3..9).contains(&n));
+        prop_assert!(k >= 1);
+    }
+}

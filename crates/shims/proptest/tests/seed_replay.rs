@@ -1,0 +1,68 @@
+//! Regression test for the seed-replay contract: a failing property
+//! reports a `QPROP_SEED`, and re-running with that seed set in the
+//! environment reproduces the identical minimal counterexample through the
+//! same `run_property` path the `proptest!` macro expands to.
+//!
+//! Kept as the only test in this binary: it mutates `QPROP_SEED`, which is
+//! process-global state.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use proptest::prelude::*;
+use proptest::test_runner::run_property;
+
+/// Runs the deliberately failing property and returns the report it
+/// panics with.
+fn failure_report() -> String {
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        run_property(
+            "seed_replay::deliberate_failure",
+            ProptestConfig::with_cases(64),
+            &(0u64..10_000, 0u32..100),
+            |(x, _y)| {
+                prop_assert!(x < 500, "x = {} escaped the bound", x);
+                Ok(())
+            },
+        )
+    }));
+    let payload = result.expect_err("property must fail");
+    payload
+        .downcast_ref::<String>()
+        .expect("qprop reports failures as formatted strings")
+        .clone()
+}
+
+fn extract<'a>(report: &'a str, marker: &str) -> &'a str {
+    let start = report
+        .find(marker)
+        .unwrap_or_else(|| panic!("report missing {marker:?}: {report}"))
+        + marker.len();
+    report[start..].lines().next().unwrap().trim()
+}
+
+#[test]
+fn reported_seed_replays_the_same_minimal_counterexample() {
+    // The engine's own panic is expected here; keep test output clean.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let first = failure_report();
+    let seed = extract(&first, "QPROP_SEED=").to_string();
+    let minimal = extract(&first, "minimal counterexample:").to_string();
+    seed.parse::<u64>().expect("seed is a u64");
+    // Greedy bisection on a monotone predicate finds the exact boundary,
+    // and the untouched second component shrinks to its origin.
+    assert_eq!(minimal, "(500, 0)", "full report:\n{first}");
+
+    std::env::set_var("QPROP_SEED", &seed);
+    let replay = failure_report();
+    std::env::remove_var("QPROP_SEED");
+    panic::set_hook(prev_hook);
+
+    assert_eq!(extract(&replay, "minimal counterexample:"), minimal);
+    assert_eq!(extract(&replay, "QPROP_SEED="), seed);
+    assert!(
+        replay.contains("failed at case 0"),
+        "replay runs exactly one case: {replay}"
+    );
+}
