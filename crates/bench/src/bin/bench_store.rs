@@ -1,0 +1,217 @@
+//! Object-store backend comparison, emitting `BENCH_store.json`.
+//!
+//! ```bash
+//! cargo run --release -p qcheck-bench --bin bench_store
+//! # quick smoke run:
+//! QCHECK_BENCH_QUICK=1 cargo run --release -p qcheck-bench --bin bench_store
+//! ```
+//!
+//! Measures the loose (one file per chunk) and pack (one pack file per
+//! save) backends on identical workloads:
+//!
+//! * full-save and delta-chain save latency / logical throughput;
+//! * recovery latency over a delta chain;
+//! * syscall-proxy counters from [`qcheck::repo::SaveReport`]: renames and
+//!   fsyncs per save (the pack backend's point is O(1) renames per commit,
+//!   and a single fsync when durability is on).
+//!
+//! Timing on a noisy single-core box jitters ±20–30%; the *counter*
+//! columns are deterministic and are the acceptance signal.
+
+use std::fmt::Write as _;
+
+use criterion::measure_median_ns;
+use qcheck::repo::{CheckpointRepo, SaveOptions, SaveReport};
+use qcheck::snapshot::{RngCapture, StateBlob, TrainingSnapshot};
+use qcheck::store::StoreKind;
+use qcheck_bench::report::{quick_mode, scratch_dir};
+
+fn snapshot_with_params(n_params: usize, step: u64) -> TrainingSnapshot {
+    let mut s = TrainingSnapshot::new("bench-store");
+    s.step = step;
+    s.params = (0..n_params)
+        .map(|i| 0.6 + 1e-6 * ((i as u64 + step) as f64).sin())
+        .collect();
+    s.optimizer = StateBlob::new("adam-v1", vec![0x5A; n_params * 16]);
+    s.rng_streams.insert("shots".into(), RngCapture([9; 40]));
+    s.total_shots = step * 1000;
+    s.shot_ledger = vec![3; 64];
+    s
+}
+
+fn ms(ns: f64) -> f64 {
+    ns / 1e6
+}
+
+struct BackendRow {
+    kind: StoreKind,
+    full_save_ms: f64,
+    full_save_mb_s: f64,
+    delta_save_ms: f64,
+    recover_ms: f64,
+    renames_per_full_save: f64,
+    fsyncs_per_full_save_fsync_on: f64,
+    renames_per_delta_save: f64,
+}
+
+fn mean<T: Copy + Into<u64>>(xs: impl Iterator<Item = T>) -> f64 {
+    let v: Vec<u64> = xs.map(Into::into).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<u64>() as f64 / v.len() as f64
+}
+
+fn counter_sweep(
+    kind: StoreKind,
+    n_params: usize,
+    saves: u64,
+    fsync: bool,
+    delta: bool,
+) -> Vec<SaveReport> {
+    let dir = scratch_dir(&format!("store-count-{kind}-{fsync}-{delta}"));
+    let repo = CheckpointRepo::open_with(&dir, kind).expect("open scratch repo");
+    let opts = SaveOptions {
+        fsync,
+        ..if delta {
+            SaveOptions::incremental(u32::MAX)
+        } else {
+            SaveOptions::default()
+        }
+    };
+    let reports: Vec<SaveReport> = (1..=saves)
+        .map(|step| {
+            repo.save(&snapshot_with_params(n_params, step), &opts)
+                .unwrap()
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    reports
+}
+
+fn bench_backend(kind: StoreKind, n_params: usize, chain_depth: u64) -> BackendRow {
+    // --- full-save latency (fresh content each iteration) ---
+    let dir = scratch_dir(&format!("store-full-{kind}"));
+    let repo = CheckpointRepo::open_with(&dir, kind).expect("open scratch repo");
+    let mut step = 0u64;
+    let mut logical = 0u64;
+    let full_save_ms = ms(measure_median_ns(|| {
+        step += 1;
+        let r = repo
+            .save(
+                &snapshot_with_params(n_params, step),
+                &SaveOptions::default(),
+            )
+            .unwrap();
+        logical = r.logical_bytes;
+        r
+    }));
+    let _ = std::fs::remove_dir_all(&dir);
+    let full_save_mb_s = logical as f64 / 1e6 / (full_save_ms / 1e3);
+
+    // --- delta save on a deep chain + recovery over that chain ---
+    let dir = scratch_dir(&format!("store-delta-{kind}"));
+    let repo = CheckpointRepo::open_with(&dir, kind).expect("open scratch repo");
+    let opts = SaveOptions::incremental(u32::MAX);
+    for step in 0..chain_depth {
+        repo.save(&snapshot_with_params(n_params, step), &opts)
+            .unwrap();
+    }
+    let mut step = 1000u64;
+    let delta_save_ms = ms(measure_median_ns(|| {
+        step += 1;
+        repo.save(&snapshot_with_params(n_params, step), &opts)
+            .unwrap()
+    }));
+    let recover_ms = ms(measure_median_ns(|| repo.recover().unwrap()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- deterministic syscall-proxy counters ---
+    let counter_saves = if quick_mode() { 4 } else { 8 };
+    let fulls = counter_sweep(kind, n_params, counter_saves, false, false);
+    let fulls_fsync = counter_sweep(kind, n_params, counter_saves, true, false);
+    let deltas = counter_sweep(kind, n_params, counter_saves, false, true);
+
+    BackendRow {
+        kind,
+        full_save_ms,
+        full_save_mb_s,
+        delta_save_ms,
+        recover_ms,
+        renames_per_full_save: mean(fulls.iter().map(|r| r.store_renames)),
+        fsyncs_per_full_save_fsync_on: mean(fulls_fsync.iter().map(|r| r.store_fsyncs)),
+        // Skip the first (full) save of the chain: steady-state deltas are
+        // the number that matters for a training loop.
+        renames_per_delta_save: mean(deltas.iter().skip(1).map(|r| r.store_renames)),
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (n_params, chain_depth) = if quick { (16_384, 8) } else { (65_536, 32) };
+
+    println!("bench_store: {n_params} params, chain depth {chain_depth}, quick={quick}");
+    let rows: Vec<BackendRow> = [StoreKind::Loose, StoreKind::Pack]
+        .into_iter()
+        .map(|kind| {
+            let row = bench_backend(kind, n_params, chain_depth);
+            println!(
+                "  {:<5}  full {:.2} ms ({:.0} MB/s)  delta {:.3} ms  recover {:.1} ms  \
+                 renames/full {:.1}  renames/delta {:.1}  fsyncs/full(fsync) {:.1}",
+                row.kind.to_string(),
+                row.full_save_ms,
+                row.full_save_mb_s,
+                row.delta_save_ms,
+                row.recover_ms,
+                row.renames_per_full_save,
+                row.renames_per_delta_save,
+                row.fsyncs_per_full_save_fsync_on,
+            );
+            row
+        })
+        .collect();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"n_params\": {n_params},");
+    let _ = writeln!(json, "  \"chain_depth\": {chain_depth},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"timings jitter on shared boxes; rename/fsync counters are deterministic \
+         and are the acceptance signal (pack = O(1) renames per save)\","
+    );
+    let _ = writeln!(json, "  \"backends\": {{");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    \"{}\": {{", row.kind);
+        let _ = writeln!(json, "      \"full_save_ms\": {:.4},", row.full_save_ms);
+        let _ = writeln!(json, "      \"full_save_mb_s\": {:.2},", row.full_save_mb_s);
+        let _ = writeln!(json, "      \"delta_save_ms\": {:.4},", row.delta_save_ms);
+        let _ = writeln!(json, "      \"recover_ms\": {:.4},", row.recover_ms);
+        let _ = writeln!(
+            json,
+            "      \"renames_per_full_save\": {:.2},",
+            row.renames_per_full_save
+        );
+        let _ = writeln!(
+            json,
+            "      \"renames_per_delta_save\": {:.2},",
+            row.renames_per_delta_save
+        );
+        let _ = writeln!(
+            json,
+            "      \"fsyncs_per_full_save_fsync_on\": {:.2}",
+            row.fsyncs_per_full_save_fsync_on
+        );
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  }},");
+    let rename_ratio = rows[0].renames_per_full_save / rows[1].renames_per_full_save.max(1.0);
+    let _ = writeln!(
+        json,
+        "  \"full_save_rename_ratio_loose_over_pack\": {rename_ratio:.1}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+    println!("wrote BENCH_store.json");
+}

@@ -7,6 +7,7 @@
 
 use qcheck::repo::{CheckpointRepo, SaveOptions};
 use qcheck::snapshot::Checkpointable;
+use qcheck::store::ObjectStore;
 use qsim::measure::EvalMode;
 
 use crate::report::{quick_mode, scratch_dir, Table};
@@ -51,7 +52,7 @@ pub fn run() -> Table {
             })
             .collect();
         let recover_ms = median_ms(&mut samples);
-        let chain_bytes = repo.store().total_bytes().expect("store size");
+        let chain_bytes = repo.store().stats().expect("store size").total_bytes;
 
         // Compact, then re-measure.
         repo.compact_latest(&opts).expect("compact");

@@ -7,6 +7,7 @@
 
 use qcheck::repo::{CheckpointRepo, SaveOptions};
 use qcheck::snapshot::Checkpointable;
+use qcheck::store::ObjectStore;
 use qsim::measure::EvalMode;
 
 use crate::report::{human_bytes, quick_mode, scratch_dir, Table};
@@ -51,7 +52,7 @@ pub fn run() -> Table {
             logical_total += report.logical_bytes;
             dedup_hits += report.chunks_deduped;
         }
-        let store_bytes = repo.store().total_bytes().expect("store");
+        let store_bytes = repo.store().stats().expect("store").total_bytes;
         table.row(vec![
             (run + 1).to_string(),
             human_bytes(logical_total as u128),

@@ -3,6 +3,7 @@
 //! ```text
 //! qckpt <repo> list                     list checkpoints
 //! qckpt <repo> show <id|latest>         manifest + snapshot summary
+//! qckpt <repo> stats                    storage backend + object statistics
 //! qckpt <repo> fsck                     verify everything
 //! qckpt <repo> gc                       sweep unreferenced chunks
 //! qckpt <repo> compact                  rewrite the latest chain as full
@@ -15,11 +16,12 @@ use std::process::ExitCode;
 
 use qcheck::manifest::CheckpointId;
 use qcheck::repo::{CheckpointRepo, Retention, SaveOptions};
+use qcheck::store::ObjectStore;
 use qcheck::verify::{export_bundle, fsck, import_bundle, CheckpointHealth};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: qckpt <repo> <list|show|fsck|gc|compact|retain|export|import> [args]\n\
+        "usage: qckpt <repo> <list|show|stats|fsck|gc|compact|retain|export|import> [args]\n\
          see `qckpt --help` in the module docs for details"
     );
     ExitCode::from(2)
@@ -98,6 +100,15 @@ fn run() -> Result<(), String> {
                 "rng streams:  {:?}",
                 snapshot.rng_streams.keys().collect::<Vec<_>>()
             );
+            Ok(())
+        }
+        ("stats", None, None) => {
+            let stats = repo.store().stats().map_err(|e| e.to_string())?;
+            let ids = repo.list_ids().map_err(|e| e.to_string())?;
+            println!("backend:       {}", repo.store_kind());
+            println!("checkpoints:   {}", ids.len());
+            println!("objects:       {}", stats.object_count);
+            println!("payload bytes: {}", stats.total_bytes);
             Ok(())
         }
         ("fsck", None, None) => {

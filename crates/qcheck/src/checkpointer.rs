@@ -14,14 +14,17 @@ use crate::manifest::CheckpointId;
 use crate::policy::{CheckpointPolicy, PolicyContext};
 use crate::repo::{CheckpointRepo, SaveOptions, SaveReport};
 use crate::snapshot::Checkpointable;
+use crate::store::{ObjectStore, StoreBackend};
 
 /// EWMA factor for the observed checkpoint cost.
 const COST_ALPHA: f64 = 0.3;
 
-/// Policy-driven checkpoint writer for a training loop.
+/// Policy-driven checkpoint writer for a training loop. Generic over the
+/// repository's storage backend; defaults to the runtime-selected
+/// [`StoreBackend`].
 #[derive(Debug)]
-pub struct Checkpointer {
-    repo: CheckpointRepo,
+pub struct Checkpointer<S: ObjectStore = StoreBackend> {
+    repo: CheckpointRepo<S>,
     policy: Box<dyn CheckpointPolicy + Send>,
     options: SaveOptions,
     started: Instant,
@@ -31,10 +34,10 @@ pub struct Checkpointer {
     history: Vec<SaveReport>,
 }
 
-impl Checkpointer {
+impl<S: ObjectStore> Checkpointer<S> {
     /// Creates a checkpointer writing to `repo` under `policy`.
     pub fn new(
-        repo: CheckpointRepo,
+        repo: CheckpointRepo<S>,
         policy: Box<dyn CheckpointPolicy + Send>,
         options: SaveOptions,
     ) -> Self {
@@ -51,7 +54,7 @@ impl Checkpointer {
     }
 
     /// The underlying repository.
-    pub fn repo(&self) -> &CheckpointRepo {
+    pub fn repo(&self) -> &CheckpointRepo<S> {
         &self.repo
     }
 

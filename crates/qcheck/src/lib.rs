@@ -75,7 +75,7 @@
 //! | [`checkpointer`] | policy-driven driver for live training loops |
 //! | [`policy`] | interval policies incl. Young–Daly and its analytic models |
 //! | [`manifest`] | the framed on-disk metadata format |
-//! | [`store`] | content-addressed chunk store with dedup |
+//! | [`store`] | pluggable content-addressed object stores ([`store::ObjectStore`]: loose files / batched packs) |
 //! | [`delta`] | block-level incremental patches |
 //! | [`compress`] | RLE and XOR-f64 codecs |
 //! | [`chunk`] | fixed-size chunking |
@@ -113,4 +113,5 @@ pub use repo::{
     CheckpointRepo, CommitMode, CompressionPolicy, Retention, SaveMode, SaveOptions, SaveReport,
 };
 pub use snapshot::{Checkpointable, TrainingSnapshot};
+pub use store::{LooseStore, ObjectStore, PackStore, StoreBackend, StoreKind, StoreStats};
 pub use verify::{export_bundle, fsck, import_bundle, read_bundle, FsckReport};

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! <root>/
-//!   objects/ab/cdef…   content-addressed chunks (see `store`)
+//!   STORE              sticky backend marker: "loose" | "pack"
+//!   objects/ab/cdef…   content-addressed chunks (loose backend)
+//!   packs/pack-….qpk   batched pack files (pack backend)
 //!   manifests/<id>.qmf framed manifests (see `manifest`)
 //!   tmp/               staging area; contents are disposable
 //!   LATEST             one-line pointer to the newest manifest id
@@ -11,7 +13,9 @@
 //!
 //! ## Commit protocol (atomic mode)
 //!
-//! 1. write every new chunk (stage in `tmp/`, rename into `objects/`);
+//! 1. write every new chunk (one [`crate::store::ObjectStore::put_batch`]
+//!    call: per-object stage+rename on the loose backend, a single staged
+//!    pack published by one fsync+rename on the pack backend);
 //! 2. write the manifest to `tmp/`, optionally fsync, rename into
 //!    `manifests/`;
 //! 3. rewrite `LATEST` the same way.
@@ -40,7 +44,7 @@ use crate::manifest::{CheckpointId, CheckpointKind, Manifest, PayloadKind, Secti
 use crate::snapshot::{
     Section, TrainingSnapshot, SECTION_LEDGER, SECTION_OPTIMIZER, SECTION_PARAMS,
 };
-use crate::store::{ChunkStore, GcReport};
+use crate::store::{GcReport, ObjectStore, StagedChunk, StoreBackend, StoreKind};
 
 /// Hard upper bound on delta-chain walks (cycle guard).
 const CHAIN_HARD_LIMIT: usize = 4096;
@@ -166,6 +170,12 @@ pub struct SaveReport {
     pub chunks_new: usize,
     /// Count of dedup hits.
     pub chunks_deduped: usize,
+    /// Rename syscalls the object store used to commit this save's new
+    /// chunks: O(chunks) for the loose backend, ≤ 1 for the pack backend.
+    /// (Manifest + `LATEST` renames are not included.)
+    pub store_renames: u64,
+    /// `fsync` calls the object store issued while committing new chunks.
+    pub store_fsyncs: u64,
     /// Manifest file size.
     pub manifest_bytes: u64,
 }
@@ -184,6 +194,9 @@ pub struct RecoveryReport {
     pub skipped: Vec<(String, String)>,
     /// Id of the checkpoint that was recovered, if any.
     pub recovered: Option<CheckpointId>,
+    /// Orphaned staging files (debris from crashed writers) deleted
+    /// before the scan.
+    pub staging_cleared: usize,
 }
 
 /// Retention policies for [`CheckpointRepo::apply_retention`].
@@ -214,13 +227,17 @@ struct SectionEncode {
     compressed: Vec<u8>,
 }
 
-/// An on-disk checkpoint repository.
+/// An on-disk checkpoint repository, generic over its [`ObjectStore`]
+/// backend. The default backend is the runtime-selected [`StoreBackend`]
+/// (`QCHECK_STORE=loose|pack`, sticky per repository via the `STORE`
+/// marker); a concrete backend type can be injected with
+/// [`CheckpointRepo::with_store`].
 #[derive(Debug)]
-pub struct CheckpointRepo {
+pub struct CheckpointRepo<S: ObjectStore = StoreBackend> {
     root: PathBuf,
     manifests_dir: PathBuf,
     tmp_dir: PathBuf,
-    store: ChunkStore,
+    store: S,
     seq: Mutex<u64>,
     /// Sections of the last checkpoint this handle committed. Delta saves
     /// diff against the latest checkpoint; when it is the one we just
@@ -248,13 +265,48 @@ struct EncodeCache {
     chain_chunks: Vec<crate::hash::ContentHash>,
 }
 
-impl CheckpointRepo {
-    /// Opens a repository, creating the layout when absent.
+impl CheckpointRepo<StoreBackend> {
+    /// Opens a repository, creating the layout when absent. The storage
+    /// backend is resolved from the repository's sticky `STORE` marker
+    /// when present, else from `QCHECK_STORE` (default: loose).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or an invalid `QCHECK_STORE` value.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let kind = StoreKind::from_env()?;
+        Self::open_with(root, kind)
+    }
+
+    /// Opens a repository with an explicit backend preference (builder
+    /// form of the `QCHECK_STORE` switch). An existing repository's
+    /// sticky marker still wins — a repository never changes layout.
     ///
     /// # Errors
     ///
     /// Fails on filesystem errors.
-    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+    pub fn open_with(root: impl AsRef<Path>, kind: StoreKind) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)
+            .map_err(|e| Error::io(format!("creating {}", root.display()), e))?;
+        let store = StoreBackend::open_sticky(&root, kind)?;
+        Self::with_store(root, store)
+    }
+
+    /// Which storage layout this repository uses.
+    pub fn store_kind(&self) -> StoreKind {
+        self.store.kind()
+    }
+}
+
+impl<S: ObjectStore> CheckpointRepo<S> {
+    /// Builds a repository around an already-opened backend. This is the
+    /// generic constructor; most callers want [`CheckpointRepo::open`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    pub fn with_store(root: impl AsRef<Path>, store: S) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
         let manifests_dir = root.join("manifests");
         let tmp_dir = root.join("tmp");
@@ -262,7 +314,6 @@ impl CheckpointRepo {
             .map_err(|e| Error::io(format!("creating {}", manifests_dir.display()), e))?;
         fs::create_dir_all(&tmp_dir)
             .map_err(|e| Error::io(format!("creating {}", tmp_dir.display()), e))?;
-        let store = ChunkStore::open(&root, false)?;
         let repo = CheckpointRepo {
             root,
             manifests_dir,
@@ -287,8 +338,8 @@ impl CheckpointRepo {
         &self.root
     }
 
-    /// The underlying chunk store.
-    pub fn store(&self) -> &ChunkStore {
+    /// The underlying object store.
+    pub fn store(&self) -> &S {
         &self.store
     }
 
@@ -369,8 +420,7 @@ impl CheckpointRepo {
                         // resolve path, whose failure falls back to a
                         // self-contained full checkpoint instead of a
                         // delta against a hole.
-                        let cached = cached
-                            .filter(|c| c.chain_chunks.iter().all(|h| self.store.contains(h)));
+                        let cached = cached.filter(|c| self.store.contains_all(&c.chain_chunks));
                         match cached {
                             Some(c) => {
                                 base_chain_chunks = Some(c.chain_chunks);
@@ -484,27 +534,41 @@ impl CheckpointRepo {
         };
 
         // ------------------------------------------------------------------
-        // Commit phase: chunk (hashing in parallel), then write chunks to
-        // the store serially in section order — dedup accounting and crash
-        // injection stay deterministic.
+        // Commit phase: chunk (hashing in parallel), then hand the whole
+        // save's chunk set to the store as ONE batch — the pack backend
+        // commits it with a single fsync+rename; the loose backend falls
+        // back to per-object writes. Input order is section order, so
+        // dedup accounting stays deterministic across backends.
         // ------------------------------------------------------------------
-        let mut entries = Vec::with_capacity(sections.len());
+        let mut section_refs = Vec::with_capacity(sections.len());
+        let mut staged: Vec<StagedChunk<'_>> = Vec::new();
+        for enc in &encoded {
+            let (refs, slices) = chunk_bytes_threads(&enc.compressed, options.chunk_size, threads);
+            for (r, slice) in refs.iter().zip(&slices) {
+                staged.push(StagedChunk {
+                    reference: *r,
+                    data: slice,
+                });
+            }
+            section_refs.push(refs);
+        }
+        let batch = self.store.put_batch(&staged, options.fsync)?;
         let mut chunks_new = 0usize;
         let mut chunks_deduped = 0usize;
         let mut new_chunk_bytes = 0u64;
-
-        for (section, enc) in sections.iter().zip(encoded) {
-            let (refs, slices) = chunk_bytes_threads(&enc.compressed, options.chunk_size, threads);
-            for slice in &slices {
-                let (_, fresh) = self.store.put(slice)?;
-                if fresh {
-                    chunks_new += 1;
-                    new_chunk_bytes += slice.len() as u64;
-                } else {
-                    chunks_deduped += 1;
-                }
+        for (chunk, fresh) in staged.iter().zip(&batch.fresh) {
+            if *fresh {
+                chunks_new += 1;
+                new_chunk_bytes += chunk.data.len() as u64;
+            } else {
+                chunks_deduped += 1;
             }
-            entries.push(SectionEntry {
+        }
+        let entries: Vec<SectionEntry> = sections
+            .iter()
+            .zip(&encoded)
+            .zip(section_refs)
+            .map(|((section, enc), refs)| SectionEntry {
                 name: section.name.clone(),
                 codec: enc.codec,
                 payload_kind: enc.payload_kind,
@@ -512,8 +576,8 @@ impl CheckpointRepo {
                 section_len: section.bytes.len() as u64,
                 section_sha: enc.section_sha,
                 chunks: refs,
-            });
-        }
+            })
+            .collect();
 
         if let Some(CrashPoint::AfterChunkWrites) = options.crash {
             return Err(Error::SimulatedCrash {
@@ -655,6 +719,8 @@ impl CheckpointRepo {
             new_chunk_bytes,
             chunks_new,
             chunks_deduped,
+            store_renames: batch.renames,
+            store_fsyncs: batch.fsyncs,
             manifest_bytes: manifest_bytes.len() as u64,
             id,
         })
@@ -908,13 +974,19 @@ impl CheckpointRepo {
     }
 
     /// Recovery: scans every manifest newest-first, returns the newest fully
-    /// verifiable checkpoint. Does not trust `LATEST`.
+    /// verifiable checkpoint. Does not trust `LATEST`. Orphaned staging
+    /// files (debris of the crash being recovered from) are garbage
+    /// collected first — `tmp/` contents are disposable at every point of
+    /// the commit protocol, so this is always safe.
     ///
     /// # Errors
     ///
     /// [`Error::NoValidCheckpoint`] when nothing can be recovered.
     pub fn recover(&self) -> Result<(TrainingSnapshot, RecoveryReport)> {
-        let mut report = RecoveryReport::default();
+        let mut report = RecoveryReport {
+            staging_cleared: self.store.clear_staging().unwrap_or(0),
+            ..RecoveryReport::default()
+        };
         let mut ids = self.list_ids()?;
         ids.reverse(); // newest first
         for id in ids {
@@ -1438,5 +1510,102 @@ mod tests {
         assert_eq!(naive_statevector_bytes(10), 16 * 1024);
         assert_eq!(naive_statevector_bytes(20), 16 * 1024 * 1024);
         assert_eq!(naive_statevector_bytes(30), 16 * 1024 * 1024 * 1024);
+    }
+
+    fn scratch_root(tag: &str) -> PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "qcheck-repo-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ))
+    }
+
+    /// A snapshot with incompressible (pattern-free) parameters so every
+    /// save produces many distinct chunks.
+    fn bulky_snapshot(step: u64) -> TrainingSnapshot {
+        let mut s = TrainingSnapshot::new("bulky");
+        s.step = step;
+        s.params = (0..8000)
+            .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ step) as f64 * 1e-18)
+            .collect();
+        s
+    }
+
+    #[test]
+    fn pack_backend_commits_each_save_with_one_rename() {
+        let path = scratch_root("pack-renames");
+        let repo = CheckpointRepo::open_with(&path, crate::store::StoreKind::Pack).unwrap();
+        let r = repo
+            .save(&bulky_snapshot(1), &SaveOptions::default())
+            .unwrap();
+        assert!(
+            r.chunks_new > 8,
+            "need a multi-chunk save, got {}",
+            r.chunks_new
+        );
+        assert_eq!(r.store_renames, 1, "pack backend: O(1) renames per save");
+        // Fully deduplicated save: no pack is created at all.
+        let r2 = repo
+            .save(&bulky_snapshot(1), &SaveOptions::default())
+            .unwrap();
+        assert_eq!(r2.chunks_new, 0);
+        assert_eq!(r2.store_renames, 0);
+        // Everything still loads.
+        let (snap, _) = repo.recover().unwrap();
+        assert_eq!(snap.step, 1);
+        let _ = fs::remove_dir_all(path);
+    }
+
+    #[test]
+    fn loose_backend_pays_one_rename_per_chunk() {
+        let path = scratch_root("loose-renames");
+        let repo = CheckpointRepo::open_with(&path, crate::store::StoreKind::Loose).unwrap();
+        let r = repo
+            .save(&bulky_snapshot(1), &SaveOptions::default())
+            .unwrap();
+        assert_eq!(r.store_renames, r.chunks_new as u64);
+        let _ = fs::remove_dir_all(path);
+    }
+
+    #[test]
+    fn backend_marker_is_sticky_across_reopen() {
+        let path = scratch_root("sticky");
+        let repo = CheckpointRepo::open_with(&path, crate::store::StoreKind::Pack).unwrap();
+        repo.save(&snapshot_at(1, vec![1.0; 500]), &SaveOptions::default())
+            .unwrap();
+        drop(repo);
+        // Reopen requesting the other layout: the marker must win and the
+        // data must remain readable.
+        let repo2 = CheckpointRepo::open_with(&path, crate::store::StoreKind::Loose).unwrap();
+        assert_eq!(repo2.store_kind(), crate::store::StoreKind::Pack);
+        let (snap, _) = repo2.recover().unwrap();
+        assert_eq!(snap.step, 1);
+        let _ = fs::remove_dir_all(path);
+    }
+
+    #[test]
+    fn recover_clears_staging_debris() {
+        let (_t, repo) = TempRepo::new();
+        repo.save(&snapshot_at(1, vec![1.0; 100]), &SaveOptions::default())
+            .unwrap();
+        let opts = SaveOptions {
+            crash: Some(CrashPoint::MidManifestWrite {
+                keep_fraction_pct: 50,
+            }),
+            ..SaveOptions::default()
+        };
+        let _ = repo
+            .save(&snapshot_at(2, vec![2.0; 100]), &opts)
+            .unwrap_err();
+        let (snap, report) = repo.recover().unwrap();
+        assert_eq!(snap.step, 1);
+        assert!(
+            report.staging_cleared >= 1,
+            "the torn staged manifest must be garbage collected"
+        );
+        let leftovers = fs::read_dir(repo.root().join("tmp")).unwrap().count();
+        assert_eq!(leftovers, 0);
+        let _ = fs::remove_dir_all(repo.root());
     }
 }

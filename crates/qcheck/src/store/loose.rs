@@ -1,59 +1,55 @@
-//! Content-addressed chunk store.
+//! Loose object layout: one file per chunk.
 //!
 //! Chunks live under `objects/<2-hex>/<62-hex>`, named by the SHA-256 of
 //! their contents. Writes are idempotent (a chunk that exists is never
 //! rewritten — that is the dedup) and crash-safe (stage into `tmp/`, then
 //! atomic rename; a crash can leave garbage in `tmp/`, never a half-written
-//! object under `objects/`). Garbage collection is mark-and-sweep driven by
-//! the manifest set, so there is no refcount index to corrupt.
+//! object under `objects/`). Every fresh chunk costs one stage-file create
+//! plus one rename — the per-object overhead the pack backend batches away.
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use crate::chunk::ChunkRef;
 use crate::error::{Error, Result};
 use crate::hash::{ContentHash, Sha256};
 
-/// Handle to an on-disk chunk store rooted at `objects/` + `tmp/`.
+use super::{BatchPutReport, GcReport, ObjectStore, StagedChunk, StoreStats};
+
+/// Handle to an on-disk loose object store rooted at `objects/` + `tmp/`.
 #[derive(Debug, Clone)]
-pub struct ChunkStore {
+pub struct LooseStore {
     objects_dir: PathBuf,
     tmp_dir: PathBuf,
-    fsync: bool,
-    seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    seq: Arc<std::sync::atomic::AtomicU64>,
+    /// Incrementally maintained statistics: seeded by the first
+    /// [`ObjectStore::stats`] walk (or an exact sweep), then updated by
+    /// this handle's writes. `None` until seeded. Another process writing
+    /// the same directory invalidates the numbers until the next sweep.
+    stats_cache: Arc<Mutex<Option<StoreStats>>>,
 }
 
-/// Result of a garbage-collection sweep.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct GcReport {
-    /// Objects retained because they were reachable.
-    pub live: usize,
-    /// Objects deleted.
-    pub deleted: usize,
-    /// Bytes reclaimed.
-    pub reclaimed_bytes: u64,
-}
-
-impl ChunkStore {
-    /// Opens (creating if necessary) a chunk store under `root`.
+impl LooseStore {
+    /// Opens (creating if necessary) a loose store under `root`.
     ///
     /// # Errors
     ///
     /// Fails if directories cannot be created.
-    pub fn open(root: &Path, fsync: bool) -> Result<Self> {
+    pub fn open(root: &Path) -> Result<Self> {
         let objects_dir = root.join("objects");
         let tmp_dir = root.join("tmp");
         fs::create_dir_all(&objects_dir)
             .map_err(|e| Error::io(format!("creating {}", objects_dir.display()), e))?;
         fs::create_dir_all(&tmp_dir)
             .map_err(|e| Error::io(format!("creating {}", tmp_dir.display()), e))?;
-        Ok(ChunkStore {
+        Ok(LooseStore {
             objects_dir,
             tmp_dir,
-            fsync,
-            seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            seq: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            stats_cache: Arc::new(Mutex::new(None)),
         })
     }
 
@@ -63,30 +59,9 @@ impl ChunkStore {
             .join(hash.file_suffix())
     }
 
-    /// Whether a chunk with this address exists.
-    pub fn contains(&self, hash: &ContentHash) -> bool {
-        self.object_path(hash).is_file()
-    }
-
-    /// Stores a chunk, returning its reference. Idempotent: existing chunks
-    /// are not rewritten (`put` of identical content is the dedup hit).
-    ///
-    /// Returns the reference together with `true` when a new object was
-    /// physically written (`false` = dedup hit).
-    ///
-    /// # Errors
-    ///
-    /// Fails on filesystem errors.
-    pub fn put(&self, data: &[u8]) -> Result<(ChunkRef, bool)> {
-        let hash = Sha256::digest(data);
-        let reference = ChunkRef {
-            hash,
-            len: data.len() as u32,
-        };
-        let path = self.object_path(&hash);
-        if path.is_file() {
-            return Ok((reference, false));
-        }
+    /// Writes one object file: stage into `tmp/`, rename into `objects/`.
+    fn write_object(&self, hash: &ContentHash, data: &[u8], fsync: bool) -> Result<()> {
+        let path = self.object_path(hash);
         let dir = path.parent().expect("object path has parent");
         fs::create_dir_all(dir).map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
         let tmp = self.tmp_dir.join(format!(
@@ -99,23 +74,60 @@ impl ChunkStore {
                 .map_err(|e| Error::io(format!("creating {}", tmp.display()), e))?;
             f.write_all(data)
                 .map_err(|e| Error::io(format!("writing {}", tmp.display()), e))?;
-            if self.fsync {
+            if fsync {
                 f.sync_all()
                     .map_err(|e| Error::io(format!("syncing {}", tmp.display()), e))?;
             }
         }
         fs::rename(&tmp, &path)
             .map_err(|e| Error::io(format!("renaming into {}", path.display()), e))?;
-        Ok((reference, true))
+        Ok(())
     }
 
-    /// Fetches and verifies a chunk.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::NotFound`] when absent; [`Error::Corrupt`] when the stored
-    /// bytes do not match the reference (bit rot, truncation).
-    pub fn get(&self, reference: &ChunkRef) -> Result<Vec<u8>> {
+    /// Walks the object directory once, returning exact statistics.
+    fn walk_stats(&self) -> Result<StoreStats> {
+        let mut stats = StoreStats::default();
+        for hash in self.list()? {
+            let meta =
+                fs::metadata(self.object_path(&hash)).map_err(|e| Error::io("stat object", e))?;
+            stats.object_count += 1;
+            stats.total_bytes += meta.len();
+        }
+        Ok(stats)
+    }
+}
+
+impl ObjectStore for LooseStore {
+    fn put_batch(&self, chunks: &[StagedChunk<'_>], fsync: bool) -> Result<BatchPutReport> {
+        let mut report = BatchPutReport {
+            fresh: Vec::with_capacity(chunks.len()),
+            ..BatchPutReport::default()
+        };
+        let mut new_count = 0usize;
+        let mut new_bytes = 0u64;
+        for chunk in chunks {
+            let fresh = if self.object_path(&chunk.reference.hash).is_file() {
+                false
+            } else {
+                self.write_object(&chunk.reference.hash, chunk.data, fsync)?;
+                report.renames += 1;
+                report.fsyncs += u64::from(fsync);
+                new_count += 1;
+                new_bytes += chunk.data.len() as u64;
+                true
+            };
+            report.fresh.push(fresh);
+        }
+        if new_count > 0 {
+            if let Some(stats) = self.stats_cache.lock().expect("stats lock").as_mut() {
+                stats.object_count += new_count;
+                stats.total_bytes += new_bytes;
+            }
+        }
+        Ok(report)
+    }
+
+    fn get(&self, reference: &ChunkRef) -> Result<Vec<u8>> {
         let path = self.object_path(&reference.hash);
         let data = fs::read(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
@@ -126,28 +138,15 @@ impl ChunkStore {
                 Error::io(format!("reading {}", path.display()), e)
             }
         })?;
-        if data.len() != reference.len as usize {
-            return Err(Error::corrupt(
-                format!("chunk {}", reference.hash),
-                format!("length {} != expected {}", data.len(), reference.len),
-            ));
-        }
-        let actual = Sha256::digest(&data);
-        if actual != reference.hash {
-            return Err(Error::corrupt(
-                format!("chunk {}", reference.hash),
-                format!("content hash mismatch (got {actual})"),
-            ));
-        }
+        verify_chunk(reference, &data)?;
         Ok(data)
     }
 
-    /// Enumerates all stored object hashes.
-    ///
-    /// # Errors
-    ///
-    /// Fails on directory-walk errors. Files with non-hex names are ignored.
-    pub fn list(&self) -> Result<Vec<ContentHash>> {
+    fn contains(&self, hash: &ContentHash) -> bool {
+        self.object_path(hash).is_file()
+    }
+
+    fn list(&self) -> Result<Vec<ContentHash>> {
         let mut out = Vec::new();
         let entries = fs::read_dir(&self.objects_dir)
             .map_err(|e| Error::io(format!("listing {}", self.objects_dir.display()), e))?;
@@ -171,67 +170,45 @@ impl ChunkStore {
         Ok(out)
     }
 
-    /// Total bytes across all stored objects.
-    ///
-    /// # Errors
-    ///
-    /// Fails on directory-walk errors.
-    pub fn total_bytes(&self) -> Result<u64> {
-        let mut total = 0u64;
-        for hash in self.list()? {
-            let meta =
-                fs::metadata(self.object_path(&hash)).map_err(|e| Error::io("stat object", e))?;
-            total += meta.len();
-        }
-        Ok(total)
-    }
-
-    /// Number of stored objects.
-    ///
-    /// # Errors
-    ///
-    /// Fails on directory-walk errors.
-    pub fn object_count(&self) -> Result<usize> {
-        Ok(self.list()?.len())
-    }
-
-    /// Mark-and-sweep garbage collection: deletes every object whose hash is
-    /// not in `reachable`.
-    ///
-    /// # Errors
-    ///
-    /// Fails on filesystem errors; a partially completed sweep is safe (the
-    /// store never deletes reachable objects).
-    pub fn sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport> {
+    fn sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport> {
         let mut report = GcReport::default();
+        let mut live_stats = StoreStats::default();
         for hash in self.list()? {
+            let path = self.object_path(&hash);
+            let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             if reachable.contains(&hash) {
                 report.live += 1;
+                live_stats.object_count += 1;
+                live_stats.total_bytes += len;
             } else {
-                let path = self.object_path(&hash);
-                let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
                 fs::remove_file(&path)
                     .map_err(|e| Error::io(format!("deleting {}", path.display()), e))?;
                 report.deleted += 1;
                 report.reclaimed_bytes += len;
             }
         }
-        // Clear stale staging files as well.
-        if let Ok(entries) = fs::read_dir(&self.tmp_dir) {
-            for entry in entries.flatten() {
-                let _ = fs::remove_file(entry.path());
-            }
-        }
+        // The sweep walked everything, so the cache becomes exact.
+        *self.stats_cache.lock().expect("stats lock") = Some(live_stats);
+        self.clear_staging()?;
         Ok(report)
     }
 
-    /// Deliberately corrupts a stored object (failure-injection support):
-    /// flips one byte at `offset % len`.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the object is missing or empty.
-    pub fn corrupt_object(&self, hash: &ContentHash, offset: usize) -> Result<()> {
+    fn stats(&self) -> Result<StoreStats> {
+        let mut guard = self.stats_cache.lock().expect("stats lock");
+        if let Some(stats) = *guard {
+            return Ok(stats);
+        }
+        let stats = self.walk_stats()?;
+        *guard = Some(stats);
+        Ok(stats)
+    }
+
+    fn clear_staging(&self) -> Result<usize> {
+        clear_dir_files(&self.tmp_dir)
+    }
+
+    #[cfg(any(test, feature = "testing"))]
+    fn corrupt_object(&self, hash: &ContentHash, offset: usize) -> Result<()> {
         let path = self.object_path(hash);
         let mut data = fs::read(&path).map_err(|e| Error::io("reading object", e))?;
         if data.is_empty() {
@@ -244,45 +221,49 @@ impl ChunkStore {
     }
 }
 
+/// Shared chunk verification: exact length, then SHA-256.
+pub(super) fn verify_chunk(reference: &ChunkRef, data: &[u8]) -> Result<()> {
+    if data.len() != reference.len as usize {
+        return Err(Error::corrupt(
+            format!("chunk {}", reference.hash),
+            format!("length {} != expected {}", data.len(), reference.len),
+        ));
+    }
+    let actual = Sha256::digest(data);
+    if actual != reference.hash {
+        return Err(Error::corrupt(
+            format!("chunk {}", reference.hash),
+            format!("content hash mismatch (got {actual})"),
+        ));
+    }
+    Ok(())
+}
+
+/// Removes every plain file directly under `dir`; absence is not an error.
+pub(super) fn clear_dir_files(dir: &Path) -> Result<usize> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(Error::io(format!("listing {}", dir.display()), e)),
+    };
+    let mut removed = 0usize;
+    for entry in entries.flatten() {
+        if fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
+    use super::super::testutil::TempDir;
     use super::*;
 
-    fn temp_store() -> (tempdir::TempDir, ChunkStore) {
-        let dir = tempdir::TempDir::new();
-        let store = ChunkStore::open(dir.path(), false).unwrap();
+    fn temp_store() -> (TempDir, LooseStore) {
+        let dir = TempDir::new();
+        let store = LooseStore::open(dir.path()).unwrap();
         (dir, store)
-    }
-
-    /// Minimal temp-dir helper (std-only; removed on drop).
-    mod tempdir {
-        use std::path::{Path, PathBuf};
-        use std::sync::atomic::{AtomicU64, Ordering};
-
-        static COUNTER: AtomicU64 = AtomicU64::new(0);
-
-        pub struct TempDir(PathBuf);
-
-        impl TempDir {
-            pub fn new() -> Self {
-                let path = std::env::temp_dir().join(format!(
-                    "qcheck-store-test-{}-{}",
-                    std::process::id(),
-                    COUNTER.fetch_add(1, Ordering::Relaxed)
-                ));
-                std::fs::create_dir_all(&path).unwrap();
-                TempDir(path)
-            }
-            pub fn path(&self) -> &Path {
-                &self.0
-            }
-        }
-
-        impl Drop for TempDir {
-            fn drop(&mut self) {
-                let _ = std::fs::remove_dir_all(&self.0);
-            }
-        }
     }
 
     #[test]
@@ -304,7 +285,30 @@ mod tests {
         assert_eq!(r1, r2);
         assert!(fresh1);
         assert!(!fresh2, "second put must be a dedup hit");
-        assert_eq!(store.object_count().unwrap(), 1);
+        assert_eq!(store.stats().unwrap().object_count, 1);
+    }
+
+    #[test]
+    fn batch_reports_renames_and_in_batch_dedup() {
+        let (_d, store) = temp_store();
+        let blobs: Vec<Vec<u8>> = vec![vec![1; 64], vec![2; 64], vec![1; 64]];
+        let staged: Vec<StagedChunk<'_>> = blobs
+            .iter()
+            .map(|b| StagedChunk {
+                reference: ChunkRef {
+                    hash: Sha256::digest(b),
+                    len: b.len() as u32,
+                },
+                data: b,
+            })
+            .collect();
+        let report = store.put_batch(&staged, false).unwrap();
+        assert_eq!(report.fresh, vec![true, true, false]);
+        assert_eq!(
+            report.renames, 2,
+            "loose layout pays one rename per fresh object"
+        );
+        assert_eq!(report.fsyncs, 0);
     }
 
     #[test]
@@ -312,8 +316,28 @@ mod tests {
         let (_d, store) = temp_store();
         store.put(b"aaa").unwrap();
         store.put(b"bbb").unwrap();
-        assert_eq!(store.object_count().unwrap(), 2);
-        assert_eq!(store.total_bytes().unwrap(), 6);
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.object_count, 2);
+        assert_eq!(stats.total_bytes, 6);
+    }
+
+    #[test]
+    fn stats_cache_tracks_writes_and_sweeps() {
+        let (_d, store) = temp_store();
+        store.put(b"one").unwrap();
+        let s1 = store.stats().unwrap(); // seeds the cache
+        store.put(b"second object").unwrap();
+        let s2 = store.stats().unwrap(); // incrementally updated, no walk
+        assert_eq!(s2.object_count, s1.object_count + 1);
+        assert_eq!(s2.total_bytes, s1.total_bytes + 13);
+        assert_eq!(
+            s2,
+            store.walk_stats().unwrap(),
+            "cache must match the directory"
+        );
+        let report = store.sweep(&BTreeSet::new()).unwrap();
+        assert_eq!(report.deleted, 2);
+        assert_eq!(store.stats().unwrap(), StoreStats::default());
     }
 
     #[test]
@@ -386,5 +410,13 @@ mod tests {
         let (_d, store) = temp_store();
         let (r, _) = store.put(b"").unwrap();
         assert_eq!(store.get(&r).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn clear_staging_removes_orphans() {
+        let (d, store) = temp_store();
+        fs::write(d.path().join("tmp").join("obj-999-0"), b"orphan").unwrap();
+        assert_eq!(store.clear_staging().unwrap(), 1);
+        assert_eq!(store.clear_staging().unwrap(), 0);
     }
 }

@@ -1,0 +1,481 @@
+//! Pluggable content-addressed object storage.
+//!
+//! The checkpoint repository stores chunk payloads through the
+//! [`ObjectStore`] trait, which abstracts *how* content-addressed objects
+//! reach the disk. Two backends implement it:
+//!
+//! * [`LooseStore`] — one file per chunk under `objects/<2-hex>/<62-hex>`
+//!   (the original layout, kept as the compatibility default). Every new
+//!   chunk costs one stage-file create plus one rename.
+//! * [`PackStore`] — one append-only *pack file* per batch under `packs/`,
+//!   with an embedded index and a trailing footer. A whole save's worth of
+//!   new chunks commits with a single fsync+rename, so the commit syscall
+//!   count per checkpoint is O(1) instead of O(chunks).
+//!
+//! Both backends share the crash-safety contract: objects are staged in
+//! `tmp/` and published by an atomic rename. A crash can leave disposable
+//! garbage in `tmp/`, never a half-written object in the published
+//! namespace. Garbage collection is mark-and-sweep over manifest-reachable
+//! hashes ([`ObjectStore::sweep`]); there is no refcount index to corrupt.
+//!
+//! Backend selection is per repository and *sticky*: the first open writes
+//! a one-line `STORE` marker file naming the backend, and later opens obey
+//! the marker regardless of the requested kind — switching the environment
+//! variable can therefore never strand objects written by the other
+//! layout. Fresh repositories honor `QCHECK_STORE=loose|pack` (or the
+//! explicit [`crate::repo::CheckpointRepo::open_with`] builder argument).
+
+mod loose;
+mod pack;
+
+pub use loose::LooseStore;
+pub use pack::PackStore;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use crate::chunk::ChunkRef;
+use crate::error::{Error, Result};
+use crate::hash::{ContentHash, Sha256};
+
+/// Back-compat alias: before the [`ObjectStore`] trait existed the loose
+/// layout was the only backend and its type was named `ChunkStore`.
+pub type ChunkStore = LooseStore;
+
+/// Name of the backend marker file at the repository root.
+pub const STORE_MARKER_FILE: &str = "STORE";
+
+/// Result of a garbage-collection sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Objects retained because they were reachable.
+    pub live: usize,
+    /// Objects deleted.
+    pub deleted: usize,
+    /// Bytes reclaimed.
+    pub reclaimed_bytes: u64,
+}
+
+/// Aggregate store statistics.
+///
+/// `total_bytes` counts *logical object payload* bytes — the sum of stored
+/// chunk lengths — for every backend, so the number is comparable across
+/// layouts (the pack backend additionally spends a per-object index entry
+/// and a fixed header/footer on disk).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of stored objects.
+    pub object_count: usize,
+    /// Total logical payload bytes across stored objects.
+    pub total_bytes: u64,
+}
+
+/// One chunk handed to [`ObjectStore::put_batch`]: its precomputed content
+/// reference plus the payload bytes. The reference is trusted at write
+/// time (the save path hashes chunks on the parallel encode pipeline);
+/// every read re-verifies length and SHA-256.
+#[derive(Clone, Copy, Debug)]
+pub struct StagedChunk<'a> {
+    /// Content address + exact length of `data`.
+    pub reference: ChunkRef,
+    /// The chunk payload.
+    pub data: &'a [u8],
+}
+
+/// Outcome of one [`ObjectStore::put_batch`] call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchPutReport {
+    /// Per input chunk, in order: `true` when the object was physically
+    /// written by this call (`false` = dedup hit, including duplicates
+    /// *within* the batch).
+    pub fresh: Vec<bool>,
+    /// Rename syscalls used to commit the batch (the syscall-count proxy
+    /// the pack backend optimizes: 1 per batch instead of 1 per chunk).
+    pub renames: u64,
+    /// `fsync` calls issued while committing the batch.
+    pub fsyncs: u64,
+}
+
+impl BatchPutReport {
+    /// Number of objects physically written.
+    pub fn fresh_count(&self) -> usize {
+        self.fresh.iter().filter(|f| **f).count()
+    }
+}
+
+/// A content-addressed object store.
+///
+/// Writes are idempotent (an object that exists is never rewritten — that
+/// is the dedup) and crash-safe (stage then atomic rename). Reads verify
+/// length and SHA-256, so corruption is always *detected*, never silently
+/// returned.
+pub trait ObjectStore: std::fmt::Debug + Send + Sync {
+    /// Stores a batch of chunks, committing them together when the layout
+    /// allows it. Objects that already exist are not rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors. No torn object is ever published, but
+    /// a failed batch may have published a *prefix* of its objects
+    /// (loose backend; the pack backend is all-or-nothing): those are
+    /// content-addressed orphans, invisible until a manifest references
+    /// them and reclaimed by the next sweep.
+    fn put_batch(&self, chunks: &[StagedChunk<'_>], fsync: bool) -> Result<BatchPutReport>;
+
+    /// Fetches and verifies one chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] when absent; [`Error::Corrupt`] when the stored
+    /// bytes do not match the reference (bit rot, truncation).
+    fn get(&self, reference: &ChunkRef) -> Result<Vec<u8>>;
+
+    /// Whether an object with this address exists.
+    fn contains(&self, hash: &ContentHash) -> bool;
+
+    /// Whether *every* hash exists. Semantically `hashes.iter().all(…)`
+    /// over [`ObjectStore::contains`]; backends may batch the underlying
+    /// existence checks (the pack backend stats each distinct pack once
+    /// instead of once per chunk — this sits on the per-save delta path).
+    fn contains_all(&self, hashes: &[ContentHash]) -> bool {
+        hashes.iter().all(|h| self.contains(h))
+    }
+
+    /// Enumerates all stored object hashes, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directory-walk errors.
+    fn list(&self) -> Result<Vec<ContentHash>>;
+
+    /// Mark-and-sweep garbage collection: deletes every object whose hash
+    /// is not in `reachable`, and clears stale staging files.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors; a partially completed sweep is safe
+    /// (reachable objects are never deleted).
+    fn sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport>;
+
+    /// Object count and total logical bytes. Maintained incrementally by
+    /// this handle's writes and sweeps — no full directory re-walk per
+    /// call once warmed up.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directory-walk errors (first, cache-seeding call only for
+    /// the loose backend).
+    fn stats(&self) -> Result<StoreStats>;
+
+    /// Removes orphaned staging files left behind by crashed writers.
+    /// Returns the number of files removed. Safe by construction: `tmp/`
+    /// contents are disposable at every point of the commit protocol.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directory errors other than absence.
+    fn clear_staging(&self) -> Result<usize>;
+
+    /// Stores one chunk. Convenience wrapper over [`ObjectStore::put_batch`]
+    /// returning the reference and whether a new object was physically
+    /// written (`false` = dedup hit).
+    ///
+    /// # Errors
+    ///
+    /// As [`ObjectStore::put_batch`].
+    fn put(&self, data: &[u8]) -> Result<(ChunkRef, bool)> {
+        let reference = ChunkRef {
+            hash: Sha256::digest(data),
+            len: data.len() as u32,
+        };
+        let report = self.put_batch(&[StagedChunk { reference, data }], false)?;
+        Ok((reference, report.fresh[0]))
+    }
+
+    /// Deliberately corrupts a stored object (failure-injection support):
+    /// flips one byte at `offset % len`. Test-only API, compiled in only
+    /// for `cfg(test)` builds or with the `testing` feature.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the object is missing or empty.
+    #[cfg(any(test, feature = "testing"))]
+    fn corrupt_object(&self, hash: &ContentHash, offset: usize) -> Result<()>;
+}
+
+/// Which [`ObjectStore`] layout a repository uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreKind {
+    /// One file per chunk (`objects/`): [`LooseStore`].
+    #[default]
+    Loose,
+    /// Batched pack files (`packs/`): [`PackStore`].
+    Pack,
+}
+
+impl StoreKind {
+    /// Stable name, as written to the `STORE` marker and accepted by the
+    /// `QCHECK_STORE` environment variable.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StoreKind::Loose => "loose",
+            StoreKind::Pack => "pack",
+        }
+    }
+
+    /// Parses a backend name.
+    pub fn parse(s: &str) -> Option<StoreKind> {
+        match s.trim() {
+            "loose" => Some(StoreKind::Loose),
+            "pack" => Some(StoreKind::Pack),
+            _ => None,
+        }
+    }
+
+    /// Resolves the `QCHECK_STORE` environment variable; unset means
+    /// [`StoreKind::Loose`] (the compatibility default).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] on an unrecognized value — a typo must not
+    /// silently fall back to a different layout.
+    pub fn from_env() -> Result<StoreKind> {
+        match std::env::var("QCHECK_STORE") {
+            Ok(v) => StoreKind::parse(&v).ok_or_else(|| {
+                Error::InvalidConfig(format!(
+                    "QCHECK_STORE={v:?} (expected \"loose\" or \"pack\")"
+                ))
+            }),
+            Err(_) => Ok(StoreKind::Loose),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Runtime-selected backend: the default store type of
+/// [`crate::repo::CheckpointRepo`]. Enum dispatch keeps the hot paths
+/// monomorphic (no vtable) while still letting the backend be chosen per
+/// repository at open time.
+#[derive(Debug)]
+pub enum StoreBackend {
+    /// One file per chunk.
+    Loose(LooseStore),
+    /// Batched pack files.
+    Pack(PackStore),
+}
+
+impl StoreBackend {
+    /// Opens the given backend under `root` (no marker handling).
+    ///
+    /// # Errors
+    ///
+    /// Fails if directories cannot be created.
+    pub fn open(root: &Path, kind: StoreKind) -> Result<Self> {
+        Ok(match kind {
+            StoreKind::Loose => StoreBackend::Loose(LooseStore::open(root)?),
+            StoreKind::Pack => StoreBackend::Pack(PackStore::open(root)?),
+        })
+    }
+
+    /// Opens a backend under `root`, honoring the sticky `STORE` marker:
+    ///
+    /// 1. an existing marker wins over `requested` (a repository never
+    ///    changes layout mid-life);
+    /// 2. a marker-less root that already holds loose objects is treated
+    ///    as loose (pre-marker repositories);
+    /// 3. otherwise `requested` is used and recorded in the marker.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or an unparseable marker.
+    pub fn open_sticky(root: &Path, requested: StoreKind) -> Result<Self> {
+        let marker = root.join(STORE_MARKER_FILE);
+        let kind = match fs::read_to_string(&marker) {
+            Ok(s) => StoreKind::parse(&s).ok_or_else(|| {
+                Error::corrupt(
+                    format!("store marker {}", marker.display()),
+                    format!("unrecognized backend {:?}", s.trim()),
+                )
+            })?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let kind = if has_loose_objects(root) {
+                    StoreKind::Loose
+                } else {
+                    requested
+                };
+                fs::create_dir_all(root)
+                    .map_err(|e| Error::io(format!("creating {}", root.display()), e))?;
+                fs::write(&marker, format!("{}\n", kind.as_str()))
+                    .map_err(|e| Error::io(format!("writing {}", marker.display()), e))?;
+                kind
+            }
+            Err(e) => return Err(Error::io(format!("reading {}", marker.display()), e)),
+        };
+        StoreBackend::open(root, kind)
+    }
+
+    /// Which layout this backend uses.
+    pub fn kind(&self) -> StoreKind {
+        match self {
+            StoreBackend::Loose(_) => StoreKind::Loose,
+            StoreBackend::Pack(_) => StoreKind::Pack,
+        }
+    }
+}
+
+/// Whether `root` holds a pre-marker loose-layout object directory.
+fn has_loose_objects(root: &Path) -> bool {
+    fs::read_dir(root.join("objects"))
+        .map(|mut entries| entries.next().is_some())
+        .unwrap_or(false)
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            StoreBackend::Loose($inner) => $body,
+            StoreBackend::Pack($inner) => $body,
+        }
+    };
+}
+
+impl ObjectStore for StoreBackend {
+    fn put_batch(&self, chunks: &[StagedChunk<'_>], fsync: bool) -> Result<BatchPutReport> {
+        delegate!(self, s => s.put_batch(chunks, fsync))
+    }
+
+    fn get(&self, reference: &ChunkRef) -> Result<Vec<u8>> {
+        delegate!(self, s => s.get(reference))
+    }
+
+    fn contains(&self, hash: &ContentHash) -> bool {
+        delegate!(self, s => s.contains(hash))
+    }
+
+    fn contains_all(&self, hashes: &[ContentHash]) -> bool {
+        delegate!(self, s => s.contains_all(hashes))
+    }
+
+    fn list(&self) -> Result<Vec<ContentHash>> {
+        delegate!(self, s => s.list())
+    }
+
+    fn sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport> {
+        delegate!(self, s => s.sweep(reachable))
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        delegate!(self, s => s.stats())
+    }
+
+    fn clear_staging(&self) -> Result<usize> {
+        delegate!(self, s => s.clear_staging())
+    }
+
+    #[cfg(any(test, feature = "testing"))]
+    fn corrupt_object(&self, hash: &ContentHash, offset: usize) -> Result<()> {
+        delegate!(self, s => s.corrupt_object(hash, offset))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Minimal temp-dir helper shared by the backend test modules
+    //! (std-only; removed on drop).
+
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub fn new() -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "qcheck-store-test-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_kind_parse_round_trip() {
+        for kind in [StoreKind::Loose, StoreKind::Pack] {
+            assert_eq!(StoreKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(
+                StoreKind::parse(&format!(" {}\n", kind.as_str())),
+                Some(kind)
+            );
+        }
+        assert_eq!(StoreKind::parse("packed"), None);
+    }
+
+    #[test]
+    fn sticky_marker_wins_over_request() {
+        let dir = testutil::TempDir::new();
+        let first = StoreBackend::open_sticky(dir.path(), StoreKind::Pack).unwrap();
+        assert_eq!(first.kind(), StoreKind::Pack);
+        // Second open requests loose; the marker must win.
+        let second = StoreBackend::open_sticky(dir.path(), StoreKind::Loose).unwrap();
+        assert_eq!(second.kind(), StoreKind::Pack);
+    }
+
+    #[test]
+    fn marker_less_repo_with_loose_objects_stays_loose() {
+        let dir = testutil::TempDir::new();
+        let loose = LooseStore::open(dir.path()).unwrap();
+        loose.put(b"pre-marker object").unwrap();
+        let backend = StoreBackend::open_sticky(dir.path(), StoreKind::Pack).unwrap();
+        assert_eq!(
+            backend.kind(),
+            StoreKind::Loose,
+            "legacy repo must not flip layout"
+        );
+    }
+
+    #[test]
+    fn garbage_marker_is_rejected() {
+        let dir = testutil::TempDir::new();
+        std::fs::write(dir.path().join(STORE_MARKER_FILE), "sharded\n").unwrap();
+        assert!(matches!(
+            StoreBackend::open_sticky(dir.path(), StoreKind::Loose),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn backends_are_read_compatible_on_their_own_layout() {
+        for kind in [StoreKind::Loose, StoreKind::Pack] {
+            let dir = testutil::TempDir::new();
+            let store = StoreBackend::open_sticky(dir.path(), kind).unwrap();
+            let (r, fresh) = store.put(b"cross-backend payload").unwrap();
+            assert!(fresh);
+            let reopened = StoreBackend::open_sticky(dir.path(), kind).unwrap();
+            assert_eq!(reopened.get(&r).unwrap(), b"cross-backend payload");
+        }
+    }
+}

@@ -16,6 +16,7 @@ use crate::hash::{crc32, Sha256};
 use crate::manifest::CheckpointId;
 use crate::repo::{CheckpointRepo, SaveOptions};
 use crate::snapshot::TrainingSnapshot;
+use crate::store::ObjectStore;
 
 /// Magic framing for portable bundles.
 const BUNDLE_MAGIC: &[u8; 6] = b"QBNDL\0";
@@ -78,7 +79,7 @@ impl FsckReport {
 ///
 /// Fails only on filesystem-level errors (permission, I/O); damage is
 /// reported, not raised.
-pub fn fsck(repo: &CheckpointRepo) -> Result<FsckReport> {
+pub fn fsck<S: ObjectStore>(repo: &CheckpointRepo<S>) -> Result<FsckReport> {
     let mut report = FsckReport::default();
     let ids = repo.list_ids()?;
     let mut referenced: std::collections::BTreeSet<crate::hash::ContentHash> =
@@ -115,7 +116,7 @@ pub fn fsck(repo: &CheckpointRepo) -> Result<FsckReport> {
     if report.orphan_chunks > 0 {
         // Orphan bytes = store total − referenced total (referenced chunks
         // that are damaged still occupy their on-disk length).
-        let total = repo.store().total_bytes()?;
+        let total = repo.store().stats()?.total_bytes;
         let mut referenced_bytes = 0u64;
         for id in &ids {
             if let Ok(m) = repo.load_manifest(id) {
@@ -147,7 +148,10 @@ pub fn fsck(repo: &CheckpointRepo) -> Result<FsckReport> {
 /// # Errors
 ///
 /// Fails when the checkpoint cannot be loaded or verified.
-pub fn export_bundle(repo: &CheckpointRepo, id: &CheckpointId) -> Result<Vec<u8>> {
+pub fn export_bundle<S: ObjectStore>(
+    repo: &CheckpointRepo<S>,
+    id: &CheckpointId,
+) -> Result<Vec<u8>> {
     let snapshot = repo.load(id)?;
     let mut payload = Encoder::new();
     let sections = snapshot.to_sections();
@@ -224,7 +228,10 @@ pub fn read_bundle(bytes: &[u8]) -> Result<(CheckpointId, TrainingSnapshot)> {
 /// # Errors
 ///
 /// Fails on bundle verification or save errors.
-pub fn import_bundle(repo: &CheckpointRepo, bytes: &[u8]) -> Result<CheckpointId> {
+pub fn import_bundle<S: ObjectStore>(
+    repo: &CheckpointRepo<S>,
+    bytes: &[u8],
+) -> Result<CheckpointId> {
     let (_, snapshot) = read_bundle(bytes)?;
     let report = repo.save(&snapshot, &SaveOptions::default())?;
     Ok(report.id)

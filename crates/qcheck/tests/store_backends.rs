@@ -1,0 +1,285 @@
+//! Backend-equivalence and shared crash-safety property suites.
+//!
+//! The `ObjectStore` abstraction promises that the *logical* behavior of a
+//! checkpoint repository is independent of the storage layout: the same
+//! sequence of saves, deltas, garbage collections, retentions and
+//! recoveries against a loose-backend repo and a pack-backend repo must
+//! produce byte-identical manifests, identical snapshots, identical GC
+//! reachability and identical fsck health — only the syscall profile
+//! (renames/fsyncs per save) may differ. These properties drive random
+//! operation sequences against both backends side by side and assert
+//! exactly that, plus the crash-safety contract (every simulated crash
+//! point leaves both repositories recoverable to the same state, and
+//! `recover` clears the staging debris the crash left behind).
+
+use proptest::prelude::*;
+
+use qcheck::failure::CrashPoint;
+use qcheck::repo::{CheckpointRepo, Retention, SaveMode, SaveOptions, SaveReport};
+use qcheck::snapshot::{StateBlob, TrainingSnapshot};
+use qcheck::store::{ObjectStore, StoreKind};
+use qcheck::verify::fsck;
+
+/// One step of the randomized repository workload.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Full save after perturbing `bump` parameters.
+    SaveFull { bump: u8 },
+    /// Delta-auto save after a sparse single-parameter update.
+    SaveDelta { sparse_idx: u16, max_chain: u8 },
+    /// Mark-and-sweep garbage collection.
+    Gc,
+    /// Recovery scan (newest verifiable checkpoint).
+    Recover,
+    /// Rewrite the latest delta chain as a full checkpoint.
+    Compact,
+    /// Retention: keep the newest `keep` checkpoints, then GC.
+    Retain { keep: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(|bump| Op::SaveFull { bump }),
+        (any::<u16>(), 1u8..6).prop_map(|(sparse_idx, max_chain)| Op::SaveDelta {
+            sparse_idx,
+            max_chain
+        }),
+        Just(Op::Gc),
+        Just(Op::Recover),
+        Just(Op::Compact),
+        (1u8..4).prop_map(|keep| Op::Retain { keep }),
+    ]
+}
+
+const N_PARAMS: usize = 1200; // ≈ 9.4 KiB of parameters → several chunks
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "qcheck-backend-equiv-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn snapshot_at(step: u64, params: &[f64]) -> TrainingSnapshot {
+    let mut s = TrainingSnapshot::new("backend-equivalence");
+    s.step = step;
+    s.params = params.to_vec();
+    s.optimizer = StateBlob::new("adam-v1", vec![(step % 251) as u8; 256]);
+    s.total_shots = step * 1000;
+    s.shot_ledger = vec![(step % 7) as u8; 32];
+    s
+}
+
+fn options(mode: SaveMode) -> SaveOptions {
+    SaveOptions {
+        mode,
+        // Pinned timestamp: manifests must come out byte-identical.
+        created_unix_ms: Some(1_750_000_000_000),
+        ..SaveOptions::default()
+    }
+}
+
+/// The per-save fields that must not depend on the storage backend
+/// (everything except the syscall profile).
+fn logical_view(r: &SaveReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.id.clone(),
+        r.is_delta,
+        r.chain_len,
+        r.logical_bytes,
+        r.stored_bytes,
+        r.new_chunk_bytes,
+        r.chunks_new,
+        r.chunks_deduped,
+        r.manifest_bytes,
+    )
+}
+
+/// Asserts the backend-specific syscall contract of one save.
+fn assert_rename_contract(kind: StoreKind, r: &SaveReport) {
+    match kind {
+        StoreKind::Loose => assert_eq!(
+            r.store_renames, r.chunks_new as u64,
+            "loose backend pays one rename per fresh chunk"
+        ),
+        StoreKind::Pack => assert!(
+            r.store_renames <= 1,
+            "pack backend must commit each save with at most one rename (got {})",
+            r.store_renames
+        ),
+    }
+}
+
+/// Drives one op against one repo; returns a comparable outcome string.
+fn apply_op(repo: &CheckpointRepo, kind: StoreKind, op: Op, step: u64, params: &[f64]) -> String {
+    match op {
+        Op::SaveFull { .. } => {
+            let r = repo
+                .save(&snapshot_at(step, params), &options(SaveMode::Full))
+                .unwrap();
+            assert_rename_contract(kind, &r);
+            format!("{:?}", logical_view(&r))
+        }
+        Op::SaveDelta { max_chain, .. } => {
+            let r = repo
+                .save(
+                    &snapshot_at(step, params),
+                    &options(SaveMode::DeltaAuto {
+                        max_chain_len: max_chain as u32,
+                    }),
+                )
+                .unwrap();
+            assert_rename_contract(kind, &r);
+            format!("{:?}", logical_view(&r))
+        }
+        Op::Gc => format!("{:?}", repo.gc().unwrap()),
+        Op::Recover => match repo.recover() {
+            Ok((snap, report)) => format!("recovered {:?} step {}", report.recovered, snap.step),
+            Err(e) => format!("recover error: {e}"),
+        },
+        Op::Compact => match repo.compact_latest(&options(SaveMode::Full)) {
+            Ok(r) => format!("{:?}", r.map(|r| format!("{:?}", logical_view(&r)))),
+            Err(e) => format!("compact error: {e}"),
+        },
+        Op::Retain { keep } => {
+            let r = repo
+                .apply_retention(Retention::KeepLast(keep as usize))
+                .unwrap();
+            format!("{r:?}")
+        }
+    }
+}
+
+/// Evolves the model parameters deterministically for one op.
+fn evolve(params: &mut [f64], op: Op, step: u64) {
+    match op {
+        Op::SaveFull { bump } => {
+            for i in 0..bump as usize {
+                let idx = (i * 97 + step as usize * 13) % params.len();
+                params[idx] += 1e-3 * (step as f64 + 1.0);
+            }
+        }
+        Op::SaveDelta { sparse_idx, .. } => {
+            let idx = sparse_idx as usize % params.len();
+            params[idx] += 1e-6;
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    // Each case replays a whole repository history twice (fs-heavy);
+    // keep the default case count modest. QPROP_CASES still overrides.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random save/delta/gc/recover/compact/retain sequences produce
+    /// byte-identical manifests, identical snapshots and identical GC
+    /// reachability on the loose and pack backends.
+    #[test]
+    fn backends_are_logically_equivalent(ops in prop::collection::vec(arb_op(), 1..10)) {
+        let loose_dir = TempDir::new("loose");
+        let pack_dir = TempDir::new("pack");
+        let loose = CheckpointRepo::open_with(&loose_dir.0, StoreKind::Loose).unwrap();
+        let pack = CheckpointRepo::open_with(&pack_dir.0, StoreKind::Pack).unwrap();
+        prop_assert_eq!(loose.store_kind(), StoreKind::Loose);
+        prop_assert_eq!(pack.store_kind(), StoreKind::Pack);
+
+        let mut params = vec![0.5f64; N_PARAMS];
+        let mut step = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op, Op::SaveFull { .. } | Op::SaveDelta { .. }) {
+                step += 1;
+                evolve(&mut params, *op, step);
+            }
+            let a = apply_op(&loose, StoreKind::Loose, *op, step, &params);
+            let b = apply_op(&pack, StoreKind::Pack, *op, step, &params);
+            prop_assert_eq!(a, b, "diverged at op {} ({:?})", i, op);
+        }
+
+        // Histories must agree checkpoint by checkpoint…
+        let ids = loose.list_ids().unwrap();
+        prop_assert_eq!(&ids, &pack.list_ids().unwrap());
+        for id in &ids {
+            let ml = loose.load_manifest(id).unwrap();
+            let mp = pack.load_manifest(id).unwrap();
+            prop_assert_eq!(
+                ml.encode(), mp.encode(),
+                "manifest {} must be byte-identical across backends", id
+            );
+            prop_assert_eq!(loose.load(id).unwrap(), pack.load(id).unwrap());
+        }
+
+        // …as must overall health and reachability after a final GC.
+        let fl = fsck(&loose).unwrap();
+        let fp = fsck(&pack).unwrap();
+        prop_assert_eq!(fl.intact_count(), fp.intact_count());
+        prop_assert_eq!(fl.orphan_chunks, fp.orphan_chunks);
+        let gl = loose.gc().unwrap();
+        let gp = pack.gc().unwrap();
+        prop_assert_eq!(&gl, &gp, "GC reachability must match");
+        prop_assert_eq!(
+            loose.store().stats().unwrap(),
+            pack.store().stats().unwrap(),
+            "post-GC logical store contents must match"
+        );
+        for id in &ids {
+            prop_assert_eq!(loose.load(id).unwrap(), pack.load(id).unwrap());
+        }
+    }
+
+    /// Every simulated crash point leaves BOTH backends recoverable to the
+    /// same pre-crash state, and `recover` clears the staging debris.
+    #[test]
+    fn crash_points_recover_identically_on_both_backends(
+        committed_saves in 1u8..4,
+        crash_idx in 0usize..5,
+    ) {
+        let crash = CrashPoint::all()[crash_idx];
+        let loose_dir = TempDir::new("crash-loose");
+        let pack_dir = TempDir::new("crash-pack");
+        let repos = [
+            CheckpointRepo::open_with(&loose_dir.0, StoreKind::Loose).unwrap(),
+            CheckpointRepo::open_with(&pack_dir.0, StoreKind::Pack).unwrap(),
+        ];
+
+        let mut outcomes = Vec::new();
+        for repo in &repos {
+            let mut params = vec![0.25f64; N_PARAMS];
+            for step in 1..=committed_saves as u64 {
+                params[step as usize] += 0.5;
+                repo.save(&snapshot_at(step, &params), &options(SaveMode::Full)).unwrap();
+            }
+            params[0] = -1.0;
+            let crashing = SaveOptions {
+                crash: Some(crash),
+                ..options(SaveMode::Full)
+            };
+            let err = repo
+                .save(&snapshot_at(committed_saves as u64 + 1, &params), &crashing)
+                .unwrap_err();
+            prop_assert!(matches!(err, qcheck::Error::SimulatedCrash { .. }));
+
+            let (snap, report) = repo.recover().unwrap();
+            // The staging area must be empty after recovery — the whole
+            // point of clearing orphaned debris.
+            let leftovers = std::fs::read_dir(repo.root().join("tmp")).unwrap().count();
+            prop_assert_eq!(leftovers, 0, "recover must clear staging debris");
+            outcomes.push((snap.step, snap.params.clone(), report.recovered));
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1], "crash {:?} diverged across backends", crash);
+    }
+}

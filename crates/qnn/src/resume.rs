@@ -14,6 +14,7 @@ use qcheck::manifest::CheckpointId;
 use qcheck::policy::CheckpointPolicy;
 use qcheck::repo::{CheckpointRepo, SaveOptions, SaveReport};
 use qcheck::snapshot::Checkpointable;
+use qcheck::store::{ObjectStore, StoreBackend};
 
 use crate::trainer::{StepReport, TrainError, Trainer};
 
@@ -66,15 +67,18 @@ pub enum RunStart {
     },
 }
 
-/// A training run bound to a checkpoint repository.
+/// A training run bound to a checkpoint repository. Generic over the
+/// repository's storage backend: pass a repo opened with
+/// `CheckpointRepo::open` (backend resolved via `QCHECK_STORE` / the
+/// sticky `STORE` marker) or with an explicitly injected store.
 #[derive(Debug)]
-pub struct ResumableRun {
+pub struct ResumableRun<S: ObjectStore = StoreBackend> {
     trainer: Trainer,
-    checkpointer: Checkpointer,
+    checkpointer: Checkpointer<S>,
     start: RunStart,
 }
 
-impl ResumableRun {
+impl<S: ObjectStore> ResumableRun<S> {
     /// Builds the run: constructs the trainer, then resumes from the newest
     /// valid checkpoint when one exists.
     ///
@@ -85,7 +89,7 @@ impl ResumableRun {
     /// between runs — refusing loudly beats silently restarting).
     pub fn start(
         trainer: Trainer,
-        repo: CheckpointRepo,
+        repo: CheckpointRepo<S>,
         policy: Box<dyn CheckpointPolicy + Send>,
         options: SaveOptions,
     ) -> Result<Self, RunError> {
@@ -125,7 +129,7 @@ impl ResumableRun {
     }
 
     /// The checkpointer (history, observed cost).
-    pub fn checkpointer(&self) -> &Checkpointer {
+    pub fn checkpointer(&self) -> &Checkpointer<S> {
         &self.checkpointer
     }
 

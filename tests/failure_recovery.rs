@@ -4,6 +4,7 @@
 use qnn_checkpoint::qcheck::failure::{inject_fault, CrashPoint, StorageFault};
 use qnn_checkpoint::qcheck::repo::{CheckpointRepo, CommitMode, SaveOptions};
 use qnn_checkpoint::qcheck::snapshot::{Checkpointable, TrainingSnapshot};
+use qnn_checkpoint::qcheck::store::ObjectStore;
 use qnn_checkpoint::qnn::ansatz::{hardware_efficient, init_params};
 use qnn_checkpoint::qnn::optimizer::Adam;
 use qnn_checkpoint::qnn::trainer::{Task, Trainer, TrainerConfig};
