@@ -135,6 +135,9 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
 
     // ---- circuit_run/16 --------------------------------------------------
+    // `Circuit::run` dispatches through the default executor (QSIM_EXEC,
+    // normally the compiled-plan path), compiling per call like any
+    // one-shot caller would.
     let (circuit, info) = hardware_efficient(16, 4);
     let params: Vec<f64> = (0..info.num_params).map(|i| 0.1 * i as f64).collect();
     entries.push(Entry {
@@ -147,6 +150,66 @@ fn main() {
         })),
         parallel_ms: ms(qpar::with_threads(threads, || {
             measure_median_ns(|| circuit.run(&params).unwrap())
+        })),
+    });
+
+    // ---- compile-vs-run split ---------------------------------------------
+    // The plan layer's pitch is compile-once/run-many: the compile+bind
+    // phase must be microseconds against the milliseconds of execution.
+    // Reported as a dedicated JSON object (these are not serial/parallel
+    // pairs).
+    let plan = circuit.compile().expect("HEA compiles");
+    let compile_bind_ms = ms(measure_median_ns(|| {
+        let p = circuit.compile().unwrap();
+        p.bind(&params).unwrap().num_passes()
+    }));
+    // Reuse path: bind the prebuilt plan only (what the trainer pays per
+    // shift evaluation).
+    let bind_ms = ms(measure_median_ns(|| {
+        plan.bind(&params).unwrap().num_passes()
+    }));
+    entries.push(Entry {
+        name: "circuit_run_plan_reuse_16",
+        seed_baseline_ms: None,
+        serial_ms: ms(qpar::with_threads(1, || {
+            measure_median_ns(|| plan.run(&params).unwrap())
+        })),
+        parallel_ms: ms(qpar::with_threads(threads, || {
+            measure_median_ns(|| plan.run(&params).unwrap())
+        })),
+    });
+    entries.push(Entry {
+        name: "circuit_run_interp_16",
+        seed_baseline_ms: None,
+        serial_ms: ms(qsim::plan::with_exec_mode(qsim::ExecMode::Interp, || {
+            qpar::with_threads(1, || measure_median_ns(|| circuit.run(&params).unwrap()))
+        })),
+        parallel_ms: ms(qsim::plan::with_exec_mode(qsim::ExecMode::Interp, || {
+            qpar::with_threads(threads, || {
+                measure_median_ns(|| circuit.run(&params).unwrap())
+            })
+        })),
+    });
+
+    // ---- tiled workload ----------------------------------------------------
+    // Every operand below the default tile exponent: the whole circuit
+    // schedules as tile blocks (one sweep per rotation+entangler band)
+    // instead of one pass per gate. On hosts where gate kernels are
+    // memory-bandwidth-bound this is where tiling shows; on CPU-bound
+    // hosts it tracks circuit_run_16.
+    let (tiled_circuit, tinfo) = hardware_efficient(12, 6);
+    let tparams: Vec<f64> = (0..tinfo.num_params).map(|i| 0.09 * i as f64).collect();
+    let tiled_plan = tiled_circuit.compile().expect("tiled HEA compiles");
+    entries.push(Entry {
+        name: "circuit_run_tiled_12",
+        seed_baseline_ms: Some(ms(measure_median_ns(|| {
+            circuit_run_seed(&tiled_circuit, &tparams)
+        }))),
+        serial_ms: ms(qpar::with_threads(1, || {
+            measure_median_ns(|| tiled_plan.run(&tparams).unwrap())
+        })),
+        parallel_ms: ms(qpar::with_threads(threads, || {
+            measure_median_ns(|| tiled_plan.run(&tparams).unwrap())
         })),
     });
 
@@ -300,6 +363,14 @@ fn main() {
             "  \"note\": \"requested threads exceed hardware cores: parallel_ms measures oversubscription, not scaling — judge this run by speedup_vs_seed\","
         );
     }
+    let _ = writeln!(
+        json,
+        "  \"compile_split_16\": {{ \"compile_bind_ms\": {compile_bind_ms:.4}, \"bind_only_ms\": {bind_ms:.4} }},"
+    );
+    println!(
+        "compile+bind {:.4} ms, bind-only {:.4} ms (plan reuse amortizes the rest)",
+        compile_bind_ms, bind_ms
+    );
     let _ = writeln!(json, "  \"workloads\": {{");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };

@@ -343,6 +343,12 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         &self.store
     }
 
+    /// Mutable access to the underlying object store (per-handle tuning
+    /// hooks such as `StoreBackend::set_gc_dead_fraction`).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
     /// Path of a manifest file.
     pub fn manifest_path(&self, id: &CheckpointId) -> PathBuf {
         self.manifests_dir.join(id.file_name())

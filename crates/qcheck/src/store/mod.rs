@@ -29,7 +29,7 @@ mod loose;
 mod pack;
 
 pub use loose::LooseStore;
-pub use pack::PackStore;
+pub use pack::{PackStore, DEFAULT_GC_DEAD_FRACTION, GC_DEAD_FRACTION_ENV};
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -55,6 +55,14 @@ pub struct GcReport {
     pub deleted: usize,
     /// Bytes reclaimed.
     pub reclaimed_bytes: u64,
+    /// Unreachable objects intentionally kept this sweep (pack backend:
+    /// a mixed pack below the `QCHECK_GC_DEAD_FRACTION` rewrite
+    /// threshold is left untouched rather than rewritten — they remain
+    /// readable and are re-examined by the next sweep). Always 0 for the
+    /// loose backend.
+    pub deferred: usize,
+    /// Payload bytes held by deferred objects.
+    pub deferred_bytes: u64,
 }
 
 /// Aggregate store statistics.
@@ -271,6 +279,15 @@ pub enum StoreBackend {
 }
 
 impl StoreBackend {
+    /// Overrides the pack backend's GC rewrite threshold (no-op for the
+    /// loose backend, which has no deferral). See
+    /// [`PackStore::set_gc_dead_fraction`].
+    pub fn set_gc_dead_fraction(&mut self, fraction: f64) {
+        if let StoreBackend::Pack(pack) = self {
+            pack.set_gc_dead_fraction(fraction);
+        }
+    }
+
     /// Opens the given backend under `root` (no marker handling).
     ///
     /// # Errors

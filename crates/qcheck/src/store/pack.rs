@@ -65,6 +65,26 @@ const ENTRY_LEN: usize = 44;
 /// Footer length: index offset + count + index CRC + tail magic.
 const FOOTER_LEN: u64 = 24;
 
+/// Name of the environment variable setting the minimum dead fraction
+/// (by object count) a mixed pack must reach before GC rewrites it.
+pub const GC_DEAD_FRACTION_ENV: &str = "QCHECK_GC_DEAD_FRACTION";
+
+/// Default GC rewrite threshold: a mixed pack is rewritten only when
+/// more than half its objects are dead. Eager rewriting (`0.0`) copies
+/// every live byte of every slightly-fragmented pack on every sweep;
+/// the threshold bounds that I/O on long-lived repos at the cost of
+/// keeping up to this fraction of dead payload per pack.
+pub const DEFAULT_GC_DEAD_FRACTION: f64 = 0.5;
+
+fn gc_dead_fraction_from_env() -> f64 {
+    std::env::var(GC_DEAD_FRACTION_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|f| f.is_finite())
+        .map(|f| f.clamp(0.0, 1.0))
+        .unwrap_or(DEFAULT_GC_DEAD_FRACTION)
+}
+
 /// Where one object lives: pack slot + absolute file offset + length.
 #[derive(Clone, Copy, Debug)]
 struct ObjLoc {
@@ -153,6 +173,10 @@ pub struct PackStore {
     packs_dir: PathBuf,
     tmp_dir: PathBuf,
     index: Arc<Mutex<PackIndex>>,
+    /// Minimum dead fraction (by object count) before a mixed pack is
+    /// rewritten during [`ObjectStore::sweep`]; see
+    /// [`GC_DEAD_FRACTION_ENV`].
+    gc_dead_fraction: f64,
 }
 
 impl PackStore {
@@ -175,9 +199,16 @@ impl PackStore {
             packs_dir,
             tmp_dir,
             index: Arc::new(Mutex::new(PackIndex::default())),
+            gc_dead_fraction: gc_dead_fraction_from_env(),
         };
         store.refresh(&mut store.lock())?;
         Ok(store)
+    }
+
+    /// Overrides the GC rewrite threshold for this handle (tests and
+    /// tuning; the default comes from [`GC_DEAD_FRACTION_ENV`]).
+    pub fn set_gc_dead_fraction(&mut self, fraction: f64) {
+        self.gc_dead_fraction = fraction.clamp(0.0, 1.0);
     }
 
     fn lock(&self) -> MutexGuard<'_, PackIndex> {
@@ -468,6 +499,16 @@ impl ObjectStore for PackStore {
                 .sum();
             report.live += live.len();
             if dead_count == 0 {
+                continue;
+            }
+            // Compaction threshold: rewriting a mixed pack copies every
+            // live byte, so a barely-fragmented pack is left alone until
+            // enough of it dies. Fraction is over object count (robust to
+            // empty chunks); fully dead packs always delete.
+            let dead_fraction = dead_count as f64 / entries.len() as f64;
+            if !live.is_empty() && dead_fraction <= self.gc_dead_fraction {
+                report.deferred += dead_count;
+                report.deferred_bytes += dead_bytes;
                 continue;
             }
             report.deleted += dead_count;
@@ -781,8 +822,61 @@ mod tests {
     }
 
     #[test]
+    fn sweep_defers_packs_below_the_dead_fraction_threshold() {
+        let (dir, mut store) = temp_store();
+        store.set_gc_dead_fraction(0.5);
+        let blobs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 200]).collect();
+        let staged = stage(&blobs);
+        store.put_batch(&staged, false).unwrap();
+        let before = pack_files(&dir);
+        // 1 of 4 objects dead (0.25 ≤ 0.5): the pack is left untouched —
+        // zero GC I/O, the fragmentation is only recorded.
+        let reachable: BTreeSet<ContentHash> =
+            staged[..3].iter().map(|s| s.reference.hash).collect();
+        let report = store.sweep(&reachable).unwrap();
+        assert_eq!(report.deleted, 0);
+        assert_eq!(report.deferred, 1);
+        assert_eq!(report.deferred_bytes, 200);
+        assert_eq!(report.live, 3);
+        assert_eq!(
+            pack_files(&dir),
+            before,
+            "deferred sweep must do no pack I/O"
+        );
+        // The deferred object stays readable until a later sweep.
+        assert_eq!(store.get(&staged[3].reference).unwrap(), blobs[3]);
+        // 3 of 4 dead (0.75 > 0.5): the threshold trips and the pack is
+        // rewritten down to the single live object.
+        let reachable: BTreeSet<ContentHash> =
+            staged[..1].iter().map(|s| s.reference.hash).collect();
+        let report = store.sweep(&reachable).unwrap();
+        assert_eq!(report.deleted, 3);
+        assert_eq!(report.deferred, 0);
+        assert_eq!(report.reclaimed_bytes, 600);
+        let after = pack_files(&dir);
+        assert_eq!(after.len(), 1);
+        assert_ne!(after, before, "crossing the threshold rewrites the pack");
+        assert_eq!(store.get(&staged[0].reference).unwrap(), blobs[0]);
+        assert!(!store.contains(&staged[3].reference.hash));
+    }
+
+    #[test]
+    fn fully_dead_packs_delete_regardless_of_threshold() {
+        let (dir, mut store) = temp_store();
+        store.set_gc_dead_fraction(1.0);
+        store.put_batch(&stage(&[vec![9u8; 400]]), false).unwrap();
+        let report = store.sweep(&BTreeSet::new()).unwrap();
+        assert_eq!(report.deleted, 1);
+        assert_eq!(report.deferred, 0);
+        assert!(pack_files(&dir).is_empty());
+    }
+
+    #[test]
     fn sweep_deletes_dead_packs_and_rewrites_mixed_ones() {
-        let (dir, store) = temp_store();
+        let (dir, mut store) = temp_store();
+        // Threshold 0 = the historical eager behavior: any fragmentation
+        // rewrites the pack.
+        store.set_gc_dead_fraction(0.0);
         // Pack 1: fully dead. Pack 2: mixed.
         let doomed: Vec<Vec<u8>> = vec![vec![1; 300], vec![2; 300]];
         store.put_batch(&stage(&doomed), false).unwrap();

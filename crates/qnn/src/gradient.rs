@@ -79,6 +79,13 @@ pub struct ShiftSite {
 /// accumulated into the gradient in site order, so the result is
 /// bit-identical for every thread count.
 ///
+/// A gradient costs `2 · sites.len()` circuit evaluations, so `eval`
+/// should run a **precompiled** `qsim::plan::ExecPlan` (shift sites
+/// patch resolved angles at bind time via
+/// `ExecPlan::run_on_with_op_shift`) rather than re-interpreting the
+/// circuit — the trainer compiles one plan per ansatz and reuses it for
+/// every site of every epoch.
+///
 /// # Errors
 ///
 /// Returns the first failing evaluation in site order.

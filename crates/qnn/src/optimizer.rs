@@ -5,6 +5,12 @@
 //! resuming Adam without its moment vectors silently changes the effective
 //! learning-rate schedule and the training trajectory diverges — one of the
 //! failure modes the resume-exactness experiment (R-T2) quantifies.
+//!
+//! An [`Optimizer::step`] is `O(params)` classical arithmetic — noise next
+//! to the `2·sites + 1` circuit evaluations a parameter-shift gradient
+//! costs. The trainer therefore spends its effort on the quantum side:
+//! one `qsim::plan::ExecPlan` compiled per ansatz, reused (rebound) for
+//! every evaluation feeding these optimizers.
 
 use qcheck::codec::{Decoder, Encoder};
 use qcheck::snapshot::StateBlob;

@@ -15,6 +15,7 @@ use qcheck::snapshot::{Checkpointable, DatasetCursor, MetricPoint, RngCapture, T
 use qsim::circuit::{Circuit, CircuitError, ParamRef};
 use qsim::measure::{evaluate_observable, EvalMode};
 use qsim::pauli::PauliSum;
+use qsim::plan::ExecPlan;
 use qsim::rng::{RngState, Xoshiro256};
 use qsim::state::{StateError, StateVector};
 
@@ -50,11 +51,13 @@ impl std::fmt::Display for TrainError {
 
 impl std::error::Error for TrainError {}
 
-/// Body of [`Trainer::exact_loss_at`], over just the circuit and task so
-/// gradient workers can share it without capturing the whole (non-`Sync`)
-/// trainer.
+/// Body of [`Trainer::exact_loss_at`], over just the compiled plan and
+/// task so gradient workers can share it without capturing the whole
+/// (non-`Sync`) trainer. The plan is compiled once per trainer and
+/// reused across every epoch and every ±π/2 shift evaluation — the
+/// compile-once/run-many pattern the `qsim::plan` layer exists for.
 fn exact_loss_at_parts(
-    circuit: &Circuit,
+    plan: &ExecPlan,
     task: &Task,
     params: &[f64],
     batch: &[usize],
@@ -62,14 +65,14 @@ fn exact_loss_at_parts(
 ) -> Result<f64, TrainError> {
     let run = |state: &mut StateVector| -> Result<(), TrainError> {
         match op_shift {
-            Some((op, delta)) => circuit.run_on_with_op_shift(state, params, op, delta)?,
-            None => circuit.run_on(state, params)?,
+            Some((op, delta)) => plan.run_on_with_op_shift(state, params, op, delta)?,
+            None => plan.run_on(state, params)?,
         }
         Ok(())
     };
     match task {
         Task::Vqe { hamiltonian } => {
-            let mut state = StateVector::zero_state(circuit.num_qubits());
+            let mut state = StateVector::zero_state(plan.num_qubits());
             run(&mut state)?;
             Ok(hamiltonian.expectation(&state)?)
         }
@@ -90,7 +93,7 @@ fn exact_loss_at_parts(
         } => {
             let mut acc = 0.0;
             for &i in batch {
-                let mut state = StateVector::zero_state(circuit.num_qubits());
+                let mut state = StateVector::zero_state(plan.num_qubits());
                 feature_map.encode_onto(&mut state, &data.features[i])?;
                 run(&mut state)?;
                 let pred = observable.expectation(&state)?;
@@ -208,6 +211,9 @@ pub struct StepReport {
 #[derive(Debug)]
 pub struct Trainer {
     circuit: Circuit,
+    /// Execution plan compiled once from `circuit` at construction and
+    /// reused for every evaluation the trainer ever makes.
+    plan: ExecPlan,
     task: Task,
     optimizer: Box<dyn Optimizer>,
     params: Vec<f64>,
@@ -292,8 +298,10 @@ impl Trainer {
         let shots_rng = master.split();
         let mut data_rng = master.split();
         let order_seed = data_rng.next_u64();
+        let plan = circuit.compile()?;
         let mut trainer = Trainer {
             circuit,
+            plan,
             task,
             optimizer,
             params,
@@ -400,9 +408,9 @@ impl Trainer {
                 let mut state = StateVector::zero_state(self.circuit.num_qubits());
                 match op_shift {
                     Some((op, delta)) => self
-                        .circuit
+                        .plan
                         .run_on_with_op_shift(&mut state, params, op, delta)?,
-                    None => self.circuit.run_on(&mut state, params)?,
+                    None => self.plan.run_on(&mut state, params)?,
                 }
                 let (value, shots) =
                     evaluate_observable(&state, hamiltonian, mode, &mut self.shots_rng)?;
@@ -415,9 +423,9 @@ impl Trainer {
                     let mut state = data.inputs[i].clone();
                     match op_shift {
                         Some((op, delta)) => self
-                            .circuit
+                            .plan
                             .run_on_with_op_shift(&mut state, params, op, delta)?,
-                        None => self.circuit.run_on(&mut state, params)?,
+                        None => self.plan.run_on(&mut state, params)?,
                     }
                     match mode {
                         EvalMode::Exact => acc += state.fidelity(&data.targets[i])?,
@@ -451,9 +459,9 @@ impl Trainer {
                     feature_map.encode_onto(&mut state, &data.features[i])?;
                     match op_shift {
                         Some((op, delta)) => self
-                            .circuit
+                            .plan
                             .run_on_with_op_shift(&mut state, params, op, delta)?,
-                        None => self.circuit.run_on(&mut state, params)?,
+                        None => self.plan.run_on(&mut state, params)?,
                     }
                     let (pred, shots) =
                         evaluate_observable(&state, observable, mode, &mut self.shots_rng)?;
@@ -486,9 +494,9 @@ impl Trainer {
                 feature_map.encode_onto(&mut state, &data.features[example])?;
                 match op_shift {
                     Some((op, delta)) => self
-                        .circuit
+                        .plan
                         .run_on_with_op_shift(&mut state, params, op, delta)?,
-                    None => self.circuit.run_on(&mut state, params)?,
+                    None => self.plan.run_on(&mut state, params)?,
                 }
                 let (pred, shots) =
                     evaluate_observable(&state, observable, mode, &mut self.shots_rng)?;
@@ -566,14 +574,14 @@ impl Trainer {
                                     scale,
                                 })
                                 .collect();
-                            let (circuit, task) = (&self.circuit, &self.task);
+                            let (plan, task) = (&self.plan, &self.task);
                             grad = parameter_shift_gradient(
                                 params.len(),
                                 &shift_sites,
                                 SHIFT,
                                 |op, delta| {
                                     exact_loss_at_parts(
-                                        circuit,
+                                        plan,
                                         task,
                                         &params,
                                         batch,
@@ -600,9 +608,9 @@ impl Trainer {
             }
             GradientMethod::FiniteDiff { eps } => {
                 if self.config.eval_mode == EvalMode::Exact && qpar::current_threads() > 1 {
-                    let (circuit, task) = (&self.circuit, &self.task);
+                    let (plan, task) = (&self.plan, &self.task);
                     let grad = finite_diff_gradient_parallel(&params, eps, |p| {
-                        exact_loss_at_parts(circuit, task, p, batch, None)
+                        exact_loss_at_parts(plan, task, p, batch, None)
                     })?;
                     let evals = 2 * params.len() as u32 * self.exact_evals_per_loss(batch);
                     return Ok((grad, evals, 0));
@@ -689,14 +697,14 @@ impl Trainer {
     pub fn exact_loss(&self) -> Result<f64, TrainError> {
         match &self.task {
             Task::Vqe { hamiltonian } => {
-                let state = self.circuit.run(&self.params)?;
+                let state = self.plan.run(&self.params)?;
                 Ok(hamiltonian.expectation(&state)?)
             }
             Task::StateLearning { data } => {
                 let mut acc = 0.0;
                 for (input, target) in data.inputs.iter().zip(&data.targets) {
                     let mut state = input.clone();
-                    self.circuit.run_on(&mut state, &self.params)?;
+                    self.plan.run_on(&mut state, &self.params)?;
                     acc += state.fidelity(target)?;
                 }
                 Ok(1.0 - acc / data.len() as f64)
@@ -711,7 +719,7 @@ impl Trainer {
                 for (x, y) in data.features.iter().zip(&data.labels) {
                     let mut state = StateVector::zero_state(self.circuit.num_qubits());
                     feature_map.encode_onto(&mut state, x)?;
-                    self.circuit.run_on(&mut state, &self.params)?;
+                    self.plan.run_on(&mut state, &self.params)?;
                     let pred = observable.expectation(&state)?;
                     acc += (pred - y) * (pred - y);
                 }

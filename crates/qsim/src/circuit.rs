@@ -14,7 +14,7 @@ use crate::gate::{Gate, Matrix2, Matrix4};
 use crate::state::{StateError, StateVector};
 
 /// 2×2 complex matrix product `a · b`.
-fn mat2_mul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+pub(crate) fn mat2_mul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
     let mut out = [[Complex64::ZERO; 2]; 2];
     for (i, row) in out.iter_mut().enumerate() {
         for (j, cell) in row.iter_mut().enumerate() {
@@ -25,13 +25,13 @@ fn mat2_mul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
 }
 
 /// Whether a 2×2 matrix is diagonal.
-fn is_diag2(m: &Matrix2) -> bool {
+pub(crate) fn is_diag2(m: &Matrix2) -> bool {
     m[0][1] == Complex64::ZERO && m[1][0] == Complex64::ZERO
 }
 
 /// Whether a 4×4 matrix has any row with more than one non-zero entry
 /// (i.e. it will take the dense kernel anyway).
-fn is_dense4(m: &Matrix4) -> bool {
+pub(crate) fn is_dense4(m: &Matrix4) -> bool {
     m.iter()
         .any(|row| row.iter().filter(|c| **c != Complex64::ZERO).count() > 1)
 }
@@ -40,7 +40,7 @@ fn is_dense4(m: &Matrix4) -> bool {
 /// `m · (p on operand bit)` where `bit` is 0 for the first operand and 1
 /// for the second (matching the [`crate::gate::Matrix4`] basis convention).
 #[allow(clippy::needless_range_loop)] // k is a basis bit pattern, not a position
-fn mat4_fold1q(m: &Matrix4, p: &Matrix2, bit: usize) -> Matrix4 {
+pub(crate) fn mat4_fold1q(m: &Matrix4, p: &Matrix2, bit: usize) -> Matrix4 {
     let mut out = [[Complex64::ZERO; 4]; 4];
     for (i, row) in out.iter_mut().enumerate() {
         for (j, cell) in row.iter_mut().enumerate() {
@@ -369,18 +369,32 @@ impl Circuit {
 
     /// Executes the circuit on an existing state in place.
     ///
-    /// Consecutive single-qubit gates are *fused* (composed into one 2×2
-    /// matrix per qubit, applied lazily), and pending diagonal factors are
-    /// folded into the next two-qubit gate on their wire — halving the
-    /// number of full passes over the `2^n` amplitudes for the
-    /// rotation-layer + entangler circuits this simulator mostly runs.
-    /// Fusion decisions depend only on the circuit and parameters, so
-    /// results are identical at every thread count.
+    /// This is a thin wrapper over the executor selected by
+    /// [`crate::plan::ExecMode`] (`QSIM_EXEC`, default `plan`):
+    ///
+    /// * **plan** — compile → bind → tiled execution through
+    ///   [`Circuit::compile`] (see [`crate::plan`]). Loops that run the
+    ///   same circuit repeatedly should compile once and reuse the
+    ///   [`crate::plan::ExecPlan`] instead of calling this.
+    /// * **interp** — the historical fused op-by-op interpreter.
+    ///
+    /// Both executors fuse identically: consecutive single-qubit gates
+    /// compose into one 2×2 matrix per qubit (applied lazily), and
+    /// pending diagonal factors fold into the next two-qubit gate on
+    /// their wire — halving the number of full passes over the `2^n`
+    /// amplitudes for rotation-layer + entangler circuits. Fusion
+    /// decisions depend only on the circuit and parameters, so results
+    /// are bit-identical across executors and thread counts.
     ///
     /// # Errors
     ///
     /// Returns a [`CircuitError`] if validation or gate application fails.
     pub fn run_on(&self, state: &mut StateVector, params: &[f64]) -> Result<(), CircuitError> {
+        if crate::plan::ExecMode::current() == crate::plan::ExecMode::Plan {
+            // No separate validate: compile checks structure and bind
+            // checks the parameter vector, surfacing the same errors.
+            return self.compile()?.run_on(state, params);
+        }
         self.validate(params.len())?;
         self.run_fused(state, |_, op| match op.param {
             Some(p) => op.gate.with_param(p.resolve(params)),
@@ -560,6 +574,11 @@ impl Circuit {
         op_index: usize,
         delta: f64,
     ) -> Result<(), CircuitError> {
+        if crate::plan::ExecMode::current() == crate::plan::ExecMode::Plan {
+            return self
+                .compile()?
+                .run_on_with_op_shift(state, params, op_index, delta);
+        }
         self.validate(params.len())?;
         self.run_fused(state, |i, op| match op.param {
             Some(p) => {

@@ -13,6 +13,11 @@
 //! * [`state`] — the `2^n`-amplitude [`state::StateVector`] and gate kernels.
 //! * [`gate`] — the serializable gate set and its matrices.
 //! * [`circuit`] — parametrized circuits ([`circuit::Circuit`]) as data.
+//! * [`plan`] — compiled execution plans ([`plan::ExecPlan`]): compile a
+//!   circuit once, bind parameter vectors many times, execute through a
+//!   cache-blocked tile schedule. The default executor behind
+//!   [`circuit::Circuit::run_on`] (`QSIM_EXEC` selects; see
+//!   `crates/qsim/README.md`).
 //! * [`pauli`] — Pauli-string observables ([`pauli::PauliSum`]).
 //! * [`measure`] — shot-based estimation ([`measure::EvalMode`]).
 //! * [`noise`] — stochastic trajectory noise ([`noise::NoiseModel`]).
@@ -77,6 +82,7 @@ pub mod gate;
 pub mod measure;
 pub mod noise;
 pub mod pauli;
+pub mod plan;
 pub mod rng;
 pub mod state;
 #[cfg(feature = "testing")]
@@ -89,5 +95,6 @@ pub use gate::Gate;
 pub use measure::{evaluate_observable, EvalMode};
 pub use noise::NoiseModel;
 pub use pauli::{Pauli, PauliString, PauliSum};
+pub use plan::{BoundPlan, ExecMode, ExecPlan};
 pub use rng::{RngState, Xoshiro256};
 pub use state::{StateError, StateVector};

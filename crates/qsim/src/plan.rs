@@ -1,0 +1,867 @@
+//! Compiled execution plans: compile → bind → schedule → execute.
+//!
+//! The op-by-op interpreter ([`Circuit::run_on`] in `interp` mode)
+//! re-validates, re-fuses and re-classifies the same circuit on every
+//! call — acceptable for one run, wasteful for a training loop that
+//! evaluates the same ansatz thousands of times (parameter-shift
+//! training costs `2·sites + 1` evaluations per gradient step). This
+//! module splits execution into phases so everything parameter-
+//! independent is paid once:
+//!
+//! 1. **Compile** ([`Circuit::compile`] → [`ExecPlan`]): structural
+//!    validation, one op record per circuit op, and the numeric matrix
+//!    of every op whose angle is already known (non-parametrized gates
+//!    and [`ParamRef::Fixed`] angles — the trig calls happen here, not
+//!    per run). Plans are parameter-independent: one plan serves every
+//!    parameter vector and every ±π/2 shift evaluation.
+//! 2. **Bind** ([`ExecPlan::bind`] → [`BoundPlan`]): resolves symbolic
+//!    angles against a parameter vector (shift sites patch resolved
+//!    angles here), runs the same 1q-fusion + diagonal-folding algorithm
+//!    as the interpreter, and classifies each resulting matrix into its
+//!    kernel (`Kernel2`/`Kernel4`) exactly once. Binding is `O(ops)`
+//!    small-matrix work — microseconds against the milliseconds of a
+//!    16-qubit state sweep.
+//! 3. **Schedule**: consecutive bound gates whose operand qubits all fit
+//!    a cache-sized tile (`2^T` amplitudes, see [`tile_qubits`]) are
+//!    grouped into a *tile block*; gates touching a qubit ≥ `T` become
+//!    sweep boundaries.
+//! 4. **Execute** ([`BoundPlan::run_on`]): a tile block makes **one**
+//!    sweep over the state, applying all its gates tile by tile while
+//!    the tile is cache-resident — where the interpreter paid one full
+//!    memory pass per gate, a block of `k` low-qubit gates now pays one.
+//!    Sweep gates use the classic whole-array kernels.
+//!
+//! ## Bit-exactness
+//!
+//! Plan execution is bit-identical to the interpreter at every thread
+//! count, for both the pooled and the scoped-thread executor
+//! (`crates/qsim/tests/plan_equivalence.rs` proves it over random
+//! circuits):
+//!
+//! * binding reuses the interpreter's fusion helpers and matrix-product
+//!   order, so the bound gate sequence carries the exact matrices the
+//!   interpreter would apply;
+//! * kernels update disjoint amplitude pairs/quads independently, so
+//!   applying a gate tile-by-tile (any region decomposition into whole
+//!   pair/quad blocks) is bit-identical to one whole-array pass;
+//! * parallel execution hands each worker whole tiles; per-tile
+//!   arithmetic does not depend on which thread (or which executor —
+//!   pooled or scoped) runs the tile.
+//!
+//! ## Executor selection
+//!
+//! `QSIM_EXEC=interp|plan` (default `plan`) picks the executor behind
+//! [`Circuit::run_on`] and friends; [`with_exec_mode`] overrides it per
+//! thread for tests. In `interp` mode plans still bind but execute every
+//! gate as a whole-array sweep — the pre-tiling behavior.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+use crate::circuit::{is_dense4, is_diag2, mat2_mul, mat4_fold1q, Circuit, CircuitError, ParamRef};
+use crate::complex::Complex64;
+use crate::gate::{Gate, Matrix2, Matrix4};
+use crate::state::{Kernel2, Kernel4, StateError, StateVector, PARALLEL_MIN_AMPS};
+
+/// Name of the environment variable selecting the executor.
+pub const EXEC_ENV: &str = "QSIM_EXEC";
+
+/// Name of the environment variable overriding the tile size exponent.
+pub const TILE_ENV: &str = "QSIM_TILE_QUBITS";
+
+/// Default tile size exponent: `2^13` amplitudes = 128 KiB of state per
+/// tile. Large enough that gates up to qubit 12 tile (fewer sweep
+/// boundaries), small enough to stay L2-resident on every mainstream
+/// core; `QSIM_TILE_QUBITS` overrides for tuning.
+pub const DEFAULT_TILE_QUBITS: usize = 13;
+
+/// Minimum number of gates before a run of tileable gates is worth a
+/// tile block (a single gate executes faster as one whole-array sweep,
+/// which also keeps its built-in threading).
+const MIN_TILE_GROUP: usize = 2;
+
+/// Largest state (in amplitudes) the parallel tile executor hands to the
+/// persistent pool. Pooled dispatch passes *owned* stripes (two copy
+/// passes over the state) to stay `unsafe`-free; above this size the
+/// copies cost more than the ~140 µs scoped-thread spawn they avoid, so
+/// bigger states take the zero-copy scoped path.
+const POOLED_TILE_MAX_AMPS: usize = 1 << 17;
+
+/// Which executor [`Circuit::run_on`] and friends use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The historical fused op-by-op interpreter (one pass per gate).
+    Interp,
+    /// Compiled plans with cache-blocked tile scheduling (the default).
+    Plan,
+}
+
+static ENV_EXEC: OnceLock<ExecMode> = OnceLock::new();
+
+thread_local! {
+    /// 0 = inherit env, 1 = force interp, 2 = force plan.
+    static LOCAL_EXEC: Cell<u8> = const { Cell::new(0) };
+}
+
+impl ExecMode {
+    /// The executor in effect on this thread: a [`with_exec_mode`]
+    /// override first, then `QSIM_EXEC`, then [`ExecMode::Plan`].
+    pub fn current() -> ExecMode {
+        match LOCAL_EXEC.with(Cell::get) {
+            1 => ExecMode::Interp,
+            2 => ExecMode::Plan,
+            _ => *ENV_EXEC.get_or_init(|| {
+                match std::env::var(EXEC_ENV).ok().as_deref().map(str::trim) {
+                    Some("interp") => ExecMode::Interp,
+                    _ => ExecMode::Plan,
+                }
+            }),
+        }
+    }
+}
+
+/// Runs `f` with a thread-local executor override — the hook the
+/// equivalence tests use to compare both executors inside one process.
+pub fn with_exec_mode<R>(mode: ExecMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_EXEC.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_EXEC.with(Cell::get);
+    let _restore = Restore(prev);
+    LOCAL_EXEC.with(|c| {
+        c.set(match mode {
+            ExecMode::Interp => 1,
+            ExecMode::Plan => 2,
+        })
+    });
+    f()
+}
+
+/// The tile size exponent in effect: `QSIM_TILE_QUBITS` (clamped to
+/// `2..=24`) or [`DEFAULT_TILE_QUBITS`].
+pub fn tile_qubits() -> usize {
+    static TILE: OnceLock<usize> = OnceLock::new();
+    *TILE.get_or_init(|| {
+        std::env::var(TILE_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|t| t.clamp(2, 24))
+            .unwrap_or(DEFAULT_TILE_QUBITS)
+    })
+}
+
+/// One compiled circuit op: the original gate plus everything knowable
+/// without a parameter vector.
+#[derive(Clone, Debug)]
+struct OpRecord {
+    gate: Gate,
+    qubits: [usize; 2],
+    arity: u8,
+    param: Option<ParamRef>,
+    /// Numeric matrix when the angle is compile-time known (fixed gates
+    /// and `ParamRef::Fixed`); `None` for symbolic angles.
+    fixed: Option<FixedMat>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum FixedMat {
+    One(Matrix2),
+    Two(Matrix4),
+}
+
+/// A compiled, parameter-independent execution plan for one circuit.
+///
+/// Built once per ansatz by [`Circuit::compile`]; reused across every
+/// epoch and every parameter-shift evaluation. Binding a parameter
+/// vector ([`ExecPlan::bind`]) yields a [`BoundPlan`] ready to execute.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::circuit::Circuit;
+/// use qsim::gate::Gate;
+///
+/// let mut c = Circuit::new(2);
+/// c.push_fixed(Gate::H, &[0]);
+/// c.push_sym(Gate::Ry(0.0), &[1], 0);
+/// c.push_fixed(Gate::Cx, &[0, 1]);
+///
+/// let plan = c.compile().unwrap();
+/// let a = plan.run(&[0.4]).unwrap();     // compile once …
+/// let b = plan.run(&[0.9]).unwrap();     // … run many
+/// assert_eq!(a.num_qubits(), b.num_qubits());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExecPlan {
+    num_qubits: usize,
+    num_params: usize,
+    records: Vec<OpRecord>,
+    /// Operand qubits flattened in op order — the width pre-check at
+    /// execution time reports the same qubit the interpreter would.
+    op_qubits: Vec<usize>,
+    tile_qubits: usize,
+}
+
+/// One gate of a bound plan: resolved matrix + precompiled kernel.
+///
+/// The `Two` variant is 4× the size of `One` (a 4×4 complex matrix);
+/// bound gates live in one contiguous `Vec` that the executor scans
+/// linearly, so boxing the large variant would trade cache locality for
+/// nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Copy, Debug)]
+enum BoundGate {
+    One {
+        q: usize,
+        kernel: Kernel2,
+        m: Matrix2,
+    },
+    Two {
+        qa: usize,
+        qb: usize,
+        kernel: Kernel4,
+        m: Matrix4,
+    },
+}
+
+impl BoundGate {
+    fn max_qubit(&self) -> usize {
+        match *self {
+            BoundGate::One { q, .. } => q,
+            BoundGate::Two { qa, qb, .. } => qa.max(qb),
+        }
+    }
+
+    /// Applies the gate to one contiguous region made of whole pair/quad
+    /// blocks (a cache tile).
+    fn run_region(&self, region: &mut [Complex64]) {
+        match self {
+            BoundGate::One { q, kernel, m } => kernel.run_region(m, region, 1usize << q),
+            BoundGate::Two { qa, qb, kernel, m } => kernel.run_region4(m, region, *qa, *qb),
+        }
+    }
+}
+
+/// One step of the schedule.
+#[derive(Clone, Debug)]
+enum Step {
+    /// A run of gates whose operands all fit one tile: applied tile by
+    /// tile in a single sweep over the state.
+    Tile(Range<usize>),
+    /// A gate touching a high qubit (or standing alone): one classic
+    /// whole-array pass.
+    Sweep(usize),
+}
+
+/// A plan bound to a concrete parameter vector: fused matrices, kernel
+/// descriptors and the tile schedule, ready to execute any number of
+/// times.
+#[derive(Clone, Debug)]
+pub struct BoundPlan<'p> {
+    plan: &'p ExecPlan,
+    gates: Vec<BoundGate>,
+    steps: Vec<Step>,
+}
+
+impl Circuit {
+    /// Compiles the circuit into a parameter-independent [`ExecPlan`]:
+    /// structural validation and fixed-angle matrix materialization
+    /// happen here, once, instead of on every run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem ([`Circuit::validate`]).
+    pub fn compile(&self) -> Result<ExecPlan, CircuitError> {
+        self.validate(self.num_params())?;
+        let mut records = Vec::with_capacity(self.len());
+        let mut op_qubits = Vec::new();
+        for op in self.ops() {
+            let arity = op.gate.arity() as u8;
+            let qubits = match arity {
+                1 => [op.qubits[0], 0],
+                _ => [op.qubits[0], op.qubits[1]],
+            };
+            op_qubits.extend_from_slice(&op.qubits);
+            // Fixed angles resolve at compile time; `with_param` on a
+            // non-parametrized gate is the identity, so the `Fixed(v)`
+            // arm covers both shapes run_on would produce.
+            let fixed = match op.param {
+                Some(ParamRef::Sym { .. }) => None,
+                Some(ParamRef::Fixed(v)) => Some(materialize(op.gate.with_param(v), arity)),
+                None => Some(materialize(op.gate, arity)),
+            };
+            records.push(OpRecord {
+                gate: op.gate,
+                qubits,
+                arity,
+                param: op.param,
+                fixed,
+            });
+        }
+        Ok(ExecPlan {
+            num_qubits: self.num_qubits(),
+            num_params: self.num_params(),
+            records,
+            op_qubits,
+            tile_qubits: tile_qubits(),
+        })
+    }
+}
+
+fn materialize(gate: Gate, arity: u8) -> FixedMat {
+    match arity {
+        1 => FixedMat::One(gate.matrix2()),
+        _ => FixedMat::Two(gate.matrix4()),
+    }
+}
+
+impl ExecPlan {
+    /// Register width the plan was compiled for.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of symbolic parameters the plan reads.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Number of compiled op records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the plan holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Binds a parameter vector: resolves angles, fuses, classifies and
+    /// schedules. The result executes any number of times.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ParamOutOfRange`] when the vector is shorter than
+    /// the plan's parameter space, [`CircuitError::State`] on duplicate
+    /// two-qubit operands.
+    pub fn bind(&self, params: &[f64]) -> Result<BoundPlan<'_>, CircuitError> {
+        self.bind_impl(params, None)
+    }
+
+    /// [`ExecPlan::bind`] with the angle of the op at `op_index` offset
+    /// by `delta` — the shift-site patch behind the generalized
+    /// parameter-shift rule.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecPlan::bind`].
+    pub fn bind_shifted(
+        &self,
+        params: &[f64],
+        op_index: usize,
+        delta: f64,
+    ) -> Result<BoundPlan<'_>, CircuitError> {
+        self.bind_impl(params, Some((op_index, delta)))
+    }
+
+    /// Executes the plan on `|0…0⟩` with the given binding.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecPlan::bind`] plus execution-time state errors.
+    pub fn run(&self, params: &[f64]) -> Result<StateVector, CircuitError> {
+        let mut state = StateVector::zero_state(self.num_qubits);
+        self.bind(params)?.run_on(&mut state)?;
+        Ok(state)
+    }
+
+    /// Binds and executes on an existing state in place (one-shot
+    /// convenience; loops that rebind should hold the [`BoundPlan`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecPlan::bind`] plus execution-time state errors.
+    pub fn run_on(&self, state: &mut StateVector, params: &[f64]) -> Result<(), CircuitError> {
+        self.bind(params)?.run_on(state)
+    }
+
+    /// Like [`ExecPlan::run_on`] with one op's angle offset by `delta`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecPlan::bind_shifted`] plus execution-time state errors.
+    pub fn run_on_with_op_shift(
+        &self,
+        state: &mut StateVector,
+        params: &[f64],
+        op_index: usize,
+        delta: f64,
+    ) -> Result<(), CircuitError> {
+        self.bind_shifted(params, op_index, delta)?.run_on(state)
+    }
+
+    /// The bind-time twin of the interpreter's fused executor: identical
+    /// fusion decisions and matrix-product order, but emitting bound
+    /// gates instead of touching a state.
+    fn bind_impl(
+        &self,
+        params: &[f64],
+        op_shift: Option<(usize, f64)>,
+    ) -> Result<BoundPlan<'_>, CircuitError> {
+        // Mirror `Circuit::validate(params.len())`'s parameter check (the
+        // structural half already ran at compile time).
+        for (i, rec) in self.records.iter().enumerate() {
+            if let Some(ParamRef::Sym { index, .. }) = rec.param {
+                if index >= params.len() {
+                    return Err(CircuitError::ParamOutOfRange {
+                        op_index: i,
+                        param_index: index,
+                        num_params: params.len(),
+                    });
+                }
+            }
+        }
+        let mut gates: Vec<BoundGate> = Vec::with_capacity(self.records.len());
+        // Pending 1q work per qubit, factored as `diag · dense` exactly
+        // like the interpreter (see `Circuit::run_on` for why the
+        // factoring preserves cheap kernel structure).
+        let mut dense: Vec<Option<Matrix2>> = vec![None; self.num_qubits];
+        let mut diag: Vec<Option<Matrix2>> = vec![None; self.num_qubits];
+        let emit2 = |q: usize, m: Matrix2, gates: &mut Vec<BoundGate>| {
+            gates.push(BoundGate::One {
+                q,
+                kernel: Kernel2::classify(&m),
+                m,
+            });
+        };
+        for (i, rec) in self.records.iter().enumerate() {
+            let shift = match op_shift {
+                Some((op, delta)) if op == i => Some(delta),
+                _ => None,
+            };
+            match rec.arity {
+                1 => {
+                    let q = rec.qubits[0];
+                    let m = resolve2(rec, params, shift);
+                    if is_diag2(&m) {
+                        diag[q] = Some(match diag[q] {
+                            Some(prev) => mat2_mul(&m, &prev),
+                            None => m,
+                        });
+                    } else {
+                        let m = match diag[q].take() {
+                            Some(g) => mat2_mul(&m, &g),
+                            None => m,
+                        };
+                        dense[q] = Some(match dense[q] {
+                            Some(prev) => mat2_mul(&m, &prev),
+                            None => m,
+                        });
+                    }
+                }
+                _ => {
+                    let (a, b) = (rec.qubits[0], rec.qubits[1]);
+                    if a == b {
+                        return Err(CircuitError::State(StateError::DuplicateQubits(a)));
+                    }
+                    let mut m4 = resolve4(rec, params, shift);
+                    let dense4 = is_dense4(&m4);
+                    for (q, bit) in [(a, 0usize), (b, 1usize)] {
+                        match (dense[q].take(), diag[q].take()) {
+                            (Some(d), g) => {
+                                if dense4 {
+                                    let whole = match g {
+                                        Some(g) => mat2_mul(&g, &d),
+                                        None => d,
+                                    };
+                                    m4 = mat4_fold1q(&m4, &whole, bit);
+                                } else {
+                                    emit2(q, d, &mut gates);
+                                    if let Some(g) = g {
+                                        m4 = mat4_fold1q(&m4, &g, bit);
+                                    }
+                                }
+                            }
+                            (None, Some(g)) => {
+                                m4 = mat4_fold1q(&m4, &g, bit);
+                            }
+                            (None, None) => {}
+                        }
+                    }
+                    gates.push(BoundGate::Two {
+                        qa: a,
+                        qb: b,
+                        kernel: Kernel4::classify(&m4),
+                        m: m4,
+                    });
+                }
+            }
+        }
+        for q in 0..self.num_qubits {
+            match (dense[q].take(), diag[q].take()) {
+                (Some(d), Some(g)) => emit2(q, mat2_mul(&g, &d), &mut gates),
+                (Some(d), None) => emit2(q, d, &mut gates),
+                (None, Some(g)) => emit2(q, g, &mut gates),
+                (None, None) => {}
+            }
+        }
+        let steps = schedule(&gates, self.tile_qubits);
+        Ok(BoundPlan {
+            plan: self,
+            gates,
+            steps,
+        })
+    }
+}
+
+/// Resolves one 1q record's numeric matrix, reusing the compile-time
+/// matrix when no angle resolution is needed.
+fn resolve2(rec: &OpRecord, params: &[f64], shift: Option<f64>) -> Matrix2 {
+    match (shift, rec.fixed) {
+        (None, Some(FixedMat::One(m))) => m,
+        _ => {
+            let angle =
+                rec.param.map(|p| p.resolve(params)).unwrap_or_default() + shift.unwrap_or(0.0);
+            match rec.param {
+                Some(_) => rec.gate.with_param(angle).matrix2(),
+                None => rec.gate.matrix2(),
+            }
+        }
+    }
+}
+
+/// Resolves one 2q record's numeric matrix (see [`resolve2`]).
+fn resolve4(rec: &OpRecord, params: &[f64], shift: Option<f64>) -> Matrix4 {
+    match (shift, rec.fixed) {
+        (None, Some(FixedMat::Two(m))) => m,
+        _ => {
+            let angle =
+                rec.param.map(|p| p.resolve(params)).unwrap_or_default() + shift.unwrap_or(0.0);
+            match rec.param {
+                Some(_) => rec.gate.with_param(angle).matrix4(),
+                None => rec.gate.matrix4(),
+            }
+        }
+    }
+}
+
+/// Groups consecutive gates whose operands all fit one `2^tile_qubits`
+/// tile into tile blocks; everything else (high-qubit gates, singleton
+/// runs) executes as a whole-array sweep.
+fn schedule(gates: &[BoundGate], tile_qubits: usize) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut run_start: Option<usize> = None;
+    let flush = |start: Option<usize>, end: usize, steps: &mut Vec<Step>| {
+        if let Some(s) = start {
+            if end - s >= MIN_TILE_GROUP {
+                steps.push(Step::Tile(s..end));
+            } else {
+                for g in s..end {
+                    steps.push(Step::Sweep(g));
+                }
+            }
+        }
+    };
+    for (i, gate) in gates.iter().enumerate() {
+        if gate.max_qubit() < tile_qubits {
+            run_start.get_or_insert(i);
+        } else {
+            flush(run_start.take(), i, &mut steps);
+            steps.push(Step::Sweep(i));
+        }
+    }
+    flush(run_start.take(), gates.len(), &mut steps);
+    steps
+}
+
+impl BoundPlan<'_> {
+    /// Number of bound (post-fusion) gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of full passes over the state this plan will make — the
+    /// figure tiling minimizes (one per tile block + one per sweep gate).
+    pub fn num_passes(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Executes the bound plan on an existing state in place.
+    ///
+    /// Respects [`ExecMode`]: in `interp` mode every gate runs as a
+    /// whole-array sweep (the pre-tiling behavior); in `plan` mode tile
+    /// blocks run cache-blocked. Both produce bit-identical amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::QubitOutOfRange`] (wrapped) when the state is
+    /// narrower than an operand qubit — checked up front for every op,
+    /// like the interpreter, so a failing run never half-evolves the
+    /// state.
+    pub fn run_on(&self, state: &mut StateVector) -> Result<(), CircuitError> {
+        let width = state.num_qubits();
+        for &q in &self.plan.op_qubits {
+            if q >= width {
+                return Err(CircuitError::State(StateError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: width,
+                }));
+            }
+        }
+        if ExecMode::current() == ExecMode::Interp {
+            for gate in &self.gates {
+                self.sweep(state, gate);
+            }
+            return Ok(());
+        }
+        for step in &self.steps {
+            match step {
+                Step::Sweep(g) => self.sweep(state, &self.gates[*g]),
+                Step::Tile(range) => self.run_tiled(state, &self.gates[range.clone()]),
+            }
+        }
+        Ok(())
+    }
+
+    /// One whole-array pass through the classic threaded kernels, with
+    /// the bind-time kernel descriptor (no per-call reclassification).
+    fn sweep(&self, state: &mut StateVector, gate: &BoundGate) {
+        match gate {
+            BoundGate::One { q, kernel, m } => state.apply_matrix2_with(*kernel, m, *q),
+            BoundGate::Two { qa, qb, kernel, m } => state.apply_matrix4_with(*kernel, m, *qa, *qb),
+        }
+    }
+
+    /// One sweep over the state applying a whole tile block: every tile
+    /// is loaded into cache once and receives all gates of the block.
+    fn run_tiled(&self, state: &mut StateVector, gates: &[BoundGate]) {
+        let amps = state.amplitudes_mut();
+        let n = amps.len();
+        let tile = (1usize << self.plan.tile_qubits).min(n);
+        let threads = if n < PARALLEL_MIN_AMPS {
+            1
+        } else {
+            qpar::current_threads()
+        };
+        let n_tiles = n / tile;
+        if threads <= 1 || n_tiles <= 1 {
+            for region in amps.chunks_mut(tile) {
+                run_block_region(gates, region, tile);
+            }
+            return;
+        }
+        // Whole tiles per worker stripe; per-tile arithmetic is
+        // independent, so any stripe assignment is bit-exact.
+        let stripe = n_tiles.div_ceil(threads).max(1) * tile;
+        if n <= POOLED_TILE_MAX_AMPS && qpar::pool::active(threads) {
+            // Pooled executor: ownership-passing — each worker receives
+            // its stripe by value and returns it transformed (two copy
+            // passes buy spawn-free fan-out; the scoped path below stays
+            // zero-copy as the fallback).
+            let block: Arc<Vec<BoundGate>> = Arc::new(gates.to_vec());
+            let stripes: Vec<Vec<Complex64>> = amps.chunks(stripe).map(<[_]>::to_vec).collect();
+            let parts = qpar::map_owned(threads, stripes, move |mut part| {
+                run_block_region(&block, &mut part, tile);
+                part
+            });
+            let mut offset = 0;
+            for part in parts {
+                amps[offset..offset + part.len()].copy_from_slice(&part);
+                offset += part.len();
+            }
+        } else {
+            let items: Vec<&mut [Complex64]> = amps.chunks_mut(stripe).collect();
+            qpar::for_each_threads(threads, items, |chunk| {
+                run_block_region(gates, chunk, tile);
+            });
+        }
+    }
+}
+
+/// Applies all gates of a block to a contiguous region, tile by tile.
+fn run_block_region(gates: &[BoundGate], region: &mut [Complex64], tile: usize) {
+    for tile_region in region.chunks_mut(tile) {
+        for gate in gates {
+            gate.run_region(tile_region);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    const EPS: f64 = 1e-12;
+
+    fn bits(s: &StateVector) -> Vec<(u64, u64)> {
+        s.amplitudes()
+            .iter()
+            .map(|a| (a.re.to_bits(), a.im.to_bits()))
+            .collect()
+    }
+
+    fn sample_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        let mut p = 0;
+        for layer in 0..3 {
+            for q in 0..n {
+                c.push_sym(Gate::Ry(0.0), &[q], p);
+                p += 1;
+                c.push_sym(Gate::Rz(0.0), &[q], p);
+                p += 1;
+            }
+            for q in 0..n - 1 {
+                c.push_fixed(Gate::Cx, &[q, q + 1]);
+            }
+            if layer == 1 {
+                c.push_fixed(Gate::Swap, &[0, n - 1]);
+                c.push_sym_scaled(Gate::Rzz(0.0), &[1, n - 2], 0, 0.5);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn plan_matches_interpreter_exactly() {
+        let c = sample_circuit(6);
+        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.17 * i as f64 - 1.0).collect();
+        let interp = with_exec_mode(ExecMode::Interp, || c.run(&params).unwrap());
+        let plan = c.compile().unwrap();
+        let planned = plan.run(&params).unwrap();
+        assert_eq!(bits(&interp), bits(&planned));
+    }
+
+    #[test]
+    fn plan_reuse_across_parameter_vectors() {
+        let c = sample_circuit(4);
+        let plan = c.compile().unwrap();
+        for seed in 0..4u64 {
+            let mut rng = Xoshiro256::seed_from(seed);
+            let params: Vec<f64> = (0..c.num_params())
+                .map(|_| rng.next_f64() * 4.0 - 2.0)
+                .collect();
+            let interp = with_exec_mode(ExecMode::Interp, || c.run(&params).unwrap());
+            assert_eq!(bits(&interp), bits(&plan.run(&params).unwrap()));
+        }
+    }
+
+    #[test]
+    fn shifted_bind_matches_interpreter_shift() {
+        let c = sample_circuit(4);
+        let plan = c.compile().unwrap();
+        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.3 + 0.05 * i as f64).collect();
+        let delta = std::f64::consts::FRAC_PI_2;
+        for (op, _) in c.sym_ops() {
+            let interp =
+                with_exec_mode(ExecMode::Interp, || c.run_with_op_shift(&params, op, delta))
+                    .unwrap();
+            let mut s = StateVector::zero_state(4);
+            plan.run_on_with_op_shift(&mut s, &params, op, delta)
+                .unwrap();
+            assert_eq!(bits(&interp), bits(&s), "op {op}");
+        }
+    }
+
+    #[test]
+    fn tiling_kicks_in_for_low_qubit_runs() {
+        // All operands below the tile exponent → one tile block, one pass.
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.push_fixed(Gate::H, &[q]);
+        }
+        c.push_fixed(Gate::Cx, &[0, 1]);
+        c.push_fixed(Gate::Cx, &[2, 3]);
+        let plan = c.compile().unwrap();
+        let bound = plan.bind(&[]).unwrap();
+        assert_eq!(bound.num_passes(), 1, "all-low circuit must fully tile");
+        assert!(bound.num_gates() >= 2);
+    }
+
+    #[test]
+    fn high_qubit_gates_are_sweep_boundaries() {
+        // A 15-qubit circuit with the default tile exponent of 13: gates
+        // on qubits 13/14 must split the tile runs.
+        let mut c = Circuit::new(15);
+        c.push_fixed(Gate::H, &[0]);
+        c.push_fixed(Gate::Cx, &[0, 1]);
+        c.push_fixed(Gate::Cx, &[13, 14]); // sweep boundary
+        c.push_fixed(Gate::H, &[2]);
+        c.push_fixed(Gate::Cx, &[2, 3]);
+        let plan = c.compile().unwrap();
+        let bound = plan.bind(&[]).unwrap();
+        assert_eq!(bound.num_passes(), 3, "tile, sweep, tile");
+        let s = plan.run(&[]).unwrap();
+        let interp = with_exec_mode(ExecMode::Interp, || c.run(&[]).unwrap());
+        assert_eq!(bits(&interp), bits(&s));
+    }
+
+    #[test]
+    fn plan_errors_match_interpreter_errors() {
+        // Missing parameters.
+        let mut c = Circuit::new(1);
+        c.push_sym(Gate::Rx(0.0), &[0], 2);
+        let plan = c.compile().unwrap();
+        assert!(matches!(
+            plan.run(&[0.1]).unwrap_err(),
+            CircuitError::ParamOutOfRange { param_index: 2, .. }
+        ));
+        // Narrow state: same error, and the state stays untouched.
+        let mut c2 = Circuit::new(3);
+        c2.push_fixed(Gate::H, &[0]);
+        c2.push_fixed(Gate::Rz(0.4), &[2]);
+        let plan2 = c2.compile().unwrap();
+        let mut narrow = StateVector::zero_state(1);
+        match plan2.run_on(&mut narrow, &[]) {
+            Err(CircuitError::State(StateError::QubitOutOfRange {
+                qubit: 2,
+                num_qubits: 1,
+            })) => {}
+            other => panic!("expected QubitOutOfRange, got {other:?}"),
+        }
+        assert!((narrow.probability(0) - 1.0).abs() < EPS, "no half-run");
+        // Structural problems surface at compile time.
+        let mut c3 = Circuit::new(1);
+        c3.push_fixed(Gate::X, &[1]);
+        assert!(matches!(
+            c3.compile(),
+            Err(CircuitError::QubitOutOfRange { qubit: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_plan_runs() {
+        let c = Circuit::new(3);
+        let plan = c.compile().unwrap();
+        assert!(plan.is_empty());
+        let s = plan.run(&[]).unwrap();
+        assert!((s.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn wider_state_than_plan_works() {
+        let mut c = Circuit::new(2);
+        c.push_fixed(Gate::X, &[1]);
+        let plan = c.compile().unwrap();
+        let mut wide = StateVector::zero_state(4);
+        plan.run_on(&mut wide, &[]).unwrap();
+        assert!((wide.probability(0b10) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn exec_mode_override_nests_and_restores() {
+        let ambient = ExecMode::current();
+        with_exec_mode(ExecMode::Interp, || {
+            assert_eq!(ExecMode::current(), ExecMode::Interp);
+            with_exec_mode(ExecMode::Plan, || {
+                assert_eq!(ExecMode::current(), ExecMode::Plan);
+            });
+            assert_eq!(ExecMode::current(), ExecMode::Interp);
+        });
+        assert_eq!(ExecMode::current(), ambient);
+    }
+}

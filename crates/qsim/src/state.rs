@@ -339,8 +339,13 @@ impl StateVector {
     /// amplitudes when [`qpar::current_threads`] > 1; parallel and serial
     /// results are bit-identical.
     pub fn apply_matrix2(&mut self, m: &Matrix2, q: usize) {
+        self.apply_matrix2_with(Kernel2::classify(m), m, q);
+    }
+
+    /// [`StateVector::apply_matrix2`] with a precompiled kernel descriptor
+    /// (the execution-plan layer classifies once at bind time).
+    pub(crate) fn apply_matrix2_with(&mut self, kernel: Kernel2, m: &Matrix2, q: usize) {
         let bit = 1usize << q;
-        let kernel = Kernel2::classify(m);
         let threads = kernel_threads(self.amplitudes.len());
         if threads <= 1 {
             kernel.run_region(m, &mut self.amplitudes, bit);
@@ -375,6 +380,18 @@ impl StateVector {
     /// Threading follows [`StateVector::apply_matrix2`]: bit-identical
     /// results at every thread count.
     pub fn apply_matrix4(&mut self, m: &Matrix4, qa: usize, qb: usize) {
+        self.apply_matrix4_with(Kernel4::classify(m), m, qa, qb);
+    }
+
+    /// [`StateVector::apply_matrix4`] with a precompiled kernel descriptor
+    /// (the execution-plan layer classifies once at bind time).
+    pub(crate) fn apply_matrix4_with(
+        &mut self,
+        kernel: Kernel4,
+        m: &Matrix4,
+        qa: usize,
+        qb: usize,
+    ) {
         debug_assert_ne!(qa, qb);
         let ba = 1usize << qa;
         let bb = 1usize << qb;
@@ -383,18 +400,10 @@ impl StateVector {
         // split again at blo: when qa is the lower qubit the four slices map
         // to (a00, a01, a10, a11); otherwise a01/a10 swap roles.
         let qa_is_low = ba < bb;
-        let kernel = Kernel4::classify(m);
         let threads = kernel_threads(self.amplitudes.len());
         let blocks = self.amplitudes.len() / (bhi << 1);
         if threads <= 1 {
-            if blo < INDEX_KERNEL_MAX_STRIDE {
-                kernel.run_flat(m, &mut self.amplitudes, ba, bb);
-            } else {
-                for block in self.amplitudes.chunks_mut(bhi << 1) {
-                    let (pa, pb) = block.split_at_mut(bhi);
-                    kernel.run_aligned(m, qa_is_low, blo, pa, pb);
-                }
-            }
+            kernel.run_region4(m, &mut self.amplitudes, qa, qb);
             return;
         }
         if blocks >= threads * 2 {
@@ -404,14 +413,7 @@ impl StateVector {
             let items: Vec<&mut [Complex64]> =
                 self.amplitudes.chunks_mut(per * (bhi << 1)).collect();
             qpar::for_each_threads(threads, items, |chunk| {
-                if blo < INDEX_KERNEL_MAX_STRIDE {
-                    kernel.run_flat(m, chunk, ba, bb);
-                } else {
-                    for block in chunk.chunks_mut(bhi << 1) {
-                        let (pa, pb) = block.split_at_mut(bhi);
-                        kernel.run_aligned(m, qa_is_low, blo, pa, pb);
-                    }
-                }
+                kernel.run_region4(m, chunk, qa, qb);
             });
             return;
         }
@@ -509,12 +511,25 @@ impl StateVector {
     pub fn raw_byte_size(&self) -> usize {
         self.amplitudes.len() * std::mem::size_of::<Complex64>()
     }
+
+    /// Mutable access to the raw amplitude storage for the execution-plan
+    /// layer's tiled executor (which applies kernels to cache-sized
+    /// sub-regions directly).
+    pub(crate) fn amplitudes_mut(&mut self) -> &mut Vec<Complex64> {
+        &mut self.amplitudes
+    }
 }
 
 /// Below this stride, pair/quad kernels use direct index arithmetic
 /// instead of sub-slice chunking (tiny chunks cost more in iterator
 /// bookkeeping than in arithmetic).
 const INDEX_KERNEL_MAX_STRIDE: usize = 32;
+
+/// Minimum low-operand stride before two-qubit kernels take the aligned
+/// slice path: slice kernels run bounds-check-free (the compiler
+/// vectorizes them), but below this stride the per-sub-block slicing
+/// overhead exceeds the win and the flat indexed path is faster.
+const ALIGNED_KERNEL_MIN_STRIDE: usize = 32;
 
 /// Threads a gate kernel over `len` amplitudes may use: 1 below the
 /// fan-out threshold, the ambient [`qpar::current_threads`] otherwise.
@@ -539,11 +554,12 @@ fn norm_sqr_sum(amps: &[Complex64]) -> f64 {
 }
 
 /// Structural classification of a 2×2 gate matrix, picked once per gate
-/// application. Reduced kernels touch less data than the dense path; the
-/// classification depends only on the matrix, so serial and parallel
-/// executions always agree.
+/// application (or once per plan bind — see `crate::plan`). Reduced
+/// kernels touch less data than the dense path; the classification
+/// depends only on the matrix, so serial and parallel executions always
+/// agree.
 #[derive(Clone, Copy, Debug)]
-enum Kernel2 {
+pub(crate) enum Kernel2 {
     /// Both off-diagonal entries zero (`Z`, `S`, `T`, `Rz`, `Phase`, …).
     Diag,
     /// Both diagonal entries zero (`X`, `Y`).
@@ -556,7 +572,7 @@ enum Kernel2 {
 }
 
 impl Kernel2 {
-    fn classify(m: &Matrix2) -> Self {
+    pub(crate) fn classify(m: &Matrix2) -> Self {
         let z = Complex64::ZERO;
         if m[0][1] == z && m[1][0] == z {
             Kernel2::Diag
@@ -573,57 +589,113 @@ impl Kernel2 {
     /// blocks. Long pair runs use the slice kernel; short ones (low target
     /// qubit) use direct index arithmetic, which avoids per-chunk iterator
     /// overhead.
-    fn run_region(self, m: &Matrix2, amps: &mut [Complex64], bit: usize) {
-        // Diagonal kernels on short strides: strided index loops beat
-        // degenerate 1–2 element sub-slices.
-        if bit < INDEX_KERNEL_MAX_STRIDE {
-            if let Kernel2::Diag = self {
+    ///
+    /// Every pair update is independent, so applying the kernel region by
+    /// region (the plan executor's cache-sized tiles) is bit-identical to
+    /// one whole-array pass.
+    pub(crate) fn run_region(self, m: &Matrix2, amps: &mut [Complex64], bit: usize) {
+        // Short strides: strided index loops beat degenerate 1–2 element
+        // sub-slices. Pair base indices come in contiguous runs of `bit`
+        // stepping by `2·bit` — the contiguous inner loop is what the
+        // compiler vectorizes (see the quad loop in `Kernel4::run_flat`
+        // for the same structure).
+        macro_rules! pair_loop {
+            (|$i0:ident| $body:block) => {
                 let pairs = amps.len() >> 1;
-                let shift = bit.trailing_zeros();
-                let mask = bit - 1;
-                let expand = |j: usize| ((j >> shift) << (shift + 1)) | (j & mask);
-                let (d0, d1) = (m[0][0], m[1][1]);
-                if d0 != Complex64::ONE {
-                    for j in 0..pairs {
-                        let i0 = expand(j);
-                        amps[i0] = d0 * amps[i0];
+                let runs = pairs / bit;
+                let mut run_base = 0usize;
+                for _ in 0..runs {
+                    for d in 0..bit {
+                        let $i0 = run_base + d;
+                        $body
                     }
+                    run_base += bit << 1;
                 }
-                if d1 != Complex64::ONE {
-                    for j in 0..pairs {
-                        let i1 = expand(j) | bit;
-                        amps[i1] = d1 * amps[i1];
+            };
+        }
+        if bit < INDEX_KERNEL_MAX_STRIDE && (bit <= 2 || matches!(self, Kernel2::Diag)) {
+            if bit == 1 && !matches!(self, Kernel2::Diag) {
+                // Adjacent pairs: slice-pattern destructuring removes all
+                // bounds checks and index bookkeeping.
+                match self {
+                    Kernel2::RealDense => {
+                        let (m00, m01) = (m[0][0].re, m[0][1].re);
+                        let (m10, m11) = (m[1][0].re, m[1][1].re);
+                        for block in amps.chunks_exact_mut(2) {
+                            if let [a, b] = block {
+                                let (a0r, a0i, a1r, a1i) = (a.re, a.im, b.re, b.im);
+                                a.re = m00 * a0r + m01 * a1r;
+                                a.im = m00 * a0i + m01 * a1i;
+                                b.re = m10 * a0r + m11 * a1r;
+                                b.im = m10 * a0i + m11 * a1i;
+                            }
+                        }
+                    }
+                    _ => {
+                        for block in amps.chunks_exact_mut(2) {
+                            if let [a, b] = block {
+                                let a0 = *a;
+                                let a1 = *b;
+                                *a = m[0][0] * a0 + m[0][1] * a1;
+                                *b = m[1][0] * a0 + m[1][1] * a1;
+                            }
+                        }
                     }
                 }
                 return;
             }
-        }
-        if bit == 1 {
-            // Adjacent pairs: slice-pattern destructuring removes all
-            // bounds checks.
             match self {
-                Kernel2::RealDense => {
-                    let (m00, m01) = (m[0][0].re, m[0][1].re);
-                    let (m10, m11) = (m[1][0].re, m[1][1].re);
-                    for block in amps.chunks_exact_mut(2) {
-                        if let [a, b] = block {
-                            let (a0r, a0i, a1r, a1i) = (a.re, a.im, b.re, b.im);
-                            a.re = m00 * a0r + m01 * a1r;
-                            a.im = m00 * a0i + m01 * a1i;
-                            b.re = m10 * a0r + m11 * a1r;
-                            b.im = m10 * a0i + m11 * a1i;
+                Kernel2::Diag => {
+                    let (d0, d1) = (m[0][0], m[1][1]);
+                    let one = Complex64::ONE;
+                    if d0 != one && d1 != one {
+                        // Both halves move: one fused pass (two skip
+                        // passes would walk the array twice).
+                        pair_loop!(|i0| {
+                            amps[i0] = d0 * amps[i0];
+                            let i1 = i0 | bit;
+                            amps[i1] = d1 * amps[i1];
+                        });
+                    } else {
+                        if d0 != one {
+                            pair_loop!(|i0| {
+                                amps[i0] = d0 * amps[i0];
+                            });
+                        }
+                        if d1 != one {
+                            pair_loop!(|i0| {
+                                let i1 = i0 | bit;
+                                amps[i1] = d1 * amps[i1];
+                            });
                         }
                     }
                 }
-                _ => {
-                    for block in amps.chunks_exact_mut(2) {
-                        if let [a, b] = block {
-                            let a0 = *a;
-                            let a1 = *b;
-                            *a = m[0][0] * a0 + m[0][1] * a1;
-                            *b = m[1][0] * a0 + m[1][1] * a1;
-                        }
-                    }
+                Kernel2::RealDense => {
+                    let (m00, m01) = (m[0][0].re, m[0][1].re);
+                    let (m10, m11) = (m[1][0].re, m[1][1].re);
+                    pair_loop!(|i0| {
+                        let i1 = i0 | bit;
+                        let (a, b) = (amps[i0], amps[i1]);
+                        amps[i0] = Complex64::new(m00 * a.re + m01 * b.re, m00 * a.im + m01 * b.im);
+                        amps[i1] = Complex64::new(m10 * a.re + m11 * b.re, m10 * a.im + m11 * b.im);
+                    });
+                }
+                Kernel2::Anti => {
+                    let (m01, m10) = (m[0][1], m[1][0]);
+                    pair_loop!(|i0| {
+                        let i1 = i0 | bit;
+                        let a0 = amps[i0];
+                        amps[i0] = m01 * amps[i1];
+                        amps[i1] = m10 * a0;
+                    });
+                }
+                Kernel2::Dense => {
+                    pair_loop!(|i0| {
+                        let i1 = i0 | bit;
+                        let (a0, a1) = (amps[i0], amps[i1]);
+                        amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                        amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+                    });
                 }
             }
             return;
@@ -639,11 +711,19 @@ impl Kernel2 {
     fn run(self, m: &Matrix2, lo: &mut [Complex64], hi: &mut [Complex64]) {
         match self {
             Kernel2::Dense => {
+                // Complex arithmetic flattened to scalar f64 ops in the
+                // exact order of the `Complex64` operators (bit-exact);
+                // the flat form is what the auto-vectorizer digests.
+                let (m00r, m00i) = (m[0][0].re, m[0][0].im);
+                let (m01r, m01i) = (m[0][1].re, m[0][1].im);
+                let (m10r, m10i) = (m[1][0].re, m[1][0].im);
+                let (m11r, m11i) = (m[1][1].re, m[1][1].im);
                 for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                    let a0 = *a;
-                    let a1 = *b;
-                    *a = m[0][0] * a0 + m[0][1] * a1;
-                    *b = m[1][0] * a0 + m[1][1] * a1;
+                    let (a0r, a0i, a1r, a1i) = (a.re, a.im, b.re, b.im);
+                    a.re = (m00r * a0r - m00i * a0i) + (m01r * a1r - m01i * a1i);
+                    a.im = (m00r * a0i + m00i * a0r) + (m01r * a1i + m01i * a1r);
+                    b.re = (m10r * a0r - m10i * a0i) + (m11r * a1r - m11i * a1i);
+                    b.im = (m10r * a0i + m10i * a0r) + (m11r * a1i + m11i * a1r);
                 }
             }
             Kernel2::RealDense => {
@@ -699,10 +779,16 @@ fn swap_scaled(si: &mut [Complex64], sj: &mut [Complex64], ci: Complex64, cj: Co
         si.swap_with_slice(sj);
         return;
     }
+    // Flattened complex products in `Complex64::mul` op order (bit-exact).
+    let (cir, cii) = (ci.re, ci.im);
+    let (cjr, cji) = (cj.re, cj.im);
     for (x, y) in si.iter_mut().zip(sj.iter_mut()) {
-        let t = *x;
-        *x = ci * *y;
-        *y = cj * t;
+        let (tr, ti) = (x.re, x.im);
+        let (yr, yi) = (y.re, y.im);
+        x.re = cir * yr - cii * yi;
+        x.im = cir * yi + cii * yr;
+        y.re = cjr * tr - cji * ti;
+        y.im = cjr * ti + cji * tr;
     }
 }
 
@@ -712,14 +798,18 @@ fn scale_slice(xs: &mut [Complex64], c: Complex64) {
     if c == Complex64::ONE {
         return;
     }
+    // Flattened complex product in `Complex64::mul` op order (bit-exact).
+    let (cr, ci) = (c.re, c.im);
     for x in xs.iter_mut() {
-        *x = c * *x;
+        let (xr, xi) = (x.re, x.im);
+        x.re = cr * xr - ci * xi;
+        x.im = cr * xi + ci * xr;
     }
 }
 
 /// Structural classification of a 4×4 gate matrix.
 #[derive(Clone, Copy, Debug)]
-enum Kernel4 {
+pub(crate) enum Kernel4 {
     /// Diagonal (`Cz`, `Cphase`, `Crz`, `Rzz`): four independent scalings.
     Diag([Complex64; 4]),
     /// Two rows swapped with phases, the other two only scaled
@@ -754,7 +844,7 @@ enum Kernel4 {
 
 impl Kernel4 {
     #[allow(clippy::needless_range_loop)] // row/column indices are basis bit patterns
-    fn classify(m: &Matrix4) -> Self {
+    pub(crate) fn classify(m: &Matrix4) -> Self {
         let z = Complex64::ZERO;
         let mut perm = [0u8; 4];
         let mut coef = [z; 4];
@@ -805,6 +895,26 @@ impl Kernel4 {
         Kernel4::Dense
     }
 
+    /// Serial application to a contiguous region made of whole `2·bhi`
+    /// blocks, choosing the flat or aligned path exactly as the serial
+    /// interpreter does. Every quad update is independent, so region-by-
+    /// region application (the plan executor's tiles) is bit-identical to
+    /// one whole-array pass.
+    pub(crate) fn run_region4(self, m: &Matrix4, amps: &mut [Complex64], qa: usize, qb: usize) {
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        let (blo, bhi) = (ba.min(bb), ba.max(bb));
+        if blo < ALIGNED_KERNEL_MIN_STRIDE {
+            self.run_flat(m, amps, ba, bb);
+        } else {
+            let qa_is_low = ba < bb;
+            for block in amps.chunks_mut(bhi << 1) {
+                let (pa, pb) = block.split_at_mut(bhi);
+                self.run_aligned(m, qa_is_low, blo, pa, pb);
+            }
+        }
+    }
+
     /// Applies the kernel to a contiguous region made of whole `2·bhi`
     /// blocks, addressing quads directly through the operand bit masks
     /// `ba`/`bb`. All dispatch and setup is hoisted out of the quad loop,
@@ -812,16 +922,27 @@ impl Kernel4 {
     /// tiny and numerous.
     fn run_flat(self, m: &Matrix4, amps: &mut [Complex64], ba: usize, bb: usize) {
         let (blo, bhi) = (ba.min(bb), ba.max(bb));
-        let tlo = blo.trailing_zeros();
-        let thi = bhi.trailing_zeros();
         let quads = amps.len() >> 2;
-        let (mlo, mhi) = (blo - 1, bhi - 1);
-        // Inserts zero bits at the two operand positions: the j-th quad's
-        // base index (both operand bits clear).
-        let expand = move |j: usize| {
-            let x = ((j >> tlo) << (tlo + 1)) | (j & mlo);
-            ((x >> thi) << (thi + 1)) | (x & mhi)
-        };
+        // Quad base indices (both operand bits clear) come in contiguous
+        // runs of `blo`, with runs stepping by `2·blo` and skipping the
+        // `bhi` region via a branchless carry-skip. The contiguous inner
+        // loop is what lets the compiler vectorize the per-quad body;
+        // iteration order over quads is identical to the old per-quad
+        // shift/mask expansion.
+        macro_rules! quad_loop {
+            (|$base:ident| $body:block) => {
+                let runs = quads / blo;
+                let mut run_base = 0usize;
+                for _ in 0..runs {
+                    for d in 0..blo {
+                        let $base = run_base + d;
+                        $body
+                    }
+                    run_base += blo << 1;
+                    run_base += run_base & bhi;
+                }
+            };
+        }
         // Adjacent low qubits: every quad is four consecutive amplitudes —
         // slice-pattern destructuring removes all bounds checks.
         if ba | bb == 3 {
@@ -830,25 +951,39 @@ impl Kernel4 {
         }
         match self {
             Kernel4::Dense => {
-                for j in 0..quads {
-                    let i00 = expand(j);
-                    let (i01, i10, i11) = (i00 | ba, i00 | bb, i00 | ba | bb);
+                quad_loop!(|base| {
+                    let (i00, i01, i10, i11) = (base, base | ba, base | bb, base | ba | bb);
                     let a = [amps[i00], amps[i01], amps[i10], amps[i11]];
                     amps[i00] = m[0][0] * a[0] + m[0][1] * a[1] + m[0][2] * a[2] + m[0][3] * a[3];
                     amps[i01] = m[1][0] * a[0] + m[1][1] * a[1] + m[1][2] * a[2] + m[1][3] * a[3];
                     amps[i10] = m[2][0] * a[0] + m[2][1] * a[1] + m[2][2] * a[2] + m[2][3] * a[3];
                     amps[i11] = m[3][0] * a[0] + m[3][1] * a[1] + m[3][2] * a[2] + m[3][3] * a[3];
-                }
+                });
             }
             Kernel4::Diag(d) => {
                 let one = Complex64::ONE;
                 let offs = [0, ba, bb, ba | bb];
-                for (r, &c) in d.iter().enumerate() {
-                    if c != one {
-                        let off = offs[r];
-                        for j in 0..quads {
-                            let idx = expand(j) | off;
-                            amps[idx] = c * amps[idx];
+                let moving = d.iter().filter(|c| **c != one).count();
+                if moving > 1 {
+                    // Several rows move: one fused pass (separate strided
+                    // passes would re-walk the region once per row).
+                    let live: [bool; 4] = std::array::from_fn(|r| d[r] != one);
+                    quad_loop!(|base| {
+                        for r in 0..4 {
+                            if live[r] {
+                                let idx = base | offs[r];
+                                amps[idx] = d[r] * amps[idx];
+                            }
+                        }
+                    });
+                } else {
+                    for (r, &c) in d.iter().enumerate() {
+                        if c != one {
+                            let off = offs[r];
+                            quad_loop!(|base| {
+                                let idx = base | off;
+                                amps[idx] = c * amps[idx];
+                            });
                         }
                     }
                 }
@@ -868,18 +1003,16 @@ impl Kernel4 {
                 if !scaled {
                     // Pure swap-with-phase: touches half of each quad.
                     if ci == one && cj == one {
-                        for q_ in 0..quads {
-                            let base = expand(q_);
+                        quad_loop!(|base| {
                             amps.swap(base | oi, base | oj);
-                        }
+                        });
                     } else {
-                        for q_ in 0..quads {
-                            let base = expand(q_);
+                        quad_loop!(|base| {
                             let (xi, xj) = (base | oi, base | oj);
                             let t = amps[xi];
                             amps[xi] = ci * amps[xj];
                             amps[xj] = cj * t;
-                        }
+                        });
                     }
                     return;
                 }
@@ -888,8 +1021,7 @@ impl Kernel4 {
                 // once per row).
                 let (of0, of1) = (offs[fixed_rows[0] as usize], offs[fixed_rows[1] as usize]);
                 let (c0, c1) = (fixed[0], fixed[1]);
-                for q_ in 0..quads {
-                    let base = expand(q_);
+                quad_loop!(|base| {
                     let (x0, x1) = (base | of0, base | of1);
                     amps[x0] = c0 * amps[x0];
                     amps[x1] = c1 * amps[x1];
@@ -897,23 +1029,22 @@ impl Kernel4 {
                     let t = amps[xi];
                     amps[xi] = ci * amps[xj];
                     amps[xj] = cj * t;
-                }
+                });
             }
             Kernel4::Monomial { perm, coef } => {
                 let one = Complex64::ONE;
                 let offs = [0, ba, bb, ba | bb];
                 let skip: [bool; 4] =
                     std::array::from_fn(|r| perm[r] as usize == r && coef[r] == one);
-                for j in 0..quads {
-                    let i00 = expand(j);
-                    let idx = [i00, i00 | offs[1], i00 | offs[2], i00 | offs[3]];
+                quad_loop!(|base| {
+                    let idx = [base, base | offs[1], base | offs[2], base | offs[3]];
                     let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
                     for r in 0..4 {
                         if !skip[r] {
                             amps[idx[r]] = coef[r] * a[perm[r] as usize];
                         }
                     }
-                }
+                });
             }
         }
     }
@@ -980,25 +1111,27 @@ impl Kernel4 {
                 fixed_rows,
                 fixed,
             } => {
-                // Storage positions (map is an involution).
+                // Storage positions (map is an involution). Direct
+                // indexing into the 4-element block; the positions are
+                // distinct by construction.
                 let (pi, pj) = (map(i as usize), map(j as usize));
                 let (p0, p1) = (map(fixed_rows[0] as usize), map(fixed_rows[1] as usize));
                 let one = Complex64::ONE;
                 let scaled = fixed.iter().any(|c| *c != one);
-                for block in amps.chunks_exact_mut(4) {
-                    if let [x0, x1, x2, x3] = block {
-                        let mut parts = [Some(x0), Some(x1), Some(x2), Some(x3)];
-                        let si = parts[pi].take().expect("distinct");
-                        let sj = parts[pj].take().expect("distinct");
-                        let t = *si;
-                        *si = ci * *sj;
-                        *sj = cj * t;
-                        if scaled {
-                            let f0 = parts[p0].take().expect("distinct");
-                            let f1 = parts[p1].take().expect("distinct");
-                            *f0 = fixed[0] * *f0;
-                            *f1 = fixed[1] * *f1;
-                        }
+                if scaled {
+                    let (c0, c1) = (fixed[0], fixed[1]);
+                    for block in amps.chunks_exact_mut(4) {
+                        let t = block[pi];
+                        block[pi] = ci * block[pj];
+                        block[pj] = cj * t;
+                        block[p0] = c0 * block[p0];
+                        block[p1] = c1 * block[p1];
+                    }
+                } else {
+                    for block in amps.chunks_exact_mut(4) {
+                        let t = block[pi];
+                        block[pi] = ci * block[pj];
+                        block[pj] = cj * t;
                     }
                 }
             }
@@ -1038,7 +1171,7 @@ impl Kernel4 {
         pa: &mut [Complex64],
         pb: &mut [Complex64],
     ) {
-        if blo < INDEX_KERNEL_MAX_STRIDE {
+        if blo < ALIGNED_KERNEL_MIN_STRIDE {
             self.run_indexed(m, qa_is_low, blo, pa, pb);
             return;
         }
@@ -1221,19 +1354,27 @@ impl Kernel4 {
                     swap_scaled(si, sj, ci, cj);
                     return;
                 }
-                // Scaled rows present: one fused pass over all four slices.
+                // Scaled rows present: one fused pass over all four slices,
+                // with the complex products flattened to scalar f64 ops in
+                // `Complex64::mul` order (bit-exact, vectorizer-friendly).
                 let mut parts = [Some(s00), Some(s01), Some(s10), Some(s11)];
                 let si = parts[i as usize].take().expect("distinct rows");
                 let sj = parts[j as usize].take().expect("distinct rows");
                 let sf0 = parts[fixed_rows[0] as usize].take().expect("distinct rows");
                 let sf1 = parts[fixed_rows[1] as usize].take().expect("distinct rows");
-                let (c0, c1) = (fixed[0], fixed[1]);
+                let (c0r, c0i) = (fixed[0].re, fixed[0].im);
+                let (c1r, c1i) = (fixed[1].re, fixed[1].im);
+                let (cir, cii) = (ci.re, ci.im);
+                let (cjr, cji) = (cj.re, cj.im);
                 for k in 0..si.len() {
-                    sf0[k] = c0 * sf0[k];
-                    sf1[k] = c1 * sf1[k];
-                    let t = si[k];
-                    si[k] = ci * sj[k];
-                    sj[k] = cj * t;
+                    let (f0r, f0i) = (sf0[k].re, sf0[k].im);
+                    sf0[k] = Complex64::new(c0r * f0r - c0i * f0i, c0r * f0i + c0i * f0r);
+                    let (f1r, f1i) = (sf1[k].re, sf1[k].im);
+                    sf1[k] = Complex64::new(c1r * f1r - c1i * f1i, c1r * f1i + c1i * f1r);
+                    let (tr, ti) = (si[k].re, si[k].im);
+                    let (yr, yi) = (sj[k].re, sj[k].im);
+                    si[k] = Complex64::new(cir * yr - cii * yi, cir * yi + cii * yr);
+                    sj[k] = Complex64::new(cjr * tr - cji * ti, cjr * ti + cji * tr);
                 }
             }
             Kernel4::Monomial { perm, coef } => {

@@ -1,0 +1,165 @@
+//! Property suite: compiled-plan execution is bit-identical to the
+//! op-by-op interpreter.
+//!
+//! Random circuits (fixed and symbolic gates) × random parameter
+//! vectors × 1/2/4/8 threads × both qpar executors (persistent pool and
+//! scoped threads): `Circuit::compile()` + plan execution must
+//! reproduce the interpreter's amplitudes bit for bit, including
+//! parameter-shifted runs. The reference bits always come from the
+//! serial interpreter (`ExecMode::Interp`, one thread).
+
+use proptest::prelude::*;
+
+use qsim::circuit::Circuit;
+use qsim::plan::{with_exec_mode, ExecMode};
+use qsim::testing::arb_op;
+use qsim::StateVector;
+
+const N: usize = 6;
+
+/// Random op sequence where parametrized gates may read a symbolic
+/// parameter: `(ops, sym_choices)` zip into a circuit builder.
+fn arb_plan_circuit() -> impl Strategy<Value = (Circuit, Vec<f64>)> {
+    let ops = prop::collection::vec((arb_op(N), any::<bool>()), 1..24);
+    let params = prop::collection::vec(-3.0..3.0f64, 4);
+    (ops, params).prop_map(|(ops, params)| {
+        let mut c = Circuit::new(N);
+        let mut sym = 0usize;
+        for ((gate, qubits), make_sym) in ops {
+            if make_sym && gate.is_parametrized() {
+                c.push_sym(gate, &qubits, sym % params.len());
+                sym += 1;
+            } else {
+                c.push_fixed(gate, &qubits);
+            }
+        }
+        (c, params)
+    })
+}
+
+fn bits(s: &StateVector) -> Vec<(u64, u64)> {
+    s.amplitudes()
+        .iter()
+        .map(|a| (a.re.to_bits(), a.im.to_bits()))
+        .collect()
+}
+
+/// Serial-interpreter reference bits for a (possibly shifted) run.
+fn reference(c: &Circuit, params: &[f64], shift: Option<(usize, f64)>) -> Vec<(u64, u64)> {
+    with_exec_mode(ExecMode::Interp, || {
+        qpar::with_threads(1, || {
+            let mut s = StateVector::zero_state(c.num_qubits());
+            match shift {
+                Some((op, delta)) => c.run_on_with_op_shift(&mut s, params, op, delta).unwrap(),
+                None => c.run_on(&mut s, params).unwrap(),
+            }
+            bits(&s)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Plan execution reproduces the interpreter bit for bit at every
+    /// thread count, on both the pooled and the scoped-thread executor.
+    #[test]
+    fn plan_matches_interpreter_across_threads_and_executors(
+        (c, params) in arb_plan_circuit(),
+    ) {
+        let want = reference(&c, &params, None);
+        let plan = c.compile().unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            for pooled in [true, false] {
+                let got = qpar::with_threads(threads, || {
+                    qpar::with_pool(pooled, || bits(&plan.run(&params).unwrap()))
+                });
+                prop_assert_eq!(
+                    &got, &want,
+                    "threads={} pooled={}", threads, pooled
+                );
+            }
+        }
+        // The `Circuit::run_on` wrapper (plan-mode dispatch) agrees too.
+        let via_wrapper = with_exec_mode(ExecMode::Plan, || {
+            qpar::with_threads(2, || bits(&c.run(&params).unwrap()))
+        });
+        prop_assert_eq!(&via_wrapper, &want);
+    }
+
+    /// Shifted runs (the parameter-shift primitive) agree bit for bit:
+    /// shift sites patch resolved angles at bind time.
+    #[test]
+    fn shifted_plan_matches_interpreter(
+        (c, params) in arb_plan_circuit(),
+        delta in -2.0..2.0f64,
+        site_pick in any::<prop::sample::Index>(),
+    ) {
+        let sites = c.sym_ops();
+        if sites.is_empty() {
+            // Nothing to shift in this sample; trivially true.
+            return Ok(());
+        }
+        let (op_index, _) = sites[site_pick.index(sites.len())];
+        let want = reference(&c, &params, Some((op_index, delta)));
+        let plan = c.compile().unwrap();
+        for threads in [1usize, 4] {
+            for pooled in [true, false] {
+                let got = qpar::with_threads(threads, || {
+                    qpar::with_pool(pooled, || {
+                        let mut s = StateVector::zero_state(c.num_qubits());
+                        plan.run_on_with_op_shift(&mut s, &params, op_index, delta).unwrap();
+                        bits(&s)
+                    })
+                });
+                prop_assert_eq!(
+                    &got, &want,
+                    "threads={} pooled={} op={}", threads, pooled, op_index
+                );
+            }
+        }
+        // `run_shifted` (whole-parameter shift) dispatches through the
+        // plan by default; cross-check against the interpreter.
+        let (_, param_index) = sites[site_pick.index(sites.len())];
+        let shifted_interp = with_exec_mode(ExecMode::Interp, || {
+            qpar::with_threads(1, || bits(&c.run_shifted(&params, param_index, delta).unwrap()))
+        });
+        let shifted_plan = with_exec_mode(ExecMode::Plan, || {
+            qpar::with_threads(1, || bits(&c.run_shifted(&params, param_index, delta).unwrap()))
+        });
+        prop_assert_eq!(&shifted_plan, &shifted_interp);
+    }
+
+    /// Binding one plan repeatedly with different parameter vectors is
+    /// equivalent to interpreting each vector from scratch (plan reuse —
+    /// the training-loop usage pattern).
+    #[test]
+    fn plan_reuse_across_bindings(
+        (c, params_a) in arb_plan_circuit(),
+        params_b in prop::collection::vec(-3.0..3.0f64, 4),
+    ) {
+        let plan = c.compile().unwrap();
+        for p in [&params_a, &params_b] {
+            let want = reference(&c, p, None);
+            prop_assert_eq!(bits(&plan.run(p).unwrap()), want);
+        }
+    }
+
+    /// A 16-qubit-wide case crosses the parallel kernel thresholds so
+    /// the pooled tile executor really fans out.
+    #[test]
+    fn wide_plan_matches_interpreter(seed_ops in prop::collection::vec(arb_op(16), 1..10)) {
+        let mut c = Circuit::new(16);
+        for (g, qs) in seed_ops {
+            c.push_fixed(g, &qs);
+        }
+        let want = reference(&c, &[], None);
+        let plan = c.compile().unwrap();
+        for pooled in [true, false] {
+            let got = qpar::with_threads(4, || {
+                qpar::with_pool(pooled, || bits(&plan.run(&[]).unwrap()))
+            });
+            prop_assert_eq!(&got, &want, "pooled={}", pooled);
+        }
+    }
+}
