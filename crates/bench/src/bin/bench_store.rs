@@ -6,14 +6,17 @@
 //! QCHECK_BENCH_QUICK=1 cargo run --release -p qcheck-bench --bin bench_store
 //! ```
 //!
-//! Measures the loose (one file per chunk) and pack (one pack file per
-//! save) backends on identical workloads:
+//! Measures the loose (one file per chunk), pack (one pack file per
+//! save) and remote (in-process `qckptd` daemon over localhost TCP)
+//! backends on identical workloads:
 //!
 //! * full-save and delta-chain save latency / logical throughput;
 //! * recovery latency over a delta chain;
 //! * syscall-proxy counters from [`qcheck::repo::SaveReport`]: renames and
 //!   fsyncs per save (the pack backend's point is O(1) renames per commit,
-//!   and a single fsync when durability is on).
+//!   and a single fsync when durability is on);
+//! * protocol round trips per save for the remote backend (pipelined
+//!   chunk upload + manifest/LATEST mirroring; 0 for local backends).
 //!
 //! Timing on a noisy single-core box jitters ±20–30%; the *counter*
 //! columns are deterministic and are the acceptance signal.
@@ -21,10 +24,36 @@
 use std::fmt::Write as _;
 
 use criterion::measure_median_ns;
+use qcheck::remote::{spawn_daemon, DaemonHandle, RemoteStore};
 use qcheck::repo::{CheckpointRepo, SaveOptions, SaveReport};
 use qcheck::snapshot::{RngCapture, StateBlob, TrainingSnapshot};
-use qcheck::store::StoreKind;
+use qcheck::store::{StoreBackend, StoreKind};
 use qcheck_bench::report::{quick_mode, scratch_dir};
+
+/// One daemon serves the whole benchmark; every scratch repository gets
+/// its own namespace on it.
+fn open_repo(daemon: &DaemonHandle, kind: StoreKind, dir: &std::path::Path) -> CheckpointRepo {
+    match kind {
+        StoreKind::Remote => {
+            static NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let ns = format!(
+                "bench-{}-{}",
+                std::process::id(),
+                NS.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            );
+            let store = RemoteStore::connect(daemon.addr(), ns).expect("connect to bench daemon");
+            CheckpointRepo::with_store(dir, StoreBackend::Remote(store))
+                .expect("open remote scratch repo")
+        }
+        kind => CheckpointRepo::open_with(dir, kind).expect("open scratch repo"),
+    }
+}
+
+/// Round trips performed so far by a repo's remote client (0 for local
+/// backends).
+fn round_trips(repo: &CheckpointRepo) -> u64 {
+    repo.store().remote().map_or(0, |r| r.round_trips())
+}
 
 fn snapshot_with_params(n_params: usize, step: u64) -> TrainingSnapshot {
     let mut s = TrainingSnapshot::new("bench-store");
@@ -52,6 +81,8 @@ struct BackendRow {
     renames_per_full_save: f64,
     fsyncs_per_full_save_fsync_on: f64,
     renames_per_delta_save: f64,
+    round_trips_per_full_save: f64,
+    round_trips_per_delta_save: f64,
 }
 
 fn mean<T: Copy + Into<u64>>(xs: impl Iterator<Item = T>) -> f64 {
@@ -63,14 +94,15 @@ fn mean<T: Copy + Into<u64>>(xs: impl Iterator<Item = T>) -> f64 {
 }
 
 fn counter_sweep(
+    daemon: &DaemonHandle,
     kind: StoreKind,
     n_params: usize,
     saves: u64,
     fsync: bool,
     delta: bool,
-) -> Vec<SaveReport> {
+) -> (Vec<SaveReport>, Vec<u64>) {
     let dir = scratch_dir(&format!("store-count-{kind}-{fsync}-{delta}"));
-    let repo = CheckpointRepo::open_with(&dir, kind).expect("open scratch repo");
+    let repo = open_repo(daemon, kind, &dir);
     let opts = SaveOptions {
         fsync,
         ..if delta {
@@ -79,20 +111,29 @@ fn counter_sweep(
             SaveOptions::default()
         }
     };
-    let reports: Vec<SaveReport> = (1..=saves)
-        .map(|step| {
+    let mut reports = Vec::new();
+    let mut trips = Vec::new();
+    for step in 1..=saves {
+        let before = round_trips(&repo);
+        reports.push(
             repo.save(&snapshot_with_params(n_params, step), &opts)
-                .unwrap()
-        })
-        .collect();
+                .unwrap(),
+        );
+        trips.push(round_trips(&repo) - before);
+    }
     let _ = std::fs::remove_dir_all(&dir);
-    reports
+    (reports, trips)
 }
 
-fn bench_backend(kind: StoreKind, n_params: usize, chain_depth: u64) -> BackendRow {
+fn bench_backend(
+    daemon: &DaemonHandle,
+    kind: StoreKind,
+    n_params: usize,
+    chain_depth: u64,
+) -> BackendRow {
     // --- full-save latency (fresh content each iteration) ---
     let dir = scratch_dir(&format!("store-full-{kind}"));
-    let repo = CheckpointRepo::open_with(&dir, kind).expect("open scratch repo");
+    let repo = open_repo(daemon, kind, &dir);
     let mut step = 0u64;
     let mut logical = 0u64;
     let full_save_ms = ms(measure_median_ns(|| {
@@ -111,7 +152,7 @@ fn bench_backend(kind: StoreKind, n_params: usize, chain_depth: u64) -> BackendR
 
     // --- delta save on a deep chain + recovery over that chain ---
     let dir = scratch_dir(&format!("store-delta-{kind}"));
-    let repo = CheckpointRepo::open_with(&dir, kind).expect("open scratch repo");
+    let repo = open_repo(daemon, kind, &dir);
     let opts = SaveOptions::incremental(u32::MAX);
     for step in 0..chain_depth {
         repo.save(&snapshot_with_params(n_params, step), &opts)
@@ -126,11 +167,11 @@ fn bench_backend(kind: StoreKind, n_params: usize, chain_depth: u64) -> BackendR
     let recover_ms = ms(measure_median_ns(|| repo.recover().unwrap()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    // --- deterministic syscall-proxy counters ---
+    // --- deterministic syscall- and protocol-proxy counters ---
     let counter_saves = if quick_mode() { 4 } else { 8 };
-    let fulls = counter_sweep(kind, n_params, counter_saves, false, false);
-    let fulls_fsync = counter_sweep(kind, n_params, counter_saves, true, false);
-    let deltas = counter_sweep(kind, n_params, counter_saves, false, true);
+    let (fulls, full_trips) = counter_sweep(daemon, kind, n_params, counter_saves, false, false);
+    let (fulls_fsync, _) = counter_sweep(daemon, kind, n_params, counter_saves, true, false);
+    let (deltas, delta_trips) = counter_sweep(daemon, kind, n_params, counter_saves, false, true);
 
     BackendRow {
         kind,
@@ -143,6 +184,8 @@ fn bench_backend(kind: StoreKind, n_params: usize, chain_depth: u64) -> BackendR
         // Skip the first (full) save of the chain: steady-state deltas are
         // the number that matters for a training loop.
         renames_per_delta_save: mean(deltas.iter().skip(1).map(|r| r.store_renames)),
+        round_trips_per_full_save: mean(full_trips.iter().copied()),
+        round_trips_per_delta_save: mean(delta_trips.iter().skip(1).copied()),
     }
 }
 
@@ -150,14 +193,20 @@ fn main() {
     let quick = quick_mode();
     let (n_params, chain_depth) = if quick { (16_384, 8) } else { (65_536, 32) };
 
+    // One localhost daemon (pack layout — the deployment default) serves
+    // every remote-backend measurement.
+    let daemon_root = scratch_dir("store-daemon");
+    let daemon = spawn_daemon(&daemon_root, StoreKind::Pack).expect("spawn bench daemon");
+
     println!("bench_store: {n_params} params, chain depth {chain_depth}, quick={quick}");
-    let rows: Vec<BackendRow> = [StoreKind::Loose, StoreKind::Pack]
+    let rows: Vec<BackendRow> = [StoreKind::Loose, StoreKind::Pack, StoreKind::Remote]
         .into_iter()
         .map(|kind| {
-            let row = bench_backend(kind, n_params, chain_depth);
+            let row = bench_backend(&daemon, kind, n_params, chain_depth);
             println!(
-                "  {:<5}  full {:.2} ms ({:.0} MB/s)  delta {:.3} ms  recover {:.1} ms  \
-                 renames/full {:.1}  renames/delta {:.1}  fsyncs/full(fsync) {:.1}",
+                "  {:<6}  full {:.2} ms ({:.0} MB/s)  delta {:.3} ms  recover {:.1} ms  \
+                 renames/full {:.1}  renames/delta {:.1}  fsyncs/full(fsync) {:.1}  \
+                 round-trips full/delta {:.1}/{:.1}",
                 row.kind.to_string(),
                 row.full_save_ms,
                 row.full_save_mb_s,
@@ -166,6 +215,8 @@ fn main() {
                 row.renames_per_full_save,
                 row.renames_per_delta_save,
                 row.fsyncs_per_full_save_fsync_on,
+                row.round_trips_per_full_save,
+                row.round_trips_per_delta_save,
             );
             row
         })
@@ -177,8 +228,9 @@ fn main() {
     let _ = writeln!(json, "  \"chain_depth\": {chain_depth},");
     let _ = writeln!(
         json,
-        "  \"note\": \"timings jitter on shared boxes; rename/fsync counters are deterministic \
-         and are the acceptance signal (pack = O(1) renames per save)\","
+        "  \"note\": \"timings jitter on shared boxes; rename/fsync/round-trip counters are \
+         deterministic and are the acceptance signal (pack = O(1) renames per save; remote = \
+         localhost qckptd, pipelined put_batch + manifest/LATEST mirroring)\","
     );
     let _ = writeln!(json, "  \"backends\": {{");
     for (i, row) in rows.iter().enumerate() {
@@ -199,8 +251,18 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "      \"fsyncs_per_full_save_fsync_on\": {:.2}",
+            "      \"fsyncs_per_full_save_fsync_on\": {:.2},",
             row.fsyncs_per_full_save_fsync_on
+        );
+        let _ = writeln!(
+            json,
+            "      \"protocol_round_trips_per_full_save\": {:.2},",
+            row.round_trips_per_full_save
+        );
+        let _ = writeln!(
+            json,
+            "      \"protocol_round_trips_per_delta_save\": {:.2}",
+            row.round_trips_per_delta_save
         );
         let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
@@ -214,4 +276,6 @@ fn main() {
 
     std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
     println!("wrote BENCH_store.json");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(daemon_root);
 }

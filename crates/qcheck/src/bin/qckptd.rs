@@ -1,0 +1,118 @@
+//! `qckptd` — the remote checkpoint object-store daemon.
+//!
+//! ```text
+//! qckptd serve <root> [--addr host:port] [--store loose|pack]
+//!                     [--port-file path]     serve namespaces from <root>
+//! qckptd status <addr>                       print daemon status
+//! qckptd shutdown <addr>                     graceful shutdown
+//! ```
+//!
+//! `serve` defaults to `127.0.0.1:0` (an ephemeral port) and always
+//! prints the actual bound address on stdout; `--port-file` additionally
+//! writes `host:port` to a file once the listener is up, which is how
+//! scripts (CI) wait for readiness and learn the port:
+//!
+//! ```bash
+//! qckptd serve /var/lib/qckptd --port-file /tmp/qckptd.port &
+//! export QCHECK_STORE=remote QCHECK_REMOTE_ADDR=$(cat /tmp/qckptd.port)
+//! ```
+
+use std::process::ExitCode;
+
+use qcheck::remote::{RemoteStore, Server, ServerConfig};
+use qcheck::store::StoreKind;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: qckptd serve <root> [--addr host:port] [--store loose|pack] [--port-file path]\n\
+         \x20      qckptd status <addr>\n\
+         \x20      qckptd shutdown <addr>"
+    );
+    ExitCode::from(2)
+}
+
+/// Control-plane connections use a reserved namespace; it is never
+/// written to (status/shutdown/ping are namespace-free operations).
+const CONTROL_NS: &str = "control";
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut root: Option<&str> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut kind = StoreKind::Pack;
+    let mut port_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--store" => {
+                let v = it.next().ok_or("--store needs a value")?;
+                kind = match StoreKind::parse(v) {
+                    Some(StoreKind::Remote) | None => {
+                        return Err(format!("--store {v}: expected loose or pack"))
+                    }
+                    Some(k) => k,
+                };
+            }
+            "--port-file" => {
+                port_file = Some(it.next().ok_or("--port-file needs a value")?.clone())
+            }
+            other if root.is_none() && !other.starts_with('-') => root = Some(other),
+            other => return Err(format!("unrecognized argument '{other}'")),
+        }
+    }
+    let root = root.ok_or("serve needs a <root> directory")?;
+    let mut config = ServerConfig::new(root);
+    config.store_kind = kind;
+    // The daemon process runs no competing compute: connection handlers
+    // come from the qpar worker pool (dedicated threads past its cap).
+    config.handlers_on_pool = true;
+    let server = Server::bind(&addr, config).map_err(|e| e.to_string())?;
+    let bound = server.local_addr();
+    println!("qckptd: serving {root} ({kind} layout) on {bound}");
+    if let Some(path) = port_file {
+        // Stage + rename so a watcher never reads a half-written file.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{bound}\n")).map_err(|e| e.to_string())?;
+        std::fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
+    }
+    server.serve().map_err(|e| e.to_string())?;
+    println!("qckptd: shutdown complete");
+    Ok(())
+}
+
+fn status(addr: &str) -> Result<(), String> {
+    let client = RemoteStore::connect(addr, CONTROL_NS).map_err(|e| e.to_string())?;
+    let (version, namespaces, connections) = client.status().map_err(|e| e.to_string())?;
+    println!("address:      {addr}");
+    println!("protocol:     v{version}");
+    println!("namespaces:   {namespaces}");
+    println!("connections:  {connections}");
+    Ok(())
+}
+
+fn shutdown(addr: &str) -> Result<(), String> {
+    let client = RemoteStore::connect(addr, CONTROL_NS).map_err(|e| e.to_string())?;
+    client.shutdown_daemon().map_err(|e| e.to_string())?;
+    println!("qckptd at {addr}: shutdown acknowledged");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match (cmd.as_str(), rest) {
+            ("serve", rest) if !rest.is_empty() => serve(rest),
+            ("status", [addr]) => status(addr),
+            ("shutdown", [addr]) => shutdown(addr),
+            _ => return usage(),
+        },
+        None => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("qckptd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -57,6 +57,16 @@ pub enum Error {
     },
     /// The repository is locked by another writer.
     Locked(PathBuf),
+    /// A remote-store conversation broke down: framing, handshake or an
+    /// unexpected reply. Distinct from [`Error::Io`] (the transport
+    /// failed) and [`Error::Corrupt`] (stored data failed verification):
+    /// this means the two endpoints disagreed about the protocol.
+    Protocol {
+        /// The exchange being attempted.
+        context: String,
+        /// What went wrong.
+        detail: String,
+    },
     /// A failure-injection plan deliberately aborted the operation
     /// (testing / evaluation only; never produced in normal operation).
     SimulatedCrash {
@@ -93,6 +103,9 @@ impl fmt::Display for Error {
                 write!(f, "delta chain of length {length} exceeds limit {limit}")
             }
             Error::Locked(path) => write!(f, "repository locked: {}", path.display()),
+            Error::Protocol { context, detail } => {
+                write!(f, "remote protocol failure while {context}: {detail}")
+            }
             Error::SimulatedCrash { at } => write!(f, "simulated crash at {at}"),
         }
     }
@@ -120,6 +133,14 @@ impl Error {
     pub fn corrupt(what: impl Into<String>, detail: impl Into<String>) -> Self {
         Error::Corrupt {
             what: what.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds a remote-protocol error.
+    pub fn protocol(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Protocol {
+            context: context.into(),
             detail: detail.into(),
         }
     }

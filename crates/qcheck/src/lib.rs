@@ -75,7 +75,8 @@
 //! | [`checkpointer`] | policy-driven driver for live training loops |
 //! | [`policy`] | interval policies incl. Young–Daly and its analytic models |
 //! | [`manifest`] | the framed on-disk metadata format |
-//! | [`store`] | pluggable content-addressed object stores ([`store::ObjectStore`]: loose files / batched packs) |
+//! | [`store`] | pluggable content-addressed object stores ([`store::ObjectStore`]: loose files / batched packs / remote daemon) |
+//! | [`remote`] | the `qckptd` object-store daemon, its wire protocol, and the [`remote::RemoteStore`] client |
 //! | [`delta`] | block-level incremental patches |
 //! | [`compress`] | RLE and XOR-f64 codecs |
 //! | [`chunk`] | fixed-size chunking |
@@ -98,6 +99,7 @@ pub mod failure;
 pub mod hash;
 pub mod manifest;
 pub mod policy;
+pub mod remote;
 pub mod repo;
 pub mod snapshot;
 pub mod store;
@@ -109,6 +111,7 @@ pub use compress::Compression;
 pub use error::{Error, Result};
 pub use manifest::{CheckpointId, Manifest};
 pub use policy::{Adaptive, CheckpointPolicy, EveryKSteps, WallClock, YoungDaly};
+pub use remote::RemoteStore;
 pub use repo::{
     CheckpointRepo, CommitMode, CompressionPolicy, Retention, SaveMode, SaveOptions, SaveReport,
 };

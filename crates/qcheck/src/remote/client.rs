@@ -1,0 +1,523 @@
+//! `RemoteStore`: the [`ObjectStore`] client for a `qckptd` daemon.
+//!
+//! One handle owns one (lazily established, reused) TCP connection.
+//! Transport failures — a dropped daemon connection, a mid-request
+//! reset — are retried with a bounded reconnect-and-replay loop: every
+//! protocol operation is idempotent (content-addressed puts, atomic
+//! metadata overwrites, convergent sweeps; see [`super::proto`]), so a
+//! replay can duplicate *work* but never *state*. Server-reported errors
+//! are never retried.
+//!
+//! Large `put_batch` calls are split into sub-frames and **pipelined**:
+//! all request frames are written back-to-back before the first response
+//! is read, so a save's chunk upload costs one effective round trip of
+//! latency instead of one per sub-batch.
+
+use std::collections::BTreeSet;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::chunk::ChunkRef;
+use crate::error::{Error, Result};
+use crate::hash::ContentHash;
+use crate::store::{BatchPutReport, GcReport, ObjectStore, StagedChunk, StoreStats};
+
+use super::proto::{read_frame, valid_namespace, write_frame, Request, Response, PROTO_VERSION};
+
+/// Transport attempts per logical request: the original plus one
+/// reconnect-and-replay. A daemon that fails twice in a row is down, and
+/// the caller should see that, not a hang.
+const MAX_ATTEMPTS: usize = 2;
+
+/// A `put_batch` is split into pipelined sub-frames of at most this many
+/// payload bytes (well under [`super::proto::MAX_FRAME_LEN`]).
+const PUT_BATCH_FRAME_BYTES: usize = 4 << 20;
+
+/// Environment variable overriding the per-operation socket timeout
+/// (seconds). The default balances "a wedged daemon must surface as an
+/// error, not a silent training stall" against server-side operations
+/// that legitimately take a while (a sweep rewriting large packs).
+pub const TIMEOUT_ENV: &str = "QCHECK_REMOTE_TIMEOUT_SECS";
+
+/// Default connect timeout.
+const CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Default read/write timeout per socket operation.
+const DEFAULT_IO_TIMEOUT_SECS: u64 = 60;
+
+fn io_timeout() -> std::time::Duration {
+    let secs = std::env::var(TIMEOUT_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(DEFAULT_IO_TIMEOUT_SECS);
+    std::time::Duration::from_secs(secs)
+}
+
+/// One established connection.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Client handle to one namespace of a `qckptd` daemon. Implements
+/// [`ObjectStore`], so a [`crate::repo::CheckpointRepo`] built over it is
+/// a drop-in replacement for a local repository — plus the shared
+/// metadata mirror ([`ObjectStore::is_shared`]) that lets a *different*
+/// working directory reconstruct the repository from the daemon alone.
+pub struct RemoteStore {
+    addr: String,
+    namespace: String,
+    conn: Mutex<Option<Conn>>,
+    round_trips: AtomicU64,
+}
+
+impl std::fmt::Debug for RemoteStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteStore")
+            .field("addr", &self.addr)
+            .field("namespace", &self.namespace)
+            .field("round_trips", &self.round_trips.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl RemoteStore {
+    /// Connects to the daemon at `addr` (`host:port`) and performs the
+    /// versioned handshake for `namespace`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address is unreachable, the namespace is invalid,
+    /// or the server speaks a different protocol version.
+    pub fn connect(addr: impl Into<String>, namespace: impl Into<String>) -> Result<RemoteStore> {
+        let store = RemoteStore {
+            addr: addr.into(),
+            namespace: namespace.into(),
+            conn: Mutex::new(None),
+            round_trips: AtomicU64::new(0),
+        };
+        if !valid_namespace(&store.namespace) {
+            return Err(Error::InvalidConfig(format!(
+                "invalid remote namespace {:?} (1-64 chars of [A-Za-z0-9._-])",
+                store.namespace
+            )));
+        }
+        // Establish + handshake eagerly so misconfiguration fails at
+        // open time, not at the first checkpoint.
+        let mut guard = store.conn.lock().expect("conn lock poisoned");
+        *guard = Some(store.dial()?);
+        drop(guard);
+        Ok(store)
+    }
+
+    /// The daemon address this handle talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The namespace this handle operates in.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Protocol round trips performed so far (request/response pairs
+    /// that crossed the wire, counting a pipelined `put_batch` burst as
+    /// one per sub-frame). The benchmark's `protocol_round_trips`
+    /// column.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Dials a fresh connection (bounded connect + per-op socket
+    /// timeouts — a wedged or black-holed daemon must fail the save,
+    /// not hang the training loop) and performs the handshake.
+    fn dial(&self) -> Result<Conn> {
+        use std::net::ToSocketAddrs;
+        let sock_addr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| Error::io(format!("resolving {}", self.addr), e))?
+            .next()
+            .ok_or_else(|| {
+                Error::InvalidConfig(format!("{:?} resolves to no address", self.addr))
+            })?;
+        let stream = TcpStream::connect_timeout(&sock_addr, CONNECT_TIMEOUT)
+            .map_err(|e| Error::io(format!("connecting to qckptd at {}", self.addr), e))?;
+        let timeout = io_timeout();
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| Error::io("setting read timeout", e))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| Error::io("setting write timeout", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| Error::io("setting TCP_NODELAY", e))?;
+        let mut conn = Conn {
+            reader: BufReader::new(
+                stream
+                    .try_clone()
+                    .map_err(|e| Error::io("cloning stream", e))?,
+            ),
+            writer: BufWriter::new(stream),
+        };
+        let hello = Request::Hello {
+            version: PROTO_VERSION,
+            namespace: self.namespace.clone(),
+        };
+        write_frame(&mut conn.writer, &hello.encode())?;
+        conn.writer
+            .flush()
+            .map_err(|e| Error::io("flushing handshake", e))?;
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        match Response::decode(&read_frame(&mut conn.reader)?)?.into_result("handshake")? {
+            Response::HelloOk { version } if version == PROTO_VERSION => Ok(conn),
+            Response::HelloOk { version } => Err(Error::protocol(
+                "handshake",
+                format!("server answered version {version}, expected {PROTO_VERSION}"),
+            )),
+            other => Err(unexpected("handshake", &other)),
+        }
+    }
+
+    /// Sends `requests` pipelined on one connection and returns their
+    /// responses, retrying the *whole* burst on a fresh connection after
+    /// a transport failure (safe: idempotent ops — see module docs).
+    fn exchange(&self, context: &str, requests: &[Request]) -> Result<Vec<Response>> {
+        let bodies: Vec<Vec<u8>> = requests.iter().map(Request::encode).collect();
+        self.exchange_bodies(context, &bodies)
+    }
+
+    /// [`RemoteStore::exchange`] over pre-encoded frame bodies — the
+    /// save path encodes its `PutBatch` frames straight from borrowed
+    /// chunk slices and hands them here.
+    fn exchange_bodies(&self, context: &str, bodies: &[Vec<u8>]) -> Result<Vec<Response>> {
+        let mut guard = self.conn.lock().expect("conn lock poisoned");
+        let mut last_err: Option<Error> = None;
+        for _attempt in 0..MAX_ATTEMPTS {
+            let mut conn = match guard.take() {
+                Some(conn) => conn,
+                None => match self.dial() {
+                    Ok(conn) => conn,
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                },
+            };
+            match Self::exchange_on(&mut conn, bodies) {
+                Ok(responses) => {
+                    self.round_trips
+                        .fetch_add(bodies.len() as u64, Ordering::Relaxed);
+                    *guard = Some(conn);
+                    // Server-reported errors surface here, after the
+                    // transport succeeded — they are NOT retried.
+                    return responses
+                        .into_iter()
+                        .map(|r| r.into_result(context))
+                        .collect();
+                }
+                Err(e) => {
+                    // Transport or framing failure: drop the connection
+                    // and retry once from scratch.
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| Error::protocol(context.to_string(), "no attempts")))
+    }
+
+    /// Writes every request frame, flushes once, then reads every
+    /// response — the pipelining primitive.
+    fn exchange_on(conn: &mut Conn, bodies: &[Vec<u8>]) -> Result<Vec<Response>> {
+        for body in bodies {
+            write_frame(&mut conn.writer, body)?;
+        }
+        conn.writer
+            .flush()
+            .map_err(|e| Error::io("flushing request", e))?;
+        let mut responses = Vec::with_capacity(bodies.len());
+        for _ in bodies {
+            responses.push(Response::decode(&read_frame(&mut conn.reader)?)?);
+        }
+        Ok(responses)
+    }
+
+    /// Single-request convenience wrapper.
+    fn request(&self, context: &str, request: Request) -> Result<Response> {
+        let mut responses = self.exchange(context, std::slice::from_ref(&request))?;
+        Ok(responses.remove(0))
+    }
+
+    /// Asks the daemon for its status line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport or protocol errors.
+    pub fn status(&self) -> Result<(u32, u64, u64)> {
+        match self.request("querying status", Request::Status)? {
+            Response::Status {
+                version,
+                namespaces,
+                connections,
+            } => Ok((version, namespaces, connections)),
+            other => Err(unexpected("querying status", &other)),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport or protocol errors.
+    pub fn shutdown_daemon(&self) -> Result<()> {
+        match self.request("requesting shutdown", Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("requesting shutdown", &other)),
+        }
+    }
+
+    /// Round-trip liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the daemon is unreachable.
+    pub fn ping(&self) -> Result<()> {
+        match self.request("pinging", Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pinging", &other)),
+        }
+    }
+}
+
+fn unexpected(context: &str, resp: &Response) -> Error {
+    Error::protocol(context.to_string(), format!("unexpected response {resp:?}"))
+}
+
+impl ObjectStore for RemoteStore {
+    fn put_batch(&self, chunks: &[StagedChunk<'_>], fsync: bool) -> Result<BatchPutReport> {
+        // Split into pipelined sub-frames by payload volume, encoding
+        // each frame body straight from the borrowed chunk slices (no
+        // owned copy of the whole snapshot). Chunk boundaries never
+        // split, and order is preserved, so the server observes the
+        // same first-occurrence dedup semantics as the local backends
+        // (frames on one connection apply in order).
+        let mut bodies = Vec::new();
+        let mut start = 0usize;
+        let mut frame_bytes = 0usize;
+        for (i, chunk) in chunks.iter().enumerate() {
+            if i > start && frame_bytes + chunk.data.len() > PUT_BATCH_FRAME_BYTES {
+                bodies.push(super::proto::encode_put_batch(fsync, &chunks[start..i]));
+                start = i;
+                frame_bytes = 0;
+            }
+            frame_bytes += chunk.data.len();
+        }
+        bodies.push(super::proto::encode_put_batch(fsync, &chunks[start..]));
+
+        let responses = self.exchange_bodies("storing chunk batch", &bodies)?;
+        let mut report = BatchPutReport::default();
+        for resp in responses {
+            match resp {
+                Response::PutBatch(part) => {
+                    report.fresh.extend(part.fresh);
+                    report.renames += part.renames;
+                    report.fsyncs += part.fsyncs;
+                }
+                other => return Err(unexpected("storing chunk batch", &other)),
+            }
+        }
+        if report.fresh.len() != chunks.len() {
+            return Err(Error::protocol(
+                "storing chunk batch",
+                format!(
+                    "server acknowledged {} chunks, sent {}",
+                    report.fresh.len(),
+                    chunks.len()
+                ),
+            ));
+        }
+        Ok(report)
+    }
+
+    fn get(&self, reference: &ChunkRef) -> Result<Vec<u8>> {
+        match self.request(
+            "fetching chunk",
+            Request::Get {
+                reference: *reference,
+            },
+        )? {
+            Response::Chunk(data) => {
+                // End-to-end verification: never trust the wire (or the
+                // server) over the content address.
+                crate::store::verify_chunk(reference, &data)?;
+                Ok(data)
+            }
+            other => Err(unexpected("fetching chunk", &other)),
+        }
+    }
+
+    fn contains(&self, hash: &ContentHash) -> bool {
+        matches!(
+            self.request(
+                "probing existence",
+                Request::Contains {
+                    hashes: vec![*hash],
+                },
+            ),
+            Ok(Response::Contains(bools)) if bools == [true]
+        )
+    }
+
+    fn contains_all(&self, hashes: &[ContentHash]) -> bool {
+        if hashes.is_empty() {
+            return true;
+        }
+        matches!(
+            self.request(
+                "probing existence",
+                Request::Contains {
+                    hashes: hashes.to_vec(),
+                },
+            ),
+            Ok(Response::Contains(bools)) if bools.len() == hashes.len() && bools.iter().all(|b| *b)
+        )
+    }
+
+    fn list(&self) -> Result<Vec<ContentHash>> {
+        match self.request("listing objects", Request::List)? {
+            Response::Hashes(hashes) => Ok(hashes),
+            other => Err(unexpected("listing objects", &other)),
+        }
+    }
+
+    fn sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport> {
+        match self.request(
+            "sweeping",
+            Request::Sweep {
+                dry_run: false,
+                reachable: reachable.iter().copied().collect(),
+            },
+        )? {
+            Response::Gc(report) => Ok(report),
+            other => Err(unexpected("sweeping", &other)),
+        }
+    }
+
+    fn plan_sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport> {
+        match self.request(
+            "planning sweep",
+            Request::Sweep {
+                dry_run: true,
+                reachable: reachable.iter().copied().collect(),
+            },
+        )? {
+            Response::Gc(report) => Ok(report),
+            other => Err(unexpected("planning sweep", &other)),
+        }
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        match self.request("querying stats", Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("querying stats", &other)),
+        }
+    }
+
+    fn clear_staging(&self) -> Result<usize> {
+        match self.request("clearing staging", Request::ClearStaging)? {
+            Response::Cleared(n) => Ok(n as usize),
+            other => Err(unexpected("clearing staging", &other)),
+        }
+    }
+
+    fn is_shared(&self) -> bool {
+        true
+    }
+
+    fn meta_put(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        match self.request(
+            "publishing metadata",
+            Request::MetaPut {
+                name: name.to_string(),
+                bytes: bytes.to_vec(),
+            },
+        )? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("publishing metadata", &other)),
+        }
+    }
+
+    fn meta_get(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        match self.request(
+            "fetching metadata",
+            Request::MetaGet {
+                name: name.to_string(),
+            },
+        )? {
+            Response::Meta(opt) => Ok(opt),
+            other => Err(unexpected("fetching metadata", &other)),
+        }
+    }
+
+    fn meta_get_many(&self, names: &[String]) -> Result<Vec<Option<Vec<u8>>>> {
+        if names.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Pipelined: all MetaGet frames go out before the first reply
+        // is read, so syncing N manifests costs one effective round
+        // trip of latency, not N.
+        let requests: Vec<Request> = names
+            .iter()
+            .map(|n| Request::MetaGet { name: n.clone() })
+            .collect();
+        self.exchange("fetching metadata batch", &requests)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Meta(opt) => Ok(opt),
+                other => Err(unexpected("fetching metadata batch", &other)),
+            })
+            .collect()
+    }
+
+    fn meta_list(&self, prefix: &str) -> Result<Vec<String>> {
+        match self.request(
+            "listing metadata",
+            Request::MetaList {
+                prefix: prefix.to_string(),
+            },
+        )? {
+            Response::Names(names) => Ok(names),
+            other => Err(unexpected("listing metadata", &other)),
+        }
+    }
+
+    fn meta_delete(&self, name: &str) -> Result<()> {
+        match self.request(
+            "deleting metadata",
+            Request::MetaDelete {
+                name: name.to_string(),
+            },
+        )? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("deleting metadata", &other)),
+        }
+    }
+
+    #[cfg(any(test, feature = "testing"))]
+    fn corrupt_object(&self, hash: &ContentHash, offset: usize) -> Result<()> {
+        match self.request(
+            "corrupting object",
+            Request::Corrupt {
+                hash: *hash,
+                offset: offset as u64,
+            },
+        )? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("corrupting object", &other)),
+        }
+    }
+}

@@ -1,0 +1,974 @@
+//! The `qckptd` wire protocol: length-prefixed, CRC-framed binary frames.
+//!
+//! ## Frame layout
+//!
+//! Every message in either direction is one frame:
+//!
+//! ```text
+//! len   u32 le      body length in bytes (not counting len or crc)
+//! body  len bytes   opcode u8 | opcode-specific payload
+//! crc   u32 le      CRC32 (IEEE 802.3) of body
+//! ```
+//!
+//! The CRC catches torn or bit-damaged frames cheaply; payload *content*
+//! integrity is still end-to-end (every chunk read re-verifies length and
+//! SHA-256 client-side, exactly as for the local backends). A frame that
+//! fails its length bound or CRC is a protocol error and the connection
+//! is dropped — there is no resynchronization inside a stream.
+//!
+//! ## Handshake
+//!
+//! The first client frame must be [`Request::Hello`] carrying the
+//! protocol version and the client's *namespace* (the multi-tenant unit:
+//! each namespace is an independent object store + metadata space on the
+//! daemon). The server replies [`Response::HelloOk`] with its own
+//! version, or an error frame when the version is unsupported — version
+//! negotiation is strict equality for now; the version field exists so a
+//! future daemon can speak several.
+//!
+//! ## Idempotency rules
+//!
+//! Every operation is safe to replay after a reconnect, which is what
+//! lets the client retry transparently on transport failure:
+//!
+//! * `PutBatch` is content-addressed — re-sending a batch that (partly)
+//!   committed re-reports the committed chunks as dedup hits and writes
+//!   only what is missing;
+//! * `MetaPut` overwrites atomically with the same bytes;
+//! * `Get` / `Contains` / `List` / `Stats` are reads;
+//! * `Sweep` / `ClearStaging` converge (a second run finds nothing).
+//!
+//! Server-reported errors ([`Response::Err`]) are **not** retried: they
+//! mean the request was received and judged, not lost.
+
+use std::io::{Read, Write};
+
+use crate::chunk::ChunkRef;
+use crate::codec::{Decoder, Encoder};
+use crate::error::{Error, Result};
+use crate::hash::{crc32, ContentHash};
+use crate::store::{BatchPutReport, GcReport, StoreStats};
+
+/// Protocol version spoken by this build. Strict-equality handshake.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on a single frame body. Bounds the allocation a garbage
+/// length prefix can trigger, and therefore the largest single
+/// `PutBatch` / `Sweep` payload; the client splits bigger batches into
+/// pipelined sub-frames well below this.
+pub const MAX_FRAME_LEN: usize = 256 << 20;
+
+/// Namespace grammar: 1–64 chars of `[A-Za-z0-9._-]`. The namespace
+/// names a directory component on the server, so the grammar is the
+/// security boundary — no separators, no traversal.
+pub fn valid_namespace(ns: &str) -> bool {
+    !ns.is_empty()
+        && ns.len() <= 64
+        && ns
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+        && ns != "."
+        && ns != ".."
+}
+
+/// Metadata-name grammar: relative slash-separated path whose components
+/// each satisfy the namespace grammar (e.g. `manifests/ck-….qmf`,
+/// `LATEST`). Same reasoning: these become file names under the
+/// namespace's `meta/` directory.
+pub fn valid_meta_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 256
+        && !name.starts_with('/')
+        && !name.ends_with('/')
+        && name.split('/').all(valid_namespace)
+}
+
+/// One chunk of a `PutBatch` request (owned mirror of
+/// [`crate::store::StagedChunk`], which borrows its payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireChunk {
+    /// Content address + exact length.
+    pub reference: ChunkRef,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// A client request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Versioned handshake; must be the first frame on a connection.
+    Hello {
+        /// Client protocol version.
+        version: u32,
+        /// Namespace the connection operates in.
+        namespace: String,
+    },
+    /// Liveness check; returns [`Response::Pong`].
+    Ping,
+    /// Store a batch of chunks (the whole batch commits together when
+    /// the server's layout allows it, mirroring local `put_batch`).
+    PutBatch {
+        /// fsync staged data before publishing.
+        fsync: bool,
+        /// The chunks, in order.
+        chunks: Vec<WireChunk>,
+    },
+    /// Fetch one chunk.
+    Get {
+        /// Its reference (the server verifies before replying; the
+        /// client verifies again on receipt).
+        reference: ChunkRef,
+    },
+    /// Existence check for a set of hashes (serves both `contains` and
+    /// the batched `contains_all` in one round trip).
+    Contains {
+        /// Hashes to probe.
+        hashes: Vec<ContentHash>,
+    },
+    /// Enumerate all object hashes, ascending.
+    List,
+    /// Mark-and-sweep GC against a reachable set. `dry_run` computes the
+    /// report without deleting anything (the `qckpt stats` preview).
+    Sweep {
+        /// Plan only, delete nothing.
+        dry_run: bool,
+        /// Reachable hashes.
+        reachable: Vec<ContentHash>,
+    },
+    /// Aggregate object statistics.
+    Stats,
+    /// Remove orphaned server-side staging files for this namespace.
+    ClearStaging,
+    /// Atomically publish a small named metadata blob (manifests,
+    /// `LATEST`) so a client in a fresh directory can reconstruct the
+    /// repository.
+    MetaPut {
+        /// Name (see [`valid_meta_name`]).
+        name: String,
+        /// Contents.
+        bytes: Vec<u8>,
+    },
+    /// Fetch a named metadata blob; absent is not an error.
+    MetaGet {
+        /// Name.
+        name: String,
+    },
+    /// List metadata names under a prefix, ascending.
+    MetaList {
+        /// Name prefix (e.g. `manifests/`).
+        prefix: String,
+    },
+    /// Delete a named metadata blob (retention); absent is not an error.
+    MetaDelete {
+        /// Name.
+        name: String,
+    },
+    /// Daemon-level status (version, namespaces, connections served).
+    Status,
+    /// Ask the daemon to stop accepting connections and exit its accept
+    /// loop once in-flight connections finish.
+    Shutdown,
+    /// Flip one byte of a stored object (failure-injection support for
+    /// the backend-equivalence suites; the server refuses it unless
+    /// built with the `testing` feature).
+    Corrupt {
+        /// Victim object.
+        hash: ContentHash,
+        /// Offset (mod object length).
+        offset: u64,
+    },
+}
+
+/// A server response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// Server protocol version.
+        version: u32,
+    },
+    /// Liveness reply.
+    Pong,
+    /// `PutBatch` outcome.
+    PutBatch(BatchPutReport),
+    /// `Get` payload.
+    Chunk(Vec<u8>),
+    /// `Contains` answers, in request order.
+    Contains(Vec<bool>),
+    /// `List` result.
+    Hashes(Vec<ContentHash>),
+    /// `Sweep` report.
+    Gc(GcReport),
+    /// `Stats` result.
+    Stats(StoreStats),
+    /// `ClearStaging` count.
+    Cleared(u64),
+    /// Generic acknowledgement (`MetaPut`, `MetaDelete`, `Shutdown`,
+    /// `Corrupt`).
+    Ok,
+    /// `MetaGet` result; `None` when the name does not exist.
+    Meta(Option<Vec<u8>>),
+    /// `MetaList` result.
+    Names(Vec<String>),
+    /// Daemon status.
+    Status {
+        /// Server protocol version.
+        version: u32,
+        /// Namespaces materialized on disk.
+        namespaces: u64,
+        /// Connections accepted since start.
+        connections: u64,
+    },
+    /// The request was received and failed; never retried by the client.
+    Err {
+        /// Coarse error class (see [`ErrCode`]).
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Error classes carried by [`Response::Err`], mapped back onto
+/// [`enum@Error`] client-side so remote failures are indistinguishable
+/// from local ones where it matters (recovery treats `NotFound` /
+/// `Corrupt` as "skip and fall back" in both worlds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Object or name absent.
+    NotFound = 1,
+    /// Stored data failed verification server-side.
+    Corrupt = 2,
+    /// Server-side I/O failure.
+    Io = 3,
+    /// Malformed or refused request.
+    Invalid = 4,
+    /// Anything else.
+    Other = 5,
+}
+
+impl ErrCode {
+    fn from_u8(v: u8) -> ErrCode {
+        match v {
+            1 => ErrCode::NotFound,
+            2 => ErrCode::Corrupt,
+            3 => ErrCode::Io,
+            4 => ErrCode::Invalid,
+            _ => ErrCode::Other,
+        }
+    }
+
+    /// Classifies a server-side [`enum@Error`] for the wire.
+    pub fn classify(e: &Error) -> (ErrCode, String) {
+        let code = match e {
+            Error::NotFound { .. } => ErrCode::NotFound,
+            Error::Corrupt { .. } | Error::Decode { .. } => ErrCode::Corrupt,
+            Error::Io { .. } => ErrCode::Io,
+            Error::InvalidConfig(_) | Error::UnsupportedVersion { .. } => ErrCode::Invalid,
+            _ => ErrCode::Other,
+        };
+        (code, e.to_string())
+    }
+
+    /// Reconstructs an [`enum@Error`] client-side.
+    pub fn to_error(self, context: &str, message: String) -> Error {
+        match self {
+            ErrCode::NotFound => Error::NotFound { what: message },
+            ErrCode::Corrupt => Error::corrupt(context.to_string(), message),
+            ErrCode::Io => Error::io(
+                format!("{context} (server-side)"),
+                std::io::Error::other(message),
+            ),
+            ErrCode::Invalid => Error::InvalidConfig(message),
+            ErrCode::Other => Error::protocol(context.to_string(), message),
+        }
+    }
+}
+
+// Opcode bytes. Requests < 0x80, responses ≥ 0x80.
+const OP_HELLO: u8 = 1;
+const OP_PING: u8 = 2;
+const OP_PUT_BATCH: u8 = 3;
+const OP_GET: u8 = 4;
+const OP_CONTAINS: u8 = 5;
+const OP_LIST: u8 = 6;
+const OP_SWEEP: u8 = 7;
+const OP_STATS: u8 = 8;
+const OP_CLEAR_STAGING: u8 = 9;
+const OP_META_PUT: u8 = 10;
+const OP_META_GET: u8 = 11;
+const OP_META_LIST: u8 = 12;
+const OP_META_DELETE: u8 = 13;
+const OP_STATUS: u8 = 14;
+const OP_SHUTDOWN: u8 = 15;
+const OP_CORRUPT: u8 = 16;
+
+const RESP_HELLO_OK: u8 = 0x80;
+const RESP_PONG: u8 = 0x81;
+const RESP_PUT_BATCH: u8 = 0x82;
+const RESP_CHUNK: u8 = 0x83;
+const RESP_CONTAINS: u8 = 0x84;
+const RESP_HASHES: u8 = 0x85;
+const RESP_GC: u8 = 0x86;
+const RESP_STATS: u8 = 0x87;
+const RESP_CLEARED: u8 = 0x88;
+const RESP_OK: u8 = 0x89;
+const RESP_META: u8 = 0x8A;
+const RESP_NAMES: u8 = 0x8B;
+const RESP_STATUS: u8 = 0x8C;
+const RESP_ERR: u8 = 0xFF;
+
+fn put_hashes(enc: &mut Encoder, hashes: &[ContentHash]) {
+    enc.put_varint(hashes.len() as u64);
+    for h in hashes {
+        enc.put_raw(&h.0);
+    }
+}
+
+fn get_hashes(dec: &mut Decoder<'_>) -> Result<Vec<ContentHash>> {
+    let n = dec.get_varint()? as usize;
+    if n.checked_mul(32)
+        .map(|b| b > dec.remaining())
+        .unwrap_or(true)
+    {
+        return Err(Error::protocol(
+            "decoding hash list",
+            format!("count {n} exceeds frame"),
+        ));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = dec.get_raw(32)?;
+        let mut h = [0u8; 32];
+        h.copy_from_slice(raw);
+        out.push(ContentHash(h));
+    }
+    Ok(out)
+}
+
+/// Encodes a `PutBatch` frame body directly from borrowed staged chunks
+/// — byte-identical to encoding [`Request::PutBatch`] over owned
+/// [`WireChunk`] copies, without materializing them. The client's save
+/// path uses this so a checkpoint upload peaks at one extra frame body,
+/// not a second copy of the whole snapshot.
+pub fn encode_put_batch(fsync: bool, chunks: &[crate::store::StagedChunk<'_>]) -> Vec<u8> {
+    let payload: usize = chunks.iter().map(|c| c.data.len()).sum();
+    let mut enc = Encoder::with_capacity(payload + chunks.len() * 40 + 16);
+    enc.put_u8(OP_PUT_BATCH)
+        .put_u8(u8::from(fsync))
+        .put_varint(chunks.len() as u64);
+    for c in chunks {
+        enc.put_raw(&c.reference.hash.0)
+            .put_u32(c.reference.len)
+            .put_raw(c.data);
+    }
+    enc.into_bytes()
+}
+
+impl Request {
+    /// Serializes the request into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Request::Hello { version, namespace } => {
+                enc.put_u8(OP_HELLO).put_u32(*version).put_str(namespace);
+            }
+            Request::Ping => {
+                enc.put_u8(OP_PING);
+            }
+            Request::PutBatch { fsync, chunks } => {
+                enc.put_u8(OP_PUT_BATCH)
+                    .put_u8(u8::from(*fsync))
+                    .put_varint(chunks.len() as u64);
+                for c in chunks {
+                    enc.put_raw(&c.reference.hash.0)
+                        .put_u32(c.reference.len)
+                        .put_raw(&c.data);
+                }
+            }
+            Request::Get { reference } => {
+                enc.put_u8(OP_GET)
+                    .put_raw(&reference.hash.0)
+                    .put_u32(reference.len);
+            }
+            Request::Contains { hashes } => {
+                enc.put_u8(OP_CONTAINS);
+                put_hashes(&mut enc, hashes);
+            }
+            Request::List => {
+                enc.put_u8(OP_LIST);
+            }
+            Request::Sweep { dry_run, reachable } => {
+                enc.put_u8(OP_SWEEP).put_u8(u8::from(*dry_run));
+                put_hashes(&mut enc, reachable);
+            }
+            Request::Stats => {
+                enc.put_u8(OP_STATS);
+            }
+            Request::ClearStaging => {
+                enc.put_u8(OP_CLEAR_STAGING);
+            }
+            Request::MetaPut { name, bytes } => {
+                enc.put_u8(OP_META_PUT).put_str(name).put_bytes(bytes);
+            }
+            Request::MetaGet { name } => {
+                enc.put_u8(OP_META_GET).put_str(name);
+            }
+            Request::MetaList { prefix } => {
+                enc.put_u8(OP_META_LIST).put_str(prefix);
+            }
+            Request::MetaDelete { name } => {
+                enc.put_u8(OP_META_DELETE).put_str(name);
+            }
+            Request::Status => {
+                enc.put_u8(OP_STATUS);
+            }
+            Request::Shutdown => {
+                enc.put_u8(OP_SHUTDOWN);
+            }
+            Request::Corrupt { hash, offset } => {
+                enc.put_u8(OP_CORRUPT).put_raw(&hash.0).put_varint(*offset);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Parses a frame body into a request.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown opcodes, truncation or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<Request> {
+        let mut dec = Decoder::new(body, "request frame");
+        let op = dec.get_u8()?;
+        let req = match op {
+            OP_HELLO => Request::Hello {
+                version: dec.get_u32()?,
+                namespace: dec.get_str()?,
+            },
+            OP_PING => Request::Ping,
+            OP_PUT_BATCH => {
+                let fsync = dec.get_u8()? != 0;
+                let n = dec.get_varint()? as usize;
+                let mut chunks = Vec::new();
+                for _ in 0..n {
+                    let raw = dec.get_raw(32)?;
+                    let mut h = [0u8; 32];
+                    h.copy_from_slice(raw);
+                    let len = dec.get_u32()?;
+                    let data = dec.get_raw(len as usize)?.to_vec();
+                    chunks.push(WireChunk {
+                        reference: ChunkRef {
+                            hash: ContentHash(h),
+                            len,
+                        },
+                        data,
+                    });
+                }
+                Request::PutBatch { fsync, chunks }
+            }
+            OP_GET => {
+                let raw = dec.get_raw(32)?;
+                let mut h = [0u8; 32];
+                h.copy_from_slice(raw);
+                Request::Get {
+                    reference: ChunkRef {
+                        hash: ContentHash(h),
+                        len: dec.get_u32()?,
+                    },
+                }
+            }
+            OP_CONTAINS => Request::Contains {
+                hashes: get_hashes(&mut dec)?,
+            },
+            OP_LIST => Request::List,
+            OP_SWEEP => Request::Sweep {
+                dry_run: dec.get_u8()? != 0,
+                reachable: get_hashes(&mut dec)?,
+            },
+            OP_STATS => Request::Stats,
+            OP_CLEAR_STAGING => Request::ClearStaging,
+            OP_META_PUT => Request::MetaPut {
+                name: dec.get_str()?,
+                bytes: dec.get_bytes()?,
+            },
+            OP_META_GET => Request::MetaGet {
+                name: dec.get_str()?,
+            },
+            OP_META_LIST => Request::MetaList {
+                prefix: dec.get_str()?,
+            },
+            OP_META_DELETE => Request::MetaDelete {
+                name: dec.get_str()?,
+            },
+            OP_STATUS => Request::Status,
+            OP_SHUTDOWN => Request::Shutdown,
+            OP_CORRUPT => {
+                let raw = dec.get_raw(32)?;
+                let mut h = [0u8; 32];
+                h.copy_from_slice(raw);
+                Request::Corrupt {
+                    hash: ContentHash(h),
+                    offset: dec.get_varint()?,
+                }
+            }
+            other => {
+                return Err(Error::protocol(
+                    "decoding request",
+                    format!("unknown opcode {other:#04x}"),
+                ))
+            }
+        };
+        dec.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Response::HelloOk { version } => {
+                enc.put_u8(RESP_HELLO_OK).put_u32(*version);
+            }
+            Response::Pong => {
+                enc.put_u8(RESP_PONG);
+            }
+            Response::PutBatch(report) => {
+                enc.put_u8(RESP_PUT_BATCH)
+                    .put_varint(report.fresh.len() as u64);
+                for f in &report.fresh {
+                    enc.put_u8(u8::from(*f));
+                }
+                enc.put_u64(report.renames).put_u64(report.fsyncs);
+            }
+            Response::Chunk(data) => {
+                enc.put_u8(RESP_CHUNK).put_bytes(data);
+            }
+            Response::Contains(bools) => {
+                enc.put_u8(RESP_CONTAINS).put_varint(bools.len() as u64);
+                for b in bools {
+                    enc.put_u8(u8::from(*b));
+                }
+            }
+            Response::Hashes(hashes) => {
+                enc.put_u8(RESP_HASHES);
+                put_hashes(&mut enc, hashes);
+            }
+            Response::Gc(r) => {
+                enc.put_u8(RESP_GC)
+                    .put_u64(r.live as u64)
+                    .put_u64(r.deleted as u64)
+                    .put_u64(r.reclaimed_bytes)
+                    .put_u64(r.deferred as u64)
+                    .put_u64(r.deferred_bytes);
+            }
+            Response::Stats(s) => {
+                enc.put_u8(RESP_STATS)
+                    .put_u64(s.object_count as u64)
+                    .put_u64(s.total_bytes);
+            }
+            Response::Cleared(n) => {
+                enc.put_u8(RESP_CLEARED).put_u64(*n);
+            }
+            Response::Ok => {
+                enc.put_u8(RESP_OK);
+            }
+            Response::Meta(opt) => {
+                enc.put_u8(RESP_META);
+                match opt {
+                    Some(bytes) => {
+                        enc.put_u8(1).put_bytes(bytes);
+                    }
+                    None => {
+                        enc.put_u8(0);
+                    }
+                }
+            }
+            Response::Names(names) => {
+                enc.put_u8(RESP_NAMES).put_varint(names.len() as u64);
+                for n in names {
+                    enc.put_str(n);
+                }
+            }
+            Response::Status {
+                version,
+                namespaces,
+                connections,
+            } => {
+                enc.put_u8(RESP_STATUS)
+                    .put_u32(*version)
+                    .put_u64(*namespaces)
+                    .put_u64(*connections);
+            }
+            Response::Err { code, message } => {
+                enc.put_u8(RESP_ERR).put_u8(*code).put_str(message);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Parses a frame body into a response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown opcodes, truncation or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<Response> {
+        let mut dec = Decoder::new(body, "response frame");
+        let op = dec.get_u8()?;
+        let resp = match op {
+            RESP_HELLO_OK => Response::HelloOk {
+                version: dec.get_u32()?,
+            },
+            RESP_PONG => Response::Pong,
+            RESP_PUT_BATCH => {
+                let n = dec.get_varint()? as usize;
+                if n > dec.remaining() {
+                    return Err(Error::protocol(
+                        "decoding put-batch reply",
+                        format!("fresh count {n} exceeds frame"),
+                    ));
+                }
+                let mut fresh = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fresh.push(dec.get_u8()? != 0);
+                }
+                Response::PutBatch(BatchPutReport {
+                    fresh,
+                    renames: dec.get_u64()?,
+                    fsyncs: dec.get_u64()?,
+                })
+            }
+            RESP_CHUNK => Response::Chunk(dec.get_bytes()?),
+            RESP_CONTAINS => {
+                let n = dec.get_varint()? as usize;
+                if n > dec.remaining() {
+                    return Err(Error::protocol(
+                        "decoding contains reply",
+                        format!("count {n} exceeds frame"),
+                    ));
+                }
+                let mut bools = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bools.push(dec.get_u8()? != 0);
+                }
+                Response::Contains(bools)
+            }
+            RESP_HASHES => Response::Hashes(get_hashes(&mut dec)?),
+            RESP_GC => Response::Gc(GcReport {
+                live: dec.get_u64()? as usize,
+                deleted: dec.get_u64()? as usize,
+                reclaimed_bytes: dec.get_u64()?,
+                deferred: dec.get_u64()? as usize,
+                deferred_bytes: dec.get_u64()?,
+            }),
+            RESP_STATS => Response::Stats(StoreStats {
+                object_count: dec.get_u64()? as usize,
+                total_bytes: dec.get_u64()?,
+            }),
+            RESP_CLEARED => Response::Cleared(dec.get_u64()?),
+            RESP_OK => Response::Ok,
+            RESP_META => {
+                let present = dec.get_u8()? != 0;
+                Response::Meta(if present {
+                    Some(dec.get_bytes()?)
+                } else {
+                    None
+                })
+            }
+            RESP_NAMES => {
+                let n = dec.get_varint()? as usize;
+                if n > dec.remaining() {
+                    return Err(Error::protocol(
+                        "decoding name list",
+                        format!("count {n} exceeds frame"),
+                    ));
+                }
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(dec.get_str()?);
+                }
+                Response::Names(names)
+            }
+            RESP_STATUS => Response::Status {
+                version: dec.get_u32()?,
+                namespaces: dec.get_u64()?,
+                connections: dec.get_u64()?,
+            },
+            RESP_ERR => Response::Err {
+                code: dec.get_u8()?,
+                message: dec.get_str()?,
+            },
+            other => {
+                return Err(Error::protocol(
+                    "decoding response",
+                    format!("unknown opcode {other:#04x}"),
+                ))
+            }
+        };
+        dec.finish()?;
+        Ok(resp)
+    }
+
+    /// Turns an error response into an [`enum@Error`]; passes everything
+    /// else through.
+    ///
+    /// # Errors
+    ///
+    /// The reconstructed server-side error for [`Response::Err`].
+    pub fn into_result(self, context: &str) -> Result<Response> {
+        match self {
+            Response::Err { code, message } => {
+                Err(ErrCode::from_u8(code).to_error(context, message))
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+/// Writes one frame (length prefix, body, CRC) to `w`.
+///
+/// # Errors
+///
+/// Fails on transport errors or an oversized body.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<()> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(Error::protocol(
+            "writing frame",
+            format!("body of {} B exceeds {} B cap", body.len(), MAX_FRAME_LEN),
+        ));
+    }
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    w.write_all(&out)
+        .map_err(|e| Error::io("writing frame", e))?;
+    Ok(())
+}
+
+/// Reads one frame body from `r`, verifying length bound and CRC.
+///
+/// # Errors
+///
+/// [`Error::Io`] on transport failure (including EOF mid-frame),
+/// [`Error::Protocol`] on an oversized length or CRC mismatch.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)
+        .map_err(|e| Error::io("reading frame length", e))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(Error::protocol(
+            "reading frame",
+            format!("length {len} exceeds {MAX_FRAME_LEN} B cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| Error::io("reading frame body", e))?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)
+        .map_err(|e| Error::io("reading frame crc", e))?;
+    if crc32(&body) != u32::from_le_bytes(crc_bytes) {
+        return Err(Error::protocol("reading frame", "crc mismatch"));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::Sha256;
+
+    fn round_trip_request(req: Request) {
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let body = resp.encode();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let h = Sha256::digest(b"x");
+        round_trip_request(Request::Hello {
+            version: PROTO_VERSION,
+            namespace: "run-1".into(),
+        });
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::PutBatch {
+            fsync: true,
+            chunks: vec![
+                WireChunk {
+                    reference: ChunkRef { hash: h, len: 1 },
+                    data: vec![7],
+                },
+                WireChunk {
+                    reference: ChunkRef {
+                        hash: Sha256::digest(b""),
+                        len: 0,
+                    },
+                    data: vec![],
+                },
+            ],
+        });
+        round_trip_request(Request::Get {
+            reference: ChunkRef { hash: h, len: 9 },
+        });
+        round_trip_request(Request::Contains { hashes: vec![h, h] });
+        round_trip_request(Request::List);
+        round_trip_request(Request::Sweep {
+            dry_run: true,
+            reachable: vec![h],
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::ClearStaging);
+        round_trip_request(Request::MetaPut {
+            name: "manifests/a.qmf".into(),
+            bytes: vec![1, 2, 3],
+        });
+        round_trip_request(Request::MetaGet {
+            name: "LATEST".into(),
+        });
+        round_trip_request(Request::MetaList {
+            prefix: "manifests/".into(),
+        });
+        round_trip_request(Request::MetaDelete { name: "x".into() });
+        round_trip_request(Request::Status);
+        round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Corrupt {
+            hash: h,
+            offset: 1234,
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let h = Sha256::digest(b"y");
+        round_trip_response(Response::HelloOk {
+            version: PROTO_VERSION,
+        });
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::PutBatch(BatchPutReport {
+            fresh: vec![true, false],
+            renames: 1,
+            fsyncs: 0,
+        }));
+        round_trip_response(Response::Chunk(vec![1, 2, 3]));
+        round_trip_response(Response::Contains(vec![true, false, true]));
+        round_trip_response(Response::Hashes(vec![h]));
+        round_trip_response(Response::Gc(GcReport {
+            live: 1,
+            deleted: 2,
+            reclaimed_bytes: 3,
+            deferred: 4,
+            deferred_bytes: 5,
+        }));
+        round_trip_response(Response::Stats(StoreStats {
+            object_count: 7,
+            total_bytes: 99,
+        }));
+        round_trip_response(Response::Cleared(3));
+        round_trip_response(Response::Ok);
+        round_trip_response(Response::Meta(None));
+        round_trip_response(Response::Meta(Some(vec![9])));
+        round_trip_response(Response::Names(vec!["a".into(), "b".into()]));
+        round_trip_response(Response::Status {
+            version: 1,
+            namespaces: 2,
+            connections: 3,
+        });
+        round_trip_response(Response::Err {
+            code: ErrCode::NotFound as u8,
+            message: "nope".into(),
+        });
+    }
+
+    #[test]
+    fn borrowed_put_batch_encoding_matches_owned() {
+        let blobs: Vec<Vec<u8>> = vec![vec![1; 100], vec![], vec![9; 7]];
+        let staged: Vec<crate::store::StagedChunk<'_>> = blobs
+            .iter()
+            .map(|b| crate::store::StagedChunk {
+                reference: ChunkRef {
+                    hash: Sha256::digest(b),
+                    len: b.len() as u32,
+                },
+                data: b,
+            })
+            .collect();
+        let owned = Request::PutBatch {
+            fsync: true,
+            chunks: staged
+                .iter()
+                .map(|c| WireChunk {
+                    reference: c.reference,
+                    data: c.data.to_vec(),
+                })
+                .collect(),
+        };
+        assert_eq!(encode_put_batch(true, &staged), owned.encode());
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_detects_damage() {
+        let body = Request::Ping.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), body);
+
+        // Flip a body bit: CRC must catch it.
+        let mut damaged = buf.clone();
+        damaged[4] ^= 0x40;
+        let mut cursor = &damaged[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(Error::Protocol { .. })
+        ));
+
+        // Truncate: transport error, not garbage.
+        let mut cursor = &buf[..buf.len() - 1];
+        assert!(matches!(read_frame(&mut cursor), Err(Error::Io { .. })));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(Error::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn namespace_and_meta_name_grammar() {
+        assert!(valid_namespace("run-1.a_B"));
+        assert!(!valid_namespace(""));
+        assert!(!valid_namespace("a/b"));
+        assert!(!valid_namespace(".."));
+        assert!(!valid_namespace(&"x".repeat(65)));
+        assert!(valid_meta_name("LATEST"));
+        assert!(valid_meta_name("manifests/ck-0001.qmf"));
+        assert!(!valid_meta_name("/abs"));
+        assert!(!valid_meta_name("a//b"));
+        assert!(!valid_meta_name("a/../b"));
+        assert!(!valid_meta_name("a/"));
+    }
+
+    #[test]
+    fn err_codes_map_back_to_errors() {
+        let e = ErrCode::NotFound.to_error("getting chunk", "chunk abc".into());
+        assert!(matches!(e, Error::NotFound { .. }));
+        assert!(e.is_integrity_failure());
+        let e = ErrCode::Corrupt.to_error("getting chunk", "hash mismatch".into());
+        assert!(matches!(e, Error::Corrupt { .. }));
+        let e = ErrCode::Invalid.to_error("hello", "bad version".into());
+        assert!(matches!(e, Error::InvalidConfig(_)));
+    }
+}

@@ -1,0 +1,724 @@
+//! The `qckptd` daemon: a multi-tenant checkpoint object-store server.
+//!
+//! ## Layout
+//!
+//! The daemon roots every *namespace* (one training run / one logical
+//! repository) in its own directory:
+//!
+//! ```text
+//! <root>/ns/<namespace>/
+//!   STORE            sticky backend marker (loose | pack)
+//!   objects/ | packs/  the namespace's object store (reuses the local
+//!                      backends: loose fan-out dirs or pack v3 files)
+//!   tmp/             server-side staging (disposable)
+//!   meta/            named metadata blobs (manifests/…, LATEST)
+//! ```
+//!
+//! Reusing [`StoreBackend`] for per-namespace storage means the daemon
+//! inherits the local backends' whole crash-safety story: staged writes,
+//! atomic renames, CRC-framed packs, mark-and-sweep GC. A client dying
+//! mid-`put_batch` never reaches the store at all — the request frame
+//! never completes, so nothing is staged, and whatever debris an earlier
+//! crash left in `tmp/` is disposable by construction.
+//!
+//! ## Threading
+//!
+//! One handler runs per connection. The standalone `qckptd` daemon
+//! draws handlers from the shared [`qpar`] worker pool
+//! ([`ServerConfig::handlers_on_pool`] — its process runs no competing
+//! compute; encode parallelism runs client-side), falling back to
+//! dedicated threads when the pool is disabled or saturated so
+//! accepting never blocks behind slow peers. Embedded (in-process)
+//! servers use dedicated threads unconditionally: they share the pool
+//! with the trainer's own fan-outs, and a handler parked on a pool
+//! worker there could deadlock the compute that feeds it.
+//!
+//! Namespace state is created lazily on first use and shared between
+//! connections through a mutex-guarded map; the [`StoreBackend`]s
+//! themselves are internally synchronized, so two clients of one
+//! namespace serialize only on the store's own locks.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{Error, Result};
+use crate::store::{BatchPutReport, ObjectStore, StagedChunk, StoreBackend, StoreKind, StoreStats};
+
+use super::proto::{
+    read_frame, valid_meta_name, valid_namespace, write_frame, ErrCode, Request, Response,
+    PROTO_VERSION,
+};
+
+/// Configuration for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Directory holding every namespace.
+    pub root: PathBuf,
+    /// Backend layout for *new* namespaces (existing ones keep their
+    /// sticky marker). Pack is the default: a whole `put_batch` commits
+    /// with one rename, which is the point of a checkpoint daemon.
+    pub store_kind: StoreKind,
+    /// Overrides the pack GC rewrite threshold for every namespace
+    /// (`None` = the `QCHECK_GC_DEAD_FRACTION` default). The
+    /// backend-equivalence suites pin `0.0` (eager) here.
+    pub gc_dead_fraction: Option<f64>,
+    /// Fault injection: close each connection after this many request
+    /// frames (handshake excluded). Exercises the client's
+    /// reconnect-and-replay path; `None` in production.
+    pub drop_after_requests: Option<u64>,
+    /// Draw connection handlers from the shared [`qpar`] worker pool
+    /// (the standalone `qckptd` daemon turns this on — its process runs
+    /// no competing compute). Leave off when the server is embedded in
+    /// a process that also fans compute out through the pool: a handler
+    /// parked on a pool worker while that process waits for pool
+    /// compute is a deadlock. Off, every connection gets a dedicated
+    /// thread.
+    pub handlers_on_pool: bool,
+}
+
+impl ServerConfig {
+    /// Default configuration rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            root: root.into(),
+            store_kind: StoreKind::Pack,
+            gc_dead_fraction: None,
+            drop_after_requests: None,
+            handlers_on_pool: false,
+        }
+    }
+}
+
+/// One namespace's storage: object store + metadata directory.
+#[derive(Debug)]
+struct Namespace {
+    store: StoreBackend,
+    root: PathBuf,
+    meta_dir: PathBuf,
+    /// Staging counter for atomic metadata publishes.
+    meta_seq: AtomicU64,
+}
+
+impl Namespace {
+    fn open(ns_root: &Path, kind: StoreKind, gc_dead_fraction: Option<f64>) -> Result<Namespace> {
+        fs::create_dir_all(ns_root)
+            .map_err(|e| Error::io(format!("creating {}", ns_root.display()), e))?;
+        let mut store = StoreBackend::open_sticky(ns_root, kind)?;
+        if let Some(f) = gc_dead_fraction {
+            store.set_gc_dead_fraction(f);
+        }
+        let meta_dir = ns_root.join("meta");
+        fs::create_dir_all(&meta_dir)
+            .map_err(|e| Error::io(format!("creating {}", meta_dir.display()), e))?;
+        Ok(Namespace {
+            store,
+            root: ns_root.to_path_buf(),
+            meta_dir,
+            meta_seq: AtomicU64::new(0),
+        })
+    }
+
+    fn meta_path(&self, name: &str) -> PathBuf {
+        // `name` passed the grammar check: relative, no `..` components.
+        self.meta_dir.join(name)
+    }
+
+    /// Atomically publishes one metadata blob (stage in `tmp/`, rename).
+    fn meta_put(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let target = self.meta_path(name);
+        if let Some(parent) = target.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| Error::io(format!("creating {}", parent.display()), e))?;
+        }
+        let tmp_dir = self.root.join("tmp");
+        fs::create_dir_all(&tmp_dir)
+            .map_err(|e| Error::io(format!("creating {}", tmp_dir.display()), e))?;
+        let tmp = tmp_dir.join(format!(
+            "meta-{}-{}",
+            std::process::id(),
+            self.meta_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, bytes).map_err(|e| Error::io(format!("writing {}", tmp.display()), e))?;
+        fs::rename(&tmp, &target)
+            .map_err(|e| Error::io(format!("renaming into {}", target.display()), e))?;
+        Ok(())
+    }
+
+    fn meta_get(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        match fs::read(self.meta_path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(Error::io(format!("reading meta {name}"), e)),
+        }
+    }
+
+    fn meta_list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.meta_dir.clone(), String::new())];
+        while let Some((dir, rel)) = stack.pop() {
+            let entries = match fs::read_dir(&dir) {
+                Ok(entries) => entries,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(Error::io(format!("listing {}", dir.display()), e)),
+            };
+            for entry in entries {
+                let entry = entry.map_err(|e| Error::io("walking meta", e))?;
+                let name = entry.file_name().to_string_lossy().to_string();
+                let child_rel = if rel.is_empty() {
+                    name
+                } else {
+                    format!("{rel}/{name}")
+                };
+                if entry.path().is_dir() {
+                    stack.push((entry.path(), child_rel));
+                } else if child_rel.starts_with(prefix) {
+                    out.push(child_rel);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn meta_delete(&self, name: &str) -> Result<()> {
+        match fs::remove_file(self.meta_path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(Error::io(format!("deleting meta {name}"), e)),
+        }
+    }
+}
+
+/// Shared daemon state.
+#[derive(Debug)]
+struct Shared {
+    config: ServerConfig,
+    namespaces: Mutex<BTreeMap<String, Arc<Namespace>>>,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    active: AtomicU64,
+    /// Duplicated handles of every live connection's socket plus a
+    /// "currently serving a request" flag, keyed by connection id and
+    /// removed by the handler on exit. The graceful-drain path closes
+    /// idle sockets (handlers parked in `read_frame`) immediately and
+    /// gives busy ones a bounded grace to finish their request.
+    socks: Mutex<BTreeMap<u64, (TcpStream, Arc<AtomicBool>)>>,
+}
+
+impl Shared {
+    fn namespace(&self, name: &str) -> Result<Arc<Namespace>> {
+        let mut map = self.namespaces.lock().expect("namespace map poisoned");
+        if let Some(ns) = map.get(name) {
+            return Ok(Arc::clone(ns));
+        }
+        let ns_root = self.config.root.join("ns").join(name);
+        let ns = Arc::new(Namespace::open(
+            &ns_root,
+            self.config.store_kind,
+            self.config.gc_dead_fraction,
+        )?);
+        map.insert(name.to_string(), Arc::clone(&ns));
+        Ok(ns)
+    }
+
+    fn namespace_count(&self) -> u64 {
+        // Count what is on disk, not just what this process has touched.
+        fs::read_dir(self.config.root.join("ns"))
+            .map(|entries| entries.count() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// A bound (but not yet serving) checkpoint daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral port) and
+    /// creates the storage root.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or the root cannot be
+    /// created.
+    pub fn bind(addr: &str, config: ServerConfig) -> Result<Server> {
+        fs::create_dir_all(config.root.join("ns"))
+            .map_err(|e| Error::io(format!("creating {}", config.root.display()), e))?;
+        let listener =
+            TcpListener::bind(addr).map_err(|e| Error::io(format!("binding {addr}"), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::io("resolving bound address", e))?;
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                config,
+                namespaces: Mutex::new(BTreeMap::new()),
+                shutdown: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                active: AtomicU64::new(0),
+                socks: Mutex::new(BTreeMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (the real port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves connections until a client sends `Shutdown`. Each
+    /// connection is handled on a [`qpar`] pool worker when one is
+    /// available, else on a dedicated thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on accept-loop errors; per-connection failures are
+    /// contained to their connection.
+    pub fn serve(self) -> Result<()> {
+        // Tolerance for transient accept failures (fd exhaustion under
+        // connection pressure, EINTR): back off briefly and keep
+        // serving — existing connections closing is exactly what clears
+        // the condition. Only a long unbroken error streak (a genuinely
+        // dead listener) is fatal.
+        const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
+        let mut accept_errors = 0u32;
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => {
+                    accept_errors = 0;
+                    s
+                }
+                Err(e) => {
+                    accept_errors += 1;
+                    if accept_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                        return Err(Error::io("accepting connection", e));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    continue;
+                }
+            };
+            let shared = Arc::clone(&self.shared);
+            let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed);
+            let busy = shared.active.fetch_add(1, Ordering::Relaxed) as usize;
+            let serving = Arc::new(AtomicBool::new(false));
+            if let Ok(dup) = stream.try_clone() {
+                shared
+                    .socks
+                    .lock()
+                    .expect("socks poisoned")
+                    .insert(conn_id, (dup, Arc::clone(&serving)));
+            }
+            let on_pool = self.shared.config.handlers_on_pool;
+            let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let _ = handle_connection(&shared, stream, &serving);
+                shared
+                    .socks
+                    .lock()
+                    .expect("socks poisoned")
+                    .remove(&conn_id);
+                shared.active.fetch_sub(1, Ordering::Relaxed);
+            });
+            match on_pool {
+                // Pool unavailable or saturated: a dedicated thread
+                // preserves the one-handler-per-connection contract.
+                true => {
+                    if let Err(job) = qpar::pool::spawn_detached(busy, job) {
+                        std::thread::spawn(job);
+                    }
+                }
+                false => {
+                    std::thread::spawn(job);
+                }
+            }
+        }
+        // Graceful drain: close *idle* connections (handlers parked in
+        // `read_frame` between requests) immediately, let handlers that
+        // are mid-request finish and send their response, and re-sweep
+        // until everyone is gone. The overall deadline bounds exit even
+        // against a peer whose request never completes.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            {
+                let socks = self.shared.socks.lock().expect("socks poisoned");
+                let force = std::time::Instant::now() >= deadline;
+                for (sock, serving) in socks.values() {
+                    if force || !serving.load(Ordering::Acquire) {
+                        let _ = sock.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+            }
+            if self.shared.active.load(Ordering::Acquire) == 0
+                || std::time::Instant::now() >= deadline
+            {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        Ok(())
+    }
+
+    /// Spawns the accept loop on a background thread and returns a
+    /// handle — the in-process form used by tests, benches and examples.
+    pub fn spawn(self) -> DaemonHandle {
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || self.serve());
+        DaemonHandle {
+            addr,
+            shared,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Handle to an in-process daemon; shuts it down on drop.
+#[derive(Debug)]
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<Result<()>>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's address, as a `host:port` string for
+    /// [`super::RemoteStore::connect`].
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Spawns an in-process daemon on an ephemeral localhost port — the
+/// one-liner for tests and examples. `gc_dead_fraction` is pinned to
+/// `0.0` (eager GC) so remote repositories behave byte-identically to
+/// the local backends' logical-equivalence contract.
+///
+/// # Errors
+///
+/// As [`Server::bind`].
+pub fn spawn_daemon(root: impl Into<PathBuf>, kind: StoreKind) -> Result<DaemonHandle> {
+    let mut config = ServerConfig::new(root);
+    config.store_kind = kind;
+    config.gc_dead_fraction = Some(0.0);
+    Ok(Server::bind("127.0.0.1:0", config)?.spawn())
+}
+
+/// Runs one connection to completion: handshake, then a request loop.
+fn handle_connection(shared: &Shared, stream: TcpStream, serving: &AtomicBool) -> Result<()> {
+    // Daemon-control boundary: without authentication in the protocol,
+    // the peer address is the only signal we have — process-control
+    // operations (Shutdown) are honored from loopback peers only, so a
+    // remote tenant of a LAN-exposed daemon cannot stop everyone
+    // else's checkpoint store.
+    let peer_is_loopback = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
+    stream
+        .set_nodelay(true)
+        .map_err(|e| Error::io("setting TCP_NODELAY", e))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| Error::io("cloning stream", e))?,
+    );
+    let mut writer = BufWriter::new(stream);
+
+    // --- handshake ---
+    let hello = read_frame(&mut reader)?;
+    let namespace = match Request::decode(&hello) {
+        Ok(Request::Hello { version, namespace }) => {
+            if version != PROTO_VERSION {
+                send(
+                    &mut writer,
+                    &Response::Err {
+                        code: ErrCode::Invalid as u8,
+                        message: format!(
+                            "unsupported protocol version {version} (server speaks {PROTO_VERSION})"
+                        ),
+                    },
+                )?;
+                return Ok(());
+            }
+            if !valid_namespace(&namespace) {
+                send(
+                    &mut writer,
+                    &Response::Err {
+                        code: ErrCode::Invalid as u8,
+                        message: format!("invalid namespace {namespace:?}"),
+                    },
+                )?;
+                return Ok(());
+            }
+            namespace
+        }
+        Ok(_) | Err(_) => {
+            send(
+                &mut writer,
+                &Response::Err {
+                    code: ErrCode::Invalid as u8,
+                    message: "first frame must be a versioned Hello".into(),
+                },
+            )?;
+            return Ok(());
+        }
+    };
+    send(
+        &mut writer,
+        &Response::HelloOk {
+            version: PROTO_VERSION,
+        },
+    )?;
+
+    // --- request loop ---
+    let mut served = 0u64;
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(body) => body,
+            // Peer closed (or broke) the connection: normal end of life.
+            Err(_) => return Ok(()),
+        };
+        // Mark the connection busy for the graceful-drain sweep: a
+        // shutdown arriving now lets this request finish and its
+        // response reach the client before the socket is closed.
+        serving.store(true, Ordering::Release);
+        served += 1;
+        let (response, is_shutdown) = match Request::decode(&body) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                (
+                    apply_request(shared, &namespace, req, peer_is_loopback),
+                    is_shutdown,
+                )
+            }
+            Err(e) => {
+                let (code, message) = ErrCode::classify(&e);
+                (
+                    Response::Err {
+                        code: code as u8,
+                        message,
+                    },
+                    false,
+                )
+            }
+        };
+        let ok = !matches!(response, Response::Err { .. });
+        let sent = send(&mut writer, &response);
+        serving.store(false, Ordering::Release);
+        sent?;
+        if is_shutdown && ok {
+            shared.shutdown.store(true, Ordering::Release);
+            // Unblock the accept loop (the accepted socket's local
+            // address is the listening address) so `serve` observes
+            // the flag.
+            if let Ok(addr) = writer.get_ref().local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return Ok(());
+        }
+        drop_budget(shared, served)?;
+    }
+}
+
+/// Fault-injection point: errors out of the handler (dropping the
+/// connection) once the configured request budget is exhausted.
+fn drop_budget(shared: &Shared, served: u64) -> Result<()> {
+    if let Some(cap) = shared.config.drop_after_requests {
+        if served >= cap {
+            return Err(Error::protocol(
+                "fault injection",
+                format!("dropping connection after {served} requests"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn send(writer: &mut BufWriter<TcpStream>, resp: &Response) -> Result<()> {
+    write_frame(writer, &resp.encode())?;
+    writer
+        .flush()
+        .map_err(|e| Error::io("flushing response", e))?;
+    Ok(())
+}
+
+/// Executes one request against its namespace, mapping errors onto
+/// [`Response::Err`].
+fn apply_request(
+    shared: &Shared,
+    namespace: &str,
+    req: Request,
+    peer_is_loopback: bool,
+) -> Response {
+    let result = apply_request_inner(shared, namespace, req, peer_is_loopback);
+    match result {
+        Ok(resp) => resp,
+        Err(e) => {
+            let (code, message) = ErrCode::classify(&e);
+            Response::Err {
+                code: code as u8,
+                message,
+            }
+        }
+    }
+}
+
+fn apply_request_inner(
+    shared: &Shared,
+    namespace: &str,
+    req: Request,
+    peer_is_loopback: bool,
+) -> Result<Response> {
+    match req {
+        Request::Hello { .. } => Err(Error::protocol("handling request", "duplicate Hello")),
+        Request::Ping => Ok(Response::Pong),
+        Request::PutBatch { fsync, chunks } => {
+            let ns = shared.namespace(namespace)?;
+            // Trust boundary: verify every chunk's address before it
+            // reaches the store — a lying client must not be able to
+            // poison content addresses other clients dedup against.
+            for c in &chunks {
+                if c.data.len() != c.reference.len as usize
+                    || crate::hash::Sha256::digest(&c.data) != c.reference.hash
+                {
+                    return Err(Error::corrupt(
+                        format!("staged chunk {}", c.reference.hash),
+                        "payload does not match its content address".to_string(),
+                    ));
+                }
+            }
+            let staged: Vec<StagedChunk<'_>> = chunks
+                .iter()
+                .map(|c| StagedChunk {
+                    reference: c.reference,
+                    data: &c.data,
+                })
+                .collect();
+            let report: BatchPutReport = ns.store.put_batch(&staged, fsync)?;
+            Ok(Response::PutBatch(report))
+        }
+        Request::Get { reference } => {
+            let ns = shared.namespace(namespace)?;
+            Ok(Response::Chunk(ns.store.get(&reference)?))
+        }
+        Request::Contains { hashes } => {
+            let ns = shared.namespace(namespace)?;
+            Ok(Response::Contains(
+                hashes.iter().map(|h| ns.store.contains(h)).collect(),
+            ))
+        }
+        Request::List => {
+            let ns = shared.namespace(namespace)?;
+            Ok(Response::Hashes(ns.store.list()?))
+        }
+        Request::Sweep { dry_run, reachable } => {
+            let ns = shared.namespace(namespace)?;
+            let reachable = reachable.into_iter().collect();
+            let report = if dry_run {
+                ns.store.plan_sweep(&reachable)?
+            } else {
+                ns.store.sweep(&reachable)?
+            };
+            Ok(Response::Gc(report))
+        }
+        Request::Stats => {
+            let ns = shared.namespace(namespace)?;
+            let stats: StoreStats = ns.store.stats()?;
+            Ok(Response::Stats(stats))
+        }
+        Request::ClearStaging => {
+            let ns = shared.namespace(namespace)?;
+            Ok(Response::Cleared(ns.store.clear_staging()? as u64))
+        }
+        Request::MetaPut { name, bytes } => {
+            let ns = shared.namespace(namespace)?;
+            check_meta_name(&name)?;
+            ns.meta_put(&name, &bytes)?;
+            Ok(Response::Ok)
+        }
+        Request::MetaGet { name } => {
+            let ns = shared.namespace(namespace)?;
+            check_meta_name(&name)?;
+            Ok(Response::Meta(ns.meta_get(&name)?))
+        }
+        Request::MetaList { prefix } => {
+            let ns = shared.namespace(namespace)?;
+            Ok(Response::Names(ns.meta_list(&prefix)?))
+        }
+        Request::MetaDelete { name } => {
+            let ns = shared.namespace(namespace)?;
+            check_meta_name(&name)?;
+            ns.meta_delete(&name)?;
+            Ok(Response::Ok)
+        }
+        Request::Status => Ok(Response::Status {
+            version: PROTO_VERSION,
+            namespaces: shared.namespace_count(),
+            connections: shared.connections.load(Ordering::Relaxed),
+        }),
+        Request::Shutdown => {
+            if peer_is_loopback {
+                Ok(Response::Ok)
+            } else {
+                Err(Error::InvalidConfig(
+                    "shutdown is only honored from loopback connections \
+                     (run `qckptd shutdown` on the daemon's host)"
+                        .into(),
+                ))
+            }
+        }
+        #[cfg(any(test, feature = "testing"))]
+        Request::Corrupt { hash, offset } => {
+            let ns = shared.namespace(namespace)?;
+            ns.store.corrupt_object(&hash, offset as usize)?;
+            Ok(Response::Ok)
+        }
+        #[cfg(not(any(test, feature = "testing")))]
+        Request::Corrupt { .. } => Err(Error::InvalidConfig(
+            "corrupt-object is a testing-only operation; this daemon was built without it".into(),
+        )),
+    }
+}
+
+fn check_meta_name(name: &str) -> Result<()> {
+    if valid_meta_name(name) {
+        Ok(())
+    } else {
+        Err(Error::InvalidConfig(format!(
+            "invalid metadata name {name:?}"
+        )))
+    }
+}

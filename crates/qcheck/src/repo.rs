@@ -195,8 +195,15 @@ pub struct RecoveryReport {
     /// Id of the checkpoint that was recovered, if any.
     pub recovered: Option<CheckpointId>,
     /// Orphaned staging files (debris from crashed writers) deleted
-    /// before the scan.
+    /// before the scan — local `tmp/` debris plus, for a shared
+    /// (remote) backend, server-side staging cleared over the wire.
     pub staging_cleared: usize,
+    /// Manifests this repository *handle* has pulled down from a shared
+    /// (remote) backend because they were missing locally, summed over
+    /// the open-time sync and every recovery sync — nonzero exactly
+    /// when this working directory was missing history, e.g. a
+    /// fresh-directory resume. Always 0 for local backends.
+    pub meta_synced: usize,
 }
 
 /// Retention policies for [`CheckpointRepo::apply_retention`].
@@ -239,6 +246,9 @@ pub struct CheckpointRepo<S: ObjectStore = StoreBackend> {
     tmp_dir: PathBuf,
     store: S,
     seq: Mutex<u64>,
+    /// Total manifests pulled from a shared backend by this handle
+    /// (see [`RecoveryReport::meta_synced`]).
+    meta_synced: std::sync::atomic::AtomicUsize,
     /// Sections of the last checkpoint this handle committed. Delta saves
     /// diff against the latest checkpoint; when it is the one we just
     /// wrote, the cache saves a full read-decompress-verify pass over the
@@ -321,7 +331,13 @@ impl<S: ObjectStore> CheckpointRepo<S> {
             store,
             seq: Mutex::new(0),
             encode_cache: Mutex::new(None),
+            meta_synced: std::sync::atomic::AtomicUsize::new(0),
         };
+        // A shared backend mirrors the repository metadata: pull down
+        // whatever this directory is missing *before* the sequence
+        // counter is seeded, so a fresh working directory continues the
+        // namespace's id sequence instead of restarting it.
+        repo.sync_shared_meta()?;
         let next = repo
             .list_ids()?
             .last()
@@ -647,6 +663,14 @@ impl<S: ObjectStore> CheckpointRepo<S> {
             }
         }
 
+        // Mirror the manifest to a shared backend once it is locally
+        // durable. Ordering matters for fresh-directory recovery: the
+        // chunks went to the (shared) store before the manifest, so a
+        // mirrored manifest is always resolvable remotely; a crash in
+        // between leaves the remote one checkpoint behind the local
+        // directory, never ahead of its data.
+        self.mirror_meta(&format!("manifests/{}", id.file_name()), &manifest_bytes)?;
+
         if let Some(CrashPoint::BeforeLatestSwing) = options.crash {
             return Err(Error::SimulatedCrash {
                 at: CrashPoint::BeforeLatestSwing.to_string(),
@@ -687,6 +711,8 @@ impl<S: ObjectStore> CheckpointRepo<S> {
                 }
             }
         }
+
+        self.mirror_meta("LATEST", latest_content.as_bytes())?;
 
         // Seed the encode cache for the next delta save: the checkpoint we
         // just committed is the latest, and these are exactly the sections
@@ -730,6 +756,67 @@ impl<S: ObjectStore> CheckpointRepo<S> {
             manifest_bytes: manifest_bytes.len() as u64,
             id,
         })
+    }
+
+    /// Pulls repository metadata (manifests, `LATEST`) down from a
+    /// shared backend into this working directory. No-op (`Ok(0)`) for
+    /// local backends. Local files win: a manifest that already exists
+    /// here is never overwritten, and `LATEST` is only adopted when
+    /// locally absent — the local directory is authoritative for its
+    /// own in-flight work, the mirror exists to seed *fresh*
+    /// directories and recovery.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or local filesystem errors.
+    pub fn sync_shared_meta(&self) -> Result<usize> {
+        if !self.store.is_shared() {
+            return Ok(0);
+        }
+        // Names of manifests we are missing, with their validated local
+        // file names. Defensive filter: the server validated these
+        // names, but they become local paths — refuse anything that is
+        // not a plain file name.
+        let missing: Vec<(String, PathBuf)> = self
+            .store
+            .meta_list("manifests/")?
+            .into_iter()
+            .filter_map(|name| {
+                let file = name.strip_prefix("manifests/")?;
+                if file.is_empty() || file.contains('/') || file.contains("..") {
+                    return None;
+                }
+                let local = self.manifests_dir.join(file);
+                (!local.exists()).then_some((name, local))
+            })
+            .collect();
+        // One pipelined burst for every missing manifest (the remote
+        // backend overrides meta_get_many), not a round trip each.
+        let names: Vec<String> = missing.iter().map(|(n, _)| n.clone()).collect();
+        let mut pulled = 0usize;
+        for ((_, local), bytes) in missing.iter().zip(self.store.meta_get_many(&names)?) {
+            if let Some(bytes) = bytes {
+                self.atomic_write(local, &bytes, false)?;
+                pulled += 1;
+            }
+        }
+        if !self.latest_path().exists() {
+            if let Some(bytes) = self.store.meta_get("LATEST")? {
+                self.atomic_write(&self.latest_path(), &bytes, false)?;
+            }
+        }
+        self.meta_synced
+            .fetch_add(pulled, std::sync::atomic::Ordering::Relaxed);
+        Ok(pulled)
+    }
+
+    /// Mirrors one just-committed metadata file to a shared backend
+    /// (no-op locally).
+    fn mirror_meta(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        if self.store.is_shared() {
+            self.store.meta_put(name, bytes)?;
+        }
+        Ok(())
     }
 
     /// Chunk hashes of `manifest`'s entire delta chain (newest first), or
@@ -983,14 +1070,29 @@ impl<S: ObjectStore> CheckpointRepo<S> {
     /// verifiable checkpoint. Does not trust `LATEST`. Orphaned staging
     /// files (debris of the crash being recovered from) are garbage
     /// collected first — `tmp/` contents are disposable at every point of
-    /// the commit protocol, so this is always safe.
+    /// the commit protocol, so this is always safe. For a shared (remote)
+    /// backend this clears *both* staging areas — the store's own (the
+    /// server-side `tmp/`, via `CLEAR_STAGING` on the live connection)
+    /// and the local repository `tmp/` — and pulls down any manifests
+    /// this directory is missing, so recovery works from a fresh
+    /// directory against the same daemon.
     ///
     /// # Errors
     ///
     /// [`Error::NoValidCheckpoint`] when nothing can be recovered.
     pub fn recover(&self) -> Result<(TrainingSnapshot, RecoveryReport)> {
+        // Store staging first (for local backends this *is* the repo
+        // `tmp/`), then whatever the store didn't own — for a remote
+        // backend the local manifest staging dir is a separate
+        // directory the server never sees.
+        let mut staging_cleared = self.store.clear_staging().unwrap_or(0);
+        staging_cleared += clear_dir_files_local(&self.tmp_dir);
         let mut report = RecoveryReport {
-            staging_cleared: self.store.clear_staging().unwrap_or(0),
+            staging_cleared,
+            meta_synced: {
+                let _ = self.sync_shared_meta();
+                self.meta_synced.load(std::sync::atomic::Ordering::Relaxed)
+            },
             ..RecoveryReport::default()
         };
         let mut ids = self.list_ids()?;
@@ -1024,6 +1126,22 @@ impl<S: ObjectStore> CheckpointRepo<S> {
     ///
     /// Fails on filesystem errors.
     pub fn gc(&self) -> Result<GcReport> {
+        self.store.sweep(&self.reachable_chunks()?)
+    }
+
+    /// Read-only preview of what [`CheckpointRepo::gc`] would do right
+    /// now — including the pack backend's compaction-deferral counters
+    /// (`GcReport::{deferred,deferred_bytes}`). Deletes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    pub fn gc_plan(&self) -> Result<GcReport> {
+        self.store.plan_sweep(&self.reachable_chunks()?)
+    }
+
+    /// The chunk hashes referenced by every decodable manifest.
+    fn reachable_chunks(&self) -> Result<BTreeSet<crate::hash::ContentHash>> {
         let mut reachable = BTreeSet::new();
         for id in self.list_ids()? {
             if let Ok(m) = self.load_manifest(&id) {
@@ -1032,7 +1150,7 @@ impl<S: ObjectStore> CheckpointRepo<S> {
                 }
             }
         }
-        self.store.sweep(&reachable)
+        Ok(reachable)
     }
 
     /// Applies a retention policy, deleting old manifests (keeping delta
@@ -1078,6 +1196,10 @@ impl<S: ObjectStore> CheckpointRepo<S> {
             if !keep.contains(&id) {
                 fs::remove_file(self.manifest_path(&id))
                     .map_err(|e| Error::io(format!("deleting manifest {id}"), e))?;
+                if self.store.is_shared() {
+                    self.store
+                        .meta_delete(&format!("manifests/{}", id.file_name()))?;
+                }
                 report.manifests_deleted += 1;
             }
         }
@@ -1116,6 +1238,18 @@ impl Drop for RepoLock {
     fn drop(&mut self) {
         let _ = fs::remove_file(&self.path);
     }
+}
+
+/// Best-effort removal of plain files directly under `dir` (the local
+/// manifest-staging sweep used by recovery; absence and races are fine).
+fn clear_dir_files_local(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| fs::remove_file(e.path()).is_ok())
+        .count()
 }
 
 fn now_unix_ms() -> u64 {

@@ -193,6 +193,21 @@ impl ObjectStore for LooseStore {
         Ok(report)
     }
 
+    fn plan_sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport> {
+        let mut report = GcReport::default();
+        for hash in self.list()? {
+            if reachable.contains(&hash) {
+                report.live += 1;
+            } else {
+                report.deleted += 1;
+                report.reclaimed_bytes += fs::metadata(self.object_path(&hash))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+            }
+        }
+        Ok(report)
+    }
+
     fn stats(&self) -> Result<StoreStats> {
         let mut guard = self.stats_cache.lock().expect("stats lock");
         if let Some(stats) = *guard {
@@ -221,8 +236,10 @@ impl ObjectStore for LooseStore {
     }
 }
 
-/// Shared chunk verification: exact length, then SHA-256.
-pub(super) fn verify_chunk(reference: &ChunkRef, data: &[u8]) -> Result<()> {
+/// Shared chunk verification: exact length, then SHA-256. Used by every
+/// backend — including the remote client, which re-verifies after the
+/// wire so corruption anywhere between disk and socket is detected.
+pub(crate) fn verify_chunk(reference: &ChunkRef, data: &[u8]) -> Result<()> {
     if data.len() != reference.len as usize {
         return Err(Error::corrupt(
             format!("chunk {}", reference.hash),

@@ -28,6 +28,7 @@
 mod loose;
 mod pack;
 
+pub(crate) use loose::verify_chunk;
 pub use loose::LooseStore;
 pub use pack::{PackStore, DEFAULT_GC_DEAD_FRACTION, GC_DEAD_FRACTION_ENV};
 
@@ -38,6 +39,12 @@ use std::path::Path;
 use crate::chunk::ChunkRef;
 use crate::error::{Error, Result};
 use crate::hash::{ContentHash, Sha256};
+use crate::remote::{RemoteStore, REMOTE_ADDR_ENV, REMOTE_NS_ENV};
+
+/// Name of the marker file persisting a repository's remote namespace
+/// (written on first open of a remote-backed repository when
+/// `QCHECK_REMOTE_NS` does not pin one).
+pub const REMOTE_NS_MARKER_FILE: &str = "REMOTE_NS";
 
 /// Back-compat alias: before the [`ObjectStore`] trait existed the loose
 /// layout was the only backend and its type was named `ChunkStore`.
@@ -166,6 +173,17 @@ pub trait ObjectStore: std::fmt::Debug + Send + Sync {
     /// (reachable objects are never deleted).
     fn sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport>;
 
+    /// Dry-run of [`ObjectStore::sweep`]: the report a sweep against
+    /// `reachable` would produce *right now* — including the pack
+    /// backend's compaction-deferral counters — without deleting or
+    /// rewriting anything. `qckpt stats` uses this to surface
+    /// fragmentation read-only.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directory-walk errors.
+    fn plan_sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport>;
+
     /// Object count and total logical bytes. Maintained incrementally by
     /// this handle's writes and sweeps — no full directory re-walk per
     /// call once warmed up.
@@ -184,6 +202,82 @@ pub trait ObjectStore: std::fmt::Debug + Send + Sync {
     ///
     /// Fails on directory errors other than absence.
     fn clear_staging(&self) -> Result<usize>;
+
+    // ------------------------------------------------------------------
+    // Shared-metadata mirror (remote / multi-client backends only)
+    // ------------------------------------------------------------------
+    //
+    // A *local* backend lives inside the repository directory, so the
+    // directory itself is the authority for manifests and the `LATEST`
+    // pointer — these methods default to no-ops there. A *shared*
+    // backend (the remote daemon) outlives any one working directory:
+    // it mirrors that metadata so a client opening a fresh directory
+    // can reconstruct the repository. `CheckpointRepo` calls the mirror
+    // methods only when `is_shared()` reports true.
+
+    /// Whether this store is shared across working directories (and
+    /// therefore mirrors repository metadata). Local backends: `false`.
+    fn is_shared(&self) -> bool {
+        false
+    }
+
+    /// Atomically publishes a named metadata blob on the shared store.
+    /// No-op for local backends.
+    ///
+    /// # Errors
+    ///
+    /// Shared backends fail on transport or server errors.
+    fn meta_put(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let _ = (name, bytes);
+        Ok(())
+    }
+
+    /// Fetches a named metadata blob; `Ok(None)` when absent (always,
+    /// for local backends).
+    ///
+    /// # Errors
+    ///
+    /// Shared backends fail on transport or server errors.
+    fn meta_get(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        let _ = name;
+        Ok(None)
+    }
+
+    /// Fetches many named metadata blobs, in input order. Semantically
+    /// `names.iter().map(meta_get)`; the remote backend overrides this
+    /// to pipeline every fetch in one burst — fresh-directory resume
+    /// pulls a whole history of manifests, and paying one network
+    /// round trip per manifest would make that O(checkpoints) in
+    /// latency.
+    ///
+    /// # Errors
+    ///
+    /// Shared backends fail on transport or server errors.
+    fn meta_get_many(&self, names: &[String]) -> Result<Vec<Option<Vec<u8>>>> {
+        names.iter().map(|n| self.meta_get(n)).collect()
+    }
+
+    /// Lists metadata names under a prefix, ascending (empty for local
+    /// backends).
+    ///
+    /// # Errors
+    ///
+    /// Shared backends fail on transport or server errors.
+    fn meta_list(&self, prefix: &str) -> Result<Vec<String>> {
+        let _ = prefix;
+        Ok(Vec::new())
+    }
+
+    /// Deletes a named metadata blob; absence is not an error. No-op for
+    /// local backends.
+    ///
+    /// # Errors
+    ///
+    /// Shared backends fail on transport or server errors.
+    fn meta_delete(&self, name: &str) -> Result<()> {
+        let _ = name;
+        Ok(())
+    }
 
     /// Stores one chunk. Convenience wrapper over [`ObjectStore::put_batch`]
     /// returning the reference and whether a new object was physically
@@ -220,6 +314,9 @@ pub enum StoreKind {
     Loose,
     /// Batched pack files (`packs/`): [`PackStore`].
     Pack,
+    /// A `qckptd` daemon over TCP: [`RemoteStore`]
+    /// (`QCHECK_REMOTE_ADDR` names the daemon).
+    Remote,
 }
 
 impl StoreKind {
@@ -229,6 +326,7 @@ impl StoreKind {
         match self {
             StoreKind::Loose => "loose",
             StoreKind::Pack => "pack",
+            StoreKind::Remote => "remote",
         }
     }
 
@@ -237,6 +335,7 @@ impl StoreKind {
         match s.trim() {
             "loose" => Some(StoreKind::Loose),
             "pack" => Some(StoreKind::Pack),
+            "remote" => Some(StoreKind::Remote),
             _ => None,
         }
     }
@@ -252,7 +351,7 @@ impl StoreKind {
         match std::env::var("QCHECK_STORE") {
             Ok(v) => StoreKind::parse(&v).ok_or_else(|| {
                 Error::InvalidConfig(format!(
-                    "QCHECK_STORE={v:?} (expected \"loose\" or \"pack\")"
+                    "QCHECK_STORE={v:?} (expected \"loose\", \"pack\" or \"remote\")"
                 ))
             }),
             Err(_) => Ok(StoreKind::Loose),
@@ -276,27 +375,53 @@ pub enum StoreBackend {
     Loose(LooseStore),
     /// Batched pack files.
     Pack(PackStore),
+    /// A `qckptd` daemon over TCP.
+    Remote(RemoteStore),
 }
 
 impl StoreBackend {
     /// Overrides the pack backend's GC rewrite threshold (no-op for the
-    /// loose backend, which has no deferral). See
-    /// [`PackStore::set_gc_dead_fraction`].
+    /// loose and remote backends — the daemon's threshold is server
+    /// configuration). See [`PackStore::set_gc_dead_fraction`].
     pub fn set_gc_dead_fraction(&mut self, fraction: f64) {
         if let StoreBackend::Pack(pack) = self {
             pack.set_gc_dead_fraction(fraction);
         }
     }
 
-    /// Opens the given backend under `root` (no marker handling).
+    /// The remote client, when this backend is
+    /// [`StoreBackend::Remote`] — the hook for protocol-level
+    /// inspection (round-trip counters, daemon status).
+    pub fn remote(&self) -> Option<&RemoteStore> {
+        match self {
+            StoreBackend::Remote(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Opens the given backend under `root` (no marker handling). The
+    /// remote backend resolves its daemon address from
+    /// `QCHECK_REMOTE_ADDR` and its namespace from `QCHECK_REMOTE_NS`,
+    /// a `REMOTE_NS` marker under `root`, or (first open) a freshly
+    /// generated name persisted to that marker.
     ///
     /// # Errors
     ///
-    /// Fails if directories cannot be created.
+    /// Fails if directories cannot be created, `QCHECK_REMOTE_ADDR` is
+    /// missing for the remote backend, or the daemon is unreachable.
     pub fn open(root: &Path, kind: StoreKind) -> Result<Self> {
         Ok(match kind {
             StoreKind::Loose => StoreBackend::Loose(LooseStore::open(root)?),
             StoreKind::Pack => StoreBackend::Pack(PackStore::open(root)?),
+            StoreKind::Remote => {
+                let addr = std::env::var(REMOTE_ADDR_ENV).map_err(|_| {
+                    Error::InvalidConfig(format!(
+                        "QCHECK_STORE=remote requires {REMOTE_ADDR_ENV}=host:port"
+                    ))
+                })?;
+                let namespace = resolve_remote_namespace(root)?;
+                StoreBackend::Remote(RemoteStore::connect(addr, namespace)?)
+            }
         })
     }
 
@@ -342,6 +467,7 @@ impl StoreBackend {
         match self {
             StoreBackend::Loose(_) => StoreKind::Loose,
             StoreBackend::Pack(_) => StoreKind::Pack,
+            StoreBackend::Remote(_) => StoreKind::Remote,
         }
     }
 }
@@ -353,11 +479,68 @@ fn has_loose_objects(root: &Path) -> bool {
         .unwrap_or(false)
 }
 
+/// Resolves the remote namespace for a repository at `root`:
+/// `QCHECK_REMOTE_NS` wins, then the repository's `REMOTE_NS` marker,
+/// else a fresh random name is generated and persisted to the marker so
+/// every later open of this directory lands in the same namespace.
+fn resolve_remote_namespace(root: &Path) -> Result<String> {
+    if let Ok(ns) = std::env::var(REMOTE_NS_ENV) {
+        let ns = ns.trim().to_string();
+        if !crate::remote::proto::valid_namespace(&ns) {
+            return Err(Error::InvalidConfig(format!(
+                "{REMOTE_NS_ENV}={ns:?} is not a valid namespace"
+            )));
+        }
+        return Ok(ns);
+    }
+    let marker = root.join(REMOTE_NS_MARKER_FILE);
+    match fs::read_to_string(&marker) {
+        Ok(s) => {
+            let ns = s.trim().to_string();
+            if crate::remote::proto::valid_namespace(&ns) {
+                Ok(ns)
+            } else {
+                Err(Error::corrupt(
+                    format!("namespace marker {}", marker.display()),
+                    format!("invalid namespace {ns:?}"),
+                ))
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // No shared randomness source in the dependency budget:
+            // hash process identity + wall clock + a counter. Collision
+            // would require two generators with identical pid, nanos
+            // and counter — and even then namespaces only share, never
+            // corrupt (content addressing keeps objects consistent).
+            static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0);
+            let mut h = Sha256::new();
+            h.update(&(std::process::id() as u64).to_le_bytes());
+            h.update(&nanos.to_le_bytes());
+            h.update(
+                &SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    .to_le_bytes(),
+            );
+            let ns = format!("auto-{}", &h.finalize().to_hex()[..16]);
+            fs::create_dir_all(root)
+                .map_err(|e| Error::io(format!("creating {}", root.display()), e))?;
+            fs::write(&marker, format!("{ns}\n"))
+                .map_err(|e| Error::io(format!("writing {}", marker.display()), e))?;
+            Ok(ns)
+        }
+        Err(e) => Err(Error::io(format!("reading {}", marker.display()), e)),
+    }
+}
+
 macro_rules! delegate {
     ($self:ident, $inner:ident => $body:expr) => {
         match $self {
             StoreBackend::Loose($inner) => $body,
             StoreBackend::Pack($inner) => $body,
+            StoreBackend::Remote($inner) => $body,
         }
     };
 }
@@ -387,12 +570,40 @@ impl ObjectStore for StoreBackend {
         delegate!(self, s => s.sweep(reachable))
     }
 
+    fn plan_sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport> {
+        delegate!(self, s => s.plan_sweep(reachable))
+    }
+
     fn stats(&self) -> Result<StoreStats> {
         delegate!(self, s => s.stats())
     }
 
     fn clear_staging(&self) -> Result<usize> {
         delegate!(self, s => s.clear_staging())
+    }
+
+    fn is_shared(&self) -> bool {
+        delegate!(self, s => s.is_shared())
+    }
+
+    fn meta_put(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        delegate!(self, s => s.meta_put(name, bytes))
+    }
+
+    fn meta_get(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        delegate!(self, s => s.meta_get(name))
+    }
+
+    fn meta_get_many(&self, names: &[String]) -> Result<Vec<Option<Vec<u8>>>> {
+        delegate!(self, s => s.meta_get_many(names))
+    }
+
+    fn meta_list(&self, prefix: &str) -> Result<Vec<String>> {
+        delegate!(self, s => s.meta_list(prefix))
+    }
+
+    fn meta_delete(&self, name: &str) -> Result<()> {
+        delegate!(self, s => s.meta_delete(name))
     }
 
     #[cfg(any(test, feature = "testing"))]

@@ -555,6 +555,43 @@ impl ObjectStore for PackStore {
         Ok(report)
     }
 
+    fn plan_sweep(&self, reachable: &BTreeSet<ContentHash>) -> Result<GcReport> {
+        let mut index = self.lock();
+        self.refresh(&mut index)?;
+        let mut report = GcReport::default();
+        // Same per-pack grouping and threshold arithmetic as `sweep`,
+        // with the I/O arms replaced by accounting.
+        let mut per_pack: BTreeMap<u32, Vec<(ContentHash, ObjLoc)>> = BTreeMap::new();
+        for (hash, loc) in &index.objects {
+            per_pack.entry(loc.pack).or_default().push((*hash, *loc));
+        }
+        for entries in per_pack.values() {
+            let live = entries
+                .iter()
+                .filter(|(h, _)| reachable.contains(h))
+                .count();
+            let dead_count = entries.len() - live;
+            let dead_bytes: u64 = entries
+                .iter()
+                .filter(|(h, _)| !reachable.contains(h))
+                .map(|(_, loc)| loc.len as u64)
+                .sum();
+            report.live += live;
+            if dead_count == 0 {
+                continue;
+            }
+            let dead_fraction = dead_count as f64 / entries.len() as f64;
+            if live > 0 && dead_fraction <= self.gc_dead_fraction {
+                report.deferred += dead_count;
+                report.deferred_bytes += dead_bytes;
+            } else {
+                report.deleted += dead_count;
+                report.reclaimed_bytes += dead_bytes;
+            }
+        }
+        Ok(report)
+    }
+
     fn stats(&self) -> Result<StoreStats> {
         let mut index = self.lock();
         // A directory listing (not an object walk) keeps multi-handle

@@ -3,21 +3,24 @@
 //! The `ObjectStore` abstraction promises that the *logical* behavior of a
 //! checkpoint repository is independent of the storage layout: the same
 //! sequence of saves, deltas, garbage collections, retentions and
-//! recoveries against a loose-backend repo and a pack-backend repo must
-//! produce byte-identical manifests, identical snapshots, identical GC
+//! recoveries against a loose-backend repo, a pack-backend repo and a
+//! remote-backend repo (an in-process `qckptd` daemon) must produce
+//! byte-identical manifests, identical snapshots, identical GC
 //! reachability and identical fsck health — only the syscall profile
 //! (renames/fsyncs per save) may differ. These properties drive random
-//! operation sequences against both backends side by side and assert
+//! operation sequences against all backends side by side and assert
 //! exactly that, plus the crash-safety contract (every simulated crash
-//! point leaves both repositories recoverable to the same state, and
-//! `recover` clears the staging debris the crash left behind).
+//! point leaves every repository recoverable to the same state, and
+//! `recover` clears the staging debris the crash left behind — local
+//! *and*, for the remote backend, server-side via `CLEAR_STAGING`).
 
 use proptest::prelude::*;
 
 use qcheck::failure::CrashPoint;
+use qcheck::remote::{spawn_daemon, DaemonHandle, RemoteStore};
 use qcheck::repo::{CheckpointRepo, Retention, SaveMode, SaveOptions, SaveReport};
 use qcheck::snapshot::{StateBlob, TrainingSnapshot};
-use qcheck::store::{ObjectStore, StoreKind};
+use qcheck::store::{ObjectStore, StoreBackend, StoreKind};
 use qcheck::verify::fsck;
 
 /// One step of the randomized repository workload.
@@ -74,6 +77,22 @@ impl Drop for TempDir {
     }
 }
 
+/// Spawns an in-process daemon (loose layout, eager GC — the
+/// logical-equivalence reference configuration) and opens a remote-backed
+/// repository under `dir` against a unique namespace.
+fn remote_repo(dir: &std::path::Path, tag: &str) -> (DaemonHandle, CheckpointRepo) {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let daemon = spawn_daemon(dir.join("daemon"), StoreKind::Loose).unwrap();
+    let ns = format!(
+        "equiv-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    );
+    let store = RemoteStore::connect(daemon.addr(), ns).unwrap();
+    let repo = CheckpointRepo::with_store(dir.join("client"), StoreBackend::Remote(store)).unwrap();
+    (daemon, repo)
+}
+
 fn snapshot_at(step: u64, params: &[f64]) -> TrainingSnapshot {
     let mut s = TrainingSnapshot::new("backend-equivalence");
     s.step = step;
@@ -120,6 +139,12 @@ fn assert_rename_contract(kind: StoreKind, r: &SaveReport) {
             r.store_renames <= 1,
             "pack backend must commit each save with at most one rename (got {})",
             r.store_renames
+        ),
+        // The equivalence daemon serves a loose layout, so the
+        // server-reported counters must match the loose contract.
+        StoreKind::Remote => assert_eq!(
+            r.store_renames, r.chunks_new as u64,
+            "remote(loose) backend must report the server's renames"
         ),
     }
 }
@@ -188,7 +213,7 @@ proptest! {
 
     /// Random save/delta/gc/recover/compact/retain sequences produce
     /// byte-identical manifests, identical snapshots and identical GC
-    /// reachability on the loose and pack backends.
+    /// reachability on the loose, pack and remote backends.
     #[test]
     fn backends_are_logically_equivalent(ops in prop::collection::vec(arb_op(), 1..10)) {
         // Pin the pack GC to eager rewrites: with the default deferral
@@ -196,15 +221,24 @@ proptest! {
         // barely-fragmented packs alive, so its orphan/GC accounting
         // legitimately diverges from loose. Eager mode is the
         // logical-equivalence contract; the deferral policy has its own
-        // unit tests in `store::pack`.
+        // unit tests in `store::pack`. The remote daemon serves a loose
+        // layout (spawn_daemon pins eager GC too).
         let loose_dir = TempDir::new("loose");
         let pack_dir = TempDir::new("pack");
+        let remote_dir = TempDir::new("remote");
         let loose = CheckpointRepo::open_with(&loose_dir.0, StoreKind::Loose).unwrap();
         let mut pack = CheckpointRepo::open_with(&pack_dir.0, StoreKind::Pack).unwrap();
         pack.store_mut().set_gc_dead_fraction(0.0);
         let pack = pack;
+        let (_daemon, remote) = remote_repo(&remote_dir.0, "logic");
         prop_assert_eq!(loose.store_kind(), StoreKind::Loose);
         prop_assert_eq!(pack.store_kind(), StoreKind::Pack);
+        prop_assert_eq!(remote.store_kind(), StoreKind::Remote);
+        let repos = [
+            (StoreKind::Loose, &loose),
+            (StoreKind::Pack, &pack),
+            (StoreKind::Remote, &remote),
+        ];
 
         let mut params = vec![0.5f64; N_PARAMS];
         let mut step = 0u64;
@@ -213,46 +247,53 @@ proptest! {
                 step += 1;
                 evolve(&mut params, *op, step);
             }
-            let a = apply_op(&loose, StoreKind::Loose, *op, step, &params);
-            let b = apply_op(&pack, StoreKind::Pack, *op, step, &params);
-            prop_assert_eq!(a, b, "diverged at op {} ({:?})", i, op);
+            let outcomes: Vec<String> = repos
+                .iter()
+                .map(|(kind, repo)| apply_op(repo, *kind, *op, step, &params))
+                .collect();
+            prop_assert_eq!(&outcomes[0], &outcomes[1], "pack diverged at op {} ({:?})", i, op);
+            prop_assert_eq!(&outcomes[0], &outcomes[2], "remote diverged at op {} ({:?})", i, op);
         }
 
         // Histories must agree checkpoint by checkpoint…
         let ids = loose.list_ids().unwrap();
-        prop_assert_eq!(&ids, &pack.list_ids().unwrap());
-        for id in &ids {
-            let ml = loose.load_manifest(id).unwrap();
-            let mp = pack.load_manifest(id).unwrap();
-            prop_assert_eq!(
-                ml.encode(), mp.encode(),
-                "manifest {} must be byte-identical across backends", id
-            );
-            prop_assert_eq!(loose.load(id).unwrap(), pack.load(id).unwrap());
+        for (kind, repo) in &repos[1..] {
+            prop_assert_eq!(&ids, &repo.list_ids().unwrap(), "{} ids", kind);
+            for id in &ids {
+                let ml = loose.load_manifest(id).unwrap();
+                let mr = repo.load_manifest(id).unwrap();
+                prop_assert_eq!(
+                    ml.encode(), mr.encode(),
+                    "manifest {} must be byte-identical on {}", id, kind
+                );
+                prop_assert_eq!(loose.load(id).unwrap(), repo.load(id).unwrap());
+            }
         }
 
         // …as must overall health and reachability after a final GC.
         let fl = fsck(&loose).unwrap();
-        let fp = fsck(&pack).unwrap();
-        prop_assert_eq!(fl.intact_count(), fp.intact_count());
-        prop_assert_eq!(fl.orphan_chunks, fp.orphan_chunks);
         let gl = loose.gc().unwrap();
-        let gp = pack.gc().unwrap();
-        prop_assert_eq!(&gl, &gp, "GC reachability must match");
-        prop_assert_eq!(
-            loose.store().stats().unwrap(),
-            pack.store().stats().unwrap(),
-            "post-GC logical store contents must match"
-        );
-        for id in &ids {
-            prop_assert_eq!(loose.load(id).unwrap(), pack.load(id).unwrap());
+        for (kind, repo) in &repos[1..] {
+            let fr = fsck(repo).unwrap();
+            prop_assert_eq!(fl.intact_count(), fr.intact_count(), "{} intact", kind);
+            prop_assert_eq!(fl.orphan_chunks, fr.orphan_chunks, "{} orphans", kind);
+            let gr = repo.gc().unwrap();
+            prop_assert_eq!(&gl, &gr, "{} GC reachability must match", kind);
+            prop_assert_eq!(
+                loose.store().stats().unwrap(),
+                repo.store().stats().unwrap(),
+                "{} post-GC logical store contents must match", kind
+            );
+            for id in &ids {
+                prop_assert_eq!(loose.load(id).unwrap(), repo.load(id).unwrap());
+            }
         }
     }
 
-    /// Every simulated crash point leaves BOTH backends recoverable to the
+    /// Every simulated crash point leaves EVERY backend recoverable to the
     /// same pre-crash state, and `recover` clears the staging debris.
     #[test]
-    fn crash_points_recover_identically_on_both_backends(
+    fn crash_points_recover_identically_on_all_backends(
         committed_saves in 1u8..4,
         crash_idx in 0usize..5,
     ) {
@@ -261,9 +302,12 @@ proptest! {
         let crash = CrashPoint::all()[crash_idx];
         let loose_dir = TempDir::new("crash-loose");
         let pack_dir = TempDir::new("crash-pack");
+        let remote_dir = TempDir::new("crash-remote");
+        let (_daemon, remote) = remote_repo(&remote_dir.0, "crash");
         let repos = [
             CheckpointRepo::open_with(&loose_dir.0, StoreKind::Loose).unwrap(),
             CheckpointRepo::open_with(&pack_dir.0, StoreKind::Pack).unwrap(),
+            remote,
         ];
 
         let mut outcomes = Vec::new();
@@ -285,11 +329,71 @@ proptest! {
 
             let (snap, report) = repo.recover().unwrap();
             // The staging area must be empty after recovery — the whole
-            // point of clearing orphaned debris.
+            // point of clearing orphaned debris. (For the remote backend
+            // this covers the *local* manifest staging; server-side
+            // staging is exercised below.)
             let leftovers = std::fs::read_dir(repo.root().join("tmp")).unwrap().count();
             prop_assert_eq!(leftovers, 0, "recover must clear staging debris");
             outcomes.push((snap.step, snap.params.clone(), report.recovered));
         }
-        prop_assert_eq!(&outcomes[0], &outcomes[1], "crash {:?} diverged across backends", crash);
+        prop_assert_eq!(&outcomes[0], &outcomes[1], "crash {:?} diverged loose/pack", crash);
+        prop_assert_eq!(&outcomes[0], &outcomes[2], "crash {:?} diverged loose/remote", crash);
     }
+}
+
+/// Recovery into a fresh working directory pulls the namespace's
+/// manifests down from the daemon and reports how many
+/// (`RecoveryReport::meta_synced` sums the open-time and recovery-time
+/// syncs for the handle).
+#[test]
+fn fresh_directory_recover_reports_meta_synced() {
+    let dir = TempDir::new("fresh-meta");
+    let (daemon, repo) = remote_repo(&dir.0, "freshmeta");
+    let ns = repo.store().remote().unwrap().namespace().to_string();
+    let params = vec![0.5f64; N_PARAMS];
+    repo.save(&snapshot_at(1, &params), &options(SaveMode::Full))
+        .unwrap();
+    drop(repo);
+
+    let store = RemoteStore::connect(daemon.addr(), ns).unwrap();
+    let fresh =
+        CheckpointRepo::with_store(dir.0.join("fresh"), StoreBackend::Remote(store)).unwrap();
+    let (snap, report) = fresh.recover().unwrap();
+    assert_eq!(snap.step, 1);
+    assert_eq!(
+        report.meta_synced, 1,
+        "the fresh directory pulled one manifest from the daemon"
+    );
+}
+
+/// A client dying mid-`put_batch` (its frame never completes) must leave
+/// the daemon's store clean: the next client sees no partial objects, no
+/// staging debris, and a working repository.
+#[test]
+fn client_death_mid_put_batch_recovers_cleanly() {
+    let dir = TempDir::new("mid-batch");
+    let (daemon, repo) = remote_repo(&dir.0, "midbatch");
+    let ns = repo.store().remote().unwrap().namespace().to_string();
+    let mut params = vec![0.75f64; N_PARAMS];
+    repo.save(&snapshot_at(1, &params), &options(SaveMode::Full))
+        .unwrap();
+
+    // A raw client handshakes into the same namespace, then dies halfway
+    // through a PUT_BATCH frame.
+    qcheck::remote::fault::die_mid_put_batch(&daemon.addr(), &ns, vec![0xEEu8; 8192]).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // The surviving client keeps working and recovery is clean.
+    let (snap, report) = repo.recover().unwrap();
+    assert_eq!(snap.step, 1);
+    assert!(report.skipped.is_empty());
+    params[3] += 1.0;
+    repo.save(&snapshot_at(2, &params), &options(SaveMode::Full))
+        .unwrap();
+    let health = fsck(&repo).unwrap();
+    assert_eq!(health.intact_count(), 2);
+    assert_eq!(
+        health.orphan_chunks, 0,
+        "the dead client's half-frame must not materialize objects"
+    );
 }

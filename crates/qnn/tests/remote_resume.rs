@@ -1,0 +1,182 @@
+//! Resume-over-remote: the acceptance test for the `qckptd` daemon.
+//!
+//! A training run checkpointing against a remote store must survive the
+//! *machine*, not just the process: kill the run, throw its working
+//! directory away, open a **fresh** directory against the same daemon
+//! and namespace, and the resumed trajectory must be bit-identical to an
+//! uninterrupted run — losses compared by bit pattern, shot noise
+//! included.
+
+use qcheck::policy::EveryKSteps;
+use qcheck::remote::{spawn_daemon, RemoteStore};
+use qcheck::repo::{CheckpointRepo, SaveOptions};
+use qcheck::store::{StoreBackend, StoreKind};
+use qnn::ansatz::{hardware_efficient, init_params};
+use qnn::optimizer::Adam;
+use qnn::resume::{ResumableRun, RunStart};
+use qnn::trainer::{StepReport, Task, Trainer, TrainerConfig};
+use qsim::measure::EvalMode;
+use qsim::pauli::PauliSum;
+use qsim::rng::Xoshiro256;
+
+/// The env-driven test mutates process-global variables with
+/// `std::env::set_var`, and concurrent setenv/getenv (even the implicit
+/// `temp_dir()` TMPDIR read) is a data race on glibc. Both tests take
+/// this lock so they never overlap.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let p = std::env::temp_dir().join(format!(
+        "qnn-remote-resume-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn build_trainer(qubits: usize) -> Trainer {
+    let (circuit, info) = hardware_efficient(qubits, 1);
+    let mut rng = Xoshiro256::seed_from(77);
+    let params = init_params(info.num_params, &mut rng);
+    Trainer::new(
+        circuit,
+        Task::Vqe {
+            hamiltonian: PauliSum::transverse_ising(qubits, 1.0, 0.7),
+        },
+        Box::new(Adam::new(0.05)),
+        params,
+        TrainerConfig {
+            eval_mode: EvalMode::Shots(32),
+            seed: 77,
+            ..TrainerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn open_remote_repo(dir: &std::path::Path, addr: &str, ns: &str) -> CheckpointRepo {
+    let store = RemoteStore::connect(addr, ns).unwrap();
+    CheckpointRepo::with_store(dir, StoreBackend::Remote(store)).unwrap()
+}
+
+/// Kill a run training against the daemon, resume it from a *fresh*
+/// working directory, and require a bit-identical trajectory.
+#[test]
+fn killed_run_resumes_bit_identically_from_a_fresh_directory() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let daemon = spawn_daemon(scratch("daemon"), StoreKind::Pack).unwrap();
+    let ns = "train-axz";
+
+    // Uninterrupted reference trajectory to step 10.
+    let mut reference = build_trainer(3);
+    let ref_reports: Vec<StepReport> = reference.train_steps(10).unwrap();
+
+    // Process 1 (working directory A): run to step 6, checkpointing
+    // every 2 steps, then "die" without a final checkpoint.
+    let dir_a = scratch("dir-a");
+    {
+        let repo = open_remote_repo(&dir_a, &daemon.addr(), ns);
+        let mut run = ResumableRun::start(
+            build_trainer(3),
+            repo,
+            Box::new(EveryKSteps::new(2)),
+            SaveOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(*run.start_info(), RunStart::Fresh);
+        run.run_to_step(6).unwrap();
+    }
+    // The machine is gone: delete the whole working directory.
+    std::fs::remove_dir_all(&dir_a).unwrap();
+
+    // Process 2 (fresh working directory B, same daemon + namespace):
+    // must resume at step 6 purely from remote state.
+    let dir_b = scratch("dir-b");
+    let repo = open_remote_repo(&dir_b, &daemon.addr(), ns);
+    let mut run = ResumableRun::start(
+        build_trainer(3),
+        repo,
+        Box::new(EveryKSteps::new(2)),
+        SaveOptions::default(),
+    )
+    .unwrap();
+    match run.start_info() {
+        RunStart::Resumed { step, .. } => assert_eq!(*step, 6),
+        other => panic!("expected resume from remote state, got {other:?}"),
+    }
+    let tail = run.run_to_step(10).unwrap();
+    for (resumed, reference) in tail.iter().zip(&ref_reports[6..]) {
+        assert_eq!(
+            resumed.loss.to_bits(),
+            reference.loss.to_bits(),
+            "trajectory diverged at step {}",
+            resumed.step
+        );
+    }
+    let (trainer, _) = run.finish().unwrap();
+    assert_eq!(trainer.step_count(), 10);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+/// The same resume, but steered entirely through the environment-driven
+/// selection path (`QCHECK_STORE=remote` + `QCHECK_REMOTE_ADDR` +
+/// `QCHECK_REMOTE_NS`) — the configuration a training script actually
+/// uses. Env vars are process-global, so restore them before returning.
+#[test]
+fn env_selected_remote_backend_round_trips() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let daemon = spawn_daemon(scratch("env-daemon"), StoreKind::Pack).unwrap();
+    let prev: Vec<(&str, Option<String>)> =
+        ["QCHECK_STORE", "QCHECK_REMOTE_ADDR", "QCHECK_REMOTE_NS"]
+            .into_iter()
+            .map(|k| (k, std::env::var(k).ok()))
+            .collect();
+    std::env::set_var("QCHECK_STORE", "remote");
+    std::env::set_var("QCHECK_REMOTE_ADDR", daemon.addr());
+    std::env::set_var("QCHECK_REMOTE_NS", "env-run");
+
+    let result = std::panic::catch_unwind(|| {
+        let dir = scratch("env-dir");
+        {
+            let repo = CheckpointRepo::open(&dir).unwrap();
+            assert_eq!(repo.store_kind(), StoreKind::Remote);
+            let mut run = ResumableRun::start(
+                build_trainer(3),
+                repo,
+                Box::new(EveryKSteps::new(1)),
+                SaveOptions::default(),
+            )
+            .unwrap();
+            run.run_to_step(3).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Fresh directory, same env: resumes from the daemon.
+        let dir2 = scratch("env-dir2");
+        let repo = CheckpointRepo::open(&dir2).unwrap();
+        let run = ResumableRun::start(
+            build_trainer(3),
+            repo,
+            Box::new(EveryKSteps::new(1)),
+            SaveOptions::default(),
+        )
+        .unwrap();
+        match run.start_info() {
+            RunStart::Resumed { step, .. } => assert_eq!(*step, 3),
+            other => panic!("expected env-driven resume, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir2);
+    });
+
+    for (k, v) in prev {
+        match v {
+            Some(v) => std::env::set_var(k, v),
+            None => std::env::remove_var(k),
+        }
+    }
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+}
