@@ -222,6 +222,21 @@ fn main() {
         })
         .collect();
 
+    // Daemon-side view of the workload just applied: role/generation
+    // confirm the bench ran against a primary, and the oplog-entries
+    // counter is the deterministic commit count the remote rows imply.
+    let control = RemoteStore::connect(daemon.addr(), "bench-control").expect("daemon status");
+    let daemon_status = control.status().expect("daemon status");
+    println!(
+        "  daemon  role {} ({})  generation {}  oplog-entries {}  repl-lag {}",
+        daemon_status.role,
+        qcheck::remote::proto::role_name(daemon_status.role),
+        daemon_status.generation,
+        daemon_status.oplog_entries,
+        daemon_status.repl_lag,
+    );
+    drop(control);
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"n_params\": {n_params},");
@@ -232,6 +247,20 @@ fn main() {
          deterministic and are the acceptance signal (pack = O(1) renames per save; remote = \
          localhost qckptd, pipelined put_batch + manifest/LATEST mirroring)\","
     );
+    let _ = writeln!(json, "  \"daemon\": {{");
+    let _ = writeln!(
+        json,
+        "    \"role\": \"{}\",",
+        qcheck::remote::proto::role_name(daemon_status.role)
+    );
+    let _ = writeln!(json, "    \"generation\": {},", daemon_status.generation);
+    let _ = writeln!(
+        json,
+        "    \"oplog_entries\": {},",
+        daemon_status.oplog_entries
+    );
+    let _ = writeln!(json, "    \"repl_lag\": {}", daemon_status.repl_lag);
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"backends\": {{");
     for (i, row) in rows.iter().enumerate() {
         let _ = writeln!(json, "    \"{}\": {{", row.kind);

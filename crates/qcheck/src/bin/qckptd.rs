@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! qckptd serve <root> [--addr host:port] [--store loose|pack]
-//!                     [--port-file path]     serve namespaces from <root>
+//!                     [--port-file path] [--auth-token tok]
+//!                     [--replicate-from host:port]
+//!                     [--lease-ttl-secs n]   serve namespaces from <root>
 //! qckptd status <addr>                       print daemon status
+//! qckptd promote <addr>                      promote a secondary to primary
 //! qckptd shutdown <addr>                     graceful shutdown
 //! ```
 //!
@@ -16,23 +19,35 @@
 //! qckptd serve /var/lib/qckptd --port-file /tmp/qckptd.port &
 //! export QCHECK_STORE=remote QCHECK_REMOTE_ADDR=$(cat /tmp/qckptd.port)
 //! ```
+//!
+//! With `--replicate-from`, the daemon starts as a **secondary**: it
+//! tails the primary's per-namespace oplog (refusing client writes) and
+//! is promoted to primary with `qckptd promote` when the primary dies.
+//! `status`, `promote` and `shutdown` present `QCHECK_REMOTE_TOKEN`
+//! when set; a daemon started with `--auth-token` requires it for
+//! privileged operations from non-loopback peers (and always requires
+//! loopback for shutdown).
 
 use std::process::ExitCode;
 
-use qcheck::remote::{RemoteStore, Server, ServerConfig};
+use qcheck::remote::proto::{role_name, ROLE_SECONDARY};
+use qcheck::remote::{RemoteStore, ReplicateConfig, Server, ServerConfig};
 use qcheck::store::StoreKind;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: qckptd serve <root> [--addr host:port] [--store loose|pack] [--port-file path]\n\
+         \x20                    [--auth-token tok] [--replicate-from host:port] [--lease-ttl-secs n]\n\
          \x20      qckptd status <addr>\n\
+         \x20      qckptd promote <addr>\n\
          \x20      qckptd shutdown <addr>"
     );
     ExitCode::from(2)
 }
 
 /// Control-plane connections use a reserved namespace; it is never
-/// written to (status/shutdown/ping are namespace-free operations).
+/// written to (status/promote/shutdown/ping are namespace-free
+/// operations).
 const CONTROL_NS: &str = "control";
 
 fn serve(args: &[String]) -> Result<(), String> {
@@ -40,6 +55,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:0".to_string();
     let mut kind = StoreKind::Pack;
     let mut port_file: Option<String> = None;
+    let mut auth_token: Option<String> = None;
+    let mut replicate_from: Option<String> = None;
+    let mut lease_ttl: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -56,6 +74,19 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--port-file" => {
                 port_file = Some(it.next().ok_or("--port-file needs a value")?.clone())
             }
+            "--auth-token" => {
+                auth_token = Some(it.next().ok_or("--auth-token needs a value")?.clone())
+            }
+            "--replicate-from" => {
+                replicate_from = Some(it.next().ok_or("--replicate-from needs a value")?.clone())
+            }
+            "--lease-ttl-secs" => {
+                let v = it.next().ok_or("--lease-ttl-secs needs a value")?;
+                lease_ttl =
+                    Some(v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--lease-ttl-secs {v}: expected a positive integer")
+                    })?);
+            }
             other if root.is_none() && !other.starts_with('-') => root = Some(other),
             other => return Err(format!("unrecognized argument '{other}'")),
         }
@@ -66,9 +97,26 @@ fn serve(args: &[String]) -> Result<(), String> {
     // The daemon process runs no competing compute: connection handlers
     // come from the qpar worker pool (dedicated threads past its cap).
     config.handlers_on_pool = true;
+    config.auth_token = auth_token.clone();
+    if let Some(secs) = lease_ttl {
+        config.lease_ttl = std::time::Duration::from_secs(secs);
+    }
+    if let Some(primary) = &replicate_from {
+        let mut repl = ReplicateConfig::new(primary.clone());
+        // The tailer authenticates to the primary with the same token
+        // this daemon requires of its own clients (a replicated pair
+        // shares one token).
+        repl.auth_token = auth_token;
+        config.replicate = Some(repl);
+    }
     let server = Server::bind(&addr, config).map_err(|e| e.to_string())?;
     let bound = server.local_addr();
-    println!("qckptd: serving {root} ({kind} layout) on {bound}");
+    match &replicate_from {
+        Some(primary) => {
+            println!("qckptd: serving {root} ({kind} layout) on {bound} as secondary of {primary}")
+        }
+        None => println!("qckptd: serving {root} ({kind} layout) on {bound}"),
+    }
     if let Some(path) = port_file {
         // Stage + rename so a watcher never reads a half-written file.
         let tmp = format!("{path}.tmp");
@@ -82,11 +130,30 @@ fn serve(args: &[String]) -> Result<(), String> {
 
 fn status(addr: &str) -> Result<(), String> {
     let client = RemoteStore::connect(addr, CONTROL_NS).map_err(|e| e.to_string())?;
-    let (version, namespaces, connections) = client.status().map_err(|e| e.to_string())?;
-    println!("address:      {addr}");
-    println!("protocol:     v{version}");
-    println!("namespaces:   {namespaces}");
-    println!("connections:  {connections}");
+    let status = client.status().map_err(|e| e.to_string())?;
+    println!("address:       {addr}");
+    println!("protocol:      v{}", status.version);
+    println!("role:          {}", role_name(status.role));
+    println!("generation:    {}", status.generation);
+    println!("namespaces:    {}", status.namespaces);
+    println!("connections:   {}", status.connections);
+    println!("oplog-entries: {}", status.oplog_entries);
+    if status.role == ROLE_SECONDARY {
+        println!("repl-lag:      {} entries behind primary", status.repl_lag);
+    } else {
+        println!(
+            "repl-lag:      {} entries unacked by secondaries",
+            status.repl_lag
+        );
+    }
+    Ok(())
+}
+
+fn promote(addr: &str) -> Result<(), String> {
+    let client = RemoteStore::connect(addr, CONTROL_NS).map_err(|e| e.to_string())?;
+    let generation = client.promote_daemon().map_err(|e| e.to_string())?;
+    println!("qckptd at {addr}: promoted to primary at generation {generation}");
+    println!("re-point clients (QCHECK_REMOTE_ADDR) at this address; the old primary is fenced");
     Ok(())
 }
 
@@ -103,6 +170,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => match (cmd.as_str(), rest) {
             ("serve", rest) if !rest.is_empty() => serve(rest),
             ("status", [addr]) => status(addr),
+            ("promote", [addr]) => promote(addr),
             ("shutdown", [addr]) => shutdown(addr),
             _ => return usage(),
         },

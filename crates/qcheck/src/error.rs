@@ -73,6 +73,17 @@ pub enum Error {
         /// Which crash point fired.
         at: String,
     },
+    /// The daemon requires an auth token this client did not (correctly)
+    /// present.
+    Unauthorized(String),
+    /// Generation fencing tripped: one side of the conversation has
+    /// observed a newer primary generation than the other, proving the
+    /// lower side is (talking to) a demoted primary.
+    StaleGeneration(String),
+    /// A writer lease for the namespace is held by someone else.
+    LeaseHeld(String),
+    /// The daemon is a replication secondary and refuses writes.
+    NotPrimary(String),
 }
 
 impl fmt::Display for Error {
@@ -107,6 +118,10 @@ impl fmt::Display for Error {
                 write!(f, "remote protocol failure while {context}: {detail}")
             }
             Error::SimulatedCrash { at } => write!(f, "simulated crash at {at}"),
+            Error::Unauthorized(what) => write!(f, "unauthorized: {what}"),
+            Error::StaleGeneration(detail) => write!(f, "stale generation: {detail}"),
+            Error::LeaseHeld(detail) => write!(f, "writer lease held: {detail}"),
+            Error::NotPrimary(detail) => write!(f, "daemon is not the primary: {detail}"),
         }
     }
 }

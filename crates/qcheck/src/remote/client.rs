@@ -1,12 +1,28 @@
 //! `RemoteStore`: the [`ObjectStore`] client for a `qckptd` daemon.
 //!
-//! One handle owns one (lazily established, reused) TCP connection.
+//! One handle owns one (lazily established, reused) TCP connection to
+//! one of a **list** of daemon addresses (`QCHECK_REMOTE_ADDR=a,b`).
 //! Transport failures — a dropped daemon connection, a mid-request
-//! reset — are retried with a bounded reconnect-and-replay loop: every
-//! protocol operation is idempotent (content-addressed puts, atomic
-//! metadata overwrites, convergent sweeps; see [`super::proto`]), so a
-//! replay can duplicate *work* but never *state*. Server-reported errors
-//! are never retried.
+//! reset, a dead primary — are retried with **jittered exponential
+//! backoff** over the address list: the client re-HELLOs the next
+//! address and replays the in-flight request, which is safe because
+//! every protocol operation is idempotent (content-addressed puts,
+//! atomic metadata overwrites, convergent sweeps; see [`super::proto`]).
+//! Server-reported errors are **never** retried: they mean the request
+//! was received and judged, not lost.
+//!
+//! ## Fencing and leases (protocol v2)
+//!
+//! The handle remembers the highest primary **generation** it has seen
+//! and carries it in every handshake. An address that refuses with a
+//! stale-generation error has proven itself a demoted primary; it is
+//! fenced out of the rotation for the life of the handle. A repository
+//! writer additionally holds the namespace's server-side **writer
+//! lease** ([`RemoteStore::acquire_writer_lease`]): granted in the
+//! handshake, renewed by traffic, re-presented by token after a
+//! reconnect, and released on drop — a second concurrent writer is
+//! refused with a typed lease-held error instead of silently
+//! interleaving saves.
 //!
 //! Large `put_batch` calls are split into sub-frames and **pipelined**:
 //! all request frames are written back-to-back before the first response
@@ -16,20 +32,40 @@
 use std::collections::BTreeSet;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use crate::chunk::ChunkRef;
 use crate::error::{Error, Result};
 use crate::hash::ContentHash;
 use crate::store::{BatchPutReport, GcReport, ObjectStore, StagedChunk, StoreStats};
 
-use super::proto::{read_frame, valid_namespace, write_frame, Request, Response, PROTO_VERSION};
+use super::proto::{
+    read_frame, valid_namespace, write_frame, Request, Response, HELLO_FLAG_WANT_LEASE,
+    PROTO_VERSION,
+};
 
-/// Transport attempts per logical request: the original plus one
-/// reconnect-and-replay. A daemon that fails twice in a row is down, and
-/// the caller should see that, not a hang.
-const MAX_ATTEMPTS: usize = 2;
+/// Environment variable tuning the transport retry budget: the number of
+/// *re*-attempts after the first failure (attempts = retries + 1).
+pub const RETRIES_ENV: &str = "QCHECK_REMOTE_RETRIES";
+
+/// Environment variable carrying the daemon auth token presented in the
+/// handshake (required for privileged operations when the daemon is
+/// configured with one).
+pub const TOKEN_ENV: &str = "QCHECK_REMOTE_TOKEN";
+
+/// Default transport retries after the first failure. Two retries give a
+/// failover client one shot at the dead primary, one at the next address
+/// and one spare — a deployment that fails three times in a row is down,
+/// and the caller should see that, not a hang.
+const DEFAULT_RETRIES: usize = 2;
+
+/// Backoff base delay; attempt `n` waits roughly `base << (n-1)`.
+const BACKOFF_BASE_MS: u64 = 25;
+
+/// Backoff ceiling per attempt.
+const BACKOFF_CAP_MS: u64 = 1000;
 
 /// A `put_batch` is split into pipelined sub-frames of at most this many
 /// payload bytes (well under [`super::proto::MAX_FRAME_LEN`]).
@@ -56,48 +92,169 @@ fn io_timeout() -> std::time::Duration {
     std::time::Duration::from_secs(secs)
 }
 
+fn retry_budget() -> usize {
+    std::env::var(RETRIES_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_RETRIES)
+        .min(16)
+}
+
+/// Splits a `host:port[,host:port…]` list into its addresses.
+fn parse_addr_list(spec: &str) -> Vec<String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Jittered exponential backoff for transport retry `attempt` (1-based):
+/// `base << (attempt-1)`, capped, scaled by a uniform factor in
+/// [0.5, 1.5) so a fleet of clients whose primary just died does not
+/// reconnect in lockstep.
+fn backoff_delay(attempt: usize) -> Duration {
+    let shift = (attempt.saturating_sub(1)).min(6) as u32;
+    let base = BACKOFF_BASE_MS
+        .saturating_mul(1 << shift)
+        .min(BACKOFF_CAP_MS);
+    // Cheap xorshift over wall-clock nanos + pid: not cryptographic,
+    // just decorrelated between processes and attempts.
+    let mut x = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()) | (d.as_secs() << 32))
+        .unwrap_or(0x9E37_79B9)
+        ^ u64::from(std::process::id())
+        ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let factor = 0.5 + (x % 1024) as f64 / 1024.0;
+    Duration::from_micros((base as f64 * 1000.0 * factor) as u64)
+}
+
+/// True for handshake refusals that are deterministic judgments — the
+/// daemon received the Hello and said no. Retrying or failing over past
+/// them would hide a misconfiguration (or, for stale-generation, hide
+/// the fence the whole design depends on).
+fn is_fatal_dial_error(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::Unauthorized(_)
+            | Error::LeaseHeld(_)
+            | Error::NotPrimary(_)
+            | Error::InvalidConfig(_)
+    )
+}
+
 /// One established connection.
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
-/// Client handle to one namespace of a `qckptd` daemon. Implements
-/// [`ObjectStore`], so a [`crate::repo::CheckpointRepo`] built over it is
-/// a drop-in replacement for a local repository — plus the shared
-/// metadata mirror ([`ObjectStore::is_shared`]) that lets a *different*
-/// working directory reconstruct the repository from the daemon alone.
+/// A parsed [`Response::Status`] (also printed by `qckptd status` and
+/// surfaced in `bench_store` remote rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteStatus {
+    /// Server protocol version.
+    pub version: u32,
+    /// Namespaces materialized on disk.
+    pub namespaces: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Server role byte (see [`super::proto::role_name`]).
+    pub role: u8,
+    /// Fencing generation.
+    pub generation: u64,
+    /// Total oplog entries across namespaces.
+    pub oplog_entries: u64,
+    /// Replication lag in entries (see [`Response::Status`]).
+    pub repl_lag: u64,
+}
+
+/// Client handle to one namespace of a `qckptd` deployment (a primary
+/// and any failover peers). Implements [`ObjectStore`], so a
+/// [`crate::repo::CheckpointRepo`] built over it is a drop-in
+/// replacement for a local repository — plus the shared metadata mirror
+/// ([`ObjectStore::is_shared`]) that lets a *different* working
+/// directory reconstruct the repository from the daemon alone.
 pub struct RemoteStore {
-    addr: String,
+    addrs: Vec<String>,
+    /// Index of the address the live connection used last.
+    active: AtomicUsize,
+    /// Addresses proven demoted (stale generation); never redialed.
+    fenced: Mutex<Vec<bool>>,
     namespace: String,
+    auth: Option<String>,
+    /// Request the namespace's writer lease in every handshake.
+    want_lease: AtomicBool,
+    /// Granted lease token, re-presented on reconnect (0 = none).
+    lease_token: AtomicU64,
+    /// Highest primary generation observed; sent as the handshake's
+    /// fencing floor.
+    max_generation: AtomicU64,
     conn: Mutex<Option<Conn>>,
     round_trips: AtomicU64,
+    retries: usize,
 }
 
 impl std::fmt::Debug for RemoteStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteStore")
-            .field("addr", &self.addr)
+            .field("addrs", &self.addrs)
             .field("namespace", &self.namespace)
+            .field("generation", &self.max_generation.load(Ordering::Relaxed))
             .field("round_trips", &self.round_trips.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl RemoteStore {
-    /// Connects to the daemon at `addr` (`host:port`) and performs the
-    /// versioned handshake for `namespace`.
+    /// Connects to the deployment at `addr` — a `host:port`, or a
+    /// comma-separated failover list (`primary:port,secondary:port`) —
+    /// and performs the versioned handshake for `namespace`. An auth
+    /// token is read from [`TOKEN_ENV`] when set.
     ///
     /// # Errors
     ///
-    /// Fails when the address is unreachable, the namespace is invalid,
-    /// or the server speaks a different protocol version.
+    /// Fails when no address is reachable, the namespace is invalid, or
+    /// the server speaks a different protocol version.
     pub fn connect(addr: impl Into<String>, namespace: impl Into<String>) -> Result<RemoteStore> {
+        let auth = std::env::var(TOKEN_ENV).ok().filter(|t| !t.is_empty());
+        Self::connect_opts(addr, namespace, auth)
+    }
+
+    /// [`RemoteStore::connect`] with an explicit auth token (bypassing
+    /// [`TOKEN_ENV`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteStore::connect`].
+    pub fn connect_opts(
+        addr: impl Into<String>,
+        namespace: impl Into<String>,
+        auth: Option<String>,
+    ) -> Result<RemoteStore> {
+        let spec = addr.into();
+        let addrs = parse_addr_list(&spec);
+        if addrs.is_empty() {
+            return Err(Error::InvalidConfig(format!(
+                "remote address list {spec:?} names no addresses"
+            )));
+        }
         let store = RemoteStore {
-            addr: addr.into(),
+            fenced: Mutex::new(vec![false; addrs.len()]),
+            addrs,
+            active: AtomicUsize::new(0),
             namespace: namespace.into(),
+            auth,
+            want_lease: AtomicBool::new(false),
+            lease_token: AtomicU64::new(0),
+            max_generation: AtomicU64::new(0),
             conn: Mutex::new(None),
             round_trips: AtomicU64::new(0),
+            retries: retry_budget(),
         };
         if !valid_namespace(&store.namespace) {
             return Err(Error::InvalidConfig(format!(
@@ -113,9 +270,12 @@ impl RemoteStore {
         Ok(store)
     }
 
-    /// The daemon address this handle talks to.
+    /// The address of the daemon the live connection last used.
     pub fn addr(&self) -> &str {
-        &self.addr
+        &self.addrs[self
+            .active
+            .load(Ordering::Relaxed)
+            .min(self.addrs.len() - 1)]
     }
 
     /// The namespace this handle operates in.
@@ -131,21 +291,58 @@ impl RemoteStore {
         self.round_trips.load(Ordering::Relaxed)
     }
 
-    /// Dials a fresh connection (bounded connect + per-op socket
-    /// timeouts — a wedged or black-holed daemon must fail the save,
-    /// not hang the training loop) and performs the handshake.
+    /// Highest primary generation this handle has observed.
+    pub fn observed_generation(&self) -> u64 {
+        self.max_generation.load(Ordering::Relaxed)
+    }
+
+    /// Dials across the address list (skipping fenced entries) starting
+    /// at the last-good address. A stale-generation refusal fences that
+    /// address permanently and moves on; other deterministic refusals
+    /// (wrong token, held lease, wrong version) fail fast.
     fn dial(&self) -> Result<Conn> {
+        let n = self.addrs.len();
+        let start = self.active.load(Ordering::Relaxed).min(n - 1);
+        let mut last_err: Option<Error> = None;
+        for k in 0..n {
+            let i = (start + k) % n;
+            if self.fenced.lock().expect("fence list poisoned")[i] {
+                continue;
+            }
+            match self.dial_one(i) {
+                Ok(conn) => {
+                    self.active.store(i, Ordering::Relaxed);
+                    return Ok(conn);
+                }
+                Err(e @ Error::StaleGeneration(_)) => {
+                    self.fenced.lock().expect("fence list poisoned")[i] = true;
+                    last_err = Some(e);
+                }
+                Err(e) if is_fatal_dial_error(&e) => return Err(e),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            Error::StaleGeneration(format!(
+                "every address in {:?} is fenced (demoted); re-point at the promoted daemon",
+                self.addrs
+            ))
+        }))
+    }
+
+    /// Dials one address (bounded connect + per-op socket timeouts — a
+    /// wedged or black-holed daemon must fail the save, not hang the
+    /// training loop) and performs the v2 handshake.
+    fn dial_one(&self, index: usize) -> Result<Conn> {
         use std::net::ToSocketAddrs;
-        let sock_addr = self
-            .addr
+        let addr = &self.addrs[index];
+        let sock_addr = addr
             .to_socket_addrs()
-            .map_err(|e| Error::io(format!("resolving {}", self.addr), e))?
+            .map_err(|e| Error::io(format!("resolving {addr}"), e))?
             .next()
-            .ok_or_else(|| {
-                Error::InvalidConfig(format!("{:?} resolves to no address", self.addr))
-            })?;
+            .ok_or_else(|| Error::InvalidConfig(format!("{addr:?} resolves to no address")))?;
         let stream = TcpStream::connect_timeout(&sock_addr, CONNECT_TIMEOUT)
-            .map_err(|e| Error::io(format!("connecting to qckptd at {}", self.addr), e))?;
+            .map_err(|e| Error::io(format!("connecting to qckptd at {addr}"), e))?;
         let timeout = io_timeout();
         stream
             .set_read_timeout(Some(timeout))
@@ -164,9 +361,18 @@ impl RemoteStore {
             ),
             writer: BufWriter::new(stream),
         };
+        let flags = if self.want_lease.load(Ordering::Acquire) {
+            HELLO_FLAG_WANT_LEASE
+        } else {
+            0
+        };
         let hello = Request::Hello {
             version: PROTO_VERSION,
             namespace: self.namespace.clone(),
+            auth: self.auth.clone().unwrap_or_default(),
+            flags,
+            lease_token: self.lease_token.load(Ordering::Acquire),
+            min_generation: self.max_generation.load(Ordering::Acquire),
         };
         write_frame(&mut conn.writer, &hello.encode())?;
         conn.writer
@@ -174,13 +380,59 @@ impl RemoteStore {
             .map_err(|e| Error::io("flushing handshake", e))?;
         self.round_trips.fetch_add(1, Ordering::Relaxed);
         match Response::decode(&read_frame(&mut conn.reader)?)?.into_result("handshake")? {
-            Response::HelloOk { version } if version == PROTO_VERSION => Ok(conn),
-            Response::HelloOk { version } => Err(Error::protocol(
+            Response::HelloOk {
+                version,
+                generation,
+                lease,
+                ..
+            } if version == PROTO_VERSION => {
+                self.max_generation.fetch_max(generation, Ordering::AcqRel);
+                if let Some(grant) = lease {
+                    self.lease_token.store(grant.token, Ordering::Release);
+                }
+                Ok(conn)
+            }
+            Response::HelloOk { version, .. } => Err(Error::protocol(
                 "handshake",
                 format!("server answered version {version}, expected {PROTO_VERSION}"),
             )),
             other => Err(unexpected("handshake", &other)),
         }
+    }
+
+    /// Requests the namespace's writer lease (forcing a re-handshake so
+    /// the grant arrives on this connection). Every subsequent reconnect
+    /// re-presents the token, and traffic renews the TTL server-side.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LeaseHeld`] when another live writer holds it; transport
+    /// errors when no daemon is reachable.
+    pub fn acquire_writer_lease(&self) -> Result<()> {
+        self.want_lease.store(true, Ordering::Release);
+        let mut guard = self.conn.lock().expect("conn lock poisoned");
+        *guard = None;
+        match self.dial() {
+            Ok(conn) => {
+                *guard = Some(conn);
+                Ok(())
+            }
+            Err(e) => {
+                self.want_lease.store(false, Ordering::Release);
+                Err(e)
+            }
+        }
+    }
+
+    /// Releases the writer lease (best-effort: an unreachable daemon
+    /// expires it by TTL anyway).
+    pub fn release_writer_lease(&self) {
+        self.want_lease.store(false, Ordering::Release);
+        if self.lease_token.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let _ = self.request("releasing writer lease", Request::LeaseRelease);
+        self.lease_token.store(0, Ordering::Release);
     }
 
     /// Sends `requests` pipelined on one connection and returns their
@@ -197,11 +449,18 @@ impl RemoteStore {
     fn exchange_bodies(&self, context: &str, bodies: &[Vec<u8>]) -> Result<Vec<Response>> {
         let mut guard = self.conn.lock().expect("conn lock poisoned");
         let mut last_err: Option<Error> = None;
-        for _attempt in 0..MAX_ATTEMPTS {
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff_delay(attempt));
+            }
             let mut conn = match guard.take() {
                 Some(conn) => conn,
                 None => match self.dial() {
                     Ok(conn) => conn,
+                    // Deterministic refusals (fenced everywhere, bad
+                    // token, held lease) will not improve with retries.
+                    Err(e) if is_fatal_dial_error(&e) => return Err(e),
+                    Err(e @ Error::StaleGeneration(_)) => return Err(e),
                     Err(e) => {
                         last_err = Some(e);
                         continue;
@@ -222,7 +481,8 @@ impl RemoteStore {
                 }
                 Err(e) => {
                     // Transport or framing failure: drop the connection
-                    // and retry once from scratch.
+                    // and retry from scratch (next attempt may dial a
+                    // failover address).
                     last_err = Some(e);
                 }
             }
@@ -257,14 +517,43 @@ impl RemoteStore {
     /// # Errors
     ///
     /// Fails on transport or protocol errors.
-    pub fn status(&self) -> Result<(u32, u64, u64)> {
+    pub fn status(&self) -> Result<RemoteStatus> {
         match self.request("querying status", Request::Status)? {
             Response::Status {
                 version,
                 namespaces,
                 connections,
-            } => Ok((version, namespaces, connections)),
+                role,
+                generation,
+                oplog_entries,
+                repl_lag,
+            } => Ok(RemoteStatus {
+                version,
+                namespaces,
+                connections,
+                role,
+                generation,
+                oplog_entries,
+                repl_lag,
+            }),
             other => Err(unexpected("querying status", &other)),
+        }
+    }
+
+    /// Promotes the connected daemon to primary; returns the new
+    /// generation (also adopted as this handle's fencing floor, so a
+    /// later reconnect to the demoted primary is refused).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unauthorized refusal.
+    pub fn promote_daemon(&self) -> Result<u64> {
+        match self.request("promoting daemon", Request::Promote)? {
+            Response::Promoted { generation } => {
+                self.max_generation.fetch_max(generation, Ordering::AcqRel);
+                Ok(generation)
+            }
+            other => Err(unexpected("promoting daemon", &other)),
         }
     }
 
@@ -289,6 +578,27 @@ impl RemoteStore {
         match self.request("pinging", Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(unexpected("pinging", &other)),
+        }
+    }
+}
+
+impl Drop for RemoteStore {
+    /// Best-effort lease release on an **existing** connection only — a
+    /// run that ends by scope drop frees the namespace for the next
+    /// writer immediately, while a killed process leaves the TTL to
+    /// expire the lease. Never dials: drop must not block on a dead
+    /// daemon.
+    fn drop(&mut self) {
+        if self.lease_token.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        if let Ok(mut guard) = self.conn.lock() {
+            if let Some(conn) = guard.as_mut() {
+                let release = Request::LeaseRelease.encode();
+                if write_frame(&mut conn.writer, &release).is_ok() && conn.writer.flush().is_ok() {
+                    let _ = read_frame(&mut conn.reader);
+                }
+            }
         }
     }
 }
@@ -438,6 +748,14 @@ impl ObjectStore for RemoteStore {
         true
     }
 
+    fn acquire_writer_lease(&self) -> Result<()> {
+        RemoteStore::acquire_writer_lease(self)
+    }
+
+    fn release_writer_lease(&self) {
+        RemoteStore::release_writer_lease(self)
+    }
+
     fn meta_put(&self, name: &str, bytes: &[u8]) -> Result<()> {
         match self.request(
             "publishing metadata",
@@ -519,5 +837,89 @@ impl ObjectStore for RemoteStore {
             Response::Ok => Ok(()),
             other => Err(unexpected("corrupting object", &other)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::server::spawn_daemon;
+    use super::*;
+    use crate::store::StoreKind;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "qcheck-client-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn addr_lists_parse_and_reject_empty() {
+        assert_eq!(parse_addr_list("a:1, b:2 ,,c:3"), vec!["a:1", "b:2", "c:3"]);
+        assert!(parse_addr_list(" , ").is_empty());
+        assert!(matches!(
+            RemoteStore::connect(",,", "ns"),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered() {
+        for attempt in 1..=10 {
+            let d = backoff_delay(attempt);
+            let shift = (attempt - 1).min(6) as u32;
+            let base = (BACKOFF_BASE_MS << shift).min(BACKOFF_CAP_MS);
+            let lo = Duration::from_micros(base * 500);
+            let hi = Duration::from_micros(base * 1500);
+            assert!(
+                d >= lo && d <= hi,
+                "attempt {attempt}: {d:?} not in [{lo:?}, {hi:?}]"
+            );
+        }
+        // The cap holds even for absurd attempt counts.
+        assert!(backoff_delay(1000) <= Duration::from_micros(1500 * 1000));
+    }
+
+    /// Pinned contract: a server-*reported* error is a judgment, not a
+    /// transport loss, and must never be retried. One logical request
+    /// that the server answers with an error costs exactly one round
+    /// trip, regardless of the retry budget.
+    #[test]
+    fn server_reported_errors_are_never_retried() {
+        let root = scratch("no-retry");
+        let daemon = spawn_daemon(&root, StoreKind::Pack).unwrap();
+        let store = RemoteStore::connect(daemon.addr(), "judged").unwrap();
+        assert!(store.retries > 0, "retry budget must exist for this test");
+        let before = store.round_trips();
+        let err = store.meta_put("../escape", b"x").unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
+        assert_eq!(
+            store.round_trips() - before,
+            1,
+            "a judged request must cross the wire exactly once"
+        );
+        // The connection survives a judged error: the next request
+        // reuses it (no extra handshake round trip).
+        let before = store.round_trips();
+        store.ping().unwrap();
+        assert_eq!(store.round_trips() - before, 1);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn connect_fails_over_to_the_next_address() {
+        let root = scratch("failover");
+        let daemon = spawn_daemon(&root, StoreKind::Pack).unwrap();
+        // First address is a black hole (reserved port, nothing bound);
+        // the client must fail over to the live daemon at connect time.
+        let spec = format!("127.0.0.1:1,{}", daemon.addr());
+        let store = RemoteStore::connect(spec, "fo").unwrap();
+        store.ping().unwrap();
+        assert_eq!(store.addr(), daemon.addr());
+        let _ = std::fs::remove_dir_all(root);
     }
 }

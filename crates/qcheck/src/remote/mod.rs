@@ -12,8 +12,12 @@
 //!   and their crash-safety machinery) plus a named-metadata space for
 //!   manifests and the `LATEST` pointer;
 //! * [`RemoteStore`] — an [`crate::store::ObjectStore`] client with
-//!   connection reuse, pipelined `put_batch`, and bounded
-//!   reconnect-and-replay.
+//!   connection reuse, pipelined `put_batch`, multi-address failover
+//!   with jittered backoff, generation fencing, and server-side writer
+//!   leases;
+//! * [`repl`] — the per-namespace oplog and the secondary's tailer,
+//!   which together replicate a primary onto a warm standby that can be
+//!   promoted (`qckptd promote`) when the primary dies.
 //!
 //! Selected like any other backend: `QCHECK_STORE=remote` with
 //! `QCHECK_REMOTE_ADDR=host:port` (and optionally `QCHECK_REMOTE_NS` to
@@ -24,14 +28,19 @@
 //! pulls manifests and `LATEST` down on open and recovery.
 
 pub mod proto;
+pub mod repl;
 
 mod client;
 mod server;
 
-pub use client::RemoteStore;
-pub use server::{spawn_daemon, DaemonHandle, Server, ServerConfig};
+pub use client::{RemoteStatus, RemoteStore, RETRIES_ENV, TOKEN_ENV};
+pub use repl::{ReplStop, ReplicateConfig, SyncReport};
+pub use server::{
+    spawn_daemon, spawn_secondary, DaemonHandle, Server, ServerConfig, DEFAULT_LEASE_TTL,
+};
 
-/// Environment variable naming the daemon address (`host:port`) used
+/// Environment variable naming the daemon address — a `host:port`, or a
+/// comma-separated failover list (`primary:port,secondary:port`) — used
 /// when `QCHECK_STORE=remote`.
 pub const REMOTE_ADDR_ENV: &str = "QCHECK_REMOTE_ADDR";
 
@@ -61,10 +70,7 @@ pub mod fault {
     pub fn die_mid_put_batch(addr: &str, namespace: &str, payload: Vec<u8>) -> Result<()> {
         let mut stream = std::net::TcpStream::connect(addr)
             .map_err(|e| Error::io(format!("connecting to {addr}"), e))?;
-        let hello = proto::Request::Hello {
-            version: proto::PROTO_VERSION,
-            namespace: namespace.to_string(),
-        };
+        let hello = proto::Request::hello(namespace);
         proto::write_frame(&mut stream, &hello.encode())?;
         match proto::Response::decode(&proto::read_frame(&mut stream)?)?.into_result("handshake")? {
             proto::Response::HelloOk { .. } => {}
@@ -195,6 +201,10 @@ mod tests {
         let hello = proto::Request::Hello {
             version: proto::PROTO_VERSION + 1,
             namespace: "v".into(),
+            auth: String::new(),
+            flags: 0,
+            lease_token: 0,
+            min_generation: 0,
         };
         proto::write_frame(&mut stream, &hello.encode()).unwrap();
         stream.flush().unwrap();
@@ -234,9 +244,11 @@ mod tests {
         let addr = daemon.addr();
         let store = RemoteStore::connect(&addr, "ctl").unwrap();
         store.ping().unwrap();
-        let (version, _namespaces, connections) = store.status().unwrap();
-        assert_eq!(version, proto::PROTO_VERSION);
-        assert!(connections >= 1);
+        let status = store.status().unwrap();
+        assert_eq!(status.version, proto::PROTO_VERSION);
+        assert!(status.connections >= 1);
+        assert_eq!(status.role, proto::ROLE_PRIMARY);
+        assert!(status.generation >= 1);
         store.shutdown_daemon().unwrap();
         daemon.shutdown(); // joins the accept loop
                            // New connections must now fail (give the OS a moment to tear

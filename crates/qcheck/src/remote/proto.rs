@@ -16,15 +16,33 @@
 //! fails its length bound or CRC is a protocol error and the connection
 //! is dropped — there is no resynchronization inside a stream.
 //!
-//! ## Handshake
+//! ## Handshake (v2)
 //!
 //! The first client frame must be [`Request::Hello`] carrying the
 //! protocol version and the client's *namespace* (the multi-tenant unit:
 //! each namespace is an independent object store + metadata space on the
-//! daemon). The server replies [`Response::HelloOk`] with its own
-//! version, or an error frame when the version is unsupported — version
-//! negotiation is strict equality for now; the version field exists so a
-//! future daemon can speak several.
+//! daemon). Since v2 the Hello additionally carries an optional **auth
+//! token**, a flags byte (request a writer lease / open a replication
+//! stream), a previously granted **lease token** to re-present after a
+//! reconnect, and the highest primary **generation** the client has
+//! observed — the fencing handle: a daemon whose generation is lower
+//! refuses the handshake with a typed stale-generation error, which is
+//! how a client that has already talked to a promoted secondary detects
+//! a demoted primary. The server replies [`Response::HelloOk`] with its
+//! version, role, generation and any granted lease, or an error frame.
+//! Version negotiation is strict equality: a v1 client is refused with a
+//! clear error naming both versions (the v1 Hello body is a prefix of
+//! the v2 body, so it still parses).
+//!
+//! ## Replication (`REPL_*`)
+//!
+//! A secondary daemon tails its primary's per-namespace **oplog** (see
+//! `qcheck::remote::repl`): `ReplStatus` discovers namespaces and their
+//! oplog lengths, `ReplFetch` subscribes from an offset, `ReplChunks`
+//! pulls chunk content the entries reference (content-addressed, so
+//! re-sending is idempotent), and `ReplAck` reports the applied offset
+//! back for lag accounting. `Promote` turns a secondary into a primary
+//! under a bumped generation.
 //!
 //! ## Idempotency rules
 //!
@@ -50,7 +68,29 @@ use crate::hash::{crc32, ContentHash};
 use crate::store::{BatchPutReport, GcReport, StoreStats};
 
 /// Protocol version spoken by this build. Strict-equality handshake.
-pub const PROTO_VERSION: u32 = 1;
+pub const PROTO_VERSION: u32 = 2;
+
+/// [`Request::Hello`] flag: the connection wants the namespace's writer
+/// lease (granted in [`Response::HelloOk`], or the handshake fails with
+/// a typed lease-held error).
+pub const HELLO_FLAG_WANT_LEASE: u8 = 1;
+/// [`Request::Hello`] flag: the connection is a replication stream (a
+/// secondary tailing this daemon); `REPL_*` ops are only honored here.
+pub const HELLO_FLAG_REPL: u8 = 1 << 1;
+
+/// Daemon role: accepts writes, appends to the oplog.
+pub const ROLE_PRIMARY: u8 = 0;
+/// Daemon role: tails a primary, refuses client writes.
+pub const ROLE_SECONDARY: u8 = 1;
+
+/// Human name for a wire role byte.
+pub fn role_name(role: u8) -> &'static str {
+    match role {
+        ROLE_PRIMARY => "primary",
+        ROLE_SECONDARY => "secondary",
+        _ => "unknown",
+    }
+}
 
 /// Upper bound on a single frame body. Bounds the allocation a garbage
 /// length prefix can trigger, and therefore the largest single
@@ -93,15 +133,123 @@ pub struct WireChunk {
     pub data: Vec<u8>,
 }
 
+/// One committed mutation in a namespace's append-only oplog — the unit
+/// of replication. Chunk *content* is deliberately absent: it is
+/// content-addressed, so a secondary pulls whatever a replicated
+/// manifest references and is missing via [`Request::ReplChunks`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum OplogOp {
+    /// A metadata publish (manifest bytes, `LATEST` advance).
+    MetaPut {
+        /// Metadata name.
+        name: String,
+        /// Contents.
+        bytes: Vec<u8>,
+    },
+    /// A retention delete.
+    MetaDelete {
+        /// Metadata name.
+        name: String,
+    },
+    /// A (non-dry-run) mark-and-sweep against a reachable set.
+    Sweep {
+        /// Reachable hashes at sweep time.
+        reachable: Vec<ContentHash>,
+    },
+}
+
+/// An oplog entry as shipped over the wire (and stored on disk): the
+/// op plus its zero-based offset in the log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OplogRecord {
+    /// Position in the namespace's oplog.
+    pub offset: u64,
+    /// The committed mutation.
+    pub op: OplogOp,
+}
+
+impl OplogOp {
+    const TAG_META_PUT: u8 = 1;
+    const TAG_META_DELETE: u8 = 2;
+    const TAG_SWEEP: u8 = 3;
+
+    /// Appends the op's encoding to `enc` (shared by the wire frames and
+    /// the on-disk oplog records, so they stay byte-identical).
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        match self {
+            OplogOp::MetaPut { name, bytes } => {
+                enc.put_u8(Self::TAG_META_PUT)
+                    .put_str(name)
+                    .put_bytes(bytes);
+            }
+            OplogOp::MetaDelete { name } => {
+                enc.put_u8(Self::TAG_META_DELETE).put_str(name);
+            }
+            OplogOp::Sweep { reachable } => {
+                enc.put_u8(Self::TAG_SWEEP);
+                put_hashes(enc, reachable);
+            }
+        }
+    }
+
+    /// Decodes one op from `dec`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown tags or truncation.
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<OplogOp> {
+        Ok(match dec.get_u8()? {
+            Self::TAG_META_PUT => OplogOp::MetaPut {
+                name: dec.get_str()?,
+                bytes: dec.get_bytes()?,
+            },
+            Self::TAG_META_DELETE => OplogOp::MetaDelete {
+                name: dec.get_str()?,
+            },
+            Self::TAG_SWEEP => OplogOp::Sweep {
+                reachable: get_hashes(dec)?,
+            },
+            other => {
+                return Err(Error::protocol(
+                    "decoding oplog op",
+                    format!("unknown tag {other}"),
+                ))
+            }
+        })
+    }
+}
+
+/// A writer lease granted in [`Response::HelloOk`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseGrant {
+    /// Opaque token; re-present it in the next Hello to keep the lease
+    /// across reconnects.
+    pub token: u64,
+    /// Time-to-live; the lease renews on every request from its holder.
+    pub ttl_ms: u64,
+}
+
 /// A client request frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Versioned handshake; must be the first frame on a connection.
+    /// The v1 body carried only `version` and `namespace`; v2 appends
+    /// the auth/lease/fencing fields ([`Request::hello`] builds the
+    /// plain v2 form).
     Hello {
         /// Client protocol version.
         version: u32,
         /// Namespace the connection operates in.
         namespace: String,
+        /// Auth token; empty = none presented.
+        auth: String,
+        /// Flag bits ([`HELLO_FLAG_WANT_LEASE`], [`HELLO_FLAG_REPL`]).
+        flags: u8,
+        /// A previously granted lease token to re-present (0 = none).
+        lease_token: u64,
+        /// Highest primary generation this client has observed; a daemon
+        /// whose generation is lower must refuse (it is demoted).
+        min_generation: u64,
     },
     /// Liveness check; returns [`Response::Pong`].
     Ping,
@@ -177,6 +325,42 @@ pub enum Request {
         /// Offset (mod object length).
         offset: u64,
     },
+    /// Replication: the daemon's generation, role and per-namespace
+    /// oplog lengths (what a tailer polls to find new work; only
+    /// honored on a [`HELLO_FLAG_REPL`] connection).
+    ReplStatus,
+    /// Replication: fetch oplog entries `[from, from+max)` for one
+    /// namespace.
+    ReplFetch {
+        /// Namespace whose oplog to read.
+        namespace: String,
+        /// First offset wanted.
+        from: u64,
+        /// Upper bound on entries returned.
+        max: u32,
+    },
+    /// Replication: pull chunk content by reference (the secondary asks
+    /// only for what it is missing).
+    ReplChunks {
+        /// Namespace to read from.
+        namespace: String,
+        /// The wanted chunks.
+        refs: Vec<ChunkRef>,
+    },
+    /// Replication: the secondary has durably applied the namespace's
+    /// oplog up to (exclusive) `offset` — primary-side lag accounting.
+    ReplAck {
+        /// Namespace acknowledged.
+        namespace: String,
+        /// Applied length.
+        offset: u64,
+    },
+    /// Promote this (secondary) daemon to primary under a bumped
+    /// generation. Loopback-only unless an auth token is configured.
+    Promote,
+    /// Release the connection's writer lease (clean writer exit; an
+    /// expired lease releases itself).
+    LeaseRelease,
 }
 
 /// A server response frame.
@@ -186,6 +370,12 @@ pub enum Response {
     HelloOk {
         /// Server protocol version.
         version: u32,
+        /// Server role ([`ROLE_PRIMARY`] / [`ROLE_SECONDARY`]).
+        role: u8,
+        /// Server generation (fencing epoch).
+        generation: u64,
+        /// Writer lease granted to this connection, when requested.
+        lease: Option<LeaseGrant>,
     },
     /// Liveness reply.
     Pong,
@@ -218,6 +408,37 @@ pub enum Response {
         namespaces: u64,
         /// Connections accepted since start.
         connections: u64,
+        /// Server role ([`ROLE_PRIMARY`] / [`ROLE_SECONDARY`]).
+        role: u8,
+        /// Server generation (fencing epoch).
+        generation: u64,
+        /// Total oplog entries across namespaces (the daemon's offset).
+        oplog_entries: u64,
+        /// Replication lag in entries: on a secondary, how far it trails
+        /// its primary; on a primary, how far its slowest acked tailer
+        /// trails. 0 when fully caught up (or nothing tails).
+        repl_lag: u64,
+    },
+    /// `ReplStatus` reply.
+    ReplStatus {
+        /// Daemon generation.
+        generation: u64,
+        /// Daemon role.
+        role: u8,
+        /// `(namespace, oplog length)` pairs, ascending by name.
+        namespaces: Vec<(String, u64)>,
+    },
+    /// `ReplFetch` reply: the requested slice of the oplog.
+    ReplEntries(Vec<OplogRecord>),
+    /// `ReplChunks` reply, aligned with the request's `refs`; `None`
+    /// where the primary no longer holds the chunk (swept while the
+    /// secondary was behind — benign, the matching delete follows in
+    /// the log).
+    Chunks(Vec<Option<WireChunk>>),
+    /// `Promote` reply: the new (bumped, persisted) generation.
+    Promoted {
+        /// Generation the daemon now serves under.
+        generation: u64,
     },
     /// The request was received and failed; never retried by the client.
     Err {
@@ -244,6 +465,15 @@ pub enum ErrCode {
     Invalid = 4,
     /// Anything else.
     Other = 5,
+    /// Missing or wrong auth token.
+    Unauthorized = 6,
+    /// Generation fencing: the refusing side proved its peer (or
+    /// itself) demoted.
+    Stale = 7,
+    /// The daemon is a secondary and refuses client writes.
+    NotPrimary = 8,
+    /// Another writer holds the namespace's lease.
+    LeaseHeld = 9,
 }
 
 impl ErrCode {
@@ -253,6 +483,10 @@ impl ErrCode {
             2 => ErrCode::Corrupt,
             3 => ErrCode::Io,
             4 => ErrCode::Invalid,
+            6 => ErrCode::Unauthorized,
+            7 => ErrCode::Stale,
+            8 => ErrCode::NotPrimary,
+            9 => ErrCode::LeaseHeld,
             _ => ErrCode::Other,
         }
     }
@@ -264,6 +498,10 @@ impl ErrCode {
             Error::Corrupt { .. } | Error::Decode { .. } => ErrCode::Corrupt,
             Error::Io { .. } => ErrCode::Io,
             Error::InvalidConfig(_) | Error::UnsupportedVersion { .. } => ErrCode::Invalid,
+            Error::Unauthorized(_) => ErrCode::Unauthorized,
+            Error::StaleGeneration(_) => ErrCode::Stale,
+            Error::NotPrimary(_) => ErrCode::NotPrimary,
+            Error::LeaseHeld(_) => ErrCode::LeaseHeld,
             _ => ErrCode::Other,
         };
         (code, e.to_string())
@@ -280,6 +518,10 @@ impl ErrCode {
             ),
             ErrCode::Invalid => Error::InvalidConfig(message),
             ErrCode::Other => Error::protocol(context.to_string(), message),
+            ErrCode::Unauthorized => Error::Unauthorized(message),
+            ErrCode::Stale => Error::StaleGeneration(message),
+            ErrCode::NotPrimary => Error::NotPrimary(message),
+            ErrCode::LeaseHeld => Error::LeaseHeld(message),
         }
     }
 }
@@ -301,6 +543,12 @@ const OP_META_DELETE: u8 = 13;
 const OP_STATUS: u8 = 14;
 const OP_SHUTDOWN: u8 = 15;
 const OP_CORRUPT: u8 = 16;
+const OP_REPL_STATUS: u8 = 17;
+const OP_REPL_FETCH: u8 = 18;
+const OP_REPL_CHUNKS: u8 = 19;
+const OP_REPL_ACK: u8 = 20;
+const OP_PROMOTE: u8 = 21;
+const OP_LEASE_RELEASE: u8 = 22;
 
 const RESP_HELLO_OK: u8 = 0x80;
 const RESP_PONG: u8 = 0x81;
@@ -315,6 +563,10 @@ const RESP_OK: u8 = 0x89;
 const RESP_META: u8 = 0x8A;
 const RESP_NAMES: u8 = 0x8B;
 const RESP_STATUS: u8 = 0x8C;
+const RESP_REPL_STATUS: u8 = 0x8D;
+const RESP_REPL_ENTRIES: u8 = 0x8E;
+const RESP_CHUNKS: u8 = 0x8F;
+const RESP_PROMOTED: u8 = 0x90;
 const RESP_ERR: u8 = 0xFF;
 
 fn put_hashes(enc: &mut Encoder, hashes: &[ContentHash]) {
@@ -365,12 +617,40 @@ pub fn encode_put_batch(fsync: bool, chunks: &[crate::store::StagedChunk<'_>]) -
 }
 
 impl Request {
+    /// The plain v2 handshake for `namespace`: no auth, no lease, no
+    /// fencing floor.
+    pub fn hello(namespace: impl Into<String>) -> Request {
+        Request::Hello {
+            version: PROTO_VERSION,
+            namespace: namespace.into(),
+            auth: String::new(),
+            flags: 0,
+            lease_token: 0,
+            min_generation: 0,
+        }
+    }
+
     /// Serializes the request into a frame body.
     pub fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         match self {
-            Request::Hello { version, namespace } => {
+            Request::Hello {
+                version,
+                namespace,
+                auth,
+                flags,
+                lease_token,
+                min_generation,
+            } => {
                 enc.put_u8(OP_HELLO).put_u32(*version).put_str(namespace);
+                // The v1 body ends here; v2+ appends its fields, keeping
+                // v1 a strict prefix so either side can parse both.
+                if *version >= 2 {
+                    enc.put_str(auth)
+                        .put_u8(*flags)
+                        .put_u64(*lease_token)
+                        .put_u64(*min_generation);
+                }
             }
             Request::Ping => {
                 enc.put_u8(OP_PING);
@@ -428,6 +708,36 @@ impl Request {
             Request::Corrupt { hash, offset } => {
                 enc.put_u8(OP_CORRUPT).put_raw(&hash.0).put_varint(*offset);
             }
+            Request::ReplStatus => {
+                enc.put_u8(OP_REPL_STATUS);
+            }
+            Request::ReplFetch {
+                namespace,
+                from,
+                max,
+            } => {
+                enc.put_u8(OP_REPL_FETCH)
+                    .put_str(namespace)
+                    .put_u64(*from)
+                    .put_u32(*max);
+            }
+            Request::ReplChunks { namespace, refs } => {
+                enc.put_u8(OP_REPL_CHUNKS)
+                    .put_str(namespace)
+                    .put_varint(refs.len() as u64);
+                for r in refs {
+                    enc.put_raw(&r.hash.0).put_u32(r.len);
+                }
+            }
+            Request::ReplAck { namespace, offset } => {
+                enc.put_u8(OP_REPL_ACK).put_str(namespace).put_u64(*offset);
+            }
+            Request::Promote => {
+                enc.put_u8(OP_PROMOTE);
+            }
+            Request::LeaseRelease => {
+                enc.put_u8(OP_LEASE_RELEASE);
+            }
         }
         enc.into_bytes()
     }
@@ -441,10 +751,31 @@ impl Request {
         let mut dec = Decoder::new(body, "request frame");
         let op = dec.get_u8()?;
         let req = match op {
-            OP_HELLO => Request::Hello {
-                version: dec.get_u32()?,
-                namespace: dec.get_str()?,
-            },
+            OP_HELLO => {
+                let version = dec.get_u32()?;
+                let namespace = dec.get_str()?;
+                // A v1 Hello body stops here; it must still decode so
+                // the server can answer with a *clear* version error
+                // instead of a framing failure.
+                let (auth, flags, lease_token, min_generation) = if version >= 2 {
+                    (
+                        dec.get_str()?,
+                        dec.get_u8()?,
+                        dec.get_u64()?,
+                        dec.get_u64()?,
+                    )
+                } else {
+                    (String::new(), 0, 0, 0)
+                };
+                Request::Hello {
+                    version,
+                    namespace,
+                    auth,
+                    flags,
+                    lease_token,
+                    min_generation,
+                }
+            }
             OP_PING => Request::Ping,
             OP_PUT_BATCH => {
                 let fsync = dec.get_u8()? != 0;
@@ -511,6 +842,42 @@ impl Request {
                     offset: dec.get_varint()?,
                 }
             }
+            OP_REPL_STATUS => Request::ReplStatus,
+            OP_REPL_FETCH => Request::ReplFetch {
+                namespace: dec.get_str()?,
+                from: dec.get_u64()?,
+                max: dec.get_u32()?,
+            },
+            OP_REPL_CHUNKS => {
+                let namespace = dec.get_str()?;
+                let n = dec.get_varint()? as usize;
+                if n.checked_mul(36)
+                    .map(|b| b > dec.remaining())
+                    .unwrap_or(true)
+                {
+                    return Err(Error::protocol(
+                        "decoding chunk-ref list",
+                        format!("count {n} exceeds frame"),
+                    ));
+                }
+                let mut refs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let raw = dec.get_raw(32)?;
+                    let mut h = [0u8; 32];
+                    h.copy_from_slice(raw);
+                    refs.push(ChunkRef {
+                        hash: ContentHash(h),
+                        len: dec.get_u32()?,
+                    });
+                }
+                Request::ReplChunks { namespace, refs }
+            }
+            OP_REPL_ACK => Request::ReplAck {
+                namespace: dec.get_str()?,
+                offset: dec.get_u64()?,
+            },
+            OP_PROMOTE => Request::Promote,
+            OP_LEASE_RELEASE => Request::LeaseRelease,
             other => {
                 return Err(Error::protocol(
                     "decoding request",
@@ -528,8 +895,24 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         match self {
-            Response::HelloOk { version } => {
-                enc.put_u8(RESP_HELLO_OK).put_u32(*version);
+            Response::HelloOk {
+                version,
+                role,
+                generation,
+                lease,
+            } => {
+                enc.put_u8(RESP_HELLO_OK)
+                    .put_u32(*version)
+                    .put_u8(*role)
+                    .put_u64(*generation);
+                match lease {
+                    Some(grant) => {
+                        enc.put_u8(1).put_u64(grant.token).put_u64(grant.ttl_ms);
+                    }
+                    None => {
+                        enc.put_u8(0);
+                    }
+                }
             }
             Response::Pong => {
                 enc.put_u8(RESP_PONG);
@@ -595,11 +978,59 @@ impl Response {
                 version,
                 namespaces,
                 connections,
+                role,
+                generation,
+                oplog_entries,
+                repl_lag,
             } => {
                 enc.put_u8(RESP_STATUS)
                     .put_u32(*version)
                     .put_u64(*namespaces)
-                    .put_u64(*connections);
+                    .put_u64(*connections)
+                    .put_u8(*role)
+                    .put_u64(*generation)
+                    .put_u64(*oplog_entries)
+                    .put_u64(*repl_lag);
+            }
+            Response::ReplStatus {
+                generation,
+                role,
+                namespaces,
+            } => {
+                enc.put_u8(RESP_REPL_STATUS)
+                    .put_u64(*generation)
+                    .put_u8(*role)
+                    .put_varint(namespaces.len() as u64);
+                for (name, len) in namespaces {
+                    enc.put_str(name).put_u64(*len);
+                }
+            }
+            Response::ReplEntries(records) => {
+                enc.put_u8(RESP_REPL_ENTRIES)
+                    .put_varint(records.len() as u64);
+                for rec in records {
+                    enc.put_u64(rec.offset);
+                    rec.op.encode_into(&mut enc);
+                }
+            }
+            Response::Chunks(chunks) => {
+                enc.put_u8(RESP_CHUNKS).put_varint(chunks.len() as u64);
+                for c in chunks {
+                    match c {
+                        Some(c) => {
+                            enc.put_u8(1)
+                                .put_raw(&c.reference.hash.0)
+                                .put_u32(c.reference.len)
+                                .put_raw(&c.data);
+                        }
+                        None => {
+                            enc.put_u8(0);
+                        }
+                    }
+                }
+            }
+            Response::Promoted { generation } => {
+                enc.put_u8(RESP_PROMOTED).put_u64(*generation);
             }
             Response::Err { code, message } => {
                 enc.put_u8(RESP_ERR).put_u8(*code).put_str(message);
@@ -617,9 +1048,25 @@ impl Response {
         let mut dec = Decoder::new(body, "response frame");
         let op = dec.get_u8()?;
         let resp = match op {
-            RESP_HELLO_OK => Response::HelloOk {
-                version: dec.get_u32()?,
-            },
+            RESP_HELLO_OK => {
+                let version = dec.get_u32()?;
+                let role = dec.get_u8()?;
+                let generation = dec.get_u64()?;
+                let lease = if dec.get_u8()? != 0 {
+                    Some(LeaseGrant {
+                        token: dec.get_u64()?,
+                        ttl_ms: dec.get_u64()?,
+                    })
+                } else {
+                    None
+                };
+                Response::HelloOk {
+                    version,
+                    role,
+                    generation,
+                    lease,
+                }
+            }
             RESP_PONG => Response::Pong,
             RESP_PUT_BATCH => {
                 let n = dec.get_varint()? as usize;
@@ -694,6 +1141,79 @@ impl Response {
                 version: dec.get_u32()?,
                 namespaces: dec.get_u64()?,
                 connections: dec.get_u64()?,
+                role: dec.get_u8()?,
+                generation: dec.get_u64()?,
+                oplog_entries: dec.get_u64()?,
+                repl_lag: dec.get_u64()?,
+            },
+            RESP_REPL_STATUS => {
+                let generation = dec.get_u64()?;
+                let role = dec.get_u8()?;
+                let n = dec.get_varint()? as usize;
+                if n > dec.remaining() {
+                    return Err(Error::protocol(
+                        "decoding repl status",
+                        format!("count {n} exceeds frame"),
+                    ));
+                }
+                let mut namespaces = Vec::with_capacity(n);
+                for _ in 0..n {
+                    namespaces.push((dec.get_str()?, dec.get_u64()?));
+                }
+                Response::ReplStatus {
+                    generation,
+                    role,
+                    namespaces,
+                }
+            }
+            RESP_REPL_ENTRIES => {
+                let n = dec.get_varint()? as usize;
+                if n > dec.remaining() {
+                    return Err(Error::protocol(
+                        "decoding oplog entries",
+                        format!("count {n} exceeds frame"),
+                    ));
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    records.push(OplogRecord {
+                        offset: dec.get_u64()?,
+                        op: OplogOp::decode_from(&mut dec)?,
+                    });
+                }
+                Response::ReplEntries(records)
+            }
+            RESP_CHUNKS => {
+                let n = dec.get_varint()? as usize;
+                if n > dec.remaining() {
+                    return Err(Error::protocol(
+                        "decoding chunk batch",
+                        format!("count {n} exceeds frame"),
+                    ));
+                }
+                let mut chunks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if dec.get_u8()? == 0 {
+                        chunks.push(None);
+                        continue;
+                    }
+                    let raw = dec.get_raw(32)?;
+                    let mut h = [0u8; 32];
+                    h.copy_from_slice(raw);
+                    let len = dec.get_u32()?;
+                    let data = dec.get_raw(len as usize)?.to_vec();
+                    chunks.push(Some(WireChunk {
+                        reference: ChunkRef {
+                            hash: ContentHash(h),
+                            len,
+                        },
+                        data,
+                    }));
+                }
+                Response::Chunks(chunks)
+            }
+            RESP_PROMOTED => Response::Promoted {
+                generation: dec.get_u64()?,
             },
             RESP_ERR => Response::Err {
                 code: dec.get_u8()?,
@@ -794,9 +1314,14 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let h = Sha256::digest(b"x");
+        round_trip_request(Request::hello("run-1"));
         round_trip_request(Request::Hello {
             version: PROTO_VERSION,
             namespace: "run-1".into(),
+            auth: "sekrit".into(),
+            flags: HELLO_FLAG_WANT_LEASE | HELLO_FLAG_REPL,
+            lease_token: 0xDEAD_BEEF,
+            min_generation: 7,
         });
         round_trip_request(Request::Ping);
         round_trip_request(Request::PutBatch {
@@ -843,6 +1368,49 @@ mod tests {
             hash: h,
             offset: 1234,
         });
+        round_trip_request(Request::ReplStatus);
+        round_trip_request(Request::ReplFetch {
+            namespace: "run-1".into(),
+            from: 42,
+            max: 64,
+        });
+        round_trip_request(Request::ReplChunks {
+            namespace: "run-1".into(),
+            refs: vec![ChunkRef { hash: h, len: 9 }],
+        });
+        round_trip_request(Request::ReplAck {
+            namespace: "run-1".into(),
+            offset: 43,
+        });
+        round_trip_request(Request::Promote);
+        round_trip_request(Request::LeaseRelease);
+    }
+
+    /// A v1 Hello (version + namespace, nothing else) must still decode
+    /// — the server needs the version number to refuse it with a clear
+    /// error rather than a framing failure.
+    #[test]
+    fn v1_hello_still_decodes() {
+        let v1 = Request::Hello {
+            version: 1,
+            namespace: "old-client".into(),
+            auth: String::new(),
+            flags: 0,
+            lease_token: 0,
+            min_generation: 0,
+        };
+        let body = v1.encode();
+        // The v1 encoding is exactly opcode + u32 + varint-len string.
+        assert_eq!(body.len(), 1 + 4 + 1 + "old-client".len());
+        match Request::decode(&body).unwrap() {
+            Request::Hello {
+                version, namespace, ..
+            } => {
+                assert_eq!(version, 1);
+                assert_eq!(namespace, "old-client");
+            }
+            other => panic!("decoded {other:?}"),
+        }
     }
 
     #[test]
@@ -850,6 +1418,18 @@ mod tests {
         let h = Sha256::digest(b"y");
         round_trip_response(Response::HelloOk {
             version: PROTO_VERSION,
+            role: ROLE_PRIMARY,
+            generation: 3,
+            lease: None,
+        });
+        round_trip_response(Response::HelloOk {
+            version: PROTO_VERSION,
+            role: ROLE_SECONDARY,
+            generation: 9,
+            lease: Some(LeaseGrant {
+                token: 0xFEED,
+                ttl_ms: 30_000,
+            }),
         });
         round_trip_response(Response::Pong);
         round_trip_response(Response::PutBatch(BatchPutReport {
@@ -880,7 +1460,43 @@ mod tests {
             version: 1,
             namespaces: 2,
             connections: 3,
+            role: ROLE_SECONDARY,
+            generation: 4,
+            oplog_entries: 5,
+            repl_lag: 6,
         });
+        round_trip_response(Response::ReplStatus {
+            generation: 2,
+            role: ROLE_PRIMARY,
+            namespaces: vec![("a".into(), 10), ("b".into(), 0)],
+        });
+        round_trip_response(Response::ReplEntries(vec![
+            OplogRecord {
+                offset: 0,
+                op: OplogOp::MetaPut {
+                    name: "manifests/ck-1.qmf".into(),
+                    bytes: vec![1, 2, 3],
+                },
+            },
+            OplogRecord {
+                offset: 1,
+                op: OplogOp::MetaDelete {
+                    name: "manifests/ck-0.qmf".into(),
+                },
+            },
+            OplogRecord {
+                offset: 2,
+                op: OplogOp::Sweep { reachable: vec![h] },
+            },
+        ]));
+        round_trip_response(Response::Chunks(vec![
+            Some(WireChunk {
+                reference: ChunkRef { hash: h, len: 3 },
+                data: vec![7, 8, 9],
+            }),
+            None,
+        ]));
+        round_trip_response(Response::Promoted { generation: 11 });
         round_trip_response(Response::Err {
             code: ErrCode::NotFound as u8,
             message: "nope".into(),
@@ -970,5 +1586,21 @@ mod tests {
         assert!(matches!(e, Error::Corrupt { .. }));
         let e = ErrCode::Invalid.to_error("hello", "bad version".into());
         assert!(matches!(e, Error::InvalidConfig(_)));
+        // The v2 typed errors survive the wire round trip.
+        for (err, code) in [
+            (Error::Unauthorized("token".into()), ErrCode::Unauthorized),
+            (Error::StaleGeneration("gen 1 < 2".into()), ErrCode::Stale),
+            (Error::NotPrimary("tailing".into()), ErrCode::NotPrimary),
+            (Error::LeaseHeld("ns by peer".into()), ErrCode::LeaseHeld),
+        ] {
+            let (wire, msg) = ErrCode::classify(&err);
+            assert_eq!(wire, code);
+            let back = code.to_error("ctx", msg);
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(&err),
+                "{back:?} vs {err:?}"
+            );
+        }
     }
 }

@@ -6,12 +6,14 @@
 //! repository) in its own directory:
 //!
 //! ```text
+//! <root>/GENERATION     fencing epoch (bumped + persisted on promote)
 //! <root>/ns/<namespace>/
 //!   STORE            sticky backend marker (loose | pack)
 //!   objects/ | packs/  the namespace's object store (reuses the local
 //!                      backends: loose fan-out dirs or pack v3 files)
 //!   tmp/             server-side staging (disposable)
 //!   meta/            named metadata blobs (manifests/…, LATEST)
+//!   OPLOG            append-only log of committed mutations (repl)
 //! ```
 //!
 //! Reusing [`StoreBackend`] for per-namespace storage means the daemon
@@ -20,6 +22,28 @@
 //! mid-`put_batch` never reaches the store at all — the request frame
 //! never completes, so nothing is staged, and whatever debris an earlier
 //! crash left in `tmp/` is disposable by construction.
+//!
+//! ## Roles, generations, leases (protocol v2)
+//!
+//! A daemon is either a **primary** (accepts writes, appends each
+//! committed metadata mutation to the namespace's oplog) or a
+//! **secondary** ([`ServerConfig::replicate`] — tails a primary via
+//! `qcheck::remote::repl` and refuses client writes with a typed
+//! not-primary error). Promotion bumps and persists the **generation**;
+//! a client that has seen the new generation carries it in its Hello,
+//! and the demoted primary — whose generation is lower — must refuse
+//! the handshake, which is the write fence.
+//!
+//! **Writer leases** replace the advisory per-directory LOCK file for
+//! shared stores: a writer requests the namespace's lease in its Hello,
+//! the lease renews on traffic and expires after
+//! [`ServerConfig::lease_ttl`], and a second writer is refused with a
+//! typed lease-held error instead of silently interleaving saves.
+//!
+//! When an **auth token** is configured, privileged operations
+//! (`SHUTDOWN`, destructive `SWEEP`, `PROMOTE`, replication streams)
+//! require it; data-plane operations stay open so existing tenants keep
+//! working. `SHUTDOWN` additionally stays loopback-only, token or not.
 //!
 //! ## Threading
 //!
@@ -43,16 +67,26 @@ use std::fs;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::error::{Error, Result};
 use crate::store::{BatchPutReport, ObjectStore, StagedChunk, StoreBackend, StoreKind, StoreStats};
 
 use super::proto::{
-    read_frame, valid_meta_name, valid_namespace, write_frame, ErrCode, Request, Response,
-    PROTO_VERSION,
+    read_frame, valid_meta_name, valid_namespace, write_frame, ErrCode, LeaseGrant, OplogOp,
+    Request, Response, HELLO_FLAG_REPL, HELLO_FLAG_WANT_LEASE, PROTO_VERSION, ROLE_PRIMARY,
+    ROLE_SECONDARY,
 };
+use super::repl::{self, Oplog, ReplStop, ReplicateConfig, SyncReport};
+
+/// File (under the daemon root) persisting the generation across
+/// restarts — a promoted daemon must never come back demoted.
+const GENERATION_FILE: &str = "GENERATION";
+
+/// Default writer-lease time-to-live.
+pub const DEFAULT_LEASE_TTL: Duration = Duration::from_secs(30);
 
 /// Configuration for [`Server::bind`].
 #[derive(Clone, Debug)]
@@ -79,6 +113,16 @@ pub struct ServerConfig {
     /// compute is a deadlock. Off, every connection gets a dedicated
     /// thread.
     pub handlers_on_pool: bool,
+    /// Auth token required for privileged operations (shutdown,
+    /// destructive sweep, promote, replication streams). `None` keeps
+    /// the v1 behavior: loopback is the only control boundary.
+    pub auth_token: Option<String>,
+    /// Writer-lease time-to-live; leases renew on every request from
+    /// their holder.
+    pub lease_ttl: Duration,
+    /// Run as a replication secondary tailing this primary. The daemon
+    /// refuses client writes until promoted.
+    pub replicate: Option<ReplicateConfig>,
 }
 
 impl ServerConfig {
@@ -90,18 +134,23 @@ impl ServerConfig {
             gc_dead_fraction: None,
             drop_after_requests: None,
             handlers_on_pool: false,
+            auth_token: None,
+            lease_ttl: DEFAULT_LEASE_TTL,
+            replicate: None,
         }
     }
 }
 
-/// One namespace's storage: object store + metadata directory.
+/// One namespace's storage: object store + metadata directory + oplog.
 #[derive(Debug)]
-struct Namespace {
-    store: StoreBackend,
+pub(crate) struct Namespace {
+    pub(crate) store: StoreBackend,
     root: PathBuf,
     meta_dir: PathBuf,
     /// Staging counter for atomic metadata publishes.
     meta_seq: AtomicU64,
+    /// Append-only log of committed mutations (the unit of replication).
+    pub(crate) oplog: Oplog,
 }
 
 impl Namespace {
@@ -115,11 +164,13 @@ impl Namespace {
         let meta_dir = ns_root.join("meta");
         fs::create_dir_all(&meta_dir)
             .map_err(|e| Error::io(format!("creating {}", meta_dir.display()), e))?;
+        let oplog = Oplog::open(ns_root)?;
         Ok(Namespace {
             store,
             root: ns_root.to_path_buf(),
             meta_dir,
             meta_seq: AtomicU64::new(0),
+            oplog,
         })
     }
 
@@ -129,7 +180,7 @@ impl Namespace {
     }
 
     /// Atomically publishes one metadata blob (stage in `tmp/`, rename).
-    fn meta_put(&self, name: &str, bytes: &[u8]) -> Result<()> {
+    pub(crate) fn meta_put(&self, name: &str, bytes: &[u8]) -> Result<()> {
         let target = self.meta_path(name);
         if let Some(parent) = target.parent() {
             fs::create_dir_all(parent)
@@ -185,7 +236,7 @@ impl Namespace {
         Ok(out)
     }
 
-    fn meta_delete(&self, name: &str) -> Result<()> {
+    pub(crate) fn meta_delete(&self, name: &str) -> Result<()> {
         match fs::remove_file(self.meta_path(name)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
@@ -194,9 +245,30 @@ impl Namespace {
     }
 }
 
+/// A granted writer lease.
+#[derive(Debug)]
+struct Lease {
+    token: u64,
+    expires: Instant,
+    holder: String,
+}
+
+/// What a secondary has learned about (and reported to) its primary.
+#[derive(Debug, Default)]
+struct ReplProgress {
+    /// On a secondary: the primary's generation as of the last poll.
+    primary_generation: u64,
+    /// On a secondary: the primary's total oplog length at last poll.
+    primary_total: u64,
+    /// On a secondary: entries applied locally as of the last pass.
+    applied_total: u64,
+    /// On a primary: per-namespace applied offsets acked by a tailer.
+    acked: BTreeMap<String, u64>,
+}
+
 /// Shared daemon state.
 #[derive(Debug)]
-struct Shared {
+pub(crate) struct Shared {
     config: ServerConfig,
     namespaces: Mutex<BTreeMap<String, Arc<Namespace>>>,
     shutdown: AtomicBool,
@@ -208,10 +280,18 @@ struct Shared {
     /// idle sockets (handlers parked in `read_frame`) immediately and
     /// gives busy ones a bounded grace to finish their request.
     socks: Mutex<BTreeMap<u64, (TcpStream, Arc<AtomicBool>)>>,
+    /// [`ROLE_PRIMARY`] or [`ROLE_SECONDARY`]; flips on promote.
+    role: AtomicU8,
+    /// Fencing epoch, persisted in `<root>/GENERATION`.
+    generation: AtomicU64,
+    /// Per-namespace writer leases.
+    leases: Mutex<BTreeMap<String, Lease>>,
+    lease_counter: AtomicU64,
+    repl: Mutex<ReplProgress>,
 }
 
 impl Shared {
-    fn namespace(&self, name: &str) -> Result<Arc<Namespace>> {
+    pub(crate) fn namespace(&self, name: &str) -> Result<Arc<Namespace>> {
         let mut map = self.namespaces.lock().expect("namespace map poisoned");
         if let Some(ns) = map.get(name) {
             return Ok(Arc::clone(ns));
@@ -232,6 +312,186 @@ impl Shared {
             .map(|entries| entries.count() as u64)
             .unwrap_or(0)
     }
+
+    /// Namespace names materialized on disk (sorted).
+    fn namespace_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(self.config.root.join("ns"))
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().to_string())
+                    .filter(|n| valid_namespace(n))
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    /// `(namespace, oplog length)` for every namespace on disk.
+    fn oplog_lengths(&self) -> Result<Vec<(String, u64)>> {
+        self.namespace_names()
+            .into_iter()
+            .map(|n| {
+                let len = self.namespace(&n)?.oplog.len();
+                Ok((n, len))
+            })
+            .collect()
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn role(&self) -> u8 {
+        self.role.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Secondary bookkeeping: what the primary looked like at last poll.
+    pub(crate) fn note_primary(&self, generation: u64, total: u64) {
+        let mut repl = self.repl.lock().expect("repl state poisoned");
+        repl.primary_generation = generation;
+        repl.primary_total = total;
+    }
+
+    /// Secondary bookkeeping: entries applied locally after a pass.
+    pub(crate) fn note_applied(&self, total: u64) {
+        self.repl.lock().expect("repl state poisoned").applied_total = total;
+    }
+
+    /// Replication lag in entries, per the [`Response::Status`] contract.
+    fn repl_lag(&self, lengths: &[(String, u64)]) -> u64 {
+        let local_total: u64 = lengths.iter().map(|(_, l)| l).sum();
+        let repl = self.repl.lock().expect("repl state poisoned");
+        if self.role() == ROLE_SECONDARY {
+            repl.primary_total
+                .saturating_sub(repl.applied_total.max(local_total))
+        } else if repl.acked.is_empty() {
+            0
+        } else {
+            lengths
+                .iter()
+                .map(|(n, l)| l.saturating_sub(*repl.acked.get(n).unwrap_or(&0)))
+                .sum()
+        }
+    }
+
+    /// Promotes this daemon to primary under a bumped, persisted
+    /// generation (strictly above anything it has seen).
+    pub(crate) fn promote(&self) -> Result<u64> {
+        let seen = self
+            .repl
+            .lock()
+            .expect("repl state poisoned")
+            .primary_generation;
+        let new_gen = self.generation().max(seen) + 1;
+        persist_generation(&self.config.root, new_gen)?;
+        self.generation.store(new_gen, Ordering::Release);
+        self.role.store(ROLE_PRIMARY, Ordering::Release);
+        Ok(new_gen)
+    }
+
+    /// Grants (or renews) the namespace's writer lease.
+    fn acquire_lease(&self, ns: &str, presented: u64, holder: &str) -> Result<LeaseGrant> {
+        let ttl = self.config.lease_ttl;
+        let now = Instant::now();
+        let mut leases = self.leases.lock().expect("lease table poisoned");
+        match leases.get_mut(ns) {
+            Some(l) if l.expires > now && l.token != presented => Err(Error::LeaseHeld(format!(
+                "namespace {ns:?} writer lease is held by {}",
+                l.holder
+            ))),
+            Some(l) if l.expires > now => {
+                // Reconnecting holder re-presented its token: renew.
+                l.expires = now + ttl;
+                l.holder = holder.to_string();
+                Ok(LeaseGrant {
+                    token: l.token,
+                    ttl_ms: ttl.as_millis() as u64,
+                })
+            }
+            _ => {
+                let token = self.lease_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                leases.insert(
+                    ns.to_string(),
+                    Lease {
+                        token,
+                        expires: now + ttl,
+                        holder: holder.to_string(),
+                    },
+                );
+                Ok(LeaseGrant {
+                    token,
+                    ttl_ms: ttl.as_millis() as u64,
+                })
+            }
+        }
+    }
+
+    /// Write gate: refuses when a *different* live writer holds the
+    /// namespace's lease; renews the lease when the caller holds it.
+    /// No lease (or an expired one) leaves writes open — leases are the
+    /// opt-in exclusivity a [`crate::repo::CheckpointRepo`] requests.
+    fn check_lease(&self, ns: &str, token: u64) -> Result<()> {
+        let mut leases = self.leases.lock().expect("lease table poisoned");
+        if let Some(l) = leases.get_mut(ns) {
+            if l.expires <= Instant::now() {
+                leases.remove(ns);
+            } else if l.token != token {
+                return Err(Error::LeaseHeld(format!(
+                    "namespace {ns:?} writer lease is held by {}",
+                    l.holder
+                )));
+            } else {
+                l.expires = Instant::now() + self.config.lease_ttl;
+            }
+        }
+        Ok(())
+    }
+
+    /// Renews the lease on any traffic from its holder.
+    fn renew_lease(&self, ns: &str, token: u64) {
+        if token == 0 {
+            return;
+        }
+        let mut leases = self.leases.lock().expect("lease table poisoned");
+        if let Some(l) = leases.get_mut(ns) {
+            if l.token == token && l.expires > Instant::now() {
+                l.expires = Instant::now() + self.config.lease_ttl;
+            }
+        }
+    }
+
+    /// Releases the lease if `token` holds it (idempotent).
+    fn release_lease(&self, ns: &str, token: u64) {
+        if token == 0 {
+            return;
+        }
+        let mut leases = self.leases.lock().expect("lease table poisoned");
+        if leases.get(ns).is_some_and(|l| l.token == token) {
+            leases.remove(ns);
+        }
+    }
+}
+
+fn load_generation(root: &Path) -> u64 {
+    fs::read_to_string(root.join(GENERATION_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+fn persist_generation(root: &Path, generation: u64) -> Result<()> {
+    let tmp = root.join(format!("{GENERATION_FILE}.tmp-{}", std::process::id()));
+    fs::write(&tmp, format!("{generation}\n"))
+        .map_err(|e| Error::io(format!("writing {}", tmp.display()), e))?;
+    fs::rename(&tmp, root.join(GENERATION_FILE))
+        .map_err(|e| Error::io("publishing generation", e))?;
+    Ok(())
 }
 
 /// A bound (but not yet serving) checkpoint daemon.
@@ -258,6 +518,12 @@ impl Server {
         let addr = listener
             .local_addr()
             .map_err(|e| Error::io("resolving bound address", e))?;
+        let role = if config.replicate.is_some() {
+            ROLE_SECONDARY
+        } else {
+            ROLE_PRIMARY
+        };
+        let generation = load_generation(&config.root);
         Ok(Server {
             listener,
             addr,
@@ -268,6 +534,11 @@ impl Server {
                 connections: AtomicU64::new(0),
                 active: AtomicU64::new(0),
                 socks: Mutex::new(BTreeMap::new()),
+                role: AtomicU8::new(role),
+                generation: AtomicU64::new(generation),
+                leases: Mutex::new(BTreeMap::new()),
+                lease_counter: AtomicU64::new(0),
+                repl: Mutex::new(ReplProgress::default()),
             }),
         })
     }
@@ -279,13 +550,22 @@ impl Server {
 
     /// Serves connections until a client sends `Shutdown`. Each
     /// connection is handled on a [`qpar`] pool worker when one is
-    /// available, else on a dedicated thread.
+    /// available, else on a dedicated thread. A secondary additionally
+    /// runs its tailer thread here (unless configured manual).
     ///
     /// # Errors
     ///
     /// Fails only on accept-loop errors; per-connection failures are
     /// contained to their connection.
     pub fn serve(self) -> Result<()> {
+        let tailer = match &self.shared.config.replicate {
+            Some(cfg) if !cfg.manual => {
+                let shared = Arc::clone(&self.shared);
+                let cfg = cfg.clone();
+                Some(std::thread::spawn(move || repl::run_tailer(shared, cfg)))
+            }
+            _ => None,
+        };
         // Tolerance for transient accept failures (fd exhaustion under
         // connection pressure, EINTR): back off briefly and keep
         // serving — existing connections closing is exactly what clears
@@ -294,7 +574,7 @@ impl Server {
         const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
         let mut accept_errors = 0u32;
         for stream in self.listener.incoming() {
-            if self.shared.shutdown.load(Ordering::Acquire) {
+            if self.shared.is_shutdown() {
                 break;
             }
             let stream = match stream {
@@ -368,6 +648,11 @@ impl Server {
             }
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
+        // The tailer polls the shutdown flag every few ms; join is
+        // prompt once the flag is up.
+        if let Some(t) = tailer {
+            let _ = t.join();
+        }
         Ok(())
     }
 
@@ -398,6 +683,43 @@ impl DaemonHandle {
     /// [`super::RemoteStore::connect`].
     pub fn addr(&self) -> String {
         self.addr.to_string()
+    }
+
+    /// The daemon's current role byte.
+    pub fn role(&self) -> u8 {
+        self.shared.role()
+    }
+
+    /// The daemon's current generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation()
+    }
+
+    /// Promotes this daemon to primary in-process (the test/embedded
+    /// form of `qckptd promote`); returns the new generation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the generation cannot be persisted.
+    pub fn promote(&self) -> Result<u64> {
+        self.shared.promote()
+    }
+
+    /// Runs one replication pass against the configured primary,
+    /// optionally stopping early at a crash-drill point. Only valid on
+    /// a daemon configured with [`ServerConfig::replicate`]; pairs with
+    /// `manual: true`, where no background tailer competes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when this daemon is not a secondary or the primary is
+    /// unreachable.
+    pub fn repl_sync(&self, stop: Option<ReplStop>) -> Result<SyncReport> {
+        let cfg = self.shared.config.replicate.clone().ok_or_else(|| {
+            Error::InvalidConfig("daemon is not configured as a replication secondary".into())
+        })?;
+        let mut client = repl::ReplClient::connect(&cfg.primary_addr, cfg.auth_token.as_deref())?;
+        repl::sync_once(&self.shared, &mut client, stop)
     }
 
     /// Stops the accept loop and joins the server thread.
@@ -436,13 +758,139 @@ pub fn spawn_daemon(root: impl Into<PathBuf>, kind: StoreKind) -> Result<DaemonH
     Ok(Server::bind("127.0.0.1:0", config)?.spawn())
 }
 
+/// Spawns an in-process *secondary* tailing `primary_addr`, on an
+/// ephemeral localhost port.
+///
+/// # Errors
+///
+/// As [`Server::bind`].
+pub fn spawn_secondary(
+    root: impl Into<PathBuf>,
+    kind: StoreKind,
+    primary_addr: &str,
+) -> Result<DaemonHandle> {
+    let mut config = ServerConfig::new(root);
+    config.store_kind = kind;
+    config.gc_dead_fraction = Some(0.0);
+    config.replicate = Some(ReplicateConfig::new(primary_addr));
+    Ok(Server::bind("127.0.0.1:0", config)?.spawn())
+}
+
+/// Per-connection facts established by the handshake.
+struct ConnCtx {
+    namespace: String,
+    peer_is_loopback: bool,
+    /// The connection presented the configured auth token (or, with no
+    /// token configured, comes from loopback).
+    privileged: bool,
+    /// The connection is a replication stream (`HELLO_FLAG_REPL`).
+    is_repl: bool,
+    /// Writer-lease token held by this connection (0 = none).
+    lease_token: u64,
+}
+
+/// Validates a v2 Hello and produces the connection context + reply.
+fn handshake(
+    shared: &Shared,
+    hello: Request,
+    peer_is_loopback: bool,
+    peer: &str,
+) -> Result<(ConnCtx, Response)> {
+    let Request::Hello {
+        version,
+        namespace,
+        auth,
+        flags,
+        lease_token,
+        min_generation,
+    } = hello
+    else {
+        return Err(Error::protocol(
+            "handshake",
+            "first frame must be a versioned Hello",
+        ));
+    };
+    if version != PROTO_VERSION {
+        let hint = if version < PROTO_VERSION {
+            "; v2 added auth, writer leases and replication — upgrade the client"
+        } else {
+            ""
+        };
+        return Err(Error::InvalidConfig(format!(
+            "unsupported protocol version {version} (server speaks {PROTO_VERSION}{hint})"
+        )));
+    }
+    if !valid_namespace(&namespace) {
+        return Err(Error::InvalidConfig(format!(
+            "invalid namespace {namespace:?}"
+        )));
+    }
+    // Auth: a wrong token is refused outright; an absent token leaves
+    // the connection unprivileged but serviceable (data-plane ops stay
+    // open — the token gates control-plane operations only).
+    let privileged = match &shared.config.auth_token {
+        Some(token) => {
+            if !auth.is_empty() && auth != *token {
+                return Err(Error::Unauthorized("auth token does not match".into()));
+            }
+            auth == *token
+        }
+        None => peer_is_loopback,
+    };
+    // Generation fencing: a client that has already talked to a newer
+    // primary proves this daemon demoted; it must refuse writes *and*
+    // reads (reads could serve a stale LATEST).
+    let generation = shared.generation();
+    if min_generation > generation {
+        return Err(Error::StaleGeneration(format!(
+            "client has observed generation {min_generation}; this daemon is at {generation} \
+             (demoted primary — re-point at the promoted peer)"
+        )));
+    }
+    let is_repl = flags & HELLO_FLAG_REPL != 0;
+    if is_repl && shared.config.auth_token.is_some() && !privileged {
+        return Err(Error::Unauthorized(
+            "replication streams require the daemon's auth token".into(),
+        ));
+    }
+    let lease = if flags & HELLO_FLAG_WANT_LEASE != 0 {
+        if shared.role() != ROLE_PRIMARY {
+            return Err(Error::NotPrimary(
+                "writer leases are only granted by the primary".into(),
+            ));
+        }
+        Some(shared.acquire_lease(&namespace, lease_token, peer)?)
+    } else {
+        None
+    };
+    let ctx = ConnCtx {
+        namespace,
+        peer_is_loopback,
+        privileged,
+        is_repl,
+        lease_token: lease.map(|g| g.token).unwrap_or(0),
+    };
+    let reply = Response::HelloOk {
+        version: PROTO_VERSION,
+        role: shared.role(),
+        generation,
+        lease,
+    };
+    Ok((ctx, reply))
+}
+
 /// Runs one connection to completion: handshake, then a request loop.
 fn handle_connection(shared: &Shared, stream: TcpStream, serving: &AtomicBool) -> Result<()> {
-    // Daemon-control boundary: without authentication in the protocol,
-    // the peer address is the only signal we have — process-control
-    // operations (Shutdown) are honored from loopback peers only, so a
-    // remote tenant of a LAN-exposed daemon cannot stop everyone
-    // else's checkpoint store.
+    // Daemon-control boundary: with no auth token configured, the peer
+    // address is the only signal we have — process-control operations
+    // (Shutdown, Promote) are honored from loopback peers only, so a
+    // remote tenant of a LAN-exposed daemon cannot stop everyone else's
+    // checkpoint store. Shutdown stays loopback-only even *with* a
+    // token: stopping the daemon is a host-level act.
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown-peer".into());
     let peer_is_loopback = stream
         .peer_addr()
         .map(|a| a.ip().is_loopback())
@@ -459,49 +907,25 @@ fn handle_connection(shared: &Shared, stream: TcpStream, serving: &AtomicBool) -
 
     // --- handshake ---
     let hello = read_frame(&mut reader)?;
-    let namespace = match Request::decode(&hello) {
-        Ok(Request::Hello { version, namespace }) => {
-            if version != PROTO_VERSION {
-                send(
-                    &mut writer,
-                    &Response::Err {
-                        code: ErrCode::Invalid as u8,
-                        message: format!(
-                            "unsupported protocol version {version} (server speaks {PROTO_VERSION})"
-                        ),
-                    },
-                )?;
-                return Ok(());
-            }
-            if !valid_namespace(&namespace) {
-                send(
-                    &mut writer,
-                    &Response::Err {
-                        code: ErrCode::Invalid as u8,
-                        message: format!("invalid namespace {namespace:?}"),
-                    },
-                )?;
-                return Ok(());
-            }
-            namespace
+    let mut ctx = match Request::decode(&hello)
+        .and_then(|req| handshake(shared, req, peer_is_loopback, &peer))
+    {
+        Ok((ctx, reply)) => {
+            send(&mut writer, &reply)?;
+            ctx
         }
-        Ok(_) | Err(_) => {
+        Err(e) => {
+            let (code, message) = ErrCode::classify(&e);
             send(
                 &mut writer,
                 &Response::Err {
-                    code: ErrCode::Invalid as u8,
-                    message: "first frame must be a versioned Hello".into(),
+                    code: code as u8,
+                    message,
                 },
             )?;
             return Ok(());
         }
     };
-    send(
-        &mut writer,
-        &Response::HelloOk {
-            version: PROTO_VERSION,
-        },
-    )?;
 
     // --- request loop ---
     let mut served = 0u64;
@@ -519,10 +943,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, serving: &AtomicBool) -
         let (response, is_shutdown) = match Request::decode(&body) {
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                (
-                    apply_request(shared, &namespace, req, peer_is_loopback),
-                    is_shutdown,
-                )
+                (apply_request(shared, &mut ctx, req), is_shutdown)
             }
             Err(e) => {
                 let (code, message) = ErrCode::classify(&e);
@@ -577,13 +998,8 @@ fn send(writer: &mut BufWriter<TcpStream>, resp: &Response) -> Result<()> {
 
 /// Executes one request against its namespace, mapping errors onto
 /// [`Response::Err`].
-fn apply_request(
-    shared: &Shared,
-    namespace: &str,
-    req: Request,
-    peer_is_loopback: bool,
-) -> Response {
-    let result = apply_request_inner(shared, namespace, req, peer_is_loopback);
+fn apply_request(shared: &Shared, ctx: &mut ConnCtx, req: Request) -> Response {
+    let result = apply_request_inner(shared, ctx, req);
     match result {
         Ok(resp) => resp,
         Err(e) => {
@@ -596,16 +1012,37 @@ fn apply_request(
     }
 }
 
-fn apply_request_inner(
-    shared: &Shared,
-    namespace: &str,
-    req: Request,
-    peer_is_loopback: bool,
-) -> Result<Response> {
+/// Gate for every mutation: a secondary refuses them outright, and a
+/// foreign live writer lease refuses them with the typed lease error
+/// (the holder's own traffic renews the lease instead).
+fn guard_write(shared: &Shared, ctx: &ConnCtx, what: &str) -> Result<()> {
+    if shared.role() != ROLE_PRIMARY {
+        return Err(Error::NotPrimary(format!(
+            "{what} refused: this daemon is a replication secondary (promote it first)"
+        )));
+    }
+    shared.check_lease(&ctx.namespace, ctx.lease_token)
+}
+
+/// Control-plane gate for operations the auth token protects.
+fn guard_privileged(shared: &Shared, ctx: &ConnCtx, what: &str) -> Result<()> {
+    if shared.config.auth_token.is_some() && !ctx.privileged {
+        return Err(Error::Unauthorized(format!(
+            "{what} requires the daemon's auth token"
+        )));
+    }
+    Ok(())
+}
+
+fn apply_request_inner(shared: &Shared, ctx: &mut ConnCtx, req: Request) -> Result<Response> {
+    // Any traffic from a lease holder keeps its lease alive.
+    shared.renew_lease(&ctx.namespace, ctx.lease_token);
+    let namespace = ctx.namespace.as_str();
     match req {
         Request::Hello { .. } => Err(Error::protocol("handling request", "duplicate Hello")),
         Request::Ping => Ok(Response::Pong),
         Request::PutBatch { fsync, chunks } => {
+            guard_write(shared, ctx, "put_batch")?;
             let ns = shared.namespace(namespace)?;
             // Trust boundary: verify every chunk's address before it
             // reaches the store — a lying client must not be able to
@@ -646,12 +1083,16 @@ fn apply_request_inner(
         }
         Request::Sweep { dry_run, reachable } => {
             let ns = shared.namespace(namespace)?;
-            let reachable = reachable.into_iter().collect();
-            let report = if dry_run {
-                ns.store.plan_sweep(&reachable)?
-            } else {
-                ns.store.sweep(&reachable)?
-            };
+            if dry_run {
+                // Planning is a read; no gate.
+                let reachable = reachable.into_iter().collect();
+                return Ok(Response::Gc(ns.store.plan_sweep(&reachable)?));
+            }
+            guard_privileged(shared, ctx, "destructive sweep")?;
+            guard_write(shared, ctx, "sweep")?;
+            let set = reachable.iter().copied().collect();
+            let report = ns.store.sweep(&set)?;
+            ns.oplog.append(&OplogOp::Sweep { reachable })?;
             Ok(Response::Gc(report))
         }
         Request::Stats => {
@@ -664,9 +1105,14 @@ fn apply_request_inner(
             Ok(Response::Cleared(ns.store.clear_staging()? as u64))
         }
         Request::MetaPut { name, bytes } => {
+            guard_write(shared, ctx, "meta_put")?;
             let ns = shared.namespace(namespace)?;
             check_meta_name(&name)?;
             ns.meta_put(&name, &bytes)?;
+            // Logged *after* the local apply: a crash in the gap loses
+            // the log entry but not the data, and the client's replay
+            // of the idempotent MetaPut re-appends it.
+            ns.oplog.append(&OplogOp::MetaPut { name, bytes })?;
             Ok(Response::Ok)
         }
         Request::MetaGet { name } => {
@@ -679,18 +1125,30 @@ fn apply_request_inner(
             Ok(Response::Names(ns.meta_list(&prefix)?))
         }
         Request::MetaDelete { name } => {
+            guard_write(shared, ctx, "meta_delete")?;
             let ns = shared.namespace(namespace)?;
             check_meta_name(&name)?;
             ns.meta_delete(&name)?;
+            ns.oplog.append(&OplogOp::MetaDelete { name })?;
             Ok(Response::Ok)
         }
-        Request::Status => Ok(Response::Status {
-            version: PROTO_VERSION,
-            namespaces: shared.namespace_count(),
-            connections: shared.connections.load(Ordering::Relaxed),
-        }),
+        Request::Status => {
+            let lengths = shared.oplog_lengths()?;
+            let oplog_entries = lengths.iter().map(|(_, l)| l).sum();
+            let repl_lag = shared.repl_lag(&lengths);
+            Ok(Response::Status {
+                version: PROTO_VERSION,
+                namespaces: shared.namespace_count(),
+                connections: shared.connections.load(Ordering::Relaxed),
+                role: shared.role(),
+                generation: shared.generation(),
+                oplog_entries,
+                repl_lag,
+            })
+        }
         Request::Shutdown => {
-            if peer_is_loopback {
+            guard_privileged(shared, ctx, "shutdown")?;
+            if ctx.peer_is_loopback {
                 Ok(Response::Ok)
             } else {
                 Err(Error::InvalidConfig(
@@ -700,8 +1158,92 @@ fn apply_request_inner(
                 ))
             }
         }
+        Request::Promote => {
+            // Promote rewires who may write; gate it like shutdown,
+            // except a token explicitly enables remote promotion (the
+            // operator promoting a surviving secondary is usually not
+            // on its host).
+            match &shared.config.auth_token {
+                Some(_) => guard_privileged(shared, ctx, "promote")?,
+                None => {
+                    if !ctx.peer_is_loopback {
+                        return Err(Error::Unauthorized(
+                            "promote is only honored from loopback connections \
+                             unless an auth token is configured"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+            let generation = shared.promote()?;
+            Ok(Response::Promoted { generation })
+        }
+        Request::LeaseRelease => {
+            shared.release_lease(namespace, ctx.lease_token);
+            ctx.lease_token = 0;
+            Ok(Response::Ok)
+        }
+        Request::ReplStatus => {
+            require_repl(ctx)?;
+            Ok(Response::ReplStatus {
+                generation: shared.generation(),
+                role: shared.role(),
+                namespaces: shared.oplog_lengths()?,
+            })
+        }
+        Request::ReplFetch {
+            namespace,
+            from,
+            max,
+        } => {
+            require_repl(ctx)?;
+            if !valid_namespace(&namespace) {
+                return Err(Error::InvalidConfig(format!(
+                    "invalid namespace {namespace:?}"
+                )));
+            }
+            let ns = shared.namespace(&namespace)?;
+            Ok(Response::ReplEntries(
+                ns.oplog.read_from(from, max.min(4096) as usize)?,
+            ))
+        }
+        Request::ReplChunks { namespace, refs } => {
+            require_repl(ctx)?;
+            if !valid_namespace(&namespace) {
+                return Err(Error::InvalidConfig(format!(
+                    "invalid namespace {namespace:?}"
+                )));
+            }
+            let ns = shared.namespace(&namespace)?;
+            let mut out = Vec::with_capacity(refs.len());
+            for r in refs {
+                // Absent is not an error: the chunk may have been swept
+                // while the secondary was behind; the sweep entry later
+                // in the log reconciles it.
+                if ns.store.contains(&r.hash) {
+                    out.push(Some(super::proto::WireChunk {
+                        reference: r,
+                        data: ns.store.get(&r)?,
+                    }));
+                } else {
+                    out.push(None);
+                }
+            }
+            Ok(Response::Chunks(out))
+        }
+        Request::ReplAck { namespace, offset } => {
+            require_repl(ctx)?;
+            shared
+                .repl
+                .lock()
+                .expect("repl state poisoned")
+                .acked
+                .insert(namespace, offset);
+            Ok(Response::Ok)
+        }
         #[cfg(any(test, feature = "testing"))]
         Request::Corrupt { hash, offset } => {
+            guard_write(shared, ctx, "corrupt_object")?;
             let ns = shared.namespace(namespace)?;
             ns.store.corrupt_object(&hash, offset as usize)?;
             Ok(Response::Ok)
@@ -710,6 +1252,18 @@ fn apply_request_inner(
         Request::Corrupt { .. } => Err(Error::InvalidConfig(
             "corrupt-object is a testing-only operation; this daemon was built without it".into(),
         )),
+    }
+}
+
+fn require_repl(ctx: &ConnCtx) -> Result<()> {
+    if ctx.is_repl {
+        Ok(())
+    } else {
+        Err(Error::InvalidConfig(
+            "REPL_* operations are only honored on a replication stream \
+             (Hello with the REPL flag)"
+                .into(),
+        ))
     }
 }
 

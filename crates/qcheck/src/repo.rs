@@ -375,12 +375,29 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         self.root.join("LATEST")
     }
 
-    /// Acquires the advisory writer lock.
+    /// Acquires the writer lock.
+    ///
+    /// For local backends this is the advisory on-disk `LOCK` file,
+    /// removed when the guard drops. For a shared backend (the remote
+    /// daemon) a local file would wrongly serialize *directories*, not
+    /// writers — and a crashed writer would leak it forever — so the
+    /// lock is the daemon's **server-side writer lease** instead:
+    /// granted per namespace, renewed by this handle's traffic, expired
+    /// by TTL if the process dies. The lease is bound to the store
+    /// handle (re-locking from the same handle renews it); it is
+    /// released when the handle drops or via
+    /// [`crate::store::ObjectStore::release_writer_lease`].
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Locked`] when another writer holds it.
+    /// Returns [`Error::Locked`] when another local writer holds the
+    /// LOCK file, or [`Error::LeaseHeld`] when another live handle holds
+    /// the namespace's lease.
     pub fn try_lock(&self) -> Result<RepoLock> {
+        if self.store.is_shared() {
+            self.store.acquire_writer_lease()?;
+            return Ok(RepoLock { path: None });
+        }
         let path = self.root.join("LOCK");
         match fs::OpenOptions::new()
             .write(true)
@@ -389,7 +406,7 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         {
             Ok(mut f) => {
                 let _ = writeln!(f, "{}", std::process::id());
-                Ok(RepoLock { path })
+                Ok(RepoLock { path: Some(path) })
             }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Err(Error::Locked(path)),
             Err(e) => Err(Error::io("acquiring lock", e)),
@@ -1228,15 +1245,21 @@ impl<S: ObjectStore> CheckpointRepo<S> {
     }
 }
 
-/// Guard for the advisory writer lock; releases on drop.
+/// Guard for the writer lock. A local LOCK file (`path` set) is removed
+/// on drop; a server-side lease (`path` empty) stays with the *store
+/// handle* — it is renewed by traffic, released when the handle drops,
+/// and expired by TTL if the process is killed, so the guard itself has
+/// nothing to clean up.
 #[derive(Debug)]
 pub struct RepoLock {
-    path: PathBuf,
+    path: Option<PathBuf>,
 }
 
 impl Drop for RepoLock {
     fn drop(&mut self) {
-        let _ = fs::remove_file(&self.path);
+        if let Some(path) = &self.path {
+            let _ = fs::remove_file(path);
+        }
     }
 }
 
@@ -1595,6 +1618,15 @@ mod tests {
     fn lock_is_exclusive_and_released() {
         let (_t, repo) = TempRepo::new();
         let guard = repo.try_lock().unwrap();
+        if repo.store().is_shared() {
+            // Shared stores delegate exclusion to the server-side
+            // writer lease, which is handle-scoped: re-locking through
+            // the same handle renews the lease instead of conflicting.
+            // Cross-handle exclusion is covered by
+            // tests/replication.rs::writer_lease_excludes_second_writer_and_expires_by_ttl.
+            assert!(repo.try_lock().is_ok());
+            return;
+        }
         assert!(matches!(repo.try_lock(), Err(Error::Locked(_))));
         drop(guard);
         assert!(repo.try_lock().is_ok());

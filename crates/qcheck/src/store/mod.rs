@@ -221,6 +221,24 @@ pub trait ObjectStore: std::fmt::Debug + Send + Sync {
         false
     }
 
+    /// Acquires the store's exclusive writer lease for this handle's
+    /// namespace. Local backends rely on the repository's on-disk LOCK
+    /// file instead and treat this as a no-op; the remote backend asks
+    /// the daemon for a server-side lease (which a crashed writer
+    /// cannot leak forever — it expires by TTL).
+    ///
+    /// # Errors
+    ///
+    /// Shared backends fail with [`Error::LeaseHeld`] when another live
+    /// writer holds the lease, or on transport errors.
+    fn acquire_writer_lease(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Releases the writer lease, if one is held. Best-effort no-op for
+    /// local backends.
+    fn release_writer_lease(&self) {}
+
     /// Atomically publishes a named metadata blob on the shared store.
     /// No-op for local backends.
     ///
@@ -584,6 +602,14 @@ impl ObjectStore for StoreBackend {
 
     fn is_shared(&self) -> bool {
         delegate!(self, s => s.is_shared())
+    }
+
+    fn acquire_writer_lease(&self) -> Result<()> {
+        delegate!(self, s => s.acquire_writer_lease())
+    }
+
+    fn release_writer_lease(&self) {
+        delegate!(self, s => s.release_writer_lease())
     }
 
     fn meta_put(&self, name: &str, bytes: &[u8]) -> Result<()> {

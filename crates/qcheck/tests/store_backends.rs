@@ -17,7 +17,9 @@
 use proptest::prelude::*;
 
 use qcheck::failure::CrashPoint;
-use qcheck::remote::{spawn_daemon, DaemonHandle, RemoteStore};
+use qcheck::remote::{
+    spawn_daemon, DaemonHandle, RemoteStore, ReplStop, ReplicateConfig, Server, ServerConfig,
+};
 use qcheck::repo::{CheckpointRepo, Retention, SaveMode, SaveOptions, SaveReport};
 use qcheck::snapshot::{StateBlob, TrainingSnapshot};
 use qcheck::store::{ObjectStore, StoreBackend, StoreKind};
@@ -338,6 +340,94 @@ proptest! {
         }
         prop_assert_eq!(&outcomes[0], &outcomes[1], "crash {:?} diverged loose/pack", crash);
         prop_assert_eq!(&outcomes[0], &outcomes[2], "crash {:?} diverged loose/remote", crash);
+    }
+}
+
+proptest! {
+    // Replication drags a whole second daemon through every case; keep
+    // the count low (QPROP_CASES still overrides).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The replicated remote backend joins the equivalence family: after
+    /// an arbitrary workload on the primary, a secondary that "crashed"
+    /// mid-pass at a randomly chosen oplog stage (chunks shipped but
+    /// entry unapplied / entry applied but unacked / clean cut between
+    /// passes) and then resynced, once promoted, serves a repository
+    /// with byte-identical manifests, identical recovery and identical
+    /// fsck health — convergence is idempotent at every stage boundary.
+    #[test]
+    fn replicated_secondary_converges_after_staged_crashes(
+        ops in prop::collection::vec(arb_op(), 1..8),
+        stage in 0usize..3,
+    ) {
+        let dir = TempDir::new("repl-equiv");
+        let primary = spawn_daemon(dir.0.join("primary"), StoreKind::Loose).unwrap();
+        let mut sec_config = ServerConfig::new(dir.0.join("secondary"));
+        sec_config.store_kind = StoreKind::Loose;
+        sec_config.gc_dead_fraction = Some(0.0);
+        let mut repl = ReplicateConfig::new(primary.addr());
+        repl.manual = true; // passes are driven (and cut) explicitly
+        sec_config.replicate = Some(repl);
+        let secondary = Server::bind("127.0.0.1:0", sec_config).unwrap().spawn();
+
+        let store = RemoteStore::connect(primary.addr(), "repl-equiv").unwrap();
+        let repo =
+            CheckpointRepo::with_store(dir.0.join("client"), StoreBackend::Remote(store)).unwrap();
+        let mut params = vec![0.5f64; N_PARAMS];
+        let mut step = 0u64;
+        for op in &ops {
+            if matches!(op, Op::SaveFull { .. } | Op::SaveDelta { .. }) {
+                step += 1;
+                evolve(&mut params, *op, step);
+            }
+            apply_op(&repo, StoreKind::Remote, *op, step, &params);
+        }
+
+        // Crash the first replication pass at the drilled stage, then
+        // resync to convergence.
+        match stage {
+            0 => { secondary.repl_sync(Some(ReplStop::AfterChunks)).unwrap(); }
+            1 => { secondary.repl_sync(Some(ReplStop::AfterEntry)).unwrap(); }
+            _ => {} // no partial pass: the clean-cut baseline
+        }
+        for _ in 0..64 {
+            if secondary.repl_sync(None).unwrap().remaining == 0 {
+                break;
+            }
+        }
+        secondary.promote().unwrap();
+
+        // The promoted secondary must be logically indistinguishable
+        // from the primary — same checks the three-way suite applies.
+        let failover_store = RemoteStore::connect(secondary.addr(), "repl-equiv").unwrap();
+        let failover = CheckpointRepo::with_store(
+            dir.0.join("fresh"),
+            StoreBackend::Remote(failover_store),
+        )
+        .unwrap();
+        let ids = repo.list_ids().unwrap();
+        prop_assert_eq!(&ids, &failover.list_ids().unwrap(), "ids diverged at stage {}", stage);
+        for id in &ids {
+            prop_assert_eq!(
+                repo.load_manifest(id).unwrap().encode(),
+                failover.load_manifest(id).unwrap().encode(),
+                "manifest {} diverged at stage {}", id, stage
+            );
+            prop_assert_eq!(repo.load(id).unwrap(), failover.load(id).unwrap());
+        }
+        match (repo.recover(), failover.recover()) {
+            (Ok((s1, _)), Ok((s2, _))) => {
+                prop_assert_eq!(s1.step, s2.step);
+                prop_assert_eq!(s1.params, s2.params);
+            }
+            (Err(qcheck::Error::NoValidCheckpoint { .. }),
+             Err(qcheck::Error::NoValidCheckpoint { .. })) => {}
+            (a, b) => prop_assert!(false, "recover diverged: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+        let fp = fsck(&repo).unwrap();
+        let fs = fsck(&failover).unwrap();
+        prop_assert_eq!(fp.intact_count(), fs.intact_count(), "intact diverged");
+        prop_assert_eq!(fp.orphan_chunks, fs.orphan_chunks, "orphans diverged");
     }
 }
 

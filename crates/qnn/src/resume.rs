@@ -12,7 +12,7 @@ use qcheck::checkpointer::Checkpointer;
 use qcheck::error::Error as QcheckError;
 use qcheck::manifest::CheckpointId;
 use qcheck::policy::CheckpointPolicy;
-use qcheck::repo::{CheckpointRepo, SaveOptions, SaveReport};
+use qcheck::repo::{CheckpointRepo, RepoLock, SaveOptions, SaveReport};
 use qcheck::snapshot::Checkpointable;
 use qcheck::store::{ObjectStore, StoreBackend};
 
@@ -76,6 +76,12 @@ pub struct ResumableRun<S: ObjectStore = StoreBackend> {
     trainer: Trainer,
     checkpointer: Checkpointer<S>,
     start: RunStart,
+    /// Writer exclusion for *shared* (daemon-backed) repositories: the
+    /// namespace's server-side lease, acquired before recovery so two
+    /// trainers pointed at one namespace fail loudly with a typed
+    /// lease-held error instead of interleaving checkpoints. `None` for
+    /// local backends, whose working directory is already private.
+    _lock: Option<RepoLock>,
 }
 
 impl<S: ObjectStore> ResumableRun<S> {
@@ -94,6 +100,11 @@ impl<S: ObjectStore> ResumableRun<S> {
         options: SaveOptions,
     ) -> Result<Self, RunError> {
         let mut trainer = trainer;
+        let lock = if repo.store().is_shared() {
+            Some(repo.try_lock()?)
+        } else {
+            None
+        };
         let start = match repo.recover() {
             Ok((snapshot, report)) => {
                 let id = report.recovered.expect("recover names its source");
@@ -115,6 +126,7 @@ impl<S: ObjectStore> ResumableRun<S> {
             trainer,
             checkpointer: Checkpointer::new(repo, policy, options),
             start,
+            _lock: lock,
         })
     }
 
@@ -169,6 +181,10 @@ impl<S: ObjectStore> ResumableRun<S> {
         let report = self
             .checkpointer
             .force_checkpoint(self.trainer.step_count(), &self.trainer)?;
+        // A clean finish hands the namespace to the next writer
+        // immediately instead of waiting out the lease TTL. (A crashed
+        // run never reaches this; the daemon expires its lease.)
+        self.checkpointer.repo().store().release_writer_lease();
         Ok((self.trainer, report))
     }
 }

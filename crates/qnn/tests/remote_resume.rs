@@ -8,7 +8,7 @@
 //! included.
 
 use qcheck::policy::EveryKSteps;
-use qcheck::remote::{spawn_daemon, RemoteStore};
+use qcheck::remote::{spawn_daemon, spawn_secondary, RemoteStore};
 use qcheck::repo::{CheckpointRepo, SaveOptions};
 use qcheck::store::{StoreBackend, StoreKind};
 use qnn::ansatz::{hardware_efficient, init_params};
@@ -112,6 +112,101 @@ fn killed_run_resumes_bit_identically_from_a_fresh_directory() {
             resumed.loss.to_bits(),
             reference.loss.to_bits(),
             "trajectory diverged at step {}",
+            resumed.step
+        );
+    }
+    let (trainer, _) = run.finish().unwrap();
+    assert_eq!(trainer.step_count(), 10);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+/// The replicated form of the acceptance drill: the *daemon* is what
+/// dies. A run checkpoints against a primary while a secondary tails
+/// its oplog; the primary is killed mid-`PUT_BATCH`, the secondary is
+/// promoted, and a fresh working directory pointed at the failover
+/// address list resumes against the promoted secondary — bit-identical
+/// losses, fenced old generation, no half-frame debris.
+#[test]
+fn killed_primary_resumes_bit_identically_against_promoted_secondary() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let primary = spawn_daemon(scratch("repl-primary"), StoreKind::Pack).unwrap();
+    let secondary =
+        spawn_secondary(scratch("repl-secondary"), StoreKind::Pack, &primary.addr()).unwrap();
+    let failover_spec = format!("{},{}", primary.addr(), secondary.addr());
+    let ns = "train-repl";
+
+    // Uninterrupted reference trajectory to step 10.
+    let mut reference = build_trainer(3);
+    let ref_reports: Vec<StepReport> = reference.train_steps(10).unwrap();
+
+    // Process 1: checkpoints every 2 steps to step 6 against the
+    // primary (the failover list dials the primary first while it is
+    // alive); the background tailer replicates each commit.
+    let dir_a = scratch("repl-dir-a");
+    {
+        let repo = open_remote_repo(&dir_a, &failover_spec, ns);
+        let mut run = ResumableRun::start(
+            build_trainer(3),
+            repo,
+            Box::new(EveryKSteps::new(2)),
+            SaveOptions::default(),
+        )
+        .unwrap();
+        run.run_to_step(6).unwrap();
+    }
+    std::fs::remove_dir_all(&dir_a).unwrap();
+
+    // Wait for the tailer to drain the oplog (secondary's length
+    // reaches the primary's), then kill the primary with a half-written
+    // PUT_BATCH in flight — the worst moment.
+    let primary_probe = RemoteStore::connect(primary.addr(), ns).unwrap();
+    let committed = primary_probe.status().unwrap().oplog_entries;
+    assert!(committed > 0, "the run must have committed oplog entries");
+    drop(primary_probe);
+    let lag_probe = RemoteStore::connect(secondary.addr(), ns).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while lag_probe.status().unwrap().oplog_entries < committed {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "tailer never caught up"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    drop(lag_probe);
+    qcheck::remote::fault::die_mid_put_batch(&primary.addr(), ns, vec![0x5A; 4096]).unwrap();
+    primary.shutdown();
+
+    // Operator promotes the secondary.
+    let generation = secondary.promote().unwrap();
+    assert!(generation > 1, "promotion must advance the generation");
+
+    // Process 2: fresh working directory, same failover list. The dead
+    // primary is skipped, the run resumes at step 6 from the promoted
+    // secondary, and the tail matches the reference bit for bit.
+    let dir_b = scratch("repl-dir-b");
+    let repo = open_remote_repo(&dir_b, &failover_spec, ns);
+    assert_eq!(
+        repo.store().remote().unwrap().observed_generation(),
+        generation,
+        "the resumed client must be running at the promoted generation"
+    );
+    let mut run = ResumableRun::start(
+        build_trainer(3),
+        repo,
+        Box::new(EveryKSteps::new(2)),
+        SaveOptions::default(),
+    )
+    .unwrap();
+    match run.start_info() {
+        RunStart::Resumed { step, .. } => assert_eq!(*step, 6),
+        other => panic!("expected resume from the promoted secondary, got {other:?}"),
+    }
+    let tail = run.run_to_step(10).unwrap();
+    for (resumed, reference) in tail.iter().zip(&ref_reports[6..]) {
+        assert_eq!(
+            resumed.loss.to_bits(),
+            reference.loss.to_bits(),
+            "trajectory diverged at step {} after failover",
             resumed.step
         );
     }
