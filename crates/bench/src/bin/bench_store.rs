@@ -14,7 +14,10 @@
 //! * recovery latency over a delta chain;
 //! * syscall-proxy counters from [`qcheck::repo::SaveReport`]: renames and
 //!   fsyncs per save (the pack backend's point is O(1) renames per commit,
-//!   and a single fsync when durability is on);
+//!   and a single fsync when durability is on), plus the *commit-path*
+//!   counters — under the manifest-log protocol every save publishes with
+//!   0 renames and (fsync on) exactly 2 fsyncs, independent of snapshot
+//!   size and backend;
 //! * protocol round trips per save for the remote backend (pipelined
 //!   chunk upload + manifest/LATEST mirroring; 0 for local backends).
 //!
@@ -80,6 +83,8 @@ struct BackendRow {
     recover_ms: f64,
     renames_per_full_save: f64,
     fsyncs_per_full_save_fsync_on: f64,
+    commit_renames_per_save: f64,
+    commit_fsyncs_per_save_fsync_on: f64,
     renames_per_delta_save: f64,
     round_trips_per_full_save: f64,
     round_trips_per_delta_save: f64,
@@ -181,6 +186,8 @@ fn bench_backend(
         recover_ms,
         renames_per_full_save: mean(fulls.iter().map(|r| r.store_renames)),
         fsyncs_per_full_save_fsync_on: mean(fulls_fsync.iter().map(|r| r.store_fsyncs)),
+        commit_renames_per_save: mean(fulls.iter().map(|r| r.commit_renames)),
+        commit_fsyncs_per_save_fsync_on: mean(fulls_fsync.iter().map(|r| r.commit_fsyncs)),
         // Skip the first (full) save of the chain: steady-state deltas are
         // the number that matters for a training loop.
         renames_per_delta_save: mean(deltas.iter().skip(1).map(|r| r.store_renames)),
@@ -206,7 +213,7 @@ fn main() {
             println!(
                 "  {:<6}  full {:.2} ms ({:.0} MB/s)  delta {:.3} ms  recover {:.1} ms  \
                  renames/full {:.1}  renames/delta {:.1}  fsyncs/full(fsync) {:.1}  \
-                 round-trips full/delta {:.1}/{:.1}",
+                 commit renames/fsyncs {:.1}/{:.1}  round-trips full/delta {:.1}/{:.1}",
                 row.kind.to_string(),
                 row.full_save_ms,
                 row.full_save_mb_s,
@@ -215,6 +222,8 @@ fn main() {
                 row.renames_per_full_save,
                 row.renames_per_delta_save,
                 row.fsyncs_per_full_save_fsync_on,
+                row.commit_renames_per_save,
+                row.commit_fsyncs_per_save_fsync_on,
                 row.round_trips_per_full_save,
                 row.round_trips_per_delta_save,
             );
@@ -244,7 +253,8 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"note\": \"timings jitter on shared boxes; rename/fsync/round-trip counters are \
-         deterministic and are the acceptance signal (pack = O(1) renames per save; remote = \
+         deterministic and are the acceptance signal (pack = O(1) renames per save; commit path = \
+         manifest log + dual-root flip, 0 renames and 2 fsyncs per save on every backend; remote = \
          localhost qckptd, pipelined put_batch + manifest/LATEST mirroring)\","
     );
     let _ = writeln!(json, "  \"daemon\": {{");
@@ -282,6 +292,16 @@ fn main() {
             json,
             "      \"fsyncs_per_full_save_fsync_on\": {:.2},",
             row.fsyncs_per_full_save_fsync_on
+        );
+        let _ = writeln!(
+            json,
+            "      \"commit_renames_per_save\": {:.2},",
+            row.commit_renames_per_save
+        );
+        let _ = writeln!(
+            json,
+            "      \"commit_fsyncs_per_save_fsync_on\": {:.2},",
+            row.commit_fsyncs_per_save_fsync_on
         );
         let _ = writeln!(
             json,

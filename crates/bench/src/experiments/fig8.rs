@@ -10,7 +10,7 @@
 //!   newest manifest — recovery must fall back to checkpoint №1, never
 //!   return corrupt data.
 
-use qcheck::failure::{inject_fault, CrashPoint, StorageFault};
+use qcheck::failure::{CrashPoint, StorageFault};
 use qcheck::repo::{CheckpointRepo, CommitMode, SaveOptions};
 use qcheck::snapshot::Checkpointable;
 use qsim::measure::EvalMode;
@@ -54,7 +54,7 @@ fn crash_trial(commit: CommitMode, crash: CrashPoint) -> (bool, Option<u64>) {
 fn fault_trial(fault: StorageFault) -> (bool, Option<u64>) {
     let (dir, repo, snap2) = make_repo_with_one_checkpoint("fig8-fault");
     let report = repo.save(&snap2, &SaveOptions::default()).expect("save 2");
-    inject_fault(&repo.manifest_path(&report.id), fault).expect("inject");
+    repo.corrupt_manifest(&report.id, fault).expect("inject");
     let result = repo.recover();
     let out = match result {
         Ok((snap, _)) => (true, Some(snap.step)),

@@ -34,6 +34,12 @@ pub enum CrashPoint {
     BeforeLatestSwing,
     /// Mid-way through writing the `LATEST` pointer (torn pointer).
     MidLatestWrite,
+    /// Retention only: after tombstone records land durably in the local
+    /// manifest log but before the deletes are mirrored to a shared
+    /// backend — the interleaving that used to resurrect retired
+    /// checkpoints on the next fresh-directory sync. Not part of
+    /// [`CrashPoint::all`]; exercised by the retention crash tests.
+    AfterRetireLocal,
 }
 
 impl CrashPoint {
@@ -62,6 +68,7 @@ impl std::fmt::Display for CrashPoint {
             }
             CrashPoint::BeforeLatestSwing => write!(f, "before-latest-swing"),
             CrashPoint::MidLatestWrite => write!(f, "mid-latest-write"),
+            CrashPoint::AfterRetireLocal => write!(f, "after-retire-local"),
         }
     }
 }

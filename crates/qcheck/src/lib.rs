@@ -81,6 +81,7 @@
 //! | [`compress`] | RLE and XOR-f64 codecs |
 //! | [`chunk`] | fixed-size chunking |
 //! | [`codec`] | deterministic binary encoding |
+//! | [`manifest_log`] | append-only manifest log + dual root slots (the O(1) commit) |
 //! | [`hash`] | in-repo SHA-256 and CRC32 |
 //! | [`failure`] | crash points and storage-fault injection |
 //! | [`error`] | the crate-wide [`error::Error`] |
@@ -98,6 +99,7 @@ pub mod error;
 pub mod failure;
 pub mod hash;
 pub mod manifest;
+pub mod manifest_log;
 pub mod policy;
 pub mod remote;
 pub mod repo;

@@ -670,6 +670,31 @@ impl ObjectStore for RemoteStore {
         }
     }
 
+    fn get_many(&self, refs: &[ChunkRef]) -> Result<Vec<Vec<u8>>> {
+        if refs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Pipelined: all Get frames go out before the first reply is
+        // read, so resolving an N-chunk section costs one effective
+        // round trip of latency, not N — this is what makes remote
+        // recovery latency O(sections), not O(chunks).
+        let requests: Vec<Request> = refs
+            .iter()
+            .map(|r| Request::Get { reference: *r })
+            .collect();
+        self.exchange("fetching chunk batch", &requests)?
+            .into_iter()
+            .zip(refs)
+            .map(|(resp, reference)| match resp {
+                Response::Chunk(data) => {
+                    crate::store::verify_chunk(reference, &data)?;
+                    Ok(data)
+                }
+                other => Err(unexpected("fetching chunk batch", &other)),
+            })
+            .collect()
+    }
+
     fn contains(&self, hash: &ContentHash) -> bool {
         matches!(
             self.request(

@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! <root>/
-//!   STORE              sticky backend marker: "loose" | "pack"
-//!   objects/ab/cdef…   content-addressed chunks (loose backend)
-//!   packs/pack-….qpk   batched pack files (pack backend)
-//!   manifests/<id>.qmf framed manifests (see `manifest`)
-//!   tmp/               staging area; contents are disposable
-//!   LATEST             one-line pointer to the newest manifest id
-//!   LOCK               advisory writer lock
+//!   STORE               sticky backend marker: "loose" | "pack"
+//!   objects/ab/cdef…    content-addressed chunks (loose backend)
+//!   packs/pack-….qpk    batched pack files (pack backend)
+//!   ROOT.0, ROOT.1      dual root slots (see `manifest_log`)
+//!   manifest-<e>.qlg    append-only CRC-framed manifest log
+//!   tmp/                staging area; contents are disposable
+//!   LOCK                advisory writer lock
 //! ```
 //!
 //! ## Commit protocol (atomic mode)
@@ -16,17 +16,27 @@
 //! 1. write every new chunk (one [`crate::store::ObjectStore::put_batch`]
 //!    call: per-object stage+rename on the loose backend, a single staged
 //!    pack published by one fsync+rename on the pack backend);
-//! 2. write the manifest to `tmp/`, optionally fsync, rename into
-//!    `manifests/`;
-//! 3. rewrite `LATEST` the same way.
+//! 2. append one `ManifestPut` + `LatestAdvance` record pair to the
+//!    manifest log — **one** write, one optional fsync, zero renames;
+//! 3. publish by writing the *stale* root slot with a bumped generation —
+//!    one small write, one optional fsync.
 //!
-//! A crash between any two steps leaves either the previous checkpoint fully
-//! intact (steps 1–2) or both checkpoints intact with a stale pointer
-//! (step 3) — recovery scans manifests directly and does not trust `LATEST`.
+//! A crash during step 2 leaves a torn log tail behind the committed
+//! region (truncated on recovery); a crash during step 3 can only tear the
+//! stale slot, so readers fall back to the surviving root. Valid records
+//! beyond the committed length are a completed-but-unpublished save and
+//! still count for recovery (newest-valid-wins). Whole-save commit cost is
+//! therefore O(1) in renames and fsyncs regardless of snapshot size.
+//! Recovery replays the log (already in id order) instead of walking a
+//! manifest directory. The legacy `manifests/` + `LATEST` layout is
+//! migrated into an epoch-0 log automatically on open.
 //! The naive in-place mode ([`CommitMode::InPlaceUnsafe`]) exists purely as
-//! the baseline for experiment R-F8.
+//! the baseline for experiment R-F8: it publishes by overwriting the live
+//! root slot in place, and advances the committed length *before* the
+//! record lands — exactly the torn-write exposure the dual-slot protocol
+//! removes.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -38,9 +48,10 @@ use crate::chunk::{chunk_bytes_threads, DEFAULT_CHUNK_SIZE};
 use crate::compress::Compression;
 use crate::delta::{BlockPatch, DEFAULT_BLOCK_SIZE};
 use crate::error::{Error, Result};
-use crate::failure::CrashPoint;
+use crate::failure::{CrashPoint, StorageFault};
 use crate::hash::Sha256;
 use crate::manifest::{CheckpointId, CheckpointKind, Manifest, PayloadKind, SectionEntry};
+use crate::manifest_log::{self as mlog, LogReplay, RecordKind, RootSlot};
 use crate::snapshot::{
     Section, TrainingSnapshot, SECTION_LEDGER, SECTION_OPTIMIZER, SECTION_PARAMS,
 };
@@ -172,11 +183,19 @@ pub struct SaveReport {
     pub chunks_deduped: usize,
     /// Rename syscalls the object store used to commit this save's new
     /// chunks: O(chunks) for the loose backend, ≤ 1 for the pack backend.
-    /// (Manifest + `LATEST` renames are not included.)
+    /// (Commit-path renames are counted separately in `commit_renames`.)
     pub store_renames: u64,
     /// `fsync` calls the object store issued while committing new chunks.
     pub store_fsyncs: u64,
-    /// Manifest file size.
+    /// Rename syscalls the *commit* path (manifest + pointer publication)
+    /// used beyond the chunk writes. Always 0 under the manifest-log
+    /// protocol — the whole-save O(1) acceptance counter.
+    pub commit_renames: u64,
+    /// `fsync` calls the commit path issued: 0 with `fsync` off, exactly
+    /// 2 with it on (log append + root slot), independent of snapshot
+    /// size.
+    pub commit_fsyncs: u64,
+    /// Manifest record size (the encoded manifest bytes).
     pub manifest_bytes: u64,
 }
 
@@ -204,6 +223,11 @@ pub struct RecoveryReport {
     /// when this working directory was missing history, e.g. a
     /// fresh-directory resume. Always 0 for local backends.
     pub meta_synced: usize,
+    /// Checkpoints the scan attempted to load before succeeding (or
+    /// exhausting the log). 1 on a healthy repository — recovery
+    /// short-circuits on the newest checkpoint instead of validating
+    /// the whole history.
+    pub manifests_tried: usize,
 }
 
 /// Retention policies for [`CheckpointRepo::apply_retention`].
@@ -242,10 +266,14 @@ struct SectionEncode {
 #[derive(Debug)]
 pub struct CheckpointRepo<S: ObjectStore = StoreBackend> {
     root: PathBuf,
-    manifests_dir: PathBuf,
     tmp_dir: PathBuf,
     store: S,
     seq: Mutex<u64>,
+    /// Cached replay of the manifest log. `None` forces a from-disk
+    /// replay on next access; a cached state is cross-checked against
+    /// the on-disk root generation and log length (two tiny reads) so
+    /// concurrent handles observe each other's commits.
+    state: Mutex<Option<LogReplay>>,
     /// Total manifests pulled from a shared backend by this handle
     /// (see [`RecoveryReport::meta_synced`]).
     meta_synced: std::sync::atomic::AtomicUsize,
@@ -318,21 +346,22 @@ impl<S: ObjectStore> CheckpointRepo<S> {
     /// Fails on filesystem errors.
     pub fn with_store(root: impl AsRef<Path>, store: S) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
-        let manifests_dir = root.join("manifests");
         let tmp_dir = root.join("tmp");
-        fs::create_dir_all(&manifests_dir)
-            .map_err(|e| Error::io(format!("creating {}", manifests_dir.display()), e))?;
         fs::create_dir_all(&tmp_dir)
             .map_err(|e| Error::io(format!("creating {}", tmp_dir.display()), e))?;
         let repo = CheckpointRepo {
             root,
-            manifests_dir,
             tmp_dir,
             store,
             seq: Mutex::new(0),
+            state: Mutex::new(None),
             encode_cache: Mutex::new(None),
             meta_synced: std::sync::atomic::AtomicUsize::new(0),
         };
+        // One-shot migration of the legacy `manifests/` + `LATEST`
+        // layout into the manifest log (idempotent; also finishes a
+        // migration that crashed mid-way).
+        repo.migrate_legacy_layout()?;
         // A shared backend mirrors the repository metadata: pull down
         // whatever this directory is missing *before* the sequence
         // counter is seeded, so a fresh working directory continues the
@@ -365,14 +394,206 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         &mut self.store
     }
 
-    /// Path of a manifest file.
-    pub fn manifest_path(&self, id: &CheckpointId) -> PathBuf {
-        self.manifests_dir.join(id.file_name())
+    /// Path of the current manifest log file (`manifest-<epoch>.qlg`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors while refreshing the log state.
+    pub fn manifest_log_path(&self) -> Result<PathBuf> {
+        self.with_state(|st| Ok(mlog::log_path(&self.root, st.epoch)))
     }
 
-    /// Path of the `LATEST` pointer.
-    pub fn latest_path(&self) -> PathBuf {
-        self.root.join("LATEST")
+    /// Paths of the two root slots (`ROOT.0`, `ROOT.1`). Either or both
+    /// may not exist yet.
+    pub fn root_slot_paths(&self) -> [PathBuf; 2] {
+        [
+            mlog::root_slot_path(&self.root, 0),
+            mlog::root_slot_path(&self.root, 1),
+        ]
+    }
+
+    // ------------------------------------------------------------------
+    // manifest-log state
+    // ------------------------------------------------------------------
+
+    /// Ensures the cached log replay matches the on-disk commit
+    /// structures (root generation + log length), replaying when stale.
+    fn ensure_fresh(&self, guard: &mut Option<LogReplay>) -> Result<()> {
+        let fresh = match guard.as_ref() {
+            None => false,
+            Some(st) => {
+                let slots = mlog::read_root_slots(&self.root);
+                let gen_now = slots
+                    .iter()
+                    .flatten()
+                    .map(|r| r.generation)
+                    .max()
+                    .unwrap_or(0);
+                let len_now = fs::metadata(mlog::log_path(&self.root, st.epoch))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                gen_now == st.generation && len_now == st.file_len
+            }
+        };
+        if !fresh {
+            *guard = Some(mlog::replay(&self.root)?);
+        }
+        Ok(())
+    }
+
+    /// Runs `f` against the (fresh) log state under the state lock.
+    fn with_state<R>(&self, f: impl FnOnce(&mut LogReplay) -> Result<R>) -> Result<R> {
+        let mut guard = self.state.lock().expect("state lock poisoned");
+        self.ensure_fresh(&mut guard)?;
+        f(guard.as_mut().expect("state loaded"))
+    }
+
+    /// Drops a benign torn tail (bytes past the last valid record, at or
+    /// beyond the committed length) from the log file. Tail damage
+    /// *inside* the committed region is evidence of in-place corruption
+    /// and is preserved for detection. Returns 1 when bytes were cut.
+    fn truncate_tail_locked(&self, st: &mut LogReplay) -> Result<usize> {
+        if st.file_len > st.valid_len && st.valid_len >= st.committed_len {
+            let path = mlog::log_path(&self.root, st.epoch);
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| Error::io(format!("opening {}", path.display()), e))?;
+            f.set_len(st.valid_len)
+                .map_err(|e| Error::io("truncating torn manifest-log tail", e))?;
+            st.file_len = st.valid_len;
+            return Ok(1);
+        }
+        Ok(0)
+    }
+
+    /// Appends `buf` to the current log and publishes it by flipping the
+    /// stale root slot (generation + 1). `new_latest` overrides the
+    /// latest pointer carried by the new root; `None` keeps the current
+    /// one. Returns the log offset the append landed at. The caller
+    /// updates the in-memory manifest/span/tombstone maps itself.
+    fn append_and_flip(
+        &self,
+        st: &mut LogReplay,
+        buf: &[u8],
+        new_latest: Option<&CheckpointId>,
+        fsync: bool,
+    ) -> Result<u64> {
+        self.truncate_tail_locked(st)?;
+        let before = mlog::append_to_log(&self.root, st.epoch, buf, fsync)?;
+        let latest = new_latest.cloned().or_else(|| st.latest.clone());
+        let root = RootSlot {
+            generation: st.generation + 1,
+            epoch: st.epoch,
+            committed_len: before + buf.len() as u64,
+            latest: latest.clone(),
+        };
+        let slot = 1 - st.root_slot;
+        mlog::write_root_slot(&self.root, slot, &root, fsync)?;
+        st.generation = root.generation;
+        st.root_slot = slot;
+        st.file_len = root.committed_len;
+        st.valid_len = root.committed_len;
+        st.committed_len = root.committed_len;
+        st.latest = latest;
+        Ok(before)
+    }
+
+    /// Migrates the legacy per-checkpoint layout (`manifests/*.qmf` +
+    /// `LATEST`) into an epoch-0 manifest log with a generation-1 root.
+    /// Idempotent: on a repository that already has a root (including
+    /// one whose migration crashed after its commit) this only cleans up
+    /// leftover legacy files whose ids the log carries; unknown files
+    /// are never deleted.
+    fn migrate_legacy_layout(&self) -> Result<()> {
+        let legacy_dir = self.root.join("manifests");
+        let legacy_latest = self.root.join("LATEST");
+        let has_new = mlog::read_root_slots(&self.root)
+            .iter()
+            .any(Option::is_some)
+            || !mlog::list_log_epochs(&self.root).is_empty();
+        if !has_new {
+            let mut manifests: Vec<(CheckpointId, Vec<u8>)> = Vec::new();
+            if let Ok(entries) = fs::read_dir(&legacy_dir) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name().to_string_lossy().to_string();
+                    let Some(stem) = name.strip_suffix(".qmf") else {
+                        continue;
+                    };
+                    let Ok(bytes) = fs::read(entry.path()) else {
+                        continue;
+                    };
+                    // Only decodable manifests migrate; a damaged legacy
+                    // file is left behind (recovery would have skipped it
+                    // under the old layout too).
+                    match Manifest::decode(&bytes) {
+                        Ok(m) if m.id.as_str() == stem => manifests.push((m.id.clone(), bytes)),
+                        _ => {}
+                    }
+                }
+            }
+            if manifests.is_empty() && !legacy_latest.exists() {
+                return Ok(()); // brand-new repository
+            }
+            manifests.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut buf = mlog::log_header(0);
+            for (id, bytes) in &manifests {
+                buf.extend(mlog::encode_record(
+                    RecordKind::ManifestPut,
+                    id.as_str(),
+                    bytes,
+                ));
+            }
+            let latest = fs::read_to_string(&legacy_latest)
+                .ok()
+                .map(|s| CheckpointId(s.trim().to_string()))
+                .filter(|id| manifests.iter().any(|(m, _)| m == id))
+                .or_else(|| manifests.last().map(|(id, _)| id.clone()));
+            if let Some(latest) = &latest {
+                buf.extend(mlog::encode_record(
+                    RecordKind::LatestAdvance,
+                    latest.as_str(),
+                    &[],
+                ));
+            }
+            // Stage + rename the whole log, then publish with ROOT.0 —
+            // a crash anywhere leaves either the legacy layout intact
+            // (no root yet) or a fully committed log.
+            self.atomic_write(&mlog::log_path(&self.root, 0), &buf, true)?;
+            mlog::write_root_slot(
+                &self.root,
+                0,
+                &RootSlot {
+                    generation: 1,
+                    epoch: 0,
+                    committed_len: buf.len() as u64,
+                    latest,
+                },
+                true,
+            )?;
+        }
+        // Cleanup: remove legacy files the log now carries.
+        if legacy_dir.exists() || legacy_latest.exists() {
+            let st = mlog::replay(&self.root)?;
+            if st.generation == 0 {
+                return Ok(());
+            }
+            if let Ok(entries) = fs::read_dir(&legacy_dir) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name().to_string_lossy().to_string();
+                    let Some(stem) = name.strip_suffix(".qmf") else {
+                        continue;
+                    };
+                    let id = CheckpointId(stem.to_string());
+                    if st.manifests.contains_key(&id) || st.tombstones.contains(&id) {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+                let _ = fs::remove_dir(&legacy_dir); // only when empty
+            }
+            let _ = fs::remove_file(&legacy_latest);
+        }
+        Ok(())
     }
 
     /// Acquires the writer lock.
@@ -643,93 +864,22 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         };
         let manifest_bytes = manifest.encode();
 
-        // Commit the manifest.
-        let manifest_path = self.manifest_path(&id);
-        match options.commit {
-            CommitMode::Atomic => {
-                let keep = match options.crash {
-                    Some(CrashPoint::MidManifestWrite { keep_fraction_pct }) => {
-                        Some(manifest_bytes.len() * keep_fraction_pct.min(100) as usize / 100)
-                    }
-                    _ => None,
-                };
-                if let Some(keep) = keep {
-                    // Crash while writing the *staged* file: nothing renamed.
-                    let tmp = self.tmp_dir.join(format!("crash-{}", id.as_str()));
-                    let _ = fs::write(&tmp, &manifest_bytes[..keep]);
-                    return Err(Error::SimulatedCrash {
-                        at: format!("mid-manifest-write(atomic,{keep})"),
-                    });
-                }
-                self.atomic_write(&manifest_path, &manifest_bytes, options.fsync)?;
-            }
-            CommitMode::InPlaceUnsafe => {
-                let keep = match options.crash {
-                    Some(CrashPoint::MidManifestWrite { keep_fraction_pct }) => {
-                        manifest_bytes.len() * keep_fraction_pct.min(100) as usize / 100
-                    }
-                    _ => manifest_bytes.len(),
-                };
-                fs::write(&manifest_path, &manifest_bytes[..keep])
-                    .map_err(|e| Error::io("in-place manifest write", e))?;
-                if keep != manifest_bytes.len() {
-                    return Err(Error::SimulatedCrash {
-                        at: format!("mid-manifest-write(in-place,{keep})"),
-                    });
+        // Commit: append the record pair to the manifest log, mirror to a
+        // shared backend, publish with a root-slot write. Any failure
+        // (including simulated crashes) drops the cached state so the
+        // next access replays exactly what reached the disk.
+        let commit_fsyncs = {
+            let mut guard = self.state.lock().expect("state lock poisoned");
+            self.ensure_fresh(&mut guard)?;
+            let st = guard.as_mut().expect("state loaded");
+            match self.commit_save(st, &id, &manifest, &manifest_bytes, options) {
+                Ok(n) => n,
+                Err(e) => {
+                    *guard = None;
+                    return Err(e);
                 }
             }
-        }
-
-        // Mirror the manifest to a shared backend once it is locally
-        // durable. Ordering matters for fresh-directory recovery: the
-        // chunks went to the (shared) store before the manifest, so a
-        // mirrored manifest is always resolvable remotely; a crash in
-        // between leaves the remote one checkpoint behind the local
-        // directory, never ahead of its data.
-        self.mirror_meta(&format!("manifests/{}", id.file_name()), &manifest_bytes)?;
-
-        if let Some(CrashPoint::BeforeLatestSwing) = options.crash {
-            return Err(Error::SimulatedCrash {
-                at: CrashPoint::BeforeLatestSwing.to_string(),
-            });
-        }
-
-        // Swing LATEST.
-        let latest_content = format!("{}\n", id.as_str());
-        match options.commit {
-            CommitMode::Atomic => {
-                if let Some(CrashPoint::MidLatestWrite) = options.crash {
-                    // Staged pointer write crashes: old pointer intact.
-                    let tmp = self.tmp_dir.join("crash-latest");
-                    let _ = fs::write(&tmp, &latest_content.as_bytes()[..latest_content.len() / 2]);
-                    return Err(Error::SimulatedCrash {
-                        at: CrashPoint::MidLatestWrite.to_string(),
-                    });
-                }
-                self.atomic_write(
-                    &self.latest_path(),
-                    latest_content.as_bytes(),
-                    options.fsync,
-                )?;
-            }
-            CommitMode::InPlaceUnsafe => {
-                let bytes = latest_content.as_bytes();
-                let keep = if matches!(options.crash, Some(CrashPoint::MidLatestWrite)) {
-                    bytes.len() / 2
-                } else {
-                    bytes.len()
-                };
-                fs::write(self.latest_path(), &bytes[..keep])
-                    .map_err(|e| Error::io("in-place LATEST write", e))?;
-                if keep != bytes.len() {
-                    return Err(Error::SimulatedCrash {
-                        at: CrashPoint::MidLatestWrite.to_string(),
-                    });
-                }
-            }
-        }
-
-        self.mirror_meta("LATEST", latest_content.as_bytes())?;
+        };
 
         // Seed the encode cache for the next delta save: the checkpoint we
         // just committed is the latest, and these are exactly the sections
@@ -770,18 +920,145 @@ impl<S: ObjectStore> CheckpointRepo<S> {
             chunks_deduped,
             store_renames: batch.renames,
             store_fsyncs: batch.fsyncs,
+            commit_renames: 0,
+            commit_fsyncs,
             manifest_bytes: manifest_bytes.len() as u64,
             id,
         })
     }
 
+    /// The commit half of [`CheckpointRepo::save`]: log append + mirror +
+    /// root publication, with the simulated crash points woven in.
+    /// Returns the number of commit-path fsyncs issued. Runs under the
+    /// state lock; on error the caller must invalidate the cached state.
+    fn commit_save(
+        &self,
+        st: &mut LogReplay,
+        id: &CheckpointId,
+        manifest: &Manifest,
+        manifest_bytes: &[u8],
+        options: &SaveOptions,
+    ) -> Result<u64> {
+        let mut records = mlog::encode_record(RecordKind::ManifestPut, id.as_str(), manifest_bytes);
+        let put_len = records.len() as u64;
+        records.extend(mlog::encode_record(
+            RecordKind::LatestAdvance,
+            id.as_str(),
+            &[],
+        ));
+        self.truncate_tail_locked(st)?;
+        let mut commit_fsyncs = 0u64;
+        let before;
+        match options.commit {
+            CommitMode::Atomic => {
+                if let Some(CrashPoint::MidManifestWrite { keep_fraction_pct }) = options.crash {
+                    // Torn append: bytes land past the committed length
+                    // and the root never moves — recovery truncates them
+                    // as debris, no detectable corruption remains.
+                    let keep = records.len() * keep_fraction_pct.min(100) as usize / 100;
+                    mlog::append_to_log(&self.root, st.epoch, &records[..keep], false)?;
+                    return Err(Error::SimulatedCrash {
+                        at: format!("mid-manifest-write(atomic,{keep})"),
+                    });
+                }
+                before = mlog::append_to_log(&self.root, st.epoch, &records, options.fsync)?;
+                if options.fsync {
+                    commit_fsyncs += 1;
+                }
+            }
+            CommitMode::InPlaceUnsafe => {
+                if let Some(CrashPoint::MidManifestWrite { keep_fraction_pct }) = options.crash {
+                    // The unsafe baseline advances the committed length
+                    // *before* the record lands, so the torn record sits
+                    // inside the committed region — detectable corruption
+                    // recovery must flag (experiment R-F8).
+                    let keep = records.len() * keep_fraction_pct.min(100) as usize / 100;
+                    let base = st.file_len.max(mlog::LOG_HEADER_LEN);
+                    let root = RootSlot {
+                        generation: st.generation + 1,
+                        epoch: st.epoch,
+                        committed_len: base + records.len() as u64,
+                        latest: st.latest.clone(),
+                    };
+                    mlog::write_root_slot(&self.root, st.root_slot, &root, false)?;
+                    mlog::append_to_log(&self.root, st.epoch, &records[..keep], false)?;
+                    return Err(Error::SimulatedCrash {
+                        at: format!("mid-manifest-write(in-place,{keep})"),
+                    });
+                }
+                before = mlog::append_to_log(&self.root, st.epoch, &records, options.fsync)?;
+                if options.fsync {
+                    commit_fsyncs += 1;
+                }
+            }
+        }
+
+        // Mirror the manifest to a shared backend once it is locally
+        // durable. Ordering matters for fresh-directory recovery: the
+        // chunks went to the (shared) store before the manifest, so a
+        // mirrored manifest is always resolvable remotely; a crash in
+        // between leaves the remote one checkpoint behind the local
+        // directory, never ahead of its data.
+        self.mirror_meta(&format!("manifests/{}", id.file_name()), manifest_bytes)?;
+
+        if let Some(CrashPoint::BeforeLatestSwing) = options.crash {
+            return Err(Error::SimulatedCrash {
+                at: CrashPoint::BeforeLatestSwing.to_string(),
+            });
+        }
+
+        // Publish. Atomic mode writes the *stale* slot (a torn write can
+        // only damage an already-superseded root); the in-place baseline
+        // overwrites the live slot.
+        let root = RootSlot {
+            generation: st.generation + 1,
+            epoch: st.epoch,
+            committed_len: before + records.len() as u64,
+            latest: Some(id.clone()),
+        };
+        let slot = match options.commit {
+            CommitMode::Atomic => 1 - st.root_slot,
+            CommitMode::InPlaceUnsafe => st.root_slot,
+        };
+        if matches!(options.crash, Some(CrashPoint::MidLatestWrite)) {
+            let bytes = root.encode();
+            fs::write(
+                mlog::root_slot_path(&self.root, slot),
+                &bytes[..bytes.len() / 2],
+            )
+            .map_err(|e| Error::io("torn root-slot write", e))?;
+            return Err(Error::SimulatedCrash {
+                at: CrashPoint::MidLatestWrite.to_string(),
+            });
+        }
+        mlog::write_root_slot(&self.root, slot, &root, options.fsync)?;
+        if options.fsync {
+            commit_fsyncs += 1;
+        }
+        self.mirror_meta("LATEST", format!("{}\n", id.as_str()).as_bytes())?;
+
+        st.spans.insert(id.clone(), (before, put_len));
+        st.manifests.insert(id.clone(), manifest.clone());
+        st.tombstones.remove(id);
+        st.latest = Some(id.clone());
+        st.records += 2;
+        st.generation = root.generation;
+        st.root_slot = slot;
+        st.file_len = root.committed_len;
+        st.valid_len = root.committed_len;
+        st.committed_len = root.committed_len;
+        Ok(commit_fsyncs)
+    }
+
     /// Pulls repository metadata (manifests, `LATEST`) down from a
-    /// shared backend into this working directory. No-op (`Ok(0)`) for
-    /// local backends. Local files win: a manifest that already exists
-    /// here is never overwritten, and `LATEST` is only adopted when
-    /// locally absent — the local directory is authoritative for its
-    /// own in-flight work, the mirror exists to seed *fresh*
-    /// directories and recovery.
+    /// shared backend into this working directory's manifest log. No-op
+    /// (`Ok(0)`) for local backends. Local state wins: a manifest the
+    /// log already carries is never overwritten, the mirror's `LATEST`
+    /// is only adopted when the log has no latest pointer, and a
+    /// **tombstoned** id (retired by retention here) is never re-pulled
+    /// — instead its mirror delete is re-issued, reconciling the
+    /// divergence a crash between local retire and remote delete leaves
+    /// behind (the delete is idempotent).
     ///
     /// # Errors
     ///
@@ -790,41 +1067,95 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         if !self.store.is_shared() {
             return Ok(0);
         }
-        // Names of manifests we are missing, with their validated local
-        // file names. Defensive filter: the server validated these
-        // names, but they become local paths — refuse anything that is
-        // not a plain file name.
-        let missing: Vec<(String, PathBuf)> = self
-            .store
-            .meta_list("manifests/")?
-            .into_iter()
-            .filter_map(|name| {
-                let file = name.strip_prefix("manifests/")?;
-                if file.is_empty() || file.contains('/') || file.contains("..") {
-                    return None;
-                }
-                let local = self.manifests_dir.join(file);
-                (!local.exists()).then_some((name, local))
-            })
-            .collect();
+        let listed = self.store.meta_list("manifests/")?;
+        let mut guard = self.state.lock().expect("state lock poisoned");
+        self.ensure_fresh(&mut guard)?;
+        let st = guard.as_mut().expect("state loaded");
+        let res = self.sync_shared_meta_locked(st, listed);
+        if res.is_err() {
+            *guard = None;
+        }
+        res
+    }
+
+    fn sync_shared_meta_locked(&self, st: &mut LogReplay, listed: Vec<String>) -> Result<usize> {
+        // Partition the mirror's inventory. Defensive name filter: the
+        // server validated these, but only plain `<id>.qmf` names are
+        // meaningful here.
+        let mut missing: Vec<(String, CheckpointId)> = Vec::new();
+        let mut retired: Vec<String> = Vec::new();
+        for name in listed {
+            let Some(file) = name.strip_prefix("manifests/") else {
+                continue;
+            };
+            let Some(stem) = file.strip_suffix(".qmf") else {
+                continue;
+            };
+            if stem.is_empty() || stem.contains('/') || stem.contains("..") {
+                continue;
+            }
+            let id = CheckpointId(stem.to_string());
+            if st.tombstones.contains(&id) {
+                retired.push(name);
+            } else if !st.manifests.contains_key(&id) {
+                missing.push((name, id));
+            }
+        }
         // One pipelined burst for every missing manifest (the remote
         // backend overrides meta_get_many), not a round trip each.
         let names: Vec<String> = missing.iter().map(|(n, _)| n.clone()).collect();
-        let mut pulled = 0usize;
-        for ((_, local), bytes) in missing.iter().zip(self.store.meta_get_many(&names)?) {
-            if let Some(bytes) = bytes {
-                self.atomic_write(local, &bytes, false)?;
-                pulled += 1;
+        let mut buf = Vec::new();
+        let mut pulled: Vec<(CheckpointId, Manifest, u64, u64)> = Vec::new();
+        for ((_, id), bytes) in missing.iter().zip(self.store.meta_get_many(&names)?) {
+            let Some(bytes) = bytes else { continue };
+            // Verify before adoption — a mirror can rot like any store.
+            let Ok(m) = Manifest::decode(&bytes) else {
+                continue;
+            };
+            if &m.id != id {
+                continue;
+            }
+            let off = buf.len() as u64;
+            let rec = mlog::encode_record(RecordKind::ManifestPut, id.as_str(), &bytes);
+            buf.extend_from_slice(&rec);
+            pulled.push((id.clone(), m, off, rec.len() as u64));
+        }
+        let mut adopt_latest: Option<CheckpointId> = None;
+        if st.latest.is_none() {
+            if let Some(bytes) = self.store.meta_get("LATEST")? {
+                let id = CheckpointId(String::from_utf8_lossy(&bytes).trim().to_string());
+                if st.manifests.contains_key(&id) || pulled.iter().any(|(p, ..)| p == &id) {
+                    buf.extend(mlog::encode_record(
+                        RecordKind::LatestAdvance,
+                        id.as_str(),
+                        &[],
+                    ));
+                    adopt_latest = Some(id);
+                }
             }
         }
-        if !self.latest_path().exists() {
-            if let Some(bytes) = self.store.meta_get("LATEST")? {
-                self.atomic_write(&self.latest_path(), &bytes, false)?;
+        let count = pulled.len();
+        if !buf.is_empty() {
+            // One batched append + root flip for the whole pull.
+            let before = self.append_and_flip(st, &buf, adopt_latest.as_ref(), false)?;
+            for (id, m, off, len) in pulled {
+                st.spans.insert(id.clone(), (before + off, len));
+                st.records += 1;
+                st.manifests.insert(id, m);
             }
+            if adopt_latest.is_some() {
+                st.records += 1;
+            }
+        }
+        // Reconcile retention divergence: re-issue the (idempotent)
+        // mirror delete for every id we retired durably but the mirror
+        // still lists.
+        for name in retired {
+            self.store.meta_delete(&name)?;
         }
         self.meta_synced
-            .fetch_add(pulled, std::sync::atomic::Ordering::Relaxed);
-        Ok(pulled)
+            .fetch_add(count, std::sync::atomic::Ordering::Relaxed);
+        Ok(count)
     }
 
     /// Mirrors one just-committed metadata file to a shared backend
@@ -878,65 +1209,54 @@ impl<S: ObjectStore> CheckpointRepo<S> {
     // load
     // ------------------------------------------------------------------
 
-    /// Reads the `LATEST` pointer; `None` when it does not exist.
+    /// Reads the committed latest pointer from the manifest log's root
+    /// slot; `None` when the repository is empty or the pointer dangles
+    /// (its manifest record is damaged or deleted).
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors other than absence. A torn pointer yields
-    /// `Ok(Some(garbage))` here — manifest lookup catches it downstream.
+    /// Fails on log-replay I/O errors.
     pub fn read_latest(&self) -> Result<Option<CheckpointId>> {
-        match fs::read_to_string(self.latest_path()) {
-            Ok(s) => Ok(Some(CheckpointId(s.trim().to_string()))),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(Error::io("reading LATEST", e)),
-        }
+        self.with_state(|st| Ok(st.latest.clone()))
     }
 
-    /// Lists all parseable checkpoint ids, ascending.
+    /// Lists all intact checkpoint ids, ascending.
     ///
     /// # Errors
     ///
-    /// Fails on directory errors.
+    /// Fails on log-replay I/O errors.
     pub fn list_ids(&self) -> Result<Vec<CheckpointId>> {
-        let mut out = Vec::new();
-        let entries =
-            fs::read_dir(&self.manifests_dir).map_err(|e| Error::io("listing manifests", e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| Error::io("walking manifests", e))?;
-            let name = entry.file_name().to_string_lossy().to_string();
-            if let Some(stem) = name.strip_suffix(".qmf") {
-                out.push(CheckpointId(stem.to_string()));
-            }
-        }
-        out.sort();
-        Ok(out)
+        self.with_state(|st| Ok(st.manifests.keys().cloned().collect()))
     }
 
-    /// Loads and frame-verifies one manifest.
+    /// Loads one manifest from the replayed log state.
     ///
     /// # Errors
     ///
-    /// [`Error::NotFound`] when missing, [`Error::Corrupt`] on integrity
-    /// failures.
+    /// [`Error::NotFound`] when the log carries no intact record for
+    /// `id` (absent, deleted, or damaged — damage details are surfaced
+    /// via [`Self::damaged_manifests`]).
     pub fn load_manifest(&self, id: &CheckpointId) -> Result<Manifest> {
-        let path = self.manifest_path(id);
-        let bytes = fs::read(&path).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::NotFound {
-                Error::NotFound {
+        self.with_state(|st| {
+            st.manifests
+                .get(id)
+                .cloned()
+                .ok_or_else(|| Error::NotFound {
                     what: format!("manifest {id}"),
-                }
-            } else {
-                Error::io(format!("reading {}", path.display()), e)
-            }
-        })?;
-        let m = Manifest::decode(&bytes)?;
-        if &m.id != id {
-            return Err(Error::corrupt(
-                format!("manifest {id}"),
-                format!("file contains id {}", m.id),
-            ));
-        }
-        Ok(m)
+                })
+        })
+    }
+
+    /// Manifest-log records that failed CRC/frame validation on the
+    /// last replay, as `(record label, reason)` pairs. Empty on a
+    /// healthy log; a benign torn tail (crash mid-append past the
+    /// committed length) does *not* appear here.
+    ///
+    /// # Errors
+    ///
+    /// Fails on log-replay I/O errors.
+    pub fn damaged_manifests(&self) -> Result<Vec<(String, String)>> {
+        self.with_state(|st| Ok(st.damaged.clone()))
     }
 
     /// Resolves a manifest to its full section payloads, walking and
@@ -973,10 +1293,10 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         for m in chain.iter().rev() {
             let mut next: Vec<Section> = Vec::with_capacity(m.sections.len());
             for entry in &m.sections {
-                let mut chunks = Vec::with_capacity(entry.chunks.len());
-                for r in &entry.chunks {
-                    chunks.push(self.store.get(r)?);
-                }
+                // One batched fetch per section: the remote backend
+                // pipelines the whole burst in a single round trip, and
+                // the pack backend resolves it against one index scan.
+                let chunks = self.store.get_many(&entry.chunks)?;
                 let compressed: Vec<u8> = chunks.concat();
                 let stored = entry.codec.decompress(&compressed)?;
                 if stored.len() as u64 != entry.stored_len {
@@ -1083,16 +1403,21 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         Ok((id, snap))
     }
 
-    /// Recovery: scans every manifest newest-first, returns the newest fully
-    /// verifiable checkpoint. Does not trust `LATEST`. Orphaned staging
-    /// files (debris of the crash being recovered from) are garbage
-    /// collected first — `tmp/` contents are disposable at every point of
-    /// the commit protocol, so this is always safe. For a shared (remote)
-    /// backend this clears *both* staging areas — the store's own (the
-    /// server-side `tmp/`, via `CLEAR_STAGING` on the live connection)
-    /// and the local repository `tmp/` — and pulls down any manifests
-    /// this directory is missing, so recovery works from a fresh
-    /// directory against the same daemon.
+    /// Recovery: replays the manifest log (newest valid root slot,
+    /// falling back across slots on a torn write), then validates
+    /// checkpoints newest-first until one loads intact — O(log replay),
+    /// not a directory walk, and normally `manifests_tried == 1`.
+    /// Orphaned staging files (debris of the crash being recovered
+    /// from) are garbage collected first — `tmp/` contents are
+    /// disposable at every point of the commit protocol, so this is
+    /// always safe — and a benign torn log tail is truncated away. For
+    /// a shared (remote) backend this clears *both* staging areas — the
+    /// store's own (the server-side `tmp/`, via `CLEAR_STAGING` on the
+    /// live connection) and the local repository `tmp/` — pulls down
+    /// any manifests this directory is missing, and reconciles
+    /// retention divergence (re-issuing mirror deletes for tombstoned
+    /// ids), so recovery works from a fresh directory against the same
+    /// daemon.
     ///
     /// # Errors
     ///
@@ -1104,6 +1429,13 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         // directory the server never sees.
         let mut staging_cleared = self.store.clear_staging().unwrap_or(0);
         staging_cleared += clear_dir_files_local(&self.tmp_dir);
+        // Force a from-disk replay — recovery must not trust cached
+        // state — and chop any benign torn tail the crash left.
+        {
+            let mut guard = self.state.lock().expect("state lock poisoned");
+            *guard = None;
+        }
+        staging_cleared += self.with_state(|st| self.truncate_tail_locked(st))?;
         let mut report = RecoveryReport {
             staging_cleared,
             meta_synced: {
@@ -1112,13 +1444,27 @@ impl<S: ObjectStore> CheckpointRepo<S> {
             },
             ..RecoveryReport::default()
         };
-        let mut ids = self.list_ids()?;
-        ids.reverse(); // newest first
+        let (ids, damaged) = self.with_state(|st| {
+            Ok((
+                st.manifests.keys().rev().cloned().collect::<Vec<_>>(),
+                st.damaged.clone(),
+            ))
+        })?;
+        // Log records that failed validation are reported alongside the
+        // checkpoints whose chunks fail below.
+        report.skipped.extend(damaged);
+        // Bracket the chunk walk as one read pass: the pack backend
+        // rescans packs/ at most once for the whole walk instead of
+        // once per index miss.
+        self.store.begin_read_pass();
+        let mut recovered = None;
         for id in ids {
+            report.manifests_tried += 1;
             match self.load(&id) {
                 Ok(snapshot) => {
                     report.recovered = Some(id);
-                    return Ok((snapshot, report));
+                    recovered = Some(snapshot);
+                    break;
                 }
                 Err(e) => {
                     report
@@ -1127,9 +1473,13 @@ impl<S: ObjectStore> CheckpointRepo<S> {
                 }
             }
         }
-        Err(Error::NoValidCheckpoint {
-            rejected: report.skipped.len(),
-        })
+        self.store.end_read_pass();
+        match recovered {
+            Some(snapshot) => Ok((snapshot, report)),
+            None => Err(Error::NoValidCheckpoint {
+                rejected: report.skipped.len(),
+            }),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1157,36 +1507,93 @@ impl<S: ObjectStore> CheckpointRepo<S> {
         self.store.plan_sweep(&self.reachable_chunks()?)
     }
 
-    /// The chunk hashes referenced by every decodable manifest.
+    /// The chunk hashes referenced by every intact manifest.
     fn reachable_chunks(&self) -> Result<BTreeSet<crate::hash::ContentHash>> {
-        let mut reachable = BTreeSet::new();
-        for id in self.list_ids()? {
-            if let Ok(m) = self.load_manifest(&id) {
-                for c in m.chunk_refs() {
-                    reachable.insert(c.hash);
-                }
-            }
-        }
-        Ok(reachable)
+        self.with_state(|st| {
+            Ok(st
+                .manifests
+                .values()
+                .flat_map(|m| m.chunk_refs().map(|c| c.hash))
+                .collect())
+        })
     }
 
-    /// Applies a retention policy, deleting old manifests (keeping delta
-    /// bases alive) and then garbage-collecting chunks.
+    /// Applies a retention policy, retiring old checkpoints (keeping
+    /// delta bases alive) and then garbage-collecting chunks.
+    ///
+    /// Retire order is crash-safe against resurrection: tombstone
+    /// records land durably in the manifest log *first*, then the
+    /// mirror deletes go out; a crash in between leaves tombstones that
+    /// block re-pulling the retired ids, and the next
+    /// [`Self::sync_shared_meta`] / [`Self::recover`] re-issues the
+    /// (idempotent) mirror deletes.
     ///
     /// # Errors
     ///
     /// Fails on filesystem errors.
     pub fn apply_retention(&self, retention: Retention) -> Result<RetentionReport> {
+        self.apply_retention_with(retention, None)
+    }
+
+    /// [`Self::apply_retention`] with an optional injected crash point
+    /// ([`CrashPoint::AfterRetireLocal`] fires between the local
+    /// tombstone append and the mirror deletes — the exact interleaving
+    /// that used to resurrect retired checkpoints on the next fresh-dir
+    /// sync).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors, or [`Error::SimulatedCrash`] at the
+    /// injected point.
+    pub fn apply_retention_with(
+        &self,
+        retention: Retention,
+        crash: Option<CrashPoint>,
+    ) -> Result<RetentionReport> {
         let mut report = RetentionReport::default();
         let keep_n = match retention {
             Retention::KeepAll => {
                 report.gc = self.gc()?;
+                self.maybe_compact()?;
                 return Ok(report);
             }
             Retention::KeepLast(n) => n,
         };
-        let ids = self.list_ids()?;
-        let newest: Vec<CheckpointId> = ids.iter().rev().take(keep_n).cloned().collect();
+        // Phase 1 (durable, local): compute the retire set against the
+        // replayed state and append its tombstone records in one flip.
+        let retired = {
+            let mut guard = self.state.lock().expect("state lock poisoned");
+            self.ensure_fresh(&mut guard)?;
+            let st = guard.as_mut().expect("state loaded");
+            let res = self.retire_locked(st, keep_n);
+            if res.is_err() {
+                *guard = None;
+            }
+            res?
+        };
+        if matches!(crash, Some(CrashPoint::AfterRetireLocal)) && !retired.is_empty() {
+            return Err(Error::SimulatedCrash {
+                at: CrashPoint::AfterRetireLocal.to_string(),
+            });
+        }
+        // Phase 2: mirror the deletes (idempotent — missing names are
+        // fine, so crash-replay of this loop converges).
+        if self.store.is_shared() {
+            for id in &retired {
+                self.store
+                    .meta_delete(&format!("manifests/{}", id.file_name()))?;
+            }
+        }
+        report.manifests_deleted = retired.len();
+        report.gc = self.gc()?;
+        self.maybe_compact()?;
+        Ok(report)
+    }
+
+    /// Computes the retire set under the state lock and appends its
+    /// tombstone records + root flip. Returns the retired ids.
+    fn retire_locked(&self, st: &mut LogReplay, keep_n: usize) -> Result<Vec<CheckpointId>> {
+        let newest: Vec<CheckpointId> = st.manifests.keys().rev().take(keep_n).cloned().collect();
         // Transitively keep delta bases.
         let mut keep: BTreeSet<CheckpointId> = BTreeSet::new();
         for id in &newest {
@@ -1200,28 +1607,186 @@ impl<S: ObjectStore> CheckpointRepo<S> {
                 if guard > CHAIN_HARD_LIMIT {
                     break;
                 }
-                match self.load_manifest(&cursor) {
-                    Ok(m) => match m.kind {
-                        CheckpointKind::Delta { base } => cursor = base,
+                match st.manifests.get(&cursor) {
+                    Some(m) => match &m.kind {
+                        CheckpointKind::Delta { base } => cursor = base.clone(),
                         CheckpointKind::Full => break,
                     },
-                    Err(_) => break,
+                    None => break,
                 }
             }
         }
-        for id in ids {
-            if !keep.contains(&id) {
-                fs::remove_file(self.manifest_path(&id))
-                    .map_err(|e| Error::io(format!("deleting manifest {id}"), e))?;
-                if self.store.is_shared() {
-                    self.store
-                        .meta_delete(&format!("manifests/{}", id.file_name()))?;
-                }
-                report.manifests_deleted += 1;
+        let retired: Vec<CheckpointId> = st
+            .manifests
+            .keys()
+            .filter(|id| !keep.contains(*id))
+            .cloned()
+            .collect();
+        if retired.is_empty() {
+            return Ok(retired);
+        }
+        let mut buf = Vec::new();
+        for id in &retired {
+            buf.extend(mlog::encode_record(
+                RecordKind::ManifestDelete,
+                id.as_str(),
+                &[],
+            ));
+        }
+        self.append_and_flip(st, &buf, None, false)?;
+        for id in &retired {
+            st.manifests.remove(id);
+            st.spans.remove(id);
+            st.tombstones.insert(id.clone());
+            st.records += 1;
+            if st.latest.as_ref() == Some(id) {
+                // KeepLast(0) edge: the pointer itself was retired.
+                st.latest = None;
             }
         }
-        report.gc = self.gc()?;
-        Ok(report)
+        Ok(retired)
+    }
+
+    /// Compacts the manifest log into a fresh epoch when replay cost has
+    /// outgrown the live state (record count > 2× live + tombstones +
+    /// slack). The new log is staged and renamed in (the one rename
+    /// retention pays), the root flips to the new epoch, and old epoch
+    /// logs are deleted. Tombstones survive compaction on shared
+    /// backends (they are the durable delete intent the mirror
+    /// reconciliation needs) and are dropped on local ones.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    fn maybe_compact(&self) -> Result<bool> {
+        let mut guard = self.state.lock().expect("state lock poisoned");
+        self.ensure_fresh(&mut guard)?;
+        let st = guard.as_mut().expect("state loaded");
+        let live = st.manifests.len() as u64;
+        let tombs = st.tombstones.len() as u64;
+        if st.records <= 2 * (live + tombs) + 16 {
+            return Ok(false);
+        }
+        let res = self.compact_log_locked(st);
+        if res.is_err() {
+            *guard = None;
+        }
+        res.map(|()| true)
+    }
+
+    fn compact_log_locked(&self, st: &mut LogReplay) -> Result<()> {
+        let epoch = st.epoch + 1;
+        let mut buf = mlog::log_header(epoch).to_vec();
+        let mut spans: BTreeMap<CheckpointId, (u64, u64)> = BTreeMap::new();
+        let mut records = 0u64;
+        for (id, m) in &st.manifests {
+            let off = buf.len() as u64;
+            let rec = mlog::encode_record(RecordKind::ManifestPut, id.as_str(), &m.encode());
+            buf.extend_from_slice(&rec);
+            spans.insert(id.clone(), (off, rec.len() as u64));
+            records += 1;
+        }
+        if self.store.is_shared() {
+            for id in &st.tombstones {
+                buf.extend(mlog::encode_record(
+                    RecordKind::ManifestDelete,
+                    id.as_str(),
+                    &[],
+                ));
+                records += 1;
+            }
+        } else {
+            st.tombstones.clear();
+        }
+        if let Some(latest) = &st.latest {
+            buf.extend(mlog::encode_record(
+                RecordKind::LatestAdvance,
+                latest.as_str(),
+                &[],
+            ));
+            records += 1;
+        }
+        self.atomic_write(&mlog::log_path(&self.root, epoch), &buf, true)?;
+        let root = RootSlot {
+            generation: st.generation + 1,
+            epoch,
+            committed_len: buf.len() as u64,
+            latest: st.latest.clone(),
+        };
+        let slot = 1 - st.root_slot;
+        mlog::write_root_slot(&self.root, slot, &root, true)?;
+        for old in mlog::list_log_epochs(&self.root) {
+            if old != epoch {
+                let _ = fs::remove_file(mlog::log_path(&self.root, old));
+            }
+        }
+        st.generation = root.generation;
+        st.epoch = epoch;
+        st.root_slot = slot;
+        st.committed_len = buf.len() as u64;
+        st.valid_len = buf.len() as u64;
+        st.file_len = buf.len() as u64;
+        st.spans = spans;
+        st.records = records;
+        st.damaged.clear();
+        Ok(())
+    }
+
+    /// Test/fault-injection hook: damages the *log record* carrying
+    /// `id`'s manifest in place, the manifest-log equivalent of
+    /// corrupting a per-checkpoint file in the legacy layout.
+    /// `BitFlip` flips one payload byte, `Truncate` chops the record
+    /// (and everything after it), `Delete` scrubs the record to same-
+    /// length padding so the id vanishes without a frame error.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] when the log carries no record for `id`.
+    pub fn corrupt_manifest(&self, id: &CheckpointId, fault: StorageFault) -> Result<()> {
+        let (epoch, span) = self.with_state(|st| {
+            let span = st.spans.get(id).copied().ok_or_else(|| Error::NotFound {
+                what: format!("manifest record {id}"),
+            })?;
+            Ok((st.epoch, span))
+        })?;
+        let path = mlog::log_path(&self.root, epoch);
+        let (off, len) = (span.0 as usize, span.1 as usize);
+        match fault {
+            StorageFault::BitFlip { offset } => {
+                let mut bytes =
+                    fs::read(&path).map_err(|e| Error::io("reading manifest log", e))?;
+                // Land inside the record payload (past the frame
+                // header) so the flip damages manifest bytes, not the
+                // record id.
+                let header = 4 + 1 + 2 + id.as_str().len() + 4;
+                let payload_len = len.saturating_sub(header + 4).max(1);
+                let target = off + header + (offset as usize % payload_len);
+                bytes[target] ^= 0x01;
+                fs::write(&path, &bytes).map_err(|e| Error::io("writing manifest log", e))?;
+            }
+            StorageFault::Truncate { keep_pct } => {
+                let keep = span.0 + span.1 * u64::from(keep_pct.min(100)) / 100;
+                let f = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| Error::io("opening manifest log", e))?;
+                f.set_len(keep)
+                    .map_err(|e| Error::io("truncating manifest log", e))?;
+            }
+            StorageFault::Delete => {
+                let mut bytes =
+                    fs::read(&path).map_err(|e| Error::io("reading manifest log", e))?;
+                let pad = mlog::encode_record(
+                    RecordKind::Padding,
+                    "",
+                    &vec![0u8; len - mlog::RECORD_OVERHEAD],
+                );
+                bytes[off..off + len].copy_from_slice(&pad);
+                fs::write(&path, &bytes).map_err(|e| Error::io("writing manifest log", e))?;
+            }
+        }
+        *self.state.lock().expect("state lock poisoned") = None;
+        Ok(())
     }
 
     /// Compacts the latest checkpoint's delta chain by rewriting it as a
@@ -1427,12 +1992,9 @@ mod tests {
         let r2 = repo
             .save(&snapshot_at(2, vec![2.0; 10]), &SaveOptions::default())
             .unwrap();
-        // Corrupt the newest manifest.
-        crate::failure::inject_fault(
-            &repo.manifest_path(&r2.id),
-            crate::failure::StorageFault::BitFlip { offset: 33 },
-        )
-        .unwrap();
+        // Corrupt the newest manifest's log record.
+        repo.corrupt_manifest(&r2.id, crate::failure::StorageFault::BitFlip { offset: 33 })
+            .unwrap();
         let (snap, report) = repo.recover().unwrap();
         assert_eq!(snap.step, 1);
         assert_eq!(report.skipped.len(), 1);
@@ -1554,8 +2116,9 @@ mod tests {
             .unwrap();
         repo.save(&snapshot_at(2, vec![2.0; 5000]), &SaveOptions::default())
             .unwrap();
-        // Drop the first manifest, then GC.
-        fs::remove_file(repo.manifest_path(&r1.id)).unwrap();
+        // Drop the first manifest's record, then GC.
+        repo.corrupt_manifest(&r1.id, crate::failure::StorageFault::Delete)
+            .unwrap();
         let report = repo.gc().unwrap();
         assert!(report.deleted > 0);
         // Remaining checkpoint still loads.
@@ -1779,5 +2342,44 @@ mod tests {
         let leftovers = fs::read_dir(repo.root().join("tmp")).unwrap().count();
         assert_eq!(leftovers, 0);
         let _ = fs::remove_dir_all(repo.root());
+    }
+
+    #[test]
+    fn recovery_short_circuits_on_a_healthy_repository() {
+        let (_t, repo) = TempRepo::new();
+        let mut params = vec![0.4f64; 600];
+        for step in 1..=5u64 {
+            params[step as usize] += 0.01;
+            repo.save(&snapshot_at(step, params.clone()), &SaveOptions::default())
+                .unwrap();
+        }
+        let (snap, report) = repo.recover().unwrap();
+        assert_eq!(snap.step, 5);
+        assert!(report.skipped.is_empty());
+        assert_eq!(
+            report.manifests_tried, 1,
+            "healthy recovery must validate only the newest checkpoint, not walk history"
+        );
+    }
+
+    #[test]
+    fn commit_counters_are_o1_per_save() {
+        let (_t, repo) = TempRepo::new();
+        let mut opts = SaveOptions::default();
+        let r = repo.save(&snapshot_at(1, vec![0.3; 2000]), &opts).unwrap();
+        assert_eq!(r.commit_renames, 0, "the log commit path never renames");
+        assert_eq!(r.commit_fsyncs, 0, "fsync off: no commit fsyncs");
+        opts.fsync = true;
+        let r = repo.save(&snapshot_at(2, vec![0.31; 2000]), &opts).unwrap();
+        assert_eq!(r.commit_renames, 0);
+        assert_eq!(
+            r.commit_fsyncs, 2,
+            "fsync on: exactly log append + root flip"
+        );
+        // Ten times the parameters: the commit profile must not grow.
+        let r = repo
+            .save(&snapshot_at(3, vec![0.32; 20_000]), &opts)
+            .unwrap();
+        assert_eq!((r.commit_renames, r.commit_fsyncs), (0, 2));
     }
 }

@@ -146,6 +146,28 @@ pub trait ObjectStore: std::fmt::Debug + Send + Sync {
     /// bytes do not match the reference (bit rot, truncation).
     fn get(&self, reference: &ChunkRef) -> Result<Vec<u8>>;
 
+    /// Fetches and verifies many chunks, in input order. Semantically
+    /// `refs.iter().map(get)`; backends override it to batch — the
+    /// remote backend pipelines the whole burst in one network round
+    /// trip, and the pack backend resolves it against at most one
+    /// index rescan (see [`ObjectStore::begin_read_pass`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ObjectStore::get`], failing on the first bad chunk.
+    fn get_many(&self, refs: &[ChunkRef]) -> Result<Vec<Vec<u8>>> {
+        refs.iter().map(|r| self.get(r)).collect()
+    }
+
+    /// Marks the start of a bounded read pass (e.g. one recovery walk).
+    /// Within a pass the backend may cap cache-refill work — the pack
+    /// backend rescans `packs/` at most once per pass instead of once
+    /// per index miss. Passes nest; no-op by default.
+    fn begin_read_pass(&self) {}
+
+    /// Ends a read pass started by [`ObjectStore::begin_read_pass`].
+    fn end_read_pass(&self) {}
+
     /// Whether an object with this address exists.
     fn contains(&self, hash: &ContentHash) -> bool;
 
@@ -417,6 +439,15 @@ impl StoreBackend {
         }
     }
 
+    /// The pack store, when this backend is [`StoreBackend::Pack`] —
+    /// the hook for layout-level inspection (index rescan counter).
+    pub fn pack(&self) -> Option<&PackStore> {
+        match self {
+            StoreBackend::Pack(p) => Some(p),
+            _ => None,
+        }
+    }
+
     /// Opens the given backend under `root` (no marker handling). The
     /// remote backend resolves its daemon address from
     /// `QCHECK_REMOTE_ADDR` and its namespace from `QCHECK_REMOTE_NS`,
@@ -570,6 +601,18 @@ impl ObjectStore for StoreBackend {
 
     fn get(&self, reference: &ChunkRef) -> Result<Vec<u8>> {
         delegate!(self, s => s.get(reference))
+    }
+
+    fn get_many(&self, refs: &[ChunkRef]) -> Result<Vec<Vec<u8>>> {
+        delegate!(self, s => s.get_many(refs))
+    }
+
+    fn begin_read_pass(&self) {
+        delegate!(self, s => s.begin_read_pass())
+    }
+
+    fn end_read_pass(&self) {
+        delegate!(self, s => s.end_read_pass())
     }
 
     fn contains(&self, hash: &ContentHash) -> bool {

@@ -36,7 +36,12 @@
 //! 44 bytes per object on disk, comparable in memory). Lookups never touch
 //! the directory; a miss triggers a cheap rescan of `packs/` so that packs
 //! published by other handles (e.g. a background writer on the same
-//! repository) become visible without reopening.
+//! repository) become visible without reopening. Within a *read pass*
+//! ([`ObjectStore::begin_read_pass`], e.g. one recovery walk) that
+//! miss-triggered rescan fires at most once — a recovery walking a
+//! partially-damaged history would otherwise rescan `packs/` on every
+//! missing chunk, which made pack recovery slower than loose. The
+//! [`PackStore::index_rescans`] counter makes the bound testable.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
@@ -167,12 +172,33 @@ impl PackIndex {
     }
 }
 
+/// Read-pass bookkeeping shared across clones of a handle: pass nesting
+/// depth and whether the one allowed miss-rescan of this pass has fired.
+#[derive(Debug, Default)]
+struct PassState {
+    depth: std::sync::atomic::AtomicUsize,
+    refreshed: std::sync::atomic::AtomicBool,
+}
+
+/// MRU pack-descriptor cache slot: `(pack file name, open descriptor)`.
+type MruPack = Option<(String, Arc<fs::File>)>;
+
 /// Handle to an on-disk packed object store rooted at `packs/` + `tmp/`.
 #[derive(Debug, Clone)]
 pub struct PackStore {
     packs_dir: PathBuf,
     tmp_dir: PathBuf,
     index: Arc<Mutex<PackIndex>>,
+    /// Read-pass gate for miss-triggered index rescans.
+    pass: Arc<PassState>,
+    /// Lifetime count of `packs/` directory rescans (the recovery-path
+    /// cost the read-pass gate bounds; asserted by regression tests).
+    rescans: Arc<std::sync::atomic::AtomicU64>,
+    /// Most-recently-read pack's open file, so a recovery walk reading
+    /// hundreds of chunks out of one pack pays one `open`, not one per
+    /// chunk. Packs are immutable and content-named, so a cached
+    /// descriptor can never serve stale bytes.
+    mru_pack: Arc<Mutex<MruPack>>,
     /// Minimum dead fraction (by object count) before a mixed pack is
     /// rewritten during [`ObjectStore::sweep`]; see
     /// [`GC_DEAD_FRACTION_ENV`].
@@ -199,6 +225,9 @@ impl PackStore {
             packs_dir,
             tmp_dir,
             index: Arc::new(Mutex::new(PackIndex::default())),
+            pass: Arc::new(PassState::default()),
+            rescans: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            mru_pack: Arc::new(Mutex::new(None)),
             gc_dead_fraction: gc_dead_fraction_from_env(),
         };
         store.refresh(&mut store.lock())?;
@@ -219,10 +248,34 @@ impl PackStore {
         self.packs_dir.join(name)
     }
 
+    /// Lifetime count of `packs/` directory rescans performed by this
+    /// handle (and its clones). During a bracketed read pass the
+    /// miss-triggered rescan fires at most once, so e.g. one `recover()`
+    /// walk increments this by at most 1 regardless of how many chunks
+    /// miss — the regression guard for the slow-pack-recovery bug.
+    pub fn index_rescans(&self) -> u64 {
+        self.rescans.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Miss-path rescan, bounded inside a read pass: the first miss of a
+    /// pass refreshes, later misses are genuine absences (a writer
+    /// cannot be publishing packs while recovery holds the repo lock).
+    fn refresh_on_miss(&self, index: &mut PackIndex) -> Result<()> {
+        use std::sync::atomic::Ordering;
+        if self.pass.depth.load(Ordering::Relaxed) > 0
+            && self.pass.refreshed.swap(true, Ordering::Relaxed)
+        {
+            return Ok(());
+        }
+        self.refresh(index)
+    }
+
     /// Re-syncs the index with the `packs/` directory: loads packs that
     /// appeared (another handle committed) and drops packs that vanished
     /// (another handle swept).
     fn refresh(&self, index: &mut PackIndex) -> Result<()> {
+        self.rescans
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let entries = fs::read_dir(&self.packs_dir)
             .map_err(|e| Error::io(format!("listing {}", self.packs_dir.display()), e))?;
         let mut on_disk: BTreeSet<String> = BTreeSet::new();
@@ -263,7 +316,7 @@ impl PackStore {
                     }
                     None => {
                         if attempt == 0 {
-                            self.refresh(&mut index)?;
+                            self.refresh_on_miss(&mut index)?;
                             match index.objects.get(&reference.hash) {
                                 Some(loc) => {
                                     let name = index.packs[loc.pack as usize]
@@ -281,7 +334,24 @@ impl PackStore {
             };
             let Some((name, loc)) = loc else { break };
             let path = self.pack_path(&name);
-            match fs::File::open(&path) {
+            // Serve consecutive reads of the same pack through one open
+            // descriptor (packs are immutable, so the cache cannot go
+            // stale — at worst the file was unlinked, which a held fd
+            // survives anyway).
+            let cached = {
+                let mru = self.mru_pack.lock().expect("mru lock poisoned");
+                mru.as_ref()
+                    .filter(|(n, _)| *n == name)
+                    .map(|(_, f)| Arc::clone(f))
+            };
+            let open_result = match cached {
+                Some(f) => Ok(f),
+                None => fs::File::open(&path).map(Arc::new).inspect(|f| {
+                    *self.mru_pack.lock().expect("mru lock poisoned") =
+                        Some((name.clone(), Arc::clone(f)));
+                }),
+            };
+            match open_result {
                 Ok(f) => {
                     let mut buf = vec![0u8; loc.len as usize];
                     read_exact_at(&f, &mut buf, loc.offset)
@@ -425,6 +495,28 @@ impl ObjectStore for PackStore {
         self.read_object(reference)
     }
 
+    fn get_many(&self, refs: &[ChunkRef]) -> Result<Vec<Vec<u8>>> {
+        // One batch = one read pass: at most one miss-triggered index
+        // rescan for the whole burst.
+        self.begin_read_pass();
+        let out = refs.iter().map(|r| self.read_object(r)).collect();
+        self.end_read_pass();
+        out
+    }
+
+    fn begin_read_pass(&self) {
+        use std::sync::atomic::Ordering;
+        if self.pass.depth.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.pass.refreshed.store(false, Ordering::Relaxed);
+        }
+    }
+
+    fn end_read_pass(&self) {
+        self.pass
+            .depth
+            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
     fn contains(&self, hash: &ContentHash) -> bool {
         let mut index = self.lock();
         if let Some(loc) = index.objects.get(hash) {
@@ -436,7 +528,7 @@ impl ObjectStore for PackStore {
                 .expect("live object points at live pack");
             return self.pack_path(name).is_file();
         }
-        if self.refresh(&mut index).is_err() {
+        if self.refresh_on_miss(&mut index).is_err() {
             return false;
         }
         index.objects.contains_key(hash)
@@ -463,7 +555,7 @@ impl ObjectStore for PackStore {
             return true;
         }
         // Miss or vanished pack: resync once and re-answer.
-        if self.refresh(&mut index).is_err() {
+        if self.refresh_on_miss(&mut index).is_err() {
             return false;
         }
         check(self, &index, hashes)

@@ -108,6 +108,17 @@ pub fn fsck<S: ObjectStore>(repo: &CheckpointRepo<S>) -> Result<FsckReport> {
         report.checkpoints.push((id.clone(), health));
     }
 
+    // Manifest-log records that failed CRC/frame validation never make it
+    // into `list_ids` — surface them as corrupt checkpoints so damage is
+    // reported, not silently dropped.
+    for (label, reason) in repo.damaged_manifests()? {
+        report.checkpoints.push((
+            CheckpointId(label),
+            CheckpointHealth::ManifestCorrupt(reason),
+        ));
+    }
+    report.checkpoints.sort_by(|(a, _), (b, _)| a.cmp(b));
+
     for hash in repo.store().list()? {
         if !referenced.contains(&hash) {
             report.orphan_chunks += 1;
@@ -240,7 +251,7 @@ pub fn import_bundle<S: ObjectStore>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::failure::{inject_fault, StorageFault};
+    use crate::failure::StorageFault;
     use crate::snapshot::StateBlob;
 
     fn scratch() -> std::path::PathBuf {
@@ -293,11 +304,8 @@ mod tests {
         let repo = CheckpointRepo::open(&dir).unwrap();
         let r1 = repo.save(&snapshot_at(1), &SaveOptions::default()).unwrap();
         repo.save(&snapshot_at(2), &SaveOptions::default()).unwrap();
-        inject_fault(
-            &repo.manifest_path(&r1.id),
-            StorageFault::BitFlip { offset: 40 },
-        )
-        .unwrap();
+        repo.corrupt_manifest(&r1.id, StorageFault::BitFlip { offset: 40 })
+            .unwrap();
         let report = fsck(&repo).unwrap();
         assert!(!report.is_clean());
         assert_eq!(report.intact_count(), 1);
@@ -335,8 +343,9 @@ mod tests {
         let opts = SaveOptions::incremental(16);
         let base = repo.save(&snapshot_at(1), &opts).unwrap();
         repo.save(&snapshot_at(2), &opts).unwrap();
-        // Delete the base manifest: the delta's chain is broken.
-        std::fs::remove_file(repo.manifest_path(&base.id)).unwrap();
+        // Drop the base manifest's record: the delta's chain is broken.
+        repo.corrupt_manifest(&base.id, StorageFault::Delete)
+            .unwrap();
         let report = fsck(&repo).unwrap();
         let delta_health = &report.checkpoints[0].1;
         assert!(

@@ -456,6 +456,330 @@ fn fresh_directory_recover_reports_meta_synced() {
     );
 }
 
+/// The pack files currently published under `dir/packs/`.
+fn pack_files(dir: &std::path::Path) -> std::collections::BTreeSet<String> {
+    std::fs::read_dir(dir.join("packs"))
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.file_name().to_string_lossy().to_string())
+                .filter(|n| n.starts_with("pack-"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The pack index must rescan `packs/` at most once per recovery chunk
+/// walk. A missing chunk used to trigger one directory rescan *per index
+/// miss* — O(chunks) rescans when a whole pack had vanished, the
+/// `recover_ms` pathology in `BENCH_store.json`.
+#[test]
+fn pack_recovery_rescans_index_at_most_once() {
+    let dir = TempDir::new("pack-rescan");
+    let mut params = vec![0.5f64; N_PARAMS];
+    let new_packs = {
+        let repo = CheckpointRepo::open_with(&dir.0, StoreKind::Pack).unwrap();
+        repo.save(&snapshot_at(1, &params), &options(SaveMode::Full))
+            .unwrap();
+        let before = pack_files(&dir.0);
+
+        // A healthy recovery never touches the miss path: zero rescans.
+        let rescans = repo.store().pack().unwrap().index_rescans();
+        let (snap, _) = repo.recover().unwrap();
+        assert_eq!(snap.step, 1);
+        assert_eq!(
+            repo.store().pack().unwrap().index_rescans(),
+            rescans,
+            "healthy recovery must not rescan packs/"
+        );
+
+        params[7] += 1.0;
+        repo.save(&snapshot_at(2, &params), &options(SaveMode::Full))
+            .unwrap();
+        let after = pack_files(&dir.0);
+        after.difference(&before).cloned().collect::<Vec<_>>()
+    };
+    assert!(!new_packs.is_empty(), "second save must publish a new pack");
+    for name in &new_packs {
+        std::fs::remove_file(dir.0.join("packs").join(name)).unwrap();
+    }
+
+    // Fresh handle: its index never saw the deleted pack, so every chunk
+    // of checkpoint 2 is a clean index miss during the recovery walk.
+    let repo = CheckpointRepo::open_with(&dir.0, StoreKind::Pack).unwrap();
+    let rescans = repo.store().pack().unwrap().index_rescans();
+    let (snap, report) = repo.recover().unwrap();
+    assert_eq!(snap.step, 1, "must fall back to the intact checkpoint");
+    assert_eq!(report.manifests_tried, 2);
+    assert!(!report.skipped.is_empty());
+    let walked = repo.store().pack().unwrap().index_rescans() - rescans;
+    assert!(
+        walked <= 1,
+        "recovery chunk walk must rescan packs/ at most once, got {walked}"
+    );
+}
+
+/// A crash *between* the local tombstone append and the mirror deletes
+/// used to resurrect retired checkpoints on the next fresh-directory
+/// sync. The durable tombstones plus recovery's reconciliation pin the
+/// fix: `recover` re-issues the (idempotent) mirror deletes.
+#[test]
+fn retention_crash_before_mirror_deletes_does_not_resurrect() {
+    let dir = TempDir::new("retire-crash");
+    let (daemon, repo) = remote_repo(&dir.0, "retire");
+    let ns = repo.store().remote().unwrap().namespace().to_string();
+    let mut params = vec![0.5f64; N_PARAMS];
+    for step in 1..=3u64 {
+        params[step as usize] += 0.5;
+        repo.save(&snapshot_at(step, &params), &options(SaveMode::Full))
+            .unwrap();
+    }
+    let ids = repo.list_ids().unwrap();
+    assert_eq!(ids.len(), 3);
+    let kept = ids.last().unwrap().clone();
+
+    let err = repo
+        .apply_retention_with(Retention::KeepLast(1), Some(CrashPoint::AfterRetireLocal))
+        .unwrap_err();
+    assert!(matches!(err, qcheck::Error::SimulatedCrash { .. }), "{err}");
+
+    // The crash left the exact divergence of the bug: tombstones are
+    // durable locally, but the mirror still lists every manifest.
+    assert_eq!(repo.list_ids().unwrap(), vec![kept.clone()]);
+    assert_eq!(
+        repo.store().meta_list("manifests/").unwrap().len(),
+        3,
+        "crash fired before any mirror delete went out"
+    );
+
+    // Recovery reconciles the divergence.
+    let (snap, _) = repo.recover().unwrap();
+    assert_eq!(snap.step, 3);
+    assert_eq!(
+        repo.store().meta_list("manifests/").unwrap().len(),
+        1,
+        "recover must re-issue the mirror deletes for tombstoned ids"
+    );
+
+    // The resurrection scenario proper: a fresh working directory on the
+    // same namespace must see only the kept checkpoint.
+    let store = RemoteStore::connect(daemon.addr(), ns).unwrap();
+    let fresh =
+        CheckpointRepo::with_store(dir.0.join("fresh"), StoreBackend::Remote(store)).unwrap();
+    assert_eq!(fresh.list_ids().unwrap(), vec![kept]);
+    let (fresh_snap, _) = fresh.recover().unwrap();
+    assert_eq!(fresh_snap.step, 3);
+}
+
+fn read_slots(paths: &[std::path::PathBuf; 2]) -> [Option<Vec<u8>>; 2] {
+    [std::fs::read(&paths[0]).ok(), std::fs::read(&paths[1]).ok()]
+}
+
+fn restore_slots(paths: &[std::path::PathBuf; 2], slots: &[Option<Vec<u8>>; 2]) {
+    for (path, bytes) in paths.iter().zip(slots) {
+        match bytes {
+            Some(b) => std::fs::write(path, b).unwrap(),
+            None => {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+/// Tears the committed checkpoint-2 tail of the manifest log at `stride`d
+/// byte offsets (truncation and bit flip, against the pre-flip roots a
+/// real crash would leave) and asserts recovery opens the longest valid
+/// prefix; then tears each root slot byte-by-byte and asserts fallback
+/// across slots. `mirror_heals` is true for the remote backend, whose
+/// meta mirror re-supplies the torn manifest.
+fn torn_tail_sweep(repo: &CheckpointRepo, mirror_heals: bool, stride: usize) {
+    use qcheck::manifest_log::RECORD_OVERHEAD;
+
+    let params1: Vec<f64> = (0..64).map(|i| 0.1 * i as f64).collect();
+    let mut params2 = params1.clone();
+    params2[3] += 1.0;
+    repo.save(&snapshot_at(1, &params1), &options(SaveMode::Full))
+        .unwrap();
+    let log = repo.manifest_log_path().unwrap();
+    let committed = std::fs::read(&log).unwrap().len();
+    let paths = repo.root_slot_paths();
+    let slots1 = read_slots(&paths);
+    repo.save(&snapshot_at(2, &params2), &options(SaveMode::Full))
+        .unwrap();
+    let full = std::fs::read(&log).unwrap();
+    let slots2 = read_slots(&paths);
+
+    // Frame geometry of the tail: ManifestPut(ckpt2) then LatestAdvance.
+    let tail = &full[committed..];
+    assert_eq!(tail[4], 1, "tail must start with a ManifestPut record");
+    let id_len = u16::from_le_bytes([tail[5], tail[6]]) as usize;
+    let pay_len = u32::from_le_bytes(tail[7 + id_len..11 + id_len].try_into().unwrap()) as usize;
+    let put_end = committed + RECORD_OVERHEAD + id_len + pay_len;
+    assert!(put_end < full.len(), "a LatestAdvance record follows");
+
+    for cut in (committed..=full.len()).step_by(stride.max(1)) {
+        // A checkpoint recovers iff its ManifestPut survives whole (or
+        // the mirror re-supplies it); the torn remainder is benign.
+        let expect = if mirror_heals || cut >= put_end { 2 } else { 1 };
+
+        // Truncation: the tail of a crashed append.
+        restore_slots(&paths, &slots1);
+        std::fs::write(&log, &full[..cut]).unwrap();
+        let (snap, report) = repo.recover().unwrap();
+        assert_eq!(snap.step, expect, "truncate at {cut}");
+        if !mirror_heals {
+            assert!(
+                report.skipped.is_empty(),
+                "a torn tail is benign, truncate at {cut}: {:?}",
+                report.skipped
+            );
+        }
+
+        // Bit flip: every CRC frame must reject its own damage.
+        if cut < full.len() {
+            restore_slots(&paths, &slots1);
+            let mut damaged = full.clone();
+            damaged[cut] ^= 0xA5;
+            std::fs::write(&log, &damaged).unwrap();
+            let (snap, _) = repo.recover().unwrap();
+            assert_eq!(snap.step, expect, "bit flip at {cut}");
+        }
+    }
+
+    // Root-slot leg: any single torn slot (either of them) falls back to
+    // the survivor, and checkpoint 2 — durable in the log — still wins.
+    for slot in 0..2 {
+        let Some(good) = &slots2[slot] else { continue };
+        for off in (0..good.len()).step_by(stride.max(1)) {
+            restore_slots(&paths, &slots2);
+            std::fs::write(&log, &full).unwrap();
+            let mut torn = good.clone();
+            torn[off] ^= 0xA5;
+            std::fs::write(&paths[slot], &torn).unwrap();
+            let (snap, _) = repo.recover().unwrap();
+            assert_eq!(snap.step, 2, "flip in slot {slot} byte {off}");
+
+            restore_slots(&paths, &slots2);
+            std::fs::write(&log, &full).unwrap();
+            std::fs::write(&paths[slot], &good[..off]).unwrap();
+            let (snap, _) = repo.recover().unwrap();
+            assert_eq!(snap.step, 2, "truncated slot {slot} at {off}");
+        }
+    }
+
+    // Leave the repository healthy.
+    restore_slots(&paths, &slots2);
+    std::fs::write(&log, &full).unwrap();
+    let (snap, _) = repo.recover().unwrap();
+    assert_eq!(snap.step, 2);
+}
+
+/// Torn-tail sweep on all three backends. The loose leg tears *every*
+/// byte offset; pack and remote share the identical log code path and
+/// sweep strided offsets to bound runtime.
+#[test]
+fn torn_log_tail_opens_longest_valid_prefix_on_every_backend() {
+    {
+        let dir = TempDir::new("torn-loose");
+        let repo = CheckpointRepo::open_with(&dir.0, StoreKind::Loose).unwrap();
+        torn_tail_sweep(&repo, false, 1);
+    }
+    {
+        let dir = TempDir::new("torn-pack");
+        let repo = CheckpointRepo::open_with(&dir.0, StoreKind::Pack).unwrap();
+        torn_tail_sweep(&repo, false, 2);
+    }
+    {
+        let dir = TempDir::new("torn-remote");
+        let (_daemon, repo) = remote_repo(&dir.0, "torn");
+        torn_tail_sweep(&repo, true, 3);
+    }
+}
+
+/// The legacy `manifests/*.qmf` + `LATEST` layout migrates automatically
+/// and losslessly on open: identical ids, manifest bytes, loads and fsck
+/// health, and a second open is a no-op.
+#[test]
+fn legacy_layout_migrates_losslessly() {
+    for kind in [StoreKind::Loose, StoreKind::Pack] {
+        let dir = TempDir::new("migrate");
+        let mut params = vec![0.5f64; N_PARAMS];
+        let (ids, manifests, snapshots, health) = {
+            let repo = CheckpointRepo::open_with(&dir.0, kind).unwrap();
+            for step in 1..=3u64 {
+                params[step as usize] += 0.25;
+                let mode = if step == 3 {
+                    SaveMode::DeltaAuto { max_chain_len: 4 }
+                } else {
+                    SaveMode::Full
+                };
+                repo.save(&snapshot_at(step, &params), &options(mode))
+                    .unwrap();
+            }
+            let ids = repo.list_ids().unwrap();
+            let manifests: Vec<Vec<u8>> = ids
+                .iter()
+                .map(|id| repo.load_manifest(id).unwrap().encode())
+                .collect();
+            let snapshots: Vec<_> = ids.iter().map(|id| repo.load(id).unwrap()).collect();
+            let h = fsck(&repo).unwrap();
+            (
+                ids,
+                manifests,
+                snapshots,
+                (h.intact_count(), h.orphan_chunks),
+            )
+        };
+
+        // De-migrate: rewrite the legacy layout, drop the log-era files.
+        let legacy = dir.0.join("manifests");
+        std::fs::create_dir_all(&legacy).unwrap();
+        for (id, bytes) in ids.iter().zip(&manifests) {
+            std::fs::write(legacy.join(id.file_name()), bytes).unwrap();
+        }
+        std::fs::write(dir.0.join("LATEST"), ids.last().unwrap().as_str()).unwrap();
+        for entry in std::fs::read_dir(&dir.0).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            if name.starts_with("ROOT.") || name.ends_with(".qlg") {
+                std::fs::remove_file(entry.path()).unwrap();
+            }
+        }
+
+        // Reopen: the one-shot migration must reproduce the repo exactly.
+        let repo = CheckpointRepo::open_with(&dir.0, kind).unwrap();
+        assert!(!legacy.exists(), "{kind}: legacy dir must be cleaned up");
+        assert!(!dir.0.join("LATEST").exists(), "{kind}");
+        assert!(repo.manifest_log_path().unwrap().exists(), "{kind}");
+        assert_eq!(&repo.list_ids().unwrap(), &ids, "{kind}: ids");
+        assert_eq!(repo.read_latest().unwrap().as_ref(), ids.last(), "{kind}");
+        for ((id, bytes), snap) in ids.iter().zip(&manifests).zip(&snapshots) {
+            assert_eq!(
+                &repo.load_manifest(id).unwrap().encode(),
+                bytes,
+                "{kind}: manifest {id} must survive migration byte-identically"
+            );
+            assert_eq!(&repo.load(id).unwrap(), snap, "{kind}: load {id}");
+        }
+        let h = fsck(&repo).unwrap();
+        assert_eq!(
+            (h.intact_count(), h.orphan_chunks),
+            health,
+            "{kind}: fsck diverged across migration"
+        );
+        let (recovered, report) = repo.recover().unwrap();
+        assert_eq!(recovered.step, 3, "{kind}");
+        assert_eq!(
+            report.manifests_tried, 1,
+            "{kind}: recovery short-circuits post-migration"
+        );
+        drop(repo);
+
+        // Idempotent: a second open changes nothing.
+        let again = CheckpointRepo::open_with(&dir.0, kind).unwrap();
+        assert_eq!(again.list_ids().unwrap(), ids, "{kind}: reopen");
+    }
+}
+
 /// A client dying mid-`put_batch` (its frame never completes) must leave
 /// the daemon's store clean: the next client sees no partial objects, no
 /// staging debris, and a working repository.

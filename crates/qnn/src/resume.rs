@@ -335,14 +335,11 @@ mod tests {
             .unwrap();
             run.run_to_step(2).unwrap();
         }
-        // Corrupt every manifest.
+        // Corrupt every manifest record in the log.
         let repo = CheckpointRepo::open(&dir).unwrap();
         for id in repo.list_ids().unwrap() {
-            qcheck::failure::inject_fault(
-                &repo.manifest_path(&id),
-                qcheck::failure::StorageFault::Truncate { keep_pct: 30 },
-            )
-            .unwrap();
+            repo.corrupt_manifest(&id, qcheck::failure::StorageFault::BitFlip { offset: 30 })
+                .unwrap();
         }
         let err = ResumableRun::start(
             build_trainer(3),

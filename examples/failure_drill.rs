@@ -5,7 +5,7 @@
 //! cargo run --example failure_drill
 //! ```
 
-use qnn_checkpoint::qcheck::failure::{inject_fault, CrashPoint, StorageFault};
+use qnn_checkpoint::qcheck::failure::{CrashPoint, StorageFault};
 use qnn_checkpoint::qcheck::repo::{CheckpointRepo, CommitMode, SaveOptions};
 use qnn_checkpoint::qcheck::snapshot::Checkpointable;
 use qnn_checkpoint::qcheck::store::ObjectStore;
@@ -93,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         // Re-write checkpoint 2 cleanly, then damage it.
         let fresh = repo.save(&snap3, &SaveOptions::default())?;
-        inject_fault(&repo.manifest_path(&fresh.id), fault)?;
+        repo.corrupt_manifest(&fresh.id, fault)?;
         let (recovered, report) = repo.recover()?;
         println!(
             "fault {:<18} on {} → fell back to step {} ({} rejected)",

@@ -1,7 +1,7 @@
 //! Cross-crate failure injection: no combination of crash point, commit
 //! protocol or post-commit fault may ever make recovery return wrong data.
 
-use qnn_checkpoint::qcheck::failure::{inject_fault, CrashPoint, StorageFault};
+use qnn_checkpoint::qcheck::failure::{CrashPoint, StorageFault};
 use qnn_checkpoint::qcheck::repo::{CheckpointRepo, CommitMode, SaveOptions};
 use qnn_checkpoint::qcheck::snapshot::{Checkpointable, TrainingSnapshot};
 use qnn_checkpoint::qcheck::store::ObjectStore;
@@ -131,7 +131,7 @@ fn every_manifest_fault_falls_back() {
             repo.save(s, &SaveOptions::default()).unwrap();
         }
         let newest = repo.list_ids().unwrap().pop().unwrap();
-        inject_fault(&repo.manifest_path(&newest), fault).unwrap();
+        repo.corrupt_manifest(&newest, fault).unwrap();
         let (snapshot, report) = repo.recover().unwrap();
         assert!(snapshot.step >= snaps[0].step);
         assert_recovers_known_state(&repo, &snaps);

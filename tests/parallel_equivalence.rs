@@ -170,9 +170,15 @@ fn checkpoint_manifests_bit_identical_across_threads() {
         let mut out = Vec::new();
         for step in 0..6u64 {
             let report = repo.save(&snapshot_at(step), &opts).unwrap();
-            let path = repo.manifest_path(&report.id);
-            out.push((report.id.as_str().to_string(), std::fs::read(path).unwrap()));
+            let encoded = repo.load_manifest(&report.id).unwrap().encode();
+            out.push((report.id.as_str().to_string(), encoded));
         }
+        // The whole manifest log (ids, records, framing) must also be
+        // bit-identical, not just each manifest payload.
+        out.push((
+            "log".to_string(),
+            std::fs::read(repo.manifest_log_path().unwrap()).unwrap(),
+        ));
         let _ = std::fs::remove_dir_all(&dir);
         out
     };
@@ -202,8 +208,8 @@ fn delta_base_cache_matches_disk_resolution() {
     assert_eq!(warm_ids, cold.list_ids().unwrap());
     for id in &warm_ids {
         assert_eq!(
-            std::fs::read(warm.manifest_path(id)).unwrap(),
-            std::fs::read(cold.manifest_path(id)).unwrap(),
+            warm.load_manifest(id).unwrap().encode(),
+            cold.load_manifest(id).unwrap().encode(),
             "manifest {id} differs between cached and disk-resolved base"
         );
     }
