@@ -27,10 +27,14 @@
 use std::fmt::Write as _;
 
 use criterion::measure_median_ns;
-use qcheck::remote::{spawn_daemon, DaemonHandle, RemoteStore};
+use qcheck::chunk::ChunkRef;
+use qcheck::hash::Sha256;
+use qcheck::remote::{
+    proto, reset_stream_peak_buffer, spawn_daemon, stream_peak_buffer, DaemonHandle, RemoteStore,
+};
 use qcheck::repo::{CheckpointRepo, SaveOptions, SaveReport};
 use qcheck::snapshot::{RngCapture, StateBlob, TrainingSnapshot};
-use qcheck::store::{StoreBackend, StoreKind};
+use qcheck::store::{ObjectStore, StoreBackend, StoreKind};
 use qcheck_bench::report::{quick_mode, scratch_dir};
 
 /// One daemon serves the whole benchmark; every scratch repository gets
@@ -196,6 +200,88 @@ fn bench_backend(
     }
 }
 
+struct StreamRow {
+    payload_mib: usize,
+    put_ms: f64,
+    put_mb_s: f64,
+    get_ms: f64,
+    get_mb_s: f64,
+    peak_buffer_bytes: u64,
+}
+
+/// Streams one payload larger than the wire frame cap through
+/// `PUT_STREAM`/`GET_STREAM` without ever materializing it: the source
+/// synthesizes 4 MiB blocks on the fly and the sink discards them. The
+/// peak-buffer counter (fed by client and in-process server alike)
+/// proves the whole transfer ran in O(segment) memory.
+fn bench_stream(daemon: &DaemonHandle) -> StreamRow {
+    const BLOCK: usize = 4 << 20;
+    let blocks = proto::MAX_FRAME_LEN / BLOCK + 1; // one block past the frame cap
+    let payload = blocks * BLOCK;
+    let template = vec![0xC3u8; BLOCK];
+    let block_at = |i: usize| {
+        let mut b = template.clone();
+        b[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        b
+    };
+    // Reference hash by streaming the generator once — the payload never
+    // exists as one buffer, here or on the wire.
+    let mut h = Sha256::new();
+    for i in 0..blocks {
+        h.update(&block_at(i));
+    }
+    let reference = ChunkRef {
+        hash: h.finalize(),
+        len: payload as u32,
+    };
+
+    let store = RemoteStore::connect(daemon.addr(), "bench-stream").expect("connect stream ns");
+    reset_stream_peak_buffer();
+
+    let mut next = 0usize;
+    let mut source = || -> qcheck::error::Result<Option<Vec<u8>>> {
+        if next == blocks {
+            return Ok(None);
+        }
+        next += 1;
+        Ok(Some(block_at(next - 1)))
+    };
+    let t = std::time::Instant::now();
+    assert!(
+        store
+            .put_stream(&reference, &mut source, false)
+            .expect("streamed put"),
+        "stream payload must be fresh"
+    );
+    let put_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut got = 0u64;
+    let t = std::time::Instant::now();
+    store
+        .get_stream(&reference, BLOCK, &mut |seg| {
+            got += seg.len() as u64;
+            Ok(())
+        })
+        .expect("streamed get");
+    let get_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(got, payload as u64);
+
+    let peak_buffer_bytes = stream_peak_buffer();
+    assert!(
+        peak_buffer_bytes <= 8 << 20,
+        "streaming must stay in O(segment) memory, saw peak {peak_buffer_bytes}"
+    );
+    let mb = payload as f64 / 1e6;
+    StreamRow {
+        payload_mib: payload >> 20,
+        put_ms,
+        put_mb_s: mb / (put_ms / 1e3),
+        get_ms,
+        get_mb_s: mb / (get_ms / 1e3),
+        peak_buffer_bytes,
+    }
+}
+
 fn main() {
     let quick = quick_mode();
     let (n_params, chain_depth) = if quick { (16_384, 8) } else { (65_536, 32) };
@@ -231,6 +317,20 @@ fn main() {
         })
         .collect();
 
+    // --- streaming wire: one object bigger than any legal frame ---
+    let stream = bench_stream(&daemon);
+    println!(
+        "  stream  {} MiB  put {:.0} ms ({:.0} MB/s)  get {:.0} ms ({:.0} MB/s)  \
+         peak buffer {} KiB (cap {} KiB)",
+        stream.payload_mib,
+        stream.put_ms,
+        stream.put_mb_s,
+        stream.get_ms,
+        stream.get_mb_s,
+        stream.peak_buffer_bytes >> 10,
+        (8 << 20) >> 10,
+    );
+
     // Daemon-side view of the workload just applied: role/generation
     // confirm the bench ran against a primary, and the oplog-entries
     // counter is the deterministic commit count the remote rows imply.
@@ -248,6 +348,13 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"simd\": \"{}\",", qsimd::active().name());
+    let _ = writeln!(
+        json,
+        "  \"sha_backend\": \"{}\",",
+        qsimd::sha_backend().name()
+    );
+    let _ = writeln!(json, "  \"cpu_features\": \"{}\",", qsimd::cpu_features());
     let _ = writeln!(json, "  \"n_params\": {n_params},");
     let _ = writeln!(json, "  \"chain_depth\": {chain_depth},");
     let _ = writeln!(
@@ -315,6 +422,24 @@ fn main() {
         );
         let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"stream\": {{");
+    let _ = writeln!(json, "    \"payload_mib\": {},", stream.payload_mib);
+    let _ = writeln!(
+        json,
+        "    \"max_frame_mib\": {},",
+        proto::MAX_FRAME_LEN >> 20
+    );
+    let _ = writeln!(json, "    \"put_ms\": {:.1},", stream.put_ms);
+    let _ = writeln!(json, "    \"put_mb_s\": {:.1},", stream.put_mb_s);
+    let _ = writeln!(json, "    \"get_ms\": {:.1},", stream.get_ms);
+    let _ = writeln!(json, "    \"get_mb_s\": {:.1},", stream.get_mb_s);
+    let _ = writeln!(
+        json,
+        "    \"peak_buffer_bytes\": {},",
+        stream.peak_buffer_bytes
+    );
+    let _ = writeln!(json, "    \"peak_buffer_cap_bytes\": {}", 8u32 << 20);
     let _ = writeln!(json, "  }},");
     let rename_ratio = rows[0].renames_per_full_save / rows[1].renames_per_full_save.max(1.0);
     let _ = writeln!(

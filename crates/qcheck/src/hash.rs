@@ -4,6 +4,18 @@
 //! and validated against published test vectors. SHA-256 addresses chunks in
 //! the object store; CRC32 (IEEE 802.3) frames manifests so that torn writes
 //! are detected cheaply before the full SHA check runs.
+//!
+//! ## Hardware backend
+//!
+//! Whole 64-byte blocks route through [`qsimd::sha256_compress_blocks`],
+//! which uses the SHA-NI extensions when the CPU has them (and
+//! `QSIM_SIMD` is not forcing `scalar`) and otherwise declines, leaving
+//! the portable compression loop below as the oracle. The buffering and
+//! length bookkeeping are backend-independent, so a stream may resume
+//! across the scalar/hardware seam at any block boundary and still
+//! produce the same digest — `tests/hash_accel.rs` pins that property.
+//! This keeps `qcheck` itself `unsafe`-free: every intrinsic lives in the
+//! `qsimd` shim crate.
 
 use std::fmt;
 
@@ -88,15 +100,14 @@ impl Sha256 {
             data = &data[take..];
             if self.buffer_len == 64 {
                 let block = self.buffer;
-                self.compress(&block);
+                self.compress_blocks(&block);
                 self.buffer_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
+        let whole = data.len() - data.len() % 64;
+        if whole > 0 {
+            self.compress_blocks(&data[..whole]);
+            data = &data[whole..];
         }
         if !data.is_empty() {
             self.buffer[..data.len()].copy_from_slice(data);
@@ -130,8 +141,24 @@ impl Sha256 {
         self.buffer_len += 1;
         if self.buffer_len == 64 {
             let block = self.buffer;
-            self.compress(&block);
+            self.compress_blocks(&block);
             self.buffer_len = 0;
+        }
+    }
+
+    /// Compresses a run of whole 64-byte blocks, preferring the hardware
+    /// backend. The portable [`Sha256::compress`] loop below stays the
+    /// oracle; `qsimd` declines (returns `false`) when SHA extensions are
+    /// missing or `QSIM_SIMD=scalar` forces the reference path.
+    fn compress_blocks(&mut self, blocks: &[u8]) {
+        debug_assert_eq!(blocks.len() % 64, 0);
+        if qsimd::sha256_compress_blocks(&mut self.state, blocks) {
+            return;
+        }
+        let mut block = [0u8; 64];
+        for chunk in blocks.chunks_exact(64) {
+            block.copy_from_slice(chunk);
+            self.compress(&block);
         }
     }
 

@@ -38,12 +38,12 @@ use std::time::Duration;
 
 use crate::chunk::ChunkRef;
 use crate::error::{Error, Result};
-use crate::hash::ContentHash;
+use crate::hash::{ContentHash, Sha256};
 use crate::store::{BatchPutReport, GcReport, ObjectStore, StagedChunk, StoreStats};
 
 use super::proto::{
     read_frame, valid_namespace, write_frame, Request, Response, HELLO_FLAG_WANT_LEASE,
-    PROTO_VERSION,
+    MAX_FRAME_LEN, PROTO_VERSION, PROTO_VERSION_MIN, STREAM_SEGMENT_BYTES,
 };
 
 /// Environment variable tuning the transport retry budget: the number of
@@ -151,6 +151,21 @@ fn is_fatal_dial_error(e: &Error) -> bool {
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Protocol version the handshake negotiated (the server echoes the
+    /// lower dialect; v3 enables the streaming operations).
+    version: u32,
+}
+
+/// Outcome of one attempt at a streaming operation, distinguished by
+/// what it means for the connection and the retry loop: `Done` and
+/// `Judged` leave the request/response framing aligned (the connection
+/// is kept); `Fatal` means the stream died mid-flight *after* data
+/// crossed the sink or source, so a replay would duplicate bytes — the
+/// connection is dropped and the error surfaces without retry.
+enum StreamAttempt<T> {
+    Done(T),
+    Judged(Error),
+    Fatal(Error),
 }
 
 /// A parsed [`Response::Status`] (also printed by `qckptd status` and
@@ -360,6 +375,7 @@ impl RemoteStore {
                     .map_err(|e| Error::io("cloning stream", e))?,
             ),
             writer: BufWriter::new(stream),
+            version: PROTO_VERSION,
         };
         let flags = if self.want_lease.load(Ordering::Acquire) {
             HELLO_FLAG_WANT_LEASE
@@ -385,16 +401,23 @@ impl RemoteStore {
                 generation,
                 lease,
                 ..
-            } if version == PROTO_VERSION => {
+            } if (PROTO_VERSION_MIN..=PROTO_VERSION).contains(&version) => {
                 self.max_generation.fetch_max(generation, Ordering::AcqRel);
                 if let Some(grant) = lease {
                     self.lease_token.store(grant.token, Ordering::Release);
                 }
+                // An older daemon echoes its own dialect; everything
+                // but the v3 streaming ops (which fall back to the
+                // buffered forms) works identically.
+                conn.version = version;
                 Ok(conn)
             }
             Response::HelloOk { version, .. } => Err(Error::protocol(
                 "handshake",
-                format!("server answered version {version}, expected {PROTO_VERSION}"),
+                format!(
+                    "server answered version {version}, \
+                     expected {PROTO_VERSION_MIN} through {PROTO_VERSION}"
+                ),
             )),
             other => Err(unexpected("handshake", &other)),
         }
@@ -512,6 +535,74 @@ impl RemoteStore {
         Ok(responses.remove(0))
     }
 
+    /// The live connection's negotiated protocol version (dialing if
+    /// necessary). The streaming paths branch on it: a v2 daemon gets
+    /// the buffered fallback instead of frames it cannot decode.
+    fn conn_version(&self) -> Result<u32> {
+        let mut guard = self.conn.lock().expect("conn lock poisoned");
+        if let Some(conn) = guard.as_ref() {
+            return Ok(conn.version);
+        }
+        let conn = self.dial()?;
+        let version = conn.version;
+        *guard = Some(conn);
+        Ok(version)
+    }
+
+    /// Retry harness for the v3 streaming operations. Each attempt runs
+    /// `f` on a live connection; `Err` from `f` is a transport failure
+    /// *before* any payload moved and is retried on a fresh connection
+    /// (safe: content-addressed streams are idempotent), while the
+    /// [`StreamAttempt`] outcomes end the loop — see its docs.
+    fn stream_attempt<T>(
+        &self,
+        context: &str,
+        f: &mut dyn FnMut(&mut Conn) -> Result<StreamAttempt<T>>,
+    ) -> Result<T> {
+        let mut guard = self.conn.lock().expect("conn lock poisoned");
+        let mut last_err: Option<Error> = None;
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff_delay(attempt));
+            }
+            let mut conn = match guard.take() {
+                Some(conn) => conn,
+                None => match self.dial() {
+                    Ok(conn) => conn,
+                    Err(e) if is_fatal_dial_error(&e) => return Err(e),
+                    Err(e @ Error::StaleGeneration(_)) => return Err(e),
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                },
+            };
+            if conn.version < 3 {
+                let version = conn.version;
+                *guard = Some(conn);
+                return Err(Error::protocol(
+                    context.to_string(),
+                    format!("the daemon negotiated protocol v{version}; streaming needs v3"),
+                ));
+            }
+            match f(&mut conn) {
+                Ok(StreamAttempt::Done(value)) => {
+                    *guard = Some(conn);
+                    return Ok(value);
+                }
+                Ok(StreamAttempt::Judged(e)) => {
+                    *guard = Some(conn);
+                    return Err(e);
+                }
+                Ok(StreamAttempt::Fatal(e)) => return Err(e),
+                Err(e) => {
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| Error::protocol(context.to_string(), "no attempts")))
+    }
+
     /// Asks the daemon for its status line.
     ///
     /// # Errors
@@ -609,6 +700,22 @@ fn unexpected(context: &str, resp: &Response) -> Error {
 
 impl ObjectStore for RemoteStore {
     fn put_batch(&self, chunks: &[StagedChunk<'_>], fsync: bool) -> Result<BatchPutReport> {
+        // A chunk whose payload alone exceeds the frame cap can never
+        // ride PUT_BATCH — both ends would refuse the frame. Refuse it
+        // here with a pointer at the streaming path instead of letting
+        // the encoder build a doomed quarter-gigabyte frame.
+        if let Some(oversize) = chunks.iter().find(|c| c.data.len() > MAX_FRAME_LEN) {
+            return Err(Error::protocol(
+                "storing chunk batch",
+                format!(
+                    "chunk {} is {} bytes, above the {} byte frame cap — \
+                     store payloads this large with put_stream (PUT_STREAM)",
+                    oversize.reference.hash,
+                    oversize.data.len(),
+                    MAX_FRAME_LEN
+                ),
+            ));
+        }
         // Split into pipelined sub-frames by payload volume, encoding
         // each frame body straight from the borrowed chunk slices (no
         // owned copy of the whole snapshot). Chunk boundaries never
@@ -693,6 +800,234 @@ impl ObjectStore for RemoteStore {
                 other => Err(unexpected("fetching chunk batch", &other)),
             })
             .collect()
+    }
+
+    fn get_stream(
+        &self,
+        reference: &ChunkRef,
+        segment: usize,
+        sink: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        // A v2 daemon cannot speak the stream frames; fall back to the
+        // buffered GET (already end-to-end verified).
+        if self.conn_version()? < 3 {
+            let data = self.get(reference)?;
+            for part in data.chunks(segment.max(1)) {
+                sink(part)?;
+            }
+            return Ok(());
+        }
+        let context = "fetching chunk stream";
+        let reference = *reference;
+        let mut fed_sink = false;
+        self.stream_attempt(context, &mut |conn| {
+            if fed_sink {
+                // Unreachable by construction (every post-delivery exit
+                // below is Done/Judged/Fatal), but never risk replaying
+                // bytes into the sink.
+                return Ok(StreamAttempt::Fatal(Error::protocol(
+                    context.to_string(),
+                    "stream restarted after delivering data",
+                )));
+            }
+            write_frame(&mut conn.writer, &Request::GetStream { reference }.encode())?;
+            conn.writer
+                .flush()
+                .map_err(|e| Error::io("flushing request", e))?;
+            self.round_trips.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::decode(&read_frame(&mut conn.reader)?)?;
+            let declared = match resp.into_result(context) {
+                Ok(Response::StreamBegin { len }) => len,
+                Ok(other) => return Err(unexpected(context, &other)),
+                // Judged refusal (e.g. not found) answers the request
+                // frame directly; nothing streamed, framing aligned.
+                Err(judged) => return Ok(StreamAttempt::Judged(judged)),
+            };
+            if declared != u64::from(reference.len) {
+                // Data frames are already in flight behind the bogus
+                // header; the connection is unusable.
+                return Ok(StreamAttempt::Fatal(Error::corrupt(
+                    format!("chunk {}", reference.hash),
+                    format!(
+                        "stream declared {declared} bytes, reference says {}",
+                        reference.len
+                    ),
+                )));
+            }
+            let mut hasher = Sha256::new();
+            let mut got = 0u64;
+            loop {
+                let resp = match read_frame(&mut conn.reader).and_then(|f| Response::decode(&f)) {
+                    Ok(resp) => resp,
+                    // A replay would duplicate bytes into the sink.
+                    Err(e) if fed_sink => return Ok(StreamAttempt::Fatal(e)),
+                    Err(e) => return Err(e),
+                };
+                match resp.into_result(context) {
+                    Ok(Response::StreamData(data)) => {
+                        super::note_stream_buffer(data.len());
+                        got += data.len() as u64;
+                        if got > declared {
+                            return Ok(StreamAttempt::Fatal(Error::corrupt(
+                                format!("chunk {}", reference.hash),
+                                format!("stream overran its declared length {declared}"),
+                            )));
+                        }
+                        hasher.update(&data);
+                        fed_sink = true;
+                        if let Err(e) = sink(&data) {
+                            // The caller's sink failed mid-stream; the
+                            // connection is mid-flight and dropped.
+                            return Ok(StreamAttempt::Fatal(e));
+                        }
+                    }
+                    Ok(Response::StreamEnd { .. }) => break,
+                    Ok(other) => return Ok(StreamAttempt::Fatal(unexpected(context, &other))),
+                    // Terminal judged error (corruption the server found
+                    // mid-read) replaces StreamEnd; framing is aligned.
+                    Err(judged) => return Ok(StreamAttempt::Judged(judged)),
+                }
+            }
+            // End-to-end verification: never trust the wire (or the
+            // server) over the content address.
+            if got != u64::from(reference.len) {
+                return Ok(StreamAttempt::Judged(Error::corrupt(
+                    format!("chunk {}", reference.hash),
+                    format!("stream delivered {got} bytes, expected {}", reference.len),
+                )));
+            }
+            let actual = hasher.finalize();
+            if actual != reference.hash {
+                return Ok(StreamAttempt::Judged(Error::corrupt(
+                    format!("chunk {}", reference.hash),
+                    format!("streamed content hashes to {actual}"),
+                )));
+            }
+            Ok(StreamAttempt::Done(()))
+        })
+    }
+
+    fn put_stream(
+        &self,
+        reference: &ChunkRef,
+        source: &mut dyn FnMut() -> Result<Option<Vec<u8>>>,
+        fsync: bool,
+    ) -> Result<bool> {
+        if self.conn_version()? < 3 {
+            // Buffered fallback for a v2 daemon: assemble, verify, ride
+            // PUT_BATCH (mirrors the trait's default implementation).
+            let mut data = Vec::new();
+            while let Some(seg) = source()? {
+                data.extend_from_slice(&seg);
+            }
+            crate::store::verify_chunk(reference, &data)?;
+            let report = self.put_batch(
+                &[StagedChunk {
+                    reference: *reference,
+                    data: &data,
+                }],
+                fsync,
+            )?;
+            return Ok(report.fresh[0]);
+        }
+        let context = "storing chunk stream";
+        let reference = *reference;
+        let mut consumed_any = false;
+        self.stream_attempt(context, &mut |conn| {
+            if consumed_any {
+                return Ok(StreamAttempt::Fatal(Error::protocol(
+                    context.to_string(),
+                    "stream restarted after consuming the source",
+                )));
+            }
+            write_frame(
+                &mut conn.writer,
+                &Request::PutStreamBegin { reference, fsync }.encode(),
+            )?;
+            conn.writer
+                .flush()
+                .map_err(|e| Error::io("flushing request", e))?;
+            self.round_trips.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::decode(&read_frame(&mut conn.reader)?)?;
+            match resp.into_result(context) {
+                // Proceed: the daemon wants the body.
+                Ok(Response::Ok) => {}
+                Ok(Response::StreamEnd { fresh }) => {
+                    // Dedup hit: the daemon already holds the content.
+                    // Drain the source anyway — a finished put_stream
+                    // has always consumed it, streamed or not.
+                    loop {
+                        match source() {
+                            Ok(Some(_)) => consumed_any = true,
+                            Ok(None) => break,
+                            Err(e) => return Ok(StreamAttempt::Fatal(e)),
+                        }
+                    }
+                    return Ok(StreamAttempt::Done(fresh));
+                }
+                Ok(other) => return Err(unexpected(context, &other)),
+                Err(judged) => return Ok(StreamAttempt::Judged(judged)),
+            }
+            loop {
+                let seg = match source() {
+                    Ok(seg) => seg,
+                    // Source failures are the caller's, not the wire's,
+                    // but the stream is open: drop the connection.
+                    Err(e) => return Ok(StreamAttempt::Fatal(e)),
+                };
+                let Some(data) = seg else { break };
+                consumed_any = true;
+                // Re-chunk to the wire granularity: the decoder caps a
+                // segment at MAX_STREAM_SEGMENT.
+                for piece in data.chunks(STREAM_SEGMENT_BYTES) {
+                    super::note_stream_buffer(piece.len());
+                    let step = (|| -> Result<Response> {
+                        write_frame(
+                            &mut conn.writer,
+                            &Request::PutStreamData(piece.to_vec()).encode(),
+                        )?;
+                        conn.writer
+                            .flush()
+                            .map_err(|e| Error::io("flushing segment", e))?;
+                        self.round_trips.fetch_add(1, Ordering::Relaxed);
+                        Response::decode(&read_frame(&mut conn.reader)?)
+                    })();
+                    match step {
+                        Ok(resp) => match resp.into_result(context) {
+                            Ok(Response::Ok) => {}
+                            Ok(other) => {
+                                return Ok(StreamAttempt::Fatal(unexpected(context, &other)))
+                            }
+                            // The daemon refused a staged segment (store
+                            // failure): judged, framing aligned.
+                            Err(judged) => return Ok(StreamAttempt::Judged(judged)),
+                        },
+                        // Transport loss mid-body; the consumed source
+                        // segments cannot be replayed.
+                        Err(e) => return Ok(StreamAttempt::Fatal(e)),
+                    }
+                }
+            }
+            let step = (|| -> Result<Response> {
+                write_frame(&mut conn.writer, &Request::PutStreamEnd.encode())?;
+                conn.writer
+                    .flush()
+                    .map_err(|e| Error::io("flushing stream end", e))?;
+                self.round_trips.fetch_add(1, Ordering::Relaxed);
+                Response::decode(&read_frame(&mut conn.reader)?)
+            })();
+            match step {
+                Ok(resp) => match resp.into_result(context) {
+                    Ok(Response::StreamEnd { fresh }) => Ok(StreamAttempt::Done(fresh)),
+                    Ok(other) => Ok(StreamAttempt::Fatal(unexpected(context, &other))),
+                    // Content-address mismatch, judged at commit time.
+                    Err(judged) => Ok(StreamAttempt::Judged(judged)),
+                },
+                Err(e) if consumed_any => Ok(StreamAttempt::Fatal(e)),
+                // Empty payload: nothing consumed, safe to replay.
+                Err(e) => Err(e),
+            }
+        })
     }
 
     fn contains(&self, hash: &ContentHash) -> bool {

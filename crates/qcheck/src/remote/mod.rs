@@ -44,6 +44,30 @@ pub use server::{
 /// when `QCHECK_STORE=remote`.
 pub const REMOTE_ADDR_ENV: &str = "QCHECK_REMOTE_ADDR";
 
+/// High-water mark (bytes) of the largest single stream-segment buffer
+/// materialized by either end of a v3 `GET_STREAM`/`PUT_STREAM`
+/// transfer in this process. In-process daemon tests and the benchmark
+/// read it to pin the O(segment) memory contract: streaming a payload
+/// far above [`proto::MAX_FRAME_LEN`] must never buffer more than
+/// [`proto::MAX_STREAM_SEGMENT`] at once.
+static STREAM_PEAK_BUFFER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Largest single stream-segment buffer observed since the last
+/// [`reset_stream_peak_buffer`] (0 = no streaming yet).
+pub fn stream_peak_buffer() -> u64 {
+    STREAM_PEAK_BUFFER.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Resets the streaming peak-buffer watermark.
+pub fn reset_stream_peak_buffer() {
+    STREAM_PEAK_BUFFER.store(0, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Records one stream-segment buffer observation.
+pub(crate) fn note_stream_buffer(len: usize) {
+    STREAM_PEAK_BUFFER.fetch_max(len as u64, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Environment variable pinning the remote namespace. When unset, a
 /// repository generates a random namespace on first open and persists
 /// it in its `REMOTE_NS` marker file — resuming from a *different*

@@ -16,7 +16,7 @@
 //! fails its length bound or CRC is a protocol error and the connection
 //! is dropped — there is no resynchronization inside a stream.
 //!
-//! ## Handshake (v2)
+//! ## Handshake (v2/v3)
 //!
 //! The first client frame must be [`Request::Hello`] carrying the
 //! protocol version and the client's *namespace* (the multi-tenant unit:
@@ -28,11 +28,45 @@
 //! observed — the fencing handle: a daemon whose generation is lower
 //! refuses the handshake with a typed stale-generation error, which is
 //! how a client that has already talked to a promoted secondary detects
-//! a demoted primary. The server replies [`Response::HelloOk`] with its
-//! version, role, generation and any granted lease, or an error frame.
-//! Version negotiation is strict equality: a v1 client is refused with a
-//! clear error naming both versions (the v1 Hello body is a prefix of
-//! the v2 body, so it still parses).
+//! a demoted primary. The server replies [`Response::HelloOk`] with the
+//! **negotiated** version, its role, generation and any granted lease,
+//! or an error frame. Since v3 the server accepts any client version in
+//! `PROTO_VERSION_MIN..=PROTO_VERSION` and echoes the client's version
+//! back (the v2 and v3 Hello bodies are identical; v3 only *adds*
+//! opcodes) — a v2 client keeps working unchanged, while anything older
+//! is refused with a clear error naming both versions (the v1 Hello
+//! body is a prefix of the v2 body, so it still parses).
+//!
+//! ## Streaming (v3): `GET_STREAM` / `PUT_STREAM`
+//!
+//! `Get` and `PutBatch` carry a whole chunk in one frame, which caps a
+//! transferable chunk at [`MAX_FRAME_LEN`] and forces both ends to
+//! buffer the full payload. v3 adds a streaming path that moves a chunk
+//! of any size in CRC-framed segments of at most
+//! [`MAX_STREAM_SEGMENT`] bytes (the client sends
+//! [`STREAM_SEGMENT_BYTES`]), with SHA-256 folded in incrementally on
+//! both ends, so peak memory is O(segment):
+//!
+//! * **GET_STREAM** — one [`Request::GetStream`] is answered by
+//!   [`Response::StreamBegin`], then N × [`Response::StreamData`], then
+//!   [`Response::StreamEnd`]. The server hashes as it reads; on a
+//!   corrupt object it sends [`Response::Err`] *instead of* the end
+//!   marker and the client discards everything. The client re-verifies
+//!   length and SHA incrementally as segments arrive.
+//! * **PUT_STREAM** — strict lockstep: [`Request::PutStreamBegin`] is
+//!   answered by [`Response::Ok`] (proceed) or [`Response::StreamEnd`]
+//!   with `fresh: false` (dedup hit — the client skips the body);
+//!   each [`Request::PutStreamData`] is acknowledged with
+//!   [`Response::Ok`] after the segment reaches the staged object;
+//!   [`Request::PutStreamEnd`] commits and is answered by
+//!   [`Response::StreamEnd`]. The server verifies the accumulated
+//!   length and SHA against the reference *before* the staged object is
+//!   published; a mismatch answers the end frame with a typed corrupt
+//!   error and nothing is committed.
+//!
+//! Replication rides the same machinery: [`Request::ReplChunkStream`]
+//! is `GET_STREAM` with an explicit namespace, used by a tailing
+//! secondary for chunks too large to batch into a `ReplChunks` reply.
 //!
 //! ## Replication (`REPL_*`)
 //!
@@ -67,8 +101,23 @@ use crate::error::{Error, Result};
 use crate::hash::{crc32, ContentHash};
 use crate::store::{BatchPutReport, GcReport, StoreStats};
 
-/// Protocol version spoken by this build. Strict-equality handshake.
-pub const PROTO_VERSION: u32 = 2;
+/// Protocol version spoken by this build.
+pub const PROTO_VERSION: u32 = 3;
+
+/// Oldest client version the server still accepts. The v2 and v3 Hello
+/// bodies are identical (v3 only adds opcodes), so a v2 client
+/// negotiates v2 and simply never sends a streaming op.
+pub const PROTO_VERSION_MIN: u32 = 2;
+
+/// Segment size the client uses on the v3 streaming path. Small enough
+/// that both ends hold O(MiB), large enough that framing overhead
+/// (12 B + one CRC pass per segment) is noise.
+pub const STREAM_SEGMENT_BYTES: usize = 2 << 20;
+
+/// Hard cap on a single streamed segment, enforced by the receiver on
+/// both ends: bounds the per-segment allocation a peer can trigger
+/// independently of [`MAX_FRAME_LEN`].
+pub const MAX_STREAM_SEGMENT: usize = 4 << 20;
 
 /// [`Request::Hello`] flag: the connection wants the namespace's writer
 /// lease (granted in [`Response::HelloOk`], or the handshake fails with
@@ -361,6 +410,40 @@ pub enum Request {
     /// Release the connection's writer lease (clean writer exit; an
     /// expired lease releases itself).
     LeaseRelease,
+    /// v3: fetch one chunk as a stream ([`Response::StreamBegin`], then
+    /// [`Response::StreamData`] segments, then [`Response::StreamEnd`])
+    /// — the path for payloads too large to fit one `Get` frame.
+    GetStream {
+        /// Its reference; both ends verify incrementally.
+        reference: ChunkRef,
+    },
+    /// v3: open a streamed upload of one chunk. Answered by
+    /// [`Response::Ok`] (send the body) or [`Response::StreamEnd`] with
+    /// `fresh: false` (dedup hit — skip the body).
+    PutStreamBegin {
+        /// Content address + exact length of the incoming stream.
+        reference: ChunkRef,
+        /// fsync the staged object before publishing.
+        fsync: bool,
+    },
+    /// v3: one payload segment of an open streamed upload (at most
+    /// [`MAX_STREAM_SEGMENT`] bytes); acknowledged with
+    /// [`Response::Ok`] once staged.
+    PutStreamData(Vec<u8>),
+    /// v3: end of a streamed upload; the server verifies the
+    /// accumulated length + SHA and commits, answering
+    /// [`Response::StreamEnd`].
+    PutStreamEnd,
+    /// v3 replication: [`Request::GetStream`] with an explicit
+    /// namespace — a tailing secondary pulling a chunk too large to
+    /// batch into a `ReplChunks` reply. Only honored on a
+    /// [`HELLO_FLAG_REPL`] connection.
+    ReplChunkStream {
+        /// Namespace to read from.
+        namespace: String,
+        /// The wanted chunk.
+        reference: ChunkRef,
+    },
 }
 
 /// A server response frame.
@@ -439,6 +522,22 @@ pub enum Response {
     Promoted {
         /// Generation the daemon now serves under.
         generation: u64,
+    },
+    /// v3: a stream is about to follow; carries the total payload
+    /// length (which the receiver checks against the reference).
+    StreamBegin {
+        /// Total payload bytes the stream will carry.
+        len: u64,
+    },
+    /// v3: one payload segment of an open stream (at most
+    /// [`MAX_STREAM_SEGMENT`] bytes).
+    StreamData(Vec<u8>),
+    /// v3: a stream completed and verified. For `PUT_STREAM`, `fresh`
+    /// mirrors [`BatchPutReport::fresh`] (`false` = dedup hit); for
+    /// `GET_STREAM` it is always `true`.
+    StreamEnd {
+        /// Whether a new object was physically written.
+        fresh: bool,
     },
     /// The request was received and failed; never retried by the client.
     Err {
@@ -549,6 +648,12 @@ const OP_REPL_CHUNKS: u8 = 19;
 const OP_REPL_ACK: u8 = 20;
 const OP_PROMOTE: u8 = 21;
 const OP_LEASE_RELEASE: u8 = 22;
+// v3 streaming ops.
+const OP_GET_STREAM: u8 = 23;
+const OP_PUT_STREAM_BEGIN: u8 = 24;
+const OP_PUT_STREAM_DATA: u8 = 25;
+const OP_PUT_STREAM_END: u8 = 26;
+const OP_REPL_CHUNK_STREAM: u8 = 27;
 
 const RESP_HELLO_OK: u8 = 0x80;
 const RESP_PONG: u8 = 0x81;
@@ -567,6 +672,10 @@ const RESP_REPL_STATUS: u8 = 0x8D;
 const RESP_REPL_ENTRIES: u8 = 0x8E;
 const RESP_CHUNKS: u8 = 0x8F;
 const RESP_PROMOTED: u8 = 0x90;
+// v3 streaming responses.
+const RESP_STREAM_BEGIN: u8 = 0x91;
+const RESP_STREAM_DATA: u8 = 0x92;
+const RESP_STREAM_END: u8 = 0x93;
 const RESP_ERR: u8 = 0xFF;
 
 fn put_hashes(enc: &mut Encoder, hashes: &[ContentHash]) {
@@ -738,6 +847,32 @@ impl Request {
             Request::LeaseRelease => {
                 enc.put_u8(OP_LEASE_RELEASE);
             }
+            Request::GetStream { reference } => {
+                enc.put_u8(OP_GET_STREAM)
+                    .put_raw(&reference.hash.0)
+                    .put_u32(reference.len);
+            }
+            Request::PutStreamBegin { reference, fsync } => {
+                enc.put_u8(OP_PUT_STREAM_BEGIN)
+                    .put_raw(&reference.hash.0)
+                    .put_u32(reference.len)
+                    .put_u8(u8::from(*fsync));
+            }
+            Request::PutStreamData(data) => {
+                enc.put_u8(OP_PUT_STREAM_DATA).put_bytes(data);
+            }
+            Request::PutStreamEnd => {
+                enc.put_u8(OP_PUT_STREAM_END);
+            }
+            Request::ReplChunkStream {
+                namespace,
+                reference,
+            } => {
+                enc.put_u8(OP_REPL_CHUNK_STREAM)
+                    .put_str(namespace)
+                    .put_raw(&reference.hash.0)
+                    .put_u32(reference.len);
+            }
         }
         enc.into_bytes()
     }
@@ -878,6 +1013,56 @@ impl Request {
             },
             OP_PROMOTE => Request::Promote,
             OP_LEASE_RELEASE => Request::LeaseRelease,
+            OP_GET_STREAM => {
+                let raw = dec.get_raw(32)?;
+                let mut h = [0u8; 32];
+                h.copy_from_slice(raw);
+                Request::GetStream {
+                    reference: ChunkRef {
+                        hash: ContentHash(h),
+                        len: dec.get_u32()?,
+                    },
+                }
+            }
+            OP_PUT_STREAM_BEGIN => {
+                let raw = dec.get_raw(32)?;
+                let mut h = [0u8; 32];
+                h.copy_from_slice(raw);
+                Request::PutStreamBegin {
+                    reference: ChunkRef {
+                        hash: ContentHash(h),
+                        len: dec.get_u32()?,
+                    },
+                    fsync: dec.get_u8()? != 0,
+                }
+            }
+            OP_PUT_STREAM_DATA => {
+                let data = dec.get_bytes()?;
+                if data.len() > MAX_STREAM_SEGMENT {
+                    return Err(Error::protocol(
+                        "decoding stream segment",
+                        format!(
+                            "segment of {} B exceeds {MAX_STREAM_SEGMENT} B cap",
+                            data.len()
+                        ),
+                    ));
+                }
+                Request::PutStreamData(data)
+            }
+            OP_PUT_STREAM_END => Request::PutStreamEnd,
+            OP_REPL_CHUNK_STREAM => {
+                let namespace = dec.get_str()?;
+                let raw = dec.get_raw(32)?;
+                let mut h = [0u8; 32];
+                h.copy_from_slice(raw);
+                Request::ReplChunkStream {
+                    namespace,
+                    reference: ChunkRef {
+                        hash: ContentHash(h),
+                        len: dec.get_u32()?,
+                    },
+                }
+            }
             other => {
                 return Err(Error::protocol(
                     "decoding request",
@@ -1031,6 +1216,15 @@ impl Response {
             }
             Response::Promoted { generation } => {
                 enc.put_u8(RESP_PROMOTED).put_u64(*generation);
+            }
+            Response::StreamBegin { len } => {
+                enc.put_u8(RESP_STREAM_BEGIN).put_u64(*len);
+            }
+            Response::StreamData(data) => {
+                enc.put_u8(RESP_STREAM_DATA).put_bytes(data);
+            }
+            Response::StreamEnd { fresh } => {
+                enc.put_u8(RESP_STREAM_END).put_u8(u8::from(*fresh));
             }
             Response::Err { code, message } => {
                 enc.put_u8(RESP_ERR).put_u8(*code).put_str(message);
@@ -1215,6 +1409,25 @@ impl Response {
             RESP_PROMOTED => Response::Promoted {
                 generation: dec.get_u64()?,
             },
+            RESP_STREAM_BEGIN => Response::StreamBegin {
+                len: dec.get_u64()?,
+            },
+            RESP_STREAM_DATA => {
+                let data = dec.get_bytes()?;
+                if data.len() > MAX_STREAM_SEGMENT {
+                    return Err(Error::protocol(
+                        "decoding stream segment",
+                        format!(
+                            "segment of {} B exceeds {MAX_STREAM_SEGMENT} B cap",
+                            data.len()
+                        ),
+                    ));
+                }
+                Response::StreamData(data)
+            }
+            RESP_STREAM_END => Response::StreamEnd {
+                fresh: dec.get_u8()? != 0,
+            },
             RESP_ERR => Response::Err {
                 code: dec.get_u8()?,
                 message: dec.get_str()?,
@@ -1384,6 +1597,38 @@ mod tests {
         });
         round_trip_request(Request::Promote);
         round_trip_request(Request::LeaseRelease);
+        round_trip_request(Request::GetStream {
+            reference: ChunkRef { hash: h, len: 9 },
+        });
+        round_trip_request(Request::PutStreamBegin {
+            reference: ChunkRef {
+                hash: h,
+                len: 1 << 30,
+            },
+            fsync: true,
+        });
+        round_trip_request(Request::PutStreamData(vec![42; 1024]));
+        round_trip_request(Request::PutStreamEnd);
+        round_trip_request(Request::ReplChunkStream {
+            namespace: "run-1".into(),
+            reference: ChunkRef { hash: h, len: 9 },
+        });
+    }
+
+    /// A streamed segment above the per-segment cap is refused at decode
+    /// time on both directions — the receiver's allocation bound.
+    #[test]
+    fn oversized_stream_segments_are_rejected() {
+        let req = Request::PutStreamData(vec![0; MAX_STREAM_SEGMENT + 1]);
+        assert!(matches!(
+            Request::decode(&req.encode()),
+            Err(Error::Protocol { .. })
+        ));
+        let resp = Response::StreamData(vec![0; MAX_STREAM_SEGMENT + 1]);
+        assert!(matches!(
+            Response::decode(&resp.encode()),
+            Err(Error::Protocol { .. })
+        ));
     }
 
     /// A v1 Hello (version + namespace, nothing else) must still decode
@@ -1497,6 +1742,10 @@ mod tests {
             None,
         ]));
         round_trip_response(Response::Promoted { generation: 11 });
+        round_trip_response(Response::StreamBegin { len: 5 << 30 });
+        round_trip_response(Response::StreamData(vec![7; 2048]));
+        round_trip_response(Response::StreamEnd { fresh: true });
+        round_trip_response(Response::StreamEnd { fresh: false });
         round_trip_response(Response::Err {
             code: ErrCode::NotFound as u8,
             message: "nope".into(),

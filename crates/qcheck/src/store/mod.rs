@@ -319,6 +319,72 @@ pub trait ObjectStore: std::fmt::Debug + Send + Sync {
         Ok(())
     }
 
+    /// Streams one verified chunk to `sink` in segments of at most
+    /// `segment` bytes, holding O(segment) memory regardless of chunk
+    /// size. The backend hashes incrementally as it reads; `sink` may
+    /// therefore observe a *prefix* of a corrupt object before the final
+    /// length/SHA check fails — callers that forward the segments (the
+    /// streaming wire) surface the trailing error instead of a
+    /// completion marker, and the far end discards.
+    ///
+    /// The default implementation materializes via [`ObjectStore::get`]
+    /// and slices; the loose and pack backends override it with true
+    /// bounded-memory file reads.
+    ///
+    /// # Errors
+    ///
+    /// As [`ObjectStore::get`], plus any error returned by `sink`
+    /// (propagated verbatim, aborting the stream).
+    fn get_stream(
+        &self,
+        reference: &ChunkRef,
+        segment: usize,
+        sink: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        let data = self.get(reference)?;
+        for part in data.chunks(segment.max(1)) {
+            sink(part)?;
+        }
+        Ok(())
+    }
+
+    /// Streams one chunk *in* from `source` (a pull-style segment
+    /// iterator: `Ok(Some(bytes))` per segment, `Ok(None)` at end),
+    /// verifying length and SHA-256 incrementally before commit. Returns
+    /// whether a new object was physically written (`false` = dedup
+    /// hit). The source is always consumed to exhaustion — even on a
+    /// dedup hit — so wire-backed callers keep their framing aligned.
+    ///
+    /// The default implementation buffers and delegates to
+    /// [`ObjectStore::put_batch`]; the loose and pack backends override
+    /// it to stage segments straight to disk in O(segment) memory.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] when the streamed bytes do not match
+    /// `reference` (nothing is committed), otherwise filesystem or
+    /// `source` errors.
+    fn put_stream(
+        &self,
+        reference: &ChunkRef,
+        source: &mut dyn FnMut() -> Result<Option<Vec<u8>>>,
+        fsync: bool,
+    ) -> Result<bool> {
+        let mut data = Vec::new();
+        while let Some(seg) = source()? {
+            data.extend_from_slice(&seg);
+        }
+        verify_chunk(reference, &data)?;
+        let report = self.put_batch(
+            &[StagedChunk {
+                reference: *reference,
+                data: &data,
+            }],
+            fsync,
+        )?;
+        Ok(report.fresh[0])
+    }
+
     /// Stores one chunk. Convenience wrapper over [`ObjectStore::put_batch`]
     /// returning the reference and whether a new object was physically
     /// written (`false` = dedup hit).
@@ -641,6 +707,24 @@ impl ObjectStore for StoreBackend {
 
     fn clear_staging(&self) -> Result<usize> {
         delegate!(self, s => s.clear_staging())
+    }
+
+    fn get_stream(
+        &self,
+        reference: &ChunkRef,
+        segment: usize,
+        sink: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        delegate!(self, s => s.get_stream(reference, segment, sink))
+    }
+
+    fn put_stream(
+        &self,
+        reference: &ChunkRef,
+        source: &mut dyn FnMut() -> Result<Option<Vec<u8>>>,
+        fsync: bool,
+    ) -> Result<bool> {
+        delegate!(self, s => s.put_stream(reference, source, fsync))
     }
 
     fn is_shared(&self) -> bool {

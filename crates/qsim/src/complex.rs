@@ -22,11 +22,37 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,
     /// Imaginary part.
     pub im: f64,
+}
+
+// Layout contract behind `flatten`/`flatten_mut`: a `Complex64` is exactly
+// two packed `f64`s.
+const _: () = assert!(std::mem::size_of::<Complex64>() == 2 * std::mem::size_of::<f64>());
+const _: () = assert!(std::mem::align_of::<Complex64>() == std::mem::align_of::<f64>());
+
+impl Complex64 {
+    /// Reinterprets amplitudes as the flattened `[re, im, re, im, …]`
+    /// layout the `qsimd` kernels operate on.
+    #[allow(unsafe_code)]
+    pub(crate) fn flatten(xs: &[Complex64]) -> &[f64] {
+        // SAFETY: `Complex64` is `#[repr(C)]` with exactly two `f64`
+        // fields (layout pinned by the const asserts above) and `f64` has
+        // no invalid bit patterns.
+        unsafe { std::slice::from_raw_parts(xs.as_ptr().cast(), xs.len() * 2) }
+    }
+
+    /// Mutable variant of [`Complex64::flatten`].
+    #[allow(unsafe_code)]
+    pub(crate) fn flatten_mut(xs: &mut [Complex64]) -> &mut [f64] {
+        // SAFETY: see `flatten`; every bit pattern written through the
+        // `f64` view is a valid `Complex64`.
+        unsafe { std::slice::from_raw_parts_mut(xs.as_mut_ptr().cast(), xs.len() * 2) }
+    }
 }
 
 impl Complex64 {

@@ -72,7 +72,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Deny rather than forbid: `complex::Complex64::{flatten, flatten_mut}`
+// carry the crate's single `#[allow(unsafe_code)]` — a layout-asserted
+// reinterpret of `&[Complex64]` as `&[f64]` for the `qsimd` kernels. All
+// actual intrinsics live in the `qsimd` shim crate.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod circuit;

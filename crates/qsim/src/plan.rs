@@ -237,11 +237,12 @@ impl BoundGate {
     }
 
     /// Applies the gate to one contiguous region made of whole pair/quad
-    /// blocks (a cache tile).
-    fn run_region(&self, region: &mut [Complex64]) {
+    /// blocks (a cache tile). `lvl` is the SIMD level the executor
+    /// resolved on the calling thread before fanning out.
+    fn run_region(&self, lvl: qsimd::Level, region: &mut [Complex64]) {
         match self {
-            BoundGate::One { q, kernel, m } => kernel.run_region(m, region, 1usize << q),
-            BoundGate::Two { qa, qb, kernel, m } => kernel.run_region4(m, region, *qa, *qb),
+            BoundGate::One { q, kernel, m } => kernel.run_region(lvl, m, region, 1usize << q),
+            BoundGate::Two { qa, qb, kernel, m } => kernel.run_region4(lvl, m, region, *qa, *qb),
         }
     }
 }
@@ -642,6 +643,10 @@ impl BoundPlan<'_> {
         let amps = state.amplitudes_mut();
         let n = amps.len();
         let tile = (1usize << self.plan.tile_qubits).min(n);
+        // SIMD level resolved here, on the calling thread, before any
+        // fan-out — pool workers cannot see the caller's thread-local
+        // override.
+        let lvl = qsimd::active();
         let threads = if n < PARALLEL_MIN_AMPS {
             1
         } else {
@@ -650,7 +655,7 @@ impl BoundPlan<'_> {
         let n_tiles = n / tile;
         if threads <= 1 || n_tiles <= 1 {
             for region in amps.chunks_mut(tile) {
-                run_block_region(gates, region, tile);
+                run_block_region(gates, region, tile, lvl);
             }
             return;
         }
@@ -665,7 +670,7 @@ impl BoundPlan<'_> {
             let block: Arc<Vec<BoundGate>> = Arc::new(gates.to_vec());
             let stripes: Vec<Vec<Complex64>> = amps.chunks(stripe).map(<[_]>::to_vec).collect();
             let parts = qpar::map_owned(threads, stripes, move |mut part| {
-                run_block_region(&block, &mut part, tile);
+                run_block_region(&block, &mut part, tile, lvl);
                 part
             });
             let mut offset = 0;
@@ -676,17 +681,17 @@ impl BoundPlan<'_> {
         } else {
             let items: Vec<&mut [Complex64]> = amps.chunks_mut(stripe).collect();
             qpar::for_each_threads(threads, items, |chunk| {
-                run_block_region(gates, chunk, tile);
+                run_block_region(gates, chunk, tile, lvl);
             });
         }
     }
 }
 
 /// Applies all gates of a block to a contiguous region, tile by tile.
-fn run_block_region(gates: &[BoundGate], region: &mut [Complex64], tile: usize) {
+fn run_block_region(gates: &[BoundGate], region: &mut [Complex64], tile: usize, lvl: qsimd::Level) {
     for tile_region in region.chunks_mut(tile) {
         for gate in gates {
-            gate.run_region(tile_region);
+            gate.run_region(lvl, tile_region);
         }
     }
 }

@@ -3,7 +3,17 @@
 //! A [`StateVector`] over `n` qubits stores all `2^n` complex amplitudes.
 //! Basis states are indexed little-endian: qubit 0 is the least significant
 //! bit of the index. Gate application is performed in place with bit-mask
-//! kernels; no `unsafe` code is used.
+//! kernels.
+//!
+//! ## SIMD dispatch
+//!
+//! Contiguous-slice kernels and the sum-of-squares reductions run through
+//! the explicit-SIMD primitives in `qsimd` (`QSIM_SIMD` selects the level;
+//! scalar is the bit-exactness oracle — see the `qsimd` crate docs). The
+//! level is resolved **once per gate application on the calling thread**
+//! and passed explicitly into every kernel, so pool worker threads — which
+//! cannot see a caller's thread-local override — always run the level the
+//! caller chose.
 //!
 //! ## Kernel structure & threading
 //!
@@ -26,6 +36,9 @@
 //! [`SUM_STRIPES`] *fixed* index ranges, combined in index order. The
 //! stripe layout depends only on the input length — never on the thread
 //! count — so reduction results are also identical for every thread count.
+//! Sum-of-squares reductions accumulate into `qsimd`'s canonical four-lane
+//! structure within each stripe (see [`qsimd::accumulate_sq`]), which is
+//! likewise independent of both the thread count and the SIMD level.
 
 use serde::{Deserialize, Serialize};
 
@@ -39,8 +52,7 @@ pub const PARALLEL_MIN_AMPS: usize = 1 << 14;
 
 /// Minimum amplitude count before reductions use the fixed striped
 /// partition (kept deliberately high: striping changes summation grouping
-/// relative to the plain serial fold, so small states keep the historical
-/// result exactly).
+/// relative to the single whole-array accumulation small states use).
 pub const STRIPED_SUM_MIN_AMPS: usize = 1 << 15;
 
 /// Fixed stripe count for striped reductions. Independent of the thread
@@ -346,9 +358,12 @@ impl StateVector {
     /// (the execution-plan layer classifies once at bind time).
     pub(crate) fn apply_matrix2_with(&mut self, kernel: Kernel2, m: &Matrix2, q: usize) {
         let bit = 1usize << q;
+        // Resolved here, on the calling thread, before any fan-out: pool
+        // workers cannot see the caller's thread-local SIMD override.
+        let lvl = qsimd::active();
         let threads = kernel_threads(self.amplitudes.len());
         if threads <= 1 {
-            kernel.run_region(m, &mut self.amplitudes, bit);
+            kernel.run_region(lvl, m, &mut self.amplitudes, bit);
             return;
         }
         let blocks = self.amplitudes.len() / (bit << 1);
@@ -358,7 +373,9 @@ impl StateVector {
             let per = blocks.div_ceil(threads * 4).max(1);
             let items: Vec<&mut [Complex64]> =
                 self.amplitudes.chunks_mut(per * (bit << 1)).collect();
-            qpar::for_each_threads(threads, items, |chunk| kernel.run_region(m, chunk, bit));
+            qpar::for_each_threads(threads, items, |chunk| {
+                kernel.run_region(lvl, m, chunk, bit)
+            });
             return;
         }
         // High target qubit: few blocks, each with a long pair run —
@@ -370,7 +387,7 @@ impl StateVector {
             let (lo, hi) = block.split_at_mut(bit);
             items.extend(lo.chunks_mut(sub).zip(hi.chunks_mut(sub)));
         }
-        qpar::for_each_threads(threads, items, |(lo, hi)| kernel.run(m, lo, hi));
+        qpar::for_each_threads(threads, items, |(lo, hi)| kernel.run(lvl, m, lo, hi));
     }
 
     /// Applies an arbitrary 4×4 unitary to qubits `(qa, qb)` in place.
@@ -400,10 +417,12 @@ impl StateVector {
         // split again at blo: when qa is the lower qubit the four slices map
         // to (a00, a01, a10, a11); otherwise a01/a10 swap roles.
         let qa_is_low = ba < bb;
+        // Resolved pre-fan-out on the calling thread (see apply_matrix2_with).
+        let lvl = qsimd::active();
         let threads = kernel_threads(self.amplitudes.len());
         let blocks = self.amplitudes.len() / (bhi << 1);
         if threads <= 1 {
-            kernel.run_region4(m, &mut self.amplitudes, qa, qb);
+            kernel.run_region4(lvl, m, &mut self.amplitudes, qa, qb);
             return;
         }
         if blocks >= threads * 2 {
@@ -413,7 +432,7 @@ impl StateVector {
             let items: Vec<&mut [Complex64]> =
                 self.amplitudes.chunks_mut(per * (bhi << 1)).collect();
             qpar::for_each_threads(threads, items, |chunk| {
-                kernel.run_region4(m, chunk, qa, qb);
+                kernel.run_region4(lvl, m, chunk, qa, qb);
             });
             return;
         }
@@ -427,7 +446,7 @@ impl StateVector {
             items.extend(pa.chunks_mut(piece).zip(pb.chunks_mut(piece)));
         }
         qpar::for_each_threads(threads, items, |(pa, pb)| {
-            kernel.run_aligned(m, qa_is_low, blo, pa, pb)
+            kernel.run_aligned(lvl, m, qa_is_low, blo, pa, pb)
         });
     }
 
@@ -440,20 +459,17 @@ impl StateVector {
         self.check_qubit(q)?;
         let bit = 1usize << q;
         let n = self.amplitudes.len();
+        let lvl = qsimd::active();
         if n < STRIPED_SUM_MIN_AMPS {
-            return Ok(self
-                .amplitudes
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i & bit != 0)
-                .map(|(_, a)| a.norm_sqr())
-                .sum());
+            let mut lanes = [0.0f64; 4];
+            accumulate_masked_sq(lvl, &mut lanes, &self.amplitudes, bit, 0..n);
+            return Ok(qsimd::combine_lanes(lanes));
         }
         let amps = &self.amplitudes;
         let partials = qpar::map(qpar::ranges(n, SUM_STRIPES), |r| {
-            r.filter(|i| i & bit != 0)
-                .map(|i| amps[i].norm_sqr())
-                .sum::<f64>()
+            let mut lanes = [0.0f64; 4];
+            accumulate_masked_sq(lvl, &mut lanes, amps, bit, r);
+            qsimd::combine_lanes(lanes)
         });
         Ok(partials.into_iter().sum())
     }
@@ -531,6 +547,31 @@ const INDEX_KERNEL_MAX_STRIDE: usize = 32;
 /// overhead exceeds the win and the flat indexed path is faster.
 const ALIGNED_KERNEL_MIN_STRIDE: usize = 32;
 
+/// Row-major flattening of a 2×2 complex matrix for the `qsimd` kernels.
+fn flat2(m: &Matrix2) -> [f64; 8] {
+    [
+        m[0][0].re, m[0][0].im, m[0][1].re, m[0][1].im, m[1][0].re, m[1][0].im, m[1][1].re,
+        m[1][1].im,
+    ]
+}
+
+/// Real parts of a 2×2 matrix known to be all-real (`Kernel2::RealDense`).
+fn flat2_real(m: &Matrix2) -> [f64; 4] {
+    [m[0][0].re, m[0][1].re, m[1][0].re, m[1][1].re]
+}
+
+/// Row-major flattening of a 4×4 complex matrix for the `qsimd` kernels.
+fn flat4(m: &Matrix4) -> [f64; 32] {
+    let mut out = [0.0f64; 32];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[(4 * r + c) * 2] = m[r][c].re;
+            out[(4 * r + c) * 2 + 1] = m[r][c].im;
+        }
+    }
+    out
+}
+
 /// Threads a gate kernel over `len` amplitudes may use: 1 below the
 /// fan-out threshold, the ambient [`qpar::current_threads`] otherwise.
 fn kernel_threads(len: usize) -> usize {
@@ -543,14 +584,45 @@ fn kernel_threads(len: usize) -> usize {
 
 /// Sum of `|a|²` with the fixed striped partition above
 /// [`STRIPED_SUM_MIN_AMPS`] (see the module docs' determinism contract).
+/// Each stripe accumulates into `qsimd`'s canonical four-lane structure,
+/// so the result is identical at every SIMD level and thread count.
 fn norm_sqr_sum(amps: &[Complex64]) -> f64 {
+    let lvl = qsimd::active();
     if amps.len() < STRIPED_SUM_MIN_AMPS {
-        return amps.iter().map(|a| a.norm_sqr()).sum();
+        let mut lanes = [0.0f64; 4];
+        qsimd::accumulate_sq(lvl, &mut lanes, Complex64::flatten(amps));
+        return qsimd::combine_lanes(lanes);
     }
     let partials = qpar::map(qpar::ranges(amps.len(), SUM_STRIPES), |r| {
-        amps[r].iter().map(|a| a.norm_sqr()).sum::<f64>()
+        let mut lanes = [0.0f64; 4];
+        qsimd::accumulate_sq(lvl, &mut lanes, Complex64::flatten(&amps[r]));
+        qsimd::combine_lanes(lanes)
     });
     partials.into_iter().sum()
+}
+
+/// Accumulates `|a|²` of the amplitudes in `range` whose basis index has
+/// `bit` set. Accepted indices form contiguous runs `[base|bit, base+2·bit)`;
+/// each run feeds [`qsimd::accumulate_sq`] with the lane phase restarting
+/// at the run boundary, so the result depends only on `(range, bit)` —
+/// never on the thread count or SIMD level.
+fn accumulate_masked_sq(
+    lvl: qsimd::Level,
+    lanes: &mut [f64; 4],
+    amps: &[Complex64],
+    bit: usize,
+    range: std::ops::Range<usize>,
+) {
+    let block = bit << 1;
+    let mut base = range.start & !(block - 1);
+    while base < range.end {
+        let run_start = (base | bit).max(range.start);
+        let run_end = (base + block).min(range.end);
+        if run_start < run_end {
+            qsimd::accumulate_sq(lvl, lanes, Complex64::flatten(&amps[run_start..run_end]));
+        }
+        base += block;
+    }
 }
 
 /// Structural classification of a 2×2 gate matrix, picked once per gate
@@ -593,7 +665,13 @@ impl Kernel2 {
     /// Every pair update is independent, so applying the kernel region by
     /// region (the plan executor's cache-sized tiles) is bit-identical to
     /// one whole-array pass.
-    pub(crate) fn run_region(self, m: &Matrix2, amps: &mut [Complex64], bit: usize) {
+    pub(crate) fn run_region(
+        self,
+        lvl: qsimd::Level,
+        m: &Matrix2,
+        amps: &mut [Complex64],
+        bit: usize,
+    ) {
         // Short strides: strided index loops beat degenerate 1–2 element
         // sub-slices. Pair base indices come in contiguous runs of `bit`
         // stepping by `2·bit` — the contiguous inner loop is what the
@@ -615,31 +693,18 @@ impl Kernel2 {
         }
         if bit < INDEX_KERNEL_MAX_STRIDE && (bit <= 2 || matches!(self, Kernel2::Diag)) {
             if bit == 1 && !matches!(self, Kernel2::Diag) {
-                // Adjacent pairs: slice-pattern destructuring removes all
-                // bounds checks and index bookkeeping.
+                // Adjacent pairs: the whole region is back-to-back
+                // (a0, a1) pairs — the `qsimd` interleaved kernels.
                 match self {
                     Kernel2::RealDense => {
-                        let (m00, m01) = (m[0][0].re, m[0][1].re);
-                        let (m10, m11) = (m[1][0].re, m[1][1].re);
-                        for block in amps.chunks_exact_mut(2) {
-                            if let [a, b] = block {
-                                let (a0r, a0i, a1r, a1i) = (a.re, a.im, b.re, b.im);
-                                a.re = m00 * a0r + m01 * a1r;
-                                a.im = m00 * a0i + m01 * a1i;
-                                b.re = m10 * a0r + m11 * a1r;
-                                b.im = m10 * a0i + m11 * a1i;
-                            }
-                        }
+                        qsimd::apply2_adjacent_real(
+                            lvl,
+                            &flat2_real(m),
+                            Complex64::flatten_mut(amps),
+                        );
                     }
                     _ => {
-                        for block in amps.chunks_exact_mut(2) {
-                            if let [a, b] = block {
-                                let a0 = *a;
-                                let a1 = *b;
-                                *a = m[0][0] * a0 + m[0][1] * a1;
-                                *b = m[1][0] * a0 + m[1][1] * a1;
-                            }
-                        }
+                        qsimd::apply2_adjacent(lvl, &flat2(m), Complex64::flatten_mut(amps));
                     }
                 }
                 return;
@@ -702,51 +767,46 @@ impl Kernel2 {
         }
         for block in amps.chunks_mut(bit << 1) {
             let (lo, hi) = block.split_at_mut(bit);
-            self.run(m, lo, hi);
+            self.run(lvl, m, lo, hi);
         }
     }
 
     /// Applies the kernel to one pair run: `lo[k]` holds the amplitude with
-    /// the target bit clear, `hi[k]` the partner with it set.
-    fn run(self, m: &Matrix2, lo: &mut [Complex64], hi: &mut [Complex64]) {
+    /// the target bit clear, `hi[k]` the partner with it set. The slice
+    /// arms dispatch through `qsimd` (the scalar level reproduces the
+    /// historical flattened loops operation for operation).
+    fn run(self, lvl: qsimd::Level, m: &Matrix2, lo: &mut [Complex64], hi: &mut [Complex64]) {
         match self {
             Kernel2::Dense => {
-                // Complex arithmetic flattened to scalar f64 ops in the
-                // exact order of the `Complex64` operators (bit-exact);
-                // the flat form is what the auto-vectorizer digests.
-                let (m00r, m00i) = (m[0][0].re, m[0][0].im);
-                let (m01r, m01i) = (m[0][1].re, m[0][1].im);
-                let (m10r, m10i) = (m[1][0].re, m[1][0].im);
-                let (m11r, m11i) = (m[1][1].re, m[1][1].im);
-                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                    let (a0r, a0i, a1r, a1i) = (a.re, a.im, b.re, b.im);
-                    a.re = (m00r * a0r - m00i * a0i) + (m01r * a1r - m01i * a1i);
-                    a.im = (m00r * a0i + m00i * a0r) + (m01r * a1i + m01i * a1r);
-                    b.re = (m10r * a0r - m10i * a0i) + (m11r * a1r - m11i * a1i);
-                    b.im = (m10r * a0i + m10i * a0r) + (m11r * a1i + m11i * a1r);
-                }
+                qsimd::apply2_dense(
+                    lvl,
+                    &flat2(m),
+                    Complex64::flatten_mut(lo),
+                    Complex64::flatten_mut(hi),
+                );
             }
             Kernel2::RealDense => {
-                let (m00, m01) = (m[0][0].re, m[0][1].re);
-                let (m10, m11) = (m[1][0].re, m[1][1].re);
-                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                    let (a0r, a0i, a1r, a1i) = (a.re, a.im, b.re, b.im);
-                    a.re = m00 * a0r + m01 * a1r;
-                    a.im = m00 * a0i + m01 * a1i;
-                    b.re = m10 * a0r + m11 * a1r;
-                    b.im = m10 * a0i + m11 * a1i;
-                }
+                qsimd::apply2_real(
+                    lvl,
+                    &flat2_real(m),
+                    Complex64::flatten_mut(lo),
+                    Complex64::flatten_mut(hi),
+                );
             }
             Kernel2::Diag => {
-                scale_slice(lo, m[0][0]);
-                scale_slice(hi, m[1][1]);
+                scale_slice(lvl, lo, m[0][0]);
+                scale_slice(lvl, hi, m[1][1]);
             }
             Kernel2::Anti => {
-                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                    let a0 = *a;
-                    *a = m[0][1] * *b;
-                    *b = m[1][0] * a0;
-                }
+                // `(lo, hi) ← (m01·hi, m10·lo)` is exactly the scaled-swap
+                // primitive.
+                qsimd::swap_scale(
+                    lvl,
+                    Complex64::flatten_mut(lo),
+                    Complex64::flatten_mut(hi),
+                    (m[0][1].re, m[0][1].im),
+                    (m[1][0].re, m[1][0].im),
+                );
             }
         }
     }
@@ -773,38 +833,34 @@ fn pick_two<'s>(
 }
 
 /// `(si[k], sj[k]) ← (ci·sj[k], cj·si[k])` — the transposition kernel body.
-fn swap_scaled(si: &mut [Complex64], sj: &mut [Complex64], ci: Complex64, cj: Complex64) {
+fn swap_scaled(
+    lvl: qsimd::Level,
+    si: &mut [Complex64],
+    sj: &mut [Complex64],
+    ci: Complex64,
+    cj: Complex64,
+) {
     let one = Complex64::ONE;
     if ci == one && cj == one {
         si.swap_with_slice(sj);
         return;
     }
-    // Flattened complex products in `Complex64::mul` op order (bit-exact).
-    let (cir, cii) = (ci.re, ci.im);
-    let (cjr, cji) = (cj.re, cj.im);
-    for (x, y) in si.iter_mut().zip(sj.iter_mut()) {
-        let (tr, ti) = (x.re, x.im);
-        let (yr, yi) = (y.re, y.im);
-        x.re = cir * yr - cii * yi;
-        x.im = cir * yi + cii * yr;
-        y.re = cjr * tr - cji * ti;
-        y.im = cjr * ti + cji * tr;
-    }
+    qsimd::swap_scale(
+        lvl,
+        Complex64::flatten_mut(si),
+        Complex64::flatten_mut(sj),
+        (ci.re, ci.im),
+        (cj.re, cj.im),
+    );
 }
 
 /// Multiplies a slice by a scalar, skipping the exact-identity scalar
 /// (`S`/`T`/`Cphase`-style gates leave most amplitudes untouched).
-fn scale_slice(xs: &mut [Complex64], c: Complex64) {
+fn scale_slice(lvl: qsimd::Level, xs: &mut [Complex64], c: Complex64) {
     if c == Complex64::ONE {
         return;
     }
-    // Flattened complex product in `Complex64::mul` op order (bit-exact).
-    let (cr, ci) = (c.re, c.im);
-    for x in xs.iter_mut() {
-        let (xr, xi) = (x.re, x.im);
-        x.re = cr * xr - ci * xi;
-        x.im = cr * xi + ci * xr;
-    }
+    qsimd::scale(lvl, Complex64::flatten_mut(xs), c.re, c.im);
 }
 
 /// Structural classification of a 4×4 gate matrix.
@@ -900,7 +956,14 @@ impl Kernel4 {
     /// interpreter does. Every quad update is independent, so region-by-
     /// region application (the plan executor's tiles) is bit-identical to
     /// one whole-array pass.
-    pub(crate) fn run_region4(self, m: &Matrix4, amps: &mut [Complex64], qa: usize, qb: usize) {
+    pub(crate) fn run_region4(
+        self,
+        lvl: qsimd::Level,
+        m: &Matrix4,
+        amps: &mut [Complex64],
+        qa: usize,
+        qb: usize,
+    ) {
         let ba = 1usize << qa;
         let bb = 1usize << qb;
         let (blo, bhi) = (ba.min(bb), ba.max(bb));
@@ -910,7 +973,7 @@ impl Kernel4 {
             let qa_is_low = ba < bb;
             for block in amps.chunks_mut(bhi << 1) {
                 let (pa, pb) = block.split_at_mut(bhi);
-                self.run_aligned(m, qa_is_low, blo, pa, pb);
+                self.run_aligned(lvl, m, qa_is_low, blo, pa, pb);
             }
         }
     }
@@ -1165,6 +1228,7 @@ impl Kernel4 {
     /// operand owns the low bit (it decides the `a01`/`a10` roles).
     fn run_aligned(
         self,
+        lvl: qsimd::Level,
         m: &Matrix4,
         qa_is_low: bool,
         blo: usize,
@@ -1179,9 +1243,9 @@ impl Kernel4 {
             let (sa_lo, sa_hi) = sa.split_at_mut(blo);
             let (sb_lo, sb_hi) = sb.split_at_mut(blo);
             if qa_is_low {
-                self.run_quads(m, sa_lo, sa_hi, sb_lo, sb_hi);
+                self.run_quads(lvl, m, sa_lo, sa_hi, sb_lo, sb_hi);
             } else {
-                self.run_quads(m, sa_lo, sb_lo, sa_hi, sb_hi);
+                self.run_quads(lvl, m, sa_lo, sb_lo, sa_hi, sb_hi);
             }
         }
     }
@@ -1318,6 +1382,7 @@ impl Kernel4 {
     /// amplitude with matrix-basis index `yx` (bit 0 = first operand).
     fn run_quads(
         self,
+        lvl: qsimd::Level,
         m: &Matrix4,
         s00: &mut [Complex64],
         s01: &mut [Complex64],
@@ -1326,19 +1391,20 @@ impl Kernel4 {
     ) {
         match self {
             Kernel4::Dense => {
-                for k in 0..s00.len() {
-                    let a = [s00[k], s01[k], s10[k], s11[k]];
-                    s00[k] = m[0][0] * a[0] + m[0][1] * a[1] + m[0][2] * a[2] + m[0][3] * a[3];
-                    s01[k] = m[1][0] * a[0] + m[1][1] * a[1] + m[1][2] * a[2] + m[1][3] * a[3];
-                    s10[k] = m[2][0] * a[0] + m[2][1] * a[1] + m[2][2] * a[2] + m[2][3] * a[3];
-                    s11[k] = m[3][0] * a[0] + m[3][1] * a[1] + m[3][2] * a[2] + m[3][3] * a[3];
-                }
+                qsimd::apply4_dense(
+                    lvl,
+                    &flat4(m),
+                    Complex64::flatten_mut(s00),
+                    Complex64::flatten_mut(s01),
+                    Complex64::flatten_mut(s10),
+                    Complex64::flatten_mut(s11),
+                );
             }
             Kernel4::Diag(d) => {
-                scale_slice(s00, d[0]);
-                scale_slice(s01, d[1]);
-                scale_slice(s10, d[2]);
-                scale_slice(s11, d[3]);
+                scale_slice(lvl, s00, d[0]);
+                scale_slice(lvl, s01, d[1]);
+                scale_slice(lvl, s10, d[2]);
+                scale_slice(lvl, s11, d[3]);
             }
             Kernel4::Transposition {
                 i,
@@ -1351,7 +1417,7 @@ impl Kernel4 {
                 let one = Complex64::ONE;
                 if fixed.iter().all(|c| *c == one) {
                     let (si, sj) = pick_two(i as usize, j as usize, s00, s01, s10, s11);
-                    swap_scaled(si, sj, ci, cj);
+                    swap_scaled(lvl, si, sj, ci, cj);
                     return;
                 }
                 // Scaled rows present: one fused pass over all four slices,

@@ -145,6 +145,50 @@ proptest! {
         }
     }
 
+    /// Every `QSIM_SIMD` level produces bit-identical amplitudes *and*
+    /// bit-identical reductions: the vector kernels in `qsimd` are
+    /// drop-in replacements for the scalar arms, not approximations.
+    /// Forcing `Level::Scalar` via `with_level` must match the detected
+    /// level on both executors and under the pooled fan-out (the level
+    /// is resolved on the calling thread before workers spawn).
+    #[test]
+    fn plan_matches_across_simd_levels((c, params) in arb_plan_circuit()) {
+        let detected = qsimd::detected();
+        let run_at = |level: qsimd::Level| {
+            qsimd::with_level(level, || {
+                for mode in [ExecMode::Interp, ExecMode::Plan] {
+                    let got = with_exec_mode(mode, || {
+                        qpar::with_threads(1, || {
+                            let mut s = StateVector::zero_state(c.num_qubits());
+                            c.run_on(&mut s, &params).unwrap();
+                            (bits(&s), s.norm().to_bits(), s.prob_one(0).unwrap().to_bits())
+                        })
+                    });
+                    let pooled = with_exec_mode(mode, || {
+                        qpar::with_threads(4, || {
+                            qpar::with_pool(true, || {
+                                let mut s = StateVector::zero_state(c.num_qubits());
+                                c.run_on(&mut s, &params).unwrap();
+                                (bits(&s), s.norm().to_bits(), s.prob_one(0).unwrap().to_bits())
+                            })
+                        })
+                    });
+                    assert_eq!(got, pooled, "level={} mode={:?}", level.name(), mode);
+                }
+                with_exec_mode(ExecMode::Plan, || {
+                    qpar::with_threads(2, || {
+                        let mut s = StateVector::zero_state(c.num_qubits());
+                        c.run_on(&mut s, &params).unwrap();
+                        (bits(&s), s.norm().to_bits(), s.prob_one(0).unwrap().to_bits())
+                    })
+                })
+            })
+        };
+        let scalar = run_at(qsimd::Level::Scalar);
+        let native = run_at(detected);
+        prop_assert_eq!(&scalar, &native, "scalar vs {}", detected.name());
+    }
+
     /// A 16-qubit-wide case crosses the parallel kernel thresholds so
     /// the pooled tile executor really fans out.
     #[test]

@@ -1,0 +1,120 @@
+//! Scalar arms — the bit-exactness oracle every vector arm reproduces.
+//!
+//! The flattened expressions here match `qsim`'s historical kernel
+//! bodies operation for operation (which in turn flatten the
+//! `Complex64` operator order), so `QSIM_SIMD=scalar` runs the same
+//! arithmetic the simulator has always run.
+
+pub(crate) fn apply2_dense(m: &[f64; 8], lo: &mut [f64], hi: &mut [f64]) {
+    let [m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i] = *m;
+    for (a, b) in lo.chunks_exact_mut(2).zip(hi.chunks_exact_mut(2)) {
+        let (a0r, a0i, a1r, a1i) = (a[0], a[1], b[0], b[1]);
+        a[0] = (m00r * a0r - m00i * a0i) + (m01r * a1r - m01i * a1i);
+        a[1] = (m00r * a0i + m00i * a0r) + (m01r * a1i + m01i * a1r);
+        b[0] = (m10r * a0r - m10i * a0i) + (m11r * a1r - m11i * a1i);
+        b[1] = (m10r * a0i + m10i * a0r) + (m11r * a1i + m11i * a1r);
+    }
+}
+
+pub(crate) fn apply2_real(m: &[f64; 4], lo: &mut [f64], hi: &mut [f64]) {
+    let [m00, m01, m10, m11] = *m;
+    for (a, b) in lo.chunks_exact_mut(2).zip(hi.chunks_exact_mut(2)) {
+        let (a0r, a0i, a1r, a1i) = (a[0], a[1], b[0], b[1]);
+        a[0] = m00 * a0r + m01 * a1r;
+        a[1] = m00 * a0i + m01 * a1i;
+        b[0] = m10 * a0r + m11 * a1r;
+        b[1] = m10 * a0i + m11 * a1i;
+    }
+}
+
+pub(crate) fn apply2_adjacent(m: &[f64; 8], xs: &mut [f64]) {
+    let [m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i] = *m;
+    for p in xs.chunks_exact_mut(4) {
+        let (a0r, a0i, a1r, a1i) = (p[0], p[1], p[2], p[3]);
+        p[0] = (m00r * a0r - m00i * a0i) + (m01r * a1r - m01i * a1i);
+        p[1] = (m00r * a0i + m00i * a0r) + (m01r * a1i + m01i * a1r);
+        p[2] = (m10r * a0r - m10i * a0i) + (m11r * a1r - m11i * a1i);
+        p[3] = (m10r * a0i + m10i * a0r) + (m11r * a1i + m11i * a1r);
+    }
+}
+
+pub(crate) fn apply2_adjacent_real(m: &[f64; 4], xs: &mut [f64]) {
+    let [m00, m01, m10, m11] = *m;
+    for p in xs.chunks_exact_mut(4) {
+        let (a0r, a0i, a1r, a1i) = (p[0], p[1], p[2], p[3]);
+        p[0] = m00 * a0r + m01 * a1r;
+        p[1] = m00 * a0i + m01 * a1i;
+        p[2] = m10 * a0r + m11 * a1r;
+        p[3] = m10 * a0i + m11 * a1i;
+    }
+}
+
+pub(crate) fn scale(xs: &mut [f64], cr: f64, ci: f64) {
+    for x in xs.chunks_exact_mut(2) {
+        let (xr, xi) = (x[0], x[1]);
+        x[0] = cr * xr - ci * xi;
+        x[1] = cr * xi + ci * xr;
+    }
+}
+
+pub(crate) fn swap_scale(si: &mut [f64], sj: &mut [f64], ci: (f64, f64), cj: (f64, f64)) {
+    let (cir, cii) = ci;
+    let (cjr, cji) = cj;
+    for (x, y) in si.chunks_exact_mut(2).zip(sj.chunks_exact_mut(2)) {
+        let (tr, ti) = (x[0], x[1]);
+        let (yr, yi) = (y[0], y[1]);
+        x[0] = cir * yr - cii * yi;
+        x[1] = cir * yi + cii * yr;
+        y[0] = cjr * tr - cji * ti;
+        y[1] = cjr * ti + cji * tr;
+    }
+}
+
+pub(crate) fn apply4_dense(
+    m: &[f64; 32],
+    s00: &mut [f64],
+    s01: &mut [f64],
+    s10: &mut [f64],
+    s11: &mut [f64],
+) {
+    // Row-major complex 4×4: row r, column c at m[(4r + c) * 2].
+    for k in (0..s00.len()).step_by(2) {
+        let a = [
+            (s00[k], s00[k + 1]),
+            (s01[k], s01[k + 1]),
+            (s10[k], s10[k + 1]),
+            (s11[k], s11[k + 1]),
+        ];
+        let mut out = [(0.0f64, 0.0f64); 4];
+        for (r, o) in out.iter_mut().enumerate() {
+            // ((m_r0·a0 + m_r1·a1) + m_r2·a2) + m_r3·a3, each product in
+            // `Complex64::mul` order.
+            let mut acc = (0.0, 0.0);
+            for c in 0..4 {
+                let (mr, mi) = (m[(4 * r + c) * 2], m[(4 * r + c) * 2 + 1]);
+                let (ar, ai) = a[c];
+                let p = (mr * ar - mi * ai, mr * ai + mi * ar);
+                acc = if c == 0 {
+                    p
+                } else {
+                    (acc.0 + p.0, acc.1 + p.1)
+                };
+            }
+            *o = acc;
+        }
+        s00[k] = out[0].0;
+        s00[k + 1] = out[0].1;
+        s01[k] = out[1].0;
+        s01[k + 1] = out[1].1;
+        s10[k] = out[2].0;
+        s10[k + 1] = out[2].1;
+        s11[k] = out[3].0;
+        s11[k + 1] = out[3].1;
+    }
+}
+
+pub(crate) fn accumulate_sq(lanes: &mut [f64; 4], xs: &[f64]) {
+    for (k, x) in xs.iter().enumerate() {
+        lanes[k & 3] += x * x;
+    }
+}

@@ -1,0 +1,123 @@
+//! SHA-256 compression via the x86 SHA extensions.
+//!
+//! One `sha256rnds2` instruction retires two rounds; the message
+//! schedule runs ahead through `sha256msg1`/`sha256msg2`. The register
+//! layout follows the ISA's split of the eight working variables into an
+//! `ABEF` and a `CDGH` half. The output is the exact SHA-256 function —
+//! unlike the float kernels there is no rounding freedom here, so
+//! backend equivalence is byte equality of digests (pinned by the
+//! `qcheck` property suite on random lengths and update offsets).
+
+use core::arch::x86_64::*;
+
+/// The SHA-256 round constants (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Compresses whole 64-byte blocks into `state` (`[a..h]` word order).
+///
+/// # Safety
+///
+/// The caller must have runtime-verified the `sha`, `ssse3` and
+/// `sse4.1` CPU features. `blocks.len()` must be a multiple of 64.
+#[target_feature(enable = "sha,ssse3,sse4.1")]
+pub(crate) unsafe fn compress_blocks_shani(state: &mut [u32; 8], blocks: &[u8]) {
+    // Big-endian → little-endian dword byte shuffle.
+    let mask = _mm_set_epi8(12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3);
+
+    // Pack [a,b,c,d]/[e,f,g,h] into the ABEF/CDGH register halves.
+    let tmp = _mm_shuffle_epi32(_mm_loadu_si128(state.as_ptr().cast()), 0xB1);
+    let st1 = _mm_shuffle_epi32(_mm_loadu_si128(state.as_ptr().add(4).cast()), 0x1B);
+    let mut state0 = _mm_alignr_epi8(tmp, st1, 8);
+    let mut state1 = _mm_blend_epi16(st1, tmp, 0xF0);
+
+    for block in blocks.chunks_exact(64) {
+        let abef = state0;
+        let cdgh = state1;
+        let p: *const __m128i = block.as_ptr().cast();
+        let mut msg0 = _mm_shuffle_epi8(_mm_loadu_si128(p), mask);
+        let mut msg1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(1)), mask);
+        let mut msg2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(2)), mask);
+        let mut msg3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(3)), mask);
+
+        // Four rounds from message group `$i`.
+        macro_rules! rounds4 {
+            ($w:expr, $i:expr) => {{
+                let k = _mm_loadu_si128(K.as_ptr().add(4 * $i).cast());
+                let wk = _mm_add_epi32($w, k);
+                state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+                let wk = _mm_shuffle_epi32(wk, 0x0E);
+                state0 = _mm_sha256rnds2_epu32(state0, state1, wk);
+            }};
+        }
+        // Finish scheduling `$next` (w[t+16..t+20]) from the freshly
+        // consumed group `$w` and its predecessor `$prev`.
+        macro_rules! sched2 {
+            ($next:expr, $w:expr, $prev:expr) => {{
+                let t = _mm_alignr_epi8($w, $prev, 4);
+                $next = _mm_sha256msg2_epu32(_mm_add_epi32($next, t), $w);
+            }};
+        }
+
+        rounds4!(msg0, 0);
+        rounds4!(msg1, 1);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+        rounds4!(msg2, 2);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+        rounds4!(msg3, 3);
+        sched2!(msg0, msg3, msg2);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+        rounds4!(msg0, 4);
+        sched2!(msg1, msg0, msg3);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+        rounds4!(msg1, 5);
+        sched2!(msg2, msg1, msg0);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+        rounds4!(msg2, 6);
+        sched2!(msg3, msg2, msg1);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+        rounds4!(msg3, 7);
+        sched2!(msg0, msg3, msg2);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+        rounds4!(msg0, 8);
+        sched2!(msg1, msg0, msg3);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+        rounds4!(msg1, 9);
+        sched2!(msg2, msg1, msg0);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+        rounds4!(msg2, 10);
+        sched2!(msg3, msg2, msg1);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+        rounds4!(msg3, 11);
+        sched2!(msg0, msg3, msg2);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+        rounds4!(msg0, 12);
+        sched2!(msg1, msg0, msg3);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+        rounds4!(msg1, 13);
+        sched2!(msg2, msg1, msg0);
+        rounds4!(msg2, 14);
+        sched2!(msg3, msg2, msg1);
+        rounds4!(msg3, 15);
+
+        state0 = _mm_add_epi32(state0, abef);
+        state1 = _mm_add_epi32(state1, cdgh);
+    }
+
+    // Unpack ABEF/CDGH back to [a..h] word order.
+    let tmp = _mm_shuffle_epi32(state0, 0x1B);
+    let st1 = _mm_shuffle_epi32(state1, 0xB1);
+    _mm_storeu_si128(state.as_mut_ptr().cast(), _mm_blend_epi16(tmp, st1, 0xF0));
+    _mm_storeu_si128(
+        state.as_mut_ptr().add(4).cast(),
+        _mm_alignr_epi8(st1, tmp, 8),
+    );
+}

@@ -1,0 +1,330 @@
+//! SSE2/AVX2 arms of the gate kernels.
+//!
+//! Every arm reproduces the scalar arm's per-element operation order
+//! bit for bit. The one transformation applied throughout: the scalar
+//! complex product `(cr·xr − ci·xi, cr·xi + ci·xr)` becomes the lane
+//! form `cr·[xr,xi] + [−ci,+ci]·[xi,xr]`, which is IEEE-identical
+//! because `a − b ≡ a + (−b)` and `(−x)·y ≡ −(x·y)` exactly. No FMA is
+//! ever emitted (contraction would change rounding).
+//!
+//! SSE2 is part of the x86_64 baseline, so the `*_sse2` arms carry no
+//! `#[target_feature]`; the `*_avx2` arms do and must only be reached
+//! after runtime detection (the dispatchers in `lib.rs` guarantee it).
+
+use core::arch::x86_64::*;
+
+/// Broadcast multiplier pair for the 128-bit complex product.
+#[inline(always)]
+unsafe fn w128(re: f64, im: f64) -> (__m128d, __m128d) {
+    (_mm_set1_pd(re), _mm_set_pd(im, -im))
+}
+
+/// Broadcast multiplier pair for the 256-bit complex product.
+#[inline(always)]
+unsafe fn w256(re: f64, im: f64) -> (__m256d, __m256d) {
+    (_mm256_set1_pd(re), _mm256_set_pd(im, -im, im, -im))
+}
+
+/// `w · v` for one `[re, im]` amplitude.
+#[inline(always)]
+unsafe fn cmul128(v: __m128d, w: (__m128d, __m128d)) -> __m128d {
+    let sw = _mm_shuffle_pd(v, v, 0b01);
+    _mm_add_pd(_mm_mul_pd(w.0, v), _mm_mul_pd(w.1, sw))
+}
+
+/// `w · v` for two packed `[re, im]` amplitudes.
+#[inline(always)]
+unsafe fn cmul256(v: __m256d, w: (__m256d, __m256d)) -> __m256d {
+    let sw = _mm256_permute_pd(v, 0b0101);
+    _mm256_add_pd(_mm256_mul_pd(w.0, v), _mm256_mul_pd(w.1, sw))
+}
+
+pub(crate) unsafe fn apply2_dense_sse2(m: &[f64; 8], lo: &mut [f64], hi: &mut [f64]) {
+    let (w00, w01) = (w128(m[0], m[1]), w128(m[2], m[3]));
+    let (w10, w11) = (w128(m[4], m[5]), w128(m[6], m[7]));
+    for k in (0..lo.len()).step_by(2) {
+        let a = _mm_loadu_pd(lo.as_ptr().add(k));
+        let b = _mm_loadu_pd(hi.as_ptr().add(k));
+        let na = _mm_add_pd(cmul128(a, w00), cmul128(b, w01));
+        let nb = _mm_add_pd(cmul128(a, w10), cmul128(b, w11));
+        _mm_storeu_pd(lo.as_mut_ptr().add(k), na);
+        _mm_storeu_pd(hi.as_mut_ptr().add(k), nb);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn apply2_dense_avx2(m: &[f64; 8], lo: &mut [f64], hi: &mut [f64]) {
+    let (w00, w01) = (w256(m[0], m[1]), w256(m[2], m[3]));
+    let (w10, w11) = (w256(m[4], m[5]), w256(m[6], m[7]));
+    let n4 = lo.len() & !3;
+    for k in (0..n4).step_by(4) {
+        let a = _mm256_loadu_pd(lo.as_ptr().add(k));
+        let b = _mm256_loadu_pd(hi.as_ptr().add(k));
+        let na = _mm256_add_pd(cmul256(a, w00), cmul256(b, w01));
+        let nb = _mm256_add_pd(cmul256(a, w10), cmul256(b, w11));
+        _mm256_storeu_pd(lo.as_mut_ptr().add(k), na);
+        _mm256_storeu_pd(hi.as_mut_ptr().add(k), nb);
+    }
+    if n4 < lo.len() {
+        apply2_dense_sse2(m, &mut lo[n4..], &mut hi[n4..]);
+    }
+}
+
+pub(crate) unsafe fn apply2_real_sse2(m: &[f64; 4], lo: &mut [f64], hi: &mut [f64]) {
+    let (w00, w01) = (_mm_set1_pd(m[0]), _mm_set1_pd(m[1]));
+    let (w10, w11) = (_mm_set1_pd(m[2]), _mm_set1_pd(m[3]));
+    for k in (0..lo.len()).step_by(2) {
+        let a = _mm_loadu_pd(lo.as_ptr().add(k));
+        let b = _mm_loadu_pd(hi.as_ptr().add(k));
+        let na = _mm_add_pd(_mm_mul_pd(w00, a), _mm_mul_pd(w01, b));
+        let nb = _mm_add_pd(_mm_mul_pd(w10, a), _mm_mul_pd(w11, b));
+        _mm_storeu_pd(lo.as_mut_ptr().add(k), na);
+        _mm_storeu_pd(hi.as_mut_ptr().add(k), nb);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn apply2_real_avx2(m: &[f64; 4], lo: &mut [f64], hi: &mut [f64]) {
+    let (w00, w01) = (_mm256_set1_pd(m[0]), _mm256_set1_pd(m[1]));
+    let (w10, w11) = (_mm256_set1_pd(m[2]), _mm256_set1_pd(m[3]));
+    let n4 = lo.len() & !3;
+    for k in (0..n4).step_by(4) {
+        let a = _mm256_loadu_pd(lo.as_ptr().add(k));
+        let b = _mm256_loadu_pd(hi.as_ptr().add(k));
+        let na = _mm256_add_pd(_mm256_mul_pd(w00, a), _mm256_mul_pd(w01, b));
+        let nb = _mm256_add_pd(_mm256_mul_pd(w10, a), _mm256_mul_pd(w11, b));
+        _mm256_storeu_pd(lo.as_mut_ptr().add(k), na);
+        _mm256_storeu_pd(hi.as_mut_ptr().add(k), nb);
+    }
+    if n4 < lo.len() {
+        apply2_real_sse2(m, &mut lo[n4..], &mut hi[n4..]);
+    }
+}
+
+pub(crate) unsafe fn apply2_adjacent_sse2(m: &[f64; 8], xs: &mut [f64]) {
+    let (w00, w01) = (w128(m[0], m[1]), w128(m[2], m[3]));
+    let (w10, w11) = (w128(m[4], m[5]), w128(m[6], m[7]));
+    for k in (0..xs.len()).step_by(4) {
+        let a = _mm_loadu_pd(xs.as_ptr().add(k));
+        let b = _mm_loadu_pd(xs.as_ptr().add(k + 2));
+        let na = _mm_add_pd(cmul128(a, w00), cmul128(b, w01));
+        let nb = _mm_add_pd(cmul128(a, w10), cmul128(b, w11));
+        _mm_storeu_pd(xs.as_mut_ptr().add(k), na);
+        _mm_storeu_pd(xs.as_mut_ptr().add(k + 2), nb);
+    }
+}
+
+/// Column-constant multiplier pair: the low 128 lane carries row 0's
+/// coefficient, the high lane row 1's — one 256-bit op updates a whole
+/// `[a0, a1]` pair block.
+#[inline(always)]
+unsafe fn wcol256(re0: f64, im0: f64, re1: f64, im1: f64) -> (__m256d, __m256d) {
+    (
+        _mm256_set_pd(re1, re1, re0, re0),
+        _mm256_set_pd(im1, -im1, im0, -im0),
+    )
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn apply2_adjacent_avx2(m: &[f64; 8], xs: &mut [f64]) {
+    let c0 = wcol256(m[0], m[1], m[4], m[5]);
+    let c1 = wcol256(m[2], m[3], m[6], m[7]);
+    for k in (0..xs.len()).step_by(4) {
+        let v = _mm256_loadu_pd(xs.as_ptr().add(k));
+        let a0 = _mm256_permute2f128_pd(v, v, 0x00);
+        let a1 = _mm256_permute2f128_pd(v, v, 0x11);
+        let out = _mm256_add_pd(cmul256(a0, c0), cmul256(a1, c1));
+        _mm256_storeu_pd(xs.as_mut_ptr().add(k), out);
+    }
+}
+
+pub(crate) unsafe fn apply2_adjacent_real_sse2(m: &[f64; 4], xs: &mut [f64]) {
+    let (w00, w01) = (_mm_set1_pd(m[0]), _mm_set1_pd(m[1]));
+    let (w10, w11) = (_mm_set1_pd(m[2]), _mm_set1_pd(m[3]));
+    for k in (0..xs.len()).step_by(4) {
+        let a = _mm_loadu_pd(xs.as_ptr().add(k));
+        let b = _mm_loadu_pd(xs.as_ptr().add(k + 2));
+        let na = _mm_add_pd(_mm_mul_pd(w00, a), _mm_mul_pd(w01, b));
+        let nb = _mm_add_pd(_mm_mul_pd(w10, a), _mm_mul_pd(w11, b));
+        _mm_storeu_pd(xs.as_mut_ptr().add(k), na);
+        _mm_storeu_pd(xs.as_mut_ptr().add(k + 2), nb);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn apply2_adjacent_real_avx2(m: &[f64; 4], xs: &mut [f64]) {
+    let c0 = _mm256_set_pd(m[2], m[2], m[0], m[0]);
+    let c1 = _mm256_set_pd(m[3], m[3], m[1], m[1]);
+    for k in (0..xs.len()).step_by(4) {
+        let v = _mm256_loadu_pd(xs.as_ptr().add(k));
+        let a0 = _mm256_permute2f128_pd(v, v, 0x00);
+        let a1 = _mm256_permute2f128_pd(v, v, 0x11);
+        let out = _mm256_add_pd(_mm256_mul_pd(c0, a0), _mm256_mul_pd(c1, a1));
+        _mm256_storeu_pd(xs.as_mut_ptr().add(k), out);
+    }
+}
+
+pub(crate) unsafe fn scale_sse2(xs: &mut [f64], cr: f64, ci: f64) {
+    let w = w128(cr, ci);
+    for k in (0..xs.len()).step_by(2) {
+        let v = _mm_loadu_pd(xs.as_ptr().add(k));
+        _mm_storeu_pd(xs.as_mut_ptr().add(k), cmul128(v, w));
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn scale_avx2(xs: &mut [f64], cr: f64, ci: f64) {
+    let w = w256(cr, ci);
+    let n4 = xs.len() & !3;
+    for k in (0..n4).step_by(4) {
+        let v = _mm256_loadu_pd(xs.as_ptr().add(k));
+        _mm256_storeu_pd(xs.as_mut_ptr().add(k), cmul256(v, w));
+    }
+    if n4 < xs.len() {
+        scale_sse2(&mut xs[n4..], cr, ci);
+    }
+}
+
+pub(crate) unsafe fn swap_scale_sse2(
+    si: &mut [f64],
+    sj: &mut [f64],
+    ci: (f64, f64),
+    cj: (f64, f64),
+) {
+    let wi = w128(ci.0, ci.1);
+    let wj = w128(cj.0, cj.1);
+    for k in (0..si.len()).step_by(2) {
+        let x = _mm_loadu_pd(si.as_ptr().add(k));
+        let y = _mm_loadu_pd(sj.as_ptr().add(k));
+        _mm_storeu_pd(si.as_mut_ptr().add(k), cmul128(y, wi));
+        _mm_storeu_pd(sj.as_mut_ptr().add(k), cmul128(x, wj));
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn swap_scale_avx2(
+    si: &mut [f64],
+    sj: &mut [f64],
+    ci: (f64, f64),
+    cj: (f64, f64),
+) {
+    let wi = w256(ci.0, ci.1);
+    let wj = w256(cj.0, cj.1);
+    let n4 = si.len() & !3;
+    for k in (0..n4).step_by(4) {
+        let x = _mm256_loadu_pd(si.as_ptr().add(k));
+        let y = _mm256_loadu_pd(sj.as_ptr().add(k));
+        _mm256_storeu_pd(si.as_mut_ptr().add(k), cmul256(y, wi));
+        _mm256_storeu_pd(sj.as_mut_ptr().add(k), cmul256(x, wj));
+    }
+    if n4 < si.len() {
+        swap_scale_sse2(&mut si[n4..], &mut sj[n4..], ci, cj);
+    }
+}
+
+/// `((m_r0·a0 + m_r1·a1) + m_r2·a2) + m_r3·a3` for one matrix row.
+#[inline(always)]
+unsafe fn row128(a: &[__m128d; 4], w: &[(__m128d, __m128d); 4]) -> __m128d {
+    let t = _mm_add_pd(cmul128(a[0], w[0]), cmul128(a[1], w[1]));
+    let t = _mm_add_pd(t, cmul128(a[2], w[2]));
+    _mm_add_pd(t, cmul128(a[3], w[3]))
+}
+
+#[inline(always)]
+unsafe fn row256(a: &[__m256d; 4], w: &[(__m256d, __m256d); 4]) -> __m256d {
+    let t = _mm256_add_pd(cmul256(a[0], w[0]), cmul256(a[1], w[1]));
+    let t = _mm256_add_pd(t, cmul256(a[2], w[2]));
+    _mm256_add_pd(t, cmul256(a[3], w[3]))
+}
+
+pub(crate) unsafe fn apply4_dense_sse2(
+    m: &[f64; 32],
+    s00: &mut [f64],
+    s01: &mut [f64],
+    s10: &mut [f64],
+    s11: &mut [f64],
+) {
+    let w: [[(__m128d, __m128d); 4]; 4] = std::array::from_fn(|r| {
+        std::array::from_fn(|c| unsafe { w128(m[(4 * r + c) * 2], m[(4 * r + c) * 2 + 1]) })
+    });
+    for k in (0..s00.len()).step_by(2) {
+        let a = [
+            _mm_loadu_pd(s00.as_ptr().add(k)),
+            _mm_loadu_pd(s01.as_ptr().add(k)),
+            _mm_loadu_pd(s10.as_ptr().add(k)),
+            _mm_loadu_pd(s11.as_ptr().add(k)),
+        ];
+        _mm_storeu_pd(s00.as_mut_ptr().add(k), row128(&a, &w[0]));
+        _mm_storeu_pd(s01.as_mut_ptr().add(k), row128(&a, &w[1]));
+        _mm_storeu_pd(s10.as_mut_ptr().add(k), row128(&a, &w[2]));
+        _mm_storeu_pd(s11.as_mut_ptr().add(k), row128(&a, &w[3]));
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn apply4_dense_avx2(
+    m: &[f64; 32],
+    s00: &mut [f64],
+    s01: &mut [f64],
+    s10: &mut [f64],
+    s11: &mut [f64],
+) {
+    let w: [[(__m256d, __m256d); 4]; 4] = std::array::from_fn(|r| {
+        std::array::from_fn(|c| unsafe { w256(m[(4 * r + c) * 2], m[(4 * r + c) * 2 + 1]) })
+    });
+    let n4 = s00.len() & !3;
+    for k in (0..n4).step_by(4) {
+        let a = [
+            _mm256_loadu_pd(s00.as_ptr().add(k)),
+            _mm256_loadu_pd(s01.as_ptr().add(k)),
+            _mm256_loadu_pd(s10.as_ptr().add(k)),
+            _mm256_loadu_pd(s11.as_ptr().add(k)),
+        ];
+        _mm256_storeu_pd(s00.as_mut_ptr().add(k), row256(&a, &w[0]));
+        _mm256_storeu_pd(s01.as_mut_ptr().add(k), row256(&a, &w[1]));
+        _mm256_storeu_pd(s10.as_mut_ptr().add(k), row256(&a, &w[2]));
+        _mm256_storeu_pd(s11.as_mut_ptr().add(k), row256(&a, &w[3]));
+    }
+    if n4 < s00.len() {
+        apply4_dense_sse2(
+            m,
+            &mut s00[n4..],
+            &mut s01[n4..],
+            &mut s10[n4..],
+            &mut s11[n4..],
+        );
+    }
+}
+
+pub(crate) unsafe fn accumulate_sq_sse2(lanes: &mut [f64; 4], xs: &[f64]) {
+    let mut acc_a = _mm_loadu_pd(lanes.as_ptr());
+    let mut acc_b = _mm_loadu_pd(lanes.as_ptr().add(2));
+    let chunks = xs.chunks_exact(4);
+    let rem = chunks.remainder();
+    for c in chunks {
+        let v0 = _mm_loadu_pd(c.as_ptr());
+        let v1 = _mm_loadu_pd(c.as_ptr().add(2));
+        acc_a = _mm_add_pd(acc_a, _mm_mul_pd(v0, v0));
+        acc_b = _mm_add_pd(acc_b, _mm_mul_pd(v1, v1));
+    }
+    _mm_storeu_pd(lanes.as_mut_ptr(), acc_a);
+    _mm_storeu_pd(lanes.as_mut_ptr().add(2), acc_b);
+    for (k, x) in rem.iter().enumerate() {
+        lanes[k & 3] += x * x;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn accumulate_sq_avx2(lanes: &mut [f64; 4], xs: &[f64]) {
+    let mut acc = _mm256_loadu_pd(lanes.as_ptr());
+    let chunks = xs.chunks_exact(4);
+    let rem = chunks.remainder();
+    for c in chunks {
+        let v = _mm256_loadu_pd(c.as_ptr());
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+    }
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    for (k, x) in rem.iter().enumerate() {
+        lanes[k & 3] += x * x;
+    }
+}
