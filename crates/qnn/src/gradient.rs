@@ -99,15 +99,72 @@ where
     E: Send,
     F: Fn(usize, f64) -> Result<f64, E> + Sync,
 {
+    parameter_shift_gradient_with(
+        num_params,
+        sites,
+        shift,
+        || (),
+        |(), op, delta| eval(op, delta),
+    )
+}
+
+/// [`parameter_shift_gradient`] with per-worker evaluation scratch.
+///
+/// A gradient performs `2 · sites.len()` evaluations; when each
+/// evaluation binds a fresh [`qsim::plan::BoundPlan`], the allocation
+/// cost dominates small circuits. This variant chunks the sites across
+/// the ambient worker threads and calls `init()` **once per worker** to
+/// build a reusable scratch value `S` (typically a `BoundPlan` rebound
+/// in place via `rebind_shifted` — see `Trainer::gradient`), so the
+/// 2P+1 binds per step stop paying per-bind allocation.
+///
+/// Per-site contributions accumulate in site order regardless of the
+/// chunking, so the gradient is bit-identical at every thread count.
+///
+/// # Errors
+///
+/// Returns the first failing evaluation in site order.
+pub fn parameter_shift_gradient_with<E, S, I, F>(
+    num_params: usize,
+    sites: &[ShiftSite],
+    shift: f64,
+    init: I,
+    eval: F,
+) -> Result<Vec<f64>, E>
+where
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, f64) -> Result<f64, E> + Sync,
+{
     type Pair<E> = (Result<f64, E>, Result<f64, E>);
-    let pairs: Vec<Pair<E>> = qpar::map(sites.to_vec(), |s| {
+    let mut grad = vec![0.0; num_params];
+    if sites.is_empty() {
+        return Ok(grad);
+    }
+    // One chunk per worker slot: each chunk builds its scratch once and
+    // walks its sites serially, so scratch reuse scales with sites per
+    // worker instead of being reset 2·sites times.
+    let threads = qpar::current_threads().max(1);
+    let per = sites.len().div_ceil(threads);
+    let chunks: Vec<Vec<ShiftSite>> = sites.chunks(per).map(|c| c.to_vec()).collect();
+    let results: Vec<Vec<Pair<E>>> = qpar::map(chunks, |chunk| {
         // The site fan-out owns the parallelism budget; keep the nested
         // gate kernels serial on worker threads (they would otherwise
         // re-resolve the ambient thread count and oversubscribe).
-        qpar::with_threads(1, || (eval(s.op_index, shift), eval(s.op_index, -shift)))
+        qpar::with_threads(1, || {
+            let mut scratch = init();
+            chunk
+                .iter()
+                .map(|s| {
+                    (
+                        eval(&mut scratch, s.op_index, shift),
+                        eval(&mut scratch, s.op_index, -shift),
+                    )
+                })
+                .collect()
+        })
     });
-    let mut grad = vec![0.0; num_params];
-    for (site, (plus, minus)) in sites.iter().zip(pairs) {
+    for (site, (plus, minus)) in sites.iter().zip(results.into_iter().flatten()) {
         grad[site.param_index] += site.scale * (plus? - minus?) / 2.0;
     }
     Ok(grad)

@@ -15,15 +15,15 @@ use qcheck::snapshot::{Checkpointable, DatasetCursor, MetricPoint, RngCapture, T
 use qsim::circuit::{Circuit, CircuitError, ParamRef};
 use qsim::measure::{evaluate_observable, EvalMode};
 use qsim::pauli::PauliSum;
-use qsim::plan::ExecPlan;
+use qsim::plan::{BoundPlan, ExecPlan};
 use qsim::rng::{RngState, Xoshiro256};
 use qsim::state::{StateError, StateVector};
 
 use crate::dataset::{Labeled, StatePairs};
 use crate::encode::FeatureMap;
 use crate::gradient::{
-    finite_diff_gradient, finite_diff_gradient_parallel, parameter_shift_gradient, spsa_gradient,
-    GradientMethod, ShiftSite,
+    finite_diff_gradient, finite_diff_gradient_parallel, parameter_shift_gradient_with,
+    spsa_gradient, GradientMethod, ShiftSite,
 };
 use crate::ledger::ShotLedger;
 use crate::optimizer::Optimizer;
@@ -51,36 +51,35 @@ impl std::fmt::Display for TrainError {
 
 impl std::error::Error for TrainError {}
 
-/// Body of [`Trainer::exact_loss_at`], over just the compiled plan and
-/// task so gradient workers can share it without capturing the whole
-/// (non-`Sync`) trainer. The plan is compiled once per trainer and
-/// reused across every epoch and every ±π/2 shift evaluation — the
-/// compile-once/run-many pattern the `qsim::plan` layer exists for.
+/// Body of [`Trainer::exact_loss_at`], over just a bound-plan scratch and
+/// the task so gradient workers can share it without capturing the whole
+/// (non-`Sync`) trainer. The plan is compiled once per trainer; `bound`
+/// is a reusable [`BoundPlan`] shell (see [`ExecPlan::bind_scratch`])
+/// rebound in place here, so the `2·sites` evaluations of a gradient pay
+/// one bind each but zero allocations — and the batch loops below bind
+/// once per *loss call*, not once per example.
 fn exact_loss_at_parts(
-    plan: &ExecPlan,
+    bound: &mut BoundPlan<'_>,
     task: &Task,
     params: &[f64],
     batch: &[usize],
     op_shift: Option<(usize, f64)>,
 ) -> Result<f64, TrainError> {
-    let run = |state: &mut StateVector| -> Result<(), TrainError> {
-        match op_shift {
-            Some((op, delta)) => plan.run_on_with_op_shift(state, params, op, delta)?,
-            None => plan.run_on(state, params)?,
-        }
-        Ok(())
-    };
+    match op_shift {
+        Some((op, delta)) => bound.rebind_shifted(params, op, delta)?,
+        None => bound.rebind(params)?,
+    }
     match task {
         Task::Vqe { hamiltonian } => {
-            let mut state = StateVector::zero_state(plan.num_qubits());
-            run(&mut state)?;
+            let mut state = StateVector::zero_state(bound.num_qubits());
+            bound.run_on(&mut state)?;
             Ok(hamiltonian.expectation(&state)?)
         }
         Task::StateLearning { data } => {
             let mut acc = 0.0;
             for &i in batch {
                 let mut state = data.inputs[i].clone();
-                run(&mut state)?;
+                bound.run_on(&mut state)?;
                 acc += state.fidelity(&data.targets[i])?;
             }
             Ok(1.0 - acc / batch.len() as f64)
@@ -93,9 +92,9 @@ fn exact_loss_at_parts(
         } => {
             let mut acc = 0.0;
             for &i in batch {
-                let mut state = StateVector::zero_state(plan.num_qubits());
+                let mut state = StateVector::zero_state(bound.num_qubits());
                 feature_map.encode_onto(&mut state, &data.features[i])?;
-                run(&mut state)?;
+                bound.run_on(&mut state)?;
                 let pred = observable.expectation(&state)?;
                 let err = pred - data.labels[i];
                 acc += err * err;
@@ -403,15 +402,17 @@ impl Trainer {
         op_shift: Option<(usize, f64)>,
     ) -> Result<(f64, u32, u64), TrainError> {
         let mode = self.config.eval_mode;
+        // One bind per loss call; the batch loops below reuse the bound
+        // schedule and only vary the input state.
+        let mut bound = self.plan.bind_scratch();
+        match op_shift {
+            Some((op, delta)) => bound.rebind_shifted(params, op, delta)?,
+            None => bound.rebind(params)?,
+        }
         match &self.task {
             Task::Vqe { hamiltonian } => {
                 let mut state = StateVector::zero_state(self.circuit.num_qubits());
-                match op_shift {
-                    Some((op, delta)) => self
-                        .plan
-                        .run_on_with_op_shift(&mut state, params, op, delta)?,
-                    None => self.plan.run_on(&mut state, params)?,
-                }
+                bound.run_on(&mut state)?;
                 let (value, shots) =
                     evaluate_observable(&state, hamiltonian, mode, &mut self.shots_rng)?;
                 Ok((value, 1, shots))
@@ -421,12 +422,7 @@ impl Trainer {
                 let mut shots_total = 0u64;
                 for &i in batch {
                     let mut state = data.inputs[i].clone();
-                    match op_shift {
-                        Some((op, delta)) => self
-                            .plan
-                            .run_on_with_op_shift(&mut state, params, op, delta)?,
-                        None => self.plan.run_on(&mut state, params)?,
-                    }
+                    bound.run_on(&mut state)?;
                     match mode {
                         EvalMode::Exact => acc += state.fidelity(&data.targets[i])?,
                         EvalMode::Shots(shots) => {
@@ -457,12 +453,7 @@ impl Trainer {
                 for &i in batch {
                     let mut state = StateVector::zero_state(self.circuit.num_qubits());
                     feature_map.encode_onto(&mut state, &data.features[i])?;
-                    match op_shift {
-                        Some((op, delta)) => self
-                            .plan
-                            .run_on_with_op_shift(&mut state, params, op, delta)?,
-                        None => self.plan.run_on(&mut state, params)?,
-                    }
+                    bound.run_on(&mut state)?;
                     let (pred, shots) =
                         evaluate_observable(&state, observable, mode, &mut self.shots_rng)?;
                     shots_total += shots;
@@ -575,13 +566,14 @@ impl Trainer {
                                 })
                                 .collect();
                             let (plan, task) = (&self.plan, &self.task);
-                            grad = parameter_shift_gradient(
+                            grad = parameter_shift_gradient_with(
                                 params.len(),
                                 &shift_sites,
                                 SHIFT,
-                                |op, delta| {
+                                || plan.bind_scratch(),
+                                |bound, op, delta| {
                                     exact_loss_at_parts(
-                                        plan,
+                                        bound,
                                         task,
                                         &params,
                                         batch,
@@ -610,7 +602,7 @@ impl Trainer {
                 if self.config.eval_mode == EvalMode::Exact && qpar::current_threads() > 1 {
                     let (plan, task) = (&self.plan, &self.task);
                     let grad = finite_diff_gradient_parallel(&params, eps, |p| {
-                        exact_loss_at_parts(plan, task, p, batch, None)
+                        exact_loss_at_parts(&mut plan.bind_scratch(), task, p, batch, None)
                     })?;
                     let evals = 2 * params.len() as u32 * self.exact_evals_per_loss(batch);
                     return Ok((grad, evals, 0));
@@ -701,10 +693,11 @@ impl Trainer {
                 Ok(hamiltonian.expectation(&state)?)
             }
             Task::StateLearning { data } => {
+                let bound = self.plan.bind(&self.params)?;
                 let mut acc = 0.0;
                 for (input, target) in data.inputs.iter().zip(&data.targets) {
                     let mut state = input.clone();
-                    self.plan.run_on(&mut state, &self.params)?;
+                    bound.run_on(&mut state)?;
                     acc += state.fidelity(target)?;
                 }
                 Ok(1.0 - acc / data.len() as f64)
@@ -715,11 +708,12 @@ impl Trainer {
                 observable,
                 ..
             } => {
+                let bound = self.plan.bind(&self.params)?;
                 let mut acc = 0.0;
                 for (x, y) in data.features.iter().zip(&data.labels) {
                     let mut state = StateVector::zero_state(self.circuit.num_qubits());
                     feature_map.encode_onto(&mut state, x)?;
-                    self.plan.run_on(&mut state, &self.params)?;
+                    bound.run_on(&mut state)?;
                     let pred = observable.expectation(&state)?;
                     acc += (pred - y) * (pred - y);
                 }

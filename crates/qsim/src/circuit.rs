@@ -36,6 +36,30 @@ pub(crate) fn is_dense4(m: &Matrix4) -> bool {
         .any(|row| row.iter().filter(|c| **c != Complex64::ZERO).count() > 1)
 }
 
+/// Whether every entry of a 4×4 matrix is exactly zero or exactly one —
+/// the gate is a pure amplitude permutation (`Cx`, `Swap`, `Cx·Swap`
+/// products). Pending 1q factors are never folded into such gates: the
+/// plan scheduler defers coefficient-free gates as composed index maps
+/// (see `plan`), so both executors instead flush the pending product as
+/// its own 1q sweep — identical arithmetic, and the permutation stays
+/// free to fuse.
+pub(crate) fn is_unit_perm4(m: &Matrix4) -> bool {
+    let mut units = 0usize;
+    for row in m {
+        for e in row {
+            if *e == Complex64::ZERO {
+                continue;
+            }
+            if e.re != 1.0 || e.im != 0.0 {
+                return false;
+            }
+            units += 1;
+        }
+    }
+    // Unitary + all entries in {0, 1} forces one unit per row/column.
+    units == 4
+}
+
 /// Folds a pending single-qubit matrix into a 4×4 gate matrix:
 /// `m · (p on operand bit)` where `bit` is 0 for the first operand and 1
 /// for the second (matching the [`crate::gate::Matrix4`] basis convention).
@@ -430,8 +454,11 @@ impl Circuit {
         // structure of each half: the dense factor of a rotation layer
         // (`Ry` — usually all-real) flushes through the specialized real
         // kernel, while the diagonal factor (`Rz`) folds into the next
-        // two-qubit gate by column scaling, which keeps `Cx` on its
-        // transposition kernel.
+        // *arithmetic* two-qubit gate by column scaling. Pure-permutation
+        // gates (`Cx`, `Swap`) never receive folds — the pending product
+        // flushes as its own sweep so the permutation stays
+        // coefficient-free and the plan scheduler can defer it as a
+        // composed index map (bit-identical either way; see `plan`).
         let mut dense: Vec<Option<Matrix2>> = vec![None; self.num_qubits];
         let mut diag: Vec<Option<Matrix2>> = vec![None; self.num_qubits];
         for (i, op) in self.ops.iter().enumerate() {
@@ -465,6 +492,7 @@ impl Circuit {
                     }
                     let mut m4 = gate.matrix4();
                     let dense4 = is_dense4(&m4);
+                    let pure_perm = is_unit_perm4(&m4);
                     for (q, bit) in [(a, 0usize), (b, 1usize)] {
                         match (dense[q].take(), diag[q].take()) {
                             (Some(d), g) => {
@@ -476,6 +504,15 @@ impl Circuit {
                                         None => d,
                                     };
                                     m4 = mat4_fold1q(&m4, &whole, bit);
+                                } else if pure_perm {
+                                    // Keep pure permutations coefficient-free
+                                    // (fusable): flush the pending product as
+                                    // one 1q sweep instead of folding.
+                                    let whole = match g {
+                                        Some(g) => mat2_mul(&g, &d),
+                                        None => d,
+                                    };
+                                    state.apply_matrix2(&whole, q);
                                 } else {
                                     state.apply_matrix2(&d, q);
                                     if let Some(g) = g {
@@ -484,7 +521,11 @@ impl Circuit {
                                 }
                             }
                             (None, Some(g)) => {
-                                m4 = mat4_fold1q(&m4, &g, bit);
+                                if pure_perm {
+                                    state.apply_matrix2(&g, q);
+                                } else {
+                                    m4 = mat4_fold1q(&m4, &g, bit);
+                                }
                             }
                             (None, None) => {}
                         }

@@ -15,8 +15,10 @@
 //! * [`circuit`] — parametrized circuits ([`circuit::Circuit`]) as data.
 //! * [`plan`] — compiled execution plans ([`plan::ExecPlan`]): compile a
 //!   circuit once, bind parameter vectors many times, execute through a
-//!   cache-blocked tile schedule. The default executor behind
-//!   [`circuit::Circuit::run_on`] (`QSIM_EXEC` selects; see
+//!   cache-blocked tile schedule with pass-fusion (pure-permutation
+//!   gates like CX rings execute as one deferred gather pass;
+//!   `QSIM_FUSE=off` forces the per-gate schedule). The default executor
+//!   behind [`circuit::Circuit::run_on`] (`QSIM_EXEC` selects; see
 //!   `crates/qsim/README.md`).
 //! * [`pauli`] — Pauli-string observables ([`pauli::PauliSum`]).
 //! * [`measure`] — shot-based estimation ([`measure::EvalMode`]).

@@ -24,12 +24,30 @@
 //! 3. **Schedule**: consecutive bound gates whose operand qubits all fit
 //!    a cache-sized tile (`2^T` amplitudes, see [`tile_qubits`]) are
 //!    grouped into a *tile block*; gates touching a qubit ≥ `T` become
-//!    sweep boundaries.
+//!    sweep boundaries. On top of tiling, **pass fusion** lifts gates
+//!    that are pure amplitude permutations (CX, X, Swap — every kernel
+//!    coefficient exactly `1`) out of the gate stream entirely: their
+//!    index maps are composed into one affine GF(2) map
+//!    ([`AffinePerm`], `i ↦ L·i ⊕ t`) that is deferred past any gate it
+//!    does not overlap and flushed as a single gather pass
+//!    ([`Step::Permute`]). An entangler ring that cost `N` sweeps costs
+//!    one; a layered ansatz drops from `~2N` to `N + 1` passes per
+//!    layer. Permutations do no arithmetic, so deferral and composition
+//!    are byte-preserving by construction — gates that *scale*
+//!    amplitudes (CZ, Rzz) never fuse. `QSIM_FUSE=off` (or
+//!    [`with_fuse_mode`]) forces the per-gate schedule.
 //! 4. **Execute** ([`BoundPlan::run_on`]): a tile block makes **one**
 //!    sweep over the state, applying all its gates tile by tile while
 //!    the tile is cache-resident — where the interpreter paid one full
 //!    memory pass per gate, a block of `k` low-qubit gates now pays one.
-//!    Sweep gates use the classic whole-array kernels.
+//!    Sweep gates use the classic whole-array kernels; permutation
+//!    flushes gather into a reused thread-local scratch buffer and swap.
+//!
+//! The schedule is observable: [`BoundPlan::passes`] counts gate visits
+//! under the per-gate traffic model, [`BoundPlan::num_passes`] counts
+//! physical memory passes, and [`BoundPlan::amp_bytes_swept`] is a
+//! deterministic bytes-moved model — `bench_parallel` records all three
+//! so the traffic reduction is counter-verified, not just timed.
 //!
 //! ## Bit-exactness
 //!
@@ -55,17 +73,24 @@
 //! thread for tests. In `interp` mode plans still bind but execute every
 //! gate as a whole-array sweep — the pre-tiling behavior.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::ops::Range;
 use std::sync::{Arc, OnceLock};
 
-use crate::circuit::{is_dense4, is_diag2, mat2_mul, mat4_fold1q, Circuit, CircuitError, ParamRef};
+use crate::circuit::{
+    is_dense4, is_diag2, is_unit_perm4, mat2_mul, mat4_fold1q, Circuit, CircuitError, ParamRef,
+};
 use crate::complex::Complex64;
 use crate::gate::{Gate, Matrix2, Matrix4};
 use crate::state::{Kernel2, Kernel4, StateError, StateVector, PARALLEL_MIN_AMPS};
 
 /// Name of the environment variable selecting the executor.
 pub const EXEC_ENV: &str = "QSIM_EXEC";
+
+/// Name of the environment variable toggling pass-fusion scheduling
+/// (`QSIM_FUSE=off` forces the per-gate schedule — the escape hatch that
+/// keeps the pre-fusion path testable forever).
+pub const FUSE_ENV: &str = "QSIM_FUSE";
 
 /// Name of the environment variable overriding the tile size exponent.
 pub const TILE_ENV: &str = "QSIM_TILE_QUBITS";
@@ -87,6 +112,11 @@ const MIN_TILE_GROUP: usize = 2;
 /// copies cost more than the ~140 µs scoped-thread spawn they avoid, so
 /// bigger states take the zero-copy scoped path.
 const POOLED_TILE_MAX_AMPS: usize = 1 << 17;
+
+/// Widest plan the permutation scheduler handles: affine index maps are
+/// stored as one `u32` bit-column per qubit. Plans wider than this (far
+/// beyond any state that fits in memory) simply schedule without fusion.
+const MAX_PERM_QUBITS: usize = 32;
 
 /// Which executor [`Circuit::run_on`] and friends use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,6 +166,65 @@ pub fn with_exec_mode<R>(mode: ExecMode, f: impl FnOnce() -> R) -> R {
         c.set(match mode {
             ExecMode::Interp => 1,
             ExecMode::Plan => 2,
+        })
+    });
+    f()
+}
+
+/// Whether the scheduler fuses pure-permutation gates (CX rings, swaps,
+/// X bands) into deferred index-permutation passes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuseMode {
+    /// Pass-fusion scheduling (the default): pure-permutation gates are
+    /// composed into one affine index map and executed as a single
+    /// gather pass; arithmetic gates with disjoint support hop past the
+    /// pending permutation.
+    On,
+    /// The per-gate schedule: every bound gate executes as its own
+    /// tile-block member or sweep, exactly as before fusion existed.
+    Off,
+}
+
+static ENV_FUSE: OnceLock<FuseMode> = OnceLock::new();
+
+thread_local! {
+    /// 0 = inherit env, 1 = force on, 2 = force off.
+    static LOCAL_FUSE: Cell<u8> = const { Cell::new(0) };
+}
+
+impl FuseMode {
+    /// The fusion mode in effect on this thread: a [`with_fuse_mode`]
+    /// override first, then `QSIM_FUSE`, then [`FuseMode::On`]. Resolved
+    /// at *bind* time — a [`BoundPlan`]'s schedule is fixed once built.
+    pub fn current() -> FuseMode {
+        match LOCAL_FUSE.with(Cell::get) {
+            1 => FuseMode::On,
+            2 => FuseMode::Off,
+            _ => *ENV_FUSE.get_or_init(|| {
+                match std::env::var(FUSE_ENV).ok().as_deref().map(str::trim) {
+                    Some("off") | Some("0") => FuseMode::Off,
+                    _ => FuseMode::On,
+                }
+            }),
+        }
+    }
+}
+
+/// Runs `f` with a thread-local fusion override — the hook the
+/// equivalence tests use to pin both schedules inside one process.
+pub fn with_fuse_mode<R>(mode: FuseMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_FUSE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_FUSE.with(Cell::get);
+    let _restore = Restore(prev);
+    LOCAL_FUSE.with(|c| {
+        c.set(match mode {
+            FuseMode::On => 1,
+            FuseMode::Off => 2,
         })
     });
     f()
@@ -245,27 +334,368 @@ impl BoundGate {
             BoundGate::Two { qa, qb, kernel, m } => kernel.run_region4(lvl, m, region, *qa, *qb),
         }
     }
+
+    /// Operand qubits as a bit mask (only called on plans narrow enough
+    /// for the permutation scheduler, i.e. ≤ [`MAX_PERM_QUBITS`]).
+    fn support_mask(&self) -> u32 {
+        match *self {
+            BoundGate::One { q, .. } => 1 << q,
+            BoundGate::Two { qa, qb, .. } => (1 << qa) | (1 << qb),
+        }
+    }
+
+    /// When the bound gate is a *pure* basis-state permutation — every
+    /// nonzero matrix entry exactly `1` (CX, Swap, X, their products) —
+    /// returns `(support mask, affine index map)`. Gates with any
+    /// phase/scaling coefficient return `None`: a scalar multiply does
+    /// not commute bit-wise with neighboring rotations, so only
+    /// arithmetic-free moves are safe to defer.
+    fn as_perm(&self, n: usize) -> Option<(u32, AffinePerm)> {
+        let one = Complex64::ONE;
+        match *self {
+            BoundGate::One { q, kernel, m } => match kernel {
+                // Fused-to-identity 1q chains: nothing moves.
+                Kernel2::Diag if m[0][0] == one && m[1][1] == one => {
+                    Some((0, AffinePerm::identity(n)))
+                }
+                // Unit anti-diagonal = X: flip one index bit.
+                Kernel2::Anti if m[0][1] == one && m[1][0] == one => {
+                    let mut p = AffinePerm::identity(n);
+                    p.t = 1 << q;
+                    Some((1 << q, p))
+                }
+                _ => None,
+            },
+            BoundGate::Two { qa, qb, kernel, .. } => {
+                // Row map of the monomial: `new[i] = old[rows[i]]`.
+                let rows: [u8; 4] = match kernel {
+                    Kernel4::Diag(c) if c == [one; 4] => [0, 1, 2, 3],
+                    Kernel4::Transposition {
+                        i,
+                        j,
+                        ci,
+                        cj,
+                        fixed,
+                        ..
+                    } if ci == one && cj == one && fixed == [one, one] => {
+                        let mut p = [0u8, 1, 2, 3];
+                        p.swap(i as usize, j as usize);
+                        p
+                    }
+                    Kernel4::Monomial { perm, coef } if coef == [one; 4] => perm,
+                    _ => return None,
+                };
+                // Index map: the amplitude at sub-index `s` moves to `g(s)`
+                // with `rows[g(s)] = s` — the inverse of the row map.
+                let mut g = [0u8; 4];
+                for (i, &r) in rows.iter().enumerate() {
+                    g[r as usize] = i as u8;
+                }
+                Some((
+                    (1u32 << qa) | (1u32 << qb),
+                    AffinePerm::from_two(n, qa, qb, g),
+                ))
+            }
+        }
+    }
 }
 
-/// One step of the schedule.
+/// An accumulated basis-state permutation, kept in the affine normal
+/// form `P(i) = L·i ⊕ t` over GF(2): `L` as one bit-mask column per
+/// qubit, `t` a translation mask. Every pure-permutation gate is affine
+/// (for two qubits, S₄ ≅ AGL(2,2) — *all* 24 sub-permutations qualify),
+/// composition is closed, and the form makes two scheduler facts
+/// checkable in O(1): whether a qubit is untouched (unit column, unit
+/// row, clear `t` bit — the hop-past test) and whether the whole map is
+/// the identity (cancelled rings cost nothing).
+#[derive(Clone, Copy, Debug)]
+struct AffinePerm {
+    /// `cols[k]` = image of basis bit `e_k` under `L`.
+    cols: [u32; MAX_PERM_QUBITS],
+    /// Translation mask.
+    t: u32,
+    /// Meaningful columns (the plan width).
+    n: usize,
+}
+
+impl AffinePerm {
+    fn identity(n: usize) -> Self {
+        let mut cols = [0u32; MAX_PERM_QUBITS];
+        for (k, c) in cols.iter_mut().enumerate().take(n) {
+            *c = 1 << k;
+        }
+        AffinePerm { cols, t: 0, n }
+    }
+
+    fn is_identity(&self) -> bool {
+        self.t == 0
+            && self
+                .cols
+                .iter()
+                .enumerate()
+                .take(self.n)
+                .all(|(k, &c)| c == 1 << k)
+    }
+
+    /// `L·x` (linear part only).
+    fn lin(&self, x: u32) -> u32 {
+        let mut r = 0u32;
+        let mut rest = x;
+        while rest != 0 {
+            let k = rest.trailing_zeros() as usize;
+            r ^= self.cols[k];
+            rest &= rest - 1;
+        }
+        r
+    }
+
+    /// The composition applying `prev` first, then `self`.
+    fn after(&self, prev: &AffinePerm) -> AffinePerm {
+        let mut cols = [0u32; MAX_PERM_QUBITS];
+        for (c, p) in cols.iter_mut().zip(prev.cols.iter()).take(self.n) {
+            *c = self.lin(*p);
+        }
+        AffinePerm {
+            cols,
+            t: self.lin(prev.t) ^ self.t,
+            n: self.n,
+        }
+    }
+
+    /// The affine map of one two-qubit sub-permutation `g` (matrix-basis
+    /// bit 0 ↔ `qa`, bit 1 ↔ `qb`, matching the kernel quad layout
+    /// `offs = [0, ba, bb, ba|bb]`). Decomposed as `c = g(0)`,
+    /// `A·e₁ = g(1) ⊕ c`, `A·e₂ = g(2) ⊕ c`; `g(3) = g(1) ⊕ g(2) ⊕ g(0)`
+    /// holds for every permutation of GF(2)², so the form is exact.
+    fn from_two(n: usize, qa: usize, qb: usize, g: [u8; 4]) -> AffinePerm {
+        let mb = |v: u8| -> u32 {
+            let mut m = 0;
+            if v & 1 != 0 {
+                m |= 1 << qa;
+            }
+            if v & 2 != 0 {
+                m |= 1 << qb;
+            }
+            m
+        };
+        let c = g[0];
+        let mut p = AffinePerm::identity(n);
+        p.cols[qa] = mb(g[1] ^ c);
+        p.cols[qb] = mb(g[2] ^ c);
+        p.t = mb(c);
+        p
+    }
+
+    /// Inverts the map into an executable gather spec (`out[j] =
+    /// in[P⁻¹(j)]`) by GF(2) Gauss–Jordan elimination. The linear part
+    /// is a composition of invertible gate maps, so a pivot always
+    /// exists.
+    fn inverse_spec(&self) -> PermSpec {
+        let n = self.n;
+        // Row view of `L` (bit k of `rows[r]` = L[r][k]), augmented with
+        // the identity.
+        let mut rows = [0u32; MAX_PERM_QUBITS];
+        let mut aug = [0u32; MAX_PERM_QUBITS];
+        for r in 0..n {
+            for (k, &c) in self.cols.iter().enumerate().take(n) {
+                if c >> r & 1 != 0 {
+                    rows[r] |= 1 << k;
+                }
+            }
+            aug[r] = 1 << r;
+        }
+        for c in 0..n {
+            let pivot = (c..n)
+                .find(|&r| rows[r] >> c & 1 != 0)
+                .expect("gate permutation maps are invertible");
+            rows.swap(c, pivot);
+            aug.swap(c, pivot);
+            for r in 0..n {
+                if r != c && rows[r] >> c & 1 != 0 {
+                    rows[r] ^= rows[c];
+                    aug[r] ^= aug[c];
+                }
+            }
+        }
+        // `aug` now holds L⁻¹ in row view; store it column-wise for the
+        // gather's incremental addressing.
+        let mut inv_cols = [0u32; MAX_PERM_QUBITS];
+        for (r, &a) in aug.iter().enumerate().take(n) {
+            for (k, ic) in inv_cols.iter_mut().enumerate().take(n) {
+                if a >> k & 1 != 0 {
+                    *ic |= 1 << r;
+                }
+            }
+        }
+        let mut spec = PermSpec {
+            inv_cols,
+            inv_t: 0,
+            n: n as u32,
+        };
+        spec.inv_t = spec.lin_inv(self.t);
+        spec
+    }
+}
+
+/// One executable permutation pass: the *inverse* affine index map, so
+/// execution is a pure output-ordered gather — sequential writes, no
+/// arithmetic, bit-exact by construction at any thread count.
+#[derive(Clone, Copy, Debug)]
+struct PermSpec {
+    /// `inv_cols[k]` = image of `e_k` under `L⁻¹`.
+    inv_cols: [u32; MAX_PERM_QUBITS],
+    /// `P⁻¹(j) = L⁻¹·j ⊕ inv_t` (with `inv_t = L⁻¹·t`).
+    inv_t: u32,
+    /// Plan bits the map covers; higher state bits pass through
+    /// untouched (states may be wider than the plan).
+    n: u32,
+}
+
+impl PermSpec {
+    /// `L⁻¹·x` over the covered bits.
+    fn lin_inv(&self, x: u32) -> u32 {
+        let mut r = 0u32;
+        let mut rest = x;
+        while rest != 0 {
+            let k = rest.trailing_zeros() as usize;
+            r ^= self.inv_cols[k];
+            rest &= rest - 1;
+        }
+        r
+    }
+
+    /// Source index feeding output index `j`, identity-extended above
+    /// the plan width.
+    fn src(&self, j: usize) -> usize {
+        let mask = (1usize << self.n) - 1;
+        let low = (j & mask) as u32;
+        (j & !mask) | (self.lin_inv(low) ^ self.inv_t) as usize
+    }
+}
+
+thread_local! {
+    /// Reusable gather buffer for permutation passes. It is swapped with
+    /// the state's amplitude vector after each pass, so steady-state
+    /// permutes (training loops) allocate nothing.
+    static PERM_SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Executes one permutation pass: gathers `out[j] = in[P⁻¹(j)]` into the
+/// thread-local scratch buffer, then swaps buffers. Output-ordered, so
+/// writes stream sequentially and parallel workers own disjoint output
+/// chunks; the source index advances incrementally — stepping `j → j+1`
+/// flips the low `tz(j+1)+1` bits, so the source moves by the XOR-prefix
+/// of the inverse columns instead of a fresh matrix-vector product.
+fn run_permute(state: &mut StateVector, spec: &PermSpec) {
+    let amps = state.amplitudes_mut();
+    let len = amps.len();
+    let bits = len.trailing_zeros() as usize;
+    // prefix[k] = inv_cols[0] ⊕ … ⊕ inv_cols[k], identity-extended above
+    // the plan width. prefix[bits] stays 0: it is only indexed on the
+    // final wrap (j+1 == a power of two ≥ the chunk end).
+    let mut prefix = [0usize; 65];
+    let mut acc = 0usize;
+    for (k, p) in prefix.iter_mut().enumerate().take(bits) {
+        acc ^= if k < spec.n as usize {
+            spec.inv_cols[k] as usize
+        } else {
+            1usize << k
+        };
+        *p = acc;
+    }
+    let threads = if len < PARALLEL_MIN_AMPS {
+        1
+    } else {
+        qpar::current_threads()
+    };
+    PERM_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        // The gather overwrites every slot, so the zero-fill only matters
+        // when the buffer grows; steady-state permutes skip the memset.
+        if scratch.len() != len {
+            scratch.clear();
+            scratch.resize(len, Complex64::ZERO);
+        }
+        if threads <= 1 {
+            gather_permuted(amps, &mut scratch, 0, spec, &prefix);
+        } else {
+            // Scoped threads only: gathers read the shared input slice
+            // and write disjoint output chunks — moves, never arithmetic,
+            // so any chunking is trivially bit-exact.
+            let chunk = len.div_ceil(threads);
+            let input: &[Complex64] = amps;
+            let items: Vec<(usize, &mut [Complex64])> = scratch
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, c)| (i * chunk, c))
+                .collect();
+            qpar::for_each_threads(threads, items, |(start, out)| {
+                gather_permuted(input, out, start, spec, &prefix);
+            });
+        }
+        std::mem::swap(amps, &mut *scratch);
+    });
+}
+
+/// Gathers one output chunk starting at global index `start`.
+fn gather_permuted(
+    input: &[Complex64],
+    out: &mut [Complex64],
+    start: usize,
+    spec: &PermSpec,
+    prefix: &[usize; 65],
+) {
+    let mut src = spec.src(start);
+    let mut j = start;
+    for slot in out.iter_mut() {
+        *slot = input[src];
+        j += 1;
+        src ^= prefix[j.trailing_zeros() as usize];
+    }
+}
+
+/// One step of the schedule. `Tile`/`Sweep` index into [`BoundPlan`]'s
+/// `sched` vector (execution order — distinct from bound order once
+/// gates hop past deferred permutations).
+///
+/// `Permute` inlines its spec: it is the large variant, but steps live
+/// in one short linear-scanned `Vec` and the spec is read every
+/// execution, so boxing would trade locality for a per-bind allocation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 enum Step {
     /// A run of gates whose operands all fit one tile: applied tile by
     /// tile in a single sweep over the state.
-    Tile(Range<usize>),
+    Tile(Range<u32>),
     /// A gate touching a high qubit (or standing alone): one classic
     /// whole-array pass.
-    Sweep(usize),
+    Sweep(u32),
+    /// One deferred basis-permutation pass (a fused CX ring / swap /
+    /// X-band accumulation): a single gather sweep.
+    Permute(PermSpec),
 }
 
 /// A plan bound to a concrete parameter vector: fused matrices, kernel
-/// descriptors and the tile schedule, ready to execute any number of
-/// times.
+/// descriptors and the pass schedule, ready to execute any number of
+/// times — and to *rebind* in place ([`BoundPlan::rebind`]), so
+/// bind-heavy loops (parameter-shift training does `2·sites + 1` binds
+/// per step) stop paying per-bind allocation.
 #[derive(Clone, Debug)]
 pub struct BoundPlan<'p> {
     plan: &'p ExecPlan,
+    /// Bound gates in bound (interpreter) order — the `interp`-mode
+    /// oracle walks exactly this sequence, fusion or not.
     gates: Vec<BoundGate>,
+    /// Gates in execution order (pure-permutation gates elided when the
+    /// schedule fused them into `Step::Permute` passes).
+    sched: Vec<BoundGate>,
     steps: Vec<Step>,
+    /// Whether this binding was scheduled with pass fusion (resolved
+    /// from [`FuseMode::current`] at bind time).
+    fused: bool,
+    /// Bind scratch: pending 1q fusion state, reused across rebinds.
+    dense: Vec<Option<Matrix2>>,
+    diag: Vec<Option<Matrix2>>,
 }
 
 impl Circuit {
@@ -350,7 +780,9 @@ impl ExecPlan {
     /// the plan's parameter space, [`CircuitError::State`] on duplicate
     /// two-qubit operands.
     pub fn bind(&self, params: &[f64]) -> Result<BoundPlan<'_>, CircuitError> {
-        self.bind_impl(params, None)
+        let mut bound = BoundPlan::empty(self);
+        bound.rebind(params)?;
+        Ok(bound)
     }
 
     /// [`ExecPlan::bind`] with the angle of the op at `op_index` offset
@@ -366,7 +798,9 @@ impl ExecPlan {
         op_index: usize,
         delta: f64,
     ) -> Result<BoundPlan<'_>, CircuitError> {
-        self.bind_impl(params, Some((op_index, delta)))
+        let mut bound = BoundPlan::empty(self);
+        bound.rebind_shifted(params, op_index, delta)?;
+        Ok(bound)
     }
 
     /// Executes the plan on `|0…0⟩` with the given binding.
@@ -405,17 +839,75 @@ impl ExecPlan {
         self.bind_shifted(params, op_index, delta)?.run_on(state)
     }
 
+    /// An empty, reusable [`BoundPlan`] shell whose buffers survive
+    /// across [`BoundPlan::rebind`] / [`BoundPlan::rebind_shifted`]
+    /// calls — the bind-scratch for loops that bind many parameter
+    /// vectors against one plan (a parameter-shift gradient performs
+    /// `2·sites + 1` binds per step). The shell holds no binding until
+    /// the first rebind; running it executes zero gates.
+    pub fn bind_scratch(&self) -> BoundPlan<'_> {
+        BoundPlan::empty(self)
+    }
+}
+
+impl<'p> BoundPlan<'p> {
+    /// An unbound shell holding reusable buffers; filled by
+    /// [`BoundPlan::rebind`].
+    fn empty(plan: &'p ExecPlan) -> Self {
+        BoundPlan {
+            plan,
+            gates: Vec::with_capacity(plan.records.len()),
+            sched: Vec::with_capacity(plan.records.len()),
+            steps: Vec::new(),
+            fused: false,
+            dense: vec![None; plan.num_qubits],
+            diag: vec![None; plan.num_qubits],
+        }
+    }
+
+    /// Re-binds this plan to a new parameter vector **in place**,
+    /// reusing every buffer of the previous binding — the allocation-free
+    /// path for bind-heavy loops (a parameter-shift gradient rebinds
+    /// `2·sites + 1` times per step).
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecPlan::bind`]. On error the binding is left cleared, not
+    /// half-built.
+    pub fn rebind(&mut self, params: &[f64]) -> Result<(), CircuitError> {
+        self.rebind_impl(params, None)
+    }
+
+    /// [`BoundPlan::rebind`] with the angle of the op at `op_index`
+    /// offset by `delta` (the parameter-shift patch).
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecPlan::bind`].
+    pub fn rebind_shifted(
+        &mut self,
+        params: &[f64],
+        op_index: usize,
+        delta: f64,
+    ) -> Result<(), CircuitError> {
+        self.rebind_impl(params, Some((op_index, delta)))
+    }
+
     /// The bind-time twin of the interpreter's fused executor: identical
     /// fusion decisions and matrix-product order, but emitting bound
     /// gates instead of touching a state.
-    fn bind_impl(
-        &self,
+    fn rebind_impl(
+        &mut self,
         params: &[f64],
         op_shift: Option<(usize, f64)>,
-    ) -> Result<BoundPlan<'_>, CircuitError> {
+    ) -> Result<(), CircuitError> {
+        let plan = self.plan;
+        self.gates.clear();
+        self.sched.clear();
+        self.steps.clear();
         // Mirror `Circuit::validate(params.len())`'s parameter check (the
         // structural half already ran at compile time).
-        for (i, rec) in self.records.iter().enumerate() {
+        for (i, rec) in plan.records.iter().enumerate() {
             if let Some(ParamRef::Sym { index, .. }) = rec.param {
                 if index >= params.len() {
                     return Err(CircuitError::ParamOutOfRange {
@@ -426,12 +918,15 @@ impl ExecPlan {
                 }
             }
         }
-        let mut gates: Vec<BoundGate> = Vec::with_capacity(self.records.len());
+        let gates = &mut self.gates;
         // Pending 1q work per qubit, factored as `diag · dense` exactly
         // like the interpreter (see `Circuit::run_on` for why the
-        // factoring preserves cheap kernel structure).
-        let mut dense: Vec<Option<Matrix2>> = vec![None; self.num_qubits];
-        let mut diag: Vec<Option<Matrix2>> = vec![None; self.num_qubits];
+        // factoring preserves cheap kernel structure). The buffers hold
+        // `None` everywhere between bindings (every path below drains
+        // them), so rebinding needs no reset.
+        let dense = &mut self.dense;
+        let diag = &mut self.diag;
+        debug_assert!(dense.iter().chain(diag.iter()).all(Option::is_none));
         let emit2 = |q: usize, m: Matrix2, gates: &mut Vec<BoundGate>| {
             gates.push(BoundGate::One {
                 q,
@@ -439,7 +934,7 @@ impl ExecPlan {
                 m,
             });
         };
-        for (i, rec) in self.records.iter().enumerate() {
+        for (i, rec) in plan.records.iter().enumerate() {
             let shift = match op_shift {
                 Some((op, delta)) if op == i => Some(delta),
                 _ => None,
@@ -467,10 +962,15 @@ impl ExecPlan {
                 _ => {
                     let (a, b) = (rec.qubits[0], rec.qubits[1]);
                     if a == b {
+                        // Drain the pending-1q buffers so a failed rebind
+                        // leaves them clean for the next one.
+                        dense.fill(None);
+                        diag.fill(None);
                         return Err(CircuitError::State(StateError::DuplicateQubits(a)));
                     }
                     let mut m4 = resolve4(rec, params, shift);
                     let dense4 = is_dense4(&m4);
+                    let pure_perm = is_unit_perm4(&m4);
                     for (q, bit) in [(a, 0usize), (b, 1usize)] {
                         match (dense[q].take(), diag[q].take()) {
                             (Some(d), g) => {
@@ -480,15 +980,28 @@ impl ExecPlan {
                                         None => d,
                                     };
                                     m4 = mat4_fold1q(&m4, &whole, bit);
+                                } else if pure_perm {
+                                    // Mirror the interpreter: pure
+                                    // permutations stay coefficient-free
+                                    // so the scheduler can defer them.
+                                    let whole = match g {
+                                        Some(g) => mat2_mul(&g, &d),
+                                        None => d,
+                                    };
+                                    emit2(q, whole, gates);
                                 } else {
-                                    emit2(q, d, &mut gates);
+                                    emit2(q, d, gates);
                                     if let Some(g) = g {
                                         m4 = mat4_fold1q(&m4, &g, bit);
                                     }
                                 }
                             }
                             (None, Some(g)) => {
-                                m4 = mat4_fold1q(&m4, &g, bit);
+                                if pure_perm {
+                                    emit2(q, g, gates);
+                                } else {
+                                    m4 = mat4_fold1q(&m4, &g, bit);
+                                }
                             }
                             (None, None) => {}
                         }
@@ -502,20 +1015,95 @@ impl ExecPlan {
                 }
             }
         }
-        for q in 0..self.num_qubits {
+        for q in 0..plan.num_qubits {
             match (dense[q].take(), diag[q].take()) {
-                (Some(d), Some(g)) => emit2(q, mat2_mul(&g, &d), &mut gates),
-                (Some(d), None) => emit2(q, d, &mut gates),
-                (None, Some(g)) => emit2(q, g, &mut gates),
+                (Some(d), Some(g)) => emit2(q, mat2_mul(&g, &d), gates),
+                (Some(d), None) => emit2(q, d, gates),
+                (None, Some(g)) => emit2(q, g, gates),
                 (None, None) => {}
             }
         }
-        let steps = schedule(&gates, self.tile_qubits);
-        Ok(BoundPlan {
-            plan: self,
-            gates,
-            steps,
-        })
+        self.fused = FuseMode::current() == FuseMode::On && plan.num_qubits <= MAX_PERM_QUBITS;
+        self.schedule();
+        Ok(())
+    }
+
+    /// Builds the pass schedule from the bound gate sequence.
+    ///
+    /// Without fusion: consecutive gates whose operands all fit one
+    /// `2^tile_qubits` tile group into tile blocks; everything else
+    /// (high-qubit gates, singleton runs) executes as a whole-array
+    /// sweep — the classic schedule.
+    ///
+    /// With fusion, two extra rules, both arithmetic-free and therefore
+    /// bit-exact:
+    ///
+    /// * **Pure permutations defer.** A gate that only moves amplitudes
+    ///   ([`BoundGate::as_perm`]) is composed into one pending affine
+    ///   index map instead of being scheduled — an entangler ring
+    ///   becomes a single map.
+    /// * **Disjoint arithmetic hops past.** An arithmetic gate whose
+    ///   operands the pending map does not touch is scheduled *before*
+    ///   the map: the map is the identity on the gate's qubits, so it
+    ///   carries the gate's amplitude pairs to pairs with identical
+    ///   values and roles — reordering changes no computed bit. A gate
+    ///   that *does* overlap flushes the map as one [`Step::Permute`]
+    ///   gather pass first.
+    ///
+    /// On ring ansätze this turns `N` rotations + `N` entanglers per
+    /// layer from `2N` gate passes into `N` rotation visits + 1
+    /// permutation pass. Maps that cancel to the identity (e.g.
+    /// `Swap·Swap`) are dropped outright.
+    fn schedule(&mut self) {
+        let tile_qubits = self.plan.tile_qubits;
+        let nq = self.plan.num_qubits;
+        let fused = self.fused;
+        let gates = &self.gates;
+        let sched = &mut self.sched;
+        let steps = &mut self.steps;
+        let mut run_start: Option<u32> = None;
+        let close_run = |start: &mut Option<u32>, end: u32, steps: &mut Vec<Step>| {
+            if let Some(s) = start.take() {
+                if (end - s) as usize >= MIN_TILE_GROUP {
+                    steps.push(Step::Tile(s..end));
+                } else {
+                    for g in s..end {
+                        steps.push(Step::Sweep(g));
+                    }
+                }
+            }
+        };
+        let mut perm = AffinePerm::identity(nq);
+        let mut touched: u32 = 0;
+        for gate in gates {
+            if fused {
+                if let Some((support, gp)) = gate.as_perm(nq) {
+                    perm = gp.after(&perm);
+                    touched |= support;
+                    continue;
+                }
+            }
+            if touched != 0 && gate.support_mask() & touched != 0 {
+                close_run(&mut run_start, sched.len() as u32, steps);
+                if !perm.is_identity() {
+                    steps.push(Step::Permute(perm.inverse_spec()));
+                }
+                perm = AffinePerm::identity(nq);
+                touched = 0;
+            }
+            let idx = sched.len() as u32;
+            sched.push(*gate);
+            if gate.max_qubit() < tile_qubits {
+                run_start.get_or_insert(idx);
+            } else {
+                close_run(&mut run_start, idx, steps);
+                steps.push(Step::Sweep(idx));
+            }
+        }
+        close_run(&mut run_start, sched.len() as u32, steps);
+        if !perm.is_identity() {
+            steps.push(Step::Permute(perm.inverse_spec()));
+        }
     }
 }
 
@@ -550,45 +1138,65 @@ fn resolve4(rec: &OpRecord, params: &[f64], shift: Option<f64>) -> Matrix4 {
     }
 }
 
-/// Groups consecutive gates whose operands all fit one `2^tile_qubits`
-/// tile into tile blocks; everything else (high-qubit gates, singleton
-/// runs) executes as a whole-array sweep.
-fn schedule(gates: &[BoundGate], tile_qubits: usize) -> Vec<Step> {
-    let mut steps = Vec::new();
-    let mut run_start: Option<usize> = None;
-    let flush = |start: Option<usize>, end: usize, steps: &mut Vec<Step>| {
-        if let Some(s) = start {
-            if end - s >= MIN_TILE_GROUP {
-                steps.push(Step::Tile(s..end));
-            } else {
-                for g in s..end {
-                    steps.push(Step::Sweep(g));
-                }
-            }
-        }
-    };
-    for (i, gate) in gates.iter().enumerate() {
-        if gate.max_qubit() < tile_qubits {
-            run_start.get_or_insert(i);
-        } else {
-            flush(run_start.take(), i, &mut steps);
-            steps.push(Step::Sweep(i));
-        }
-    }
-    flush(run_start.take(), gates.len(), &mut steps);
-    steps
-}
-
 impl BoundPlan<'_> {
+    /// Register width of the underlying plan.
+    pub fn num_qubits(&self) -> usize {
+        self.plan.num_qubits
+    }
+
     /// Number of bound (post-fusion) gates.
     pub fn num_gates(&self) -> usize {
         self.gates.len()
     }
 
     /// Number of full passes over the state this plan will make — the
-    /// figure tiling minimizes (one per tile block + one per sweep gate).
+    /// figure tiling minimizes (one per tile block + one per sweep gate
+    /// + one per fused permutation).
     pub fn num_passes(&self) -> usize {
         self.steps.len()
+    }
+
+    /// Whether this binding was scheduled with pass fusion.
+    pub fn fused(&self) -> bool {
+        self.fused
+    }
+
+    /// Per-gate pass count under the classic one-sweep-per-gate traffic
+    /// model: one pass per scheduled arithmetic gate visit plus one per
+    /// fused permutation pass. This is the counter pass fusion drives
+    /// down — a rotation band + entangler ring layer costs `2N` here
+    /// without fusion and `N + 1` with it — and the figure
+    /// `bench_parallel` records as `passes_per_layer`.
+    pub fn passes(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Tile(r) => (r.end - r.start) as usize,
+                Step::Sweep(_) | Step::Permute(_) => 1,
+            })
+            .sum()
+    }
+
+    /// Deterministic model of the amplitude bytes one plan-mode
+    /// execution moves on a `num_qubits()`-wide state: 32 bytes per
+    /// amplitude a kernel reads *and* writes, with structure credits —
+    /// diagonal kernels only touch the rows whose coefficient is not
+    /// exactly 1, transpositions move half of each quad, a permutation
+    /// pass reads and writes the whole array once. A counter, not a
+    /// timer: it depends only on the schedule, so tests can pin it.
+    pub fn amp_bytes_swept(&self) -> u64 {
+        let amps = 1u64 << self.plan.num_qubits;
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Tile(r) => self.sched[r.start as usize..r.end as usize]
+                    .iter()
+                    .map(|g| gate_bytes(g, amps))
+                    .sum(),
+                Step::Sweep(g) => gate_bytes(&self.sched[*g as usize], amps),
+                Step::Permute(_) => 32 * amps,
+            })
+            .sum()
     }
 
     /// Executes the bound plan on an existing state in place.
@@ -621,8 +1229,11 @@ impl BoundPlan<'_> {
         }
         for step in &self.steps {
             match step {
-                Step::Sweep(g) => self.sweep(state, &self.gates[*g]),
-                Step::Tile(range) => self.run_tiled(state, &self.gates[range.clone()]),
+                Step::Sweep(g) => self.sweep(state, &self.sched[*g as usize]),
+                Step::Tile(r) => {
+                    self.run_tiled(state, &self.sched[r.start as usize..r.end as usize])
+                }
+                Step::Permute(spec) => run_permute(state, spec),
             }
         }
         Ok(())
@@ -684,6 +1295,34 @@ impl BoundPlan<'_> {
                 run_block_region(gates, chunk, tile, lvl);
             });
         }
+    }
+}
+
+/// Amplitude bytes one whole-array visit of `gate` moves under the
+/// [`BoundPlan::amp_bytes_swept`] model (32 bytes = one `Complex64`
+/// read + write).
+fn gate_bytes(gate: &BoundGate, amps: u64) -> u64 {
+    let one = Complex64::ONE;
+    match gate {
+        BoundGate::One { kernel, m, .. } => match kernel {
+            // Each non-unit diagonal entry scales half the array.
+            Kernel2::Diag => {
+                let moving = (m[0][0] != one) as u64 + (m[1][1] != one) as u64;
+                moving * (amps / 2) * 32
+            }
+            _ => amps * 32,
+        },
+        BoundGate::Two { kernel, .. } => match kernel {
+            // Each non-unit diagonal entry scales a quarter of the array.
+            Kernel4::Diag(d) => d.iter().filter(|c| **c != one).count() as u64 * (amps / 4) * 32,
+            // The swapped pair always moves (half the array); fixed rows
+            // only when scaled.
+            Kernel4::Transposition { fixed, .. } => {
+                (amps / 2) * 32
+                    + fixed.iter().filter(|c| **c != one).count() as u64 * (amps / 4) * 32
+            }
+            _ => amps * 32,
+        },
     }
 }
 
@@ -774,7 +1413,8 @@ mod tests {
 
     #[test]
     fn tiling_kicks_in_for_low_qubit_runs() {
-        // All operands below the tile exponent → one tile block, one pass.
+        // All operands below the tile exponent → one tile block, one pass
+        // (classic schedule; fusion would lift the CXs into a permute).
         let mut c = Circuit::new(4);
         for q in 0..4 {
             c.push_fixed(Gate::H, &[q]);
@@ -782,9 +1422,18 @@ mod tests {
         c.push_fixed(Gate::Cx, &[0, 1]);
         c.push_fixed(Gate::Cx, &[2, 3]);
         let plan = c.compile().unwrap();
-        let bound = plan.bind(&[]).unwrap();
+        let bound = with_fuse_mode(FuseMode::Off, || plan.bind(&[]).unwrap());
+        assert!(!bound.fused());
         assert_eq!(bound.num_passes(), 1, "all-low circuit must fully tile");
         assert!(bound.num_gates() >= 2);
+        // Fused: the H band tiles, both CXs become one permutation pass.
+        let fused = with_fuse_mode(FuseMode::On, || plan.bind(&[]).unwrap());
+        assert!(fused.fused());
+        assert_eq!(fused.num_passes(), 2, "H tile + one permute");
+        assert_eq!(fused.passes(), 5, "4 H visits + 1 permute");
+        let a = with_fuse_mode(FuseMode::Off, || plan.run(&[]).unwrap());
+        let b = with_fuse_mode(FuseMode::On, || plan.run(&[]).unwrap());
+        assert_eq!(bits(&a), bits(&b));
     }
 
     #[test]
@@ -798,11 +1447,185 @@ mod tests {
         c.push_fixed(Gate::H, &[2]);
         c.push_fixed(Gate::Cx, &[2, 3]);
         let plan = c.compile().unwrap();
-        let bound = plan.bind(&[]).unwrap();
+        let bound = with_fuse_mode(FuseMode::Off, || plan.bind(&[]).unwrap());
         assert_eq!(bound.num_passes(), 3, "tile, sweep, tile");
-        let s = plan.run(&[]).unwrap();
+        let s = with_fuse_mode(FuseMode::Off, || plan.run(&[]).unwrap());
         let interp = with_exec_mode(ExecMode::Interp, || c.run(&[]).unwrap());
         assert_eq!(bits(&interp), bits(&s));
+        // Fused: every CX joins one permutation — even the high-qubit
+        // one, since deferred maps never touch memory until the flush.
+        let fused = with_fuse_mode(FuseMode::On, || plan.bind(&[]).unwrap());
+        assert_eq!(fused.num_passes(), 2, "H tile + one permute");
+        assert_eq!(fused.passes(), 3, "2 H visits + 1 permute");
+        let sf = with_fuse_mode(FuseMode::On, || plan.run(&[]).unwrap());
+        assert_eq!(bits(&interp), bits(&sf));
+    }
+
+    #[test]
+    fn ring_layer_fuses_to_n_plus_one_passes() {
+        // One hardware-efficient layer: a rotation band then a CX ring.
+        // Fused pass count must hit exactly N + 1 (N rotation visits +
+        // one permutation); unfused it is 2N.
+        let n = 6;
+        let mut c = Circuit::new(n);
+        let mut p = 0;
+        for q in 0..n {
+            c.push_sym(Gate::Ry(0.0), &[q], p);
+            c.push_sym(Gate::Rz(0.0), &[q], p + 1);
+            p += 2;
+        }
+        for q in 0..n {
+            c.push_fixed(Gate::Cx, &[q, (q + 1) % n]);
+        }
+        let params: Vec<f64> = (0..p).map(|i| 0.2 + 0.1 * i as f64).collect();
+        let plan = c.compile().unwrap();
+        let fused = with_fuse_mode(FuseMode::On, || plan.bind(&params).unwrap());
+        assert_eq!(fused.passes(), n + 1, "N rotation visits + 1 permute");
+        let unfused = with_fuse_mode(FuseMode::Off, || plan.bind(&params).unwrap());
+        assert_eq!(unfused.passes(), 2 * n, "per-gate model: 2N");
+        assert!(fused.amp_bytes_swept() < unfused.amp_bytes_swept());
+        let interp = with_exec_mode(ExecMode::Interp, || c.run(&params).unwrap());
+        let got = with_fuse_mode(FuseMode::On, || plan.run(&params).unwrap());
+        assert_eq!(bits(&interp), bits(&got));
+    }
+
+    #[test]
+    fn arithmetic_rings_do_not_fuse() {
+        // CZ and Rzz rings scale amplitudes (diagonal kernels, not pure
+        // permutations): fusion must leave them alone — a scalar multiply
+        // does not commute bit-wise with the rotation band.
+        let n = 4;
+        for ring in ["cz", "rzz"] {
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                c.push_fixed(Gate::Ry(0.3), &[q]);
+            }
+            for q in 0..n {
+                match ring {
+                    "cz" => c.push_fixed(Gate::Cz, &[q, (q + 1) % n]),
+                    _ => c.push_fixed(Gate::Rzz(0.7), &[q, (q + 1) % n]),
+                };
+            }
+            let plan = c.compile().unwrap();
+            let fused = with_fuse_mode(FuseMode::On, || plan.bind(&[]).unwrap());
+            let unfused = with_fuse_mode(FuseMode::Off, || plan.bind(&[]).unwrap());
+            assert_eq!(
+                fused.passes(),
+                unfused.passes(),
+                "{ring} ring must not fuse"
+            );
+            assert!(fused.steps.iter().all(|s| !matches!(s, Step::Permute(_))));
+        }
+    }
+
+    #[test]
+    fn overlapping_rotation_flushes_the_pending_permutation() {
+        // Ry(0) · CX(0,1) · Ry(0): the second rotation touches a qubit
+        // the deferred map moved, so the map must flush between them.
+        let mut c = Circuit::new(2);
+        c.push_sym(Gate::Ry(0.0), &[0], 0);
+        c.push_fixed(Gate::Cx, &[0, 1]);
+        c.push_sym(Gate::Ry(0.0), &[0], 1);
+        let plan = c.compile().unwrap();
+        let bound = with_fuse_mode(FuseMode::On, || plan.bind(&[0.4, 0.9]).unwrap());
+        assert_eq!(bound.passes(), 3, "rotation, permute, rotation");
+        assert_eq!(bound.num_passes(), 3);
+        let interp = with_exec_mode(ExecMode::Interp, || c.run(&[0.4, 0.9]).unwrap());
+        let got = with_fuse_mode(FuseMode::On, || plan.run(&[0.4, 0.9]).unwrap());
+        assert_eq!(bits(&interp), bits(&got));
+    }
+
+    #[test]
+    fn cancelling_permutations_cost_nothing() {
+        // Swap·Swap composes to the identity: the scheduler must drop the
+        // permutation pass entirely.
+        let mut c = Circuit::new(2);
+        c.push_fixed(Gate::H, &[0]);
+        c.push_fixed(Gate::Swap, &[0, 1]);
+        c.push_fixed(Gate::Swap, &[0, 1]);
+        let plan = c.compile().unwrap();
+        let bound = with_fuse_mode(FuseMode::On, || plan.bind(&[]).unwrap());
+        assert_eq!(bound.passes(), 1, "just the H");
+        let interp = with_exec_mode(ExecMode::Interp, || c.run(&[]).unwrap());
+        let got = with_fuse_mode(FuseMode::On, || plan.run(&[]).unwrap());
+        assert_eq!(bits(&interp), bits(&got));
+    }
+
+    #[test]
+    fn x_bands_and_swaps_fuse_with_cx() {
+        // A mixed pure-permutation tail (X gates, Swap, CX chain) becomes
+        // one gather pass and stays bit-exact against the interpreter.
+        let mut c = Circuit::new(5);
+        for q in 0..5 {
+            c.push_fixed(Gate::H, &[q]);
+        }
+        c.push_fixed(Gate::Cx, &[0, 1]);
+        c.push_fixed(Gate::Swap, &[1, 3]);
+        c.push_fixed(Gate::Cx, &[3, 4]);
+        c.push_fixed(Gate::X, &[2]);
+        c.push_fixed(Gate::Cx, &[4, 0]);
+        let plan = c.compile().unwrap();
+        let bound = with_fuse_mode(FuseMode::On, || plan.bind(&[]).unwrap());
+        assert_eq!(bound.passes(), 6, "5 H visits + 1 permute");
+        let interp = with_exec_mode(ExecMode::Interp, || c.run(&[]).unwrap());
+        let got = with_fuse_mode(FuseMode::On, || plan.run(&[]).unwrap());
+        assert_eq!(bits(&interp), bits(&got));
+    }
+
+    #[test]
+    fn rebind_reuses_buffers_and_matches_fresh_binds() {
+        let c = sample_circuit(5);
+        let plan = c.compile().unwrap();
+        let mut bound = plan.bind(&vec![0.0; c.num_params()]).unwrap();
+        for seed in 0..4u64 {
+            let mut rng = Xoshiro256::seed_from(seed);
+            let params: Vec<f64> = (0..c.num_params())
+                .map(|_| rng.next_f64() * 4.0 - 2.0)
+                .collect();
+            bound.rebind(&params).unwrap();
+            let mut s = StateVector::zero_state(5);
+            bound.run_on(&mut s).unwrap();
+            let fresh = plan.run(&params).unwrap();
+            assert_eq!(bits(&fresh), bits(&s), "seed {seed}");
+            // Shifted rebind too (the gradient-loop pattern).
+            let (op, _) = c.sym_ops()[seed as usize % c.sym_ops().len()];
+            bound.rebind_shifted(&params, op, 0.7).unwrap();
+            let mut s = StateVector::zero_state(5);
+            bound.run_on(&mut s).unwrap();
+            let mut fresh = StateVector::zero_state(5);
+            plan.run_on_with_op_shift(&mut fresh, &params, op, 0.7)
+                .unwrap();
+            assert_eq!(bits(&fresh), bits(&s), "shifted seed {seed}");
+        }
+    }
+
+    #[test]
+    fn failed_rebind_leaves_scratch_clean() {
+        // A rebind that errors (missing params) must not poison the
+        // pending-1q buffers for the next rebind.
+        let mut c = Circuit::new(2);
+        c.push_sym(Gate::Ry(0.0), &[0], 0);
+        c.push_sym(Gate::Rz(0.0), &[1], 1);
+        let plan = c.compile().unwrap();
+        let mut bound = plan.bind(&[0.3, 0.4]).unwrap();
+        assert!(bound.rebind(&[0.1]).is_err());
+        bound.rebind(&[0.5, 0.6]).unwrap();
+        let mut s = StateVector::zero_state(2);
+        bound.run_on(&mut s).unwrap();
+        assert_eq!(bits(&plan.run(&[0.5, 0.6]).unwrap()), bits(&s));
+    }
+
+    #[test]
+    fn fuse_mode_override_nests_and_restores() {
+        let ambient = FuseMode::current();
+        with_fuse_mode(FuseMode::Off, || {
+            assert_eq!(FuseMode::current(), FuseMode::Off);
+            with_fuse_mode(FuseMode::On, || {
+                assert_eq!(FuseMode::current(), FuseMode::On);
+            });
+            assert_eq!(FuseMode::current(), FuseMode::Off);
+        });
+        assert_eq!(FuseMode::current(), ambient);
     }
 
     #[test]

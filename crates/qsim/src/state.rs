@@ -691,6 +691,23 @@ impl Kernel2 {
                 }
             };
         }
+        // Unit anti-diagonal (`X`): a pure amplitude swap. Bit-for-bit
+        // this is NOT the same as multiplying by the exact-one
+        // coefficients (`1·x` renormalizes signed zeros), so every
+        // executor — interp sweeps, plan tiles, and the fused
+        // permutation gather — must agree on the move-only form. Moves
+        // carry no rounding, so dispatching short strides to the index
+        // loop and long ones to the slice memswap is exactness-neutral.
+        if matches!(self, Kernel2::Anti)
+            && m[0][1] == Complex64::ONE
+            && m[1][0] == Complex64::ONE
+            && bit < INDEX_KERNEL_MAX_STRIDE
+        {
+            pair_loop!(|i0| {
+                amps.swap(i0, i0 | bit);
+            });
+            return;
+        }
         if bit < INDEX_KERNEL_MAX_STRIDE && (bit <= 2 || matches!(self, Kernel2::Diag)) {
             if bit == 1 && !matches!(self, Kernel2::Diag) {
                 // Adjacent pairs: the whole region is back-to-back
@@ -799,14 +816,9 @@ impl Kernel2 {
             }
             Kernel2::Anti => {
                 // `(lo, hi) ← (m01·hi, m10·lo)` is exactly the scaled-swap
-                // primitive.
-                qsimd::swap_scale(
-                    lvl,
-                    Complex64::flatten_mut(lo),
-                    Complex64::flatten_mut(hi),
-                    (m[0][1].re, m[0][1].im),
-                    (m[1][0].re, m[1][0].im),
-                );
+                // primitive; unit coefficients short-circuit to a pure
+                // memswap inside (`1·x` would renormalize signed zeros).
+                swap_scaled(lvl, lo, hi, m[0][1], m[1][0]);
             }
         }
     }
@@ -1081,17 +1093,24 @@ impl Kernel4 {
                 }
                 // Diagonal factors folded in: one pass over every quad
                 // (separate strided passes would re-pull each cache line
-                // once per row).
+                // once per row). Unit arms move without multiplying
+                // (`1·x` renormalizes signed zeros — see `run_region`).
                 let (of0, of1) = (offs[fixed_rows[0] as usize], offs[fixed_rows[1] as usize]);
                 let (c0, c1) = (fixed[0], fixed[1]);
+                let (u0, u1) = (c0 == one, c1 == one);
+                let (ui, uj) = (ci == one, cj == one);
                 quad_loop!(|base| {
                     let (x0, x1) = (base | of0, base | of1);
-                    amps[x0] = c0 * amps[x0];
-                    amps[x1] = c1 * amps[x1];
+                    if !u0 {
+                        amps[x0] = c0 * amps[x0];
+                    }
+                    if !u1 {
+                        amps[x1] = c1 * amps[x1];
+                    }
                     let (xi, xj) = (base | oi, base | oj);
                     let t = amps[xi];
-                    amps[xi] = ci * amps[xj];
-                    amps[xj] = cj * t;
+                    amps[xi] = if ui { amps[xj] } else { ci * amps[xj] };
+                    amps[xj] = if uj { t } else { cj * t };
                 });
             }
             Kernel4::Monomial { perm, coef } => {
@@ -1099,12 +1118,16 @@ impl Kernel4 {
                 let offs = [0, ba, bb, ba | bb];
                 let skip: [bool; 4] =
                     std::array::from_fn(|r| perm[r] as usize == r && coef[r] == one);
+                // Unit coefficients move without multiplying (see
+                // `run_region` — `1·x` renormalizes signed zeros).
+                let unit: [bool; 4] = std::array::from_fn(|r| coef[r] == one);
                 quad_loop!(|base| {
                     let idx = [base, base | offs[1], base | offs[2], base | offs[3]];
                     let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
                     for r in 0..4 {
                         if !skip[r] {
-                            amps[idx[r]] = coef[r] * a[perm[r] as usize];
+                            let src = a[perm[r] as usize];
+                            amps[idx[r]] = if unit[r] { src } else { coef[r] * src };
                         }
                     }
                 });
@@ -1181,20 +1204,32 @@ impl Kernel4 {
                 let (p0, p1) = (map(fixed_rows[0] as usize), map(fixed_rows[1] as usize));
                 let one = Complex64::ONE;
                 let scaled = fixed.iter().any(|c| *c != one);
+                // Unit arms move without multiplying (see `run_region` —
+                // `1·x` renormalizes signed zeros).
+                let (ui, uj) = (ci == one, cj == one);
                 if scaled {
                     let (c0, c1) = (fixed[0], fixed[1]);
+                    let (u0, u1) = (c0 == one, c1 == one);
                     for block in amps.chunks_exact_mut(4) {
                         let t = block[pi];
-                        block[pi] = ci * block[pj];
-                        block[pj] = cj * t;
-                        block[p0] = c0 * block[p0];
-                        block[p1] = c1 * block[p1];
+                        block[pi] = if ui { block[pj] } else { ci * block[pj] };
+                        block[pj] = if uj { t } else { cj * t };
+                        if !u0 {
+                            block[p0] = c0 * block[p0];
+                        }
+                        if !u1 {
+                            block[p1] = c1 * block[p1];
+                        }
+                    }
+                } else if ui && uj {
+                    for block in amps.chunks_exact_mut(4) {
+                        block.swap(pi, pj);
                     }
                 } else {
                     for block in amps.chunks_exact_mut(4) {
                         let t = block[pi];
-                        block[pi] = ci * block[pj];
-                        block[pj] = cj * t;
+                        block[pi] = if ui { block[pj] } else { ci * block[pj] };
+                        block[pj] = if uj { t } else { cj * t };
                     }
                 }
             }
@@ -1202,6 +1237,7 @@ impl Kernel4 {
                 let one = Complex64::ONE;
                 let skip: [bool; 4] =
                     std::array::from_fn(|r| perm[r] as usize == r && coef[r] == one);
+                let unit: [bool; 4] = std::array::from_fn(|r| coef[r] == one);
                 for block in amps.chunks_exact_mut(4) {
                     if let [x0, x1, x2, x3] = block {
                         let s = [*x0, *x1, *x2, *x3];
@@ -1209,7 +1245,8 @@ impl Kernel4 {
                         let mut out = a;
                         for r in 0..4 {
                             if !skip[r] {
-                                out[r] = coef[r] * a[perm[r] as usize];
+                                let src = a[perm[r] as usize];
+                                out[r] = if unit[r] { src } else { coef[r] * src };
                             }
                         }
                         *x0 = out[map(0)];
@@ -1342,7 +1379,10 @@ impl Kernel4 {
                     let oj = idx | if pj & 1 != 0 { blo } else { 0 };
                     let ai = if pi < 2 { pa[oi] } else { pb[oi] };
                     let aj = if pj < 2 { pa[oj] } else { pb[oj] };
-                    let (ni, nj) = (ci * aj, cj * ai);
+                    // Unit arms move without multiplying (see
+                    // `run_region` — `1·x` renormalizes signed zeros).
+                    let ni = if ci == one { aj } else { ci * aj };
+                    let nj = if cj == one { ai } else { cj * ai };
                     if pi < 2 {
                         pa[oi] = ni;
                     } else {
@@ -1359,6 +1399,7 @@ impl Kernel4 {
                 let one = Complex64::ONE;
                 let skip: [bool; 4] =
                     std::array::from_fn(|r| perm[r] as usize == r && coef[r] == one);
+                let unit: [bool; 4] = std::array::from_fn(|r| coef[r] == one);
                 for j in 0..quads {
                     let i = expand(j);
                     let s = [pa[i], pa[i | blo], pb[i], pb[i | blo]];
@@ -1366,7 +1407,8 @@ impl Kernel4 {
                     let mut out = a;
                     for r in 0..4 {
                         if !skip[r] {
-                            out[r] = coef[r] * a[perm[r] as usize];
+                            let src = a[perm[r] as usize];
+                            out[r] = if unit[r] { src } else { coef[r] * src };
                         }
                     }
                     pa[i] = out[order[0]];
@@ -1432,32 +1474,53 @@ impl Kernel4 {
                 let (c1r, c1i) = (fixed[1].re, fixed[1].im);
                 let (cir, cii) = (ci.re, ci.im);
                 let (cjr, cji) = (cj.re, cj.im);
+                // Unit arms move without multiplying (see `run_region` —
+                // `1·x` renormalizes signed zeros).
+                let (u0, u1) = (fixed[0] == one, fixed[1] == one);
+                let (ui, uj) = (ci == one, cj == one);
                 for k in 0..si.len() {
-                    let (f0r, f0i) = (sf0[k].re, sf0[k].im);
-                    sf0[k] = Complex64::new(c0r * f0r - c0i * f0i, c0r * f0i + c0i * f0r);
-                    let (f1r, f1i) = (sf1[k].re, sf1[k].im);
-                    sf1[k] = Complex64::new(c1r * f1r - c1i * f1i, c1r * f1i + c1i * f1r);
-                    let (tr, ti) = (si[k].re, si[k].im);
-                    let (yr, yi) = (sj[k].re, sj[k].im);
-                    si[k] = Complex64::new(cir * yr - cii * yi, cir * yi + cii * yr);
-                    sj[k] = Complex64::new(cjr * tr - cji * ti, cjr * ti + cji * tr);
+                    if !u0 {
+                        let (f0r, f0i) = (sf0[k].re, sf0[k].im);
+                        sf0[k] = Complex64::new(c0r * f0r - c0i * f0i, c0r * f0i + c0i * f0r);
+                    }
+                    if !u1 {
+                        let (f1r, f1i) = (sf1[k].re, sf1[k].im);
+                        sf1[k] = Complex64::new(c1r * f1r - c1i * f1i, c1r * f1i + c1i * f1r);
+                    }
+                    let t = si[k];
+                    let y = sj[k];
+                    si[k] = if ui {
+                        y
+                    } else {
+                        Complex64::new(cir * y.re - cii * y.im, cir * y.im + cii * y.re)
+                    };
+                    sj[k] = if uj {
+                        t
+                    } else {
+                        Complex64::new(cjr * t.re - cji * t.im, cjr * t.im + cji * t.re)
+                    };
                 }
             }
             Kernel4::Monomial { perm, coef } => {
+                let one = Complex64::ONE;
+                let unit: [bool; 4] = std::array::from_fn(|r| coef[r] == one);
                 for k in 0..s00.len() {
                     let a = [s00[k], s01[k], s10[k], s11[k]];
-                    let one = Complex64::ONE;
-                    if !(perm[0] == 0 && coef[0] == one) {
-                        s00[k] = coef[0] * a[perm[0] as usize];
+                    if !(perm[0] == 0 && unit[0]) {
+                        let src = a[perm[0] as usize];
+                        s00[k] = if unit[0] { src } else { coef[0] * src };
                     }
-                    if !(perm[1] == 1 && coef[1] == one) {
-                        s01[k] = coef[1] * a[perm[1] as usize];
+                    if !(perm[1] == 1 && unit[1]) {
+                        let src = a[perm[1] as usize];
+                        s01[k] = if unit[1] { src } else { coef[1] * src };
                     }
-                    if !(perm[2] == 2 && coef[2] == one) {
-                        s10[k] = coef[2] * a[perm[2] as usize];
+                    if !(perm[2] == 2 && unit[2]) {
+                        let src = a[perm[2] as usize];
+                        s10[k] = if unit[2] { src } else { coef[2] * src };
                     }
-                    if !(perm[3] == 3 && coef[3] == one) {
-                        s11[k] = coef[3] * a[perm[3] as usize];
+                    if !(perm[3] == 3 && unit[3]) {
+                        let src = a[perm[3] as usize];
+                        s11[k] = if unit[3] { src } else { coef[3] * src };
                     }
                 }
             }

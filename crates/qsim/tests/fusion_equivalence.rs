@@ -1,0 +1,321 @@
+//! Property suite: pass-fusion scheduling is bit-identical to the
+//! per-gate schedule and to the op-by-op interpreter.
+//!
+//! Random band/ring circuits (the shapes `qnn::ansatz` emits, plus
+//! adversarial near-misses that must *not* fuse) × random parameters ×
+//! `QSIM_FUSE={on,off}` × `QSIM_SIMD={scalar,native}` × 1/2/4/8
+//! threads: every combination must reproduce the serial interpreter's
+//! amplitudes bit for bit. Pure permutations move bytes without
+//! arithmetic, so fusion is exactness-safe by construction — this suite
+//! is what keeps that claim honest.
+//!
+//! Alongside the property tests, unit tests pin the pass-count model on
+//! hand-built `hardware_efficient` / `strongly_entangling` layer shapes:
+//! a rotation-band + entangler-ring layer costs `2N` gate-visit passes
+//! unfused and `N + 1` fused.
+
+use proptest::prelude::*;
+
+use qsim::circuit::Circuit;
+use qsim::gate::Gate;
+use qsim::plan::{with_exec_mode, with_fuse_mode, ExecMode, FuseMode};
+use qsim::testing::arb_op;
+use qsim::StateVector;
+
+const N: usize = 6;
+
+/// One building block of a generated circuit: a symbolic rotation band,
+/// an entangler ring, or an arbitrary op thrown in to break patterns.
+#[derive(Clone, Debug)]
+enum Segment {
+    /// Rotation band on every qubit: 0 = Ry, 1 = Rz, 2 = Rx+Ry.
+    Band(u8),
+    /// Entangler ring `(q, (q+stride) mod N)`: 0 = Cx (fuses),
+    /// 1 = Swap (fuses), 2 = Cz (arithmetic — must not fuse),
+    /// 3 = Rzz (arithmetic — must not fuse), 4 = X band (fuses).
+    Ring(u8, usize),
+    /// A random op, possibly symbolic — lands mid-band or mid-ring and
+    /// forces flushes the layered ansätze never trigger.
+    Op((Gate, Vec<usize>), bool),
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        (0u8..3).prop_map(Segment::Band),
+        ((0u8..5), 1..N).prop_map(|(k, s)| Segment::Ring(k, s)),
+        (arb_op(N), any::<bool>()).prop_map(|(op, sym)| Segment::Op(op, sym)),
+    ]
+}
+
+/// Band/ring-shaped circuit with random interruptions, plus a parameter
+/// vector for its symbolic gates.
+fn arb_band_circuit() -> impl Strategy<Value = (Circuit, Vec<f64>)> {
+    let segments = prop::collection::vec(arb_segment(), 1..8);
+    let params = prop::collection::vec(-3.0..3.0f64, 4);
+    (segments, params).prop_map(|(segments, params)| {
+        let mut c = Circuit::new(N);
+        let mut p = 0usize;
+        let mut sym = |c: &mut Circuit, g: Gate, qs: &[usize]| {
+            c.push_sym(g, qs, p % params.len());
+            p += 1;
+        };
+        for seg in segments {
+            match seg {
+                Segment::Band(kind) => {
+                    for q in 0..N {
+                        match kind {
+                            0 => sym(&mut c, Gate::Ry(0.0), &[q]),
+                            1 => sym(&mut c, Gate::Rz(0.0), &[q]),
+                            _ => {
+                                sym(&mut c, Gate::Rx(0.0), &[q]);
+                                sym(&mut c, Gate::Ry(0.0), &[q]);
+                            }
+                        }
+                    }
+                }
+                Segment::Ring(kind, stride) => {
+                    for q in 0..N {
+                        let pair = [q, (q + stride) % N];
+                        match kind {
+                            0 => {
+                                c.push_fixed(Gate::Cx, &pair);
+                            }
+                            1 => {
+                                c.push_fixed(Gate::Swap, &pair);
+                            }
+                            2 => {
+                                c.push_fixed(Gate::Cz, &pair);
+                            }
+                            3 => sym(&mut c, Gate::Rzz(0.0), &pair),
+                            _ => {
+                                c.push_fixed(Gate::X, &[q]);
+                            }
+                        }
+                    }
+                }
+                Segment::Op((gate, qubits), make_sym) => {
+                    if make_sym && gate.is_parametrized() {
+                        sym(&mut c, gate, &qubits);
+                    } else {
+                        c.push_fixed(gate, &qubits);
+                    }
+                }
+            }
+        }
+        (c, params)
+    })
+}
+
+fn bits(s: &StateVector) -> Vec<(u64, u64)> {
+    s.amplitudes()
+        .iter()
+        .map(|a| (a.re.to_bits(), a.im.to_bits()))
+        .collect()
+}
+
+/// Serial-interpreter reference bits.
+fn reference(c: &Circuit, params: &[f64]) -> Vec<(u64, u64)> {
+    with_exec_mode(ExecMode::Interp, || {
+        qpar::with_threads(1, || {
+            let mut s = StateVector::zero_state(c.num_qubits());
+            c.run_on(&mut s, params).unwrap();
+            bits(&s)
+        })
+    })
+}
+
+/// Hand-built mirror of `qnn::ansatz::hardware_efficient` (qsim cannot
+/// depend on qnn): per layer `RY`+`RZ` per qubit and a stride-1 CX ring,
+/// plus a trailing `RY` band.
+fn hardware_efficient(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    let mut p = 0usize;
+    for _ in 0..layers {
+        for q in 0..n {
+            c.push_sym(Gate::Ry(0.0), &[q], p);
+            p += 1;
+            c.push_sym(Gate::Rz(0.0), &[q], p);
+            p += 1;
+        }
+        for q in 0..n {
+            c.push_fixed(Gate::Cx, &[q, (q + 1) % n]);
+        }
+    }
+    for q in 0..n {
+        c.push_sym(Gate::Ry(0.0), &[q], p);
+        p += 1;
+    }
+    c
+}
+
+/// Hand-built mirror of `qnn::ansatz::strongly_entangling`: per layer
+/// `RX`/`RY`/`RZ` per qubit and a CX ring whose stride grows with the
+/// layer index.
+fn strongly_entangling(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    let mut p = 0usize;
+    for layer in 0..layers {
+        for q in 0..n {
+            for g in [Gate::Rx(0.0), Gate::Ry(0.0), Gate::Rz(0.0)] {
+                c.push_sym(g, &[q], p);
+                p += 1;
+            }
+        }
+        let stride = 1 + layer % (n - 1).max(1);
+        for q in 0..n {
+            c.push_fixed(Gate::Cx, &[q, (q + stride) % n]);
+        }
+    }
+    c
+}
+
+fn ramp(c: &Circuit) -> Vec<f64> {
+    (0..c.num_params()).map(|i| 0.1 * i as f64 - 1.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fused and unfused schedules reproduce the serial interpreter bit
+    /// for bit at every SIMD level and thread count.
+    #[test]
+    fn fusion_matches_interpreter_across_simd_and_threads(
+        (c, params) in arb_band_circuit(),
+    ) {
+        let want = reference(&c, &params);
+        let plan = c.compile().unwrap();
+        let detected = qsimd::detected();
+        for fuse in [FuseMode::On, FuseMode::Off] {
+            let bound = with_fuse_mode(fuse, || plan.bind(&params)).unwrap();
+            for level in [qsimd::Level::Scalar, detected] {
+                for threads in [1usize, 2, 4, 8] {
+                    let got = qsimd::with_level(level, || {
+                        qpar::with_threads(threads, || {
+                            let mut s = StateVector::zero_state(N);
+                            bound.run_on(&mut s).unwrap();
+                            bits(&s)
+                        })
+                    });
+                    prop_assert_eq!(
+                        &got, &want,
+                        "fuse={:?} level={} threads={}", fuse, level.name(), threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// Near-miss rings (CZ / RZZ) carry phases, so they must schedule
+    /// identically with fusion on and off — no permutation pass may
+    /// absorb an arithmetic gate.
+    #[test]
+    fn arithmetic_rings_schedule_identically(
+        stride in 1..N,
+        arithmetic_rzz in any::<bool>(),
+        params in prop::collection::vec(-3.0..3.0f64, 4),
+    ) {
+        let mut c = Circuit::new(N);
+        for q in 0..N {
+            c.push_sym(Gate::Ry(0.0), &[q], q % params.len());
+        }
+        for q in 0..N {
+            let pair = [q, (q + stride) % N];
+            if arithmetic_rzz {
+                c.push_sym(Gate::Rzz(0.0), &pair, q % params.len());
+            } else {
+                c.push_fixed(Gate::Cz, &pair);
+            }
+        }
+        let plan = c.compile().unwrap();
+        let fused = with_fuse_mode(FuseMode::On, || plan.bind(&params)).unwrap();
+        let unfused = with_fuse_mode(FuseMode::Off, || plan.bind(&params)).unwrap();
+        prop_assert_eq!(fused.passes(), unfused.passes(), "arithmetic ring must not fuse");
+        prop_assert_eq!(fused.amp_bytes_swept(), unfused.amp_bytes_swept());
+        let want = reference(&c, &params);
+        let mut s = StateVector::zero_state(N);
+        fused.run_on(&mut s).unwrap();
+        prop_assert_eq!(bits(&s), want);
+    }
+}
+
+/// The headline counter: one `strongly_entangling` layer costs `2N`
+/// gate-visit passes unfused (N merged rotations + N CNOTs) and `N + 1`
+/// fused (N rotations + one permutation pass).
+#[test]
+fn strongly_entangling_layer_costs_n_plus_one_passes() {
+    let (n, layers) = (N, 3);
+    let c = strongly_entangling(n, layers);
+    let params = ramp(&c);
+    let plan = c.compile().unwrap();
+    let fused = with_fuse_mode(FuseMode::On, || plan.bind(&params)).unwrap();
+    let unfused = with_fuse_mode(FuseMode::Off, || plan.bind(&params)).unwrap();
+    assert!(fused.fused());
+    assert!(!unfused.fused());
+    assert_eq!(
+        unfused.passes(),
+        layers * 2 * n,
+        "per-gate model: 2N per layer"
+    );
+    assert_eq!(
+        fused.passes(),
+        layers * (n + 1),
+        "fused model: N+1 per layer"
+    );
+    assert!(fused.amp_bytes_swept() < unfused.amp_bytes_swept());
+
+    let want = reference(&c, &params);
+    let mut s = StateVector::zero_state(n);
+    fused.run_on(&mut s).unwrap();
+    assert_eq!(
+        bits(&s),
+        want,
+        "fused strongly-entangling diverged from interp"
+    );
+}
+
+/// Same model for `hardware_efficient`: `layers·(N+1)` plus the trailing
+/// rotation band, against `layers·2N + N` unfused.
+#[test]
+fn hardware_efficient_pass_model() {
+    let (n, layers) = (N, 4);
+    let c = hardware_efficient(n, layers);
+    let params = ramp(&c);
+    let plan = c.compile().unwrap();
+    let fused = with_fuse_mode(FuseMode::On, || plan.bind(&params)).unwrap();
+    let unfused = with_fuse_mode(FuseMode::Off, || plan.bind(&params)).unwrap();
+    assert_eq!(unfused.passes(), layers * 2 * n + n);
+    assert_eq!(fused.passes(), layers * (n + 1) + n);
+
+    let want = reference(&c, &params);
+    for threads in [1usize, 4] {
+        let got = qpar::with_threads(threads, || {
+            let mut s = StateVector::zero_state(n);
+            fused.run_on(&mut s).unwrap();
+            bits(&s)
+        });
+        assert_eq!(got, want, "threads={threads}");
+    }
+}
+
+/// A rotation landing on a ring qubit mid-band is the pattern that must
+/// *not* hop past the pending permutation: the permutation flushes, and
+/// the result still matches the interpreter.
+#[test]
+fn mid_band_rotation_flushes_pending_permutation() {
+    let mut c = Circuit::new(4);
+    for q in 0..4 {
+        c.push_sym(Gate::Ry(0.0), &[q], q);
+    }
+    for q in 0..4 {
+        c.push_fixed(Gate::Cx, &[q, (q + 1) % 4]);
+    }
+    // Overlaps the ring's support: forces the Permute step early.
+    c.push_sym(Gate::Ry(0.0), &[0], 0);
+    let params = [0.3, -0.7, 1.1, 0.5];
+    let plan = c.compile().unwrap();
+    let fused = with_fuse_mode(FuseMode::On, || plan.bind(&params)).unwrap();
+    let want = reference(&c, &params);
+    let mut s = StateVector::zero_state(4);
+    fused.run_on(&mut s).unwrap();
+    assert_eq!(bits(&s), want);
+}
