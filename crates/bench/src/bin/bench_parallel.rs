@@ -151,6 +151,9 @@ fn main() {
             other => panic!("unknown flag {other} (supported: --threads N)"),
         }
     }
+    // Pin metrics mode so the histogram stamps below are env-independent;
+    // the overhead row flips the mode itself around its two measurements.
+    qobs::set_mode(qobs::Mode::Counters);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -209,6 +212,26 @@ fn main() {
         })),
         traffic: Some(he_traffic),
     });
+
+    // ---- qobs overhead -----------------------------------------------------
+    // The observability acceptance: QOBS=off must be within noise of the
+    // default counters mode on the hot path (one relaxed atomic load per
+    // site). Both sides are best-of-3 medians on the serial path of the
+    // same workload as circuit_run_16.
+    let qobs_overhead_pct = {
+        qobs::set_mode(qobs::Mode::Off);
+        let off_ns = qpar::with_threads(1, || measure_best_ns(|| circuit.run(&params).unwrap()));
+        qobs::set_mode(qobs::Mode::Counters);
+        let counters_ns =
+            qpar::with_threads(1, || measure_best_ns(|| circuit.run(&params).unwrap()));
+        let pct = (counters_ns - off_ns) / off_ns * 100.0;
+        println!(
+            "qobs overhead: off {:.3} ms, counters {:.3} ms ({pct:+.2}%)",
+            ms(off_ns),
+            ms(counters_ns)
+        );
+        pct
+    };
 
     // ---- fusion stamp ------------------------------------------------------
     // The counter-verified half of the pass-fusion acceptance: the
@@ -479,6 +502,28 @@ fn main() {
         json,
         "  \"compile_split_16\": {{ \"compile_bind_ms\": {compile_bind_ms:.4}, \"bind_only_ms\": {bind_ms:.4} }},"
     );
+    // Executor pass-latency histograms accumulated across the whole run
+    // (dominated by the 16-qubit workloads above) plus the measured cost
+    // of leaving observability on. p50/p99 are log2-bucket upper bounds
+    // in nanoseconds.
+    {
+        let stamp = |name: &str| {
+            let h = qobs::histogram(name);
+            format!(
+                "{{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }}",
+                h.count(),
+                h.p50(),
+                h.p99()
+            )
+        };
+        let _ = writeln!(
+            json,
+            "  \"qobs\": {{ \"overhead_pct\": {qobs_overhead_pct:.2}, \"pass_ns\": {{ \"sweep\": {}, \"tile\": {}, \"permute\": {} }} }},",
+            stamp("qsim_sweep_ns"),
+            stamp("qsim_tile_ns"),
+            stamp("qsim_permute_ns"),
+        );
+    }
     println!(
         "compile+bind {:.4} ms, bind-only {:.4} ms (plan reuse amortizes the rest)",
         compile_bind_ms, bind_ms

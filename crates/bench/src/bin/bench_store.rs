@@ -283,6 +283,8 @@ fn bench_stream(daemon: &DaemonHandle) -> StreamRow {
 }
 
 fn main() {
+    // Pin metrics mode so the fsync-latency stamp is env-independent.
+    qobs::set_mode(qobs::Mode::Counters);
     let quick = quick_mode();
     let (n_params, chain_depth) = if quick { (16_384, 8) } else { (65_536, 32) };
 
@@ -444,7 +446,18 @@ fn main() {
     let rename_ratio = rows[0].renames_per_full_save / rows[1].renames_per_full_save.max(1.0);
     let _ = writeln!(
         json,
-        "  \"full_save_rename_ratio_loose_over_pack\": {rename_ratio:.1}"
+        "  \"full_save_rename_ratio_loose_over_pack\": {rename_ratio:.1},"
+    );
+    // Durability latency as the store's qobs registry saw it: every
+    // fsync issued by the fsync-on counter sweeps above, all backends.
+    // p50/p99 are log2-bucket upper bounds in nanoseconds.
+    let fsync_h = qobs::histogram("qcheck_fsync_ns");
+    let _ = writeln!(
+        json,
+        "  \"qobs_fsync_ns\": {{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }}",
+        fsync_h.count(),
+        fsync_h.p50(),
+        fsync_h.p99()
     );
     json.push_str("}\n");
 

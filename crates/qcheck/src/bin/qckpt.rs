@@ -4,6 +4,7 @@
 //! qckpt <repo> list                     list checkpoints
 //! qckpt <repo> show <id|latest>         manifest + snapshot summary
 //! qckpt <repo> stats                    storage backend + object statistics
+//! qckpt <repo> metrics                  qobs text exposition (daemon's if remote)
 //! qckpt <repo> fsck                     verify everything
 //! qckpt <repo> gc                       sweep unreferenced chunks
 //! qckpt <repo> compact                  rewrite the latest chain as full
@@ -21,7 +22,7 @@ use qcheck::verify::{export_bundle, fsck, import_bundle, CheckpointHealth};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: qckpt <repo> <list|show|stats|fsck|gc|compact|retain|export|import> [args]\n\
+        "usage: qckpt <repo> <list|show|stats|metrics|fsck|gc|compact|retain|export|import> [args]\n\
          see `qckpt --help` in the module docs for details"
     );
     ExitCode::from(2)
@@ -129,6 +130,16 @@ fn run() -> Result<(), String> {
                     remote.namespace(),
                     remote.round_trips()
                 );
+            }
+            Ok(())
+        }
+        ("metrics", None, None) => {
+            // Against a remote backend, show the daemon's registry (the
+            // interesting one: request counters, fsync timings live
+            // server-side); locally, show this process's own.
+            match repo.store().remote() {
+                Some(remote) => print!("{}", remote.metrics().map_err(|e| e.to_string())?),
+                None => print!("{}", qobs::text_exposition()),
             }
             Ok(())
         }

@@ -6,6 +6,7 @@
 //!                     [--replicate-from host:port]
 //!                     [--lease-ttl-secs n]   serve namespaces from <root>
 //! qckptd status <addr>                       print daemon status
+//! qckptd metrics <addr>                      print the qobs text exposition
 //! qckptd promote <addr>                      promote a secondary to primary
 //! qckptd shutdown <addr>                     graceful shutdown
 //! ```
@@ -39,6 +40,7 @@ fn usage() -> ExitCode {
         "usage: qckptd serve <root> [--addr host:port] [--store loose|pack] [--port-file path]\n\
          \x20                    [--auth-token tok] [--replicate-from host:port] [--lease-ttl-secs n]\n\
          \x20      qckptd status <addr>\n\
+         \x20      qckptd metrics <addr>\n\
          \x20      qckptd promote <addr>\n\
          \x20      qckptd shutdown <addr>"
     );
@@ -109,6 +111,8 @@ fn serve(args: &[String]) -> Result<(), String> {
         repl.auth_token = auth_token;
         config.replicate = Some(repl);
     }
+    // Optional periodic metrics dump to stderr (QOBS_DUMP_SECS=<n>).
+    qobs::init_dump_from_env();
     let server = Server::bind(&addr, config).map_err(|e| e.to_string())?;
     let bound = server.local_addr();
     match &replicate_from {
@@ -146,6 +150,56 @@ fn status(addr: &str) -> Result<(), String> {
             status.repl_lag
         );
     }
+    // A v3 daemon additionally exposes its metrics registry; fold the
+    // interesting scalars into status. Absence (v2 peer, QOBS=off on
+    // the daemon) is not an error.
+    if let Ok(text) = client.metrics() {
+        if let Some(secs) = metric_value(&text, "qckptd_uptime_seconds") {
+            println!("uptime:        {secs}s");
+        }
+        let mut ops: Vec<(String, u64)> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("qckptd_requests_total{") {
+                if let Some((labels, value)) = rest.split_once("} ") {
+                    let op = labels
+                        .split(',')
+                        .find_map(|kv| kv.strip_prefix("op=\""))
+                        .and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or(labels);
+                    if let Ok(n) = value.trim().parse::<u64>() {
+                        ops.push((op.to_string(), n));
+                    }
+                }
+            }
+        }
+        if !ops.is_empty() {
+            ops.sort();
+            let mut merged: Vec<(String, u64)> = Vec::new();
+            for (op, n) in ops {
+                match merged.last_mut() {
+                    Some((last, total)) if *last == op => *total += n,
+                    _ => merged.push((op, n)),
+                }
+            }
+            let rendered: Vec<String> = merged.iter().map(|(op, n)| format!("{op}={n}")).collect();
+            println!("requests:      {}", rendered.join(" "));
+        }
+    }
+    Ok(())
+}
+
+/// First sample of an exact (unlabeled) metric in a text exposition.
+fn metric_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.strip_prefix(' ')?.trim().parse::<u64>().ok()
+    })
+}
+
+fn metrics(addr: &str) -> Result<(), String> {
+    let client = RemoteStore::connect(addr, CONTROL_NS).map_err(|e| e.to_string())?;
+    let text = client.metrics().map_err(|e| e.to_string())?;
+    print!("{text}");
     Ok(())
 }
 
@@ -170,6 +224,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => match (cmd.as_str(), rest) {
             ("serve", rest) if !rest.is_empty() => serve(rest),
             ("status", [addr]) => status(addr),
+            ("metrics", [addr]) => metrics(addr),
             ("promote", [addr]) => promote(addr),
             ("shutdown", [addr]) => shutdown(addr),
             _ => return usage(),

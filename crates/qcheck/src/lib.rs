@@ -100,6 +100,7 @@ pub mod failure;
 pub mod hash;
 pub mod manifest;
 pub mod manifest_log;
+pub mod obs;
 pub mod policy;
 pub mod remote;
 pub mod repo;

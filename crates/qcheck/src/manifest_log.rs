@@ -356,6 +356,7 @@ pub fn list_log_epochs(dir: &Path) -> Vec<u64> {
 /// I/O errors other than absence. Corruption never errors — it is
 /// recorded in [`LogReplay::damaged`] and skipped.
 pub fn replay(dir: &Path) -> Result<LogReplay> {
+    crate::obs::MLOG_REPLAYS.inc();
     let slots = read_root_slots(dir);
     let mut candidates: Vec<(usize, RootSlot)> = slots
         .iter()
@@ -516,7 +517,7 @@ pub fn append_to_log(dir: &Path, epoch: u64, bytes: &[u8], fsync: bool) -> Resul
     f.write_all(bytes)
         .map_err(|e| Error::io("appending manifest log record", e))?;
     if fsync {
-        f.sync_all()
+        qobs::time(&crate::obs::FSYNC_NS, || f.sync_all())
             .map_err(|e| Error::io("syncing manifest log", e))?;
     }
     Ok(len)
@@ -535,7 +536,7 @@ pub fn write_root_slot(dir: &Path, slot: usize, root: &RootSlot, fsync: bool) ->
     f.write_all(&root.encode())
         .map_err(|e| Error::io("writing root slot", e))?;
     if fsync {
-        f.sync_all()
+        qobs::time(&crate::obs::FSYNC_NS, || f.sync_all())
             .map_err(|e| Error::io("syncing root slot", e))?;
     }
     Ok(())

@@ -1,0 +1,33 @@
+//! The crate's qobs metric handles — one module so the metric-name
+//! contract (documented in `crates/qcheck/README.md`) lives in one
+//! place. All handles gate on the process-wide `QOBS` mode except
+//! [`STREAM_PEAK`], which existing stream tests read back through
+//! [`crate::remote::stream_peak_buffer`] regardless of mode.
+
+/// Completed [`crate::repo::Repository::save`] calls.
+pub static SAVES: qobs::LazyCounter = qobs::LazyCounter::new("qcheck_saves_total");
+/// Completed [`crate::repo::Repository::recover`] calls.
+pub static RECOVERS: qobs::LazyCounter = qobs::LazyCounter::new("qcheck_recovers_total");
+/// Completed GC sweeps.
+pub static GCS: qobs::LazyCounter = qobs::LazyCounter::new("qcheck_gc_total");
+/// Manifest-log compactions (retention-triggered epoch rewrites).
+pub static COMPACTIONS: qobs::LazyCounter = qobs::LazyCounter::new("qcheck_log_compactions_total");
+/// Sum of `RecoveryReport::manifests_tried` over all recoveries
+/// (healthy repositories contribute exactly 1 per recover).
+pub static MANIFESTS_TRIED: qobs::LazyCounter =
+    qobs::LazyCounter::new("qcheck_manifests_tried_total");
+/// Manifest-log replays (every repository open / recover / fsck pass).
+pub static MLOG_REPLAYS: qobs::LazyCounter =
+    qobs::LazyCounter::new("qcheck_manifest_log_replays_total");
+/// Wall time of every durability fsync (loose chunks, packs, manifest
+/// log, root slots, staged writes), in nanoseconds.
+pub static FSYNC_NS: qobs::LazyHistogram = qobs::LazyHistogram::new("qcheck_fsync_ns");
+/// Wall time of every commit rename, in nanoseconds.
+pub static RENAME_NS: qobs::LazyHistogram = qobs::LazyHistogram::new("qcheck_rename_ns");
+/// Process-wide remote round trips (the per-handle
+/// [`crate::remote::RemoteStore::round_trips`] counter stays exact per
+/// connection; this is the aggregate a scrape sees).
+pub static ROUND_TRIPS: qobs::LazyCounter =
+    qobs::LazyCounter::new("qcheck_remote_round_trips_total");
+/// High-water mark of any streaming frame buffer, in bytes.
+pub static STREAM_PEAK: qobs::LazyGauge = qobs::LazyGauge::new("qcheck_stream_peak_buffer_bytes");

@@ -395,6 +395,7 @@ impl RemoteStore {
             .flush()
             .map_err(|e| Error::io("flushing handshake", e))?;
         self.round_trips.fetch_add(1, Ordering::Relaxed);
+        crate::obs::ROUND_TRIPS.inc();
         match Response::decode(&read_frame(&mut conn.reader)?)?.into_result("handshake")? {
             Response::HelloOk {
                 version,
@@ -494,6 +495,7 @@ impl RemoteStore {
                 Ok(responses) => {
                     self.round_trips
                         .fetch_add(bodies.len() as u64, Ordering::Relaxed);
+                    crate::obs::ROUND_TRIPS.add(bodies.len() as u64);
                     *guard = Some(conn);
                     // Server-reported errors surface here, after the
                     // transport succeeded — they are NOT retried.
@@ -628,6 +630,20 @@ impl RemoteStore {
                 repl_lag,
             }),
             other => Err(unexpected("querying status", &other)),
+        }
+    }
+
+    /// Fetches the daemon's metrics registry as a Prometheus-style text
+    /// exposition (protocol v3; readable without a writer lease).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport or protocol errors, including against a
+    /// server that only negotiated v2.
+    pub fn metrics(&self) -> Result<String> {
+        match self.request("querying metrics", Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected("querying metrics", &other)),
         }
     }
 
@@ -835,6 +851,7 @@ impl ObjectStore for RemoteStore {
                 .flush()
                 .map_err(|e| Error::io("flushing request", e))?;
             self.round_trips.fetch_add(1, Ordering::Relaxed);
+            crate::obs::ROUND_TRIPS.inc();
             let resp = Response::decode(&read_frame(&mut conn.reader)?)?;
             let declared = match resp.into_result(context) {
                 Ok(Response::StreamBegin { len }) => len,
@@ -948,6 +965,7 @@ impl ObjectStore for RemoteStore {
                 .flush()
                 .map_err(|e| Error::io("flushing request", e))?;
             self.round_trips.fetch_add(1, Ordering::Relaxed);
+            crate::obs::ROUND_TRIPS.inc();
             let resp = Response::decode(&read_frame(&mut conn.reader)?)?;
             match resp.into_result(context) {
                 // Proceed: the daemon wants the body.
@@ -990,6 +1008,7 @@ impl ObjectStore for RemoteStore {
                             .flush()
                             .map_err(|e| Error::io("flushing segment", e))?;
                         self.round_trips.fetch_add(1, Ordering::Relaxed);
+                        crate::obs::ROUND_TRIPS.inc();
                         Response::decode(&read_frame(&mut conn.reader)?)
                     })();
                     match step {
@@ -1014,6 +1033,7 @@ impl ObjectStore for RemoteStore {
                     .flush()
                     .map_err(|e| Error::io("flushing stream end", e))?;
                 self.round_trips.fetch_add(1, Ordering::Relaxed);
+                crate::obs::ROUND_TRIPS.inc();
                 Response::decode(&read_frame(&mut conn.reader)?)
             })();
             match step {

@@ -444,6 +444,10 @@ pub enum Request {
         /// The wanted chunk.
         reference: ChunkRef,
     },
+    /// v3: fetch the daemon's metrics registry as one text-exposition
+    /// frame ([`Response::Metrics`]). Read-only — served without a
+    /// writer lease, like [`Request::Status`].
+    Metrics,
 }
 
 /// A server response frame.
@@ -539,6 +543,9 @@ pub enum Response {
         /// Whether a new object was physically written.
         fresh: bool,
     },
+    /// `Metrics` payload: the daemon's qobs registry rendered as a
+    /// stable-ordered Prometheus-style text exposition.
+    Metrics(String),
     /// The request was received and failed; never retried by the client.
     Err {
         /// Coarse error class (see [`ErrCode`]).
@@ -654,6 +661,7 @@ const OP_PUT_STREAM_BEGIN: u8 = 24;
 const OP_PUT_STREAM_DATA: u8 = 25;
 const OP_PUT_STREAM_END: u8 = 26;
 const OP_REPL_CHUNK_STREAM: u8 = 27;
+const OP_METRICS: u8 = 28;
 
 const RESP_HELLO_OK: u8 = 0x80;
 const RESP_PONG: u8 = 0x81;
@@ -676,6 +684,7 @@ const RESP_PROMOTED: u8 = 0x90;
 const RESP_STREAM_BEGIN: u8 = 0x91;
 const RESP_STREAM_DATA: u8 = 0x92;
 const RESP_STREAM_END: u8 = 0x93;
+const RESP_METRICS: u8 = 0x94;
 const RESP_ERR: u8 = 0xFF;
 
 fn put_hashes(enc: &mut Encoder, hashes: &[ContentHash]) {
@@ -873,6 +882,9 @@ impl Request {
                     .put_raw(&reference.hash.0)
                     .put_u32(reference.len);
             }
+            Request::Metrics => {
+                enc.put_u8(OP_METRICS);
+            }
         }
         enc.into_bytes()
     }
@@ -1050,6 +1062,7 @@ impl Request {
                 Request::PutStreamData(data)
             }
             OP_PUT_STREAM_END => Request::PutStreamEnd,
+            OP_METRICS => Request::Metrics,
             OP_REPL_CHUNK_STREAM => {
                 let namespace = dec.get_str()?;
                 let raw = dec.get_raw(32)?;
@@ -1225,6 +1238,9 @@ impl Response {
             }
             Response::StreamEnd { fresh } => {
                 enc.put_u8(RESP_STREAM_END).put_u8(u8::from(*fresh));
+            }
+            Response::Metrics(text) => {
+                enc.put_u8(RESP_METRICS).put_str(text);
             }
             Response::Err { code, message } => {
                 enc.put_u8(RESP_ERR).put_u8(*code).put_str(message);
@@ -1428,6 +1444,7 @@ impl Response {
             RESP_STREAM_END => Response::StreamEnd {
                 fresh: dec.get_u8()? != 0,
             },
+            RESP_METRICS => Response::Metrics(dec.get_str()?),
             RESP_ERR => Response::Err {
                 code: dec.get_u8()?,
                 message: dec.get_str()?,
@@ -1576,6 +1593,7 @@ mod tests {
         });
         round_trip_request(Request::MetaDelete { name: "x".into() });
         round_trip_request(Request::Status);
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::Corrupt {
             hash: h,
@@ -1701,6 +1719,7 @@ mod tests {
         round_trip_response(Response::Meta(None));
         round_trip_response(Response::Meta(Some(vec![9])));
         round_trip_response(Response::Names(vec!["a".into(), "b".into()]));
+        round_trip_response(Response::Metrics("# TYPE a counter\na 1\n".into()));
         round_trip_response(Response::Status {
             version: 1,
             namespaces: 2,

@@ -267,14 +267,87 @@ struct ReplProgress {
     acked: BTreeMap<String, u64>,
 }
 
+/// Connections accepted since process start (all in-process daemons
+/// share one registry; single-daemon deployments read this as "this
+/// daemon's total").
+static OBS_CONNECTIONS: qobs::LazyCounter = qobs::LazyCounter::new("qckptd_connections_total");
+/// Connections currently open.
+static OBS_INFLIGHT: qobs::LazyGauge = qobs::LazyGauge::new("qckptd_inflight_connections");
+/// Frame bytes received from clients (payload + frame header/CRC).
+static OBS_BYTES_IN: qobs::LazyCounter = qobs::LazyCounter::new("qckptd_bytes_in_total");
+/// Frame bytes sent to clients (payload + frame header/CRC).
+static OBS_BYTES_OUT: qobs::LazyCounter = qobs::LazyCounter::new("qckptd_bytes_out_total");
+/// Fresh writer-lease grants (renewals not counted).
+static OBS_LEASE_GRANTS: qobs::LazyCounter = qobs::LazyCounter::new("qckptd_lease_grants_total");
+/// Leases that were found expired and removed.
+static OBS_LEASE_EXPIRIES: qobs::LazyCounter =
+    qobs::LazyCounter::new("qckptd_lease_expiries_total");
+/// Replication lag in oplog entries, refreshed on STATUS / METRICS.
+static OBS_REPL_LAG: qobs::LazyGauge = qobs::LazyGauge::new("qckptd_repl_lag_entries");
+/// Seconds since this daemon started, refreshed on STATUS / METRICS.
+static OBS_UPTIME: qobs::LazyGauge = qobs::LazyGauge::new("qckptd_uptime_seconds");
+
+/// Per-frame length on the wire: 4-byte length prefix + 4-byte CRC32.
+const FRAME_OVERHEAD: u64 = 8;
+
+/// Bumps the per-namespace, per-op request counter
+/// (`qckptd_requests_total{ns=...,op=...}`).
+fn count_request(ns: &str, op: &'static str) {
+    if qobs::enabled() {
+        qobs::counter(&qobs::labeled(
+            "qckptd_requests_total",
+            &[("ns", ns), ("op", op)],
+        ))
+        .inc();
+    }
+}
+
+/// Stable op label for the request counter.
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Hello { .. } => "hello",
+        Request::Ping => "ping",
+        Request::PutBatch { .. } => "put_batch",
+        Request::Get { .. } => "get",
+        Request::Contains { .. } => "contains",
+        Request::List => "list",
+        Request::Sweep { .. } => "sweep",
+        Request::Stats => "stats",
+        Request::ClearStaging => "clear_staging",
+        Request::MetaPut { .. } => "meta_put",
+        Request::MetaGet { .. } => "meta_get",
+        Request::MetaList { .. } => "meta_list",
+        Request::MetaDelete { .. } => "meta_delete",
+        Request::Status => "status",
+        Request::Shutdown => "shutdown",
+        Request::Corrupt { .. } => "corrupt",
+        Request::ReplStatus => "repl_status",
+        Request::ReplFetch { .. } => "repl_fetch",
+        Request::ReplChunks { .. } => "repl_chunks",
+        Request::ReplAck { .. } => "repl_ack",
+        Request::Promote => "promote",
+        Request::LeaseRelease => "lease_release",
+        Request::GetStream { .. } => "get_stream",
+        Request::PutStreamBegin { .. } => "put_stream_begin",
+        Request::PutStreamData(_) => "put_stream_data",
+        Request::PutStreamEnd => "put_stream_end",
+        Request::ReplChunkStream { .. } => "repl_chunk_stream",
+        Request::Metrics => "metrics",
+    }
+}
+
 /// Shared daemon state.
 #[derive(Debug)]
 pub(crate) struct Shared {
     config: ServerConfig,
     namespaces: Mutex<BTreeMap<String, Arc<Namespace>>>,
     shutdown: AtomicBool,
-    connections: AtomicU64,
+    /// Connection-id source for the socks map; the operator-visible
+    /// total lives in the qobs registry (`qckptd_connections_total`).
+    conn_seq: AtomicU64,
     active: AtomicU64,
+    /// Process start, for the uptime gauge.
+    started: Instant,
     /// Duplicated handles of every live connection's socket plus a
     /// "currently serving a request" flag, keyed by connection id and
     /// removed by the handler on exit. The graceful-drain path closes
@@ -401,6 +474,13 @@ impl Shared {
         let ttl = self.config.lease_ttl;
         let now = Instant::now();
         let mut leases = self.leases.lock().expect("lease table poisoned");
+        // Reclaim a TTL-expired lease first so every expiry is counted
+        // exactly once, whether a write with the stale token noticed it
+        // (check_lease) or a new writer claimed the namespace here.
+        if leases.get(ns).is_some_and(|l| l.expires <= now) {
+            leases.remove(ns);
+            OBS_LEASE_EXPIRIES.inc();
+        }
         match leases.get_mut(ns) {
             Some(l) if l.expires > now && l.token != presented => Err(Error::LeaseHeld(format!(
                 "namespace {ns:?} writer lease is held by {}",
@@ -416,6 +496,7 @@ impl Shared {
                 })
             }
             _ => {
+                OBS_LEASE_GRANTS.inc();
                 let token = self.lease_counter.fetch_add(1, Ordering::Relaxed) + 1;
                 leases.insert(
                     ns.to_string(),
@@ -442,6 +523,7 @@ impl Shared {
         if let Some(l) = leases.get_mut(ns) {
             if l.expires <= Instant::now() {
                 leases.remove(ns);
+                OBS_LEASE_EXPIRIES.inc();
             } else if l.token != token {
                 return Err(Error::LeaseHeld(format!(
                     "namespace {ns:?} writer lease is held by {}",
@@ -532,8 +614,9 @@ impl Server {
                 config,
                 namespaces: Mutex::new(BTreeMap::new()),
                 shutdown: AtomicBool::new(false),
-                connections: AtomicU64::new(0),
+                conn_seq: AtomicU64::new(0),
                 active: AtomicU64::new(0),
+                started: Instant::now(),
                 socks: Mutex::new(BTreeMap::new()),
                 role: AtomicU8::new(role),
                 generation: AtomicU64::new(generation),
@@ -593,7 +676,9 @@ impl Server {
                 }
             };
             let shared = Arc::clone(&self.shared);
-            let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed);
+            let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+            OBS_CONNECTIONS.inc();
+            OBS_INFLIGHT.add(1);
             let busy = shared.active.fetch_add(1, Ordering::Relaxed) as usize;
             let serving = Arc::new(AtomicBool::new(false));
             if let Ok(dup) = stream.try_clone() {
@@ -612,6 +697,7 @@ impl Server {
                     .expect("socks poisoned")
                     .remove(&conn_id);
                 shared.active.fetch_sub(1, Ordering::Relaxed);
+                OBS_INFLIGHT.sub(1);
             });
             match on_pool {
                 // Pool unavailable or saturated: a dedicated thread
@@ -915,10 +1001,12 @@ fn handle_connection(shared: &Shared, stream: TcpStream, serving: &AtomicBool) -
 
     // --- handshake ---
     let hello = read_frame(&mut reader)?;
+    OBS_BYTES_IN.add(hello.len() as u64 + FRAME_OVERHEAD);
     let mut ctx = match Request::decode(&hello)
         .and_then(|req| handshake(shared, req, peer_is_loopback, &peer))
     {
         Ok((ctx, reply)) => {
+            count_request(&ctx.namespace, "hello");
             send(&mut writer, &reply)?;
             ctx
         }
@@ -943,6 +1031,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, serving: &AtomicBool) -
             // Peer closed (or broke) the connection: normal end of life.
             Err(_) => return Ok(()),
         };
+        OBS_BYTES_IN.add(body.len() as u64 + FRAME_OVERHEAD);
         // Mark the connection busy for the graceful-drain sweep: a
         // shutdown arriving now lets this request finish and its
         // response reach the client before the socket is closed.
@@ -965,6 +1054,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, serving: &AtomicBool) -
                 continue;
             }
         };
+        count_request(&ctx.namespace, op_name(&req));
         // Streaming operations (v3) drive the socket themselves — one
         // request fans out into (GET) or is fed by (PUT) many segment
         // frames — so they bypass the one-response path below.
@@ -1015,7 +1105,9 @@ fn drop_budget(shared: &Shared, served: u64) -> Result<()> {
 }
 
 fn send(writer: &mut BufWriter<TcpStream>, resp: &Response) -> Result<()> {
-    write_frame(writer, &resp.encode())?;
+    let body = resp.encode();
+    OBS_BYTES_OUT.add(body.len() as u64 + FRAME_OVERHEAD);
+    write_frame(writer, &body)?;
     writer
         .flush()
         .map_err(|e| Error::io("flushing response", e))?;
@@ -1351,15 +1443,31 @@ fn apply_request_inner(shared: &Shared, ctx: &mut ConnCtx, req: Request) -> Resu
             let lengths = shared.oplog_lengths()?;
             let oplog_entries = lengths.iter().map(|(_, l)| l).sum();
             let repl_lag = shared.repl_lag(&lengths);
+            OBS_REPL_LAG.set(repl_lag as i64);
+            OBS_UPTIME.set(shared.started.elapsed().as_secs() as i64);
             Ok(Response::Status {
                 version: PROTO_VERSION,
                 namespaces: shared.namespace_count(),
-                connections: shared.connections.load(Ordering::Relaxed),
+                connections: OBS_CONNECTIONS.get().get(),
                 role: shared.role(),
                 generation: shared.generation(),
                 oplog_entries,
                 repl_lag,
             })
+        }
+        Request::Metrics => {
+            if ctx.proto_version < 3 {
+                return Err(Error::protocol(
+                    "handling request",
+                    "METRICS requires protocol v3",
+                ));
+            }
+            // Point-in-time gauges are refreshed at scrape time; the
+            // rest of the exposition is live counters.
+            let lengths = shared.oplog_lengths()?;
+            OBS_REPL_LAG.set(shared.repl_lag(&lengths) as i64);
+            OBS_UPTIME.set(shared.started.elapsed().as_secs() as i64);
+            Ok(Response::Metrics(qobs::text_exposition()))
         }
         Request::Shutdown => {
             guard_privileged(shared, ctx, "shutdown")?;

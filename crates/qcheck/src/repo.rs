@@ -650,6 +650,8 @@ impl<S: ObjectStore> CheckpointRepo<S> {
                 "chunk_size and delta_block_size must be positive".into(),
             ));
         }
+        let _span = qobs::span("qcheck.save");
+        crate::obs::SAVES.inc();
         let sections = snapshot.to_sections();
 
         // Decide full vs delta. The base sections come from the in-memory
@@ -1196,11 +1198,11 @@ impl<S: ObjectStore> CheckpointRepo<S> {
             f.write_all(bytes)
                 .map_err(|e| Error::io(format!("writing {}", tmp.display()), e))?;
             if fsync {
-                f.sync_all()
+                qobs::time(&crate::obs::FSYNC_NS, || f.sync_all())
                     .map_err(|e| Error::io(format!("syncing {}", tmp.display()), e))?;
             }
         }
-        fs::rename(&tmp, target)
+        qobs::time(&crate::obs::RENAME_NS, || fs::rename(&tmp, target))
             .map_err(|e| Error::io(format!("renaming into {}", target.display()), e))?;
         Ok(())
     }
@@ -1423,6 +1425,8 @@ impl<S: ObjectStore> CheckpointRepo<S> {
     ///
     /// [`Error::NoValidCheckpoint`] when nothing can be recovered.
     pub fn recover(&self) -> Result<(TrainingSnapshot, RecoveryReport)> {
+        let _span = qobs::span("qcheck.recover");
+        crate::obs::RECOVERS.inc();
         // Store staging first (for local backends this *is* the repo
         // `tmp/`), then whatever the store didn't own — for a remote
         // backend the local manifest staging dir is a separate
@@ -1474,6 +1478,7 @@ impl<S: ObjectStore> CheckpointRepo<S> {
             }
         }
         self.store.end_read_pass();
+        crate::obs::MANIFESTS_TRIED.add(report.manifests_tried as u64);
         match recovered {
             Some(snapshot) => Ok((snapshot, report)),
             None => Err(Error::NoValidCheckpoint {
@@ -1493,6 +1498,8 @@ impl<S: ObjectStore> CheckpointRepo<S> {
     ///
     /// Fails on filesystem errors.
     pub fn gc(&self) -> Result<GcReport> {
+        let _span = qobs::span("qcheck.gc");
+        crate::obs::GCS.inc();
         self.store.sweep(&self.reachable_chunks()?)
     }
 
@@ -1675,6 +1682,8 @@ impl<S: ObjectStore> CheckpointRepo<S> {
     }
 
     fn compact_log_locked(&self, st: &mut LogReplay) -> Result<()> {
+        let _span = qobs::span("qcheck.compact_log");
+        crate::obs::COMPACTIONS.inc();
         let epoch = st.epoch + 1;
         let mut buf = mlog::log_header(epoch).to_vec();
         let mut spans: BTreeMap<CheckpointId, (u64, u64)> = BTreeMap::new();

@@ -75,11 +75,11 @@ impl LooseStore {
             f.write_all(data)
                 .map_err(|e| Error::io(format!("writing {}", tmp.display()), e))?;
             if fsync {
-                f.sync_all()
+                qobs::time(&crate::obs::FSYNC_NS, || f.sync_all())
                     .map_err(|e| Error::io(format!("syncing {}", tmp.display()), e))?;
             }
         }
-        fs::rename(&tmp, &path)
+        qobs::time(&crate::obs::RENAME_NS, || fs::rename(&tmp, &path))
             .map_err(|e| Error::io(format!("renaming into {}", path.display()), e))?;
         Ok(())
     }
@@ -316,10 +316,10 @@ impl ObjectStore for LooseStore {
                 ));
             }
             if fsync {
-                file.sync_all()
+                qobs::time(&crate::obs::FSYNC_NS, || file.sync_all())
                     .map_err(|e| Error::io(format!("syncing {}", tmp.display()), e))?;
             }
-            fs::rename(&tmp, &path)
+            qobs::time(&crate::obs::RENAME_NS, || fs::rename(&tmp, &path))
                 .map_err(|e| Error::io(format!("renaming into {}", path.display()), e))
         })();
         if let Err(e) = commit {

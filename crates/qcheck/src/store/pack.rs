@@ -423,11 +423,11 @@ impl PackStore {
             f.write_all(&bytes)
                 .map_err(|e| Error::io(format!("writing {}", tmp.display()), e))?;
             if fsync {
-                f.sync_all()
+                qobs::time(&crate::obs::FSYNC_NS, || f.sync_all())
                     .map_err(|e| Error::io(format!("syncing {}", tmp.display()), e))?;
             }
         }
-        fs::rename(&tmp, &target)
+        qobs::time(&crate::obs::RENAME_NS, || fs::rename(&tmp, &target))
             .map_err(|e| Error::io(format!("renaming into {}", target.display()), e))?;
         Ok(name)
     }
@@ -814,10 +814,10 @@ impl ObjectStore for PackStore {
         let target = self.pack_path(&name);
         let publish = (|| -> Result<()> {
             if fsync {
-                file.sync_all()
+                qobs::time(&crate::obs::FSYNC_NS, || file.sync_all())
                     .map_err(|e| Error::io(format!("syncing {}", tmp.display()), e))?;
             }
-            fs::rename(&tmp, &target)
+            qobs::time(&crate::obs::RENAME_NS, || fs::rename(&tmp, &target))
                 .map_err(|e| Error::io(format!("renaming into {}", target.display()), e))
         })();
         if let Err(e) = publish {

@@ -303,8 +303,17 @@ fn writer_lease_excludes_second_writer_and_expires_by_ttl() {
     config.lease_ttl = Duration::from_millis(200);
     let daemon = Server::bind("127.0.0.1:0", config).unwrap().spawn();
 
+    // Lease traffic feeds the qobs registry, shared by every in-process
+    // daemon in this test binary — hence `>=` deltas.
+    if qobs::mode() == qobs::Mode::Off {
+        qobs::set_mode(qobs::Mode::Counters);
+    }
+    let grants0 = qobs::counter("qckptd_lease_grants_total").get();
+    let expiries0 = qobs::counter("qckptd_lease_expiries_total").get();
+
     let writer = RemoteStore::connect(daemon.addr(), "leased").unwrap();
     writer.acquire_writer_lease().unwrap();
+    assert!(qobs::counter("qckptd_lease_grants_total").get() > grants0);
     // Re-acquiring from the same handle renews (token re-presented on
     // the forced re-handshake), it does not conflict.
     writer.acquire_writer_lease().unwrap();
@@ -326,6 +335,10 @@ fn writer_lease_excludes_second_writer_and_expires_by_ttl() {
     std::thread::sleep(Duration::from_millis(400));
     let heir = RemoteStore::connect(daemon.addr(), "leased").unwrap();
     heir.acquire_writer_lease().unwrap();
+    // Three fresh grants (writer, intruder, heir) and one TTL expiry
+    // crossed the registry during this drill.
+    assert!(qobs::counter("qckptd_lease_grants_total").get() >= grants0 + 3);
+    assert!(qobs::counter("qckptd_lease_expiries_total").get() > expiries0);
 }
 
 #[test]

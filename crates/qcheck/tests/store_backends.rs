@@ -811,3 +811,50 @@ fn client_death_mid_put_batch_recovers_cleanly() {
         "the dead client's half-frame must not materialize objects"
     );
 }
+
+/// Save/recover drills move the qobs counters by at least the drill's
+/// own contribution. Deltas are `>=`, never `==`: every test in this
+/// binary shares one process-wide registry. Only deterministic
+/// counters are asserted — never timings.
+#[test]
+fn observability_counters_track_a_save_recover_drill() {
+    if qobs::mode() == qobs::Mode::Off {
+        qobs::set_mode(qobs::Mode::Counters);
+    }
+    let dir = TempDir::new("obs-deltas");
+    let repo = CheckpointRepo::open(dir.0.join("repo")).unwrap();
+
+    let saves0 = qobs::counter("qcheck_saves_total").get();
+    let recovers0 = qobs::counter("qcheck_recovers_total").get();
+    let tried0 = qobs::counter("qcheck_manifests_tried_total").get();
+    let replays0 = qobs::counter("qcheck_manifest_log_replays_total").get();
+    let fsyncs0 = qobs::histogram("qcheck_fsync_ns").count();
+    let renames0 = qobs::histogram("qcheck_rename_ns").count();
+
+    // fsync on: the default stays off for speed, but this drill pins
+    // the durability histograms, which only fill when fsync runs.
+    let durable = |mode| SaveOptions {
+        fsync: true,
+        ..options(mode)
+    };
+    let params = vec![0.25f64; N_PARAMS];
+    repo.save(&snapshot_at(1, &params), &durable(SaveMode::Full))
+        .unwrap();
+    repo.save(
+        &snapshot_at(2, &params),
+        &durable(SaveMode::DeltaAuto { max_chain_len: 4 }),
+    )
+    .unwrap();
+    let (snap, report) = repo.recover().unwrap();
+    assert_eq!(snap.step, 2);
+    assert_eq!(report.manifests_tried, 1);
+
+    assert!(qobs::counter("qcheck_saves_total").get() >= saves0 + 2);
+    assert!(qobs::counter("qcheck_recovers_total").get() > recovers0);
+    assert!(qobs::counter("qcheck_manifests_tried_total").get() > tried0);
+    assert!(qobs::counter("qcheck_manifest_log_replays_total").get() > replays0);
+    // Every durable save fsyncs and renames at least once (chunk
+    // payloads plus the manifest-log append).
+    assert!(qobs::histogram("qcheck_fsync_ns").count() >= fsyncs0 + 2);
+    assert!(qobs::histogram("qcheck_rename_ns").count() >= renames0 + 2);
+}

@@ -523,6 +523,7 @@ impl Trainer {
 
     /// Computes the gradient on a batch. Returns `(grad, evals, shots)`.
     fn gradient(&mut self, batch: &[usize]) -> Result<(Vec<f64>, u32, u64), TrainError> {
+        let _span = qobs::span("qnn.gradient");
         const SHIFT: f64 = std::f64::consts::FRAC_PI_2;
         let params = self.params.clone();
         match self.config.gradient {
@@ -640,6 +641,7 @@ impl Trainer {
     ///
     /// Propagates circuit/state failures.
     pub fn train_step(&mut self) -> Result<StepReport, TrainError> {
+        let _span = qobs::span("qnn.step");
         let batch = self.next_batch();
         let (loss, loss_evals, loss_shots) = self.loss_at(&self.params.clone(), &batch, None)?;
         let (grad, grad_evals, grad_shots) = self.gradient(&batch)?;

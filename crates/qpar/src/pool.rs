@@ -50,6 +50,30 @@ pub const MAX_POOL_WORKERS: usize = 16;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Jobs currently sitting in the queue (enqueued, not yet started).
+static QUEUE_DEPTH: qobs::LazyGauge = qobs::LazyGauge::new("qpar_queue_depth");
+/// Time a job spent queued before a worker picked it up.
+static JOB_WAIT_NS: qobs::LazyHistogram = qobs::LazyHistogram::new("qpar_job_wait_ns");
+/// Time a job spent executing on a worker.
+static JOB_RUN_NS: qobs::LazyHistogram = qobs::LazyHistogram::new("qpar_job_run_ns");
+
+/// Wraps a queued job with queue-depth / wait / run instrumentation.
+/// One relaxed load when observability is off.
+fn instrumented(job: Job) -> Job {
+    if !qobs::enabled() {
+        return job;
+    }
+    QUEUE_DEPTH.add(1);
+    let queued = std::time::Instant::now();
+    Box::new(move || {
+        QUEUE_DEPTH.sub(1);
+        JOB_WAIT_NS.record_duration(queued.elapsed());
+        let start = std::time::Instant::now();
+        job();
+        JOB_RUN_NS.record_duration(start.elapsed());
+    })
+}
+
 struct Pool {
     sender: Sender<Job>,
     /// Receiver end shared by every worker.
@@ -196,7 +220,7 @@ pub fn run_owned<R: Send + 'static>(jobs: Vec<Box<dyn FnOnce() -> R + Send>>) ->
         });
         pool()
             .sender
-            .send(wrapped)
+            .send(instrumented(wrapped))
             .expect("pool queue receiver lives as long as the process");
     }
     drop(tx);
@@ -248,7 +272,7 @@ pub fn spawn_detached(
     }
     pool()
         .sender
-        .send(job)
+        .send(instrumented(job))
         .expect("pool queue receiver lives as long as the process");
     Ok(())
 }

@@ -675,6 +675,20 @@ enum Step {
     Permute(PermSpec),
 }
 
+/// Executed plan-mode passes by step kind, and their wall time. The
+/// counters mirror the deterministic traffic model ([`BoundPlan::passes`])
+/// with live execution counts; `QOBS=off` skips all of them.
+static OBS_SWEEP_PASSES: qobs::LazyCounter =
+    qobs::LazyCounter::new("qsim_passes_total{kind=\"sweep\"}");
+static OBS_TILE_PASSES: qobs::LazyCounter =
+    qobs::LazyCounter::new("qsim_passes_total{kind=\"tile\"}");
+static OBS_PERMUTE_PASSES: qobs::LazyCounter =
+    qobs::LazyCounter::new("qsim_passes_total{kind=\"permute\"}");
+static OBS_SWEEP_NS: qobs::LazyHistogram = qobs::LazyHistogram::new("qsim_sweep_ns");
+static OBS_TILE_NS: qobs::LazyHistogram = qobs::LazyHistogram::new("qsim_tile_ns");
+static OBS_PERMUTE_NS: qobs::LazyHistogram = qobs::LazyHistogram::new("qsim_permute_ns");
+static OBS_AMP_BYTES: qobs::LazyCounter = qobs::LazyCounter::new("qsim_amp_bytes_swept_total");
+
 /// A plan bound to a concrete parameter vector: fused matrices, kernel
 /// descriptors and the pass schedule, ready to execute any number of
 /// times — and to *rebind* in place ([`BoundPlan::rebind`]), so
@@ -1227,15 +1241,43 @@ impl BoundPlan<'_> {
             }
             return Ok(());
         }
-        for step in &self.steps {
-            match step {
-                Step::Sweep(g) => self.sweep(state, &self.sched[*g as usize]),
-                Step::Tile(r) => {
-                    self.run_tiled(state, &self.sched[r.start as usize..r.end as usize])
+        // One mode load for the whole execution; `QOBS=off` pays nothing
+        // per pass.
+        if !qobs::enabled() {
+            for step in &self.steps {
+                match step {
+                    Step::Sweep(g) => self.sweep(state, &self.sched[*g as usize]),
+                    Step::Tile(r) => {
+                        self.run_tiled(state, &self.sched[r.start as usize..r.end as usize])
+                    }
+                    Step::Permute(spec) => run_permute(state, spec),
                 }
-                Step::Permute(spec) => run_permute(state, spec),
+            }
+            return Ok(());
+        }
+        for step in &self.steps {
+            let start = std::time::Instant::now();
+            match step {
+                Step::Sweep(g) => {
+                    self.sweep(state, &self.sched[*g as usize]);
+                    OBS_SWEEP_PASSES.inc();
+                    OBS_SWEEP_NS.record_duration(start.elapsed());
+                }
+                Step::Tile(r) => {
+                    self.run_tiled(state, &self.sched[r.start as usize..r.end as usize]);
+                    OBS_TILE_PASSES.inc();
+                    OBS_TILE_NS.record_duration(start.elapsed());
+                }
+                Step::Permute(spec) => {
+                    run_permute(state, spec);
+                    OBS_PERMUTE_PASSES.inc();
+                    OBS_PERMUTE_NS.record_duration(start.elapsed());
+                }
             }
         }
+        // The live counterpart of the deterministic traffic model the
+        // benches stamp: bytes actually swept by this execution.
+        OBS_AMP_BYTES.add(self.amp_bytes_swept());
         Ok(())
     }
 
